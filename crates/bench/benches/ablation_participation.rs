@@ -1,0 +1,43 @@
+//! Bench for the §5 participation ablation: prints the once-vs-forever
+//! table, then times both arms.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::experiments::ablation;
+use dualgraph_bench::workloads::Scale;
+use dualgraph_broadcast::algorithms::{BroadcastAlgorithm, StrongSelect};
+use dualgraph_broadcast::runner::{run_broadcast, RunConfig};
+use dualgraph_net::generators;
+use dualgraph_sim::CollisionSeeker;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_participation");
+    let n = 33;
+    let net = generators::layered_pairs(n);
+    for algo in [StrongSelect::new(), StrongSelect::forever()] {
+        group.bench_function(BenchmarkId::new(algo.name(), n), |b| {
+            b.iter(|| {
+                run_broadcast(
+                    &net,
+                    &algo,
+                    Box::new(CollisionSeeker::new()),
+                    RunConfig::default().with_max_rounds(10_000_000),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    ablation::run(Scale::Quick).print();
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

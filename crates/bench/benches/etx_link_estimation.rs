@@ -1,0 +1,52 @@
+//! Bench for the ETX link-estimation extension: prints the
+//! precision/recall table, then times a probing phase.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::experiments::etx;
+use dualgraph_bench::workloads::Scale;
+use dualgraph_broadcast::link_estimation::{estimate_links, EstimationConfig};
+use dualgraph_net::generators;
+use dualgraph_sim::BurstyDelivery;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("etx_link_estimation");
+    for n in [40usize, 80] {
+        let net = generators::geometric_dual(
+            generators::GeometricDualParams {
+                n,
+                reliable_radius: 0.18,
+                gray_radius: 0.35,
+            },
+            5,
+        );
+        group.bench_with_input(BenchmarkId::new("probe-and-classify", n), &n, |b, _| {
+            b.iter(|| {
+                estimate_links(
+                    &net,
+                    Box::new(BurstyDelivery::new(0.2, 0.3, 9)),
+                    EstimationConfig {
+                        probe_probability: 0.03,
+                        rounds: 1_000,
+                        threshold: 0.75,
+                        min_samples: 5,
+                        seed: 3,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    etx::run(Scale::Quick).print();
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

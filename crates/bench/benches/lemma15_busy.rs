@@ -1,0 +1,34 @@
+//! Bench for Lemma 15: prints the busy-round table, then times the greedy
+//! adversarial pattern construction and the busy-round counter.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::experiments::lemma15;
+use dualgraph_bench::workloads::Scale;
+use dualgraph_broadcast::analysis::{greedy_prefix_busy_pattern, WakeUpPattern};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma15_busy");
+    for n in [32usize, 128] {
+        group.bench_with_input(BenchmarkId::new("greedy-pattern", n), &n, |b, &n| {
+            b.iter(|| greedy_prefix_busy_pattern(n, 8))
+        });
+        let pattern = WakeUpPattern::all_at_once(n);
+        group.bench_with_input(BenchmarkId::new("count-busy", n), &n, |b, _| {
+            b.iter(|| pattern.total_busy_rounds(8))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    lemma15::run(Scale::Quick).print();
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,56 @@
+//! Bench for Lemma 1: prints the equivalence table, then times the
+//! explicit-interference run and the dual-graph replay.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::experiments::lemma1;
+use dualgraph_bench::workloads::Scale;
+use dualgraph_broadcast::algorithms::{BroadcastAlgorithm, RoundRobin};
+use dualgraph_broadcast::interference::{
+    check_equivalence, random_interference, run_explicit, Cr4Policy,
+};
+use dualgraph_sim::{CollisionRule, StartRule};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma1_interference");
+    for n in [20usize, 40] {
+        let net = random_interference(n, 0.1, 0.2, 3);
+        group.bench_with_input(BenchmarkId::new("explicit-run", n), &n, |b, &n| {
+            b.iter(|| {
+                run_explicit(
+                    &net,
+                    RoundRobin::new().processes(n, 0),
+                    CollisionRule::Cr1,
+                    StartRule::Synchronous,
+                    Cr4Policy { seed: 1 },
+                    50_000,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full-equivalence", n), &n, |b, &n| {
+            b.iter(|| {
+                check_equivalence(
+                    &net,
+                    || RoundRobin::new().processes(n, 0),
+                    CollisionRule::Cr1,
+                    StartRule::Synchronous,
+                    1,
+                    50_000,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    lemma1::run(Scale::Quick).print();
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

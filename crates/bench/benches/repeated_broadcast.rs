@@ -1,0 +1,55 @@
+//! Bench for the §8 repeated-broadcast extension: prints the
+//! oblivious-vs-learning table, then times both strategies end to end.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::experiments::repeated;
+use dualgraph_bench::workloads::Scale;
+use dualgraph_broadcast::link_estimation::EstimationConfig;
+use dualgraph_broadcast::repeated::{compare_repeated, RepeatedConfig};
+use dualgraph_net::generators;
+use dualgraph_sim::ReliableOnly;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repeated_broadcast");
+    let net = generators::layered_pairs(21);
+    for messages in [5u64, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("compare", messages),
+            &messages,
+            |b, &messages| {
+                b.iter(|| {
+                    compare_repeated(
+                        &net,
+                        |_| Box::new(ReliableOnly::new()),
+                        RepeatedConfig {
+                            messages,
+                            probe: EstimationConfig {
+                                probe_probability: 0.02,
+                                rounds: 1_000,
+                                threshold: 0.5,
+                                min_samples: 5,
+                                seed: 3,
+                            },
+                            max_rounds_per_broadcast: 5_000_000,
+                            seed: 5,
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    repeated::run(Scale::Quick).print();
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,41 @@
+//! Bench for SSF sizes (Theorem 7 / Kautz–Singleton): prints the size
+//! table, then times the two constructions and the verifier.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::experiments::ssf;
+use dualgraph_bench::workloads::Scale;
+use dualgraph_select::{kautz_singleton, random_family, verify, RandomFamilyParams};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssf_sizes");
+    for (n, k) in [(1024usize, 4usize), (4096, 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("kautz-singleton", format!("n{n}k{k}")),
+            &(n, k),
+            |b, &(n, k)| b.iter(|| kautz_singleton(n, k)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("random-family", format!("n{n}k{k}")),
+            &(n, k),
+            |b, &(n, k)| b.iter(|| random_family(RandomFamilyParams::new(n, k), 5)),
+        );
+    }
+    let family = kautz_singleton(256, 4);
+    group.bench_function("spot-verify-256-4", |b| {
+        b.iter(|| verify::spot_check_strongly_selective(&family, 50, 9))
+    });
+    group.finish();
+}
+
+fn main() {
+    ssf::run(Scale::Quick).print();
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

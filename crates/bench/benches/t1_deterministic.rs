@@ -1,0 +1,65 @@
+//! Bench for Table 1 (deterministic broadcast): prints the paper-style
+//! table, then times classical and dual-worst-case executions.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::experiments::t1;
+use dualgraph_bench::workloads::Scale;
+use dualgraph_broadcast::algorithms::{RoundRobin, StrongSelect};
+use dualgraph_broadcast::lower_bounds::layered::{construct, LayeredBoundOptions};
+use dualgraph_broadcast::runner::{run_broadcast, RunConfig};
+use dualgraph_net::generators;
+use dualgraph_sim::ReliableOnly;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_deterministic");
+    for n in [17usize, 33] {
+        let net = generators::layered_pairs(n);
+        group.bench_with_input(BenchmarkId::new("round-robin/classical", n), &n, |b, _| {
+            b.iter(|| {
+                run_broadcast(
+                    &net,
+                    &RoundRobin::new(),
+                    Box::new(ReliableOnly::new()),
+                    RunConfig::lower_bound_setting(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("strong-select/classical", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    run_broadcast(
+                        &net,
+                        &StrongSelect::new(),
+                        Box::new(ReliableOnly::new()),
+                        RunConfig::lower_bound_setting(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("round-robin/dual-thm12", n),
+            &n,
+            |b, _| {
+                b.iter(|| construct(&RoundRobin::new(), n, LayeredBoundOptions::default()).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    t1::run(Scale::Quick).print();
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

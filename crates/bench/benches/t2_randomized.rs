@@ -1,0 +1,63 @@
+//! Bench for Table 2 (randomized broadcast): prints the paper-style table,
+//! then times Decay and Harmonic in the classical and dual settings.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::experiments::t2;
+use dualgraph_bench::workloads::Scale;
+use dualgraph_broadcast::algorithms::{Decay, Harmonic};
+use dualgraph_broadcast::runner::{run_broadcast, RunConfig};
+use dualgraph_net::generators;
+use dualgraph_sim::{CollisionSeeker, ReliableOnly};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_randomized");
+    let n = 33;
+    let net = generators::layered_pairs(n);
+    group.bench_function(BenchmarkId::new("decay/classical", n), |b| {
+        b.iter(|| {
+            run_broadcast(
+                &net,
+                &Decay::new(),
+                Box::new(ReliableOnly::new()),
+                RunConfig::default().with_max_rounds(500_000),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("harmonic/classical", n), |b| {
+        b.iter(|| {
+            run_broadcast(
+                &net,
+                &Harmonic::new(),
+                Box::new(ReliableOnly::new()),
+                RunConfig::default().with_max_rounds(500_000),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("harmonic/collision-seeker", n), |b| {
+        b.iter(|| {
+            run_broadcast(
+                &net,
+                &Harmonic::new(),
+                Box::new(CollisionSeeker::new()),
+                RunConfig::default().with_max_rounds(500_000),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    t2::run(Scale::Quick).print();
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

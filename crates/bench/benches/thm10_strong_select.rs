@@ -1,0 +1,67 @@
+//! Bench for Theorem 10: prints the Strong Select complexity table, then
+//! times executions across adversaries and the SSF plan construction.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::experiments::thm10;
+use dualgraph_bench::workloads::Scale;
+use dualgraph_broadcast::algorithms::{SsfConstruction, StrongSelect, StrongSelectPlan};
+use dualgraph_broadcast::runner::{run_broadcast, RunConfig};
+use dualgraph_net::generators;
+use dualgraph_sim::{CollisionSeeker, RandomDelivery, ReliableOnly};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm10_strong_select");
+    for n in [33usize, 65] {
+        let net = generators::layered_pairs(n);
+        group.bench_with_input(BenchmarkId::new("reliable-only", n), &n, |b, _| {
+            b.iter(|| {
+                run_broadcast(
+                    &net,
+                    &StrongSelect::new(),
+                    Box::new(ReliableOnly::new()),
+                    RunConfig::default(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("collision-seeker", n), &n, |b, _| {
+            b.iter(|| {
+                run_broadcast(
+                    &net,
+                    &StrongSelect::new(),
+                    Box::new(CollisionSeeker::new()),
+                    RunConfig::default(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("random(0.5)", n), &n, |b, _| {
+            b.iter(|| {
+                run_broadcast(
+                    &net,
+                    &StrongSelect::new(),
+                    Box::new(RandomDelivery::new(0.5, 7)),
+                    RunConfig::default(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("plan-construction", n), &n, |b, &n| {
+            b.iter(|| StrongSelectPlan::new(n, SsfConstruction::KautzSingleton))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    thm10::run(Scale::Quick).print();
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

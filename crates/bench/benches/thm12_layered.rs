@@ -1,0 +1,34 @@
+//! Bench for Theorem 12: prints the Ω(n log n) table, then times the
+//! candidate-set constructor.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::experiments::thm12;
+use dualgraph_bench::workloads::Scale;
+use dualgraph_broadcast::algorithms::{RoundRobin, StrongSelect};
+use dualgraph_broadcast::lower_bounds::layered::{construct, LayeredBoundOptions};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm12_layered");
+    for n in [17usize, 33] {
+        group.bench_with_input(BenchmarkId::new("round-robin", n), &n, |b, &n| {
+            b.iter(|| construct(&RoundRobin::new(), n, LayeredBoundOptions::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("strong-select", n), &n, |b, &n| {
+            b.iter(|| construct(&StrongSelect::new(), n, LayeredBoundOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    thm12::run(Scale::Quick).print();
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,64 @@
+//! Bench for Theorems 18/19: prints the Harmonic Broadcast table, then
+//! times executions under the three adversaries.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::experiments::thm19;
+use dualgraph_bench::workloads::Scale;
+use dualgraph_broadcast::algorithms::Harmonic;
+use dualgraph_broadcast::runner::{run_broadcast, RunConfig};
+use dualgraph_net::generators;
+use dualgraph_sim::{CollisionSeeker, RandomDelivery, ReliableOnly};
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm19_harmonic");
+    for n in [33usize, 65] {
+        let net = generators::layered_pairs(n);
+        group.bench_with_input(BenchmarkId::new("reliable-only", n), &n, |b, _| {
+            b.iter(|| {
+                run_broadcast(
+                    &net,
+                    &Harmonic::new(),
+                    Box::new(ReliableOnly::new()),
+                    RunConfig::default().with_max_rounds(10_000_000),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("collision-seeker", n), &n, |b, _| {
+            b.iter(|| {
+                run_broadcast(
+                    &net,
+                    &Harmonic::new(),
+                    Box::new(CollisionSeeker::new()),
+                    RunConfig::default().with_max_rounds(10_000_000),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("random(0.5)", n), &n, |b, _| {
+            b.iter(|| {
+                run_broadcast(
+                    &net,
+                    &Harmonic::new(),
+                    Box::new(RandomDelivery::new(0.5, 3)),
+                    RunConfig::default().with_max_rounds(10_000_000),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    thm19::run(Scale::Quick).print();
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,34 @@
+//! Bench for Theorem 2: prints the worst-case bridge table, then times the
+//! full bridge-assignment search.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::experiments::thm2;
+use dualgraph_bench::workloads::Scale;
+use dualgraph_broadcast::algorithms::{RoundRobin, StrongSelect};
+use dualgraph_broadcast::lower_bounds::clique_bridge::worst_case_bridge;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm2_clique_bridge");
+    for n in [17usize, 33] {
+        group.bench_with_input(BenchmarkId::new("round-robin", n), &n, |b, &n| {
+            b.iter(|| worst_case_bridge(&RoundRobin::new(), n, 100_000))
+        });
+        group.bench_with_input(BenchmarkId::new("strong-select", n), &n, |b, &n| {
+            b.iter(|| worst_case_bridge(&StrongSelect::new(), n, 1_000_000))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    thm2::run(Scale::Quick).print();
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

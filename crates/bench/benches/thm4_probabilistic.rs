@@ -1,0 +1,44 @@
+//! Bench for Theorem 4: prints the success-probability table, then times
+//! the Monte-Carlo estimator.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::experiments::thm4;
+use dualgraph_bench::workloads::Scale;
+use dualgraph_broadcast::algorithms::{Harmonic, Uniform};
+use dualgraph_broadcast::lower_bounds::clique_bridge::success_probability_within;
+use dualgraph_broadcast::runner::RunConfig;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm4_probabilistic");
+    let n = 16;
+    group.bench_function(BenchmarkId::new("harmonic", format!("n{n}k4")), |b| {
+        b.iter(|| {
+            success_probability_within(&Harmonic::new(), n, 4, 10, RunConfig::lower_bound_setting())
+        })
+    });
+    group.bench_function(BenchmarkId::new("uniform", format!("n{n}k4")), |b| {
+        b.iter(|| {
+            success_probability_within(
+                &Uniform::new(0.3),
+                n,
+                4,
+                10,
+                RunConfig::lower_bound_setting(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    thm4::run(Scale::Quick).print();
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,69 @@
+//! Experiment driver: prints every paper table and writes CSVs.
+//!
+//! ```text
+//! cargo run --release -p dualgraph-bench --bin experiments -- [--quick] [--table NAME] [--csv DIR]
+//! ```
+//!
+//! `NAME` is a csv-name prefix (e.g. `thm12`); omit for all experiments.
+
+use std::path::PathBuf;
+
+use dualgraph_bench::experiments;
+use dualgraph_bench::workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut filter: Option<String> = None;
+    let mut csv_dir: Option<PathBuf> = Some(PathBuf::from("results"));
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--table" => {
+                i += 1;
+                filter = Some(args.get(i).expect("--table needs a name").clone());
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(PathBuf::from(args.get(i).expect("--csv needs a dir")));
+            }
+            "--no-csv" => csv_dir = None,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: experiments [--quick] [--table NAME] [--csv DIR | --no-csv]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let selected: Vec<_> = experiments::all()
+        .into_iter()
+        .filter(|(name, _)| {
+            filter
+                .as_deref()
+                .is_none_or(|f| name.starts_with(f) || name.contains(f))
+        })
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no experiment matches the filter");
+        std::process::exit(2);
+    }
+    println!(
+        "dualgraph experiments — scale: {:?}, {} experiment(s)\n",
+        scale,
+        selected.len()
+    );
+    for (name, runner) in selected {
+        let start = std::time::Instant::now();
+        let table = runner(scale);
+        table.print();
+        println!("   [{name} took {:.1?}]\n", start.elapsed());
+        if let Some(dir) = &csv_dir {
+            if let Err(e) = table.write_csv(dir, name) {
+                eprintln!("warning: failed to write {name}.csv: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! §1/§8 — ETX-style link-quality estimation on gray-zone fields.
+//!
+//! Probes a two-radius geometric network under increasingly hostile link
+//! dynamics and reports precision/recall of the inferred reliable-link
+//! set — the "link quality assessment … to cull unreliable connections"
+//! practice the paper's introduction cites, and the topology-learning
+//! future work of its conclusion.
+
+use dualgraph_broadcast::link_estimation::{estimate_links, EstimationConfig};
+use dualgraph_net::generators;
+use dualgraph_sim::{Adversary, BurstyDelivery, RandomDelivery};
+
+use crate::report::Table;
+use crate::workloads::Scale;
+
+/// Runs the link-estimation experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Link estimation: ETX-style culling of gray-zone links",
+        "two-radius geometric field; classification threshold 0.75; \
+         high precision = unreliable links culled, recall = reliable links kept",
+        &[
+            "adversary",
+            "n",
+            "probing rounds",
+            "observed links",
+            "precision",
+            "recall",
+        ],
+    );
+    let (n, rounds) = match scale {
+        Scale::Quick => (60, 3_000),
+        Scale::Full => (120, 8_000),
+    };
+    let net = generators::geometric_dual(
+        generators::GeometricDualParams {
+            n,
+            reliable_radius: 0.16,
+            gray_radius: 0.32,
+        },
+        99,
+    );
+    let adversaries: Vec<(&str, Box<dyn Adversary>)> = vec![
+        ("random(0.2)", Box::new(RandomDelivery::new(0.2, 5))),
+        ("random(0.5)", Box::new(RandomDelivery::new(0.5, 5))),
+        ("bursty(calm)", Box::new(BurstyDelivery::new(0.05, 0.5, 5))),
+        ("bursty(stormy)", Box::new(BurstyDelivery::new(0.4, 0.2, 5))),
+    ];
+    for (name, adversary) in adversaries {
+        let (obs, pr) = estimate_links(
+            &net,
+            adversary,
+            EstimationConfig {
+                probe_probability: 0.02,
+                rounds,
+                threshold: 0.75,
+                min_samples: 8,
+                seed: 11,
+            },
+        );
+        table.row(vec![
+            name.to_string(),
+            n.to_string(),
+            rounds.to_string(),
+            obs.observed_links().to_string(),
+            format!("{:.3}", pr.precision()),
+            format!("{:.3}", pr.recall()),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,98 @@
+//! Lemmas 14/15 — busy rounds under wake-up patterns.
+//!
+//! For each `(n, T)`: the greedy prefix-busy pattern (the Lemma 14
+//! extremal shape) against the `n·T·H(n)` ceiling, alongside naive
+//! patterns and patterns extracted from real Harmonic executions.
+
+use dualgraph_broadcast::algorithms::Harmonic;
+use dualgraph_broadcast::analysis::{
+    greedy_prefix_busy_pattern, harmonic_number, lemma15_bound, WakeUpPattern,
+};
+use dualgraph_broadcast::runner::{run_broadcast, RunConfig};
+use dualgraph_net::generators;
+use dualgraph_sim::ReliableOnly;
+
+use crate::report::Table;
+use crate::workloads::Scale;
+
+/// Runs the Lemma 15 experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Lemma 15: busy rounds vs the n·T·H(n) ceiling",
+        "greedy = Lemma 14 extremal prefix-busy pattern; execution = wake-ups \
+         from a real Harmonic run; every count must stay below the ceiling",
+        &[
+            "pattern",
+            "n",
+            "T",
+            "busy rounds",
+            "n·T·H(n)",
+            "ratio",
+            "prefix-busy?",
+        ],
+    );
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![8, 16, 32],
+        Scale::Full => vec![8, 16, 32, 64, 128],
+    };
+    for &n in &sizes {
+        for t in [2u64, 4, 8] {
+            let bound = lemma15_bound(n, t);
+            let greedy = greedy_prefix_busy_pattern(n, t);
+            let busy = greedy.total_busy_rounds(t);
+            assert!(
+                (busy as f64) <= bound,
+                "Lemma 15 violated: n={n} T={t} busy={busy} bound={bound}"
+            );
+            table.row(vec![
+                "greedy".into(),
+                n.to_string(),
+                t.to_string(),
+                busy.to_string(),
+                format!("{bound:.0}"),
+                format!("{:.2}", busy as f64 / bound),
+                greedy.is_prefix_busy(t).to_string(),
+            ]);
+
+            let at_once = WakeUpPattern::all_at_once(n);
+            let busy = at_once.total_busy_rounds(t);
+            table.row(vec![
+                "all-at-once".into(),
+                n.to_string(),
+                t.to_string(),
+                busy.to_string(),
+                format!("{bound:.0}"),
+                format!("{:.2}", busy as f64 / bound),
+                at_once.is_prefix_busy(t).to_string(),
+            ]);
+        }
+        // A pattern harvested from a real execution (T = the algorithm's).
+        let net = generators::line(n.max(2), 2);
+        let outcome = run_broadcast(
+            &net,
+            &Harmonic::with_period(4),
+            Box::new(ReliableOnly::new()),
+            RunConfig::default().with_max_rounds(2_000_000),
+        )
+        .expect("harmonic run");
+        if outcome.completed {
+            let pattern =
+                WakeUpPattern::from_first_receive(&outcome.first_receive).expect("pattern");
+            let busy = pattern.total_busy_rounds(4);
+            let bound = lemma15_bound(pattern.len(), 4);
+            assert!((busy as f64) <= bound);
+            table.row(vec![
+                "execution".into(),
+                pattern.len().to_string(),
+                "4".into(),
+                busy.to_string(),
+                format!("{bound:.0}"),
+                format!("{:.2}", busy as f64 / bound),
+                pattern.is_prefix_busy(4).to_string(),
+            ]);
+        }
+    }
+    // Context row: H(n) values so the ceiling is interpretable.
+    let _ = harmonic_number(sizes[sizes.len() - 1]);
+    table
+}

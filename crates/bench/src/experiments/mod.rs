@@ -1,0 +1,53 @@
+//! One module per paper artifact; each builds printable [`Table`]s.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`t1`] | Table 1 — deterministic broadcast bounds |
+//! | [`t2`] | Table 2 — randomized broadcast bounds |
+//! | [`thm2`] | Theorem 2 — `Ω(n)` on 2-broadcastable networks |
+//! | [`thm4`] | Theorem 4 — `k/(n−2)` success-probability ceiling |
+//! | [`thm10`] | Theorem 10 — Strong Select `O(n^{3/2}√log n)` |
+//! | [`thm12`] | Theorem 12 — `Ω(n log n)` candidate-set construction |
+//! | [`thm19`] | Theorems 18/19 — Harmonic `O(n log² n)` w.h.p. |
+//! | [`lemma15`] | Lemmas 14/15 — busy-round bound `n·T·H(n)` |
+//! | [`ssf`] | Theorem 7 & §5 note — SSF sizes |
+//! | [`lemma1`] | Lemma 1 — explicit-interference simulation |
+//! | [`etx`] | §1/§8 — ETX-style link estimation |
+//!
+//! [`Table`]: crate::report::Table
+
+pub mod ablation;
+pub mod etx;
+pub mod lemma1;
+pub mod lemma15;
+pub mod repeated;
+pub mod ssf;
+pub mod t1;
+pub mod t2;
+pub mod thm10;
+pub mod thm12;
+pub mod thm19;
+pub mod thm2;
+pub mod thm4;
+
+use crate::report::Table;
+use crate::workloads::Scale;
+
+/// All experiments, in presentation order: `(csv-name, runner)`.
+pub fn all() -> Vec<(&'static str, fn(Scale) -> Table)> {
+    vec![
+        ("t1_deterministic", t1::run),
+        ("t2_randomized", t2::run),
+        ("thm2_clique_bridge", thm2::run),
+        ("thm4_probabilistic", thm4::run),
+        ("thm10_strong_select", thm10::run),
+        ("thm12_layered", thm12::run),
+        ("thm19_harmonic", thm19::run),
+        ("lemma15_busy_rounds", lemma15::run),
+        ("ssf_sizes", ssf::run),
+        ("lemma1_interference", lemma1::run),
+        ("etx_link_estimation", etx::run),
+        ("ablation_participation", ablation::run),
+        ("repeated_broadcast", repeated::run),
+    ]
+}

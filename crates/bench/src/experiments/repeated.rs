@@ -1,0 +1,81 @@
+//! §8 future work — repeated broadcast with topology learning.
+//!
+//! Streams `R` messages through the network: obliviously (Harmonic per
+//! message) vs learn-then-schedule (probe once, then pump messages through
+//! a collision-free schedule on the learned reliable graph). The table
+//! shows the crossover in `R` where the one-time probing cost amortizes.
+
+use dualgraph_broadcast::link_estimation::EstimationConfig;
+use dualgraph_broadcast::repeated::{compare_repeated, RepeatedConfig};
+use dualgraph_net::generators;
+use dualgraph_sim::{Adversary, BurstyDelivery, ReliableOnly};
+
+use crate::report::Table;
+use crate::workloads::Scale;
+
+/// Runs the repeated-broadcast experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Repeated broadcast: oblivious Harmonic vs topology learning (§8)",
+        "learning = one probing phase + per-message collision-free schedule, \
+         Harmonic fallback on stalls; advantage/msg > 0 once probing amortizes",
+        &[
+            "adversary",
+            "n",
+            "messages",
+            "oblivious total",
+            "probe",
+            "learning bcast",
+            "schedule len",
+            "fallbacks",
+            "advantage/msg",
+        ],
+    );
+    let n = match scale {
+        Scale::Quick => 21,
+        Scale::Full => 41,
+    };
+    let net = generators::layered_pairs(n);
+    let adversaries: Vec<(&str, fn(u64) -> Box<dyn Adversary>)> = vec![
+        ("reliable-only", |_| Box::new(ReliableOnly::new())),
+        ("bursty(calm)", |s| {
+            Box::new(BurstyDelivery::new(0.05, 0.5, s))
+        }),
+    ];
+    let message_counts: Vec<u64> = match scale {
+        Scale::Quick => vec![1, 5, 20],
+        Scale::Full => vec![1, 5, 20, 100],
+    };
+    for (adv_name, make_adv) in adversaries {
+        for &messages in &message_counts {
+            let result = compare_repeated(
+                &net,
+                make_adv,
+                RepeatedConfig {
+                    messages,
+                    probe: EstimationConfig {
+                        probe_probability: 0.02,
+                        rounds: 2_000,
+                        threshold: 0.5,
+                        min_samples: 5,
+                        seed: 3,
+                    },
+                    max_rounds_per_broadcast: 10_000_000,
+                    seed: 5,
+                },
+            );
+            table.row(vec![
+                adv_name.to_string(),
+                n.to_string(),
+                messages.to_string(),
+                result.oblivious_rounds.to_string(),
+                result.probe_rounds.to_string(),
+                result.learning_rounds.to_string(),
+                result.schedule_len.to_string(),
+                result.fallbacks.to_string(),
+                format!("{:.0}", result.advantage_per_message()),
+            ]);
+        }
+    }
+    table
+}

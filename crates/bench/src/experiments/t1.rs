@@ -1,0 +1,82 @@
+//! Table 1 — deterministic broadcast: classical vs dual graphs.
+//!
+//! Paper row (SS + U): classical `O(n)` / `Ω(n)` vs dual graphs
+//! `O(n^{3/2}√log n)` / `Ω(n log n)`. We measure round robin (the
+//! classical `O(n)`-matching baseline at constant diameter) and Strong
+//! Select in both worlds; the dual-graph column uses the Theorem 12
+//! worst-case constructor, i.e. a genuine adversarial execution.
+//!
+//! Expected shape: classical columns grow ≈ linearly; the dual columns sit
+//! above `n log₂ n`; Strong Select's dual column stays under
+//! `n^{3/2}√log₂ n` while round robin (oblivious) blows up toward `n²`.
+
+use dualgraph_broadcast::algorithms::{RoundRobin, StrongSelect};
+use dualgraph_broadcast::lower_bounds::layered::{construct, LayeredBoundOptions};
+use dualgraph_broadcast::runner::{run_broadcast, RunConfig};
+use dualgraph_net::generators;
+use dualgraph_sim::ReliableOnly;
+
+use crate::report::Table;
+use crate::workloads::Scale;
+
+/// Runs the Table 1 experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Table 1 (deterministic): classical model vs dual graphs",
+        "classical = G-only, benign adversary; dual = Theorem 12 worst-case execution; \
+         paper: classical Θ(n), dual between Ω(n log n) and O(n^1.5 √log n)",
+        &[
+            "n",
+            "RR classical",
+            "SS classical",
+            "RR dual (thm12)",
+            "SS dual (thm12)",
+            "n",
+            "n·log2(n)",
+            "n^1.5·√log2(n)",
+        ],
+    );
+    for n in scale.thm12_sizes() {
+        let n = if n % 2 == 0 { n + 1 } else { n };
+        // Classical: the layered topology with G' = G (benign adversary on
+        // the dual graph is exactly the classical model).
+        let net = generators::layered_pairs(n);
+        let rr_classical = run_broadcast(
+            &net,
+            &RoundRobin::new(),
+            Box::new(ReliableOnly::new()),
+            RunConfig::lower_bound_setting().with_max_rounds(100_000_000),
+        )
+        .expect("rr classical")
+        .completion_round
+        .expect("rr completes");
+        let ss_classical = run_broadcast(
+            &net,
+            &StrongSelect::new(),
+            Box::new(ReliableOnly::new()),
+            RunConfig::lower_bound_setting().with_max_rounds(100_000_000),
+        )
+        .expect("ss classical")
+        .completion_round
+        .expect("ss completes");
+        // Dual worst case: the Theorem 12 execution.
+        let rr_dual = construct(&RoundRobin::new(), n, LayeredBoundOptions::default())
+            .expect("thm12 rr")
+            .rounds;
+        let ss_dual = construct(&StrongSelect::new(), n, LayeredBoundOptions::default())
+            .expect("thm12 ss")
+            .rounds;
+        let nf = n as f64;
+        table.row(vec![
+            n.to_string(),
+            rr_classical.to_string(),
+            ss_classical.to_string(),
+            rr_dual.to_string(),
+            ss_dual.to_string(),
+            n.to_string(),
+            format!("{:.0}", nf * nf.log2()),
+            format!("{:.0}", nf.powf(1.5) * nf.log2().sqrt()),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,115 @@
+//! Table 2 — randomized broadcast: classical vs dual graphs.
+//!
+//! Paper row: classical `Θ(D log(n/D) + log² n)` (Decay-style algorithms)
+//! vs dual graphs `O(n log² n)` (Harmonic) with the `Ω(n)` constant-
+//! diameter lower bound of Theorem 4.
+//!
+//! Expected shape: on the **classical** layered network Decay wins (its
+//! phase structure is tuned to static contention). Under the dual-graph
+//! **collision-seeker** adversary Decay degrades badly — the adversary
+//! re-inflates contention faster than phases decay — while Harmonic's
+//! free-round structure keeps it near `n log² n`.
+
+use dualgraph_broadcast::algorithms::{Decay, Harmonic};
+use dualgraph_broadcast::runner::{run_trials, RunConfig};
+use dualgraph_broadcast::stats::Summary;
+use dualgraph_net::generators;
+use dualgraph_sim::{Adversary, CollisionSeeker, ReliableOnly};
+
+use crate::report::Table;
+use crate::workloads::Scale;
+
+fn median_rounds(
+    net: &dualgraph_net::DualGraph,
+    algo: &dyn dualgraph_broadcast::algorithms::BroadcastAlgorithm,
+    adversary: fn(u64) -> Box<dyn Adversary>,
+    trials: u64,
+    max_rounds: u64,
+) -> (String, u64) {
+    let outcomes = run_trials(
+        net,
+        algo,
+        adversary,
+        RunConfig::default().with_max_rounds(max_rounds),
+        trials,
+    )
+    .expect("trials");
+    let finished: Vec<u64> = outcomes
+        .iter()
+        .filter_map(|o| o.completion_round)
+        .collect();
+    let dnf = outcomes.len() - finished.len();
+    if finished.is_empty() {
+        (format!("DNF>{max_rounds}"), max_rounds)
+    } else {
+        let med = Summary::of_u64(&finished).median as u64;
+        if dnf > 0 {
+            (format!("{med} ({dnf} DNF)"), med)
+        } else {
+            (med.to_string(), med)
+        }
+    }
+}
+
+/// Runs the Table 2 experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Table 2 (randomized): classical model vs dual graphs",
+        "median completion rounds; classical = benign adversary, dual = collision-seeker; \
+         paper: classical O(D log(n/D) + log^2 n), dual O(n log^2 n) via Harmonic",
+        &[
+            "n",
+            "Decay classical",
+            "Harmonic classical",
+            "Decay dual",
+            "Harmonic dual",
+            "n·log2^2(n)",
+        ],
+    );
+    let trials = scale.trials().min(5);
+    for n in scale.sizes() {
+        let n = if n % 2 == 0 { n + 1 } else { n };
+        let net = generators::layered_pairs(n);
+        // Budget ≈ 8·n²: far above n·log²n (so Harmonic never trips it)
+        // while keeping Decay's DNF arm affordable at the largest sizes.
+        let budget = (n as u64).pow(2) * 8;
+        let (decay_classical, _) = median_rounds(
+            &net,
+            &Decay::new(),
+            |_| Box::new(ReliableOnly::new()),
+            trials,
+            budget,
+        );
+        let (harmonic_classical, _) = median_rounds(
+            &net,
+            &Harmonic::new(),
+            |_| Box::new(ReliableOnly::new()),
+            trials,
+            budget,
+        );
+        let (decay_dual, _) = median_rounds(
+            &net,
+            &Decay::new(),
+            |_| Box::new(CollisionSeeker::new()),
+            trials,
+            budget,
+        );
+        let (harmonic_dual, _) = median_rounds(
+            &net,
+            &Harmonic::new(),
+            |_| Box::new(CollisionSeeker::new()),
+            trials,
+            budget,
+        );
+        let nf = n as f64;
+        table.row(vec![
+            n.to_string(),
+            decay_classical,
+            harmonic_classical,
+            decay_dual,
+            harmonic_dual,
+            format!("{:.0}", nf * nf.log2() * nf.log2()),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,63 @@
+//! Theorem 12 — the `Ω(n log n)` construction, measured.
+//!
+//! Runs the candidate-set constructor against round robin (oblivious: the
+//! adversary extracts ≈ n²) and Strong Select (adaptive: stays closer to
+//! the floor). Every measured value must exceed the proof's floor
+//! `(n−1)/4 · (log₂(n−1) − 2)`.
+
+use dualgraph_broadcast::algorithms::{BroadcastAlgorithm, RoundRobin, StrongSelect};
+use dualgraph_broadcast::lower_bounds::layered::{construct, LayeredBoundOptions};
+use dualgraph_broadcast::stats::log_log_slope;
+
+use crate::report::Table;
+use crate::workloads::Scale;
+
+/// Runs the Theorem 12 experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Theorem 12: Ω(n log n) adversarial execution length",
+        "undirected layered network, CR1 + synchronous start; \
+         floor = (n−1)/4 · (log2(n−1) − 2); rounds must exceed it for every algorithm",
+        &[
+            "algorithm",
+            "n",
+            "rounds",
+            "floor",
+            "n·log2(n)",
+            "rounds/(n·log2 n)",
+            "series slope",
+        ],
+    );
+    for algo in [
+        &RoundRobin::new() as &dyn BroadcastAlgorithm,
+        &StrongSelect::new(),
+    ] {
+        let mut points = Vec::new();
+        let mut rows = Vec::new();
+        for n in scale.thm12_sizes() {
+            let n = if n % 2 == 0 { n + 1 } else { n };
+            let result = construct(algo, n, LayeredBoundOptions::default()).expect("construct");
+            assert!(
+                result.rounds >= result.predicted_floor(),
+                "floor violated for {} at n={n}",
+                algo.name()
+            );
+            let nf = n as f64;
+            points.push((nf, result.rounds.max(1) as f64));
+            rows.push((n, result.rounds, result.predicted_floor(), nf * nf.log2()));
+        }
+        let slope = log_log_slope(&points);
+        for (n, rounds, floor, nlogn) in rows {
+            table.row(vec![
+                algo.name(),
+                n.to_string(),
+                rounds.to_string(),
+                floor.to_string(),
+                format!("{nlogn:.0}"),
+                format!("{:.2}", rounds as f64 / nlogn),
+                format!("{slope:.2}"),
+            ]);
+        }
+    }
+    table
+}

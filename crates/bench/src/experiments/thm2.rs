@@ -1,0 +1,45 @@
+//! Theorem 2 — the `Ω(n)` deterministic bound on a 2-broadcastable
+//! network.
+//!
+//! For each `n`, the harness tries every bridge assignment and reports the
+//! adversary's best (the algorithm's worst). The paper proves the worst
+//! case exceeds `n−3` for every deterministic algorithm; round robin hits
+//! exactly `n−1`.
+
+use dualgraph_broadcast::algorithms::{BroadcastAlgorithm, RoundRobin, StrongSelect};
+use dualgraph_broadcast::lower_bounds::clique_bridge::worst_case_bridge;
+
+use crate::report::Table;
+use crate::workloads::Scale;
+
+/// Runs the Theorem 2 experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Theorem 2: worst-case bridge assignment on the clique-bridge gadget",
+        "CR1 + synchronous start; paper: every deterministic algorithm needs > n−3 rounds",
+        &["n", "algorithm", "worst bridge id", "rounds", "bound n−3"],
+    );
+    for n in scale.sizes() {
+        for algo in [
+            &RoundRobin::new() as &dyn BroadcastAlgorithm,
+            &StrongSelect::new(),
+        ] {
+            let budget = (n as u64).pow(2) * 200;
+            let result = worst_case_bridge(algo, n, budget);
+            let rounds = result.worst_rounds_or(budget);
+            assert!(
+                rounds as usize > n - 3,
+                "Theorem 2 violated: {} at n={n} took {rounds}",
+                algo.name()
+            );
+            table.row(vec![
+                n.to_string(),
+                algo.name(),
+                result.worst.0 .0.to_string(),
+                rounds.to_string(),
+                (n - 3).to_string(),
+            ]);
+        }
+    }
+    table
+}

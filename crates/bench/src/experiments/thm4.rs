@@ -1,0 +1,54 @@
+//! Theorem 4 — the `k/(n−2)` success-probability ceiling.
+//!
+//! Monte-Carlo estimate of `P(broadcast completes within k rounds)` on the
+//! clique-bridge gadget, minimized over the adversary's bridge choice.
+//! The paper proves no algorithm beats `k/(n−2)` for `1 ≤ k ≤ n−3`; the
+//! measured minima should sit at or below the ceiling (up to sampling
+//! noise).
+
+use dualgraph_broadcast::algorithms::{BroadcastAlgorithm, Harmonic, Uniform};
+use dualgraph_broadcast::lower_bounds::clique_bridge::success_probability_within;
+use dualgraph_broadcast::runner::RunConfig;
+
+use crate::report::Table;
+use crate::workloads::Scale;
+
+/// Runs the Theorem 4 experiment.
+pub fn run(scale: Scale) -> Table {
+    let n = match scale {
+        Scale::Quick => 16,
+        Scale::Full => 32,
+    };
+    let trials = scale.trials() * 2;
+    let mut table = Table::new(
+        format!("Theorem 4: success probability within k rounds (n = {n})"),
+        "clique-bridge gadget, minimum over bridge assignments; \
+         paper ceiling: k/(n−2)",
+        &["k", "algorithm", "min success", "ceiling k/(n-2)"],
+    );
+    let ks: Vec<u64> = vec![1, (n / 8) as u64, (n / 4) as u64, (n / 2) as u64, (n - 3) as u64];
+    for k in ks {
+        if k == 0 {
+            continue;
+        }
+        for algo in [
+            &Harmonic::new() as &dyn BroadcastAlgorithm,
+            &Uniform::new(0.3),
+        ] {
+            let r = success_probability_within(
+                algo,
+                n,
+                k,
+                trials,
+                RunConfig::lower_bound_setting(),
+            );
+            table.row(vec![
+                k.to_string(),
+                algo.name(),
+                format!("{:.3}", r.min_success),
+                format!("{:.3}", r.bound),
+            ]);
+        }
+    }
+    table
+}

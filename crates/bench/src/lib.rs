@@ -1,0 +1,13 @@
+//! # dualgraph-bench
+//!
+//! The experiment harness that regenerates every table and theorem-shape
+//! of the PODC 2010 dual-graph broadcast paper. Each paper artifact has a
+//! module under [`experiments`]; the `experiments` binary prints the full
+//! suite and writes CSVs, while the criterion benches under `benches/`
+//! time representative units.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;

@@ -1,0 +1,205 @@
+//! The *Decay* baseline (Bar-Yehuda, Goldreich, Itai 1987).
+//!
+//! The classical randomized broadcast primitive for static radio networks:
+//! informed nodes repeat phases of `⌈log₂ n⌉` rounds, transmitting with
+//! probability `2^{−j}` in the `j`-th round of each phase (`j = 0, 1, …`).
+//! Each phase "decays" through all contention scales, so whatever the local
+//! neighborhood size, some round of the phase isolates a sender with
+//! constant probability — in the **reliable** model.
+//!
+//! In the dual graph model the guarantee evaporates: the adversary can
+//! re-inflate contention with unreliable deliveries faster than a phase
+//! decays. Decay is included as the Table 2 classical-column baseline that
+//! Harmonic Broadcast is measured against.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dualgraph_sim::rng::derive_seed;
+use dualgraph_sim::{ActivationCause, Message, PayloadId, Process, ProcessId, Reception};
+
+use super::BroadcastAlgorithm;
+
+/// Factory for [`DecayProcess`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Decay;
+
+impl Decay {
+    /// Creates the Decay algorithm.
+    pub fn new() -> Self {
+        Decay
+    }
+}
+
+impl BroadcastAlgorithm for Decay {
+    fn name(&self) -> String {
+        "decay".into()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+
+    fn processes(&self, n: usize, seed: u64) -> Vec<Box<dyn Process>> {
+        let phase = (n.max(2) as f64).log2().ceil() as u64;
+        (0..n)
+            .map(|i| {
+                Box::new(DecayProcess::new(
+                    ProcessId::from_index(i),
+                    phase,
+                    derive_seed(seed, i as u64),
+                )) as Box<dyn Process>
+            })
+            .collect()
+    }
+}
+
+/// The Decay automaton.
+#[derive(Debug, Clone)]
+pub struct DecayProcess {
+    id: ProcessId,
+    phase_len: u64,
+    rng: SmallRng,
+    payload: Option<PayloadId>,
+    active_rounds: u64,
+}
+
+impl DecayProcess {
+    /// Creates the automaton with phase length `⌈log₂ n⌉` and a private
+    /// RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase_len == 0`.
+    pub fn new(id: ProcessId, phase_len: u64, seed: u64) -> Self {
+        assert!(phase_len >= 1, "phase length must be at least 1");
+        DecayProcess {
+            id,
+            phase_len,
+            rng: SmallRng::seed_from_u64(seed),
+            payload: None,
+            active_rounds: 0,
+        }
+    }
+
+    /// Transmit probability for the `j`-th active round (`j ≥ 1`):
+    /// `2^{−((j−1) mod phase_len)}`.
+    pub fn probability(&self, j: u64) -> f64 {
+        assert!(j >= 1);
+        0.5f64.powi(((j - 1) % self.phase_len) as i32)
+    }
+}
+
+impl Process for DecayProcess {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        if let Some(m) = cause.message() {
+            if m.payload.is_some() {
+                self.payload = m.payload;
+            }
+        }
+    }
+
+    fn transmit(&mut self, _local_round: u64) -> Option<Message> {
+        let payload = self.payload?;
+        self.active_rounds += 1;
+        let p = self.probability(self.active_rounds);
+        self.rng
+            .gen_bool(p)
+            .then(|| Message::with_payload(self.id, payload))
+    }
+
+    fn receive(&mut self, _local_round: u64, reception: Reception) {
+        if self.payload.is_none() {
+            if let Some(p) = reception.message().and_then(|m| m.payload) {
+                self.payload = Some(p);
+                self.active_rounds = 0;
+            }
+        }
+    }
+
+    fn has_payload(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::run;
+    use super::*;
+    use dualgraph_net::generators;
+    use dualgraph_sim::{CollisionRule, ReliableOnly, StartRule};
+
+    #[test]
+    fn probability_decays_within_phase_and_resets() {
+        let p = DecayProcess::new(ProcessId(0), 4, 1);
+        assert_eq!(p.probability(1), 1.0);
+        assert_eq!(p.probability(2), 0.5);
+        assert_eq!(p.probability(3), 0.25);
+        assert_eq!(p.probability(4), 0.125);
+        assert_eq!(p.probability(5), 1.0); // new phase
+    }
+
+    #[test]
+    fn first_round_of_phase_always_transmits() {
+        let mut p = DecayProcess::new(ProcessId(0), 3, 2);
+        p.on_activate(ActivationCause::Input(Message::with_payload(
+            ProcessId(0),
+            PayloadId(0),
+        )));
+        assert!(p.transmit(1).is_some());
+    }
+
+    #[test]
+    fn uninformed_is_silent() {
+        let mut p = DecayProcess::new(ProcessId(0), 3, 2);
+        p.on_activate(ActivationCause::SynchronousStart);
+        for j in 1..20 {
+            assert_eq!(p.transmit(j), None);
+        }
+    }
+
+    #[test]
+    fn completes_classical_line() {
+        let n = 24;
+        let net = generators::line(n, 1);
+        let outcome = run(
+            &net,
+            Decay::new().processes(n, 5),
+            Box::new(ReliableOnly::new()),
+            CollisionRule::Cr3,
+            StartRule::Asynchronous,
+            200_000,
+        );
+        assert!(outcome.completed, "rounds={}", outcome.rounds_executed);
+    }
+
+    #[test]
+    fn completes_classical_layered_graph() {
+        let net = generators::layered_widths(&[4, 4, 4, 4]);
+        // Classicalize: benign adversary means G' edges are never used.
+        let outcome = run(
+            &net,
+            Decay::new().processes(net.len(), 9),
+            Box::new(ReliableOnly::new()),
+            CollisionRule::Cr3,
+            StartRule::Asynchronous,
+            200_000,
+        );
+        assert!(outcome.completed);
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(Decay::new().name(), "decay");
+        assert!(!Decay::new().is_deterministic());
+        assert_eq!(Decay::new().processes(5, 0).len(), 5);
+    }
+}

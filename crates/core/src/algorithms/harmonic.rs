@@ -1,0 +1,370 @@
+//! **Harmonic Broadcast** — the paper's randomized `O(n log² n)` algorithm
+//! (§7).
+//!
+//! A node that first receives the message in round `t_v` transmits in every
+//! later round `t` with probability
+//!
+//! `p_v(t) = 1 / (1 + ⌊(t − t_v − 1) / T⌋)`,
+//!
+//! i.e. probability 1 for its first `T` active rounds, then 1/2 for `T`
+//! rounds, then 1/3, … . With `T = ⌈12 ln(n/ε)⌉`, Theorem 18 shows all
+//! nodes receive the message within `2 n T H(n)` rounds with probability at
+//! least `1 − ε`; `ε = n^{−Θ(1)}` gives the headline `O(n log² n)` bound
+//! (Theorem 19).
+//!
+//! The probabilities depend only on the node's *local* round count, so the
+//! algorithm runs unchanged under asynchronous start and CR4 — the paper's
+//! weakest assumptions.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dualgraph_sim::rng::derive_seed;
+use dualgraph_sim::{ActivationCause, Message, PayloadId, Process, ProcessId, Reception};
+
+use super::BroadcastAlgorithm;
+
+/// Computes the paper's period parameter `T = ⌈12 ln(n/ε)⌉`.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not in `(0, 1)` or `n == 0`.
+pub fn period_for(n: usize, epsilon: f64) -> u64 {
+    assert!(n > 0, "period_for requires n > 0");
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon must lie in (0, 1)"
+    );
+    (12.0 * (n as f64 / epsilon).ln()).ceil().max(1.0) as u64
+}
+
+/// Factory for [`HarmonicProcess`].
+#[derive(Debug, Clone, Copy)]
+pub struct Harmonic {
+    /// The period `T` (how many rounds each probability level lasts).
+    period: Option<u64>,
+    /// Failure budget used when `period` is derived from `n`.
+    epsilon: f64,
+}
+
+impl Harmonic {
+    /// Harmonic Broadcast with `T = ⌈12 ln(n/ε)⌉`, `ε = 1/n` — the
+    /// Theorem 19 high-probability setting.
+    pub fn new() -> Self {
+        Harmonic {
+            period: None,
+            epsilon: f64::NAN, // sentinel: epsilon = 1/n at build time
+        }
+    }
+
+    /// Harmonic Broadcast with an explicit failure budget `ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must lie in (0, 1)"
+        );
+        Harmonic {
+            period: None,
+            epsilon,
+        }
+    }
+
+    /// Harmonic Broadcast with an explicit period `T ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn with_period(period: u64) -> Self {
+        assert!(period >= 1, "period must be at least 1");
+        Harmonic {
+            period: Some(period),
+            epsilon: f64::NAN,
+        }
+    }
+
+    fn period_for_n(&self, n: usize) -> u64 {
+        if let Some(t) = self.period {
+            return t;
+        }
+        let eps = if self.epsilon.is_nan() {
+            1.0 / n.max(2) as f64
+        } else {
+            self.epsilon
+        };
+        period_for(n, eps)
+    }
+}
+
+impl Default for Harmonic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BroadcastAlgorithm for Harmonic {
+    fn name(&self) -> String {
+        "harmonic".into()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+
+    fn processes(&self, n: usize, seed: u64) -> Vec<Box<dyn Process>> {
+        let t = self.period_for_n(n);
+        (0..n)
+            .map(|i| {
+                Box::new(HarmonicProcess::new(
+                    ProcessId::from_index(i),
+                    t,
+                    derive_seed(seed, i as u64),
+                )) as Box<dyn Process>
+            })
+            .collect()
+    }
+}
+
+/// The Harmonic Broadcast automaton.
+#[derive(Debug, Clone)]
+pub struct HarmonicProcess {
+    id: ProcessId,
+    period: u64,
+    rng: SmallRng,
+    payload: Option<PayloadId>,
+    /// Local rounds elapsed since the payload arrived (the first transmit
+    /// opportunity has `since = 1`).
+    active_rounds: u64,
+}
+
+impl HarmonicProcess {
+    /// Creates the automaton with period `T` and its private RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(id: ProcessId, period: u64, seed: u64) -> Self {
+        assert!(period >= 1, "period must be at least 1");
+        HarmonicProcess {
+            id,
+            period,
+            rng: SmallRng::seed_from_u64(seed),
+            payload: None,
+            active_rounds: 0,
+        }
+    }
+
+    /// The transmit probability for the `j`-th round after receipt
+    /// (`j ≥ 1`): `1 / (1 + ⌊(j−1)/T⌋)`.
+    pub fn probability(&self, j: u64) -> f64 {
+        assert!(j >= 1);
+        1.0 / (1.0 + ((j - 1) / self.period) as f64)
+    }
+}
+
+impl Process for HarmonicProcess {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        if let Some(m) = cause.message() {
+            if m.payload.is_some() {
+                self.payload = m.payload;
+            }
+        }
+    }
+
+    fn transmit(&mut self, _local_round: u64) -> Option<Message> {
+        let payload = self.payload?;
+        self.active_rounds += 1;
+        let p = self.probability(self.active_rounds);
+        self.rng
+            .gen_bool(p)
+            .then(|| Message::with_payload(self.id, payload))
+    }
+
+    fn receive(&mut self, _local_round: u64, reception: Reception) {
+        if self.payload.is_none() {
+            if let Some(p) = reception.message().and_then(|m| m.payload) {
+                self.payload = Some(p);
+                self.active_rounds = 0;
+            }
+        }
+    }
+
+    fn has_payload(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::run;
+    use super::*;
+    use dualgraph_net::generators;
+    use dualgraph_sim::{CollisionRule, RandomDelivery, ReliableOnly, StartRule};
+
+    #[test]
+    fn period_formula() {
+        // T = ceil(12 ln(n/eps)).
+        assert_eq!(period_for(16, 1.0 / 16.0), (12.0f64 * (256.0f64).ln()).ceil() as u64);
+        assert!(period_for(2, 0.5) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        period_for(4, 1.5);
+    }
+
+    #[test]
+    fn probability_schedule_matches_paper() {
+        let p = HarmonicProcess::new(ProcessId(0), 3, 1);
+        // T = 3: rounds 1-3 at 1, 4-6 at 1/2, 7-9 at 1/3, ...
+        for j in 1..=3 {
+            assert_eq!(p.probability(j), 1.0);
+        }
+        for j in 4..=6 {
+            assert_eq!(p.probability(j), 0.5);
+        }
+        for j in 7..=9 {
+            assert!((p.probability(j) - 1.0 / 3.0).abs() < 1e-12);
+        }
+        assert!((p.probability(31) - 1.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_is_nonincreasing() {
+        let p = HarmonicProcess::new(ProcessId(0), 5, 1);
+        let mut prev = f64::INFINITY;
+        for j in 1..200 {
+            let cur = p.probability(j);
+            assert!(cur <= prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn first_period_transmits_always() {
+        let mut p = HarmonicProcess::new(ProcessId(1), 4, 9);
+        p.on_activate(ActivationCause::Reception(Message::with_payload(
+            ProcessId(0),
+            PayloadId(0),
+        )));
+        for local in 1..=4 {
+            assert!(p.transmit(local).is_some(), "round {local}");
+        }
+    }
+
+    #[test]
+    fn uninformed_process_is_silent() {
+        let mut p = HarmonicProcess::new(ProcessId(1), 4, 9);
+        p.on_activate(ActivationCause::SynchronousStart);
+        for local in 1..50 {
+            assert_eq!(p.transmit(local), None);
+        }
+    }
+
+    #[test]
+    fn completes_line_with_high_probability_budget() {
+        let n = 24;
+        let net = generators::line(n, 1);
+        let outcome = run(
+            &net,
+            Harmonic::new().processes(n, 7),
+            Box::new(ReliableOnly::new()),
+            CollisionRule::Cr4,
+            StartRule::Asynchronous,
+            500_000,
+        );
+        assert!(outcome.completed, "rounds={}", outcome.rounds_executed);
+    }
+
+    #[test]
+    fn completes_dual_graph_with_random_adversary() {
+        let net = generators::er_dual(
+            generators::ErDualParams {
+                n: 32,
+                reliable_p: 0.1,
+                unreliable_p: 0.2,
+            },
+            11,
+        );
+        let outcome = run(
+            &net,
+            Harmonic::new().processes(32, 3),
+            Box::new(RandomDelivery::new(0.4, 5)),
+            CollisionRule::Cr4,
+            StartRule::Asynchronous,
+            500_000,
+        );
+        assert!(outcome.completed);
+    }
+
+    #[test]
+    fn different_seeds_give_different_executions() {
+        // Short period so the probabilities decay (and the RNG matters)
+        // well before the broadcast completes.
+        let net = generators::line(16, 1);
+        let algo = Harmonic::with_period(2);
+        let a = run(
+            &net,
+            algo.processes(16, 1),
+            Box::new(ReliableOnly::new()),
+            CollisionRule::Cr4,
+            StartRule::Asynchronous,
+            100_000,
+        );
+        let b = run(
+            &net,
+            algo.processes(16, 2),
+            Box::new(ReliableOnly::new()),
+            CollisionRule::Cr4,
+            StartRule::Asynchronous,
+            100_000,
+        );
+        assert!(a.completed && b.completed);
+        assert_ne!(
+            (a.sends, a.completion_round),
+            (b.sends, b.completion_round)
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let net = generators::line(12, 2);
+        let a = run(
+            &net,
+            Harmonic::new().processes(12, 5),
+            Box::new(RandomDelivery::new(0.5, 9)),
+            CollisionRule::Cr4,
+            StartRule::Asynchronous,
+            200_000,
+        );
+        let b = run(
+            &net,
+            Harmonic::new().processes(12, 5),
+            Box::new(RandomDelivery::new(0.5, 9)),
+            CollisionRule::Cr4,
+            StartRule::Asynchronous,
+            200_000,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(Harmonic::new().name(), "harmonic");
+        assert!(!Harmonic::new().is_deterministic());
+        assert_eq!(Harmonic::with_period(5).period_for_n(100), 5);
+        assert!(Harmonic::with_epsilon(0.1).period_for_n(100) > 0);
+    }
+}

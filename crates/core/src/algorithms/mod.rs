@@ -1,0 +1,78 @@
+//! Broadcast algorithms for the dual graph model.
+//!
+//! Each algorithm is a factory ([`BroadcastAlgorithm`]) producing one
+//! [`Process`] per identifier. The paper's two contributions are
+//! [`StrongSelect`] (§5, deterministic, `O(n^{3/2}√log n)`) and
+//! [`Harmonic`] (§7, randomized, `O(n log² n)` w.h.p.); [`RoundRobin`],
+//! [`Decay`] and [`Uniform`] are the classical baselines the paper compares
+//! against.
+
+mod decay;
+mod harmonic;
+mod round_robin;
+mod strong_select;
+mod uniform;
+
+pub use decay::{Decay, DecayProcess};
+pub use harmonic::{period_for, Harmonic, HarmonicProcess};
+pub use round_robin::{RoundRobin, RoundRobinProcess};
+pub use strong_select::{
+    Participation, SsfConstruction, StrongSelect, StrongSelectPlan, StrongSelectProcess,
+};
+pub use uniform::{Uniform, UniformProcess};
+
+use dualgraph_sim::Process;
+
+/// A broadcast algorithm: a recipe for the `n` process automata.
+///
+/// `seed` feeds randomized algorithms (derive per-process seeds with
+/// [`dualgraph_sim::rng::derive_seed`]); deterministic algorithms ignore it
+/// and must report [`BroadcastAlgorithm::is_deterministic`] = `true` — the
+/// Theorem 12 lower-bound constructor relies on that flag.
+pub trait BroadcastAlgorithm {
+    /// Human-readable name (used in experiment tables).
+    fn name(&self) -> String;
+
+    /// `true` when every process is a deterministic automaton.
+    fn is_deterministic(&self) -> bool;
+
+    /// Builds the process vector, ids `0..n` in order.
+    fn processes(&self, n: usize, seed: u64) -> Vec<Box<dyn Process>>;
+}
+
+impl std::fmt::Debug for dyn BroadcastAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BroadcastAlgorithm({})", self.name())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use dualgraph_net::DualGraph;
+    use dualgraph_sim::{
+        Adversary, BroadcastOutcome, CollisionRule, Executor, ExecutorConfig, Process, StartRule,
+    };
+
+    /// Runs `algorithm` on `net` against `adversary` and returns the outcome.
+    pub fn run(
+        net: &DualGraph,
+        processes: Vec<Box<dyn Process>>,
+        adversary: Box<dyn Adversary>,
+        rule: CollisionRule,
+        start: StartRule,
+        max_rounds: u64,
+    ) -> BroadcastOutcome {
+        let mut exec = Executor::new(
+            net,
+            processes,
+            adversary,
+            ExecutorConfig {
+                rule,
+                start,
+                ..ExecutorConfig::default()
+            },
+        )
+        .expect("test executor construction");
+        exec.run_until_complete(max_rounds)
+    }
+}

@@ -1,0 +1,232 @@
+//! Round-robin broadcast: the classical deterministic baseline.
+//!
+//! Process `i` transmits (once it holds the message) exactly in global
+//! rounds `t` with `(t − 1) ≡ i (mod n)`. One process sends per round, so
+//! there are never collisions, and each graph layer is crossed within `n`
+//! rounds: `O(n · ecc(s))` overall, hence `O(n)` on the constant-diameter
+//! networks of §4 (the note after Theorem 4 observes this matches the
+//! `Ω(n)` bound for 2-broadcastable networks).
+//!
+//! Because only one process transmits per round, the adversary's unreliable
+//! deliveries can only help — round robin's guarantee is identical in the
+//! classical and dual graph models. Its weakness is the `n`-round wait per
+//! layer; Strong Select (§5) exists to beat exactly that.
+//!
+//! Under asynchronous start the process learns the global round from the
+//! `round_tag` on the first message it receives (§5 footnote 1).
+
+use dualgraph_sim::{ActivationCause, Message, PayloadId, Process, ProcessId, Reception};
+
+use super::BroadcastAlgorithm;
+
+/// Factory for [`RoundRobinProcess`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl RoundRobin {
+    /// Creates the round-robin algorithm.
+    pub fn new() -> Self {
+        RoundRobin
+    }
+}
+
+impl BroadcastAlgorithm for RoundRobin {
+    fn name(&self) -> String {
+        "round-robin".into()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+
+    fn processes(&self, n: usize, _seed: u64) -> Vec<Box<dyn Process>> {
+        (0..n)
+            .map(|i| {
+                Box::new(RoundRobinProcess::new(ProcessId::from_index(i), n)) as Box<dyn Process>
+            })
+            .collect()
+    }
+}
+
+/// The round-robin automaton.
+#[derive(Debug, Clone)]
+pub struct RoundRobinProcess {
+    id: ProcessId,
+    n: u64,
+    /// `global_round = global_offset + local_round` once known.
+    global_offset: Option<u64>,
+    payload: Option<PayloadId>,
+}
+
+impl RoundRobinProcess {
+    /// Creates the automaton for `id` in an `n`-process system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(id: ProcessId, n: usize) -> Self {
+        assert!(n > 0, "round robin requires n > 0");
+        RoundRobinProcess {
+            id,
+            n: n as u64,
+            global_offset: None,
+            payload: None,
+        }
+    }
+
+    fn learn(&mut self, message: &Message, local_round_of_receipt: u64) {
+        if let Some(p) = message.payload {
+            self.payload = Some(p);
+        }
+        if self.global_offset.is_none() {
+            if let Some(tag) = message.round_tag {
+                // The message was transmitted — and received — in global
+                // round `tag`, which corresponds to our `local_round_of_receipt`.
+                self.global_offset = Some(tag - local_round_of_receipt);
+            }
+        }
+    }
+}
+
+impl Process for RoundRobinProcess {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        match cause {
+            ActivationCause::Input(m) => {
+                self.payload = m.payload;
+                // The source's first transmit round is global round 1.
+                self.global_offset = Some(0);
+            }
+            ActivationCause::SynchronousStart => {
+                self.global_offset = Some(0);
+            }
+            ActivationCause::Reception(m) => {
+                // Received in the round before our local round 1.
+                self.learn(&m, 0);
+            }
+        }
+    }
+
+    fn transmit(&mut self, local_round: u64) -> Option<Message> {
+        let payload = self.payload?;
+        let global = self.global_offset? + local_round;
+        ((global - 1) % self.n == u64::from(self.id.0)).then(|| Message {
+            payload: Some(payload),
+            round_tag: Some(global),
+            sender: self.id,
+        })
+    }
+
+    fn receive(&mut self, local_round: u64, reception: Reception) {
+        if let Reception::Message(m) = reception {
+            self.learn(&m, local_round);
+        }
+    }
+
+    fn has_payload(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::run;
+    use super::*;
+    use dualgraph_net::generators;
+    use dualgraph_sim::{CollisionRule, ReliableOnly, StartRule};
+
+    #[test]
+    fn completes_line_without_collisions() {
+        let net = generators::line(8, 1);
+        let outcome = run(
+            &net,
+            RoundRobin::new().processes(8, 0),
+            Box::new(ReliableOnly::new()),
+            CollisionRule::Cr1,
+            StartRule::Synchronous,
+            10_000,
+        );
+        assert!(outcome.completed);
+        assert_eq!(outcome.physical_collisions, 0);
+        // Layer i is informed once process i-1 fires: completion <= n * ecc.
+        assert!(outcome.completion_round.unwrap() <= 8 * 7);
+    }
+
+    #[test]
+    fn completes_clique_bridge_in_about_n_rounds() {
+        let n = 12;
+        let gadget = generators::clique_bridge(n);
+        let outcome = run(
+            &gadget.network,
+            RoundRobin::new().processes(n, 0),
+            Box::new(ReliableOnly::new()),
+            CollisionRule::Cr1,
+            StartRule::Synchronous,
+            10_000,
+        );
+        assert!(outcome.completed);
+        // Identity assignment: bridge is process n-2, fires in round n-1.
+        assert_eq!(outcome.completion_round, Some(n as u64 - 1));
+    }
+
+    #[test]
+    fn works_with_asynchronous_start_via_round_tags() {
+        let net = generators::line(6, 1);
+        let outcome = run(
+            &net,
+            RoundRobin::new().processes(6, 0),
+            Box::new(ReliableOnly::new()),
+            CollisionRule::Cr4,
+            StartRule::Asynchronous,
+            10_000,
+        );
+        assert!(outcome.completed);
+        assert_eq!(outcome.physical_collisions, 0);
+    }
+
+    #[test]
+    fn exactly_one_sender_per_round() {
+        // Sync start on a clique: every process informed after round 1;
+        // still at most one sender per round forever.
+        let net = generators::complete(5);
+        let mut exec = dualgraph_sim::Executor::new(
+            &net,
+            RoundRobin::new().processes(5, 0),
+            Box::new(ReliableOnly::new()),
+            dualgraph_sim::ExecutorConfig {
+                rule: CollisionRule::Cr1,
+                start: StartRule::Synchronous,
+                trace: dualgraph_sim::TraceLevel::Full,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        exec.run_rounds(12);
+        for rec in exec.trace().records() {
+            assert!(rec.senders.len() <= 1, "round {}", rec.round);
+        }
+    }
+
+    #[test]
+    fn uninformed_processes_stay_silent() {
+        let mut p = RoundRobinProcess::new(ProcessId(0), 4);
+        p.on_activate(ActivationCause::SynchronousStart);
+        assert_eq!(p.transmit(1), None);
+        assert!(!p.has_payload());
+    }
+
+    #[test]
+    fn metadata() {
+        let a = RoundRobin::new();
+        assert_eq!(a.name(), "round-robin");
+        assert!(a.is_deterministic());
+        assert_eq!(a.processes(3, 0).len(), 3);
+    }
+}

@@ -1,0 +1,761 @@
+//! **Strong Select** — the paper's deterministic `O(n^{3/2}√log n)`
+//! broadcast algorithm (§5).
+//!
+//! # The schedule
+//!
+//! Let `s_max = log₂ √(n / log n)` and `k_s = 2^s`. For each `s ∈ [s_max]`
+//! fix an `(n, k_s)`-strongly-selective family `F_s` of `ℓ_s = O(k_s² ·
+//! polylog n)` sets, with `F_{s_max}` the round-robin `(n, n)`-SSF.
+//!
+//! Rounds are grouped into **epochs** of `2^{s_max} − 1` rounds. Within an
+//! epoch, round `r` (1-based) is dedicated to family `s = ⌊log₂ r⌋ + 1`:
+//! one set of `F_1`, then two sets of `F_2`, four of `F_3`, …, `2^{s_max−1}`
+//! sets of `F_{s_max}`. Set indices advance cyclically across epochs, so an
+//! *iteration* (one full pass) of `F_s` spans `ℓ_s / 2^{s−1}` epochs.
+//!
+//! # The protocol
+//!
+//! When a node first receives the message it waits, for each `s`, until
+//! `F_s` cycles back to its first set, then participates in **exactly one
+//! iteration** of `F_s` — transmitting in a round iff its id is in the
+//! scheduled set — and then stops participating in that family forever.
+//! Limiting participation bounds the interval during which an "exhausted"
+//! node (all reliable neighbors informed, unreliable neighbors blockable)
+//! can interfere, which is the crux of the dual-graph analysis; it also
+//! means nodes eventually stop transmitting altogether.
+//!
+//! Under asynchronous start, the global round counter comes from round tags
+//! on messages (§5 footnote 1): the source stamps its local round; every
+//! node adopts the stamp on first reception and stamps its own
+//! transmissions.
+//!
+//! # Implementation notes
+//!
+//! Families are padded with empty sets to a multiple of `2^{s−1}` so that
+//! iterations align with epoch blocks (empty sets are no-ops and never hurt
+//! selectivity). All processes share one immutable [`StrongSelectPlan`].
+
+use std::sync::Arc;
+
+use dualgraph_select::{
+    best_explicit, random_family, round_robin, RandomFamilyParams, SelectiveFamily,
+};
+use dualgraph_sim::{ActivationCause, Message, PayloadId, Process, ProcessId, Reception};
+
+use super::BroadcastAlgorithm;
+
+/// Which SSF construction backs the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsfConstruction {
+    /// Explicit Kautz–Singleton families, `O(k² log² n)` sets — the
+    /// "constructive" variant the paper notes costs an extra `√log n`.
+    KautzSingleton,
+    /// Randomized families of existential size `O(k² log n)` (Theorem 7),
+    /// strongly selective with high probability.
+    Random {
+        /// Seed for the family sampler (shared by all processes — the
+        /// families are common knowledge).
+        seed: u64,
+    },
+}
+
+/// One scheduled round: which family and set it is dedicated to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Family index `s ∈ 1..=s_max`.
+    pub s: u32,
+    /// Index into `F_s`.
+    pub set_index: usize,
+}
+
+/// The shared, immutable schedule: families plus slot arithmetic.
+#[derive(Debug)]
+pub struct StrongSelectPlan {
+    n: usize,
+    s_max: u32,
+    epoch_len: u64,
+    /// `families[s-1]` is `F_s`, padded to a multiple of `2^{s-1}` sets.
+    families: Vec<SelectiveFamily>,
+}
+
+impl StrongSelectPlan {
+    /// Builds the plan for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, construction: SsfConstruction) -> Self {
+        assert!(n > 0, "strong select requires n > 0");
+        let s_max = Self::s_max_for(n);
+        let mut families = Vec::with_capacity(s_max as usize);
+        for s in 1..=s_max {
+            let block = 1usize << (s - 1);
+            let fam = if s == s_max {
+                // The paper fixes F_{s_max} to round robin: an (n, n)-SSF
+                // that isolates every node in the graph.
+                round_robin(n)
+            } else {
+                let k = (1usize << s).min(n);
+                match construction {
+                    SsfConstruction::KautzSingleton => best_explicit(n, k),
+                    SsfConstruction::Random { seed } => random_family(
+                        RandomFamilyParams::new(n, k),
+                        dualgraph_sim::rng::derive_seed(seed, s as u64),
+                    ),
+                }
+            };
+            families.push(pad_family(fam, block));
+        }
+        StrongSelectPlan {
+            n,
+            s_max,
+            epoch_len: (1u64 << s_max) - 1,
+            families,
+        }
+    }
+
+    /// `s_max ≈ log₂ √(n / log₂ n)` (nearest integer, at least 1) — the
+    /// paper assumes `√(n/log n)` is a power of two; rounding to the
+    /// nearest exponent keeps `k_{s_max} = 2^{s_max}` within `√2` of it.
+    fn s_max_for(n: usize) -> u32 {
+        let nf = n as f64;
+        let log_n = nf.log2().max(1.0);
+        let target = (nf / log_n).sqrt();
+        (target.log2().round() as i64).max(1) as u32
+    }
+
+    /// The analysis's `f(n)`: the least `f` with `ℓ_s ≤ k_s² · f` for every
+    /// family in this plan (`f = O(log n)` for the paper's constructions,
+    /// `O(log² n)` for Kautz–Singleton).
+    pub fn f_bound(&self) -> u64 {
+        (1..=self.s_max)
+            .map(|s| {
+                let k = 1u64 << s;
+                (self.family(s).len() as u64).div_ceil(k * k)
+            })
+            .max()
+            .expect("at least one family")
+    }
+
+    /// Theorem 10's completion budget `X = n/ρ = 12 · f(n) · 2^{s_max} · n`:
+    /// the proof shows broadcast completes by round `X` under CR4 and
+    /// asynchronous start against **any** adversary.
+    pub fn theorem10_budget(&self) -> u64 {
+        12 * self.f_bound() * (1u64 << self.s_max) * self.n as u64
+    }
+
+    /// Universe size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The largest family index.
+    pub fn s_max(&self) -> u32 {
+        self.s_max
+    }
+
+    /// Rounds per epoch: `2^{s_max} − 1`.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// The (padded) family `F_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ s ≤ s_max`.
+    pub fn family(&self, s: u32) -> &SelectiveFamily {
+        assert!(s >= 1 && s <= self.s_max, "family index out of range");
+        &self.families[(s - 1) as usize]
+    }
+
+    /// Iteration length of `F_s` in epochs: `ℓ_s / 2^{s−1}`.
+    pub fn iteration_epochs(&self, s: u32) -> u64 {
+        (self.family(s).len() as u64) / (1u64 << (s - 1))
+    }
+
+    /// Iteration length of `F_s` in global rounds.
+    pub fn iteration_span(&self, s: u32) -> u64 {
+        self.iteration_epochs(s) * self.epoch_len
+    }
+
+    /// Maps a global round (1-based) to its slot.
+    pub fn slot(&self, global_round: u64) -> Slot {
+        assert!(global_round >= 1, "rounds are 1-based");
+        let epoch = (global_round - 1) / self.epoch_len; // 0-based
+        let r = (global_round - 1) % self.epoch_len + 1; // 1..=epoch_len
+        let s = 63 - (r.leading_zeros() as u64) + 1; // floor(log2 r) + 1
+        let s = s as u32;
+        let block = 1u64 << (s - 1);
+        let pos = r - block;
+        let ell = self.family(s).len() as u64;
+        Slot {
+            s,
+            set_index: ((epoch * block + pos) % ell) as usize,
+        }
+    }
+
+    /// The first global round `≥ from` at which an iteration of `F_s`
+    /// begins (its set 0 is scheduled at epoch-block position 0).
+    pub fn iteration_start(&self, s: u32, from: u64) -> u64 {
+        let block = 1u64 << (s - 1);
+        let l_s = self.iteration_epochs(s); // iteration length in epochs
+        // Round of family-s block start within epoch e (0-based): g(e) =
+        // e * epoch_len + block  (position r = 2^{s-1}).
+        let e_min = if from <= block {
+            0
+        } else {
+            (from - block).div_ceil(self.epoch_len)
+        };
+        let e = e_min.div_ceil(l_s) * l_s;
+        e * self.epoch_len + block
+    }
+}
+
+/// Pads `family` with empty sets to a multiple of `block` sets.
+fn pad_family(family: SelectiveFamily, block: usize) -> SelectiveFamily {
+    let ell = family.len();
+    let padded = ell.div_ceil(block) * block;
+    if padded == ell {
+        return family;
+    }
+    let (n, k) = (family.n(), family.k());
+    let mut sets: Vec<Vec<u32>> = family.iter().map(<[u32]>::to_vec).collect();
+    sets.resize(padded, Vec::new());
+    SelectiveFamily::new(n, k, sets).expect("padding preserves validity")
+}
+
+/// How long a node participates in each family.
+///
+/// §5 motivates `Once`: a node whose reliable neighbors are all informed
+/// can still *interfere* via its unreliable edges, so the paper bounds the
+/// window during which it transmits by letting it run exactly one
+/// iteration per family (and then stop forever). `Forever` is the
+/// classical behavior of the static-model algorithms the paper cites
+/// ([6, 7]: "nodes continue to cycle through selective families forever")
+/// — kept here as the ablation arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Participation {
+    /// One iteration per family, then silence (the paper's algorithm).
+    Once,
+    /// Re-join every iteration of every family (the classical behavior).
+    Forever,
+}
+
+/// Factory for [`StrongSelectProcess`].
+#[derive(Debug, Clone, Copy)]
+pub struct StrongSelect {
+    construction: SsfConstruction,
+    participation: Participation,
+}
+
+impl StrongSelect {
+    /// Strong Select over explicit Kautz–Singleton families.
+    pub fn new() -> Self {
+        StrongSelect {
+            construction: SsfConstruction::KautzSingleton,
+            participation: Participation::Once,
+        }
+    }
+
+    /// Strong Select over the chosen family construction.
+    pub fn with_construction(construction: SsfConstruction) -> Self {
+        StrongSelect {
+            construction,
+            participation: Participation::Once,
+        }
+    }
+
+    /// The ablation arm: nodes never stop participating (the classical
+    /// cycle-forever behavior of [6, 7]).
+    pub fn forever() -> Self {
+        StrongSelect {
+            construction: SsfConstruction::KautzSingleton,
+            participation: Participation::Forever,
+        }
+    }
+}
+
+impl Default for StrongSelect {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BroadcastAlgorithm for StrongSelect {
+    fn name(&self) -> String {
+        let base = match self.construction {
+            SsfConstruction::KautzSingleton => "strong-select(KS",
+            SsfConstruction::Random { .. } => "strong-select(random",
+        };
+        match self.participation {
+            Participation::Once => format!("{base})"),
+            Participation::Forever => format!("{base},forever)"),
+        }
+    }
+
+    fn is_deterministic(&self) -> bool {
+        // The Random variant uses a fixed, shared seed: the resulting
+        // automata are still deterministic functions of their observations.
+        true
+    }
+
+    fn processes(&self, n: usize, _seed: u64) -> Vec<Box<dyn Process>> {
+        let plan = Arc::new(StrongSelectPlan::new(n, self.construction));
+        (0..n)
+            .map(|i| {
+                Box::new(StrongSelectProcess::with_participation(
+                    ProcessId::from_index(i),
+                    Arc::clone(&plan),
+                    self.participation,
+                )) as Box<dyn Process>
+            })
+            .collect()
+    }
+}
+
+/// The Strong Select automaton.
+#[derive(Debug, Clone)]
+pub struct StrongSelectProcess {
+    id: ProcessId,
+    plan: Arc<StrongSelectPlan>,
+    participation: Participation,
+    payload: Option<PayloadId>,
+    global_offset: Option<u64>,
+    /// Per family `s` (index `s−1`): the `[start, end)` global-round window
+    /// of this node's single iteration (`end = u64::MAX` under
+    /// [`Participation::Forever`]). Computed once the node holds both the
+    /// payload and the global clock.
+    windows: Option<Vec<(u64, u64)>>,
+    last_global: u64,
+}
+
+impl StrongSelectProcess {
+    /// Creates the automaton for `id` under the shared `plan` (the paper's
+    /// participate-once behavior).
+    pub fn new(id: ProcessId, plan: Arc<StrongSelectPlan>) -> Self {
+        Self::with_participation(id, plan, Participation::Once)
+    }
+
+    /// Creates the automaton with an explicit participation policy.
+    pub fn with_participation(
+        id: ProcessId,
+        plan: Arc<StrongSelectPlan>,
+        participation: Participation,
+    ) -> Self {
+        assert!(
+            id.index() < plan.n(),
+            "process id out of range for the plan"
+        );
+        StrongSelectProcess {
+            id,
+            plan,
+            participation,
+            payload: None,
+            global_offset: None,
+            windows: None,
+            last_global: 0,
+        }
+    }
+
+    /// The participation windows, if the node has computed them.
+    pub fn windows(&self) -> Option<&[(u64, u64)]> {
+        self.windows.as_deref()
+    }
+
+    fn absorb(&mut self, message: &Message, local_round_of_receipt: u64) {
+        if let Some(p) = message.payload {
+            self.payload = Some(p);
+        }
+        if self.global_offset.is_none() {
+            if let Some(tag) = message.round_tag {
+                self.global_offset = Some(tag - local_round_of_receipt);
+            }
+        }
+        self.maybe_plan_windows(local_round_of_receipt);
+    }
+
+    /// Once payload and clock are both known, fix the participation
+    /// windows, starting from the next round.
+    fn maybe_plan_windows(&mut self, current_local: u64) {
+        if self.windows.is_some() || self.payload.is_none() {
+            return;
+        }
+        let Some(offset) = self.global_offset else {
+            return;
+        };
+        let start = offset + current_local + 1;
+        let windows = (1..=self.plan.s_max())
+            .map(|s| {
+                let w = self.plan.iteration_start(s, start);
+                let end = match self.participation {
+                    Participation::Once => w + self.plan.iteration_span(s),
+                    Participation::Forever => u64::MAX,
+                };
+                (w, end)
+            })
+            .collect();
+        self.windows = Some(windows);
+    }
+}
+
+impl Process for StrongSelectProcess {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        match cause {
+            ActivationCause::Input(m) => {
+                self.payload = m.payload;
+                self.global_offset = Some(0);
+                self.maybe_plan_windows(0);
+            }
+            ActivationCause::SynchronousStart => {
+                self.global_offset = Some(0);
+            }
+            ActivationCause::Reception(m) => {
+                self.absorb(&m, 0);
+            }
+        }
+    }
+
+    fn transmit(&mut self, local_round: u64) -> Option<Message> {
+        let payload = self.payload?;
+        let global = self.global_offset? + local_round;
+        self.last_global = global;
+        let windows = self.windows.as_ref()?;
+        let slot = self.plan.slot(global);
+        let (start, end) = windows[(slot.s - 1) as usize];
+        (global >= start
+            && global < end
+            && self.plan.family(slot.s).contains(slot.set_index, self.id.0))
+        .then(|| Message {
+            payload: Some(payload),
+            round_tag: Some(global),
+            sender: self.id,
+        })
+    }
+
+    fn receive(&mut self, local_round: u64, reception: Reception) {
+        if let Reception::Message(m) = reception {
+            self.absorb(&m, local_round);
+        }
+    }
+
+    fn has_payload(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    fn is_terminated(&self) -> bool {
+        match (&self.windows, self.payload) {
+            (Some(w), Some(_)) => w.iter().all(|&(_, end)| self.last_global >= end),
+            _ => false,
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::run;
+    use super::*;
+    use dualgraph_net::generators;
+    use dualgraph_sim::{CollisionRule, FullDelivery, RandomDelivery, ReliableOnly, StartRule};
+
+    #[test]
+    fn s_max_grows_with_n() {
+        assert_eq!(StrongSelectPlan::s_max_for(2), 1);
+        let s64 = StrongSelectPlan::s_max_for(64);
+        let s4096 = StrongSelectPlan::s_max_for(4096);
+        assert!(s64 >= 1 && s4096 > s64);
+        // k_{s_max} = 2^{s_max} should be about sqrt(n / log n).
+        let k = (1u64 << s4096) as f64;
+        let target = (4096.0f64 / 12.0).sqrt();
+        assert!(k <= target * 2.0 && k >= target / 4.0, "k={k} target={target}");
+    }
+
+    #[test]
+    fn theorem10_budget_dominates_measured_runs() {
+        // The budget X = 12 f(n) 2^{s_max} n must upper-bound completion
+        // on any network/adversary; check a hostile one.
+        let n = 33;
+        let plan = StrongSelectPlan::new(n, SsfConstruction::KautzSingleton);
+        let budget = plan.theorem10_budget();
+        let net = generators::layered_pairs(n);
+        let outcome = run(
+            &net,
+            StrongSelect::new().processes(n, 0),
+            Box::new(dualgraph_sim::CollisionSeeker::new()),
+            CollisionRule::Cr4,
+            StartRule::Asynchronous,
+            budget,
+        );
+        assert!(outcome.completed, "must finish within the theorem budget");
+        assert!(outcome.completion_round.unwrap() <= budget);
+        assert!(plan.f_bound() >= 1);
+    }
+
+    #[test]
+    fn top_family_is_round_robin() {
+        let plan = StrongSelectPlan::new(64, SsfConstruction::KautzSingleton);
+        let top = plan.family(plan.s_max());
+        assert_eq!(top.k(), 64);
+        // Padded round robin: first 64 sets are singletons.
+        for j in 0..64 {
+            assert_eq!(top.set(j), &[j as u32]);
+        }
+    }
+
+    #[test]
+    fn families_padded_to_block_multiples() {
+        let plan = StrongSelectPlan::new(256, SsfConstruction::KautzSingleton);
+        for s in 1..=plan.s_max() {
+            let block = 1usize << (s - 1);
+            assert_eq!(
+                plan.family(s).len() % block,
+                0,
+                "family {s} not padded to block {block}"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_layout_within_epoch() {
+        let plan = StrongSelectPlan::new(256, SsfConstruction::KautzSingleton);
+        let epoch_len = plan.epoch_len();
+        // Round 1 of every epoch is F_1; rounds 2-3 are F_2; etc.
+        for e in 0..3u64 {
+            assert_eq!(plan.slot(e * epoch_len + 1).s, 1);
+            if plan.s_max() >= 2 {
+                assert_eq!(plan.slot(e * epoch_len + 2).s, 2);
+                assert_eq!(plan.slot(e * epoch_len + 3).s, 2);
+            }
+            if plan.s_max() >= 3 {
+                for r in 4..8.min(epoch_len + 1) {
+                    assert_eq!(plan.slot(e * epoch_len + r).s, 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_indices_advance_cyclically() {
+        let plan = StrongSelectPlan::new(256, SsfConstruction::KautzSingleton);
+        let s = 2u32;
+        let ell = plan.family(s).len() as u64;
+        // Collect the family-2 set indices over enough epochs for a full
+        // cycle plus change; they must be 0,1,2,...,ell-1,0,1,...
+        let mut indices = Vec::new();
+        let mut round = 1;
+        while indices.len() < (ell + 4) as usize {
+            let slot = plan.slot(round);
+            if slot.s == s {
+                indices.push(slot.set_index);
+            }
+            round += 1;
+        }
+        for (i, &idx) in indices.iter().enumerate() {
+            assert_eq!(idx, i % ell as usize);
+        }
+    }
+
+    #[test]
+    fn iteration_start_is_aligned_and_at_or_after_from() {
+        let plan = StrongSelectPlan::new(256, SsfConstruction::KautzSingleton);
+        for s in 1..=plan.s_max() {
+            for from in [1u64, 2, 17, 100, 1000] {
+                let g = plan.iteration_start(s, from);
+                assert!(g >= from);
+                let slot = plan.slot(g);
+                assert_eq!(slot.s, s, "start round must belong to family {s}");
+                assert_eq!(slot.set_index, 0, "iteration must begin at set 0");
+            }
+        }
+    }
+
+    #[test]
+    fn each_participant_covers_exactly_one_iteration() {
+        // Simulate the windows of a node activated at various times: the
+        // family-s rounds within its window must hit each set exactly once.
+        let plan = Arc::new(StrongSelectPlan::new(64, SsfConstruction::KautzSingleton));
+        for start in [1u64, 5, 33, 212] {
+            for s in 1..=plan.s_max() {
+                let w = plan.iteration_start(s, start);
+                let end = w + plan.iteration_span(s);
+                let mut seen = vec![0usize; plan.family(s).len()];
+                for g in w..end {
+                    let slot = plan.slot(g);
+                    if slot.s == s {
+                        seen[slot.set_index] += 1;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "start={start} s={s} seen={seen:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn completes_on_classical_line_cr1_sync() {
+        let n = 16;
+        let net = generators::line(n, 1);
+        let outcome = run(
+            &net,
+            StrongSelect::new().processes(n, 0),
+            Box::new(ReliableOnly::new()),
+            CollisionRule::Cr1,
+            StartRule::Synchronous,
+            2_000_000,
+        );
+        assert!(outcome.completed, "rounds={}", outcome.rounds_executed);
+    }
+
+    #[test]
+    fn completes_under_cr4_async_with_random_adversary() {
+        let net = generators::er_dual(
+            generators::ErDualParams {
+                n: 48,
+                reliable_p: 0.08,
+                unreliable_p: 0.15,
+            },
+            3,
+        );
+        let outcome = run(
+            &net,
+            StrongSelect::new().processes(48, 0),
+            Box::new(RandomDelivery::new(0.3, 17)),
+            CollisionRule::Cr4,
+            StartRule::Asynchronous,
+            2_000_000,
+        );
+        assert!(outcome.completed, "rounds={}", outcome.rounds_executed);
+    }
+
+    #[test]
+    fn completes_on_clique_bridge_under_full_delivery() {
+        let gadget = generators::clique_bridge(24);
+        let outcome = run(
+            &gadget.network,
+            StrongSelect::new().processes(24, 0),
+            Box::new(FullDelivery::new()),
+            CollisionRule::Cr4,
+            StartRule::Asynchronous,
+            2_000_000,
+        );
+        assert!(outcome.completed);
+    }
+
+    #[test]
+    fn random_construction_also_completes() {
+        let net = generators::line(24, 2);
+        let algo = StrongSelect::with_construction(SsfConstruction::Random { seed: 5 });
+        let outcome = run(
+            &net,
+            algo.processes(24, 0),
+            Box::new(RandomDelivery::new(0.5, 2)),
+            CollisionRule::Cr4,
+            StartRule::Asynchronous,
+            2_000_000,
+        );
+        assert!(outcome.completed);
+    }
+
+    #[test]
+    fn nodes_eventually_terminate() {
+        // §5: "nodes eventually stop broadcasting" — after all windows
+        // close, is_terminated reports true and no more sends happen.
+        let n = 12;
+        let net = generators::complete(n);
+        let mut exec = dualgraph_sim::Executor::new(
+            &net,
+            StrongSelect::new().processes(n, 0),
+            Box::new(ReliableOnly::new()),
+            dualgraph_sim::ExecutorConfig::default(),
+        )
+        .unwrap();
+        exec.run_until_complete(1_000_000);
+        assert!(exec.is_complete());
+        // Run long past every window.
+        let plan = StrongSelectPlan::new(n, SsfConstruction::KautzSingleton);
+        let horizon: u64 = (1..=plan.s_max())
+            .map(|s| plan.iteration_span(s))
+            .sum::<u64>()
+            * 4
+            + 1000;
+        let before = exec.outcome().sends;
+        exec.run_rounds(horizon);
+        let after = exec.outcome().sends;
+        for v in net.nodes() {
+            assert!(exec.process_at(v).is_terminated(), "node {v}");
+        }
+        // Sends must have stopped at some point well before the end.
+        exec.run_rounds(100);
+        assert_eq!(exec.outcome().sends, after);
+        let _ = before;
+    }
+
+    #[test]
+    fn uninformed_nodes_never_transmit() {
+        let plan = Arc::new(StrongSelectPlan::new(8, SsfConstruction::KautzSingleton));
+        let mut p = StrongSelectProcess::new(ProcessId(3), plan);
+        p.on_activate(ActivationCause::SynchronousStart);
+        for local in 1..100 {
+            assert_eq!(p.transmit(local), None);
+        }
+        assert!(!p.is_terminated());
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(StrongSelect::new().name(), "strong-select(KS)");
+        assert!(StrongSelect::new().is_deterministic());
+        assert_eq!(
+            StrongSelect::with_construction(SsfConstruction::Random { seed: 1 }).name(),
+            "strong-select(random)"
+        );
+        assert_eq!(StrongSelect::forever().name(), "strong-select(KS,forever)");
+    }
+
+    #[test]
+    fn forever_variant_completes_and_keeps_transmitting() {
+        let n = 13;
+        let net = generators::layered_pairs(n);
+        let mut exec = dualgraph_sim::Executor::new(
+            &net,
+            StrongSelect::forever().processes(n, 0),
+            Box::new(ReliableOnly::new()),
+            dualgraph_sim::ExecutorConfig::default(),
+        )
+        .unwrap();
+        let outcome = exec.run_until_complete(1_000_000);
+        assert!(outcome.completed);
+        // Unlike Once, Forever never terminates: sends keep accruing.
+        let before = exec.outcome().sends;
+        exec.run_rounds(500);
+        assert!(exec.outcome().sends > before);
+        assert!(!exec.process_at(dualgraph_net::NodeId(0)).is_terminated());
+    }
+
+    #[test]
+    fn forever_windows_are_open_ended() {
+        let plan = Arc::new(StrongSelectPlan::new(16, SsfConstruction::KautzSingleton));
+        let mut p = StrongSelectProcess::with_participation(
+            ProcessId(1),
+            plan,
+            Participation::Forever,
+        );
+        p.on_activate(ActivationCause::Input(Message::tagged(
+            ProcessId(1),
+            PayloadId(0),
+            0,
+        )));
+        let w = p.windows().expect("windows planned");
+        assert!(w.iter().all(|&(_, end)| end == u64::MAX));
+    }
+}

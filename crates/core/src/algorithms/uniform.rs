@@ -1,0 +1,167 @@
+//! Uniform-probability broadcast: the simplest randomized strategy.
+//!
+//! Every informed node transmits each round with a fixed probability `p`.
+//! With `p = Θ(1/n)` this is near-optimal on a single clique but hopeless
+//! across many sparse layers; it serves as a sanity baseline and as the
+//! "generic randomized algorithm" victim for the Theorem 4 probability
+//! bound experiment.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dualgraph_sim::rng::derive_seed;
+use dualgraph_sim::{ActivationCause, Message, PayloadId, Process, ProcessId, Reception};
+
+use super::BroadcastAlgorithm;
+
+/// Factory for [`UniformProcess`].
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    p: f64,
+}
+
+impl Uniform {
+    /// Creates the uniform algorithm with per-round transmit probability
+    /// `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "probability must lie in (0, 1]");
+        Uniform { p }
+    }
+}
+
+impl BroadcastAlgorithm for Uniform {
+    fn name(&self) -> String {
+        format!("uniform(p={})", self.p)
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+
+    fn processes(&self, n: usize, seed: u64) -> Vec<Box<dyn Process>> {
+        (0..n)
+            .map(|i| {
+                Box::new(UniformProcess::new(
+                    ProcessId::from_index(i),
+                    self.p,
+                    derive_seed(seed, i as u64),
+                )) as Box<dyn Process>
+            })
+            .collect()
+    }
+}
+
+/// The uniform-probability automaton.
+#[derive(Debug, Clone)]
+pub struct UniformProcess {
+    id: ProcessId,
+    p: f64,
+    rng: SmallRng,
+    payload: Option<PayloadId>,
+}
+
+impl UniformProcess {
+    /// Creates the automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1]`.
+    pub fn new(id: ProcessId, p: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "probability must lie in (0, 1]");
+        UniformProcess {
+            id,
+            p,
+            rng: SmallRng::seed_from_u64(seed),
+            payload: None,
+        }
+    }
+}
+
+impl Process for UniformProcess {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        if let Some(m) = cause.message() {
+            if m.payload.is_some() {
+                self.payload = m.payload;
+            }
+        }
+    }
+
+    fn transmit(&mut self, _local_round: u64) -> Option<Message> {
+        let payload = self.payload?;
+        self.rng
+            .gen_bool(self.p)
+            .then(|| Message::with_payload(self.id, payload))
+    }
+
+    fn receive(&mut self, _local_round: u64, reception: Reception) {
+        if self.payload.is_none() {
+            if let Some(p) = reception.message().and_then(|m| m.payload) {
+                self.payload = Some(p);
+            }
+        }
+    }
+
+    fn has_payload(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::run;
+    use super::*;
+    use dualgraph_net::generators;
+    use dualgraph_sim::{CollisionRule, ReliableOnly, StartRule};
+
+    #[test]
+    fn completes_small_line() {
+        let n = 12;
+        let net = generators::line(n, 1);
+        let outcome = run(
+            &net,
+            Uniform::new(0.2).processes(n, 3),
+            Box::new(ReliableOnly::new()),
+            CollisionRule::Cr3,
+            StartRule::Asynchronous,
+            200_000,
+        );
+        assert!(outcome.completed);
+    }
+
+    #[test]
+    fn p_one_is_flooding() {
+        let mut p = UniformProcess::new(ProcessId(0), 1.0, 1);
+        p.on_activate(ActivationCause::Input(Message::with_payload(
+            ProcessId(0),
+            PayloadId(0),
+        )));
+        for j in 1..10 {
+            assert!(p.transmit(j).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_zero_probability() {
+        Uniform::new(0.0);
+    }
+
+    #[test]
+    fn metadata() {
+        let u = Uniform::new(0.25);
+        assert_eq!(u.name(), "uniform(p=0.25)");
+        assert!(!u.is_deterministic());
+    }
+}

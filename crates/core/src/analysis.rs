@@ -1,0 +1,301 @@
+//! Analysis artifacts of §7: wake-up patterns, busy/free rounds, and the
+//! Lemma 14/15 bounds on the number of busy rounds.
+//!
+//! The Harmonic Broadcast analysis abstracts an execution into its
+//! **wake-up pattern** `W = t_1 ≤ t_2 ≤ ⋯ ≤ t_n` (`t_1 = 0`): the rounds
+//! at which nodes first receive the message. The pattern determines every
+//! transmission probability, so all probability-sum reasoning happens here,
+//! independent of any graph:
+//!
+//! * round `t` is **busy** when `P(t) = Σ_v p_v(t) ≥ 1`, else **free**;
+//! * Lemma 14: some pattern packs all its busy rounds into a prefix;
+//! * Lemma 15: no pattern has more than `n·T·H(n)` busy rounds.
+//!
+//! [`greedy_prefix_busy_pattern`] constructs the adversarial wake-up
+//! pattern that delays each wake-up until the probability sum is about to
+//! dip below 1 — the maximal prefix-busy pattern that the Lemma 14
+//! normalization points at.
+
+/// The harmonic number `H(n) = Σ_{i=1}^{n} 1/i` (`H(0) = 1`, following the
+/// paper's convention in Lemma 15).
+pub fn harmonic_number(n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    (1..=n).map(|i| 1.0 / i as f64).sum()
+}
+
+/// The Lemma 15 ceiling on busy rounds: `n · T · H(n)`.
+pub fn lemma15_bound(n: usize, period: u64) -> f64 {
+    n as f64 * period as f64 * harmonic_number(n)
+}
+
+/// Error building a [`WakeUpPattern`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildPatternError {
+    /// Patterns must contain at least the source wake-up.
+    Empty,
+    /// The first wake-up must be round 0 (the source).
+    SourceNotAtZero,
+    /// Wake-up times must be non-decreasing.
+    NotSorted,
+}
+
+impl std::fmt::Display for BuildPatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildPatternError::Empty => write!(f, "wake-up pattern cannot be empty"),
+            BuildPatternError::SourceNotAtZero => {
+                write!(f, "the first wake-up (the source) must be at round 0")
+            }
+            BuildPatternError::NotSorted => write!(f, "wake-up times must be non-decreasing"),
+        }
+    }
+}
+
+impl std::error::Error for BuildPatternError {}
+
+/// A wake-up pattern `t_1 = 0 ≤ t_2 ≤ ⋯ ≤ t_n`.
+///
+/// Patterns need not be realizable by any execution — Lemma 15 quantifies
+/// over all of them, which is exactly what makes it a clean upper bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WakeUpPattern {
+    times: Vec<u64>,
+}
+
+impl WakeUpPattern {
+    /// Validates and builds a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildPatternError`] for an empty, unsorted, or
+    /// non-zero-based vector.
+    pub fn new(times: Vec<u64>) -> Result<Self, BuildPatternError> {
+        if times.is_empty() {
+            return Err(BuildPatternError::Empty);
+        }
+        if times[0] != 0 {
+            return Err(BuildPatternError::SourceNotAtZero);
+        }
+        if times.windows(2).any(|w| w[0] > w[1]) {
+            return Err(BuildPatternError::NotSorted);
+        }
+        Ok(WakeUpPattern { times })
+    }
+
+    /// Everyone wakes at once (round 0) — the synchronous-start extreme.
+    pub fn all_at_once(n: usize) -> Self {
+        WakeUpPattern {
+            times: vec![0; n.max(1)],
+        }
+    }
+
+    /// Evenly spaced wake-ups, `gap` rounds apart.
+    pub fn evenly_spaced(n: usize, gap: u64) -> Self {
+        WakeUpPattern {
+            times: (0..n.max(1) as u64).map(|i| i * gap).collect(),
+        }
+    }
+
+    /// Extracts a pattern from a completed execution's first-receive
+    /// rounds (`None` entries — never-informed nodes — are skipped).
+    pub fn from_first_receive(first_receive: &[Option<u64>]) -> Result<Self, BuildPatternError> {
+        let mut times: Vec<u64> = first_receive.iter().copied().flatten().collect();
+        times.sort_unstable();
+        Self::new(times)
+    }
+
+    /// Number of wake-ups `n`.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when the pattern is empty (cannot happen for validated
+    /// patterns).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The wake-up times.
+    pub fn times(&self) -> &[u64] {
+        &self.times
+    }
+
+    /// A single node's transmission probability at round `t` given its
+    /// wake-up `t_v`: `1/(1+⌊(t−t_v−1)/T⌋)` for `t > t_v`, else 0.
+    pub fn node_probability(t: u64, t_v: u64, period: u64) -> f64 {
+        if t <= t_v {
+            0.0
+        } else {
+            1.0 / (1.0 + ((t - t_v - 1) / period) as f64)
+        }
+    }
+
+    /// The probability sum `P(t) = Σ_v p_v(t)` (equation (2) in §7).
+    pub fn probability_sum(&self, t: u64, period: u64) -> f64 {
+        self.times
+            .iter()
+            .map(|&tv| Self::node_probability(t, tv, period))
+            .sum()
+    }
+
+    /// `true` when round `t` is busy: `P(t) ≥ 1`.
+    pub fn is_busy(&self, t: u64, period: u64) -> bool {
+        self.probability_sum(t, period) >= 1.0
+    }
+
+    /// Total busy rounds over the whole (infinite) execution. Terminates
+    /// because `P` is non-increasing once the last node is awake.
+    pub fn total_busy_rounds(&self, period: u64) -> u64 {
+        let last = *self.times.last().expect("validated patterns are nonempty");
+        let mut busy = 0;
+        let mut t = 1;
+        loop {
+            if self.is_busy(t, period) {
+                busy += 1;
+            } else if t > last {
+                // P is non-increasing beyond the last wake-up: done.
+                return busy;
+            }
+            t += 1;
+        }
+    }
+
+    /// `true` when rounds `1..=total_busy_rounds()` are all busy (the
+    /// normalized shape of Lemma 14).
+    pub fn is_prefix_busy(&self, period: u64) -> bool {
+        let total = self.total_busy_rounds(period);
+        (1..=total).all(|t| self.is_busy(t, period))
+    }
+}
+
+/// The adversarial pattern of Lemma 14's normalization: delay each wake-up
+/// to the last moment that keeps the round busy. Maximizes busy rounds
+/// among `n`-node patterns (empirically; Lemma 15 caps it at `n·T·H(n)`).
+pub fn greedy_prefix_busy_pattern(n: usize, period: u64) -> WakeUpPattern {
+    assert!(n >= 1, "need at least the source");
+    assert!(period >= 1, "period must be positive");
+    let mut times = vec![0u64];
+    let mut t = 1u64;
+    loop {
+        let current = WakeUpPattern {
+            times: times.clone(),
+        };
+        if !current.is_busy(t, period) {
+            if times.len() == n {
+                break;
+            }
+            // Wake the next node just in time: at t−1 it contributes
+            // probability 1 to round t.
+            times.push(t - 1);
+        }
+        t += 1;
+    }
+    WakeUpPattern { times }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_number_values() {
+        assert_eq!(harmonic_number(0), 1.0);
+        assert_eq!(harmonic_number(1), 1.0);
+        assert!((harmonic_number(2) - 1.5).abs() < 1e-12);
+        assert!((harmonic_number(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        // H(n) ~ ln n + gamma.
+        let h = harmonic_number(100_000);
+        assert!((h - (100_000f64.ln() + 0.5772)).abs() < 0.01);
+    }
+
+    #[test]
+    fn pattern_validation() {
+        assert_eq!(WakeUpPattern::new(vec![]).unwrap_err(), BuildPatternError::Empty);
+        assert_eq!(
+            WakeUpPattern::new(vec![1, 2]).unwrap_err(),
+            BuildPatternError::SourceNotAtZero
+        );
+        assert_eq!(
+            WakeUpPattern::new(vec![0, 3, 2]).unwrap_err(),
+            BuildPatternError::NotSorted
+        );
+        assert!(WakeUpPattern::new(vec![0, 0, 5]).is_ok());
+    }
+
+    #[test]
+    fn node_probability_schedule() {
+        // T = 2, woken at 3: rounds 4,5 -> 1; 6,7 -> 1/2; 8,9 -> 1/3.
+        assert_eq!(WakeUpPattern::node_probability(3, 3, 2), 0.0);
+        assert_eq!(WakeUpPattern::node_probability(4, 3, 2), 1.0);
+        assert_eq!(WakeUpPattern::node_probability(5, 3, 2), 1.0);
+        assert_eq!(WakeUpPattern::node_probability(6, 3, 2), 0.5);
+        assert_eq!(WakeUpPattern::node_probability(7, 3, 2), 0.5);
+        assert!((WakeUpPattern::node_probability(8, 3, 2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_at_once_busy_prefix_length() {
+        // n nodes woken at 0, T=1: P(t) = n/t (roughly), busy while
+        // n/⌈t⌉ >= 1, so about n busy rounds... precisely:
+        // p_v(t) = 1/(1+ (t-1)) = 1/t; P(t) = n/t; busy iff t <= n.
+        let p = WakeUpPattern::all_at_once(8);
+        assert_eq!(p.total_busy_rounds(1), 8);
+        assert!(p.is_prefix_busy(1));
+        // Lemma 15: 8 <= 8 * 1 * H(8).
+        assert!(8.0 <= lemma15_bound(8, 1));
+    }
+
+    #[test]
+    fn evenly_spaced_pattern_counts() {
+        let p = WakeUpPattern::evenly_spaced(5, 10);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.times(), &[0, 10, 20, 30, 40]);
+        let busy = p.total_busy_rounds(3);
+        assert!(busy as f64 <= lemma15_bound(5, 3));
+    }
+
+    #[test]
+    fn greedy_pattern_is_prefix_busy_and_obeys_lemma15() {
+        for (n, t) in [(4usize, 2u64), (8, 3), (16, 5), (32, 4)] {
+            let p = greedy_prefix_busy_pattern(n, t);
+            assert_eq!(p.len(), n);
+            assert!(p.is_prefix_busy(t), "n={n} T={t}");
+            let busy = p.total_busy_rounds(t) as f64;
+            let bound = lemma15_bound(n, t);
+            assert!(busy <= bound, "n={n} T={t}: busy={busy} > bound={bound}");
+            // The greedy pattern should get within a constant factor of
+            // the bound — it is the Lemma 14 extremal shape.
+            assert!(
+                busy >= bound / 4.0,
+                "n={n} T={t}: busy={busy} too far below bound={bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_beats_naive_patterns() {
+        let n = 16;
+        let t = 3;
+        let greedy = greedy_prefix_busy_pattern(n, t).total_busy_rounds(t);
+        let at_once = WakeUpPattern::all_at_once(n).total_busy_rounds(t);
+        let spaced = WakeUpPattern::evenly_spaced(n, 2 * t).total_busy_rounds(t);
+        assert!(greedy >= at_once, "greedy={greedy} at_once={at_once}");
+        assert!(greedy >= spaced, "greedy={greedy} spaced={spaced}");
+    }
+
+    #[test]
+    fn from_first_receive_extracts_sorted() {
+        let p =
+            WakeUpPattern::from_first_receive(&[Some(3), Some(0), None, Some(1)]).unwrap();
+        assert_eq!(p.times(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn single_node_pattern() {
+        let p = WakeUpPattern::all_at_once(1);
+        // One node, T=2: P(t) = p(t) <= 1 with equality for t in {1,2}.
+        assert_eq!(p.total_busy_rounds(2), 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! # dualgraph-broadcast
+//!
+//! The primary contribution of *Broadcasting in Unreliable Radio Networks*
+//! (Kuhn, Lynch, Newport, Oshman, Richa; PODC 2010), executable: broadcast
+//! algorithms, lower-bound constructions, and analysis artifacts for the
+//! **dual graph** radio network model.
+//!
+//! ## Map from paper to modules
+//!
+//! | Paper | Module |
+//! |-------|--------|
+//! | §5 Strong Select, `O(n^{3/2}√log n)` deterministic | [`algorithms::StrongSelect`] |
+//! | §7 Harmonic Broadcast, `O(n log² n)` randomized | [`algorithms::Harmonic`] |
+//! | classical baselines (round robin, Decay, uniform) | [`algorithms`] |
+//! | §4 Theorems 2 & 4 (clique-bridge `Ω(n)`) | [`lower_bounds::clique_bridge`] |
+//! | §6 Theorem 12 (`Ω(n log n)` candidate sets) | [`lower_bounds::layered`] |
+//! | §7 Lemmas 14/15 (wake-up patterns, busy rounds) | [`analysis`] |
+//! | §2.2 & Appendix A, Lemma 1 (explicit interference) | [`interference`] |
+//! | §1/§8 (ETX-style link estimation, future work) | [`link_estimation`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dualgraph_broadcast::algorithms::StrongSelect;
+//! use dualgraph_broadcast::runner::{run_broadcast, RunConfig};
+//! use dualgraph_net::generators;
+//! use dualgraph_sim::RandomDelivery;
+//!
+//! let net = generators::clique_bridge(16).network;
+//! let outcome = run_broadcast(
+//!     &net,
+//!     &StrongSelect::new(),
+//!     Box::new(RandomDelivery::new(0.5, 42)),
+//!     RunConfig::default(),
+//! )?;
+//! assert!(outcome.completed);
+//! # Ok::<(), dualgraph_sim::BuildExecutorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod analysis;
+pub mod interference;
+pub mod link_estimation;
+pub mod lower_bounds;
+pub mod repeated;
+pub mod runner;
+pub mod stats;

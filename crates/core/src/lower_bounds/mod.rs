@@ -1,0 +1,13 @@
+//! The paper's lower-bound constructions, as executable adversaries.
+//!
+//! * [`clique_bridge`] — Theorems 2 and 4 (§4): the `Ω(n)` bound on
+//!   2-broadcastable undirected networks, and its probabilistic version.
+//! * [`layered`] — Theorem 12 (§6): the `Ω(n log n)` candidate-set
+//!   construction for undirected networks, effective against **any**
+//!   deterministic algorithm.
+//!
+//! Theorem 11's `Ω(n^{3/2})` directed bound is imported by the paper from
+//! Clementi–Monti–Silvestri and is not re-derived here (see DESIGN.md §5).
+
+pub mod clique_bridge;
+pub mod layered;

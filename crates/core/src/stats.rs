@@ -1,0 +1,142 @@
+//! Summary statistics for multi-trial experiments.
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower-interpolation).
+    pub median: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample or NaN values.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "cannot summarize NaN values"
+        );
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let count = sorted.len();
+        let rank = |q: f64| sorted[((count as f64 * q).ceil() as usize).clamp(1, count) - 1];
+        Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean: sorted.iter().sum::<f64>() / count as f64,
+            median: rank(0.5),
+            p90: rank(0.9),
+        }
+    }
+
+    /// Summarizes an integer sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn of_u64(values: &[u64]) -> Self {
+        let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Self::of(&floats)
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={:.1} med={:.1} mean={:.1} p90={:.1} max={:.1}",
+            self.count, self.min, self.median, self.mean, self.p90, self.max
+        )
+    }
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the empirical
+/// polynomial exponent of a measured growth curve. Used to compare measured
+/// round complexities with the paper's `n^{3/2}` and `n log² n` shapes.
+///
+/// # Panics
+///
+/// Panics if fewer than two points or any coordinate is non-positive.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points for a slope");
+    assert!(
+        points.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
+        "log-log slope requires positive coordinates"
+    );
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p90, 5.0);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of_u64(&[7]);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert!(s.to_string().contains("med=7.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn slope_of_exact_power_law() {
+        let points: Vec<(f64, f64)> = (1..10)
+            .map(|i| {
+                let x = i as f64 * 10.0;
+                (x, 3.0 * x.powf(1.5))
+            })
+            .collect();
+        let slope = log_log_slope(&points);
+        assert!((slope - 1.5).abs() < 1e-9, "slope={slope}");
+    }
+
+    #[test]
+    fn slope_of_linear_with_log_factor_is_slightly_above_one() {
+        let points: Vec<(f64, f64)> = (2..12)
+            .map(|i| {
+                let x = (1 << i) as f64;
+                (x, x * x.log2())
+            })
+            .collect();
+        let slope = log_log_slope(&points);
+        assert!(slope > 1.0 && slope < 1.4, "slope={slope}");
+    }
+}

@@ -1,0 +1,360 @@
+//! The dual graph network `(G, G′)` of the paper's §2.1.
+
+use std::fmt;
+
+use crate::graph::Digraph;
+use crate::node::NodeId;
+use crate::traversal;
+
+/// Error constructing a [`DualGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildDualGraphError {
+    /// `G` and `G′` have different node counts.
+    NodeCountMismatch {
+        /// Nodes in the reliable graph `G`.
+        reliable: usize,
+        /// Nodes in the total graph `G′`.
+        total: usize,
+    },
+    /// An edge of `G` is missing from `G′` (violates `E ⊆ E′`).
+    MissingReliableEdge {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+    },
+    /// The designated source is not a valid node.
+    SourceOutOfRange {
+        /// The offending source id.
+        source: NodeId,
+        /// Number of nodes.
+        nodes: usize,
+    },
+    /// Some node is not reachable from the source in `G`
+    /// (the model assumes every node is reachable in the reliable graph).
+    UnreachableNode {
+        /// A node with no `G`-path from the source.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for BuildDualGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildDualGraphError::NodeCountMismatch { reliable, total } => write!(
+                f,
+                "node count mismatch: G has {reliable} nodes but G' has {total}"
+            ),
+            BuildDualGraphError::MissingReliableEdge { from, to } => write!(
+                f,
+                "reliable edge ({from}, {to}) is missing from G' (E must be a subset of E')"
+            ),
+            BuildDualGraphError::SourceOutOfRange { source, nodes } => {
+                write!(f, "source {source} out of range for {nodes} nodes")
+            }
+            BuildDualGraphError::UnreachableNode { node } => write!(
+                f,
+                "node {node} is not reachable from the source in the reliable graph G"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildDualGraphError {}
+
+/// A dual graph network `(G, G′)`: reliable links `G` plus unreliable extras.
+///
+/// Invariants enforced at construction (§2.1 of the paper):
+///
+/// * `G` and `G′` share the node set;
+/// * `E ⊆ E′` — every reliable link is also a link;
+/// * every node is reachable from the designated source in `G`.
+///
+/// The classical (static, reliable) radio model is the special case
+/// `G = G′`; [`DualGraph::is_classical`] detects it.
+///
+/// # Examples
+///
+/// ```
+/// use dualgraph_net::{Digraph, DualGraph, NodeId};
+///
+/// // A 3-node line in G, with an extra unreliable chord in G'.
+/// let mut g = Digraph::new(3);
+/// g.add_undirected_edge(NodeId(0), NodeId(1));
+/// g.add_undirected_edge(NodeId(1), NodeId(2));
+/// let mut gp = g.clone();
+/// gp.add_undirected_edge(NodeId(0), NodeId(2));
+///
+/// let net = DualGraph::new(g, gp, NodeId(0))?;
+/// assert_eq!(net.len(), 3);
+/// assert!(!net.is_classical());
+/// assert_eq!(net.unreliable_only_out(NodeId(0)), &[NodeId(2)]);
+/// # Ok::<(), dualgraph_net::BuildDualGraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct DualGraph {
+    reliable: Digraph,
+    total: Digraph,
+    source: NodeId,
+    /// For each node `u`: out-neighbors in `G′` that are *not* out-neighbors
+    /// in `G` — exactly the targets the adversary may grant or deny.
+    unreliable_only: Vec<Vec<NodeId>>,
+}
+
+impl DualGraph {
+    /// Validates and builds a dual graph network.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildDualGraphError`] if node counts differ, `E ⊄ E′`,
+    /// the source is out of range, or some node is unreachable from the
+    /// source in `G`.
+    pub fn new(
+        reliable: Digraph,
+        total: Digraph,
+        source: NodeId,
+    ) -> Result<Self, BuildDualGraphError> {
+        if reliable.node_count() != total.node_count() {
+            return Err(BuildDualGraphError::NodeCountMismatch {
+                reliable: reliable.node_count(),
+                total: total.node_count(),
+            });
+        }
+        if source.index() >= reliable.node_count() {
+            return Err(BuildDualGraphError::SourceOutOfRange {
+                source,
+                nodes: reliable.node_count(),
+            });
+        }
+        for (u, v) in reliable.edges() {
+            if !total.has_edge(u, v) {
+                return Err(BuildDualGraphError::MissingReliableEdge { from: u, to: v });
+            }
+        }
+        let dist = traversal::bfs_distances(&reliable, source);
+        if let Some(unreached) = dist.iter().position(|&d| d == traversal::UNREACHABLE) {
+            return Err(BuildDualGraphError::UnreachableNode {
+                node: NodeId::from_index(unreached),
+            });
+        }
+        let unreliable_only = (0..reliable.node_count())
+            .map(|u| {
+                let u = NodeId::from_index(u);
+                total
+                    .out_neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| !reliable.has_edge(u, v))
+                    .collect()
+            })
+            .collect();
+        Ok(DualGraph {
+            reliable,
+            total,
+            source,
+            unreliable_only,
+        })
+    }
+
+    /// Builds the classical (fully reliable) network `G = G′`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DualGraph::new`].
+    pub fn classical(g: Digraph, source: NodeId) -> Result<Self, BuildDualGraphError> {
+        let total = g.clone();
+        Self::new(g, total, source)
+    }
+
+    /// Number of nodes `n`.
+    pub fn len(&self) -> usize {
+        self.reliable.node_count()
+    }
+
+    /// `true` when the network has no nodes (never true for a validated
+    /// network, which must contain its source).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The reliable graph `G`.
+    pub fn reliable(&self) -> &Digraph {
+        &self.reliable
+    }
+
+    /// The total link graph `G′`.
+    pub fn total(&self) -> &Digraph {
+        &self.total
+    }
+
+    /// The designated source node `s`.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// `true` when `G = G′` (the classical static radio model).
+    pub fn is_classical(&self) -> bool {
+        self.reliable.edge_count() == self.total.edge_count()
+    }
+
+    /// `true` when both graphs are symmetric — the paper's *undirected*
+    /// network.
+    pub fn is_undirected(&self) -> bool {
+        self.reliable.is_symmetric() && self.total.is_symmetric()
+    }
+
+    /// Out-neighbors of `u` in `G′` that are not out-neighbors in `G` —
+    /// the adversary-controlled delivery targets for `u`'s transmissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn unreliable_only_out(&self, u: NodeId) -> &[NodeId] {
+        &self.unreliable_only[u.index()]
+    }
+
+    /// Total count of adversary-controlled (unreliable-only) directed edges.
+    pub fn unreliable_edge_count(&self) -> usize {
+        self.unreliable_only.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.reliable.nodes()
+    }
+
+    /// BFS distance from the source to every node in `G` (all finite by the
+    /// construction invariant).
+    pub fn reliable_distances(&self) -> Vec<u32> {
+        traversal::bfs_distances(&self.reliable, self.source)
+    }
+
+    /// Eccentricity of the source in `G`: a lower bound on broadcast time
+    /// for any algorithm and any adversary.
+    pub fn source_eccentricity(&self) -> u32 {
+        traversal::eccentricity(&self.reliable, self.source)
+            .expect("validated dual graph is source-connected")
+    }
+
+    /// Decomposes into `(G, G′, source)`.
+    pub fn into_parts(self) -> (Digraph, Digraph, NodeId) {
+        (self.reliable, self.total, self.source)
+    }
+}
+
+impl fmt::Debug for DualGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DualGraph(n={}, |E|={}, |E'|={}, source={})",
+            self.len(),
+            self.reliable.edge_count(),
+            self.total.edge_count(),
+            self.source
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn line3() -> Digraph {
+        let mut g = Digraph::new(3);
+        g.add_undirected_edge(v(0), v(1));
+        g.add_undirected_edge(v(1), v(2));
+        g
+    }
+
+    #[test]
+    fn classical_network() {
+        let net = DualGraph::classical(line3(), v(0)).unwrap();
+        assert!(net.is_classical());
+        assert!(net.is_undirected());
+        assert_eq!(net.unreliable_edge_count(), 0);
+        assert_eq!(net.source_eccentricity(), 2);
+    }
+
+    #[test]
+    fn dual_network_unreliable_neighbors() {
+        let g = line3();
+        let gp = Digraph::complete(3);
+        let net = DualGraph::new(g, gp, v(0)).unwrap();
+        assert!(!net.is_classical());
+        assert_eq!(net.unreliable_only_out(v(0)), &[v(2)]);
+        assert_eq!(net.unreliable_only_out(v(1)), &[] as &[NodeId]);
+        assert_eq!(net.unreliable_edge_count(), 2);
+    }
+
+    #[test]
+    fn rejects_node_count_mismatch() {
+        let err = DualGraph::new(Digraph::new(2), Digraph::new(3), v(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildDualGraphError::NodeCountMismatch {
+                reliable: 2,
+                total: 3
+            }
+        ));
+        assert!(err.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn rejects_missing_reliable_edge() {
+        let g = line3();
+        let mut gp = Digraph::new(3);
+        gp.add_undirected_edge(v(0), v(1)); // (1,2) missing
+        let err = DualGraph::new(g, gp, v(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildDualGraphError::MissingReliableEdge { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_source() {
+        let err = DualGraph::classical(line3(), v(3)).unwrap_err();
+        assert!(matches!(err, BuildDualGraphError::SourceOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_unreachable_node() {
+        let mut g = Digraph::new(3);
+        g.add_edge(v(0), v(1)); // node 2 isolated in G
+        let gp = Digraph::complete(3);
+        let err = DualGraph::new(g, gp, v(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildDualGraphError::UnreachableNode { node } if node == v(2)
+        ));
+    }
+
+    #[test]
+    fn directed_reachability_respected() {
+        // 0 -> 1 -> 2 one-way suffices.
+        let mut g = Digraph::new(3);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(1), v(2));
+        let net = DualGraph::new(g.clone(), g, v(0)).unwrap();
+        assert!(!net.is_undirected());
+        assert_eq!(net.reliable_distances(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn into_parts_roundtrip() {
+        let net = DualGraph::classical(line3(), v(1)).unwrap();
+        let (g, gp, s) = net.into_parts();
+        assert_eq!(g, gp);
+        assert_eq!(s, v(1));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = BuildDualGraphError::UnreachableNode { node: v(7) };
+        assert!(e.to_string().contains("v7"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Graph node identifiers.
+
+use std::fmt;
+
+/// Identifier of a *graph node* (a position in the network).
+///
+/// The paper distinguishes graph nodes from *processes* (the automata an
+/// adversary assigns to nodes via the `proc` mapping); process identifiers
+/// live in `dualgraph-sim`. Keeping the two as distinct newtypes makes it
+/// impossible to confuse "node 3" with "the process whose ID is 3" — the
+/// heart of the lower-bound constructions in §4 and §6 of the paper.
+///
+/// Nodes are dense indices `0..n`, so they double as vector indices.
+///
+/// # Examples
+///
+/// ```
+/// use dualgraph_net::NodeId;
+///
+/// let v = NodeId(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's dense index, usable directly as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> u32 {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let v = NodeId::from_index(17);
+        assert_eq!(v.index(), 17);
+        assert_eq!(u32::from(v), 17);
+        assert_eq!(NodeId::from(17u32), v);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId(0).to_string(), "v0");
+        assert_eq!(NodeId(42).to_string(), "v42");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::default(), NodeId(0));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the graph substrate.
+
+use dualgraph_net::{broadcastability, generators, traversal, Digraph, DualGraph, FixedBitSet, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bitset membership agrees with a reference `Vec<bool>` model.
+    #[test]
+    fn bitset_matches_model(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..300)) {
+        let mut set = FixedBitSet::new(200);
+        let mut model = vec![false; 200];
+        for (idx, insert) in ops {
+            if insert {
+                set.insert(idx);
+                model[idx] = true;
+            } else {
+                set.remove(idx);
+                model[idx] = false;
+            }
+        }
+        for (i, &m) in model.iter().enumerate() {
+            prop_assert_eq!(set.contains(i), m);
+        }
+        prop_assert_eq!(set.count(), model.iter().filter(|&&b| b).count());
+        let from_iter: Vec<usize> = set.iter().collect();
+        let expected: Vec<usize> =
+            model.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        prop_assert_eq!(from_iter, expected);
+    }
+
+    /// Union/intersection/difference agree with the model.
+    #[test]
+    fn bitset_ops_match_model(
+        a in prop::collection::btree_set(0usize..128, 0..64),
+        b in prop::collection::btree_set(0usize..128, 0..64),
+    ) {
+        let sa = FixedBitSet::from_indices(128, a.iter().copied());
+        let sb = FixedBitSet::from_indices(128, b.iter().copied());
+
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        let expect: Vec<usize> = a.union(&b).copied().collect();
+        prop_assert_eq!(u.iter().collect::<Vec<_>>(), expect);
+
+        let mut i = sa.clone();
+        i.intersect_with(&sb);
+        let expect: Vec<usize> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(i.iter().collect::<Vec<_>>(), expect);
+
+        let mut d = sa.clone();
+        d.difference_with(&sb);
+        let expect: Vec<usize> = a.difference(&b).copied().collect();
+        prop_assert_eq!(d.iter().collect::<Vec<_>>(), expect);
+
+        prop_assert_eq!(sa.is_subset(&sb), a.is_subset(&b));
+        prop_assert_eq!(sa.is_disjoint(&sb), a.is_disjoint(&b));
+    }
+
+    /// Digraphs built from arbitrary edge lists keep in/out lists consistent.
+    #[test]
+    fn digraph_in_out_consistent(edges in prop::collection::vec((0u32..20, 0u32..20), 0..100)) {
+        let clean: Vec<(NodeId, NodeId)> = edges
+            .into_iter()
+            .filter(|(u, v)| u != v)
+            .map(|(u, v)| (NodeId(u), NodeId(v)))
+            .collect();
+        let g = Digraph::from_edges(20, clean.clone());
+        // Every out-edge appears as an in-edge and vice versa.
+        for (u, v) in g.edges() {
+            prop_assert!(g.in_neighbors(v).contains(&u));
+        }
+        let total_in: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(total_in, g.edge_count());
+        // Edge membership matches the deduplicated input.
+        for (u, v) in clean {
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+
+    /// er_dual always returns a valid network: E ⊆ E′ and source-connected.
+    #[test]
+    fn er_dual_always_valid(n in 2usize..40, rp in 0.0f64..0.3, up in 0.0f64..0.3, seed: u64) {
+        let net = generators::er_dual(
+            generators::ErDualParams { n, reliable_p: rp, unreliable_p: up },
+            seed,
+        );
+        prop_assert_eq!(net.len(), n);
+        prop_assert!(net.reliable().is_subgraph_of(net.total()));
+        prop_assert!(traversal::all_reachable_from(net.reliable(), net.source()));
+        prop_assert!(net.is_undirected());
+    }
+
+    /// geometric_dual always returns a valid, undirected, connected network.
+    #[test]
+    fn geometric_dual_always_valid(n in 2usize..40, r in 0.01f64..0.5, extra in 0.0f64..0.5, seed: u64) {
+        let net = generators::geometric_dual(
+            generators::GeometricDualParams {
+                n,
+                reliable_radius: r,
+                gray_radius: r + extra,
+            },
+            seed,
+        );
+        prop_assert!(net.reliable().is_subgraph_of(net.total()));
+        prop_assert!(traversal::all_reachable_from(net.reliable(), net.source()));
+    }
+
+    /// The greedy schedule really floods the graph: simulate it.
+    #[test]
+    fn greedy_schedule_floods(n in 2usize..30, rp in 0.0f64..0.2, seed: u64) {
+        let net = generators::er_dual(
+            generators::ErDualParams { n, reliable_p: rp, unreliable_p: 0.0 },
+            seed,
+        );
+        let schedule = broadcastability::greedy_schedule(&net);
+        let mut informed = FixedBitSet::new(n);
+        informed.insert(net.source().index());
+        for r in 0..schedule.len() {
+            let sender = schedule.sender(r).unwrap();
+            prop_assert!(informed.contains(sender.index()), "scheduled sender lacks message");
+            for v in net.reliable().out_neighbors(sender) {
+                informed.insert(v.index());
+            }
+        }
+        prop_assert_eq!(informed.count(), n);
+        // And it is never longer than n-1 (§3: every network is n-broadcastable).
+        prop_assert!(schedule.len() < n.max(2));
+    }
+
+    /// Eccentricity lower bound never exceeds greedy upper bound.
+    #[test]
+    fn broadcastability_bounds_ordered(n in 2usize..30, seed: u64) {
+        let net = generators::er_dual(
+            generators::ErDualParams { n, reliable_p: 0.1, unreliable_p: 0.1 },
+            seed,
+        );
+        prop_assert!(
+            broadcastability::broadcastability_lower_bound(&net)
+                <= broadcastability::broadcastability_upper_bound(&net)
+        );
+    }
+
+    /// BFS distances satisfy the triangle property along edges.
+    #[test]
+    fn bfs_distances_tight_on_edges(n in 2usize..30, seed: u64) {
+        let net = generators::er_dual(
+            generators::ErDualParams { n, reliable_p: 0.15, unreliable_p: 0.0 },
+            seed,
+        );
+        let d = traversal::bfs_distances(net.reliable(), net.source());
+        for (u, v) in net.reliable().edges() {
+            prop_assert!(d[v.index()] <= d[u.index()] + 1);
+        }
+    }
+
+    /// Symmetric closure is symmetric and contains the original.
+    #[test]
+    fn symmetric_closure_properties(edges in prop::collection::vec((0u32..15, 0u32..15), 0..60)) {
+        let clean: Vec<(NodeId, NodeId)> = edges
+            .into_iter()
+            .filter(|(u, v)| u != v)
+            .map(|(u, v)| (NodeId(u), NodeId(v)))
+            .collect();
+        let g = Digraph::from_edges(15, clean);
+        let c = g.symmetric_closure();
+        prop_assert!(c.is_symmetric());
+        prop_assert!(g.is_subgraph_of(&c));
+    }
+}
+
+#[test]
+fn classical_dualgraph_from_any_generator_is_classical() {
+    let net = generators::line(12, 1);
+    assert!(net.is_classical());
+    let (g, gp, s) = net.into_parts();
+    assert_eq!(g, gp);
+    let rebuilt = DualGraph::classical(g, s).unwrap();
+    assert!(rebuilt.is_classical());
+}

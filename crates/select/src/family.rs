@@ -1,0 +1,221 @@
+//! The [`SelectiveFamily`] type: an ordered family of subsets of `[n]`.
+
+use std::fmt;
+
+/// Error building a [`SelectiveFamily`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildFamilyError {
+    /// A set contains an element `≥ n`.
+    ElementOutOfRange {
+        /// Index of the offending set.
+        set: usize,
+        /// The offending element.
+        element: u32,
+    },
+    /// The target selectivity `k` is zero or exceeds `n`.
+    InvalidSelectivity {
+        /// Requested `k`.
+        k: usize,
+        /// Universe size `n`.
+        n: usize,
+    },
+}
+
+impl fmt::Display for BuildFamilyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildFamilyError::ElementOutOfRange { set, element } => {
+                write!(f, "set {set} contains out-of-range element {element}")
+            }
+            BuildFamilyError::InvalidSelectivity { k, n } => {
+                write!(f, "selectivity k={k} is invalid for universe size n={n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildFamilyError {}
+
+/// An ordered family `F[0], …, F[ℓ−1]` of subsets of `[n] = {0, …, n−1}`,
+/// annotated with its design selectivity `k`.
+///
+/// **Definition 6 of the paper:** `F` is `(n, k)`-strongly selective when
+/// for every nonempty `Z ⊆ [n]` with `|Z| ≤ k` and every `z ∈ Z` there is a
+/// set `F[j]` with `Z ∩ F[j] = {z}`.
+///
+/// Constructing a family does **not** prove it strongly selective — use
+/// [`crate::verify`] for that. (The randomized construction is correct only
+/// with high probability; Kautz–Singleton is correct by design.)
+///
+/// # Examples
+///
+/// ```
+/// use dualgraph_select::SelectiveFamily;
+///
+/// let rr = dualgraph_select::round_robin(4);
+/// assert_eq!(rr.len(), 4);
+/// assert!(rr.contains(2, 2));
+/// assert!(!rr.contains(2, 3));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SelectiveFamily {
+    n: usize,
+    k: usize,
+    sets: Vec<Vec<u32>>,
+}
+
+impl SelectiveFamily {
+    /// Builds a family over `[n]` with design selectivity `k`.
+    ///
+    /// Sets are sorted and deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildFamilyError`] if `k` is not in `1..=n` or an element
+    /// is out of range.
+    pub fn new(n: usize, k: usize, sets: Vec<Vec<u32>>) -> Result<Self, BuildFamilyError> {
+        if k == 0 || k > n {
+            return Err(BuildFamilyError::InvalidSelectivity { k, n });
+        }
+        let mut clean = Vec::with_capacity(sets.len());
+        for (j, mut s) in sets.into_iter().enumerate() {
+            s.sort_unstable();
+            s.dedup();
+            if let Some(&e) = s.iter().find(|&&e| e as usize >= n) {
+                return Err(BuildFamilyError::ElementOutOfRange { set: j, element: e });
+            }
+            clean.push(s);
+        }
+        Ok(SelectiveFamily { n, k, sets: clean })
+    }
+
+    /// Universe size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Design selectivity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of sets `ℓ`.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` when the family has no sets.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The `j`-th set, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn set(&self, j: usize) -> &[u32] {
+        &self.sets[j]
+    }
+
+    /// Whether set `j` contains element `x` (`O(log |F[j]|)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn contains(&self, j: usize, x: u32) -> bool {
+        self.sets[j].binary_search(&x).is_ok()
+    }
+
+    /// Iterates the sets in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.sets.iter().map(Vec::as_slice)
+    }
+
+    /// Indices of the sets containing element `x`, in order.
+    pub fn sets_containing(&self, x: u32) -> Vec<usize> {
+        (0..self.len()).filter(|&j| self.contains(j, x)).collect()
+    }
+
+    /// Total number of element slots across all sets (a size measure used
+    /// by the SSF-size experiment, alongside [`SelectiveFamily::len`]).
+    pub fn total_weight(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Debug for SelectiveFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SelectiveFamily(n={}, k={}, sets={})",
+            self.n,
+            self.k,
+            self.len()
+        )
+    }
+}
+
+/// The round-robin family `{{0}, {1}, …, {n−1}}` — an `(n, n)`-SSF of size
+/// `n`, used by Strong Select as its largest family `F_{s_max}`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn round_robin(n: usize) -> SelectiveFamily {
+    assert!(n > 0, "round_robin requires n > 0");
+    SelectiveFamily::new(n, n, (0..n as u32).map(|i| vec![i]).collect())
+        .expect("round robin construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let f = SelectiveFamily::new(5, 2, vec![vec![3, 1, 3, 0]]).unwrap();
+        assert_eq!(f.set(0), &[0, 1, 3]);
+        assert_eq!(f.total_weight(), 3);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = SelectiveFamily::new(3, 2, vec![vec![0], vec![3]]).unwrap_err();
+        assert_eq!(
+            err,
+            BuildFamilyError::ElementOutOfRange { set: 1, element: 3 }
+        );
+        assert!(err.to_string().contains("set 1"));
+    }
+
+    #[test]
+    fn rejects_bad_selectivity() {
+        assert!(SelectiveFamily::new(3, 0, vec![]).is_err());
+        assert!(SelectiveFamily::new(3, 4, vec![]).is_err());
+        assert!(SelectiveFamily::new(3, 3, vec![]).is_ok());
+    }
+
+    #[test]
+    fn round_robin_shape() {
+        let rr = round_robin(5);
+        assert_eq!(rr.n(), 5);
+        assert_eq!(rr.k(), 5);
+        assert_eq!(rr.len(), 5);
+        for j in 0..5 {
+            assert_eq!(rr.set(j), &[j as u32]);
+        }
+        assert_eq!(rr.sets_containing(3), vec![3]);
+    }
+
+    #[test]
+    fn membership_and_iter() {
+        let f = SelectiveFamily::new(4, 2, vec![vec![0, 1], vec![2], vec![1, 3]]).unwrap();
+        assert!(f.contains(0, 1));
+        assert!(!f.contains(1, 1));
+        assert_eq!(f.sets_containing(1), vec![0, 2]);
+        assert_eq!(f.iter().count(), 3);
+        assert!(!f.is_empty());
+        assert!(format!("{f:?}").contains("sets=3"));
+    }
+}

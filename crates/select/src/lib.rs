@@ -1,0 +1,38 @@
+//! # dualgraph-select
+//!
+//! Strongly Selective Families (SSFs) for radio-network broadcast —
+//! Definition 6 of *Broadcasting in Unreliable Radio Networks* (PODC 2010).
+//!
+//! A family `F` of subsets of `[n]` is **`(n, k)`-strongly selective** when
+//! for every nonempty `Z ⊆ [n]` with `|Z| ≤ k` and every `z ∈ Z`, some set
+//! `F ∈ F` has `Z ∩ F = {z}`. The paper's Strong Select algorithm (§5)
+//! cycles through SSFs of exponentially growing selectivity to isolate
+//! frontier nodes; this crate provides the constructions:
+//!
+//! * [`kautz_singleton`] — the explicit Reed–Solomon construction of size
+//!   `O(k² log² n)` (Kautz–Singleton 1964, the paper's "constructive" note);
+//! * [`random_family`] — the randomized construction matching the
+//!   existential `O(k² log n)` bound (Theorem 7, Erdős–Frankl–Füredi);
+//! * [`round_robin`] — the trivial `(n, n)`-SSF of singletons;
+//! * [`verify`] — exhaustive and randomized property verifiers.
+//!
+//! # Examples
+//!
+//! ```
+//! use dualgraph_select::{kautz_singleton, verify};
+//!
+//! let f = kautz_singleton(16, 2);
+//! assert!(verify::is_strongly_selective_exhaustive(&f));
+//! ```
+
+#![warn(missing_docs)]
+
+mod family;
+mod kautz_singleton;
+pub mod primes;
+mod random_family;
+pub mod verify;
+
+pub use family::{round_robin, BuildFamilyError, SelectiveFamily};
+pub use kautz_singleton::{best_explicit, choose_parameters, kautz_singleton, KsParameters};
+pub use random_family::{random_family, RandomFamilyParams};

@@ -1,0 +1,129 @@
+//! Primality and prime-field arithmetic for the Reed–Solomon construction.
+
+/// Deterministic primality test by trial division (adequate: the
+/// Kautz–Singleton construction never needs primes beyond ~`k·log n`).
+///
+/// # Examples
+///
+/// ```
+/// use dualgraph_select::primes::is_prime;
+/// assert!(is_prime(2) && is_prime(97));
+/// assert!(!is_prime(1) && !is_prime(91));
+/// ```
+pub fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    if x % 2 == 0 {
+        return x == 2;
+    }
+    let mut d = 3;
+    while d * d <= x {
+        if x % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The smallest prime `≥ x`.
+///
+/// # Panics
+///
+/// Panics on overflow (unreachable for the sizes this crate uses).
+pub fn next_prime(x: u64) -> u64 {
+    let mut c = x.max(2);
+    loop {
+        if is_prime(c) {
+            return c;
+        }
+        c = c.checked_add(1).expect("prime search overflow");
+    }
+}
+
+/// Evaluates the polynomial with coefficients `coeffs` (constant term
+/// first) at point `x`, modulo the prime `q`, by Horner's rule.
+///
+/// # Panics
+///
+/// Panics if `q == 0`.
+pub fn poly_eval_mod(coeffs: &[u64], x: u64, q: u64) -> u64 {
+    assert!(q > 0, "modulus must be positive");
+    let mut acc = 0u64;
+    for &c in coeffs.iter().rev() {
+        acc = (acc * x + c) % q;
+    }
+    acc
+}
+
+/// The base-`q` digits of `x` (least significant first), padded to `width`.
+///
+/// # Panics
+///
+/// Panics if `q < 2` or `x` does not fit in `width` digits.
+pub fn digits_base(mut x: u64, q: u64, width: usize) -> Vec<u64> {
+    assert!(q >= 2, "digit base must be at least 2");
+    let mut out = Vec::with_capacity(width);
+    for _ in 0..width {
+        out.push(x % q);
+        x /= q;
+    }
+    assert_eq!(x, 0, "value does not fit in {width} base-{q} digits");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_small_table() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31];
+        for x in 0..32 {
+            assert_eq!(is_prime(x), primes.contains(&x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn next_prime_values() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(8), 11);
+        assert_eq!(next_prime(90), 97);
+        assert_eq!(next_prime(97), 97);
+    }
+
+    #[test]
+    fn poly_eval_examples() {
+        // 3 + 2x + x^2 at x=4 mod 7 = 3 + 8 + 16 = 27 mod 7 = 6.
+        assert_eq!(poly_eval_mod(&[3, 2, 1], 4, 7), 6);
+        // Constant polynomial.
+        assert_eq!(poly_eval_mod(&[5], 100, 7), 5);
+        // Empty polynomial is zero.
+        assert_eq!(poly_eval_mod(&[], 3, 7), 0);
+    }
+
+    #[test]
+    fn digits_roundtrip() {
+        let d = digits_base(123, 5, 4);
+        assert_eq!(d, vec![3, 4, 4, 0]); // 123 = 3 + 4*5 + 4*25
+        let back: u64 = d.iter().rev().fold(0, |acc, &x| acc * 5 + x);
+        assert_eq!(back, 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn digits_overflow_panics() {
+        digits_base(125, 5, 3);
+    }
+
+    #[test]
+    fn distinct_values_have_distinct_digit_vectors() {
+        for a in 0..60u64 {
+            for b in (a + 1)..60 {
+                assert_ne!(digits_base(a, 7, 3), digits_base(b, 7, 3));
+            }
+        }
+    }
+}

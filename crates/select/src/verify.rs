@@ -1,0 +1,144 @@
+//! Verifiers for the strongly-selective property (Definition 6).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::family::SelectiveFamily;
+
+/// Checks whether `family` isolates every element of `z_set`: for each
+/// `z ∈ z_set` there must be a set `F` with `z_set ∩ F = {z}`.
+pub fn isolates_all(family: &SelectiveFamily, z_set: &[u32]) -> bool {
+    z_set.iter().all(|&z| {
+        (0..family.len()).any(|j| {
+            family.contains(j, z) && z_set.iter().all(|&y| y == z || !family.contains(j, y))
+        })
+    })
+}
+
+/// Exhaustively verifies the `(n, k)`-strongly-selective property by
+/// checking every subset of size exactly `min(k, n)` (sufficient: the
+/// property is downward closed — any smaller `Z` extends to size `k`, and a
+/// selector for the extension also selects within `Z`).
+///
+/// Cost: `C(n, k)` subsets — use only for small `n, k` (tests do).
+pub fn is_strongly_selective_exhaustive(family: &SelectiveFamily) -> bool {
+    let n = family.n();
+    let k = family.k().min(n);
+    let mut subset: Vec<u32> = Vec::with_capacity(k);
+    fn recurse(
+        family: &SelectiveFamily,
+        start: u32,
+        remaining: usize,
+        subset: &mut Vec<u32>,
+    ) -> bool {
+        if remaining == 0 {
+            return isolates_all(family, subset);
+        }
+        let n = family.n() as u32;
+        // Prune: not enough elements left to fill the subset.
+        for x in start..=(n - remaining as u32) {
+            subset.push(x);
+            let ok = recurse(family, x + 1, remaining - 1, subset);
+            subset.pop();
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+    recurse(family, 0, k, &mut subset)
+}
+
+/// Randomized spot check: samples `trials` uniformly random subsets of size
+/// `≤ k` and checks isolation. Returns `false` on the first
+/// counterexample; `true` is evidence, not proof.
+pub fn spot_check_strongly_selective(family: &SelectiveFamily, trials: usize, seed: u64) -> bool {
+    find_counterexample(family, trials, seed).is_none()
+}
+
+/// Like [`spot_check_strongly_selective`] but returns the violating subset.
+pub fn find_counterexample(
+    family: &SelectiveFamily,
+    trials: usize,
+    seed: u64,
+) -> Option<Vec<u32>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = family.n() as u32;
+    let k = family.k().min(family.n());
+    for _ in 0..trials {
+        let size = rng.gen_range(1..=k);
+        let mut z: Vec<u32> = Vec::with_capacity(size);
+        while z.len() < size {
+            let x = rng.gen_range(0..n);
+            if !z.contains(&x) {
+                z.push(x);
+            }
+        }
+        z.sort_unstable();
+        if !isolates_all(family, &z) {
+            return Some(z);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{round_robin, SelectiveFamily};
+
+    #[test]
+    fn round_robin_is_selective_for_all_k() {
+        for n in 1..=7 {
+            let rr = round_robin(n);
+            assert!(is_strongly_selective_exhaustive(&rr), "n={n}");
+        }
+    }
+
+    #[test]
+    fn trivial_family_is_not_selective() {
+        // One set containing everything cannot isolate within |Z| >= 2.
+        let f = SelectiveFamily::new(4, 2, vec![(0..4).collect()]).unwrap();
+        assert!(!is_strongly_selective_exhaustive(&f));
+        assert!(find_counterexample(&f, 500, 1).is_some());
+    }
+
+    #[test]
+    fn empty_family_fails_even_singletons() {
+        let f = SelectiveFamily::new(3, 1, vec![]).unwrap();
+        assert!(!is_strongly_selective_exhaustive(&f));
+    }
+
+    #[test]
+    fn hand_built_2_selective_family() {
+        // n=4, k=2: binary-code families. Sets: bit0 on, bit0 off, bit1 on,
+        // bit1 off. For any pair {a, b}, a != b, they differ in some bit;
+        // the corresponding set isolates each.
+        let f = SelectiveFamily::new(
+            4,
+            2,
+            vec![vec![1, 3], vec![0, 2], vec![2, 3], vec![0, 1]],
+        )
+        .unwrap();
+        assert!(is_strongly_selective_exhaustive(&f));
+        assert!(spot_check_strongly_selective(&f, 200, 9));
+    }
+
+    #[test]
+    fn isolates_all_examples() {
+        let rr = round_robin(4);
+        assert!(isolates_all(&rr, &[0, 2, 3]));
+        let f = SelectiveFamily::new(4, 2, vec![vec![0, 1]]).unwrap();
+        assert!(!isolates_all(&f, &[0, 1]));
+        assert!(isolates_all(&f, &[])); // vacuous
+    }
+
+    #[test]
+    fn counterexample_is_reported_correctly() {
+        let f = SelectiveFamily::new(5, 3, vec![vec![0], vec![1], vec![2], vec![3]]).unwrap();
+        // Element 4 is never isolated.
+        let cx = find_counterexample(&f, 2000, 4).expect("must find a violation");
+        assert!(cx.contains(&4));
+        assert!(!isolates_all(&f, &cx));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for strongly selective families.
+
+use dualgraph_select::{
+    choose_parameters, kautz_singleton, primes, random_family, round_robin, verify,
+    RandomFamilyParams, SelectiveFamily,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Kautz–Singleton is correct by construction: exhaustively verified
+    /// for every small (n, k).
+    #[test]
+    fn kautz_singleton_exhaustive_small(n in 2usize..14, k in 2usize..4) {
+        prop_assume!(k <= n);
+        let f = kautz_singleton(n, k);
+        prop_assert!(
+            verify::is_strongly_selective_exhaustive(&f),
+            "KS({n},{k}) violated Definition 6"
+        );
+    }
+
+    /// The chosen parameters always satisfy the construction's guarantee.
+    #[test]
+    fn ks_parameters_sound(n in 2usize..5000, k in 2usize..20) {
+        prop_assume!(k <= n);
+        let p = choose_parameters(n, k);
+        prop_assert!(primes::is_prime(p.q));
+        prop_assert!((p.q as u128).pow(p.m as u32) >= n as u128);
+        prop_assert!(p.q > (k as u64 - 1) * (p.m as u64 - 1));
+    }
+
+    /// Every element appears in exactly q sets of the KS family (one per
+    /// evaluation point), so family weight = n·q.
+    #[test]
+    fn ks_weight_structure(n in 4usize..200, k in 2usize..6) {
+        prop_assume!(k <= n);
+        let f = kautz_singleton(n, k);
+        let q = choose_parameters(n, k).q as usize;
+        prop_assert_eq!(f.total_weight(), n * q);
+    }
+
+    /// Randomized families at small sizes pass the spot verifier (the
+    /// δ=1e-3 failure budget makes counterexamples vanishingly rare; with
+    /// fixed-seed sampling this is deterministic per input).
+    #[test]
+    fn random_family_spot_small(n in 4usize..40, k in 2usize..4, seed: u64) {
+        prop_assume!(k <= n);
+        let f = random_family(RandomFamilyParams::new(n, k), seed);
+        prop_assert!(verify::spot_check_strongly_selective(&f, 60, seed ^ 1));
+    }
+
+    /// Round robin is (n, n)-strongly selective for every n.
+    #[test]
+    fn round_robin_always_selective(n in 1usize..10) {
+        prop_assert!(verify::is_strongly_selective_exhaustive(&round_robin(n)));
+    }
+
+    /// The exhaustive verifier and the spot verifier agree on
+    /// randomly-built (mostly broken) families.
+    #[test]
+    fn verifiers_agree(
+        n in 2usize..8,
+        k in 1usize..3,
+        sets in prop::collection::vec(prop::collection::vec(0u32..8, 0..5), 0..8),
+    ) {
+        prop_assume!(k <= n);
+        let sets: Vec<Vec<u32>> = sets
+            .into_iter()
+            .map(|s| s.into_iter().filter(|&x| (x as usize) < n).collect())
+            .collect();
+        let f = SelectiveFamily::new(n, k, sets).unwrap();
+        let exhaustive = verify::is_strongly_selective_exhaustive(&f);
+        // Spot checking with many trials on a tiny universe: a broken
+        // family is found broken with near-certainty; a correct family is
+        // never reported broken.
+        let spot = verify::spot_check_strongly_selective(&f, 3000, 7);
+        if exhaustive {
+            prop_assert!(spot, "spot verifier rejected a correct family");
+        }
+        if !spot {
+            prop_assert!(!exhaustive, "spot verifier found a phantom counterexample");
+        }
+    }
+
+    /// Polynomial evaluation matches a naive reference.
+    #[test]
+    fn poly_eval_matches_reference(
+        coeffs in prop::collection::vec(0u64..97, 0..6),
+        x in 0u64..97,
+    ) {
+        let q = 97;
+        let fast = primes::poly_eval_mod(&coeffs, x, q);
+        let slow = coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let mut pw = 1u64;
+                for _ in 0..i {
+                    pw = pw * x % q;
+                }
+                c * pw % q
+            })
+            .fold(0, |acc, t| (acc + t) % q);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// next_prime returns the first prime at or after the input.
+    #[test]
+    fn next_prime_is_next(x in 0u64..5000) {
+        let p = primes::next_prime(x);
+        prop_assert!(p >= x);
+        prop_assert!(primes::is_prime(p));
+        for q in x..p {
+            prop_assert!(!primes::is_prime(q));
+        }
+    }
+}

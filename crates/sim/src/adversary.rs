@@ -1,0 +1,653 @@
+//! The adversary interface and built-in adversaries.
+//!
+//! The model (§2.1) gives the adversary three choices:
+//!
+//! 1. the `proc` mapping of processes to graph nodes, fixed up front;
+//! 2. each round, for every sender, which of its unreliable-only
+//!    (`G′ ∖ G`) out-neighbors its message reaches;
+//! 3. under CR4, how each collision resolves (silence or one message).
+//!
+//! An *adversary class* then fixes what information those choices may
+//! depend on. Implementations here receive a [`RoundContext`] — the full
+//! observable history summary (who sends what, who is informed) — which is
+//! as much as any of the paper's constructions needs.
+
+use dualgraph_net::{DualGraph, FixedBitSet, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use crate::collision::Cr4Resolution;
+use crate::message::{Message, ProcessId};
+
+/// A bijection between graph nodes and processes (the `proc` mapping).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    node_to_proc: Vec<ProcessId>,
+    proc_to_node: Vec<NodeId>,
+}
+
+/// Error building an [`Assignment`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildAssignmentError {
+    /// The mapping is not a permutation of `0..n`.
+    NotAPermutation,
+}
+
+impl std::fmt::Display for BuildAssignmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "assignment is not a permutation of process ids 0..n")
+    }
+}
+
+impl std::error::Error for BuildAssignmentError {}
+
+impl Assignment {
+    /// The identity mapping: process `i` at node `i`.
+    pub fn identity(n: usize) -> Self {
+        Assignment {
+            node_to_proc: (0..n).map(ProcessId::from_index).collect(),
+            proc_to_node: (0..n).map(NodeId::from_index).collect(),
+        }
+    }
+
+    /// Builds an assignment from `node_to_proc[node] = process`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildAssignmentError::NotAPermutation`] unless the vector
+    /// is a permutation of process ids `0..n`.
+    pub fn from_node_to_proc(
+        node_to_proc: Vec<ProcessId>,
+    ) -> Result<Self, BuildAssignmentError> {
+        let n = node_to_proc.len();
+        let mut proc_to_node = vec![None; n];
+        for (node, p) in node_to_proc.iter().enumerate() {
+            if p.index() >= n || proc_to_node[p.index()].is_some() {
+                return Err(BuildAssignmentError::NotAPermutation);
+            }
+            proc_to_node[p.index()] = Some(NodeId::from_index(node));
+        }
+        Ok(Assignment {
+            node_to_proc,
+            proc_to_node: proc_to_node.into_iter().map(Option::unwrap).collect(),
+        })
+    }
+
+    /// Number of nodes/processes.
+    pub fn len(&self) -> usize {
+        self.node_to_proc.len()
+    }
+
+    /// `true` for the empty assignment.
+    pub fn is_empty(&self) -> bool {
+        self.node_to_proc.is_empty()
+    }
+
+    /// The process placed at `node`.
+    pub fn process_at(&self, node: NodeId) -> ProcessId {
+        self.node_to_proc[node.index()]
+    }
+
+    /// The node hosting `process`.
+    pub fn node_of(&self, process: ProcessId) -> NodeId {
+        self.proc_to_node[process.index()]
+    }
+}
+
+/// Per-round information exposed to the adversary: everything observable in
+/// the execution so far that the paper's constructions use.
+#[derive(Debug)]
+pub struct RoundContext<'a> {
+    /// The global round being executed (1-based).
+    pub round: u64,
+    /// The network.
+    pub network: &'a DualGraph,
+    /// The `proc` mapping in force.
+    pub assignment: &'a Assignment,
+    /// This round's transmissions, as `(node, message)` pairs in node order.
+    pub senders: &'a [(NodeId, Message)],
+    /// Which nodes held the broadcast payload *before* this round.
+    pub informed: &'a FixedBitSet,
+}
+
+impl RoundContext<'_> {
+    /// `true` when exactly one node transmits this round.
+    pub fn lone_sender(&self) -> Option<(NodeId, Message)> {
+        match self.senders {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+}
+
+/// The adversary: resolves all three sources of nondeterminism.
+///
+/// Implementations must be deterministic given their construction
+/// parameters (seed included) so executions replay exactly.
+pub trait Adversary {
+    /// Chooses the `proc` mapping. Default: identity.
+    fn assign(&mut self, network: &DualGraph, n_processes: usize) -> Assignment {
+        let _ = network;
+        Assignment::identity(n_processes)
+    }
+
+    /// For the transmission by `sender`, chooses which of its
+    /// unreliable-only out-neighbors the message reaches. Must return a
+    /// subset of `ctx.network.unreliable_only_out(sender)`; the executor
+    /// validates this.
+    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId>;
+
+    /// Resolves a CR4 collision at non-sending `node`; `reaching` holds the
+    /// ≥ 2 messages that physically reached it. Default: silence.
+    fn resolve_cr4(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        node: NodeId,
+        reaching: &[Message],
+    ) -> Cr4Resolution {
+        let _ = (ctx, node, reaching);
+        Cr4Resolution::Silence
+    }
+
+    /// Clones the adversary in its current state (for execution replay).
+    fn clone_box(&self) -> Box<dyn Adversary>;
+}
+
+impl Clone for Box<dyn Adversary> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+impl std::fmt::Debug for dyn Adversary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Adversary")
+    }
+}
+
+/// Delivers on reliable edges only: the *benign* adversary. On classical
+/// networks (`G = G′`) this is exactly the static radio model.
+#[derive(Debug, Clone, Default)]
+pub struct ReliableOnly;
+
+impl ReliableOnly {
+    /// Creates the benign adversary.
+    pub fn new() -> Self {
+        ReliableOnly
+    }
+}
+
+impl Adversary for ReliableOnly {
+    fn unreliable_deliveries(&mut self, _ctx: &RoundContext<'_>, _sender: NodeId) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+}
+
+/// Delivers on **every** `G′` edge, every round: the classical static model
+/// on `G′`. Maximizes connectivity but also maximizes collisions.
+#[derive(Debug, Clone, Default)]
+pub struct FullDelivery;
+
+impl FullDelivery {
+    /// Creates the full-delivery adversary.
+    pub fn new() -> Self {
+        FullDelivery
+    }
+}
+
+impl Adversary for FullDelivery {
+    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId> {
+        ctx.network.unreliable_only_out(sender).to_vec()
+    }
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+}
+
+/// Each unreliable edge delivers independently with probability `p` each
+/// round; CR4 collisions resolve to silence with probability 1/2, else to a
+/// uniformly random reaching message.
+///
+/// This is the i.i.d. link-flap model of gray zones; deterministic in the
+/// seed.
+#[derive(Debug, Clone)]
+pub struct RandomDelivery {
+    p: f64,
+    rng: SmallRng,
+}
+
+impl RandomDelivery {
+    /// Creates the adversary with per-edge delivery probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0,1]");
+        RandomDelivery {
+            p,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for RandomDelivery {
+    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId> {
+        ctx.network
+            .unreliable_only_out(sender)
+            .iter()
+            .copied()
+            .filter(|_| self.rng.gen_bool(self.p))
+            .collect()
+    }
+
+    fn resolve_cr4(
+        &mut self,
+        _ctx: &RoundContext<'_>,
+        _node: NodeId,
+        reaching: &[Message],
+    ) -> Cr4Resolution {
+        if self.rng.gen_bool(0.5) {
+            Cr4Resolution::Silence
+        } else {
+            Cr4Resolution::Deliver(self.rng.gen_range(0..reaching.len()))
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+}
+
+/// Gilbert–Elliott bursty links: each unreliable directed edge is a two-state
+/// Markov chain (good/bad); it delivers while good. Models doors opening and
+/// interference bursts ("something as simple as opening a door can change
+/// the connection topology", §1).
+#[derive(Debug, Clone)]
+pub struct BurstyDelivery {
+    /// P(good → bad) per round.
+    p_fail: f64,
+    /// P(bad → good) per round.
+    p_recover: f64,
+    rng: SmallRng,
+    /// Lazily-tracked per-edge state: `(state_good, last_round_updated)`.
+    edges: HashMap<(NodeId, NodeId), (bool, u64)>,
+}
+
+impl BurstyDelivery {
+    /// Creates the bursty adversary. All edges start good.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]`.
+    pub fn new(p_fail: f64, p_recover: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_fail) && (0.0..=1.0).contains(&p_recover),
+            "probabilities must lie in [0,1]"
+        );
+        BurstyDelivery {
+            p_fail,
+            p_recover,
+            rng: SmallRng::seed_from_u64(seed),
+            edges: HashMap::new(),
+        }
+    }
+
+    fn edge_good(&mut self, edge: (NodeId, NodeId), round: u64) -> bool {
+        let (mut good, mut last) = *self.edges.get(&edge).unwrap_or(&(true, 0));
+        while last < round {
+            let flip = if good { self.p_fail } else { self.p_recover };
+            if self.rng.gen_bool(flip) {
+                good = !good;
+            }
+            last += 1;
+        }
+        self.edges.insert(edge, (good, last));
+        good
+    }
+}
+
+impl Adversary for BurstyDelivery {
+    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId> {
+        let round = ctx.round;
+        ctx.network
+            .unreliable_only_out(sender)
+            .to_vec()
+            .into_iter()
+            .filter(|&v| self.edge_good((sender, v), round))
+            .collect()
+    }
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+}
+
+/// A progress-blocking heuristic adversary: delivers an unreliable edge
+/// `(u, v)` only when it *jams* — i.e. when `v` is still uninformed and
+/// some other sender already reaches `v` through a reliable edge, so the
+/// extra delivery turns a successful reception into a collision.
+///
+/// A lone sender's reliable edges always deliver (the adversary cannot
+/// touch them), so algorithms that guarantee isolated senders (Strong
+/// Select, Harmonic Broadcast) still make progress; algorithms that rely
+/// on lucky simultaneous transmissions stall. This is the generic
+/// worst-case-flavored adversary used by the upper-bound experiments.
+#[derive(Debug, Clone, Default)]
+pub struct CollisionSeeker {
+    /// Per-round cache: `(round, reliable-reach counts per node)`.
+    cache: Option<(u64, Vec<u32>)>,
+}
+
+impl CollisionSeeker {
+    /// Creates the jamming adversary.
+    pub fn new() -> Self {
+        CollisionSeeker::default()
+    }
+
+    fn reach_counts(&mut self, ctx: &RoundContext<'_>) -> &[u32] {
+        let round = ctx.round;
+        if self.cache.as_ref().is_none_or(|(r, _)| *r != round) {
+            let mut counts = vec![0u32; ctx.network.len()];
+            for &(u, _) in ctx.senders {
+                for v in ctx.network.reliable().out_neighbors(u) {
+                    counts[v.index()] += 1;
+                }
+            }
+            self.cache = Some((round, counts));
+        }
+        &self.cache.as_ref().expect("cache primed").1
+    }
+}
+
+impl Adversary for CollisionSeeker {
+    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId> {
+        let informed = ctx.informed.clone();
+        let counts = self.reach_counts(ctx).to_vec();
+        ctx.network
+            .unreliable_only_out(sender)
+            .iter()
+            .copied()
+            .filter(|v| !informed.contains(v.index()) && counts[v.index()] >= 1)
+            .collect()
+    }
+
+    // CR4 collisions resolve to silence (the default): maximally unhelpful.
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+}
+
+/// Wraps an adversary, overriding only its `proc` assignment.
+///
+/// Lower-bound experiments search over assignments (e.g. which process id
+/// sits on the Theorem 2 bridge) while keeping delivery behavior fixed.
+#[derive(Debug, Clone)]
+pub struct WithAssignment<A> {
+    inner: A,
+    node_to_proc: Vec<ProcessId>,
+}
+
+impl<A: Adversary> WithAssignment<A> {
+    /// Overrides `inner`'s assignment with `node_to_proc`.
+    pub fn new(inner: A, node_to_proc: Vec<ProcessId>) -> Self {
+        WithAssignment {
+            inner,
+            node_to_proc,
+        }
+    }
+}
+
+impl<A: Adversary + Clone + 'static> Adversary for WithAssignment<A> {
+    fn assign(&mut self, _network: &DualGraph, n_processes: usize) -> Assignment {
+        assert_eq!(
+            self.node_to_proc.len(),
+            n_processes,
+            "assignment length must match process count"
+        );
+        Assignment::from_node_to_proc(self.node_to_proc.clone())
+            .expect("WithAssignment requires a permutation")
+    }
+
+    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId> {
+        self.inner.unreliable_deliveries(ctx, sender)
+    }
+
+    fn resolve_cr4(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        node: NodeId,
+        reaching: &[Message],
+    ) -> Cr4Resolution {
+        self.inner.resolve_cr4(ctx, node, reaching)
+    }
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualgraph_net::generators;
+
+    fn ctx_fixture<'a>(
+        net: &'a DualGraph,
+        assignment: &'a Assignment,
+        senders: &'a [(NodeId, Message)],
+        informed: &'a FixedBitSet,
+    ) -> RoundContext<'a> {
+        RoundContext {
+            round: 1,
+            network: net,
+            assignment,
+            senders,
+            informed,
+        }
+    }
+
+    #[test]
+    fn assignment_identity_roundtrip() {
+        let a = Assignment::identity(4);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        assert_eq!(a.process_at(NodeId(2)), ProcessId(2));
+        assert_eq!(a.node_of(ProcessId(3)), NodeId(3));
+    }
+
+    #[test]
+    fn assignment_permutation() {
+        let a =
+            Assignment::from_node_to_proc(vec![ProcessId(2), ProcessId(0), ProcessId(1)]).unwrap();
+        assert_eq!(a.process_at(NodeId(0)), ProcessId(2));
+        assert_eq!(a.node_of(ProcessId(2)), NodeId(0));
+        assert_eq!(a.node_of(ProcessId(1)), NodeId(2));
+    }
+
+    #[test]
+    fn assignment_rejects_non_permutation() {
+        assert!(Assignment::from_node_to_proc(vec![ProcessId(0), ProcessId(0)]).is_err());
+        assert!(Assignment::from_node_to_proc(vec![ProcessId(5), ProcessId(0)]).is_err());
+        let err = Assignment::from_node_to_proc(vec![ProcessId(1), ProcessId(1)]).unwrap_err();
+        assert!(err.to_string().contains("permutation"));
+    }
+
+    #[test]
+    fn reliable_only_never_delivers_unreliable() {
+        let net = generators::line(4, 3).clone();
+        let assignment = Assignment::identity(4);
+        let informed = FixedBitSet::new(4);
+        let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
+        let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
+        assert!(ReliableOnly::new()
+            .unreliable_deliveries(&ctx, NodeId(0))
+            .is_empty());
+    }
+
+    #[test]
+    fn full_delivery_delivers_all() {
+        let net = generators::line(4, 3);
+        let assignment = Assignment::identity(4);
+        let informed = FixedBitSet::new(4);
+        let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
+        let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
+        let d = FullDelivery::new().unreliable_deliveries(&ctx, NodeId(0));
+        assert_eq!(d, net.unreliable_only_out(NodeId(0)).to_vec());
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn random_delivery_extremes() {
+        let net = generators::line(6, 5);
+        let assignment = Assignment::identity(6);
+        let informed = FixedBitSet::new(6);
+        let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
+        let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
+        assert!(RandomDelivery::new(0.0, 1)
+            .unreliable_deliveries(&ctx, NodeId(0))
+            .is_empty());
+        assert_eq!(
+            RandomDelivery::new(1.0, 1)
+                .unreliable_deliveries(&ctx, NodeId(0))
+                .len(),
+            net.unreliable_only_out(NodeId(0)).len()
+        );
+    }
+
+    #[test]
+    fn random_delivery_deterministic_in_seed() {
+        let net = generators::line(10, 9);
+        let assignment = Assignment::identity(10);
+        let informed = FixedBitSet::new(10);
+        let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
+        let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
+        let mut a = RandomDelivery::new(0.5, 99);
+        let mut b = RandomDelivery::new(0.5, 99);
+        for _ in 0..10 {
+            assert_eq!(
+                a.unreliable_deliveries(&ctx, NodeId(0)),
+                b.unreliable_deliveries(&ctx, NodeId(0))
+            );
+        }
+    }
+
+    #[test]
+    fn cr4_default_is_silence() {
+        let net = generators::line(3, 2);
+        let assignment = Assignment::identity(3);
+        let informed = FixedBitSet::new(3);
+        let senders = [];
+        let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
+        let reaching = [
+            Message::signal(ProcessId(0)),
+            Message::signal(ProcessId(1)),
+        ];
+        assert_eq!(
+            ReliableOnly::new().resolve_cr4(&ctx, NodeId(2), &reaching),
+            Cr4Resolution::Silence
+        );
+    }
+
+    #[test]
+    fn bursty_links_flap_and_replay() {
+        let net = generators::line(6, 5);
+        let assignment = Assignment::identity(6);
+        let informed = FixedBitSet::new(6);
+        let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
+        let mut seen_partial = false;
+        // High fail rate: over many rounds some deliveries must drop.
+        let mut adv = BurstyDelivery::new(0.4, 0.4, 3);
+        let full = net.unreliable_only_out(NodeId(0)).len();
+        for round in 1..50 {
+            let ctx = RoundContext {
+                round,
+                network: &net,
+                assignment: &assignment,
+                senders: &senders,
+                informed: &informed,
+            };
+            if adv.unreliable_deliveries(&ctx, NodeId(0)).len() < full {
+                seen_partial = true;
+            }
+        }
+        assert!(seen_partial, "bursty adversary never dropped a delivery");
+    }
+
+    #[test]
+    fn collision_seeker_jams_only_contested_uninformed_nodes() {
+        // Line 0-1-2-3-4 with chords up to distance 4 in G'.
+        let net = generators::line(5, 4);
+        let assignment = Assignment::identity(5);
+        let mut informed = FixedBitSet::new(5);
+        informed.insert(0);
+        informed.insert(1);
+        let mut adv = CollisionSeeker::new();
+
+        // Senders 0 and 1: node 2 is reached reliably by 1; node 2 is also
+        // an unreliable target of 0 -> jam it. Node 3 is an unreliable
+        // target of both but reached reliably by nobody -> leave silent.
+        let senders = [
+            (NodeId(0), Message::signal(ProcessId(0))),
+            (NodeId(1), Message::signal(ProcessId(1))),
+        ];
+        let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
+        let d0 = adv.unreliable_deliveries(&ctx, NodeId(0));
+        assert!(d0.contains(&NodeId(2)), "jam the contested node 2: {d0:?}");
+        assert!(!d0.contains(&NodeId(3)), "never help node 3: {d0:?}");
+        assert!(!d0.contains(&NodeId(4)));
+
+        // Lone sender: nothing to jam.
+        let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
+        let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
+        let mut adv = CollisionSeeker::new();
+        assert!(adv.unreliable_deliveries(&ctx, NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn collision_seeker_ignores_informed_targets() {
+        let net = generators::line(4, 3);
+        let assignment = Assignment::identity(4);
+        let informed = FixedBitSet::full(4);
+        let senders = [
+            (NodeId(0), Message::signal(ProcessId(0))),
+            (NodeId(1), Message::signal(ProcessId(1))),
+        ];
+        let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
+        let mut adv = CollisionSeeker::new();
+        assert!(adv.unreliable_deliveries(&ctx, NodeId(0)).is_empty());
+        assert!(adv.unreliable_deliveries(&ctx, NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn with_assignment_overrides() {
+        let net = generators::line(3, 2);
+        let mut adv =
+            WithAssignment::new(ReliableOnly::new(), vec![ProcessId(2), ProcessId(1), ProcessId(0)]);
+        let a = adv.assign(&net, 3);
+        assert_eq!(a.process_at(NodeId(0)), ProcessId(2));
+    }
+
+    #[test]
+    fn lone_sender_helper() {
+        let net = generators::line(3, 2);
+        let assignment = Assignment::identity(3);
+        let informed = FixedBitSet::new(3);
+        let one = [(NodeId(1), Message::signal(ProcessId(1)))];
+        let ctx = ctx_fixture(&net, &assignment, &one, &informed);
+        assert_eq!(ctx.lone_sender().map(|s| s.0), Some(NodeId(1)));
+        let two = [
+            (NodeId(0), Message::signal(ProcessId(0))),
+            (NodeId(1), Message::signal(ProcessId(1))),
+        ];
+        let ctx = ctx_fixture(&net, &assignment, &two, &informed);
+        assert!(ctx.lone_sender().is_none());
+    }
+}

@@ -1,0 +1,271 @@
+//! Collision rules CR1–CR4 (§2.1 of the paper) and reception resolution.
+
+use crate::message::Message;
+
+/// What a process receives at the end of a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reception {
+    /// `⊥` — no message reached the process (or the rule maps collisions
+    /// to silence).
+    Silence,
+    /// Exactly one message was received.
+    Message(Message),
+    /// `⊤` — collision notification (CR1, and CR2 for non-senders).
+    Collision,
+}
+
+impl Reception {
+    /// The received message, if any.
+    pub fn message(&self) -> Option<&Message> {
+        match self {
+            Reception::Message(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// `true` for `⊥`.
+    pub fn is_silence(&self) -> bool {
+        matches!(self, Reception::Silence)
+    }
+
+    /// `true` for `⊤`.
+    pub fn is_collision(&self) -> bool {
+        matches!(self, Reception::Collision)
+    }
+}
+
+/// The four collision rules of §2.1, strongest (CR1) to weakest (CR4) from
+/// the algorithm's point of view.
+///
+/// | rule | sender hears | non-sender with ≥2 reaching messages hears |
+/// |------|-------------|--------------------------------------------|
+/// | CR1  | `⊤` if ≥2 messages reach it (own included), else own message | `⊤` |
+/// | CR2  | always its own message | `⊤` |
+/// | CR3  | always its own message | `⊥` |
+/// | CR4  | always its own message | adversary picks `⊥` or one message |
+///
+/// The paper's upper bounds assume CR4 and its lower bounds CR1, each the
+/// harder direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CollisionRule {
+    /// Full collision detection, including while sending.
+    Cr1,
+    /// Collision detection for listeners only; senders hear themselves.
+    Cr2,
+    /// No collision detection: collisions sound like silence.
+    Cr3,
+    /// No collision detection; the adversary resolves collisions to silence
+    /// or to an arbitrary one of the reaching messages.
+    Cr4,
+}
+
+impl CollisionRule {
+    /// All four rules, strongest first.
+    pub const ALL: [CollisionRule; 4] = [
+        CollisionRule::Cr1,
+        CollisionRule::Cr2,
+        CollisionRule::Cr3,
+        CollisionRule::Cr4,
+    ];
+
+    /// `true` when the rule needs an adversary choice on collisions.
+    pub fn needs_adversary_resolution(self) -> bool {
+        self == CollisionRule::Cr4
+    }
+}
+
+impl std::fmt::Display for CollisionRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollisionRule::Cr1 => write!(f, "CR1"),
+            CollisionRule::Cr2 => write!(f, "CR2"),
+            CollisionRule::Cr3 => write!(f, "CR3"),
+            CollisionRule::Cr4 => write!(f, "CR4"),
+        }
+    }
+}
+
+/// The adversary's resolution of a CR4 collision at one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cr4Resolution {
+    /// The node hears silence (`⊥`).
+    Silence,
+    /// The node receives the message at this index into the reaching-set.
+    Deliver(usize),
+}
+
+/// Resolves what a node receives.
+///
+/// * `sent_own` — whether the node transmitted this round. Its own message
+///   is assumed **included** in `reaching` when it sent (the model: a
+///   sender's message reaches itself).
+/// * `reaching` — all messages physically reaching the node this round.
+/// * `own` — the node's transmission, if it sent (used by CR2–CR4, where a
+///   sender always hears itself).
+/// * `cr4` — adversary resolution, consulted only under CR4 for a
+///   non-sender with ≥ 2 reaching messages.
+///
+/// # Panics
+///
+/// Panics if `sent_own` is true but `own` is `None`, or if a CR4 resolution
+/// index is out of bounds.
+pub fn resolve(
+    rule: CollisionRule,
+    sent_own: bool,
+    reaching: &[Message],
+    own: Option<Message>,
+    cr4: impl FnOnce(&[Message]) -> Cr4Resolution,
+) -> Reception {
+    if sent_own {
+        let own = own.expect("sender must supply its own message");
+        match rule {
+            CollisionRule::Cr1 => match reaching.len() {
+                0 => unreachable!("a sender's own message always reaches it"),
+                1 => Reception::Message(reaching[0]),
+                _ => Reception::Collision,
+            },
+            // CR2-CR4: a process cannot sense the medium while sending.
+            _ => Reception::Message(own),
+        }
+    } else {
+        match reaching.len() {
+            0 => Reception::Silence,
+            1 => Reception::Message(reaching[0]),
+            _ => match rule {
+                CollisionRule::Cr1 | CollisionRule::Cr2 => Reception::Collision,
+                CollisionRule::Cr3 => Reception::Silence,
+                CollisionRule::Cr4 => match cr4(reaching) {
+                    Cr4Resolution::Silence => Reception::Silence,
+                    Cr4Resolution::Deliver(i) => {
+                        assert!(i < reaching.len(), "CR4 delivery index out of bounds");
+                        Reception::Message(reaching[i])
+                    }
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{PayloadId, ProcessId};
+
+    fn msg(i: u32) -> Message {
+        Message::with_payload(ProcessId(i), PayloadId(0))
+    }
+
+    fn never(_: &[Message]) -> Cr4Resolution {
+        panic!("CR4 resolution must not be consulted here")
+    }
+
+    #[test]
+    fn idle_round_is_silent_under_all_rules() {
+        for rule in CollisionRule::ALL {
+            assert_eq!(resolve(rule, false, &[], None, never), Reception::Silence);
+        }
+    }
+
+    #[test]
+    fn single_message_delivered_under_all_rules() {
+        for rule in CollisionRule::ALL {
+            assert_eq!(
+                resolve(rule, false, &[msg(1)], None, never),
+                Reception::Message(msg(1))
+            );
+        }
+    }
+
+    #[test]
+    fn cr1_sender_hears_collision_when_another_reaches() {
+        let own = msg(0);
+        let r = resolve(
+            CollisionRule::Cr1,
+            true,
+            &[own, msg(1)],
+            Some(own),
+            never,
+        );
+        assert_eq!(r, Reception::Collision);
+    }
+
+    #[test]
+    fn cr1_lone_sender_hears_itself() {
+        let own = msg(0);
+        let r = resolve(CollisionRule::Cr1, true, &[own], Some(own), never);
+        assert_eq!(r, Reception::Message(own));
+    }
+
+    #[test]
+    fn cr2_cr3_cr4_sender_always_hears_itself() {
+        let own = msg(0);
+        for rule in [CollisionRule::Cr2, CollisionRule::Cr3, CollisionRule::Cr4] {
+            let r = resolve(rule, true, &[own, msg(1), msg(2)], Some(own), never);
+            assert_eq!(r, Reception::Message(own), "{rule}");
+        }
+    }
+
+    #[test]
+    fn non_sender_collision_by_rule() {
+        let reaching = [msg(1), msg(2)];
+        assert_eq!(
+            resolve(CollisionRule::Cr1, false, &reaching, None, never),
+            Reception::Collision
+        );
+        assert_eq!(
+            resolve(CollisionRule::Cr2, false, &reaching, None, never),
+            Reception::Collision
+        );
+        assert_eq!(
+            resolve(CollisionRule::Cr3, false, &reaching, None, never),
+            Reception::Silence
+        );
+    }
+
+    #[test]
+    fn cr4_adversary_resolves() {
+        let reaching = [msg(1), msg(2)];
+        assert_eq!(
+            resolve(CollisionRule::Cr4, false, &reaching, None, |_| {
+                Cr4Resolution::Silence
+            }),
+            Reception::Silence
+        );
+        assert_eq!(
+            resolve(CollisionRule::Cr4, false, &reaching, None, |_| {
+                Cr4Resolution::Deliver(1)
+            }),
+            Reception::Message(msg(2))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn cr4_bad_index_panics() {
+        resolve(CollisionRule::Cr4, false, &[msg(1), msg(2)], None, |_| {
+            Cr4Resolution::Deliver(5)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "own message")]
+    fn sender_without_own_message_panics() {
+        resolve(CollisionRule::Cr2, true, &[msg(1)], None, never);
+    }
+
+    #[test]
+    fn reception_accessors() {
+        assert!(Reception::Silence.is_silence());
+        assert!(Reception::Collision.is_collision());
+        assert_eq!(Reception::Message(msg(1)).message(), Some(&msg(1)));
+        assert_eq!(Reception::Silence.message(), None);
+    }
+
+    #[test]
+    fn rule_display_and_order() {
+        assert_eq!(CollisionRule::Cr1.to_string(), "CR1");
+        assert!(CollisionRule::Cr1 < CollisionRule::Cr4);
+        assert!(CollisionRule::Cr4.needs_adversary_resolution());
+        assert!(!CollisionRule::Cr1.needs_adversary_resolution());
+    }
+}

@@ -1,0 +1,857 @@
+//! The synchronous-round executor.
+
+use dualgraph_net::{DualGraph, FixedBitSet, NodeId};
+
+use crate::adversary::{Adversary, Assignment, RoundContext};
+use crate::collision::{self, CollisionRule, Reception};
+use crate::message::{Message, PayloadId, ProcessId};
+use crate::process::{ActivationCause, Process};
+use crate::trace::{RoundRecord, Trace, TraceLevel};
+
+/// How executions begin (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StartRule {
+    /// Every process begins in round 1.
+    Synchronous,
+    /// A process activates the first time it receives a message (from the
+    /// environment or another process). Collision notifications do not
+    /// activate: the paper pairs asynchronous start with CR4, where
+    /// non-senders never hear `⊤`.
+    #[default]
+    Asynchronous,
+}
+
+impl std::fmt::Display for StartRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartRule::Synchronous => write!(f, "synchronous start"),
+            StartRule::Asynchronous => write!(f, "asynchronous start"),
+        }
+    }
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Collision rule in force.
+    pub rule: CollisionRule,
+    /// Start rule in force.
+    pub start: StartRule,
+    /// What to record per round.
+    pub trace: TraceLevel,
+    /// Identity of the broadcast payload delivered to the source.
+    pub payload: PayloadId,
+}
+
+impl Default for ExecutorConfig {
+    /// The paper's *upper-bound* setting: CR4, asynchronous start.
+    fn default() -> Self {
+        ExecutorConfig {
+            rule: CollisionRule::Cr4,
+            start: StartRule::Asynchronous,
+            trace: TraceLevel::Off,
+            payload: PayloadId(0),
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// The paper's *lower-bound* setting: CR1, synchronous start.
+    pub fn lower_bound_setting() -> Self {
+        ExecutorConfig {
+            rule: CollisionRule::Cr1,
+            start: StartRule::Synchronous,
+            ..ExecutorConfig::default()
+        }
+    }
+}
+
+/// Error constructing an [`Executor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildExecutorError {
+    /// Process count differs from the network's node count.
+    ProcessCountMismatch {
+        /// Number of processes supplied.
+        processes: usize,
+        /// Number of nodes in the network.
+        nodes: usize,
+    },
+    /// Process ids are not exactly `0..n` in order.
+    NonCanonicalIds {
+        /// Index at which the id mismatch occurred.
+        position: usize,
+    },
+    /// The adversary produced an assignment of the wrong size.
+    BadAssignment,
+}
+
+impl std::fmt::Display for BuildExecutorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildExecutorError::ProcessCountMismatch { processes, nodes } => write!(
+                f,
+                "got {processes} processes for a network of {nodes} nodes"
+            ),
+            BuildExecutorError::NonCanonicalIds { position } => write!(
+                f,
+                "process at position {position} does not carry id {position} (ids must be 0..n in order)"
+            ),
+            BuildExecutorError::BadAssignment => {
+                write!(f, "adversary produced an assignment of the wrong size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildExecutorError {}
+
+/// Summary of one executed round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundSummary {
+    /// The global round that was executed (1-based).
+    pub round: u64,
+    /// Number of transmitting nodes.
+    pub senders: usize,
+    /// Nodes that received the payload for the first time this round.
+    pub newly_informed: Vec<NodeId>,
+    /// `true` once every node holds the payload.
+    pub complete: bool,
+}
+
+/// Result of running a broadcast execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastOutcome {
+    /// `true` when every node received the payload.
+    pub completed: bool,
+    /// Round by whose end the last node was informed (`0` if `n = 1`).
+    pub completion_round: Option<u64>,
+    /// Total rounds executed (may exceed `completion_round` if the caller
+    /// kept stepping).
+    pub rounds_executed: u64,
+    /// Per node: the global round at which it first received the payload
+    /// (`Some(0)` for the source, which holds it before round 1).
+    pub first_receive: Vec<Option<u64>>,
+    /// Total transmissions.
+    pub sends: u64,
+    /// Rounds × nodes at which ≥ 2 messages physically arrived.
+    pub physical_collisions: u64,
+}
+
+impl BroadcastOutcome {
+    /// The broadcast latency: alias for `completion_round`.
+    pub fn rounds(&self) -> Option<u64> {
+        self.completion_round
+    }
+}
+
+/// Drives an algorithm (one [`Process`] per node) against an
+/// [`Adversary`] on a [`DualGraph`], one synchronous round at a time.
+///
+/// # Examples
+///
+/// ```
+/// use dualgraph_net::generators;
+/// use dualgraph_sim::{
+///     Executor, ExecutorConfig, ReliableOnly, SilentProcess, ProcessId, Process,
+/// };
+///
+/// let net = generators::complete(3);
+/// let procs: Vec<Box<dyn Process>> = (0..3)
+///     .map(|i| Box::new(SilentProcess::new(ProcessId(i))) as Box<dyn Process>)
+///     .collect();
+/// let mut exec = Executor::new(
+///     &net,
+///     procs,
+///     Box::new(ReliableOnly::new()),
+///     ExecutorConfig::default(),
+/// )?;
+/// // Nobody transmits, so only the source is ever informed.
+/// let outcome = exec.run_until_complete(10);
+/// assert!(!outcome.completed);
+/// assert_eq!(outcome.first_receive[0], Some(0));
+/// # Ok::<(), dualgraph_sim::BuildExecutorError>(())
+/// ```
+pub struct Executor<'a> {
+    network: &'a DualGraph,
+    config: ExecutorConfig,
+    adversary: Box<dyn Adversary>,
+    /// Processes indexed by **node**.
+    procs: Vec<Box<dyn Process>>,
+    assignment: Assignment,
+    /// Global round from which the node's process may transmit.
+    active_from: Vec<Option<u64>>,
+    informed: FixedBitSet,
+    first_receive: Vec<Option<u64>>,
+    round: u64,
+    sends: u64,
+    physical_collisions: u64,
+    trace: Trace,
+    /// Reusable per-node buffers of reaching messages.
+    reach_buf: Vec<Vec<Message>>,
+    own_buf: Vec<Option<Message>>,
+}
+
+impl<'a> Executor<'a> {
+    /// Builds an executor: asks the adversary for the `proc` mapping,
+    /// places processes on nodes, and performs pre-round-1 activations
+    /// (environment input at the source; all processes under synchronous
+    /// start).
+    ///
+    /// `processes` must be supplied in process-id order with ids `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildExecutorError`] on process/network size mismatch,
+    /// non-canonical ids, or a malformed adversary assignment.
+    pub fn new(
+        network: &'a DualGraph,
+        processes: Vec<Box<dyn Process>>,
+        mut adversary: Box<dyn Adversary>,
+        config: ExecutorConfig,
+    ) -> Result<Self, BuildExecutorError> {
+        let n = network.len();
+        if processes.len() != n {
+            return Err(BuildExecutorError::ProcessCountMismatch {
+                processes: processes.len(),
+                nodes: n,
+            });
+        }
+        for (i, p) in processes.iter().enumerate() {
+            if p.id() != ProcessId::from_index(i) {
+                return Err(BuildExecutorError::NonCanonicalIds { position: i });
+            }
+        }
+        let assignment = adversary.assign(network, n);
+        if assignment.len() != n {
+            return Err(BuildExecutorError::BadAssignment);
+        }
+
+        // Place processes on nodes.
+        let mut slots: Vec<Option<Box<dyn Process>>> = processes.into_iter().map(Some).collect();
+        let procs: Vec<Box<dyn Process>> = (0..n)
+            .map(|node| {
+                let pid = assignment.process_at(NodeId::from_index(node));
+                slots[pid.index()].take().expect("assignment is a bijection")
+            })
+            .collect();
+
+        let mut exec = Executor {
+            network,
+            config,
+            adversary,
+            procs,
+            assignment,
+            active_from: vec![None; n],
+            informed: FixedBitSet::new(n),
+            first_receive: vec![None; n],
+            round: 0,
+            sends: 0,
+            physical_collisions: 0,
+            trace: Trace::new(config.trace),
+            reach_buf: (0..n).map(|_| Vec::new()).collect(),
+            own_buf: vec![None; n],
+        };
+
+        // Pre-round-1 activations.
+        let src = network.source();
+        let src_pid = exec.assignment.process_at(src);
+        let input = Message {
+            payload: Some(config.payload),
+            round_tag: None,
+            sender: src_pid,
+        };
+        exec.procs[src.index()].on_activate(ActivationCause::Input(input));
+        exec.active_from[src.index()] = Some(1);
+        exec.informed.insert(src.index());
+        exec.first_receive[src.index()] = Some(0);
+
+        if config.start == StartRule::Synchronous {
+            for node in 0..n {
+                if node != src.index() {
+                    exec.procs[node].on_activate(ActivationCause::SynchronousStart);
+                    exec.active_from[node] = Some(1);
+                }
+            }
+        }
+        Ok(exec)
+    }
+
+    /// The network under execution.
+    pub fn network(&self) -> &DualGraph {
+        self.network
+    }
+
+    /// The `proc` mapping in force.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Nodes currently holding the payload.
+    pub fn informed_count(&self) -> usize {
+        self.informed.count()
+    }
+
+    /// `true` when `node` holds the payload.
+    pub fn is_informed(&self, node: NodeId) -> bool {
+        self.informed.contains(node.index())
+    }
+
+    /// `true` when every node holds the payload.
+    pub fn is_complete(&self) -> bool {
+        self.informed.count() == self.network.len()
+    }
+
+    /// Read access to the process currently at `node`.
+    pub fn process_at(&self, node: NodeId) -> &dyn Process {
+        self.procs[node.index()].as_ref()
+    }
+
+    /// The recorded trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Executes one round and reports what happened.
+    pub fn step(&mut self) -> RoundSummary {
+        let t = self.round + 1;
+        let n = self.network.len();
+
+        // Phase 1: send decisions.
+        let mut senders: Vec<(NodeId, Message)> = Vec::new();
+        for node in 0..n {
+            if let Some(from) = self.active_from[node] {
+                if from <= t {
+                    let local = t - from + 1;
+                    if let Some(msg) = self.procs[node].transmit(local) {
+                        senders.push((NodeId::from_index(node), msg));
+                    }
+                }
+            }
+        }
+        self.sends += senders.len() as u64;
+
+        // Phase 2: adversary deliveries -> per-node reaching sets.
+        for buf in &mut self.reach_buf {
+            buf.clear();
+        }
+        for slot in &mut self.own_buf {
+            *slot = None;
+        }
+        {
+            let Executor {
+                network,
+                adversary,
+                assignment,
+                informed,
+                reach_buf,
+                own_buf,
+                ..
+            } = self;
+            let ctx = RoundContext {
+                round: t,
+                network,
+                assignment,
+                senders: &senders,
+                informed,
+            };
+            for &(u, msg) in &senders {
+                own_buf[u.index()] = Some(msg);
+                // A sender's message always reaches itself and all
+                // G-out-neighbors; the adversary picks among the rest.
+                reach_buf[u.index()].push(msg);
+                for &v in network.reliable().out_neighbors(u) {
+                    reach_buf[v.index()].push(msg);
+                }
+                let extra = adversary.unreliable_deliveries(&ctx, u);
+                for &v in &extra {
+                    assert!(
+                        network.unreliable_only_out(u).contains(&v),
+                        "adversary delivered ({u}, {v}) outside G' \\ G"
+                    );
+                    reach_buf[v.index()].push(msg);
+                }
+            }
+        }
+
+        // Phase 3: collision resolution per node.
+        let mut receptions: Vec<Reception> = Vec::with_capacity(n);
+        {
+            let Executor {
+                network,
+                adversary,
+                assignment,
+                informed,
+                reach_buf,
+                own_buf,
+                config,
+                physical_collisions,
+                ..
+            } = self;
+            let ctx = RoundContext {
+                round: t,
+                network,
+                assignment,
+                senders: &senders,
+                informed,
+            };
+            for node in 0..n {
+                let reaching = &reach_buf[node];
+                let sent = own_buf[node].is_some();
+                if reaching.len() >= 2 {
+                    *physical_collisions += 1;
+                }
+                let reception = collision::resolve(
+                    config.rule,
+                    sent,
+                    reaching,
+                    own_buf[node],
+                    |msgs| adversary.resolve_cr4(&ctx, NodeId::from_index(node), msgs),
+                );
+                receptions.push(reception);
+            }
+        }
+
+        // Phase 4: deliveries, activations, bookkeeping.
+        let mut newly_informed = Vec::new();
+        for node in 0..n {
+            let reception = receptions[node];
+            let got_payload = reception.message().and_then(|m| m.payload).is_some();
+            match self.active_from[node] {
+                Some(from) if from <= t => {
+                    let local = t - from + 1;
+                    self.procs[node].receive(local, reception);
+                }
+                _ => {
+                    // Sleeping (asynchronous start): only an actual message
+                    // activates; the message is delivered via the cause.
+                    if let Reception::Message(m) = reception {
+                        self.procs[node].on_activate(ActivationCause::Reception(m));
+                        self.active_from[node] = Some(t + 1);
+                    }
+                }
+            }
+            if got_payload && self.informed.insert(node) {
+                self.first_receive[node] = Some(t);
+                newly_informed.push(NodeId::from_index(node));
+            }
+        }
+
+        self.round = t;
+        self.trace.record(|| RoundRecord {
+            round: t,
+            senders: senders.clone(),
+            receptions: receptions.clone(),
+        });
+
+        RoundSummary {
+            round: t,
+            senders: senders.len(),
+            newly_informed,
+            complete: self.is_complete(),
+        }
+    }
+
+    /// Runs until broadcast completes or `max_rounds` have executed
+    /// (counting rounds already executed), whichever first.
+    pub fn run_until_complete(&mut self, max_rounds: u64) -> BroadcastOutcome {
+        while !self.is_complete() && self.round < max_rounds {
+            self.step();
+        }
+        self.outcome()
+    }
+
+    /// Runs exactly `rounds` additional rounds (does not stop early).
+    pub fn run_rounds(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// The outcome so far.
+    pub fn outcome(&self) -> BroadcastOutcome {
+        let completed = self.is_complete();
+        BroadcastOutcome {
+            completed,
+            completion_round: if completed {
+                Some(if self.network.len() == 1 {
+                    0
+                } else {
+                    self.first_receive
+                        .iter()
+                        .map(|r| r.expect("complete => all received"))
+                        .max()
+                        .unwrap_or(0)
+                })
+            } else {
+                None
+            },
+            rounds_executed: self.round,
+            first_receive: self.first_receive.clone(),
+            sends: self.sends,
+            physical_collisions: self.physical_collisions,
+        }
+    }
+}
+
+impl Clone for Executor<'_> {
+    fn clone(&self) -> Self {
+        Executor {
+            network: self.network,
+            config: self.config,
+            adversary: self.adversary.clone(),
+            procs: self.procs.clone(),
+            assignment: self.assignment.clone(),
+            active_from: self.active_from.clone(),
+            informed: self.informed.clone(),
+            first_receive: self.first_receive.clone(),
+            round: self.round,
+            sends: self.sends,
+            physical_collisions: self.physical_collisions,
+            trace: self.trace.clone(),
+            reach_buf: (0..self.network.len()).map(|_| Vec::new()).collect(),
+            own_buf: vec![None; self.network.len()],
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Executor(round={}, informed={}/{}, rule={}, {})",
+            self.round,
+            self.informed_count(),
+            self.network.len(),
+            self.config.rule,
+            self.config.start
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{FullDelivery, ReliableOnly, WithAssignment};
+    use crate::collision::CollisionRule;
+    use crate::process::SilentProcess;
+    use crate::trace::TraceLevel;
+    use dualgraph_net::generators;
+
+    /// A process that transmits the payload every round once informed.
+    #[derive(Debug, Clone)]
+    struct Flooder {
+        id: ProcessId,
+        informed: bool,
+    }
+
+    impl Flooder {
+        fn new(id: ProcessId) -> Self {
+            Flooder {
+                id,
+                informed: false,
+            }
+        }
+    }
+
+    impl Process for Flooder {
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+        fn on_activate(&mut self, cause: ActivationCause) {
+            if cause.message().and_then(|m| m.payload).is_some() {
+                self.informed = true;
+            }
+        }
+        fn transmit(&mut self, _local: u64) -> Option<Message> {
+            self.informed
+                .then(|| Message::with_payload(self.id, PayloadId(0)))
+        }
+        fn receive(&mut self, _local: u64, r: Reception) {
+            if r.message().and_then(|m| m.payload).is_some() {
+                self.informed = true;
+            }
+        }
+        fn has_payload(&self) -> bool {
+            self.informed
+        }
+        fn clone_box(&self) -> Box<dyn Process> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn flooders(n: usize) -> Vec<Box<dyn Process>> {
+        (0..n)
+            .map(|i| Box::new(Flooder::new(ProcessId::from_index(i))) as Box<dyn Process>)
+            .collect()
+    }
+
+    fn silents(n: usize) -> Vec<Box<dyn Process>> {
+        (0..n)
+            .map(|i| Box::new(SilentProcess::new(ProcessId::from_index(i))) as Box<dyn Process>)
+            .collect()
+    }
+
+    #[test]
+    fn source_informed_before_round_one() {
+        let net = generators::line(3, 1);
+        let exec = Executor::new(
+            &net,
+            silents(3),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(exec.informed_count(), 1);
+        assert!(exec.is_informed(NodeId(0)));
+        assert_eq!(exec.round(), 0);
+    }
+
+    #[test]
+    fn flooder_completes_line_in_diameter_rounds() {
+        // A lone flooder chain: node i informs node i+1 in round i+1
+        // (no collisions on a directed-line sweep? Actually node 1's send in
+        // round 2 collides with node 0's at node 1's neighbors... check:
+        // line 0-1-2-3; round 1: {0} sends, reaches {0,1}. round 2: {0,1}
+        // send; at node 2 only 1's message arrives (0 not adjacent) => 2
+        // informed. At node 1: messages from 0 => but node 1 is a sender;
+        // CR4 sender hears itself. Node 0 hears 1's message. round 3: {0,1,2}
+        // send; node 3 hears only 2 => informed.
+        let net = generators::line(4, 1);
+        let mut exec = Executor::new(
+            &net,
+            flooders(4),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let outcome = exec.run_until_complete(100);
+        assert!(outcome.completed);
+        assert_eq!(outcome.completion_round, Some(3));
+        assert_eq!(
+            outcome.first_receive,
+            vec![Some(0), Some(1), Some(2), Some(3)]
+        );
+    }
+
+    #[test]
+    fn collisions_stall_flooders_on_clique_under_cr1() {
+        // On a complete graph >2 nodes: round 1 source informs everyone;
+        // round 2 everyone sends => permanent collisions, but all informed.
+        let net = generators::complete(4);
+        let mut exec = Executor::new(
+            &net,
+            flooders(4),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig {
+                rule: CollisionRule::Cr1,
+                start: StartRule::Synchronous,
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        let outcome = exec.run_until_complete(10);
+        assert!(outcome.completed);
+        assert_eq!(outcome.completion_round, Some(1));
+    }
+
+    #[test]
+    fn star_with_two_informed_leaves_collides_forever() {
+        // Star with hub = source? Instead: hub source informs all leaves in
+        // round 1; use a two-leaf star where leaves then collide at hub
+        // forever: physical_collisions grows.
+        let net = generators::star(3);
+        let mut exec = Executor::new(
+            &net,
+            flooders(3),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let outcome = exec.run_until_complete(5);
+        assert!(outcome.completed);
+        exec.run_rounds(3);
+        let after = exec.outcome();
+        assert!(after.physical_collisions > 0);
+        assert_eq!(after.rounds_executed, outcome.rounds_executed + 3);
+    }
+
+    #[test]
+    fn async_start_keeps_distant_processes_asleep() {
+        let net = generators::line(4, 1);
+        let mut exec = Executor::new(
+            &net,
+            silents(4),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        exec.run_rounds(5);
+        // Nobody transmits (silent processes), so nobody activates.
+        assert_eq!(exec.informed_count(), 1);
+    }
+
+    #[test]
+    fn unreliable_delivery_informs_beyond_g() {
+        // Line 0-1-2 with chord (0,2) in G'. FullDelivery => round 1 informs
+        // everyone directly from the source.
+        let net = generators::line(3, 2);
+        let mut exec = Executor::new(
+            &net,
+            flooders(3),
+            Box::new(FullDelivery::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let outcome = exec.run_until_complete(10);
+        assert_eq!(outcome.completion_round, Some(1));
+    }
+
+    #[test]
+    fn assignment_places_processes() {
+        let net = generators::line(3, 1);
+        // Put process 2 at the source node 0.
+        let adv = WithAssignment::new(
+            ReliableOnly::new(),
+            vec![ProcessId(2), ProcessId(1), ProcessId(0)],
+        );
+        let exec = Executor::new(
+            &net,
+            flooders(3),
+            Box::new(adv),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(exec.process_at(NodeId(0)).id(), ProcessId(2));
+        assert_eq!(exec.process_at(NodeId(2)).id(), ProcessId(0));
+        assert!(exec.process_at(NodeId(0)).has_payload());
+    }
+
+    #[test]
+    fn build_errors() {
+        let net = generators::line(3, 1);
+        let err = Executor::new(
+            &net,
+            flooders(2),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildExecutorError::ProcessCountMismatch { .. }));
+
+        let bad: Vec<Box<dyn Process>> = vec![
+            Box::new(Flooder::new(ProcessId(1))),
+            Box::new(Flooder::new(ProcessId(1))),
+            Box::new(Flooder::new(ProcessId(2))),
+        ];
+        let err = Executor::new(
+            &net,
+            bad,
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            BuildExecutorError::NonCanonicalIds { position: 0 }
+        ));
+        assert!(err.to_string().contains("position 0"));
+    }
+
+    #[test]
+    fn clone_mid_execution_continues_identically() {
+        let net = generators::er_dual(
+            generators::ErDualParams {
+                n: 20,
+                reliable_p: 0.1,
+                unreliable_p: 0.2,
+            },
+            5,
+        );
+        let mut a = Executor::new(
+            &net,
+            flooders(20),
+            Box::new(crate::adversary::RandomDelivery::new(0.5, 11)),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        a.run_rounds(3);
+        let mut b = a.clone();
+        let oa = a.run_until_complete(500);
+        let ob = b.run_until_complete(500);
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn trace_records_rounds() {
+        let net = generators::line(3, 1);
+        let mut exec = Executor::new(
+            &net,
+            flooders(3),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig {
+                trace: TraceLevel::Full,
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        exec.run_until_complete(10);
+        let records = exec.trace().records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].round, 1);
+        assert_eq!(records[0].senders.len(), 1);
+        assert_eq!(records[0].receptions.len(), 3);
+    }
+
+    #[test]
+    fn outcome_before_completion() {
+        let net = generators::line(5, 1);
+        let mut exec = Executor::new(
+            &net,
+            silents(5),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let outcome = exec.run_until_complete(7);
+        assert!(!outcome.completed);
+        assert_eq!(outcome.completion_round, None);
+        assert_eq!(outcome.rounds(), None);
+        assert_eq!(outcome.rounds_executed, 7);
+    }
+
+    #[test]
+    fn single_node_network_completes_instantly() {
+        let net = generators::complete(1);
+        let mut exec = Executor::new(
+            &net,
+            silents(1),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let outcome = exec.run_until_complete(10);
+        assert!(outcome.completed);
+        assert_eq!(outcome.completion_round, Some(0));
+        assert_eq!(outcome.rounds_executed, 0);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let net = generators::line(3, 1);
+        let exec = Executor::new(
+            &net,
+            silents(3),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let s = format!("{exec:?}");
+        assert!(s.contains("informed=1/3"));
+        assert!(s.contains("CR4"));
+    }
+}

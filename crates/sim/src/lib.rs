@@ -1,0 +1,66 @@
+//! # dualgraph-sim
+//!
+//! Synchronous-round executor for the **dual graph** radio network model of
+//! *Broadcasting in Unreliable Radio Networks* (Kuhn, Lynch, Newport,
+//! Oshman, Richa; PODC 2010).
+//!
+//! The model, in brief (§2.1 of the paper): `n` processes are placed on the
+//! nodes of a dual graph `(G, G′)` by an adversary-chosen bijection. Rounds
+//! are synchronous. A transmission reaches the sender itself, all of its
+//! reliable (`G`) out-neighbors, and an adversary-chosen subset of its
+//! unreliable-only (`G′ ∖ G`) out-neighbors. Nodes reached by two or more
+//! messages experience a collision, resolved by one of the rules
+//! [`CollisionRule::Cr1`]–[`CollisionRule::Cr4`]. Processes start either
+//! synchronously (round 1) or asynchronously (upon first reception).
+//!
+//! The crate provides:
+//!
+//! * [`Process`] — the per-node automaton interface;
+//! * [`Adversary`] — `proc` assignment + unreliable deliveries + CR4
+//!   resolution, with built-ins ([`ReliableOnly`], [`FullDelivery`],
+//!   [`RandomDelivery`], [`BurstyDelivery`], [`WithAssignment`]);
+//! * [`Executor`] — the round loop, with traces and outcome statistics;
+//! * [`rng`] — deterministic seed derivation for reproducible experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use dualgraph_net::generators;
+//! use dualgraph_sim::{Executor, ExecutorConfig, Process, ProcessId, ReliableOnly, SilentProcess};
+//!
+//! let net = generators::clique_bridge(8).network;
+//! let procs: Vec<Box<dyn Process>> = (0..8)
+//!     .map(|i| Box::new(SilentProcess::new(ProcessId(i))) as Box<dyn Process>)
+//!     .collect();
+//! let mut exec = Executor::new(
+//!     &net,
+//!     procs,
+//!     Box::new(ReliableOnly::new()),
+//!     ExecutorConfig::default(),
+//! )?;
+//! exec.step();
+//! assert_eq!(exec.round(), 1);
+//! # Ok::<(), dualgraph_sim::BuildExecutorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod adversary;
+mod collision;
+mod engine;
+mod message;
+mod process;
+pub mod rng;
+mod trace;
+
+pub use adversary::{
+    Adversary, Assignment, BuildAssignmentError, BurstyDelivery, CollisionSeeker, FullDelivery,
+    RandomDelivery, ReliableOnly, RoundContext, WithAssignment,
+};
+pub use collision::{resolve, CollisionRule, Cr4Resolution, Reception};
+pub use engine::{
+    BroadcastOutcome, BuildExecutorError, Executor, ExecutorConfig, RoundSummary, StartRule,
+};
+pub use message::{Message, PayloadId, ProcessId};
+pub use process::{ActivationCause, Process, SilentProcess};
+pub use trace::{RoundRecord, Trace, TraceLevel};

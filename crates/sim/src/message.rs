@@ -1,0 +1,143 @@
+//! Messages and process identifiers.
+
+use std::fmt;
+
+/// Identifier of a *process* — the automaton an adversary assigns to a graph
+/// node via the `proc` mapping (§2.1 of the paper).
+///
+/// Process identifiers come from a totally ordered set; we use dense
+/// `0..n`. They are distinct from [`dualgraph_net::NodeId`]: lower-bound
+/// adversaries exploit exactly the freedom of placing process `i` at
+/// different nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// Dense index of this process id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a process id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ProcessId(u32::try_from(index).expect("process index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identity of a broadcast payload.
+///
+/// §3 requires algorithms to treat the broadcast message as a black box;
+/// a payload is therefore represented only by an opaque identity (multiple
+/// payloads matter for the repeated-broadcast extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PayloadId(pub u64);
+
+/// A transmission: optional black-box payload plus protocol metadata.
+///
+/// * `payload` — `Some` when the transmission carries the broadcast
+///   message; `None` for protocol-only transmissions (the model allows
+///   uninformed processes to transmit, and the Theorem 12 lower bound
+///   exploits that).
+/// * `round_tag` — the sender's view of the global round number, if its
+///   protocol stamps one (§5 footnote 1: Strong Select propagates a global
+///   round counter this way under asynchronous start).
+/// * `sender` — the transmitting process's id. Real radios convey this only
+///   if the protocol includes it; it is part of the message body here, and
+///   algorithms that should not rely on it simply ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Message {
+    /// Black-box broadcast payload carried, if any.
+    pub payload: Option<PayloadId>,
+    /// Sender-stamped global round number, if the protocol uses one.
+    pub round_tag: Option<u64>,
+    /// Identifier of the transmitting process.
+    pub sender: ProcessId,
+}
+
+impl Message {
+    /// A payload-carrying message with no round tag.
+    pub fn with_payload(sender: ProcessId, payload: PayloadId) -> Self {
+        Message {
+            payload: Some(payload),
+            round_tag: None,
+            sender,
+        }
+    }
+
+    /// A payload-carrying message stamped with the sender's global round.
+    pub fn tagged(sender: ProcessId, payload: PayloadId, round: u64) -> Self {
+        Message {
+            payload: Some(payload),
+            round_tag: Some(round),
+            sender,
+        }
+    }
+
+    /// A protocol-only message (no payload).
+    pub fn signal(sender: ProcessId) -> Self {
+        Message {
+            payload: None,
+            round_tag: None,
+            sender,
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.payload, self.round_tag) {
+            (Some(p), Some(t)) => write!(f, "msg({} payload={} tag={t})", self.sender, p.0),
+            (Some(p), None) => write!(f, "msg({} payload={})", self.sender, p.0),
+            (None, Some(t)) => write!(f, "msg({} signal tag={t})", self.sender),
+            (None, None) => write!(f, "msg({} signal)", self.sender),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let m = Message::with_payload(ProcessId(3), PayloadId(0));
+        assert_eq!(m.payload, Some(PayloadId(0)));
+        assert_eq!(m.round_tag, None);
+
+        let t = Message::tagged(ProcessId(1), PayloadId(0), 17);
+        assert_eq!(t.round_tag, Some(17));
+
+        let s = Message::signal(ProcessId(2));
+        assert_eq!(s.payload, None);
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(Message::with_payload(ProcessId(0), PayloadId(1))
+            .to_string()
+            .contains("payload=1"));
+        assert!(Message::signal(ProcessId(0)).to_string().contains("signal"));
+        assert!(Message::tagged(ProcessId(0), PayloadId(0), 9)
+            .to_string()
+            .contains("tag=9"));
+    }
+
+    #[test]
+    fn process_id_roundtrip() {
+        assert_eq!(ProcessId::from_index(5).index(), 5);
+        assert_eq!(ProcessId(7).to_string(), "p7");
+        assert!(ProcessId(1) < ProcessId(2));
+    }
+}

@@ -1,0 +1,219 @@
+//! The `Process` trait: the per-node automata of the model.
+
+use crate::collision::Reception;
+use crate::message::{Message, ProcessId};
+
+/// Why a process became active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationCause {
+    /// Environment input delivered before round 1 — in the broadcast
+    /// problem, the source receiving the payload (§3: "the message arrives
+    /// at the source process prior to the first round").
+    Input(Message),
+    /// The synchronous start rule: every process begins in round 1.
+    SynchronousStart,
+    /// The asynchronous start rule: first reception of an actual message.
+    /// The message is delivered through this cause (not via
+    /// [`Process::receive`]).
+    Reception(Message),
+}
+
+impl ActivationCause {
+    /// The message that accompanied activation, if any.
+    pub fn message(&self) -> Option<&Message> {
+        match self {
+            ActivationCause::Input(m) | ActivationCause::Reception(m) => Some(m),
+            ActivationCause::SynchronousStart => None,
+        }
+    }
+}
+
+/// A process automaton (deterministic, or probabilistic via a seeded RNG
+/// owned by the implementation).
+///
+/// The executor drives each **active** process once per round:
+///
+/// 1. [`Process::transmit`] — decide whether to send, given the local round
+///    number (1 = the process's first active round);
+/// 2. after deliveries are resolved, [`Process::receive`] with the round's
+///    [`Reception`].
+///
+/// A process never observes the global round; under asynchronous start it
+/// can only learn it from `round_tag`s on messages it receives (§5
+/// footnote 1). Under synchronous start local and global rounds coincide.
+///
+/// Implementations must be deterministic functions of their construction
+/// parameters (including any RNG seed) and observation history — that is
+/// what lets the lower-bound machinery replay execution prefixes via
+/// [`Process::clone_box`].
+pub trait Process {
+    /// The process's unique identifier.
+    fn id(&self) -> ProcessId;
+
+    /// Called exactly once, when the process becomes active.
+    fn on_activate(&mut self, cause: ActivationCause);
+
+    /// Send decision for the process's `local_round`-th active round.
+    /// Returning `Some` transmits the message to the medium.
+    fn transmit(&mut self, local_round: u64) -> Option<Message>;
+
+    /// Delivers the end-of-round reception for `local_round`.
+    fn receive(&mut self, local_round: u64, reception: Reception);
+
+    /// `true` when the process holds the broadcast payload.
+    fn has_payload(&self) -> bool;
+
+    /// `true` when the process has permanently stopped transmitting
+    /// (e.g. Strong Select after finishing all its selector iterations).
+    /// Purely diagnostic; the executor keeps polling regardless.
+    fn is_terminated(&self) -> bool {
+        false
+    }
+
+    /// Clones the automaton in its current state (used for execution-prefix
+    /// replay by the Theorem 12 construction and by tests).
+    fn clone_box(&self) -> Box<dyn Process>;
+}
+
+impl Clone for Box<dyn Process> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+impl std::fmt::Debug for dyn Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Process({}, payload={}, terminated={})",
+            self.id(),
+            self.has_payload(),
+            self.is_terminated()
+        )
+    }
+}
+
+/// A process that never transmits and only records whether it got the
+/// payload. Useful as a receiver-only baseline and in tests.
+#[derive(Debug, Clone)]
+pub struct SilentProcess {
+    id: ProcessId,
+    informed: bool,
+    activated: bool,
+}
+
+impl SilentProcess {
+    /// Creates a silent process with the given id.
+    pub fn new(id: ProcessId) -> Self {
+        SilentProcess {
+            id,
+            informed: false,
+            activated: false,
+        }
+    }
+
+    /// Whether the process has been activated yet.
+    pub fn is_activated(&self) -> bool {
+        self.activated
+    }
+}
+
+impl Process for SilentProcess {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        self.activated = true;
+        if cause.message().and_then(|m| m.payload).is_some() {
+            self.informed = true;
+        }
+    }
+
+    fn transmit(&mut self, _local_round: u64) -> Option<Message> {
+        None
+    }
+
+    fn receive(&mut self, _local_round: u64, reception: Reception) {
+        if reception.message().and_then(|m| m.payload).is_some() {
+            self.informed = true;
+        }
+    }
+
+    fn has_payload(&self) -> bool {
+        self.informed
+    }
+
+    fn is_terminated(&self) -> bool {
+        true
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::PayloadId;
+
+    #[test]
+    fn activation_cause_message() {
+        let m = Message::with_payload(ProcessId(0), PayloadId(0));
+        assert_eq!(ActivationCause::Input(m).message(), Some(&m));
+        assert_eq!(ActivationCause::Reception(m).message(), Some(&m));
+        assert_eq!(ActivationCause::SynchronousStart.message(), None);
+    }
+
+    #[test]
+    fn silent_process_lifecycle() {
+        let mut p = SilentProcess::new(ProcessId(4));
+        assert!(!p.is_activated());
+        assert!(!p.has_payload());
+        p.on_activate(ActivationCause::SynchronousStart);
+        assert!(p.is_activated());
+        assert!(!p.has_payload());
+        assert_eq!(p.transmit(1), None);
+        p.receive(
+            1,
+            Reception::Message(Message::with_payload(ProcessId(0), PayloadId(0))),
+        );
+        assert!(p.has_payload());
+        assert!(p.is_terminated());
+    }
+
+    #[test]
+    fn silent_process_activation_by_payload() {
+        let mut p = SilentProcess::new(ProcessId(1));
+        p.on_activate(ActivationCause::Reception(Message::with_payload(
+            ProcessId(0),
+            PayloadId(0),
+        )));
+        assert!(p.has_payload());
+    }
+
+    #[test]
+    fn signal_reception_does_not_inform() {
+        let mut p = SilentProcess::new(ProcessId(1));
+        p.on_activate(ActivationCause::SynchronousStart);
+        p.receive(1, Reception::Message(Message::signal(ProcessId(2))));
+        assert!(!p.has_payload());
+        p.receive(2, Reception::Collision);
+        assert!(!p.has_payload());
+    }
+
+    #[test]
+    fn boxed_clone_preserves_state() {
+        let mut p = SilentProcess::new(ProcessId(2));
+        p.on_activate(ActivationCause::Input(Message::with_payload(
+            ProcessId(2),
+            PayloadId(0),
+        )));
+        let boxed: Box<dyn Process> = Box::new(p);
+        let cloned = boxed.clone();
+        assert!(cloned.has_payload());
+        assert_eq!(cloned.id(), ProcessId(2));
+        assert!(format!("{boxed:?}").contains("p2"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Execution traces.
+
+use dualgraph_net::NodeId;
+
+use crate::collision::Reception;
+use crate::message::Message;
+
+/// How much the executor records per round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// Record nothing (fastest; outcome statistics are always kept).
+    #[default]
+    Off,
+    /// Record every round's senders and per-node receptions.
+    Full,
+}
+
+/// One recorded round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// The global round number (1-based).
+    pub round: u64,
+    /// Transmissions, as `(node, message)` in node order.
+    pub senders: Vec<(NodeId, Message)>,
+    /// Reception at every node, indexed by node.
+    pub receptions: Vec<Reception>,
+}
+
+/// A (possibly empty) log of executed rounds.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    level: TraceLevel,
+    records: Vec<RoundRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace at the given level.
+    pub fn new(level: TraceLevel) -> Self {
+        Trace {
+            level,
+            records: Vec::new(),
+        }
+    }
+
+    /// The recording level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// Appends a record if recording is enabled. The closure is only
+    /// invoked when the level requires it.
+    pub fn record(&mut self, make: impl FnOnce() -> RoundRecord) {
+        if self.level == TraceLevel::Full {
+            self.records.push(make());
+        }
+    }
+
+    /// The recorded rounds (empty when recording is off).
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// The reception at `node` in global round `round`, if recorded.
+    pub fn reception(&self, round: u64, node: NodeId) -> Option<&Reception> {
+        self.records
+            .iter()
+            .find(|r| r.round == round)
+            .and_then(|r| r.receptions.get(node.index()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ProcessId;
+
+    #[test]
+    fn off_trace_records_nothing() {
+        let mut t = Trace::new(TraceLevel::Off);
+        t.record(|| panic!("must not be invoked when tracing is off"));
+        assert!(t.records().is_empty());
+        assert_eq!(t.level(), TraceLevel::Off);
+    }
+
+    #[test]
+    fn full_trace_records_and_queries() {
+        let mut t = Trace::new(TraceLevel::Full);
+        t.record(|| RoundRecord {
+            round: 1,
+            senders: vec![(NodeId(0), Message::signal(ProcessId(0)))],
+            receptions: vec![Reception::Silence, Reception::Collision],
+        });
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.reception(1, NodeId(1)), Some(&Reception::Collision));
+        assert_eq!(t.reception(2, NodeId(0)), None);
+        assert_eq!(t.reception(1, NodeId(5)), None);
+    }
+}

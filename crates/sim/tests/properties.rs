@@ -1,0 +1,258 @@
+//! Property-based tests for the executor: model invariants that must hold
+//! on random networks, random adversaries, and random protocols.
+
+use dualgraph_net::{generators, NodeId};
+use dualgraph_sim::{
+    ActivationCause, CollisionRule, Executor, ExecutorConfig, Message, PayloadId, Process,
+    ProcessId, RandomDelivery, Reception, ReliableOnly, StartRule, TraceLevel,
+};
+use proptest::prelude::*;
+
+/// A protocol that transmits pseudo-randomly (seeded) once informed —
+/// enough nondeterminism to explore the executor's state space.
+#[derive(Debug, Clone)]
+struct Chatter {
+    id: ProcessId,
+    informed: bool,
+    state: u64,
+    rate_num: u64,
+}
+
+impl Chatter {
+    fn new(id: ProcessId, seed: u64, rate_num: u64) -> Self {
+        Chatter {
+            id,
+            informed: false,
+            state: seed ^ (id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            rate_num,
+        }
+    }
+    fn boxed(n: usize, seed: u64, rate_num: u64) -> Vec<Box<dyn Process>> {
+        (0..n)
+            .map(|i| {
+                Box::new(Chatter::new(ProcessId::from_index(i), seed, rate_num))
+                    as Box<dyn Process>
+            })
+            .collect()
+    }
+}
+
+impl Process for Chatter {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+    fn on_activate(&mut self, cause: ActivationCause) {
+        if cause.message().and_then(|m| m.payload).is_some() {
+            self.informed = true;
+        }
+    }
+    fn transmit(&mut self, _local: u64) -> Option<Message> {
+        if !self.informed {
+            return None;
+        }
+        self.state = dualgraph_sim::rng::splitmix64(self.state);
+        (self.state % 8 < self.rate_num).then(|| Message::with_payload(self.id, PayloadId(0)))
+    }
+    fn receive(&mut self, _local: u64, r: Reception) {
+        if r.message().and_then(|m| m.payload).is_some() {
+            self.informed = true;
+        }
+    }
+    fn has_payload(&self) -> bool {
+        self.informed
+    }
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+fn random_net(n: usize, seed: u64) -> dualgraph_net::DualGraph {
+    generators::er_dual(
+        generators::ErDualParams {
+            n,
+            reliable_p: 0.15,
+            unreliable_p: 0.2,
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The informed set only grows, one round at a time, and informed
+    /// nodes can only appear when an informed node transmitted.
+    #[test]
+    fn informed_set_monotone(n in 3usize..24, seed: u64, rate in 1u64..8) {
+        let net = random_net(n, seed);
+        let mut exec = Executor::new(
+            &net,
+            Chatter::boxed(n, seed, rate),
+            Box::new(RandomDelivery::new(0.5, seed ^ 1)),
+            ExecutorConfig {
+                trace: TraceLevel::Full,
+                ..ExecutorConfig::default()
+            },
+        ).unwrap();
+        let mut last = exec.informed_count();
+        for _ in 0..60 {
+            let summary = exec.step();
+            let now = exec.informed_count();
+            prop_assert!(now >= last);
+            prop_assert_eq!(now - last, summary.newly_informed.len());
+            // Progress requires a sender.
+            if !summary.newly_informed.is_empty() {
+                prop_assert!(summary.senders > 0);
+            }
+            last = now;
+            if summary.complete {
+                break;
+            }
+        }
+    }
+
+    /// A *globally lone* informed sender always informs all its reliable
+    /// out-neighbors, under every collision rule — the reliable edges are
+    /// beyond the adversary's reach.
+    #[test]
+    fn lone_sender_reliable_delivery(n in 3usize..20, seed: u64, rule_idx in 0usize..4) {
+        let net = random_net(n, seed);
+        let rule = CollisionRule::ALL[rule_idx];
+        let mut exec = Executor::new(
+            &net,
+            Chatter::boxed(n, seed, 2),
+            Box::new(RandomDelivery::new(0.3, seed ^ 2)),
+            ExecutorConfig {
+                rule,
+                trace: TraceLevel::Full,
+                ..ExecutorConfig::default()
+            },
+        ).unwrap();
+        for _ in 0..50 {
+            let before: Vec<bool> = (0..n)
+                .map(|v| exec.is_informed(NodeId::from_index(v)))
+                .collect();
+            exec.step();
+            let records = exec.trace().records();
+            let rec = records.last().unwrap();
+            if let [(u, m)] = rec.senders.as_slice() {
+                if m.payload.is_some() {
+                    for &v in net.reliable().out_neighbors(*u) {
+                        prop_assert!(
+                            exec.is_informed(v),
+                            "lone sender {u} failed to inform reliable neighbor {v}"
+                        );
+                    }
+                }
+            }
+            // Un-inform never happens.
+            for (v, was) in before.iter().enumerate() {
+                if *was {
+                    prop_assert!(exec.is_informed(NodeId::from_index(v)));
+                }
+            }
+            if exec.is_complete() {
+                break;
+            }
+        }
+    }
+
+    /// Receptions respect the collision-rule table: under CR3/CR4 a
+    /// non-sender never hears ⊤; under CR1/CR2 silence is only reported
+    /// when at most one message could have reached the node.
+    #[test]
+    fn reception_rule_conformance(n in 3usize..16, seed: u64) {
+        let net = random_net(n, seed);
+        for rule in CollisionRule::ALL {
+            let mut exec = Executor::new(
+                &net,
+                Chatter::boxed(n, seed, 5),
+                Box::new(RandomDelivery::new(0.6, seed ^ 3)),
+                ExecutorConfig {
+                    rule,
+                    start: StartRule::Synchronous,
+                    trace: TraceLevel::Full,
+                    ..ExecutorConfig::default()
+                },
+            ).unwrap();
+            exec.run_rounds(25);
+            for rec in exec.trace().records() {
+                let sender_nodes: Vec<NodeId> = rec.senders.iter().map(|s| s.0).collect();
+                for v in 0..n {
+                    let v = NodeId::from_index(v);
+                    let reception = &rec.receptions[v.index()];
+                    let sent = sender_nodes.contains(&v);
+                    match rule {
+                        CollisionRule::Cr3 | CollisionRule::Cr4 => {
+                            prop_assert!(!reception.is_collision(), "{rule} reported ⊤");
+                        }
+                        _ => {}
+                    }
+                    if sent && rule != CollisionRule::Cr1 {
+                        // CR2-CR4 senders always hear themselves.
+                        let own = rec.senders.iter().find(|s| s.0 == v).unwrap().1;
+                        prop_assert_eq!(reception.message(), Some(&own));
+                    }
+                    // A received message must come from a G'-in-neighbor
+                    // (or be the node's own transmission).
+                    if let Some(m) = reception.message() {
+                        let from = rec
+                            .senders
+                            .iter()
+                            .find(|s| s.1.sender == m.sender)
+                            .map(|s| s.0)
+                            .expect("message has a sender");
+                        prop_assert!(
+                            from == v || net.total().has_edge(from, v),
+                            "message crossed a non-edge"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stepping two identical executors yields identical traces.
+    #[test]
+    fn step_determinism(n in 3usize..16, seed: u64, rounds in 1u64..40) {
+        let net = random_net(n, seed);
+        let build = || Executor::new(
+            &net,
+            Chatter::boxed(n, seed, 3),
+            Box::new(RandomDelivery::new(0.4, seed ^ 4)),
+            ExecutorConfig {
+                trace: TraceLevel::Full,
+                ..ExecutorConfig::default()
+            },
+        ).unwrap();
+        let mut a = build();
+        let mut b = build();
+        a.run_rounds(rounds);
+        b.run_rounds(rounds);
+        prop_assert_eq!(a.outcome(), b.outcome());
+        prop_assert_eq!(a.trace().records(), b.trace().records());
+    }
+
+    /// Under the benign adversary on a classical network, CR4's adversary
+    /// hook is never consulted and executions match CR3 exactly.
+    #[test]
+    fn cr3_cr4_agree_under_silence_resolution(n in 3usize..16, seed: u64) {
+        let g = random_net(n, seed);
+        let run = |rule| {
+            let mut exec = Executor::new(
+                &g,
+                Chatter::boxed(n, seed, 4),
+                Box::new(ReliableOnly::new()),
+                ExecutorConfig {
+                    rule,
+                    trace: TraceLevel::Full,
+                    ..ExecutorConfig::default()
+                },
+            ).unwrap();
+            exec.run_rounds(30);
+            exec.trace().records().to_vec()
+        };
+        // ReliableOnly resolves CR4 to silence, which is CR3's semantics.
+        prop_assert_eq!(run(CollisionRule::Cr3), run(CollisionRule::Cr4));
+    }
+}

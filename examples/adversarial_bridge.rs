@@ -1,0 +1,75 @@
+//! Theorems 2 and 4, live: the clique-bridge adversary against four
+//! algorithms.
+//!
+//! The network is 2-broadcastable — an omniscient scheduler finishes in two
+//! rounds — yet the adversary, by hiding the bridge process and blocking
+//! every unreliable delivery that would help, forces `Ω(n)` rounds on
+//! deterministic algorithms and caps randomized success probability within
+//! `k` rounds at `k/(n−2)`.
+//!
+//! ```text
+//! cargo run --release --example adversarial_bridge
+//! ```
+
+use dualgraph::broadcast::lower_bounds::clique_bridge::{
+    success_probability_within, worst_case_bridge,
+};
+use dualgraph::net::broadcastability;
+use dualgraph::{generators, Harmonic, RoundRobin, RunConfig, StrongSelect, Uniform};
+
+fn main() {
+    let n = 32;
+    let gadget = generators::clique_bridge(n);
+    println!(
+        "clique-bridge gadget: n={n}, bridge at {}, receiver at {}",
+        gadget.bridge, gadget.receiver
+    );
+    println!(
+        "2-broadcastable: greedy schedule = {:?} (length {})",
+        broadcastability::greedy_schedule(&gadget.network).senders(),
+        broadcastability::broadcastability_upper_bound(&gadget.network),
+    );
+
+    println!("\n== Theorem 2: deterministic worst case (bound: > n−3 = {}) ==", n - 3);
+    for algo in [
+        &RoundRobin::new() as &dyn dualgraph::BroadcastAlgorithm,
+        &StrongSelect::new(),
+    ] {
+        let result = worst_case_bridge(algo, n, 1_000_000);
+        println!(
+            "  {:<20} worst bridge id {:>3} -> {} rounds",
+            algo.name(),
+            result.worst.0 .0,
+            result.worst_rounds_or(1_000_000)
+        );
+    }
+
+    println!("\n== Theorem 4: P(success within k) vs the k/(n−2) ceiling ==");
+    println!(
+        "  {:<18} {:>4} {:>14} {:>14}",
+        "algorithm", "k", "min success", "bound k/(n-2)"
+    );
+    for k in [2u64, 8, 16, 24] {
+        for algo in [
+            &Harmonic::new() as &dyn dualgraph::BroadcastAlgorithm,
+            &Uniform::new(0.3),
+        ] {
+            let r = success_probability_within(
+                algo,
+                n,
+                k,
+                30,
+                RunConfig::lower_bound_setting(),
+            );
+            println!(
+                "  {:<18} {:>4} {:>14.3} {:>14.3}",
+                algo.name(),
+                k,
+                r.min_success,
+                r.bound
+            );
+        }
+    }
+    println!("\nthe measured minima sit at or below the ceiling: the adversary's");
+    println!("bridge choice defeats whichever process the algorithm favors early.");
+}

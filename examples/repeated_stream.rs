@@ -1,0 +1,60 @@
+//! The §8 future-work loop, live: streaming many messages through an
+//! unreliable network, obliviously vs with topology learning.
+//!
+//! ```text
+//! cargo run --release --example repeated_stream
+//! ```
+
+use dualgraph::broadcast::link_estimation::EstimationConfig;
+use dualgraph::broadcast::repeated::{compare_repeated, RepeatedConfig};
+use dualgraph::{generators, BurstyDelivery, ReliableOnly};
+
+fn main() {
+    let n = 41;
+    let net = generators::layered_pairs(n);
+    println!(
+        "streaming messages over the layered network (n={n}, depth {})\n",
+        net.source_eccentricity()
+    );
+    println!(
+        "{:<16} {:>9} {:>16} {:>16} {:>10} {:>14}",
+        "adversary", "messages", "oblivious total", "learning total", "fallbacks", "advantage/msg"
+    );
+    type AdversaryFn = fn(u64) -> Box<dyn dualgraph::Adversary>;
+    let menu: [(&str, AdversaryFn); 2] = [
+        ("reliable-only", |_| Box::new(ReliableOnly::new())),
+        ("bursty(calm)", |s| Box::new(BurstyDelivery::new(0.05, 0.5, s))),
+    ];
+    for (name, make) in menu {
+        for messages in [1u64, 5, 20, 100] {
+            let r = compare_repeated(
+                &net,
+                make,
+                RepeatedConfig {
+                    messages,
+                    probe: EstimationConfig {
+                        probe_probability: 0.02,
+                        rounds: 2_000,
+                        threshold: 0.5,
+                        min_samples: 5,
+                        seed: 3,
+                    },
+                    max_rounds_per_broadcast: 10_000_000,
+                    seed: 5,
+                },
+            );
+            println!(
+                "{:<16} {:>9} {:>16} {:>16} {:>10} {:>14.0}",
+                name,
+                messages,
+                r.oblivious_rounds,
+                r.learning_total(),
+                r.fallbacks,
+                r.advantage_per_message()
+            );
+        }
+    }
+    println!("\nthe probing phase (2000 rounds) amortizes after a handful of messages;");
+    println!("stalled schedules (misclassified links) fall back to Harmonic, so the");
+    println!("stream is delivered correctly no matter what the learning concluded.");
+}

@@ -1,0 +1,59 @@
+//! # dualgraph
+//!
+//! A from-scratch Rust reproduction of *Broadcasting in Unreliable Radio
+//! Networks* (Fabian Kuhn, Nancy Lynch, Calvin Newport, Rotem Oshman,
+//! Andrea Richa — PODC 2010 / MIT-CSAIL-TR-2010-029): the **dual graph**
+//! model of radio networks with unreliable links, its broadcast algorithms,
+//! and its lower-bound constructions.
+//!
+//! ## The model in one paragraph
+//!
+//! A network is a pair `(G, G′)` of graphs on the same `n` nodes with
+//! `E ⊆ E′`. Edges of `G` are *reliable* — they always deliver. The extra
+//! edges of `G′` are *unreliable* — each round, a worst-case adversary
+//! decides which of them deliver. Nodes reached by two or more messages in
+//! a round experience a collision, governed by rules CR1–CR4; processes
+//! start synchronously or on first reception. Broadcast must deliver a
+//! source message to everyone despite the adversary.
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`net`] (`dualgraph-net`) | graphs, dual graphs, topology generators, traversal |
+//! | [`sim`] (`dualgraph-sim`) | synchronous-round executor, collision rules, adversaries |
+//! | [`select`] (`dualgraph-select`) | strongly selective families (Kautz–Singleton, random) |
+//! | [`broadcast`] (`dualgraph-broadcast`) | Strong Select, Harmonic Broadcast, baselines, Theorems 2/4/12, Lemma 1, §7 analysis |
+//!
+//! The most useful entry points are re-exported at the crate root.
+//!
+//! ## Example: Theorem 2 in ten lines
+//!
+//! ```
+//! use dualgraph::broadcast::algorithms::RoundRobin;
+//! use dualgraph::broadcast::lower_bounds::clique_bridge;
+//!
+//! // The 2-broadcastable gadget: an adversary hides the bridge among
+//! // n−2 candidate processes, and every deterministic algorithm needs
+//! // more than n−3 rounds in the worst case.
+//! let n = 16;
+//! let result = clique_bridge::worst_case_bridge(&RoundRobin::new(), n, 10_000);
+//! assert!(result.worst_rounds_or(10_000) as usize > n - 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dualgraph_broadcast as broadcast;
+pub use dualgraph_net as net;
+pub use dualgraph_select as select;
+pub use dualgraph_sim as sim;
+
+pub use dualgraph_broadcast::algorithms::{
+    BroadcastAlgorithm, Decay, Harmonic, RoundRobin, StrongSelect, Uniform,
+};
+pub use dualgraph_broadcast::runner::{run_broadcast, run_trials, RunConfig};
+pub use dualgraph_net::{generators, Digraph, DualGraph, NodeId};
+pub use dualgraph_sim::{
+    Adversary, BroadcastOutcome, BurstyDelivery, CollisionRule, Executor, ExecutorConfig,
+    FullDelivery, Message, PayloadId, Process, ProcessId, RandomDelivery, ReliableOnly, StartRule,
+};

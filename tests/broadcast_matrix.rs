@@ -1,0 +1,171 @@
+//! Cross-crate integration: every algorithm × adversary × topology
+//! combination completes broadcast (within generous budgets), under the
+//! paper's weakest assumptions (CR4 + asynchronous start).
+
+use dualgraph::broadcast::algorithms::{
+    BroadcastAlgorithm, Decay, Harmonic, RoundRobin, StrongSelect, Uniform,
+};
+use dualgraph::{
+    generators, run_broadcast, Adversary, BurstyDelivery, CollisionRule, FullDelivery,
+    RandomDelivery, ReliableOnly, RunConfig, StartRule,
+};
+use dualgraph_sim::CollisionSeeker;
+
+fn algorithms() -> Vec<Box<dyn BroadcastAlgorithm>> {
+    vec![
+        Box::new(RoundRobin::new()),
+        Box::new(StrongSelect::new()),
+        Box::new(Harmonic::new()),
+        Box::new(Decay::new()),
+        Box::new(Uniform::new(0.15)),
+    ]
+}
+
+fn adversaries() -> Vec<(&'static str, Box<dyn Adversary>)> {
+    vec![
+        ("reliable-only", Box::new(ReliableOnly::new())),
+        ("full-delivery", Box::new(FullDelivery::new())),
+        ("random", Box::new(RandomDelivery::new(0.4, 7))),
+        ("bursty", Box::new(BurstyDelivery::new(0.3, 0.3, 7))),
+        ("collision-seeker", Box::new(CollisionSeeker::new())),
+    ]
+}
+
+/// Progress-guaranteeing algorithms (paper guarantees) must finish against
+/// EVERY adversary on every topology.
+#[test]
+fn guaranteed_algorithms_complete_against_all_adversaries() {
+    let nets = vec![
+        ("clique-bridge", generators::clique_bridge(17).network),
+        ("layered", generators::layered_pairs(17)),
+        ("line", generators::line(16, 4)),
+        ("grid", generators::grid(4, 4)),
+        (
+            "er-dual",
+            generators::er_dual(
+                generators::ErDualParams {
+                    n: 20,
+                    reliable_p: 0.1,
+                    unreliable_p: 0.2,
+                },
+                11,
+            ),
+        ),
+    ];
+    for (net_name, net) in &nets {
+        for algo in [
+            &RoundRobin::new() as &dyn BroadcastAlgorithm,
+            &StrongSelect::new(),
+            &Harmonic::new(),
+        ] {
+            for (adv_name, adversary) in adversaries() {
+                let outcome = run_broadcast(
+                    net,
+                    algo,
+                    adversary,
+                    RunConfig::default().with_max_rounds(2_000_000),
+                )
+                .expect("executor");
+                assert!(
+                    outcome.completed,
+                    "{} on {net_name} vs {adv_name} did not complete",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+/// All five algorithms complete in the benign (classical) setting.
+#[test]
+fn all_algorithms_complete_classically() {
+    let net = generators::line(20, 1);
+    for algo in algorithms() {
+        let outcome = run_broadcast(
+            &net,
+            algo.as_ref(),
+            Box::new(ReliableOnly::new()),
+            RunConfig::default().with_max_rounds(2_000_000),
+        )
+        .expect("executor");
+        assert!(outcome.completed, "{} stalled classically", algo.name());
+    }
+}
+
+/// Broadcast works under every collision rule and start rule for the
+/// algorithms that don't require collision detection.
+#[test]
+fn rules_and_starts_matrix() {
+    let net = generators::layered_pairs(13);
+    for rule in CollisionRule::ALL {
+        for start in [StartRule::Synchronous, StartRule::Asynchronous] {
+            for algo in [
+                &RoundRobin::new() as &dyn BroadcastAlgorithm,
+                &StrongSelect::new(),
+                &Harmonic::new(),
+            ] {
+                let outcome = run_broadcast(
+                    &net,
+                    algo,
+                    Box::new(RandomDelivery::new(0.5, 3)),
+                    RunConfig {
+                        rule,
+                        start,
+                        ..RunConfig::default().with_max_rounds(2_000_000)
+                    },
+                )
+                .expect("executor");
+                assert!(
+                    outcome.completed,
+                    "{} under {rule}/{start} did not complete",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+/// The source alone is informed when nobody relays; watchdog budgets are
+/// honored exactly.
+#[test]
+fn round_budget_is_respected() {
+    let net = generators::line(10, 1);
+    // Uniform with tiny p on CR1: may take long; budget must cap rounds.
+    let outcome = run_broadcast(
+        &net,
+        &Uniform::new(0.001),
+        Box::new(ReliableOnly::new()),
+        RunConfig::default().with_max_rounds(50),
+    )
+    .expect("executor");
+    assert!(outcome.rounds_executed <= 50);
+}
+
+/// Sends and collision counters are plausible and monotone with budget.
+#[test]
+fn outcome_statistics_consistency() {
+    let net = generators::clique_bridge(12).network;
+    let a = run_broadcast(
+        &net,
+        &Harmonic::new(),
+        Box::new(ReliableOnly::new()),
+        RunConfig::default().with_max_rounds(100),
+    )
+    .expect("executor");
+    let b = run_broadcast(
+        &net,
+        &Harmonic::new(),
+        Box::new(ReliableOnly::new()),
+        RunConfig::default().with_max_rounds(200),
+    )
+    .expect("executor");
+    assert!(b.rounds_executed >= a.rounds_executed);
+    assert!(b.sends >= a.sends);
+    // First-receive rounds are consistent with completion round.
+    if let Some(done) = b.completion_round {
+        assert!(b
+            .first_receive
+            .iter()
+            .all(|r| r.is_some_and(|v| v <= done)));
+    }
+}

@@ -1,0 +1,229 @@
+//! Model-semantics integration tests: the simulator must enforce exactly
+//! the §2.1 rules, whatever the adversary does.
+
+use dualgraph::{
+    generators, CollisionRule, Executor, ExecutorConfig, Message, NodeId, Process, ProcessId,
+    RandomDelivery, ReliableOnly, StartRule,
+};
+use dualgraph_sim::{ActivationCause, Adversary, Reception, RoundContext, TraceLevel};
+
+/// A process that floods (transmits every round once informed).
+#[derive(Debug, Clone)]
+struct Flooder {
+    id: ProcessId,
+    informed: bool,
+}
+
+impl Flooder {
+    fn boxed(n: usize) -> Vec<Box<dyn Process>> {
+        (0..n)
+            .map(|i| {
+                Box::new(Flooder {
+                    id: ProcessId::from_index(i),
+                    informed: false,
+                }) as Box<dyn Process>
+            })
+            .collect()
+    }
+}
+
+impl Process for Flooder {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+    fn on_activate(&mut self, cause: ActivationCause) {
+        if cause.message().and_then(|m| m.payload).is_some() {
+            self.informed = true;
+        }
+    }
+    fn transmit(&mut self, _l: u64) -> Option<Message> {
+        self.informed
+            .then(|| Message::with_payload(self.id, dualgraph::PayloadId(0)))
+    }
+    fn receive(&mut self, _l: u64, r: Reception) {
+        if r.message().and_then(|m| m.payload).is_some() {
+            self.informed = true;
+        }
+    }
+    fn has_payload(&self) -> bool {
+        self.informed
+    }
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+/// An adversary that tries to cheat: delivering outside `G′ ∖ G` must be
+/// rejected by the executor.
+#[derive(Debug, Clone)]
+struct CheatingAdversary;
+
+impl Adversary for CheatingAdversary {
+    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, _sender: NodeId) -> Vec<NodeId> {
+        // Claim delivery to node 0 regardless of whether the edge exists.
+        vec![ctx.network.nodes().next().unwrap()]
+    }
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+}
+
+#[test]
+#[should_panic(expected = "outside G' \\ G")]
+fn executor_rejects_illegal_deliveries() {
+    let net = generators::line(3, 1); // no unreliable edges at all
+    let mut exec = Executor::new(
+        &net,
+        Flooder::boxed(3),
+        Box::new(CheatingAdversary),
+        ExecutorConfig::default(),
+    )
+    .unwrap();
+    exec.step();
+}
+
+/// Reliable edges deliver no matter what the adversary wants: a lone
+/// sender always reaches its G-out-neighbors.
+#[test]
+fn reliable_edges_always_deliver() {
+    let net = generators::line(5, 4);
+    // RandomDelivery with p=0: unreliable edges never fire; the flood
+    // still crosses the line via G.
+    let mut exec = Executor::new(
+        &net,
+        Flooder::boxed(5),
+        Box::new(RandomDelivery::new(0.0, 1)),
+        ExecutorConfig::default(),
+    )
+    .unwrap();
+    let outcome = exec.run_until_complete(100);
+    assert!(outcome.completed);
+    assert_eq!(outcome.first_receive, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+}
+
+/// CR1 vs CR3: the same execution shows ⊤ where CR3 shows ⊥.
+#[test]
+fn collision_rules_differ_only_in_notification() {
+    let star = generators::star(4); // hub 0 + three leaves
+    let run = |rule| {
+        let mut exec = Executor::new(
+            &star,
+            Flooder::boxed(4),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig {
+                rule,
+                start: StartRule::Synchronous,
+                trace: TraceLevel::Full,
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap();
+        exec.run_rounds(3);
+        exec.trace().records().to_vec()
+    };
+    let cr1 = run(CollisionRule::Cr1);
+    let cr3 = run(CollisionRule::Cr3);
+    // Round 1: hub alone -> everyone informed in both.
+    assert_eq!(cr1[0].senders.len(), 1);
+    // Round 2: all four send; the hub is reached by three leaves + itself.
+    // CR1: collision notification; CR3: own message (senders hear selves).
+    assert_eq!(cr1[1].senders.len(), 4);
+    assert!(cr1[1].receptions[0].is_collision());
+    assert!(matches!(cr3[1].receptions[0], Reception::Message(_)));
+    // A leaf (sender) under CR1 hears ⊤ (hub + itself), CR3 hears itself.
+    assert!(cr1[1].receptions[1].is_collision());
+    assert!(matches!(cr3[1].receptions[1], Reception::Message(m) if m.sender == ProcessId(1)));
+}
+
+/// Asynchronous start: nodes beyond the frontier stay asleep and send
+/// nothing, even over many rounds.
+#[test]
+fn async_start_sleep_semantics() {
+    let net = generators::line(6, 1);
+    // Silent processes: nothing propagates, nodes 1.. never activate.
+    let silents: Vec<Box<dyn Process>> = (0..6)
+        .map(|i| {
+            Box::new(dualgraph_sim::SilentProcess::new(ProcessId::from_index(i)))
+                as Box<dyn Process>
+        })
+        .collect();
+    let mut exec = Executor::new(
+        &net,
+        silents,
+        Box::new(ReliableOnly::new()),
+        ExecutorConfig::default(),
+    )
+    .unwrap();
+    exec.run_rounds(20);
+    assert_eq!(exec.informed_count(), 1);
+}
+
+/// Synchronous start: uninformed processes are active and may transmit —
+/// exactly what the Theorem 12 candidate probes rely on.
+#[test]
+fn sync_start_uninformed_processes_can_transmit() {
+    /// A process that transmits a signal in round 2 even without payload.
+    #[derive(Debug, Clone)]
+    struct EarlyTalker(ProcessId);
+    impl Process for EarlyTalker {
+        fn id(&self) -> ProcessId {
+            self.0
+        }
+        fn on_activate(&mut self, _c: ActivationCause) {}
+        fn transmit(&mut self, local: u64) -> Option<Message> {
+            (local == 2 && self.0 != ProcessId(0)).then(|| Message::signal(self.0))
+        }
+        fn receive(&mut self, _l: u64, _r: Reception) {}
+        fn has_payload(&self) -> bool {
+            self.0 == ProcessId(0)
+        }
+        fn clone_box(&self) -> Box<dyn Process> {
+            Box::new(self.clone())
+        }
+    }
+    let net = generators::complete(3);
+    let procs: Vec<Box<dyn Process>> = (0..3)
+        .map(|i| Box::new(EarlyTalker(ProcessId::from_index(i))) as Box<dyn Process>)
+        .collect();
+    let mut exec = Executor::new(
+        &net,
+        procs,
+        Box::new(ReliableOnly::new()),
+        ExecutorConfig {
+            start: StartRule::Synchronous,
+            trace: TraceLevel::Full,
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+    exec.run_rounds(2);
+    assert_eq!(exec.trace().records()[1].senders.len(), 2);
+}
+
+/// Round tags let an asynchronously started process recover the global
+/// clock exactly (Strong Select footnote 1 machinery).
+#[test]
+fn round_tags_recover_global_clock() {
+    use dualgraph::StrongSelect;
+    let net = generators::line(8, 1);
+    let outcome = dualgraph::run_broadcast(
+        &net,
+        &StrongSelect::new(),
+        Box::new(ReliableOnly::new()),
+        dualgraph::RunConfig::default().with_max_rounds(1_000_000),
+    )
+    .unwrap();
+    let sync_outcome = dualgraph::run_broadcast(
+        &net,
+        &StrongSelect::new(),
+        Box::new(ReliableOnly::new()),
+        dualgraph::RunConfig {
+            start: StartRule::Synchronous,
+            ..dualgraph::RunConfig::default().with_max_rounds(1_000_000)
+        },
+    )
+    .unwrap();
+    // With every process informed only via tagged messages, the async
+    // execution coincides with the synchronous one on this topology.
+    assert_eq!(outcome.completion_round, sync_outcome.completion_round);
+}

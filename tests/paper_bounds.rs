@@ -1,0 +1,156 @@
+//! Integration tests pinning the paper's quantitative claims.
+
+use dualgraph::broadcast::algorithms::{
+    period_for, SsfConstruction, StrongSelectPlan,
+};
+use dualgraph::broadcast::analysis::{harmonic_number, lemma15_bound, WakeUpPattern};
+use dualgraph::broadcast::lower_bounds::clique_bridge::{
+    success_probability_within, worst_case_bridge,
+};
+use dualgraph::broadcast::lower_bounds::layered::{construct, LayeredBoundOptions};
+use dualgraph::{
+    generators, run_broadcast, run_trials, Harmonic, RoundRobin, RunConfig, StrongSelect,
+};
+use dualgraph_sim::{CollisionSeeker, RandomDelivery};
+
+/// Theorem 2: worst-case bridge forces > n−3 rounds for deterministic
+/// algorithms — at several sizes, for both deterministic algorithms.
+#[test]
+fn theorem2_holds_across_sizes() {
+    for n in [9usize, 17, 25] {
+        for algo in [
+            &RoundRobin::new() as &dyn dualgraph::BroadcastAlgorithm,
+            &StrongSelect::new(),
+        ] {
+            let budget = (n as u64).pow(2) * 100;
+            let worst = worst_case_bridge(algo, n, budget).worst_rounds_or(budget);
+            assert!(
+                worst as usize > n - 3,
+                "{} n={n}: worst={worst}",
+                algo.name()
+            );
+        }
+    }
+}
+
+/// Theorem 4: measured success probability within k rounds never
+/// meaningfully exceeds k/(n−2) (sampling slack included).
+#[test]
+fn theorem4_ceiling() {
+    let n = 17;
+    for k in [2u64, 5, 10] {
+        let r = success_probability_within(
+            &Harmonic::new(),
+            n,
+            k,
+            30,
+            RunConfig::lower_bound_setting(),
+        );
+        assert!(
+            r.min_success <= r.bound + 0.25,
+            "k={k}: min={} bound={}",
+            r.min_success,
+            r.bound
+        );
+    }
+}
+
+/// Theorem 10: Strong Select completes within the proof's budget
+/// X = 12·f(n)·2^{s_max}·n on every tested topology and adversary.
+#[test]
+fn theorem10_budget_respected() {
+    for n in [17usize, 33, 65] {
+        let budget =
+            StrongSelectPlan::new(n, SsfConstruction::KautzSingleton).theorem10_budget();
+        for net in [
+            generators::layered_pairs(n),
+            generators::clique_bridge(n).network,
+            generators::line(n, 4),
+        ] {
+            for adversary in [
+                Box::new(CollisionSeeker::new()) as Box<dyn dualgraph::Adversary>,
+                Box::new(RandomDelivery::new(0.5, 1)),
+            ] {
+                let outcome = run_broadcast(
+                    &net,
+                    &StrongSelect::new(),
+                    adversary,
+                    RunConfig::default().with_max_rounds(budget),
+                )
+                .expect("executor");
+                assert!(
+                    outcome.completed,
+                    "n={n}: did not complete within X={budget}"
+                );
+            }
+        }
+    }
+}
+
+/// Theorem 12: the constructed execution exceeds the per-stage floor and
+/// the total Ω(n log n) floor at every tested size.
+#[test]
+fn theorem12_floor_across_sizes() {
+    for n in [9usize, 17, 33, 65] {
+        for algo in [
+            &RoundRobin::new() as &dyn dualgraph::BroadcastAlgorithm,
+            &StrongSelect::new(),
+        ] {
+            let result = construct(algo, n, LayeredBoundOptions::default()).expect("construct");
+            assert!(!result.capped, "{} n={n} capped", algo.name());
+            assert!(
+                result.rounds >= result.predicted_floor(),
+                "{} n={n}: {} < {}",
+                algo.name(),
+                result.rounds,
+                result.predicted_floor()
+            );
+        }
+    }
+}
+
+/// Theorem 18: all trials complete within 2nT·H(n) (ε = 1/n, so a failure
+/// in 20 trials at n=33 has probability ≈ 20/33 — accept ≤ 1 failure).
+#[test]
+fn theorem18_budget_mostly_respected() {
+    let n = 33;
+    let net = generators::layered_pairs(n);
+    let t = period_for(n, 1.0 / n as f64);
+    let budget = (2.0 * n as f64 * t as f64 * harmonic_number(n)).ceil() as u64;
+    let outcomes = run_trials(
+        &net,
+        &Harmonic::new(),
+        |_| Box::new(CollisionSeeker::new()),
+        RunConfig::default().with_max_rounds(budget),
+        20,
+    )
+    .expect("trials");
+    let failures = outcomes.iter().filter(|o| !o.completed).count();
+    assert!(failures <= 1, "{failures}/20 trials exceeded the Thm 18 budget");
+}
+
+/// Lemma 15 against wake-up patterns harvested from real executions.
+#[test]
+fn lemma15_on_real_executions() {
+    for seed in 0..5u64 {
+        let net = generators::er_dual(
+            generators::ErDualParams {
+                n: 24,
+                reliable_p: 0.08,
+                unreliable_p: 0.15,
+            },
+            seed,
+        );
+        let outcome = run_broadcast(
+            &net,
+            &Harmonic::with_period(6),
+            Box::new(RandomDelivery::new(0.5, seed)),
+            RunConfig::default().with_seed(seed).with_max_rounds(1_000_000),
+        )
+        .expect("run");
+        assert!(outcome.completed);
+        let pattern = WakeUpPattern::from_first_receive(&outcome.first_receive).expect("pattern");
+        let busy = pattern.total_busy_rounds(6) as f64;
+        assert!(busy <= lemma15_bound(pattern.len(), 6), "seed={seed}");
+    }
+}
