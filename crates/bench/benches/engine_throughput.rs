@@ -1,0 +1,73 @@
+//! Engine-throughput bench: the optimized CSR/arena executor against the
+//! naive allocating reference oracle, plus the parallel trial runner —
+//! the perf contract of the hot-path overhaul.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use dualgraph_bench::engine_bench::{measure_optimized, measure_reference, workload_network};
+use dualgraph_broadcast::algorithms::Harmonic;
+use dualgraph_broadcast::runner::{run_trials_par_with, RunConfig};
+use dualgraph_net::DualGraph;
+use dualgraph_sim::{ChatterProcess, Executor, ExecutorConfig, RandomDelivery};
+
+fn step_rounds(net: &DualGraph, rounds: u64) {
+    let mut exec = Executor::new(
+        net,
+        ChatterProcess::boxed(net.len(), 7, 3),
+        Box::new(RandomDelivery::new(0.5, 7)),
+        ExecutorConfig::default(),
+    )
+    .unwrap();
+    for _ in 0..rounds {
+        exec.step();
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    for n in [65usize, 257] {
+        let net = workload_network(n);
+        group.bench_with_input(BenchmarkId::new("optimized", n), &net, |b, net| {
+            b.iter(|| step_rounds(net, 200))
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &net, |b, net| {
+            b.iter(|| measure_reference(net, 7, 200))
+        });
+    }
+    let net = workload_network(65);
+    group.bench_with_input(BenchmarkId::new("trials-par", 65), &net, |b, net| {
+        b.iter(|| {
+            run_trials_par_with(
+                net,
+                &Harmonic::new(),
+                |s| Box::new(RandomDelivery::new(0.5, s)),
+                RunConfig::default().with_max_rounds(200_000),
+                4,
+                2,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    // Headline ratio first: optimized vs reference at n = 257.
+    let net = workload_network(257);
+    let reference = measure_reference(&net, 7, 300);
+    let optimized = measure_optimized(&net, 7, 300);
+    println!(
+        "engine speedup at n=257: {:.1}x (reference {:.0} ns/round -> optimized {:.0} ns/round)\n",
+        reference.ns_per_round() / optimized.ns_per_round(),
+        reference.ns_per_round(),
+        optimized.ns_per_round(),
+    );
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

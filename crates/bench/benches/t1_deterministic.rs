@@ -42,13 +42,9 @@ fn benches(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("round-robin/dual-thm12", n),
-            &n,
-            |b, _| {
-                b.iter(|| construct(&RoundRobin::new(), n, LayeredBoundOptions::default()).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("round-robin/dual-thm12", n), &n, |b, _| {
+            b.iter(|| construct(&RoundRobin::new(), n, LayeredBoundOptions::default()).unwrap())
+        });
     }
     group.finish();
 }

@@ -1,21 +1,99 @@
 //! Experiment driver: prints every paper table and writes CSVs.
 //!
 //! ```text
-//! cargo run --release -p dualgraph-bench --bin experiments -- [--quick] [--table NAME] [--csv DIR]
+//! cargo run --release -p dualgraph-bench --bin experiments -- \
+//!     [--quick] [--table NAME] [--csv DIR] [--bench-engine [PATH]]
 //! ```
 //!
 //! `NAME` is a csv-name prefix (e.g. `thm12`); omit for all experiments.
+//! `--bench-engine` skips the tables and writes a machine-readable
+//! `BENCH_engine.json` (rounds/sec, ns/round, speedup vs the reference
+//! engine, peak RSS) so future PRs have a perf trajectory to compare
+//! against.
 
 use std::path::PathBuf;
 
+use dualgraph_bench::engine_bench;
 use dualgraph_bench::experiments;
 use dualgraph_bench::workloads::Scale;
+
+/// Measures engine throughput and renders `BENCH_engine.json` by hand (the
+/// environment has no serde; the format is flat enough not to need it).
+///
+/// The optimized sweep runs first and `peak_rss_kb` is sampled before the
+/// reference oracle ever executes, so the recorded footprint is
+/// attributable to the optimized engine (plus network construction), not
+/// to the deliberately allocating reference.
+fn bench_engine_json() -> String {
+    const SIZES: [usize; 3] = [65, 257, 1025];
+    let rounds_for = |n: usize| -> u64 {
+        match n {
+            65 => 2000,
+            257 => 1000,
+            _ => 300,
+        }
+    };
+    let nets: Vec<_> = SIZES
+        .iter()
+        .map(|&n| engine_bench::workload_network(n))
+        .collect();
+    let optimized: Vec<_> = nets
+        .iter()
+        .map(|net| {
+            let rounds = rounds_for(net.len());
+            // Warm (caches, allocator, first-touch paging) before timing.
+            engine_bench::measure_optimized(net, 7, rounds.min(100));
+            engine_bench::measure_optimized(net, 7, rounds)
+        })
+        .collect();
+    let rss = engine_bench::peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
+    let reference: Vec<_> = nets
+        .iter()
+        .map(|net| {
+            let rounds = rounds_for(net.len());
+            engine_bench::measure_reference(net, 7, rounds.min(100));
+            engine_bench::measure_reference(net, 7, rounds)
+        })
+        .collect();
+    let entries: Vec<String> = nets
+        .iter()
+        .zip(optimized.iter().zip(&reference))
+        .map(|(net, (opt, reference))| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"workload\": \"er_dual-chatter-random0.5\",\n",
+                    "      \"n\": {},\n",
+                    "      \"rounds\": {},\n",
+                    "      \"optimized_ns_per_round\": {:.1},\n",
+                    "      \"optimized_rounds_per_sec\": {:.1},\n",
+                    "      \"reference_ns_per_round\": {:.1},\n",
+                    "      \"reference_rounds_per_sec\": {:.1},\n",
+                    "      \"speedup\": {:.2}\n",
+                    "    }}"
+                ),
+                net.len(),
+                opt.rounds,
+                opt.ns_per_round(),
+                opt.rounds_per_sec(),
+                reference.ns_per_round(),
+                reference.rounds_per_sec(),
+                reference.ns_per_round() / opt.ns_per_round(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"dualgraph-bench-engine/1\",\n  \"peak_rss_kb\": {rss},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
     let mut filter: Option<String> = None;
     let mut csv_dir: Option<PathBuf> = Some(PathBuf::from("results"));
+    let mut bench_engine: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,13 +107,37 @@ fn main() {
                 csv_dir = Some(PathBuf::from(args.get(i).expect("--csv needs a dir")));
             }
             "--no-csv" => csv_dir = None,
+            "--bench-engine" => {
+                let path = match args.get(i + 1).filter(|a| !a.starts_with("--")) {
+                    Some(explicit) => {
+                        i += 1;
+                        explicit.clone()
+                    }
+                    None => "BENCH_engine.json".to_string(),
+                };
+                bench_engine = Some(PathBuf::from(path));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: experiments [--quick] [--table NAME] [--csv DIR | --no-csv]");
+                eprintln!(
+                    "usage: experiments [--quick] [--table NAME] [--csv DIR | --no-csv] \
+                     [--bench-engine [PATH]]"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+
+    if let Some(path) = bench_engine {
+        let json = bench_engine_json();
+        print!("{json}");
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+        return;
     }
 
     let selected: Vec<_> = experiments::all()

@@ -1,0 +1,133 @@
+//! Engine-throughput workload: the optimized executor vs the naive
+//! reference oracle on a fixed randomized workload.
+//!
+//! Used by the `engine_throughput` criterion bench and by the
+//! `experiments --bench-engine` driver that emits `BENCH_engine.json`, so
+//! future PRs have a perf trajectory to compare against.
+
+use std::time::Instant;
+
+use dualgraph_net::{generators, DualGraph};
+use dualgraph_sim::{ChatterProcess, Executor, ExecutorConfig, RandomDelivery, ReferenceExecutor};
+
+/// Chatter transmit rate (out of 8) used by the engine workload: dense
+/// enough to exercise collisions and CR4 resolution.
+const CHATTER_RATE: u64 = 3;
+
+/// The standard engine workload: `er_dual` network of `n` nodes, chatter
+/// protocol, `RandomDelivery(0.5)` adversary.
+pub fn workload_network(n: usize) -> DualGraph {
+    generators::er_dual(
+        generators::ErDualParams {
+            n,
+            reliable_p: 2.0 / n as f64,
+            unreliable_p: 8.0 / n as f64,
+        },
+        0xD00D,
+    )
+}
+
+/// One measured engine run.
+#[derive(Debug, Clone)]
+pub struct EngineMeasurement {
+    /// Rounds actually executed.
+    pub rounds: u64,
+    /// Wall-clock nanoseconds for the whole run.
+    pub elapsed_ns: u128,
+}
+
+impl EngineMeasurement {
+    /// Nanoseconds per round.
+    pub fn ns_per_round(&self) -> f64 {
+        self.elapsed_ns as f64 / self.rounds.max(1) as f64
+    }
+
+    /// Rounds per second.
+    pub fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 * 1e9 / (self.elapsed_ns.max(1) as f64)
+    }
+}
+
+/// Runs the optimized executor for exactly `rounds` rounds and times it.
+pub fn measure_optimized(net: &DualGraph, seed: u64, rounds: u64) -> EngineMeasurement {
+    let mut exec = Executor::new(
+        net,
+        ChatterProcess::boxed(net.len(), seed, CHATTER_RATE),
+        Box::new(RandomDelivery::new(0.5, seed)),
+        ExecutorConfig::default(),
+    )
+    .expect("engine workload construction");
+    let start = Instant::now();
+    for _ in 0..rounds {
+        exec.step();
+    }
+    EngineMeasurement {
+        rounds,
+        elapsed_ns: start.elapsed().as_nanos(),
+    }
+}
+
+/// Runs the naive reference executor for exactly `rounds` rounds and times
+/// it (the pre-overhaul engine shape — the speedup baseline).
+pub fn measure_reference(net: &DualGraph, seed: u64, rounds: u64) -> EngineMeasurement {
+    let mut exec = ReferenceExecutor::new(
+        net,
+        ChatterProcess::boxed(net.len(), seed, CHATTER_RATE),
+        Box::new(RandomDelivery::new(0.5, seed)),
+        ExecutorConfig::default(),
+    )
+    .expect("engine workload construction");
+    let start = Instant::now();
+    for _ in 0..rounds {
+        exec.step();
+    }
+    EngineMeasurement {
+        rounds,
+        elapsed_ns: start.elapsed().as_nanos(),
+    }
+}
+
+/// Peak resident-set size in kilobytes (`VmHWM` from `/proc/self/status`);
+/// `None` off Linux or if the field is missing.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_run_and_report() {
+        let net = workload_network(33);
+        let opt = measure_optimized(&net, 7, 50);
+        let reference = measure_reference(&net, 7, 50);
+        assert_eq!(opt.rounds, 50);
+        assert!(opt.ns_per_round() > 0.0);
+        assert!(reference.rounds_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn both_engines_complete_the_same_workload() {
+        // Sanity: the workload actually floods (payload spreads).
+        let net = workload_network(33);
+        let mut exec = Executor::new(
+            &net,
+            ChatterProcess::boxed(net.len(), 7, CHATTER_RATE),
+            Box::new(RandomDelivery::new(0.5, 7)),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let outcome = exec.run_until_complete(100_000);
+        assert!(outcome.completed);
+    }
+
+    #[test]
+    fn peak_rss_reports_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_kb().unwrap_or(0) > 0);
+        }
+    }
+}

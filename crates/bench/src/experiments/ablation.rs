@@ -14,9 +14,7 @@
 
 use dualgraph_broadcast::algorithms::{BroadcastAlgorithm, StrongSelect};
 use dualgraph_net::generators;
-use dualgraph_sim::{
-    Adversary, CollisionSeeker, Executor, ExecutorConfig, RandomDelivery,
-};
+use dualgraph_sim::{Adversary, CollisionSeeker, Executor, ExecutorConfig, RandomDelivery};
 
 use crate::report::Table;
 use crate::workloads::Scale;
@@ -59,9 +57,7 @@ pub fn run(scale: Scale) -> Table {
                 let sends_done = outcome.sends;
                 exec.run_rounds(rounds.max(64));
                 let after = exec.outcome();
-                let terminated = net
-                    .nodes()
-                    .all(|v| exec.process_at(v).is_terminated());
+                let terminated = net.nodes().all(|v| exec.process_at(v).is_terminated());
                 table.row(vec![
                     adv_name.to_string(),
                     n.to_string(),

@@ -11,7 +11,7 @@
 //! free-round structure keeps it near `n log² n`.
 
 use dualgraph_broadcast::algorithms::{Decay, Harmonic};
-use dualgraph_broadcast::runner::{run_trials, RunConfig};
+use dualgraph_broadcast::runner::{run_trials_par, RunConfig};
 use dualgraph_broadcast::stats::Summary;
 use dualgraph_net::generators;
 use dualgraph_sim::{Adversary, CollisionSeeker, ReliableOnly};
@@ -21,12 +21,12 @@ use crate::workloads::Scale;
 
 fn median_rounds(
     net: &dualgraph_net::DualGraph,
-    algo: &dyn dualgraph_broadcast::algorithms::BroadcastAlgorithm,
+    algo: &(dyn dualgraph_broadcast::algorithms::BroadcastAlgorithm + Sync),
     adversary: fn(u64) -> Box<dyn Adversary>,
     trials: u64,
     max_rounds: u64,
 ) -> (String, u64) {
-    let outcomes = run_trials(
+    let outcomes = run_trials_par(
         net,
         algo,
         adversary,
@@ -34,10 +34,7 @@ fn median_rounds(
         trials,
     )
     .expect("trials");
-    let finished: Vec<u64> = outcomes
-        .iter()
-        .filter_map(|o| o.completion_round)
-        .collect();
+    let finished: Vec<u64> = outcomes.iter().filter_map(|o| o.completion_round).collect();
     let dnf = outcomes.len() - finished.len();
     if finished.is_empty() {
         (format!("DNF>{max_rounds}"), max_rounds)

@@ -42,9 +42,8 @@ pub fn run(scale: Scale) -> Table {
             for n in scale.sizes() {
                 let net = make_topo(n);
                 let n_actual = net.len();
-                let budget =
-                    StrongSelectPlan::new(n_actual, SsfConstruction::KautzSingleton)
-                        .theorem10_budget();
+                let budget = StrongSelectPlan::new(n_actual, SsfConstruction::KautzSingleton)
+                    .theorem10_budget();
                 let outcome = run_broadcast(
                     &net,
                     &StrongSelect::new(),

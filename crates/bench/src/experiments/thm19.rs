@@ -8,7 +8,7 @@
 
 use dualgraph_broadcast::algorithms::{period_for, Harmonic};
 use dualgraph_broadcast::analysis::harmonic_number;
-use dualgraph_broadcast::runner::{run_trials, RunConfig};
+use dualgraph_broadcast::runner::{run_trials_par, RunConfig};
 use dualgraph_broadcast::stats::Summary;
 use dualgraph_net::generators;
 use dualgraph_sim::{Adversary, CollisionSeeker, RandomDelivery, ReliableOnly};
@@ -45,7 +45,7 @@ pub fn run(scale: Scale) -> Table {
             let net = generators::layered_pairs(n);
             let t_period = period_for(n, 1.0 / n as f64);
             let budget = (2.0 * n as f64 * t_period as f64 * harmonic_number(n)).ceil() as u64;
-            let outcomes = run_trials(
+            let outcomes = run_trials_par(
                 &net,
                 &Harmonic::new(),
                 make_adv,
@@ -53,10 +53,7 @@ pub fn run(scale: Scale) -> Table {
                 trials,
             )
             .expect("trials");
-            let finished: Vec<u64> = outcomes
-                .iter()
-                .filter_map(|o| o.completion_round)
-                .collect();
+            let finished: Vec<u64> = outcomes.iter().filter_map(|o| o.completion_round).collect();
             let completed = format!("{}/{}", finished.len(), outcomes.len());
             let (median, max) = if finished.is_empty() {
                 ("-".to_string(), "-".to_string())

@@ -26,7 +26,13 @@ pub fn run(scale: Scale) -> Table {
          paper ceiling: k/(n−2)",
         &["k", "algorithm", "min success", "ceiling k/(n-2)"],
     );
-    let ks: Vec<u64> = vec![1, (n / 8) as u64, (n / 4) as u64, (n / 2) as u64, (n - 3) as u64];
+    let ks: Vec<u64> = vec![
+        1,
+        (n / 8) as u64,
+        (n / 4) as u64,
+        (n / 2) as u64,
+        (n - 3) as u64,
+    ];
     for k in ks {
         if k == 0 {
             continue;
@@ -35,13 +41,8 @@ pub fn run(scale: Scale) -> Table {
             &Harmonic::new() as &dyn BroadcastAlgorithm,
             &Uniform::new(0.3),
         ] {
-            let r = success_probability_within(
-                algo,
-                n,
-                k,
-                trials,
-                RunConfig::lower_bound_setting(),
-            );
+            let r =
+                success_probability_within(algo, n, k, trials, RunConfig::lower_bound_setting());
             table.row(vec![
                 k.to_string(),
                 algo.name(),

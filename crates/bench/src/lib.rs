@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine_bench;
 pub mod experiments;
 pub mod report;
 pub mod workloads;

@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// A printable experiment table (one per paper artifact).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table title (e.g. `"Theorem 2: worst-case bridge assignment"`).
     pub title: String,
@@ -19,11 +19,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        note: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, note: impl Into<String>, columns: &[&str]) -> Self {
         Table {
             title: title.into(),
             note: note.into(),
@@ -104,7 +100,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -20,10 +20,13 @@ pub enum Scale {
 
 impl Scale {
     /// The network-size sweep for round-complexity experiments.
+    ///
+    /// `Full` now reaches `n = 1025`: the CSR + zero-alloc engine plus the
+    /// parallel trial runner keep the sweep tractable at that size.
     pub fn sizes(self) -> Vec<usize> {
         match self {
             Scale::Quick => vec![17, 33, 65],
-            Scale::Full => vec![17, 33, 65, 129, 257],
+            Scale::Full => vec![17, 33, 65, 129, 257, 1025],
         }
     }
 

@@ -31,10 +31,7 @@ use super::BroadcastAlgorithm;
 /// Panics if `epsilon` is not in `(0, 1)` or `n == 0`.
 pub fn period_for(n: usize, epsilon: f64) -> u64 {
     assert!(n > 0, "period_for requires n > 0");
-    assert!(
-        epsilon > 0.0 && epsilon < 1.0,
-        "epsilon must lie in (0, 1)"
-    );
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
     (12.0 * (n as f64 / epsilon).ln()).ceil().max(1.0) as u64
 }
 
@@ -63,10 +60,7 @@ impl Harmonic {
     ///
     /// Panics if `epsilon` is not in `(0, 1)`.
     pub fn with_epsilon(epsilon: f64) -> Self {
-        assert!(
-            epsilon > 0.0 && epsilon < 1.0,
-            "epsilon must lie in (0, 1)"
-        );
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0, 1)");
         Harmonic {
             period: None,
             epsilon,
@@ -215,7 +209,10 @@ mod tests {
     #[test]
     fn period_formula() {
         // T = ceil(12 ln(n/eps)).
-        assert_eq!(period_for(16, 1.0 / 16.0), (12.0f64 * (256.0f64).ln()).ceil() as u64);
+        assert_eq!(
+            period_for(16, 1.0 / 16.0),
+            (12.0f64 * (256.0f64).ln()).ceil() as u64
+        );
         assert!(period_for(2, 0.5) >= 1);
     }
 
@@ -332,10 +329,7 @@ mod tests {
             100_000,
         );
         assert!(a.completed && b.completed);
-        assert_ne!(
-            (a.sends, a.completion_round),
-            (b.sends, b.completion_round)
-        );
+        assert_ne!((a.sends, a.completion_round), (b.sends, b.completion_round));
     }
 
     #[test]

@@ -113,7 +113,7 @@ impl Process for RoundRobinProcess {
     fn transmit(&mut self, local_round: u64) -> Option<Message> {
         let payload = self.payload?;
         let global = self.global_offset? + local_round;
-        ((global - 1) % self.n == u64::from(self.id.0)).then(|| Message {
+        ((global - 1) % self.n == u64::from(self.id.0)).then_some(Message {
             payload: Some(payload),
             round_tag: Some(global),
             sender: self.id,

@@ -199,9 +199,9 @@ impl StrongSelectPlan {
     /// begins (its set 0 is scheduled at epoch-block position 0).
     pub fn iteration_start(&self, s: u32, from: u64) -> u64 {
         let block = 1u64 << (s - 1);
-        let l_s = self.iteration_epochs(s); // iteration length in epochs
-        // Round of family-s block start within epoch e (0-based): g(e) =
-        // e * epoch_len + block  (position r = 2^{s-1}).
+        // Iteration length in epochs; round of family-s block start within
+        // epoch e (0-based): g(e) = e * epoch_len + block (r = 2^{s-1}).
+        let l_s = self.iteration_epochs(s);
         let e_min = if from <= block {
             0
         } else {
@@ -430,7 +430,7 @@ impl Process for StrongSelectProcess {
         (global >= start
             && global < end
             && self.plan.family(slot.s).contains(slot.set_index, self.id.0))
-        .then(|| Message {
+        .then_some(Message {
             payload: Some(payload),
             round_tag: Some(global),
             sender: self.id,
@@ -475,7 +475,10 @@ mod tests {
         // k_{s_max} = 2^{s_max} should be about sqrt(n / log n).
         let k = (1u64 << s4096) as f64;
         let target = (4096.0f64 / 12.0).sqrt();
-        assert!(k <= target * 2.0 && k >= target / 4.0, "k={k} target={target}");
+        assert!(
+            k <= target * 2.0 && k >= target / 4.0,
+            "k={k} target={target}"
+        );
     }
 
     #[test]
@@ -745,11 +748,8 @@ mod tests {
     #[test]
     fn forever_windows_are_open_ended() {
         let plan = Arc::new(StrongSelectPlan::new(16, SsfConstruction::KautzSingleton));
-        let mut p = StrongSelectProcess::with_participation(
-            ProcessId(1),
-            plan,
-            Participation::Forever,
-        );
+        let mut p =
+            StrongSelectProcess::with_participation(ProcessId(1), plan, Participation::Forever);
         p.on_activate(ActivationCause::Input(Message::tagged(
             ProcessId(1),
             PayloadId(0),

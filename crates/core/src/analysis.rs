@@ -212,7 +212,10 @@ mod tests {
 
     #[test]
     fn pattern_validation() {
-        assert_eq!(WakeUpPattern::new(vec![]).unwrap_err(), BuildPatternError::Empty);
+        assert_eq!(
+            WakeUpPattern::new(vec![]).unwrap_err(),
+            BuildPatternError::Empty
+        );
         assert_eq!(
             WakeUpPattern::new(vec![1, 2]).unwrap_err(),
             BuildPatternError::SourceNotAtZero
@@ -287,8 +290,7 @@ mod tests {
 
     #[test]
     fn from_first_receive_extracts_sorted() {
-        let p =
-            WakeUpPattern::from_first_receive(&[Some(3), Some(0), None, Some(1)]).unwrap();
+        let p = WakeUpPattern::from_first_receive(&[Some(3), Some(0), None, Some(1)]).unwrap();
         assert_eq!(p.times(), &[0, 1, 3]);
     }
 

@@ -270,8 +270,7 @@ pub fn run_explicit(
                 let own_m = own[v];
                 let sent = own_m.is_some();
                 // Total reaching messages, own included for senders.
-                let total =
-                    receivable[v].len() + interfering[v] + usize::from(sent);
+                let total = receivable[v].len() + interfering[v] + usize::from(sent);
                 if total >= 2 {
                     collisions += 1;
                 }
@@ -392,25 +391,31 @@ impl SimulatingAdversary {
 }
 
 impl Adversary for SimulatingAdversary {
-    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId> {
+    fn unreliable_deliveries(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        sender: NodeId,
+        out: &mut Vec<NodeId>,
+    ) {
         let Some(received) = self.received.get(ctx.round as usize - 1) else {
-            return Vec::new();
+            return;
         };
         // Deploy {u, sender} ∈ G_I ∖ G_T iff: some G_T-in-neighbor of u
         // sends (condition 1), u receives no message in the explicit run
         // (condition 2); condition 3 (sender ∈ S) holds by construction.
-        ctx.network
-            .unreliable_only_out(sender)
-            .iter()
-            .copied()
-            .filter(|&u| {
-                let has_gt_sender = ctx
-                    .senders
-                    .iter()
-                    .any(|&(w, _)| self.transmission.has_edge(w, u));
-                has_gt_sender && !received.contains(u.index())
-            })
-            .collect()
+        out.extend(
+            ctx.network
+                .unreliable_only_out(sender)
+                .iter()
+                .copied()
+                .filter(|&u| {
+                    let has_gt_sender = ctx
+                        .senders
+                        .iter()
+                        .any(|&(w, _)| self.transmission.has_edge(w, u));
+                    has_gt_sender && !received.contains(u.index())
+                }),
+        );
     }
 
     fn resolve_cr4(

@@ -88,19 +88,21 @@ impl Adversary for CliqueBridgeAdversary {
         Assignment::from_node_to_proc(node_to_proc).expect("bridge assignment is a permutation")
     }
 
-    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId> {
-        if ctx.senders.len() > 1 {
-            // Rule 1: every message reaches every process.
-            return ctx.network.unreliable_only_out(sender).to_vec();
-        }
-        if sender == self.receiver_node {
-            // Rule 3 (receiver part): reaches everyone; r's only G-edge is
-            // to b, so the adversary supplies the rest.
-            return ctx.network.unreliable_only_out(sender).to_vec();
+    fn unreliable_deliveries(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        sender: NodeId,
+        out: &mut Vec<NodeId>,
+    ) {
+        if ctx.senders.len() > 1 || sender == self.receiver_node {
+            // Rule 1: with several senders, every message reaches every
+            // process. Rule 3 (receiver part): a lone sender at r reaches
+            // everyone; r's only G-edge is to b, so the adversary supplies
+            // the rest.
+            out.extend_from_slice(ctx.network.unreliable_only_out(sender));
         }
         // Rule 2 and the bridge part of rule 3: G-edges already deliver
         // exactly the intended set (C for clique nodes, everyone for b).
-        Vec::new()
     }
 
     fn clone_box(&self) -> Box<dyn Adversary> {
@@ -259,9 +261,9 @@ pub fn rules_demo(n: usize) -> (bool, bool) {
         senders: &senders,
         informed: &informed,
     };
-    let clique_sender_misses_receiver = adv
-        .unreliable_deliveries(&ctx, network.source())
-        .is_empty();
+    let mut chosen = Vec::new();
+    adv.unreliable_deliveries(&ctx, network.source(), &mut chosen);
+    let clique_sender_misses_receiver = chosen.is_empty();
     let senders = [(bridge, Message::signal(ProcessId(1)))];
     let ctx = RoundContext {
         round: 2,
@@ -271,8 +273,10 @@ pub fn rules_demo(n: usize) -> (bool, bool) {
         informed: &informed,
     };
     // The bridge's G-neighbors are already everyone.
-    let bridge_reaches_all = adv.unreliable_deliveries(&ctx, bridge).is_empty()
-        && network.reliable().out_neighbors(bridge).contains(&receiver);
+    chosen.clear();
+    adv.unreliable_deliveries(&ctx, bridge, &mut chosen);
+    let bridge_reaches_all =
+        chosen.is_empty() && network.reliable().out_neighbors(bridge).contains(&receiver);
     (clique_sender_misses_receiver, bridge_reaches_all)
 }
 
@@ -289,6 +293,7 @@ mod tests {
         assert_eq!(a.process_at(NodeId(0)), ProcessId(0)); // source
         assert_eq!(a.process_at(NodeId(7)), ProcessId(7)); // receiver
         assert_eq!(a.process_at(NodeId(6)), ProcessId(3)); // bridge
+
         // Default rule: remaining ids ascending on remaining nodes.
         assert_eq!(a.process_at(NodeId(1)), ProcessId(1));
         assert_eq!(a.process_at(NodeId(2)), ProcessId(2));

@@ -239,7 +239,7 @@ pub fn construct(
     n: usize,
     options: LayeredBoundOptions,
 ) -> Result<LayeredBoundResult, LayeredBoundError> {
-    if n < 9 || n % 2 == 0 {
+    if n < 9 || n.is_multiple_of(2) {
         return Err(LayeredBoundError::BadSize { n });
     }
     if !algorithm.is_deterministic() {
@@ -273,8 +273,12 @@ pub fn construct(
             .map(ProcessId::from_index)
             .filter(|p| !informed_set.contains(p))
             .collect();
-        let pair = refine_candidates(&state, &informed_set, &candidates, ell_max)
-            .ok_or(LayeredBoundError::CandidatesExhausted { stage, ell: ell_max })?;
+        let pair = refine_candidates(&state, &informed_set, &candidates, ell_max).ok_or(
+            LayeredBoundError::CandidatesExhausted {
+                stage,
+                ell: ell_max,
+            },
+        )?;
 
         // Extend the real execution with β_{i,i'}: round 0 delivers the
         // lone A_k sender's message to A_k ∪ {i, i'}; later rounds follow
@@ -309,14 +313,11 @@ pub fn construct(
         }
         let rounds_added = state.round - stage_start;
         debug_assert!(
-            capped || rounds_added >= 1 + ell_max as u64,
+            capped || rounds_added > ell_max as u64,
             "stage {stage} added only {rounds_added} rounds (floor {})",
             1 + ell_max
         );
-        stages.push(StageRecord {
-            pair,
-            rounds_added,
-        });
+        stages.push(StageRecord { pair, rounds_added });
         informed_set.insert(pair.0);
         informed_set.insert(pair.1);
     }
@@ -427,8 +428,7 @@ fn probe_beta(
     rounds_before_query: usize,
 ) -> Vec<ProcessId> {
     let mut sim = alpha_end.clone();
-    let delivery: BTreeSet<ProcessId> =
-        a_k.iter().copied().chain([pair.0, pair.1]).collect();
+    let delivery: BTreeSet<ProcessId> = a_k.iter().copied().chain([pair.0, pair.1]).collect();
     for _ in 0..rounds_before_query {
         step_beta(&mut sim, a_k, &delivery);
     }
@@ -462,8 +462,7 @@ mod tests {
     #[test]
     fn round_robin_suffers_n_log_n_at_least() {
         let n = 17;
-        let result =
-            construct(&RoundRobin::new(), n, LayeredBoundOptions::default()).unwrap();
+        let result = construct(&RoundRobin::new(), n, LayeredBoundOptions::default()).unwrap();
         assert!(!result.capped);
         assert!(
             result.rounds >= result.predicted_floor(),
@@ -480,11 +479,10 @@ mod tests {
     #[test]
     fn stages_each_meet_the_per_stage_floor() {
         let n = 17;
-        let result =
-            construct(&RoundRobin::new(), n, LayeredBoundOptions::default()).unwrap();
+        let result = construct(&RoundRobin::new(), n, LayeredBoundOptions::default()).unwrap();
         for (idx, s) in result.stages.iter().enumerate() {
             assert!(
-                s.rounds_added >= 1 + result.per_stage_floor,
+                s.rounds_added > result.per_stage_floor,
                 "stage {idx} added {} rounds",
                 s.rounds_added
             );
@@ -494,8 +492,7 @@ mod tests {
     #[test]
     fn strong_select_also_meets_the_bound() {
         let n = 17;
-        let result =
-            construct(&StrongSelect::new(), n, LayeredBoundOptions::default()).unwrap();
+        let result = construct(&StrongSelect::new(), n, LayeredBoundOptions::default()).unwrap();
         assert!(!result.capped);
         assert!(
             result.rounds >= result.predicted_floor(),
@@ -509,8 +506,7 @@ mod tests {
     #[test]
     fn pairs_are_disjoint_across_stages() {
         let n = 21;
-        let result =
-            construct(&RoundRobin::new(), n, LayeredBoundOptions::default()).unwrap();
+        let result = construct(&RoundRobin::new(), n, LayeredBoundOptions::default()).unwrap();
         let mut seen = BTreeSet::new();
         for s in &result.stages {
             assert!(seen.insert(s.pair.0), "pair element reused");

@@ -90,7 +90,7 @@ impl Process for ScheduledProcess {
         let payload = self.payload?;
         let global = self.global_offset? + local_round;
         let scheduled = *self.slots.get(global as usize - 1)?;
-        (scheduled.index() == self.id.index()).then(|| Message {
+        (scheduled.index() == self.id.index()).then_some(Message {
             payload: Some(payload),
             round_tag: Some(global),
             sender: self.id,
@@ -136,13 +136,8 @@ pub fn run_scheduled(
             )) as Box<dyn Process>
         })
         .collect();
-    let mut exec = Executor::new(
-        network,
-        processes,
-        adversary,
-        ExecutorConfig::default(),
-    )
-    .expect("scheduled executor");
+    let mut exec = Executor::new(network, processes, adversary, ExecutorConfig::default())
+        .expect("scheduled executor");
     let outcome = exec.run_until_complete(schedule.len() as u64);
     outcome.completion_round
 }
@@ -241,7 +236,11 @@ pub fn compare_repeated(
         make_adversary(derive_seed(config.seed, 1 << 32)),
         config.probe,
     );
-    let learned = obs.classify(network.len(), config.probe.threshold, config.probe.min_samples);
+    let learned = obs.classify(
+        network.len(),
+        config.probe.threshold,
+        config.probe.min_samples,
+    );
     let schedule = if traversal::all_reachable_from(&learned, network.source()) {
         // Build the schedule against the learned graph, then run it on the
         // REAL network (the learned graph only shapes the schedule).
@@ -390,7 +389,10 @@ mod tests {
             },
         );
         assert_eq!(result.messages, 10);
-        assert!(result.schedule_len > 0, "learning failed to build a schedule");
+        assert!(
+            result.schedule_len > 0,
+            "learning failed to build a schedule"
+        );
         // Scheduled broadcasts are ~n rounds; harmonic is hundreds —
         // after 10 messages the probe cost must be amortized.
         assert!(

@@ -111,12 +111,103 @@ pub fn run_trials(
         .collect()
 }
 
+/// Parallel [`run_trials`]: distributes the trials over OS threads
+/// (work-stealing via an atomic trial counter) and returns outcomes in
+/// trial order, **byte-identical** to the sequential version for the same
+/// master seed — every trial derives its own seed via
+/// [`dualgraph_sim::rng::derive_seed`], so scheduling cannot perturb the
+/// randomness.
+///
+/// Worker count is `min(available_parallelism, trials)`; with one worker
+/// this degenerates to the sequential loop (no threads spawned). The
+/// environment has no rayon, so this uses `std::thread::scope` directly.
+///
+/// # Errors
+///
+/// Propagates the [`BuildExecutorError`] of the earliest failing trial (the
+/// same error [`run_trials`] would report).
+pub fn run_trials_par(
+    network: &DualGraph,
+    algorithm: &(dyn BroadcastAlgorithm + Sync),
+    make_adversary: impl Fn(u64) -> Box<dyn Adversary> + Sync,
+    config: RunConfig,
+    trials: u64,
+) -> Result<Vec<BroadcastOutcome>, BuildExecutorError> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(trials.max(1) as usize);
+    run_trials_par_with(network, algorithm, make_adversary, config, trials, workers)
+}
+
+/// [`run_trials_par`] with an explicit worker count (exposed so tests and
+/// benches can exercise the parallel path on any machine).
+///
+/// # Errors
+///
+/// Propagates the [`BuildExecutorError`] of the earliest failing trial.
+///
+/// # Panics
+///
+/// Panics if `workers == 0` or a worker thread panics.
+pub fn run_trials_par_with(
+    network: &DualGraph,
+    algorithm: &(dyn BroadcastAlgorithm + Sync),
+    make_adversary: impl Fn(u64) -> Box<dyn Adversary> + Sync,
+    config: RunConfig,
+    trials: u64,
+    workers: usize,
+) -> Result<Vec<BroadcastOutcome>, BuildExecutorError> {
+    assert!(workers > 0, "run_trials_par requires at least one worker");
+    if workers == 1 {
+        return run_trials(network, algorithm, &make_adversary, config, trials);
+    }
+    let mut slots: Vec<Option<Result<BroadcastOutcome, BuildExecutorError>>> =
+        (0..trials).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let make_adversary = &make_adversary;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if t >= trials {
+                            break;
+                        }
+                        let seed = dualgraph_sim::rng::derive_seed(config.seed, t);
+                        let outcome = run_broadcast(
+                            network,
+                            algorithm,
+                            make_adversary(seed),
+                            RunConfig { seed, ..config },
+                        );
+                        local.push((t, outcome));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (t, outcome) in handle.join().expect("trial worker panicked") {
+                slots[t as usize] = Some(outcome);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("work queue covered every trial"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::algorithms::{Harmonic, RoundRobin};
     use dualgraph_net::generators;
-    use dualgraph_sim::{RandomDelivery, ReliableOnly};
+    use dualgraph_sim::{Adversary, RandomDelivery, ReliableOnly};
 
     #[test]
     fn run_broadcast_round_robin() {
@@ -146,6 +237,62 @@ mod tests {
         assert!(outcomes.iter().all(|o| o.completed));
         // Trials shouldn't all be byte-identical.
         assert!(outcomes.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn run_trials_par_matches_sequential_byte_for_byte() {
+        let net = generators::er_dual(
+            generators::ErDualParams {
+                n: 24,
+                reliable_p: 0.1,
+                unreliable_p: 0.25,
+            },
+            3,
+        );
+        let make = |seed| Box::new(RandomDelivery::new(0.5, seed)) as Box<dyn Adversary>;
+        let config = RunConfig::default().with_seed(77).with_max_rounds(100_000);
+        let sequential = run_trials(&net, &Harmonic::new(), make, config, 12).unwrap();
+        // Force multiple workers so the parallel path runs even on 1-CPU CI.
+        for workers in [2, 3, 5] {
+            let parallel =
+                run_trials_par_with(&net, &Harmonic::new(), make, config, 12, workers).unwrap();
+            assert_eq!(sequential, parallel, "workers={workers}");
+        }
+        let auto = run_trials_par(&net, &Harmonic::new(), make, config, 12).unwrap();
+        assert_eq!(sequential, auto);
+    }
+
+    #[test]
+    fn run_trials_par_zero_trials() {
+        let net = generators::line(4, 1);
+        let make = |_| Box::new(ReliableOnly::new()) as Box<dyn Adversary>;
+        let outcomes =
+            run_trials_par(&net, &RoundRobin::new(), make, RunConfig::default(), 0).unwrap();
+        assert!(outcomes.is_empty());
+    }
+
+    #[test]
+    fn run_trials_par_propagates_errors() {
+        // An algorithm whose process count disagrees with the network.
+        struct Broken;
+        impl crate::algorithms::BroadcastAlgorithm for Broken {
+            fn name(&self) -> String {
+                "broken".into()
+            }
+            fn is_deterministic(&self) -> bool {
+                true
+            }
+            fn processes(&self, _n: usize, _seed: u64) -> Vec<Box<dyn dualgraph_sim::Process>> {
+                Vec::new()
+            }
+        }
+        let net = generators::line(4, 1);
+        let make = |_| Box::new(ReliableOnly::new()) as Box<dyn Adversary>;
+        let err = run_trials_par_with(&net, &Broken, make, RunConfig::default(), 4, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            dualgraph_sim::BuildExecutorError::ProcessCountMismatch { .. }
+        ));
     }
 
     #[test]

@@ -186,10 +186,7 @@ impl FixedBitSet {
 
     /// `true` if the sets share no element.
     pub fn is_disjoint(&self, other: &FixedBitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// `true` if every element of `self` is in `other`.

@@ -1,0 +1,204 @@
+//! Compressed-sparse-row (CSR) adjacency: the execution-time graph layout.
+//!
+//! [`crate::Digraph`] keeps one `Vec` per node — convenient to build, but
+//! every row is a separate heap allocation, so the simulator's hot loop
+//! pays a pointer chase (and a cache miss) per neighborhood visit. A
+//! [`Csr`] freezes the same adjacency into two flat arrays:
+//!
+//! ```text
+//! offsets: [0, 2, 5, 5, ...]    // n + 1 entries, offsets[u]..offsets[u+1]
+//! targets: [v1, v2, v0, v3, v4] // all rows concatenated, each sorted
+//! ```
+//!
+//! Rows stay sorted ascending (inherited from `Digraph`), so membership is
+//! a binary search over a contiguous slice and iteration order — hence
+//! every downstream computation — is unchanged from the `Vec<Vec<_>>` path.
+//!
+//! Construction goes through [`Digraph`]; a `Csr` is immutable.
+
+use crate::graph::Digraph;
+use crate::node::NodeId;
+
+/// A frozen, flat adjacency structure (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use dualgraph_net::{Csr, Digraph, NodeId};
+///
+/// let mut g = Digraph::new(3);
+/// g.add_edge(NodeId(0), NodeId(2));
+/// g.add_edge(NodeId(0), NodeId(1));
+/// let csr = Csr::from_digraph(&g);
+/// assert_eq!(csr.row(NodeId(0)), &[NodeId(1), NodeId(2)]);
+/// assert!(csr.contains(NodeId(0), NodeId(2)));
+/// assert!(!csr.contains(NodeId(1), NodeId(0)));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `n + 1` row boundaries into `targets`.
+    offsets: Vec<u32>,
+    /// Concatenated out-neighbor rows, each sorted ascending.
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Freezes `g`'s out-adjacency into CSR form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` edges (far beyond any
+    /// simulated network).
+    pub fn from_digraph(g: &Digraph) -> Self {
+        Self::from_rows(g.node_count(), |u| g.out_neighbors(u))
+    }
+
+    /// Freezes arbitrary per-node rows (each must be sorted ascending) into
+    /// CSR form. Used for derived neighborhoods such as `G′ ∖ G`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total edge count exceeds `u32::MAX` or a row is not
+    /// sorted strictly ascending (debug builds only for the sort check).
+    pub fn from_rows<'a, F>(n: usize, row: F) -> Self
+    where
+        F: Fn(NodeId) -> &'a [NodeId],
+    {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0usize;
+        offsets.push(0u32);
+        for u in 0..n {
+            total += row(NodeId::from_index(u)).len();
+            offsets.push(u32::try_from(total).expect("edge count exceeds u32::MAX"));
+        }
+        let mut targets = Vec::with_capacity(total);
+        for u in 0..n {
+            let r = row(NodeId::from_index(u));
+            debug_assert!(
+                r.windows(2).all(|w| w[0] < w[1]),
+                "CSR rows must be sorted strictly ascending"
+            );
+            targets.extend_from_slice(r);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` when the structure has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The sorted out-neighbor row of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn row(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.row(u).len()
+    }
+
+    /// Membership test for the edge `(u, v)`: binary search over the row,
+    /// `O(log deg(u))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.row(u).binary_search(&v).is_ok()
+    }
+}
+
+impl std::fmt::Debug for Csr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Csr({} nodes, {} edges)", self.len(), self.edge_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_digraph(&Digraph::new(0));
+        assert!(csr.is_empty());
+        assert_eq!(csr.edge_count(), 0);
+    }
+
+    #[test]
+    fn rows_match_digraph() {
+        let mut g = Digraph::new(5);
+        g.add_edge(v(0), v(4));
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(3), v(2));
+        g.add_undirected_edge(v(1), v(2));
+        let csr = Csr::from_digraph(&g);
+        assert_eq!(csr.len(), 5);
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            assert_eq!(csr.row(u), g.out_neighbors(u), "row {u}");
+            assert_eq!(csr.degree(u), g.out_degree(u));
+        }
+    }
+
+    #[test]
+    fn contains_agrees_with_has_edge() {
+        let g = Digraph::complete(7);
+        let csr = Csr::from_digraph(&g);
+        for u in g.nodes() {
+            for w in g.nodes() {
+                assert_eq!(csr.contains(u, w), g.has_edge(u, w), "({u}, {w})");
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_concatenates() {
+        let rows: Vec<Vec<NodeId>> = vec![vec![v(1), v(2)], vec![], vec![v(0)]];
+        let csr = Csr::from_rows(3, |u| &rows[u.index()]);
+        assert_eq!(csr.row(v(0)), &[v(1), v(2)]);
+        assert_eq!(csr.row(v(1)), &[] as &[NodeId]);
+        assert_eq!(csr.row(v(2)), &[v(0)]);
+        assert_eq!(csr.edge_count(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_out_of_range_panics() {
+        let csr = Csr::from_digraph(&Digraph::new(2));
+        csr.row(v(2));
+    }
+
+    #[test]
+    fn debug_format() {
+        let csr = Csr::from_digraph(&Digraph::complete(3));
+        assert_eq!(format!("{csr:?}"), "Csr(3 nodes, 6 edges)");
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::csr::Csr;
 use crate::graph::Digraph;
 use crate::node::NodeId;
 use crate::traversal;
@@ -96,9 +97,14 @@ pub struct DualGraph {
     reliable: Digraph,
     total: Digraph,
     source: NodeId,
+    /// `G` frozen into CSR form for the simulator's hot loop.
+    reliable_csr: Csr,
+    /// `G′` frozen into CSR form.
+    total_csr: Csr,
     /// For each node `u`: out-neighbors in `G′` that are *not* out-neighbors
     /// in `G` — exactly the targets the adversary may grant or deny.
-    unreliable_only: Vec<Vec<NodeId>>,
+    /// Frozen into CSR form at construction.
+    unreliable_only_csr: Csr,
 }
 
 impl DualGraph {
@@ -137,7 +143,7 @@ impl DualGraph {
                 node: NodeId::from_index(unreached),
             });
         }
-        let unreliable_only = (0..reliable.node_count())
+        let unreliable_only: Vec<Vec<NodeId>> = (0..reliable.node_count())
             .map(|u| {
                 let u = NodeId::from_index(u);
                 total
@@ -148,11 +154,17 @@ impl DualGraph {
                     .collect()
             })
             .collect();
+        let n = reliable.node_count();
+        let unreliable_only_csr = Csr::from_rows(n, |u| &unreliable_only[u.index()]);
+        let reliable_csr = Csr::from_digraph(&reliable);
+        let total_csr = Csr::from_digraph(&total);
         Ok(DualGraph {
             reliable,
             total,
             source,
-            unreliable_only,
+            reliable_csr,
+            total_csr,
+            unreliable_only_csr,
         })
     }
 
@@ -209,13 +221,33 @@ impl DualGraph {
     /// # Panics
     ///
     /// Panics if `u` is out of range.
+    #[inline]
     pub fn unreliable_only_out(&self, u: NodeId) -> &[NodeId] {
-        &self.unreliable_only[u.index()]
+        self.unreliable_only_csr.row(u)
     }
 
     /// Total count of adversary-controlled (unreliable-only) directed edges.
     pub fn unreliable_edge_count(&self) -> usize {
-        self.unreliable_only.iter().map(Vec::len).sum()
+        self.unreliable_only_csr.edge_count()
+    }
+
+    /// `G` in frozen CSR form — the layout the executor's hot loop reads.
+    #[inline]
+    pub fn reliable_csr(&self) -> &Csr {
+        &self.reliable_csr
+    }
+
+    /// `G′` in frozen CSR form.
+    #[inline]
+    pub fn total_csr(&self) -> &Csr {
+        &self.total_csr
+    }
+
+    /// `G′ ∖ G` out-neighborhoods in frozen CSR form (the rows
+    /// [`DualGraph::unreliable_only_out`] serves).
+    #[inline]
+    pub fn unreliable_only_csr(&self) -> &Csr {
+        &self.unreliable_only_csr
     }
 
     /// Iterates all nodes.

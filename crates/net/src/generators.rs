@@ -87,17 +87,17 @@ pub fn clique_bridge(n: usize) -> CliqueBridge {
 /// ```
 pub fn layered_pairs(n: usize) -> DualGraph {
     assert!(n >= 3, "layered_pairs requires n >= 3, got {n}");
-    assert!(n % 2 == 1, "layered_pairs requires odd n (2k+1 nodes), got {n}");
+    assert!(
+        n % 2 == 1,
+        "layered_pairs requires odd n (2k+1 nodes), got {n}"
+    );
     let mut g = Digraph::new(n);
     let layers = (n - 1) / 2;
     let layer = |k: usize| -> Vec<NodeId> {
         if k == 0 {
             vec![NodeId(0)]
         } else {
-            vec![
-                NodeId::from_index(2 * k - 1),
-                NodeId::from_index(2 * k),
-            ]
+            vec![NodeId::from_index(2 * k - 1), NodeId::from_index(2 * k)]
         }
     };
     for k in 0..=layers {
@@ -132,7 +132,10 @@ pub fn layered_pairs(n: usize) -> DualGraph {
 ///
 /// Panics if `widths` is empty or contains a zero.
 pub fn layered_widths(widths: &[usize]) -> DualGraph {
-    assert!(!widths.is_empty(), "layered_widths requires at least one layer");
+    assert!(
+        !widths.is_empty(),
+        "layered_widths requires at least one layer"
+    );
     assert!(
         widths.iter().all(|&w| w > 0),
         "layered_widths layer widths must be positive"
@@ -234,8 +237,7 @@ pub fn star(n: usize) -> DualGraph {
 /// Panics if `n == 0`.
 pub fn complete(n: usize) -> DualGraph {
     assert!(n > 0, "complete requires n > 0");
-    DualGraph::classical(Digraph::complete(n), NodeId(0))
-        .expect("complete construction is valid")
+    DualGraph::classical(Digraph::complete(n), NodeId(0)).expect("complete construction is valid")
 }
 
 /// A `w × h` grid in `G` (4-neighborhood); `G′` adds the diagonals
@@ -396,7 +398,9 @@ pub fn geometric_dual(params: GeometricDualParams, seed: u64) -> DualGraph {
         "gray_radius must be at least reliable_radius"
     );
     let mut rng = SmallRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let d2 = |a: (f64, f64), b: (f64, f64)| {
         let (dx, dy) = (a.0 - b.0, a.1 - b.1);
         dx * dx + dy * dy

@@ -9,8 +9,11 @@
 //! `G′` deliver only when a worst-case adversary allows it. This crate
 //! provides:
 //!
-//! * [`Digraph`] — sorted-adjacency directed graphs;
-//! * [`DualGraph`] — the validated `(G, G′, source)` triple;
+//! * [`Digraph`] — sorted-adjacency directed graphs (the construction path);
+//! * [`Csr`] — frozen flat adjacency (the execution path: the simulator
+//!   reads `G`, `G′`, and `G′ ∖ G` as contiguous rows);
+//! * [`DualGraph`] — the validated `(G, G′, source)` triple, frozen into
+//!   CSR at construction;
 //! * [`generators`] — the paper's lower-bound gadgets
 //!   ([`generators::clique_bridge`], [`generators::layered_pairs`]) plus
 //!   standard and random topologies;
@@ -39,6 +42,7 @@
 
 mod bitset;
 pub mod broadcastability;
+mod csr;
 pub mod dot;
 mod dual;
 pub mod generators;
@@ -47,6 +51,7 @@ mod node;
 pub mod traversal;
 
 pub use bitset::FixedBitSet;
+pub use csr::Csr;
 pub use dual::{BuildDualGraphError, DualGraph};
 pub use graph::Digraph;
 pub use node::NodeId;

@@ -79,7 +79,7 @@ pub fn bfs_layers(g: &Digraph, source: NodeId) -> Vec<Vec<NodeId>> {
 /// if some node is unreachable.
 pub fn eccentricity(g: &Digraph, source: NodeId) -> Option<u32> {
     let dist = bfs_distances(g, source);
-    if dist.iter().any(|&d| d == UNREACHABLE) {
+    if dist.contains(&UNREACHABLE) {
         None
     } else {
         dist.into_iter().max()

@@ -1,6 +1,8 @@
 //! Property-based tests for the graph substrate.
 
-use dualgraph_net::{broadcastability, generators, traversal, Digraph, DualGraph, FixedBitSet, NodeId};
+use dualgraph_net::{
+    broadcastability, generators, traversal, Digraph, DualGraph, FixedBitSet, NodeId,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -8,7 +10,7 @@ proptest! {
     #[test]
     fn bitset_matches_model(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..300)) {
         let mut set = FixedBitSet::new(200);
-        let mut model = vec![false; 200];
+        let mut model = [false; 200];
         for (idx, insert) in ops {
             if insert {
                 set.insert(idx);

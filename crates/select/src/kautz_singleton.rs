@@ -164,7 +164,11 @@ mod tests {
         // q <= next_prime(~max(k(m-1), n^{1/m})) so |F| = q^2 stays far
         // below the trivial n bound for small k and large n.
         let f = kautz_singleton(4096, 4);
-        assert!(f.len() < 4096, "KS should beat round robin here: {}", f.len());
+        assert!(
+            f.len() < 4096,
+            "KS should beat round robin here: {}",
+            f.len()
+        );
     }
 
     #[test]

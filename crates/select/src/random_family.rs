@@ -68,11 +68,7 @@ impl RandomFamilyParams {
 /// assert!(dualgraph_select::verify::spot_check_strongly_selective(&f, 200, 1));
 /// ```
 pub fn random_family(params: RandomFamilyParams, seed: u64) -> SelectiveFamily {
-    let RandomFamilyParams {
-        n,
-        k,
-        failure_prob,
-    } = params;
+    let RandomFamilyParams { n, k, failure_prob } = params;
     assert!(n > 0, "random_family requires n > 0");
     assert!(k > 0 && k <= n, "random_family requires 1 <= k <= n");
     assert!(

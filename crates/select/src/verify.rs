@@ -57,11 +57,7 @@ pub fn spot_check_strongly_selective(family: &SelectiveFamily, trials: usize, se
 }
 
 /// Like [`spot_check_strongly_selective`] but returns the violating subset.
-pub fn find_counterexample(
-    family: &SelectiveFamily,
-    trials: usize,
-    seed: u64,
-) -> Option<Vec<u32>> {
+pub fn find_counterexample(family: &SelectiveFamily, trials: usize, seed: u64) -> Option<Vec<u32>> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let n = family.n() as u32;
     let k = family.k().min(family.n());
@@ -114,12 +110,8 @@ mod tests {
         // n=4, k=2: binary-code families. Sets: bit0 on, bit0 off, bit1 on,
         // bit1 off. For any pair {a, b}, a != b, they differ in some bit;
         // the corresponding set isolates each.
-        let f = SelectiveFamily::new(
-            4,
-            2,
-            vec![vec![1, 3], vec![0, 2], vec![2, 3], vec![0, 1]],
-        )
-        .unwrap();
+        let f = SelectiveFamily::new(4, 2, vec![vec![1, 3], vec![0, 2], vec![2, 3], vec![0, 1]])
+            .unwrap();
         assert!(is_strongly_selective_exhaustive(&f));
         assert!(spot_check_strongly_selective(&f, 200, 9));
     }

@@ -57,9 +57,7 @@ impl Assignment {
     ///
     /// Returns [`BuildAssignmentError::NotAPermutation`] unless the vector
     /// is a permutation of process ids `0..n`.
-    pub fn from_node_to_proc(
-        node_to_proc: Vec<ProcessId>,
-    ) -> Result<Self, BuildAssignmentError> {
+    pub fn from_node_to_proc(node_to_proc: Vec<ProcessId>) -> Result<Self, BuildAssignmentError> {
         let n = node_to_proc.len();
         let mut proc_to_node = vec![None; n];
         for (node, p) in node_to_proc.iter().enumerate() {
@@ -133,10 +131,26 @@ pub trait Adversary {
     }
 
     /// For the transmission by `sender`, chooses which of its
-    /// unreliable-only out-neighbors the message reaches. Must return a
-    /// subset of `ctx.network.unreliable_only_out(sender)`; the executor
-    /// validates this.
-    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId>;
+    /// unreliable-only out-neighbors the message reaches, **appending**
+    /// the chosen targets to `out`.
+    ///
+    /// Implementations must only push — never read, truncate, or clear
+    /// `out`: the executor hands the same flat buffer to every sender of a
+    /// round (earlier senders' targets are already in it) and splits it by
+    /// recorded ranges afterwards. The appended targets must form a subset
+    /// of `ctx.network.unreliable_only_out(sender)`; the executor validates
+    /// this in debug builds (a `debug_assert!` over the frozen `G′ ∖ G`
+    /// CSR row).
+    ///
+    /// The scratch-buffer signature keeps the executor's round loop
+    /// allocation-free. (This is a breaking change from the original
+    /// `-> Vec<NodeId>` signature; see `docs/PERFORMANCE.md`.)
+    fn unreliable_deliveries(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        sender: NodeId,
+        out: &mut Vec<NodeId>,
+    );
 
     /// Resolves a CR4 collision at non-sending `node`; `reaching` holds the
     /// ≥ 2 messages that physically reached it. Default: silence.
@@ -179,8 +193,12 @@ impl ReliableOnly {
 }
 
 impl Adversary for ReliableOnly {
-    fn unreliable_deliveries(&mut self, _ctx: &RoundContext<'_>, _sender: NodeId) -> Vec<NodeId> {
-        Vec::new()
+    fn unreliable_deliveries(
+        &mut self,
+        _ctx: &RoundContext<'_>,
+        _sender: NodeId,
+        _out: &mut Vec<NodeId>,
+    ) {
     }
 
     fn clone_box(&self) -> Box<dyn Adversary> {
@@ -201,8 +219,13 @@ impl FullDelivery {
 }
 
 impl Adversary for FullDelivery {
-    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId> {
-        ctx.network.unreliable_only_out(sender).to_vec()
+    fn unreliable_deliveries(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        sender: NodeId,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.extend_from_slice(ctx.network.unreliable_only_out(sender));
     }
 
     fn clone_box(&self) -> Box<dyn Adversary> {
@@ -216,9 +239,17 @@ impl Adversary for FullDelivery {
 ///
 /// This is the i.i.d. link-flap model of gray zones; deterministic in the
 /// seed.
+///
+/// Draw semantics (relevant when comparing seeded outcomes across
+/// versions): each unreliable edge consumes exactly one raw `u64` draw,
+/// compared against a precomputed integer threshold, except `p = 1`, which
+/// delivers everything without consuming draws.
 #[derive(Debug, Clone)]
 pub struct RandomDelivery {
     p: f64,
+    /// Integer acceptance threshold: an edge delivers when a raw `u64` draw
+    /// falls below it. One draw per edge, no float math on the hot path.
+    threshold: u64,
     rng: SmallRng,
 }
 
@@ -232,19 +263,30 @@ impl RandomDelivery {
         assert!((0.0..=1.0).contains(&p), "probability must lie in [0,1]");
         RandomDelivery {
             p,
+            threshold: (p * (u64::MAX as f64 + 1.0)) as u64,
             rng: SmallRng::seed_from_u64(seed),
         }
     }
 }
 
 impl Adversary for RandomDelivery {
-    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId> {
-        ctx.network
-            .unreliable_only_out(sender)
-            .iter()
-            .copied()
-            .filter(|_| self.rng.gen_bool(self.p))
-            .collect()
+    fn unreliable_deliveries(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        sender: NodeId,
+        out: &mut Vec<NodeId>,
+    ) {
+        let row = ctx.network.unreliable_only_out(sender);
+        if self.p >= 1.0 {
+            // `x < threshold` would lose the x == u64::MAX draw.
+            out.extend_from_slice(row);
+            return;
+        }
+        for &v in row {
+            if self.rng.next_u64() < self.threshold {
+                out.push(v);
+            }
+        }
     }
 
     fn resolve_cr4(
@@ -314,14 +356,18 @@ impl BurstyDelivery {
 }
 
 impl Adversary for BurstyDelivery {
-    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId> {
+    fn unreliable_deliveries(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        sender: NodeId,
+        out: &mut Vec<NodeId>,
+    ) {
         let round = ctx.round;
-        ctx.network
-            .unreliable_only_out(sender)
-            .to_vec()
-            .into_iter()
-            .filter(|&v| self.edge_good((sender, v), round))
-            .collect()
+        for &v in ctx.network.unreliable_only_out(sender) {
+            if self.edge_good((sender, v), round) {
+                out.push(v);
+            }
+        }
     }
 
     fn clone_box(&self) -> Box<dyn Adversary> {
@@ -341,8 +387,11 @@ impl Adversary for BurstyDelivery {
 /// worst-case-flavored adversary used by the upper-bound experiments.
 #[derive(Debug, Clone, Default)]
 pub struct CollisionSeeker {
-    /// Per-round cache: `(round, reliable-reach counts per node)`.
-    cache: Option<(u64, Vec<u32>)>,
+    /// Round the `counts` buffer was computed for (`None` = never).
+    cached_round: Option<u64>,
+    /// Reliable-reach counts per node, reused round to round (zeroed in
+    /// place, never reallocated in steady state).
+    counts: Vec<u32>,
 }
 
 impl CollisionSeeker {
@@ -353,29 +402,35 @@ impl CollisionSeeker {
 
     fn reach_counts(&mut self, ctx: &RoundContext<'_>) -> &[u32] {
         let round = ctx.round;
-        if self.cache.as_ref().is_none_or(|(r, _)| *r != round) {
-            let mut counts = vec![0u32; ctx.network.len()];
+        if self.cached_round != Some(round) {
+            self.counts.clear();
+            self.counts.resize(ctx.network.len(), 0);
             for &(u, _) in ctx.senders {
-                for v in ctx.network.reliable().out_neighbors(u) {
-                    counts[v.index()] += 1;
+                for v in ctx.network.reliable_csr().row(u) {
+                    self.counts[v.index()] += 1;
                 }
             }
-            self.cache = Some((round, counts));
+            self.cached_round = Some(round);
         }
-        &self.cache.as_ref().expect("cache primed").1
+        &self.counts
     }
 }
 
 impl Adversary for CollisionSeeker {
-    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId> {
-        let informed = ctx.informed.clone();
-        let counts = self.reach_counts(ctx).to_vec();
-        ctx.network
-            .unreliable_only_out(sender)
-            .iter()
-            .copied()
-            .filter(|v| !informed.contains(v.index()) && counts[v.index()] >= 1)
-            .collect()
+    fn unreliable_deliveries(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        sender: NodeId,
+        out: &mut Vec<NodeId>,
+    ) {
+        let counts = self.reach_counts(ctx);
+        out.extend(
+            ctx.network
+                .unreliable_only_out(sender)
+                .iter()
+                .copied()
+                .filter(|v| !ctx.informed.contains(v.index()) && counts[v.index()] >= 1),
+        );
     }
 
     // CR4 collisions resolve to silence (the default): maximally unhelpful.
@@ -416,8 +471,13 @@ impl<A: Adversary + Clone + 'static> Adversary for WithAssignment<A> {
             .expect("WithAssignment requires a permutation")
     }
 
-    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, sender: NodeId) -> Vec<NodeId> {
-        self.inner.unreliable_deliveries(ctx, sender)
+    fn unreliable_deliveries(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        sender: NodeId,
+        out: &mut Vec<NodeId>,
+    ) {
+        self.inner.unreliable_deliveries(ctx, sender, out);
     }
 
     fn resolve_cr4(
@@ -454,6 +514,18 @@ mod tests {
         }
     }
 
+    /// Collects an adversary's deliveries into a fresh vec (test shorthand
+    /// for the scratch-buffer API).
+    fn deliveries<A: Adversary>(
+        adv: &mut A,
+        ctx: &RoundContext<'_>,
+        sender: NodeId,
+    ) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        adv.unreliable_deliveries(ctx, sender, &mut out);
+        out
+    }
+
     #[test]
     fn assignment_identity_roundtrip() {
         let a = Assignment::identity(4);
@@ -487,9 +559,7 @@ mod tests {
         let informed = FixedBitSet::new(4);
         let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
         let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
-        assert!(ReliableOnly::new()
-            .unreliable_deliveries(&ctx, NodeId(0))
-            .is_empty());
+        assert!(deliveries(&mut ReliableOnly::new(), &ctx, NodeId(0)).is_empty());
     }
 
     #[test]
@@ -499,7 +569,7 @@ mod tests {
         let informed = FixedBitSet::new(4);
         let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
         let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
-        let d = FullDelivery::new().unreliable_deliveries(&ctx, NodeId(0));
+        let d = deliveries(&mut FullDelivery::new(), &ctx, NodeId(0));
         assert_eq!(d, net.unreliable_only_out(NodeId(0)).to_vec());
         assert!(!d.is_empty());
     }
@@ -511,13 +581,9 @@ mod tests {
         let informed = FixedBitSet::new(6);
         let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
         let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
-        assert!(RandomDelivery::new(0.0, 1)
-            .unreliable_deliveries(&ctx, NodeId(0))
-            .is_empty());
+        assert!(deliveries(&mut RandomDelivery::new(0.0, 1), &ctx, NodeId(0)).is_empty());
         assert_eq!(
-            RandomDelivery::new(1.0, 1)
-                .unreliable_deliveries(&ctx, NodeId(0))
-                .len(),
+            deliveries(&mut RandomDelivery::new(1.0, 1), &ctx, NodeId(0)).len(),
             net.unreliable_only_out(NodeId(0)).len()
         );
     }
@@ -533,8 +599,8 @@ mod tests {
         let mut b = RandomDelivery::new(0.5, 99);
         for _ in 0..10 {
             assert_eq!(
-                a.unreliable_deliveries(&ctx, NodeId(0)),
-                b.unreliable_deliveries(&ctx, NodeId(0))
+                deliveries(&mut a, &ctx, NodeId(0)),
+                deliveries(&mut b, &ctx, NodeId(0))
             );
         }
     }
@@ -546,10 +612,7 @@ mod tests {
         let informed = FixedBitSet::new(3);
         let senders = [];
         let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
-        let reaching = [
-            Message::signal(ProcessId(0)),
-            Message::signal(ProcessId(1)),
-        ];
+        let reaching = [Message::signal(ProcessId(0)), Message::signal(ProcessId(1))];
         assert_eq!(
             ReliableOnly::new().resolve_cr4(&ctx, NodeId(2), &reaching),
             Cr4Resolution::Silence
@@ -574,7 +637,7 @@ mod tests {
                 senders: &senders,
                 informed: &informed,
             };
-            if adv.unreliable_deliveries(&ctx, NodeId(0)).len() < full {
+            if deliveries(&mut adv, &ctx, NodeId(0)).len() < full {
                 seen_partial = true;
             }
         }
@@ -599,7 +662,7 @@ mod tests {
             (NodeId(1), Message::signal(ProcessId(1))),
         ];
         let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
-        let d0 = adv.unreliable_deliveries(&ctx, NodeId(0));
+        let d0 = deliveries(&mut adv, &ctx, NodeId(0));
         assert!(d0.contains(&NodeId(2)), "jam the contested node 2: {d0:?}");
         assert!(!d0.contains(&NodeId(3)), "never help node 3: {d0:?}");
         assert!(!d0.contains(&NodeId(4)));
@@ -608,7 +671,7 @@ mod tests {
         let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
         let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
         let mut adv = CollisionSeeker::new();
-        assert!(adv.unreliable_deliveries(&ctx, NodeId(0)).is_empty());
+        assert!(deliveries(&mut adv, &ctx, NodeId(0)).is_empty());
     }
 
     #[test]
@@ -622,15 +685,17 @@ mod tests {
         ];
         let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
         let mut adv = CollisionSeeker::new();
-        assert!(adv.unreliable_deliveries(&ctx, NodeId(0)).is_empty());
-        assert!(adv.unreliable_deliveries(&ctx, NodeId(1)).is_empty());
+        assert!(deliveries(&mut adv, &ctx, NodeId(0)).is_empty());
+        assert!(deliveries(&mut adv, &ctx, NodeId(1)).is_empty());
     }
 
     #[test]
     fn with_assignment_overrides() {
         let net = generators::line(3, 2);
-        let mut adv =
-            WithAssignment::new(ReliableOnly::new(), vec![ProcessId(2), ProcessId(1), ProcessId(0)]);
+        let mut adv = WithAssignment::new(
+            ReliableOnly::new(),
+            vec![ProcessId(2), ProcessId(1), ProcessId(0)],
+        );
         let a = adv.assign(&net, 3);
         assert_eq!(a.process_at(NodeId(0)), ProcessId(2));
     }

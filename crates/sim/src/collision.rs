@@ -179,13 +179,7 @@ mod tests {
     #[test]
     fn cr1_sender_hears_collision_when_another_reaches() {
         let own = msg(0);
-        let r = resolve(
-            CollisionRule::Cr1,
-            true,
-            &[own, msg(1)],
-            Some(own),
-            never,
-        );
+        let r = resolve(CollisionRule::Cr1, true, &[own, msg(1)], Some(own), never);
         assert_eq!(r, Reception::Collision);
     }
 

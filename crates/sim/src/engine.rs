@@ -186,8 +186,29 @@ pub struct Executor<'a> {
     sends: u64,
     physical_collisions: u64,
     trace: Trace,
-    /// Reusable per-node buffers of reaching messages.
-    reach_buf: Vec<Vec<Message>>,
+    // ---- Reusable round scratch (allocation-free in steady state) ----
+    /// This round's `(sender, message)` pairs, in node order.
+    senders_buf: Vec<(NodeId, Message)>,
+    /// This round's resolved receptions, indexed by node.
+    receptions_buf: Vec<Reception>,
+    /// All adversary deliveries of the round, concatenated sender by
+    /// sender: adversaries append their targets directly (see
+    /// [`Adversary::unreliable_deliveries`]).
+    extra_flat: Vec<NodeId>,
+    /// Per-sender `(start, end)` ranges into `extra_flat` (parallel to
+    /// `senders_buf`).
+    extra_ranges: Vec<(u32, u32)>,
+    /// Flat arena of reaching messages: node `v`'s reaching set is
+    /// `arena[arena_off[v] as usize..arena_off[v + 1] as usize]`, in the
+    /// same order the former per-node `Vec`s were filled (sender node
+    /// order; self, then `G` out-row, then adversary extras).
+    arena: Vec<Message>,
+    /// `n + 1` prefix-sum offsets into `arena`.
+    arena_off: Vec<u32>,
+    /// Per-node fill cursors for the arena's second pass.
+    cursor: Vec<u32>,
+    /// Per-node own transmission this round (senders hear themselves under
+    /// CR2–CR4).
     own_buf: Vec<Option<Message>>,
 }
 
@@ -231,7 +252,9 @@ impl<'a> Executor<'a> {
         let procs: Vec<Box<dyn Process>> = (0..n)
             .map(|node| {
                 let pid = assignment.process_at(NodeId::from_index(node));
-                slots[pid.index()].take().expect("assignment is a bijection")
+                slots[pid.index()]
+                    .take()
+                    .expect("assignment is a bijection")
             })
             .collect();
 
@@ -248,7 +271,13 @@ impl<'a> Executor<'a> {
             sends: 0,
             physical_collisions: 0,
             trace: Trace::new(config.trace),
-            reach_buf: (0..n).map(|_| Vec::new()).collect(),
+            senders_buf: Vec::new(),
+            receptions_buf: Vec::with_capacity(n),
+            extra_flat: Vec::new(),
+            extra_ranges: Vec::new(),
+            arena: Vec::new(),
+            arena_off: vec![0; n + 1],
+            cursor: vec![0; n],
             own_buf: vec![None; n],
         };
 
@@ -317,77 +346,149 @@ impl<'a> Executor<'a> {
     }
 
     /// Executes one round and reports what happened.
+    ///
+    /// Allocation-free in steady state: all round-local state lives in
+    /// reusable buffers on the executor. Only `RoundSummary::newly_informed`
+    /// (part of the return value) and — when tracing is enabled — the trace
+    /// record allocate.
     pub fn step(&mut self) -> RoundSummary {
         let t = self.round + 1;
         let n = self.network.len();
 
+        // Reset the previous round's own-message slots (O(previous senders),
+        // not O(n); the buffer starts all-`None`).
+        for i in 0..self.senders_buf.len() {
+            let u = self.senders_buf[i].0;
+            self.own_buf[u.index()] = None;
+        }
+
         // Phase 1: send decisions.
-        let mut senders: Vec<(NodeId, Message)> = Vec::new();
+        self.senders_buf.clear();
         for node in 0..n {
             if let Some(from) = self.active_from[node] {
                 if from <= t {
                     let local = t - from + 1;
                     if let Some(msg) = self.procs[node].transmit(local) {
-                        senders.push((NodeId::from_index(node), msg));
+                        self.senders_buf.push((NodeId::from_index(node), msg));
                     }
                 }
             }
         }
-        self.sends += senders.len() as u64;
+        self.sends += self.senders_buf.len() as u64;
 
-        // Phase 2: adversary deliveries -> per-node reaching sets.
-        for buf in &mut self.reach_buf {
-            buf.clear();
-        }
-        for slot in &mut self.own_buf {
-            *slot = None;
-        }
+        // Phase 2a: adversary deliveries, flattened sender by sender (one
+        // adversary call per sender, in node order — the call order every
+        // seeded adversary's RNG stream depends on).
+        self.extra_flat.clear();
+        self.extra_ranges.clear();
         {
             let Executor {
                 network,
                 adversary,
                 assignment,
                 informed,
-                reach_buf,
-                own_buf,
+                senders_buf,
+                extra_flat,
+                extra_ranges,
                 ..
             } = self;
             let ctx = RoundContext {
                 round: t,
                 network,
                 assignment,
-                senders: &senders,
+                senders: senders_buf,
                 informed,
             };
-            for &(u, msg) in &senders {
+            for &(u, _) in senders_buf.iter() {
+                let start = extra_flat.len() as u32;
+                adversary.unreliable_deliveries(&ctx, u, extra_flat);
+                let end = extra_flat.len() as u32;
+                debug_assert!(end >= start, "adversary shrank the delivery buffer");
+                for &v in &extra_flat[start as usize..end as usize] {
+                    debug_assert!(
+                        network.unreliable_only_csr().contains(u, v),
+                        "adversary delivered ({u}, {v}) outside G' \\ G"
+                    );
+                }
+                extra_ranges.push((start, end));
+            }
+        }
+
+        // Phase 2b: two-pass arena fill. First count each node's reaching
+        // messages, prefix-sum into per-node ranges, then write messages at
+        // the per-node cursors — visiting senders in the same order as the
+        // counting pass, so each node's reaching set keeps the historical
+        // per-node order (sender node order; self, then `G` out-row, then
+        // adversary extras).
+        {
+            let Executor {
+                network,
+                senders_buf,
+                extra_flat,
+                extra_ranges,
+                arena,
+                arena_off,
+                cursor,
+                own_buf,
+                ..
+            } = self;
+            let reliable = network.reliable_csr();
+            cursor.fill(0);
+            for (i, &(u, _)) in senders_buf.iter().enumerate() {
+                cursor[u.index()] += 1;
+                for &v in reliable.row(u) {
+                    cursor[v.index()] += 1;
+                }
+                let (s, e) = extra_ranges[i];
+                for &v in &extra_flat[s as usize..e as usize] {
+                    cursor[v.index()] += 1;
+                }
+            }
+            let mut acc = 0u32;
+            arena_off[0] = 0;
+            for v in 0..n {
+                acc += cursor[v];
+                arena_off[v + 1] = acc;
+            }
+            cursor.copy_from_slice(&arena_off[..n]);
+            // Grow-only: every live slot `< acc` is overwritten through the
+            // cursors below, and reads are bounded by `arena_off`, so stale
+            // entries past `acc` are never observed. This avoids an O(total)
+            // dummy-fill per round.
+            if arena.len() < acc as usize {
+                arena.resize(acc as usize, Message::signal(ProcessId(0)));
+            }
+            for (i, &(u, msg)) in senders_buf.iter().enumerate() {
                 own_buf[u.index()] = Some(msg);
                 // A sender's message always reaches itself and all
                 // G-out-neighbors; the adversary picks among the rest.
-                reach_buf[u.index()].push(msg);
-                for &v in network.reliable().out_neighbors(u) {
-                    reach_buf[v.index()].push(msg);
+                arena[cursor[u.index()] as usize] = msg;
+                cursor[u.index()] += 1;
+                for &v in reliable.row(u) {
+                    arena[cursor[v.index()] as usize] = msg;
+                    cursor[v.index()] += 1;
                 }
-                let extra = adversary.unreliable_deliveries(&ctx, u);
-                for &v in &extra {
-                    assert!(
-                        network.unreliable_only_out(u).contains(&v),
-                        "adversary delivered ({u}, {v}) outside G' \\ G"
-                    );
-                    reach_buf[v.index()].push(msg);
+                let (s, e) = extra_ranges[i];
+                for &v in &extra_flat[s as usize..e as usize] {
+                    arena[cursor[v.index()] as usize] = msg;
+                    cursor[v.index()] += 1;
                 }
             }
         }
 
         // Phase 3: collision resolution per node.
-        let mut receptions: Vec<Reception> = Vec::with_capacity(n);
+        self.receptions_buf.clear();
         {
             let Executor {
                 network,
                 adversary,
                 assignment,
                 informed,
-                reach_buf,
+                senders_buf,
+                arena,
+                arena_off,
                 own_buf,
+                receptions_buf,
                 config,
                 physical_collisions,
                 ..
@@ -396,30 +497,33 @@ impl<'a> Executor<'a> {
                 round: t,
                 network,
                 assignment,
-                senders: &senders,
+                senders: senders_buf,
                 informed,
             };
             for node in 0..n {
-                let reaching = &reach_buf[node];
+                let reaching = &arena[arena_off[node] as usize..arena_off[node + 1] as usize];
                 let sent = own_buf[node].is_some();
+                // Fast path for the common idle node: nothing reached it
+                // and it did not send, so every rule resolves to silence.
+                if reaching.is_empty() && !sent {
+                    receptions_buf.push(Reception::Silence);
+                    continue;
+                }
                 if reaching.len() >= 2 {
                     *physical_collisions += 1;
                 }
-                let reception = collision::resolve(
-                    config.rule,
-                    sent,
-                    reaching,
-                    own_buf[node],
-                    |msgs| adversary.resolve_cr4(&ctx, NodeId::from_index(node), msgs),
-                );
-                receptions.push(reception);
+                let reception =
+                    collision::resolve(config.rule, sent, reaching, own_buf[node], |msgs| {
+                        adversary.resolve_cr4(&ctx, NodeId::from_index(node), msgs)
+                    });
+                receptions_buf.push(reception);
             }
         }
 
         // Phase 4: deliveries, activations, bookkeeping.
         let mut newly_informed = Vec::new();
         for node in 0..n {
-            let reception = receptions[node];
+            let reception = self.receptions_buf[node];
             let got_payload = reception.message().and_then(|m| m.payload).is_some();
             match self.active_from[node] {
                 Some(from) if from <= t => {
@@ -442,15 +546,23 @@ impl<'a> Executor<'a> {
         }
 
         self.round = t;
-        self.trace.record(|| RoundRecord {
-            round: t,
-            senders: senders.clone(),
-            receptions: receptions.clone(),
-        });
+        {
+            let Executor {
+                trace,
+                senders_buf,
+                receptions_buf,
+                ..
+            } = self;
+            trace.record(|| RoundRecord {
+                round: t,
+                senders: senders_buf.clone(),
+                receptions: receptions_buf.clone(),
+            });
+        }
 
         RoundSummary {
             round: t,
-            senders: senders.len(),
+            senders: self.senders_buf.len(),
             newly_informed,
             complete: self.is_complete(),
         }
@@ -499,6 +611,10 @@ impl<'a> Executor<'a> {
 }
 
 impl Clone for Executor<'_> {
+    /// Deep-copies the full mid-execution state, scratch buffers included,
+    /// so a clone continues identically *and* at identical cost (the
+    /// original implementation re-created empty buffers, silently handing
+    /// the clone a cold start of re-growth allocations).
     fn clone(&self) -> Self {
         Executor {
             network: self.network,
@@ -513,8 +629,14 @@ impl Clone for Executor<'_> {
             sends: self.sends,
             physical_collisions: self.physical_collisions,
             trace: self.trace.clone(),
-            reach_buf: (0..self.network.len()).map(|_| Vec::new()).collect(),
-            own_buf: vec![None; self.network.len()],
+            senders_buf: self.senders_buf.clone(),
+            receptions_buf: self.receptions_buf.clone(),
+            extra_flat: self.extra_flat.clone(),
+            extra_ranges: self.extra_ranges.clone(),
+            arena: self.arena.clone(),
+            arena_off: self.arena_off.clone(),
+            cursor: self.cursor.clone(),
+            own_buf: self.own_buf.clone(),
         }
     }
 }
@@ -719,13 +841,8 @@ mod tests {
             ReliableOnly::new(),
             vec![ProcessId(2), ProcessId(1), ProcessId(0)],
         );
-        let exec = Executor::new(
-            &net,
-            flooders(3),
-            Box::new(adv),
-            ExecutorConfig::default(),
-        )
-        .unwrap();
+        let exec =
+            Executor::new(&net, flooders(3), Box::new(adv), ExecutorConfig::default()).unwrap();
         assert_eq!(exec.process_at(NodeId(0)).id(), ProcessId(2));
         assert_eq!(exec.process_at(NodeId(2)).id(), ProcessId(0));
         assert!(exec.process_at(NodeId(0)).has_payload());
@@ -741,7 +858,10 @@ mod tests {
             ExecutorConfig::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, BuildExecutorError::ProcessCountMismatch { .. }));
+        assert!(matches!(
+            err,
+            BuildExecutorError::ProcessCountMismatch { .. }
+        ));
 
         let bad: Vec<Box<dyn Process>> = vec![
             Box::new(Flooder::new(ProcessId(1))),

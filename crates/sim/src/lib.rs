@@ -19,7 +19,10 @@
 //! * [`Adversary`] — `proc` assignment + unreliable deliveries + CR4
 //!   resolution, with built-ins ([`ReliableOnly`], [`FullDelivery`],
 //!   [`RandomDelivery`], [`BurstyDelivery`], [`WithAssignment`]);
-//! * [`Executor`] — the round loop, with traces and outcome statistics;
+//! * [`Executor`] — the round loop (CSR-backed, allocation-free in steady
+//!   state), with traces and outcome statistics;
+//! * [`ReferenceExecutor`] — the naive allocating oracle the differential
+//!   tests check the optimized engine against;
 //! * [`rng`] — deterministic seed derivation for reproducible experiments.
 //!
 //! # Examples
@@ -50,6 +53,7 @@ mod collision;
 mod engine;
 mod message;
 mod process;
+pub mod reference;
 pub mod rng;
 mod trace;
 
@@ -62,5 +66,6 @@ pub use engine::{
     BroadcastOutcome, BuildExecutorError, Executor, ExecutorConfig, RoundSummary, StartRule,
 };
 pub use message::{Message, PayloadId, ProcessId};
-pub use process::{ActivationCause, Process, SilentProcess};
+pub use process::{ActivationCause, ChatterProcess, Process, SilentProcess};
+pub use reference::ReferenceExecutor;
 pub use trace::{RoundRecord, Trace, TraceLevel};

@@ -153,6 +153,86 @@ impl Process for SilentProcess {
     }
 }
 
+/// A seeded pseudo-random flooding protocol: once informed, transmits the
+/// payload with probability `rate/8` each round (SplitMix64-driven, so
+/// fully deterministic in the seed).
+///
+/// Not one of the paper's algorithms — this is the shared stress/test
+/// protocol used by the differential tests (optimized engine vs the
+/// [`ReferenceExecutor`][crate::ReferenceExecutor] oracle) and the engine
+/// throughput benches: dense enough to exercise collisions and CR4
+/// resolution on every topology.
+#[derive(Debug, Clone)]
+pub struct ChatterProcess {
+    id: ProcessId,
+    informed: bool,
+    state: u64,
+    rate: u64,
+}
+
+impl ChatterProcess {
+    /// Creates the automaton; `rate` out of 8 rounds transmit once
+    /// informed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate > 8`.
+    pub fn new(id: ProcessId, seed: u64, rate: u64) -> Self {
+        assert!(rate <= 8, "rate is out of 8");
+        ChatterProcess {
+            id,
+            informed: false,
+            state: seed ^ (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            rate,
+        }
+    }
+
+    /// The `n` chatter processes for one execution, ids `0..n`.
+    pub fn boxed(n: usize, seed: u64, rate: u64) -> Vec<Box<dyn Process>> {
+        (0..n)
+            .map(|i| {
+                Box::new(ChatterProcess::new(ProcessId::from_index(i), seed, rate))
+                    as Box<dyn Process>
+            })
+            .collect()
+    }
+}
+
+impl Process for ChatterProcess {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        if cause.message().and_then(|m| m.payload).is_some() {
+            self.informed = true;
+        }
+    }
+
+    fn transmit(&mut self, _local_round: u64) -> Option<Message> {
+        if !self.informed {
+            return None;
+        }
+        self.state = crate::rng::splitmix64(self.state);
+        (self.state % 8 < self.rate)
+            .then(|| Message::with_payload(self.id, crate::message::PayloadId(0)))
+    }
+
+    fn receive(&mut self, _local_round: u64, reception: Reception) {
+        if reception.message().and_then(|m| m.payload).is_some() {
+            self.informed = true;
+        }
+    }
+
+    fn has_payload(&self) -> bool {
+        self.informed
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +281,38 @@ mod tests {
         assert!(!p.has_payload());
         p.receive(2, Reception::Collision);
         assert!(!p.has_payload());
+    }
+
+    #[test]
+    fn chatter_floods_once_informed() {
+        let mut p = ChatterProcess::new(ProcessId(3), 42, 8);
+        assert_eq!(p.transmit(1), None, "uninformed chatter stays quiet");
+        p.on_activate(ActivationCause::Reception(Message::with_payload(
+            ProcessId(0),
+            PayloadId(0),
+        )));
+        assert!(p.has_payload());
+        // rate = 8/8: transmits every round.
+        assert!(p.transmit(1).is_some());
+        let mut a = ChatterProcess::new(ProcessId(3), 42, 3);
+        let mut b = ChatterProcess::new(ProcessId(3), 42, 3);
+        a.on_activate(ActivationCause::SynchronousStart);
+        b.on_activate(ActivationCause::SynchronousStart);
+        a.receive(
+            1,
+            Reception::Message(Message::with_payload(ProcessId(0), PayloadId(0))),
+        );
+        b.receive(
+            1,
+            Reception::Message(Message::with_payload(ProcessId(0), PayloadId(0))),
+        );
+        for round in 2..50 {
+            assert_eq!(
+                a.transmit(round),
+                b.transmit(round),
+                "deterministic in seed"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! The naive reference executor: the differential-testing oracle.
+//!
+//! [`ReferenceExecutor`] is a deliberately simple, allocating round loop —
+//! per-round `Vec`s, per-node `Vec<Vec<Message>>` reaching sets, linear-scan
+//! `G′ ∖ G` membership checks over the [`Digraph`][dualgraph_net::Digraph]
+//! adjacency — exactly the shape the optimized [`Executor`][crate::Executor]
+//! replaced with CSR rows and a flat message arena.
+//!
+//! Its value is being *obviously correct* and structurally independent of
+//! the optimized engine: the differential test (`tests/differential.rs`)
+//! runs both on random topologies against the full adversary menu and
+//! asserts identical behavior round for round. The criterion benches also
+//! time it to quantify the engine speedup.
+//!
+//! Behavioral contract (both engines must agree exactly):
+//!
+//! * adversaries are consulted once per sender, in node order — seeded
+//!   adversaries' RNG streams depend on that order;
+//! * each node's reaching set is filled in sender node order, each sender
+//!   contributing self, then `G` out-neighbors, then adversary extras —
+//!   CR4 `Deliver(index)` resolutions depend on that order;
+//! * collision resolution visits nodes in ascending order.
+
+use dualgraph_net::{DualGraph, FixedBitSet, NodeId};
+
+use crate::adversary::{Adversary, Assignment, RoundContext};
+use crate::collision::{self, Reception};
+use crate::engine::{
+    BroadcastOutcome, BuildExecutorError, ExecutorConfig, RoundSummary, StartRule,
+};
+use crate::message::{Message, ProcessId};
+use crate::process::{ActivationCause, Process};
+use crate::trace::{RoundRecord, Trace};
+
+/// The naive, allocating executor (see the module docs).
+pub struct ReferenceExecutor<'a> {
+    network: &'a DualGraph,
+    config: ExecutorConfig,
+    adversary: Box<dyn Adversary>,
+    procs: Vec<Box<dyn Process>>,
+    assignment: Assignment,
+    active_from: Vec<Option<u64>>,
+    informed: FixedBitSet,
+    first_receive: Vec<Option<u64>>,
+    round: u64,
+    sends: u64,
+    physical_collisions: u64,
+    trace: Trace,
+}
+
+impl<'a> ReferenceExecutor<'a> {
+    /// Builds a reference executor; same contract as
+    /// [`Executor::new`][crate::Executor::new].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildExecutorError`] on process/network size mismatch,
+    /// non-canonical ids, or a malformed adversary assignment.
+    pub fn new(
+        network: &'a DualGraph,
+        processes: Vec<Box<dyn Process>>,
+        mut adversary: Box<dyn Adversary>,
+        config: ExecutorConfig,
+    ) -> Result<Self, BuildExecutorError> {
+        let n = network.len();
+        if processes.len() != n {
+            return Err(BuildExecutorError::ProcessCountMismatch {
+                processes: processes.len(),
+                nodes: n,
+            });
+        }
+        for (i, p) in processes.iter().enumerate() {
+            if p.id() != ProcessId::from_index(i) {
+                return Err(BuildExecutorError::NonCanonicalIds { position: i });
+            }
+        }
+        let assignment = adversary.assign(network, n);
+        if assignment.len() != n {
+            return Err(BuildExecutorError::BadAssignment);
+        }
+
+        let mut slots: Vec<Option<Box<dyn Process>>> = processes.into_iter().map(Some).collect();
+        let procs: Vec<Box<dyn Process>> = (0..n)
+            .map(|node| {
+                let pid = assignment.process_at(NodeId::from_index(node));
+                slots[pid.index()]
+                    .take()
+                    .expect("assignment is a bijection")
+            })
+            .collect();
+
+        let mut exec = ReferenceExecutor {
+            network,
+            config,
+            adversary,
+            procs,
+            assignment,
+            active_from: vec![None; n],
+            informed: FixedBitSet::new(n),
+            first_receive: vec![None; n],
+            round: 0,
+            sends: 0,
+            physical_collisions: 0,
+            trace: Trace::new(config.trace),
+        };
+
+        let src = network.source();
+        let src_pid = exec.assignment.process_at(src);
+        let input = Message {
+            payload: Some(config.payload),
+            round_tag: None,
+            sender: src_pid,
+        };
+        exec.procs[src.index()].on_activate(ActivationCause::Input(input));
+        exec.active_from[src.index()] = Some(1);
+        exec.informed.insert(src.index());
+        exec.first_receive[src.index()] = Some(0);
+
+        if config.start == StartRule::Synchronous {
+            for node in 0..n {
+                if node != src.index() {
+                    exec.procs[node].on_activate(ActivationCause::SynchronousStart);
+                    exec.active_from[node] = Some(1);
+                }
+            }
+        }
+        Ok(exec)
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// `true` when every node holds the payload.
+    pub fn is_complete(&self) -> bool {
+        self.informed.count() == self.network.len()
+    }
+
+    /// The recorded trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Executes one round — allocating per-round and per-sender, on
+    /// purpose.
+    pub fn step(&mut self) -> RoundSummary {
+        let t = self.round + 1;
+        let n = self.network.len();
+
+        // Phase 1: send decisions.
+        let mut senders: Vec<(NodeId, Message)> = Vec::new();
+        for node in 0..n {
+            if let Some(from) = self.active_from[node] {
+                if from <= t {
+                    let local = t - from + 1;
+                    if let Some(msg) = self.procs[node].transmit(local) {
+                        senders.push((NodeId::from_index(node), msg));
+                    }
+                }
+            }
+        }
+        self.sends += senders.len() as u64;
+
+        // Phase 2: adversary deliveries -> fresh per-node reaching sets.
+        let mut reach: Vec<Vec<Message>> = (0..n).map(|_| Vec::new()).collect();
+        let mut own: Vec<Option<Message>> = vec![None; n];
+        {
+            let ReferenceExecutor {
+                network,
+                adversary,
+                assignment,
+                informed,
+                ..
+            } = self;
+            let ctx = RoundContext {
+                round: t,
+                network,
+                assignment,
+                senders: &senders,
+                informed,
+            };
+            for &(u, msg) in &senders {
+                own[u.index()] = Some(msg);
+                reach[u.index()].push(msg);
+                for &v in network.reliable().out_neighbors(u) {
+                    reach[v.index()].push(msg);
+                }
+                let mut extra = Vec::new();
+                adversary.unreliable_deliveries(&ctx, u, &mut extra);
+                for &v in &extra {
+                    assert!(
+                        network.unreliable_only_out(u).contains(&v),
+                        "adversary delivered ({u}, {v}) outside G' \\ G"
+                    );
+                    reach[v.index()].push(msg);
+                }
+            }
+        }
+
+        // Phase 3: collision resolution per node.
+        let mut receptions: Vec<Reception> = Vec::with_capacity(n);
+        {
+            let ReferenceExecutor {
+                network,
+                adversary,
+                assignment,
+                informed,
+                config,
+                physical_collisions,
+                ..
+            } = self;
+            let ctx = RoundContext {
+                round: t,
+                network,
+                assignment,
+                senders: &senders,
+                informed,
+            };
+            for node in 0..n {
+                let reaching = &reach[node];
+                if reaching.len() >= 2 {
+                    *physical_collisions += 1;
+                }
+                let reception = collision::resolve(
+                    config.rule,
+                    own[node].is_some(),
+                    reaching,
+                    own[node],
+                    |msgs| adversary.resolve_cr4(&ctx, NodeId::from_index(node), msgs),
+                );
+                receptions.push(reception);
+            }
+        }
+
+        // Phase 4: deliveries, activations, bookkeeping.
+        let mut newly_informed = Vec::new();
+        for node in 0..n {
+            let reception = receptions[node];
+            let got_payload = reception.message().and_then(|m| m.payload).is_some();
+            match self.active_from[node] {
+                Some(from) if from <= t => {
+                    let local = t - from + 1;
+                    self.procs[node].receive(local, reception);
+                }
+                _ => {
+                    if let Reception::Message(m) = reception {
+                        self.procs[node].on_activate(ActivationCause::Reception(m));
+                        self.active_from[node] = Some(t + 1);
+                    }
+                }
+            }
+            if got_payload && self.informed.insert(node) {
+                self.first_receive[node] = Some(t);
+                newly_informed.push(NodeId::from_index(node));
+            }
+        }
+
+        self.round = t;
+        self.trace.record(|| RoundRecord {
+            round: t,
+            senders: senders.clone(),
+            receptions: receptions.clone(),
+        });
+
+        RoundSummary {
+            round: t,
+            senders: senders.len(),
+            newly_informed,
+            complete: self.is_complete(),
+        }
+    }
+
+    /// Runs until broadcast completes or `max_rounds` have executed.
+    pub fn run_until_complete(&mut self, max_rounds: u64) -> BroadcastOutcome {
+        while !self.is_complete() && self.round < max_rounds {
+            self.step();
+        }
+        self.outcome()
+    }
+
+    /// The outcome so far (same semantics as
+    /// [`Executor::outcome`][crate::Executor::outcome]).
+    pub fn outcome(&self) -> BroadcastOutcome {
+        let completed = self.is_complete();
+        BroadcastOutcome {
+            completed,
+            completion_round: if completed {
+                Some(if self.network.len() == 1 {
+                    0
+                } else {
+                    self.first_receive
+                        .iter()
+                        .map(|r| r.expect("complete => all received"))
+                        .max()
+                        .unwrap_or(0)
+                })
+            } else {
+                None
+            },
+            rounds_executed: self.round,
+            first_receive: self.first_receive.clone(),
+            sends: self.sends,
+            physical_collisions: self.physical_collisions,
+        }
+    }
+}
+
+impl std::fmt::Debug for ReferenceExecutor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ReferenceExecutor(round={}, informed={}/{})",
+            self.round,
+            self.informed.count(),
+            self.network.len()
+        )
+    }
+}

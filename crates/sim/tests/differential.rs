@@ -1,0 +1,156 @@
+//! Differential test: the optimized CSR/arena executor against the naive
+//! allocating [`ReferenceExecutor`], round for round, on random topologies
+//! across the full adversary menu.
+//!
+//! The two engines share no round-loop code: the reference fills per-node
+//! `Vec<Vec<Message>>` reaching sets and validates deliveries by linear
+//! scan; the optimized engine uses frozen CSR rows and a flat message
+//! arena. Any divergence in message ordering, adversary call order, or
+//! collision resolution shows up as a mismatch here.
+
+use dualgraph_net::{generators, DualGraph};
+use dualgraph_sim::{
+    Adversary, BurstyDelivery, ChatterProcess, CollisionRule, CollisionSeeker, Executor,
+    ExecutorConfig, FullDelivery, RandomDelivery, ReferenceExecutor, ReliableOnly, StartRule,
+    TraceLevel,
+};
+
+fn adversary_menu(seed: u64) -> Vec<(&'static str, Box<dyn Adversary>)> {
+    vec![
+        ("reliable-only", Box::new(ReliableOnly::new())),
+        ("full-delivery", Box::new(FullDelivery::new())),
+        ("random(0.5)", Box::new(RandomDelivery::new(0.5, seed))),
+        ("bursty", Box::new(BurstyDelivery::new(0.3, 0.3, seed))),
+        ("collision-seeker", Box::new(CollisionSeeker::new())),
+    ]
+}
+
+/// Steps both engines side by side, asserting identical `RoundSummary`s,
+/// traces, and `BroadcastOutcome`s every round.
+fn assert_engines_agree(
+    net: &DualGraph,
+    seed: u64,
+    adversary: &dyn Fn() -> Box<dyn Adversary>,
+    config: ExecutorConfig,
+    max_rounds: u64,
+    label: &str,
+) {
+    let n = net.len();
+    let mut optimized =
+        Executor::new(net, ChatterProcess::boxed(n, seed, 3), adversary(), config).unwrap();
+    let mut reference =
+        ReferenceExecutor::new(net, ChatterProcess::boxed(n, seed, 3), adversary(), config)
+            .unwrap();
+    for round in 0..max_rounds {
+        let a = optimized.step();
+        let b = reference.step();
+        assert_eq!(a, b, "{label}: round summaries diverged at round {round}");
+        assert_eq!(
+            optimized.outcome(),
+            reference.outcome(),
+            "{label}: outcomes diverged at round {round}"
+        );
+        if a.complete {
+            break;
+        }
+    }
+    assert_eq!(
+        optimized.trace().records(),
+        reference.trace().records(),
+        "{label}: traces diverged"
+    );
+}
+
+#[test]
+fn optimized_engine_matches_reference_on_random_topologies() {
+    // ~50 random er_dual topologies x the full adversary menu.
+    for topo_seed in 0..50u64 {
+        let n = 5 + (topo_seed as usize * 7) % 32;
+        let net = generators::er_dual(
+            generators::ErDualParams {
+                n,
+                reliable_p: 0.12,
+                unreliable_p: 0.25,
+            },
+            topo_seed,
+        );
+        for (name, _) in adversary_menu(0) {
+            let make: Box<dyn Fn() -> Box<dyn Adversary>> = match name {
+                "reliable-only" => Box::new(|| Box::new(ReliableOnly::new())),
+                "full-delivery" => Box::new(|| Box::new(FullDelivery::new())),
+                "random(0.5)" => {
+                    Box::new(move || Box::new(RandomDelivery::new(0.5, topo_seed ^ 0xA5)))
+                }
+                "bursty" => {
+                    Box::new(move || Box::new(BurstyDelivery::new(0.3, 0.3, topo_seed ^ 0x5A)))
+                }
+                "collision-seeker" => Box::new(|| Box::new(CollisionSeeker::new())),
+                other => unreachable!("unknown adversary {other}"),
+            };
+            assert_engines_agree(
+                &net,
+                topo_seed.wrapping_mul(31) ^ 7,
+                &*make,
+                ExecutorConfig {
+                    trace: TraceLevel::Full,
+                    ..ExecutorConfig::default()
+                },
+                60,
+                &format!("er_dual(seed={topo_seed}, n={n}) x {name}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_engine_matches_reference_across_rules_and_starts() {
+    let net = generators::er_dual(
+        generators::ErDualParams {
+            n: 21,
+            reliable_p: 0.15,
+            unreliable_p: 0.3,
+        },
+        99,
+    );
+    for rule in CollisionRule::ALL {
+        for start in [StartRule::Synchronous, StartRule::Asynchronous] {
+            assert_engines_agree(
+                &net,
+                1234,
+                &|| Box::new(RandomDelivery::new(0.6, 42)),
+                ExecutorConfig {
+                    rule,
+                    start,
+                    trace: TraceLevel::Full,
+                    ..ExecutorConfig::default()
+                },
+                50,
+                &format!("{rule} / {start}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_engine_matches_reference_on_gadgets() {
+    let topologies: Vec<(&str, DualGraph)> = vec![
+        ("clique-bridge", generators::clique_bridge(12).network),
+        ("layered-pairs", generators::layered_pairs(13)),
+        ("line+chords", generators::line(16, 4)),
+        ("grid", generators::grid(4, 4)),
+        ("star", generators::star(9)),
+    ];
+    for (name, net) in topologies {
+        assert_engines_agree(
+            &net,
+            5,
+            &|| Box::new(FullDelivery::new()),
+            ExecutorConfig {
+                trace: TraceLevel::Full,
+                ..ExecutorConfig::default()
+            },
+            40,
+            name,
+        );
+    }
+}

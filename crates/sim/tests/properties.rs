@@ -3,68 +3,10 @@
 
 use dualgraph_net::{generators, NodeId};
 use dualgraph_sim::{
-    ActivationCause, CollisionRule, Executor, ExecutorConfig, Message, PayloadId, Process,
-    ProcessId, RandomDelivery, Reception, ReliableOnly, StartRule, TraceLevel,
+    ChatterProcess as Chatter, CollisionRule, Executor, ExecutorConfig, RandomDelivery,
+    ReliableOnly, StartRule, TraceLevel,
 };
 use proptest::prelude::*;
-
-/// A protocol that transmits pseudo-randomly (seeded) once informed —
-/// enough nondeterminism to explore the executor's state space.
-#[derive(Debug, Clone)]
-struct Chatter {
-    id: ProcessId,
-    informed: bool,
-    state: u64,
-    rate_num: u64,
-}
-
-impl Chatter {
-    fn new(id: ProcessId, seed: u64, rate_num: u64) -> Self {
-        Chatter {
-            id,
-            informed: false,
-            state: seed ^ (id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15),
-            rate_num,
-        }
-    }
-    fn boxed(n: usize, seed: u64, rate_num: u64) -> Vec<Box<dyn Process>> {
-        (0..n)
-            .map(|i| {
-                Box::new(Chatter::new(ProcessId::from_index(i), seed, rate_num))
-                    as Box<dyn Process>
-            })
-            .collect()
-    }
-}
-
-impl Process for Chatter {
-    fn id(&self) -> ProcessId {
-        self.id
-    }
-    fn on_activate(&mut self, cause: ActivationCause) {
-        if cause.message().and_then(|m| m.payload).is_some() {
-            self.informed = true;
-        }
-    }
-    fn transmit(&mut self, _local: u64) -> Option<Message> {
-        if !self.informed {
-            return None;
-        }
-        self.state = dualgraph_sim::rng::splitmix64(self.state);
-        (self.state % 8 < self.rate_num).then(|| Message::with_payload(self.id, PayloadId(0)))
-    }
-    fn receive(&mut self, _local: u64, r: Reception) {
-        if r.message().and_then(|m| m.payload).is_some() {
-            self.informed = true;
-        }
-    }
-    fn has_payload(&self) -> bool {
-        self.informed
-    }
-    fn clone_box(&self) -> Box<dyn Process> {
-        Box::new(self.clone())
-    }
-}
 
 fn random_net(n: usize, seed: u64) -> dualgraph_net::DualGraph {
     generators::er_dual(

@@ -30,7 +30,10 @@ fn main() {
         broadcastability::broadcastability_upper_bound(&gadget.network),
     );
 
-    println!("\n== Theorem 2: deterministic worst case (bound: > n−3 = {}) ==", n - 3);
+    println!(
+        "\n== Theorem 2: deterministic worst case (bound: > n−3 = {}) ==",
+        n - 3
+    );
     for algo in [
         &RoundRobin::new() as &dyn dualgraph::BroadcastAlgorithm,
         &StrongSelect::new(),
@@ -54,13 +57,7 @@ fn main() {
             &Harmonic::new() as &dyn dualgraph::BroadcastAlgorithm,
             &Uniform::new(0.3),
         ] {
-            let r = success_probability_within(
-                algo,
-                n,
-                k,
-                30,
-                RunConfig::lower_bound_setting(),
-            );
+            let r = success_probability_within(algo, n, k, 30, RunConfig::lower_bound_setting());
             println!(
                 "  {:<18} {:>4} {:>14.3} {:>14.3}",
                 algo.name(),

@@ -15,9 +15,7 @@
 //! ```
 
 use dualgraph::broadcast::link_estimation::{estimate_links, EstimationConfig};
-use dualgraph::{
-    generators, run_broadcast, BurstyDelivery, Harmonic, RunConfig,
-};
+use dualgraph::{generators, run_broadcast, BurstyDelivery, Harmonic, RunConfig};
 
 fn main() {
     let params = generators::GeometricDualParams {
@@ -46,7 +44,9 @@ fn main() {
                 &net,
                 &Harmonic::new(),
                 Box::new(BurstyDelivery::new(p_fail, p_recover, seed)),
-                RunConfig::default().with_seed(seed).with_max_rounds(2_000_000),
+                RunConfig::default()
+                    .with_seed(seed)
+                    .with_max_rounds(2_000_000),
             )
             .expect("run");
             assert!(outcome.completed);

@@ -16,8 +16,8 @@ use dualgraph::{BroadcastAlgorithm, RoundRobin, StrongSelect};
 
 fn main() {
     println!("== one construction, in detail (n = 33, round robin) ==");
-    let result = construct(&RoundRobin::new(), 33, LayeredBoundOptions::default())
-        .expect("construction");
+    let result =
+        construct(&RoundRobin::new(), 33, LayeredBoundOptions::default()).expect("construction");
     println!(
         "  total rounds {}   floor {}   informed {}/{}",
         result.rounds,

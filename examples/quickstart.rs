@@ -52,7 +52,9 @@ fn main() {
                     &net,
                     algorithm.as_ref(),
                     make(seed),
-                    RunConfig::default().with_seed(seed).with_max_rounds(5_000_000),
+                    RunConfig::default()
+                        .with_seed(seed)
+                        .with_max_rounds(5_000_000),
                 )
                 .expect("run");
                 assert!(outcome.completed, "{} did not finish", algorithm.name());

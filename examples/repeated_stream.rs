@@ -23,7 +23,9 @@ fn main() {
     type AdversaryFn = fn(u64) -> Box<dyn dualgraph::Adversary>;
     let menu: [(&str, AdversaryFn); 2] = [
         ("reliable-only", |_| Box::new(ReliableOnly::new())),
-        ("bursty(calm)", |s| Box::new(BurstyDelivery::new(0.05, 0.5, s))),
+        ("bursty(calm)", |s| {
+            Box::new(BurstyDelivery::new(0.05, 0.5, s))
+        }),
     ];
     for (name, make) in menu {
         for messages in [1u64, 5, 20, 100] {

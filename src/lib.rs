@@ -51,7 +51,7 @@ pub use dualgraph_sim as sim;
 pub use dualgraph_broadcast::algorithms::{
     BroadcastAlgorithm, Decay, Harmonic, RoundRobin, StrongSelect, Uniform,
 };
-pub use dualgraph_broadcast::runner::{run_broadcast, run_trials, RunConfig};
+pub use dualgraph_broadcast::runner::{run_broadcast, run_trials, run_trials_par, RunConfig};
 pub use dualgraph_net::{generators, Digraph, DualGraph, NodeId};
 pub use dualgraph_sim::{
     Adversary, BroadcastOutcome, BurstyDelivery, CollisionRule, Executor, ExecutorConfig,

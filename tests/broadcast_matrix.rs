@@ -163,9 +163,6 @@ fn outcome_statistics_consistency() {
     assert!(b.sends >= a.sends);
     // First-receive rounds are consistent with completion round.
     if let Some(done) = b.completion_round {
-        assert!(b
-            .first_receive
-            .iter()
-            .all(|r| r.is_some_and(|v| v <= done)));
+        assert!(b.first_receive.iter().all(|r| r.is_some_and(|v| v <= done)));
     }
 }

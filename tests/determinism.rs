@@ -30,7 +30,9 @@ fn identical_seeds_identical_outcomes() {
                 &net,
                 algo.as_ref(),
                 Box::new(RandomDelivery::new(0.5, seed)),
-                RunConfig::default().with_seed(seed).with_max_rounds(1_000_000),
+                RunConfig::default()
+                    .with_seed(seed)
+                    .with_max_rounds(1_000_000),
             )
             .unwrap()
         };
@@ -73,7 +75,9 @@ fn different_master_seeds_change_randomized_runs() {
             &net,
             &Decay::new(),
             Box::new(RandomDelivery::new(0.5, seed)),
-            RunConfig::default().with_seed(seed).with_max_rounds(1_000_000),
+            RunConfig::default()
+                .with_seed(seed)
+                .with_max_rounds(1_000_000),
         )
         .unwrap()
     };

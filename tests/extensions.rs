@@ -42,7 +42,10 @@ fn ablation_forever_is_never_faster_under_jamming() {
 fn schedules_and_exact_solver_agree_on_gadgets() {
     let gadget = generators::clique_bridge(12);
     let schedule = greedy_schedule(&gadget.network);
-    assert_eq!(schedule.len() as u32, exact_single_sender_optimum(&gadget.network));
+    assert_eq!(
+        schedule.len() as u32,
+        exact_single_sender_optimum(&gadget.network)
+    );
     assert_eq!(
         run_scheduled(&gadget.network, &schedule, Box::new(ReliableOnly::new())),
         Some(2)
@@ -72,7 +75,10 @@ fn repeated_broadcast_end_to_end() {
         },
     );
     assert_eq!(result.messages, 8);
-    assert_eq!(result.fallbacks, 0, "benign adversary: schedule never stalls");
+    assert_eq!(
+        result.fallbacks, 0,
+        "benign adversary: schedule never stalls"
+    );
     assert!(result.schedule_len > 0);
     assert!(result.learning_total() < result.oblivious_rounds);
 }

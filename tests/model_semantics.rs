@@ -59,15 +59,23 @@ impl Process for Flooder {
 struct CheatingAdversary;
 
 impl Adversary for CheatingAdversary {
-    fn unreliable_deliveries(&mut self, ctx: &RoundContext<'_>, _sender: NodeId) -> Vec<NodeId> {
+    fn unreliable_deliveries(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        _sender: NodeId,
+        out: &mut Vec<NodeId>,
+    ) {
         // Claim delivery to node 0 regardless of whether the edge exists.
-        vec![ctx.network.nodes().next().unwrap()]
+        out.push(ctx.network.nodes().next().unwrap());
     }
     fn clone_box(&self) -> Box<dyn Adversary> {
         Box::new(self.clone())
     }
 }
 
+// The delivery-validation is a debug_assert! over the CSR row (hot path),
+// so the rejection only exists — and is only testable — in debug builds.
+#[cfg(debug_assertions)]
 #[test]
 #[should_panic(expected = "outside G' \\ G")]
 fn executor_rejects_illegal_deliveries() {
@@ -98,7 +106,10 @@ fn reliable_edges_always_deliver() {
     .unwrap();
     let outcome = exec.run_until_complete(100);
     assert!(outcome.completed);
-    assert_eq!(outcome.first_receive, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    assert_eq!(
+        outcome.first_receive,
+        vec![Some(0), Some(1), Some(2), Some(3), Some(4)]
+    );
 }
 
 /// CR1 vs CR3: the same execution shows ⊤ where CR3 shows ⊥.

@@ -1,8 +1,6 @@
 //! Integration tests pinning the paper's quantitative claims.
 
-use dualgraph::broadcast::algorithms::{
-    period_for, SsfConstruction, StrongSelectPlan,
-};
+use dualgraph::broadcast::algorithms::{period_for, SsfConstruction, StrongSelectPlan};
 use dualgraph::broadcast::analysis::{harmonic_number, lemma15_bound, WakeUpPattern};
 use dualgraph::broadcast::lower_bounds::clique_bridge::{
     success_probability_within, worst_case_bridge,
@@ -60,8 +58,7 @@ fn theorem4_ceiling() {
 #[test]
 fn theorem10_budget_respected() {
     for n in [17usize, 33, 65] {
-        let budget =
-            StrongSelectPlan::new(n, SsfConstruction::KautzSingleton).theorem10_budget();
+        let budget = StrongSelectPlan::new(n, SsfConstruction::KautzSingleton).theorem10_budget();
         for net in [
             generators::layered_pairs(n),
             generators::clique_bridge(n).network,
@@ -126,7 +123,10 @@ fn theorem18_budget_mostly_respected() {
     )
     .expect("trials");
     let failures = outcomes.iter().filter(|o| !o.completed).count();
-    assert!(failures <= 1, "{failures}/20 trials exceeded the Thm 18 budget");
+    assert!(
+        failures <= 1,
+        "{failures}/20 trials exceeded the Thm 18 budget"
+    );
 }
 
 /// Lemma 15 against wake-up patterns harvested from real executions.
@@ -145,7 +145,9 @@ fn lemma15_on_real_executions() {
             &net,
             &Harmonic::with_period(6),
             Box::new(RandomDelivery::new(0.5, seed)),
-            RunConfig::default().with_seed(seed).with_max_rounds(1_000_000),
+            RunConfig::default()
+                .with_seed(seed)
+                .with_max_rounds(1_000_000),
         )
         .expect("run");
         assert!(outcome.completed);

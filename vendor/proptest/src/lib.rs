@@ -1,0 +1,381 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]`, `x in strategy`
+//! and `x: Type` parameter forms), `prop_assert!`/`prop_assert_eq!`/
+//! [`prop_assume!`], [`any`], range strategies, tuple strategies, and
+//! `prop::collection::{vec, btree_set}`.
+//!
+//! Unlike real proptest it does **no shrinking** and derives each test
+//! case's inputs deterministically from the test's module path and case
+//! index, so failures are reproducible run to run.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (`cases` = number of generated inputs).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic RNG driving input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Derives the RNG for `(test name, case index)` — stable across runs.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h ^ (u64::from(case) << 32) ^ u64::from(case)),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.inner
+    }
+}
+
+/// A value generator (no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The full-domain strategy for `T` — see [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical strategy for an entire type (`any::<bool>()` etc.).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u64, u32, u16, u8, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.rng().next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().gen::<f64>()
+    }
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; up to `sizes` elements are drawn
+    /// (duplicates collapse, as in real proptest).
+    pub fn btree_set<S: Strategy>(element: S, sizes: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, sizes }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = sample_size(rng, &self.sizes);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = sample_size(rng, &self.sizes);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    fn sample_size(rng: &mut TestRng, sizes: &Range<usize>) -> usize {
+        if sizes.is_empty() {
+            sizes.start
+        } else {
+            rng.rng().gen_range(sizes.clone())
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Any, Just, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias so `prop::collection::vec(..)` resolves.
+    pub use crate as prop;
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests.
+///
+/// Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn prop(n in 3usize..24, seed: u64, v in prop::collection::vec(0u32..8, 0..5)) {
+///         prop_assert!(n >= 3);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // Entry with a config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    // Internal: no more items.
+    (@items ($cfg:expr)) => {};
+    // Internal: one test item, then recurse.
+    (@items ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                // Closure so `prop_assume!` can skip the case via `return`.
+                let mut __case = || {
+                    $crate::proptest!(@bind __rng, ($($params)*) $body);
+                };
+                __case();
+            }
+        }
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    // Internal: parameter binding, `name in strategy` form.
+    (@bind $rng:ident, ($name:ident in $strat:expr) $body:block) => {{
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $body
+    }};
+    (@bind $rng:ident, ($name:ident in $strat:expr, $($rest:tt)*) $body:block) => {{
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng, ($($rest)*) $body)
+    }};
+    // Internal: parameter binding, `name: Type` (= any::<Type>()) form.
+    (@bind $rng:ident, ($name:ident : $ty:ty) $body:block) => {{
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $body
+    }};
+    (@bind $rng:ident, ($name:ident : $ty:ty, $($rest:tt)*) $body:block) => {{
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::proptest!(@bind $rng, ($($rest)*) $body)
+    }};
+    // Internal: no parameters left.
+    (@bind $rng:ident, () $body:block) => { $body };
+    // Entry without a config attribute.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@items ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::Rng as _;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 3usize..24, x in 0u64..97, f in 0.0f64..0.5) {
+            prop_assert!((3..24).contains(&n));
+            prop_assert!(x < 97);
+            prop_assert!((0.0..0.5).contains(&f));
+        }
+
+        #[test]
+        fn any_and_assume(seed: u64, flag in any::<bool>()) {
+            prop_assume!(seed.is_multiple_of(2) || !flag);
+            prop_assert!(seed.is_multiple_of(2) || !flag);
+        }
+
+        #[test]
+        fn collections_generate(
+            v in prop::collection::vec((0usize..200, any::<bool>()), 0..30),
+            s in prop::collection::btree_set(0usize..128, 0..64),
+            nested in prop::collection::vec(prop::collection::vec(0u32..8, 0..5), 0..8),
+        ) {
+            prop_assert!(v.len() < 30);
+            prop_assert!(v.iter().all(|&(x, _)| x < 200));
+            prop_assert!(s.len() < 64);
+            prop_assert!(nested.iter().all(|inner| inner.len() < 5));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_entry(k in 1usize..3) {
+            prop_assert!(k == 1 || k == 2);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(
+            (0usize..100).generate(&mut a),
+            (0usize..100).generate(&mut b)
+        );
+        let mut c = TestRng::for_case("t", 4);
+        // Overwhelmingly likely to differ on the first 64-bit draw.
+        assert_ne!(a.rng().next_u64(), c.rng().next_u64());
+    }
+}
