@@ -1,35 +1,34 @@
-//! Engine-throughput bench: the optimized CSR/arena executor against the
-//! naive allocating reference oracle, plus the parallel trial runner —
-//! the perf contract of the hot-path overhaul.
+//! Engine-throughput bench: the enum-dispatched batched process table vs
+//! boxed dispatch vs the frozen PR 1 engine vs the naive reference
+//! oracle, plus the parallel trial runner — the perf contract of the
+//! hot-path work.
 
 use std::time::Duration;
 
 use criterion::{BenchmarkId, Criterion};
-use dualgraph_bench::engine_bench::{measure_optimized, measure_reference, workload_network};
+use dualgraph_bench::engine_bench::{
+    measure_chatter, measure_chatter_pr1, measure_flooding, measure_flooding_pr1,
+    measure_reference, workload_network, Dispatch,
+};
 use dualgraph_broadcast::algorithms::Harmonic;
 use dualgraph_broadcast::runner::{run_trials_par_with, RunConfig};
-use dualgraph_net::DualGraph;
-use dualgraph_sim::{ChatterProcess, Executor, ExecutorConfig, RandomDelivery};
-
-fn step_rounds(net: &DualGraph, rounds: u64) {
-    let mut exec = Executor::new(
-        net,
-        ChatterProcess::boxed(net.len(), 7, 3),
-        Box::new(RandomDelivery::new(0.5, 7)),
-        ExecutorConfig::default(),
-    )
-    .unwrap();
-    for _ in 0..rounds {
-        exec.step();
-    }
-}
+use dualgraph_sim::RandomDelivery;
 
 fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_throughput");
     for n in [65usize, 257] {
         let net = workload_network(n);
-        group.bench_with_input(BenchmarkId::new("optimized", n), &net, |b, net| {
-            b.iter(|| step_rounds(net, 200))
+        group.bench_with_input(BenchmarkId::new("chatter-enum", n), &net, |b, net| {
+            b.iter(|| measure_chatter(net, 7, 200, Dispatch::Enum))
+        });
+        group.bench_with_input(BenchmarkId::new("chatter-boxed", n), &net, |b, net| {
+            b.iter(|| measure_chatter(net, 7, 200, Dispatch::Boxed))
+        });
+        group.bench_with_input(BenchmarkId::new("flooding-enum", n), &net, |b, net| {
+            b.iter(|| measure_flooding(net, 200, Dispatch::Enum))
+        });
+        group.bench_with_input(BenchmarkId::new("flooding-pr1", n), &net, |b, net| {
+            b.iter(|| measure_flooding_pr1(net, 200))
         });
         group.bench_with_input(BenchmarkId::new("reference", n), &net, |b, net| {
             b.iter(|| measure_reference(net, 7, 200))
@@ -53,15 +52,21 @@ fn benches(c: &mut Criterion) {
 }
 
 fn main() {
-    // Headline ratio first: optimized vs reference at n = 257.
+    // Headline ratios first: enum dispatch vs the PR 1 engine at n = 257.
     let net = workload_network(257);
-    let reference = measure_reference(&net, 7, 300);
-    let optimized = measure_optimized(&net, 7, 300);
+    let pr1 = measure_flooding_pr1(&net, 300);
+    let flooding = measure_flooding(&net, 300, Dispatch::Enum);
+    let chatter_pr1 = measure_chatter_pr1(&net, 7, 300);
+    let chatter = measure_chatter(&net, 7, 300, Dispatch::Enum);
     println!(
-        "engine speedup at n=257: {:.1}x (reference {:.0} ns/round -> optimized {:.0} ns/round)\n",
-        reference.ns_per_round() / optimized.ns_per_round(),
-        reference.ns_per_round(),
-        optimized.ns_per_round(),
+        "dense flooding at n=257: {:.1}x vs PR 1 (pr1 {:.0} ns/round -> enum {:.0} ns/round)\n\
+         chatter        at n=257: {:.1}x vs PR 1 (pr1 {:.0} ns/round -> enum {:.0} ns/round)\n",
+        pr1.ns_per_round() / flooding.ns_per_round(),
+        pr1.ns_per_round(),
+        flooding.ns_per_round(),
+        chatter_pr1.ns_per_round() / chatter.ns_per_round(),
+        chatter_pr1.ns_per_round(),
+        chatter.ns_per_round(),
     );
     let mut c = Criterion::default()
         .sample_size(10)

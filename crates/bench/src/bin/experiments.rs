@@ -20,70 +20,148 @@ use dualgraph_bench::workloads::Scale;
 /// Measures engine throughput and renders `BENCH_engine.json` by hand (the
 /// environment has no serde; the format is flat enough not to need it).
 ///
-/// The optimized sweep runs first and `peak_rss_kb` is sampled before the
-/// reference oracle ever executes, so the recorded footprint is
-/// attributable to the optimized engine (plus network construction), not
-/// to the deliberately allocating reference.
+/// Schema `dualgraph-bench-engine/2`: per size, the **chatter** workload
+/// and the **dense flooding** workload (`Flooder` everywhere; see
+/// `engine_bench` for both definitions), each measured on three engines:
+///
+/// * `enum_*` — the live executor on a homogeneous batched process table;
+/// * `boxed_*` — the live executor on `Box<dyn Process>` (isolates the
+///   pure dispatch gain);
+/// * `pr1_*` — the frozen PR 1 engine (boxed dispatch + `Message` arena),
+///   the baseline the headline `speedup_enum_vs_pr1` series is defined
+///   against; chatter rows also keep the PR 1 `reference` oracle columns
+///   so the optimized-vs-reference trajectory continues.
+///
+/// Each figure is the best of three timed runs (after a warm-up run) —
+/// the CI container's timer noise otherwise dominates the deltas.
+///
+/// The live-engine sweeps run first and `peak_rss_kb` is sampled before
+/// the PR 1 baseline and reference oracle ever execute, so the recorded
+/// footprint is attributable to the live engine (plus network
+/// construction).
 fn bench_engine_json() -> String {
+    use dualgraph_bench::engine_bench::{Dispatch, EngineMeasurement};
     const SIZES: [usize; 3] = [65, 257, 1025];
     let rounds_for = |n: usize| -> u64 {
         match n {
-            65 => 2000,
-            257 => 1000,
-            _ => 300,
+            65 => 4000,
+            257 => 2000,
+            _ => 600,
         }
     };
+    fn best_of(mut run: impl FnMut() -> EngineMeasurement) -> EngineMeasurement {
+        run(); // warm caches, allocator, first-touch paging
+        (0..3)
+            .map(|_| run())
+            .min_by(|a, b| a.elapsed_ns.cmp(&b.elapsed_ns))
+            .expect("three runs")
+    }
+    struct Row {
+        workload: &'static str,
+        n: usize,
+        rounds: u64,
+        enumd: EngineMeasurement,
+        boxed: EngineMeasurement,
+        pr1: Option<EngineMeasurement>,
+        reference: Option<EngineMeasurement>,
+    }
     let nets: Vec<_> = SIZES
         .iter()
         .map(|&n| engine_bench::workload_network(n))
         .collect();
-    let optimized: Vec<_> = nets
+    let mut rows: Vec<Row> = nets
         .iter()
-        .map(|net| {
-            let rounds = rounds_for(net.len());
-            // Warm (caches, allocator, first-touch paging) before timing.
-            engine_bench::measure_optimized(net, 7, rounds.min(100));
-            engine_bench::measure_optimized(net, 7, rounds)
+        .flat_map(|net| {
+            let n = net.len();
+            let rounds = rounds_for(n);
+            [
+                Row {
+                    workload: "er_dual-chatter-random0.5",
+                    n,
+                    rounds,
+                    enumd: best_of(|| {
+                        engine_bench::measure_chatter(net, 7, rounds, Dispatch::Enum)
+                    }),
+                    boxed: best_of(|| {
+                        engine_bench::measure_chatter(net, 7, rounds, Dispatch::Boxed)
+                    }),
+                    pr1: None,
+                    reference: None,
+                },
+                Row {
+                    workload: "dense-flooding",
+                    n,
+                    rounds,
+                    enumd: best_of(|| engine_bench::measure_flooding(net, rounds, Dispatch::Enum)),
+                    boxed: best_of(|| engine_bench::measure_flooding(net, rounds, Dispatch::Boxed)),
+                    pr1: None,
+                    reference: None,
+                },
+            ]
         })
         .collect();
     let rss = engine_bench::peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
-    let reference: Vec<_> = nets
+    // Baselines last (the PR 1 arena and the deliberately allocating
+    // reference stay out of the RSS figure).
+    for (net, pair) in nets.iter().zip(rows.chunks_mut(2)) {
+        let rounds = rounds_for(net.len());
+        pair[0].pr1 = Some(best_of(|| {
+            engine_bench::measure_chatter_pr1(net, 7, rounds)
+        }));
+        pair[0].reference = Some(best_of(|| engine_bench::measure_reference(net, 7, rounds)));
+        pair[1].pr1 = Some(best_of(|| engine_bench::measure_flooding_pr1(net, rounds)));
+    }
+    let entries: Vec<String> = rows
         .iter()
-        .map(|net| {
-            let rounds = rounds_for(net.len());
-            engine_bench::measure_reference(net, 7, rounds.min(100));
-            engine_bench::measure_reference(net, 7, rounds)
-        })
-        .collect();
-    let entries: Vec<String> = nets
-        .iter()
-        .zip(optimized.iter().zip(&reference))
-        .map(|(net, (opt, reference))| {
+        .map(|row| {
+            let pr1 = row.pr1.as_ref().expect("pr1 baseline measured");
+            let reference_fields = match &row.reference {
+                Some(reference) => format!(
+                    concat!(
+                        "      \"reference_ns_per_round\": {:.1},\n",
+                        "      \"reference_rounds_per_sec\": {:.1},\n",
+                        "      \"speedup_enum_vs_reference\": {:.2},\n",
+                    ),
+                    reference.ns_per_round(),
+                    reference.rounds_per_sec(),
+                    reference.ns_per_round() / row.enumd.ns_per_round(),
+                ),
+                None => String::new(),
+            };
             format!(
                 concat!(
                     "    {{\n",
-                    "      \"workload\": \"er_dual-chatter-random0.5\",\n",
+                    "      \"workload\": \"{}\",\n",
                     "      \"n\": {},\n",
                     "      \"rounds\": {},\n",
-                    "      \"optimized_ns_per_round\": {:.1},\n",
-                    "      \"optimized_rounds_per_sec\": {:.1},\n",
-                    "      \"reference_ns_per_round\": {:.1},\n",
-                    "      \"reference_rounds_per_sec\": {:.1},\n",
-                    "      \"speedup\": {:.2}\n",
+                    "      \"enum_ns_per_round\": {:.1},\n",
+                    "      \"enum_rounds_per_sec\": {:.1},\n",
+                    "      \"boxed_ns_per_round\": {:.1},\n",
+                    "      \"boxed_rounds_per_sec\": {:.1},\n",
+                    "      \"pr1_ns_per_round\": {:.1},\n",
+                    "      \"pr1_rounds_per_sec\": {:.1},\n",
+                    "{}",
+                    "      \"speedup_enum_vs_boxed\": {:.2},\n",
+                    "      \"speedup_enum_vs_pr1\": {:.2}\n",
                     "    }}"
                 ),
-                net.len(),
-                opt.rounds,
-                opt.ns_per_round(),
-                opt.rounds_per_sec(),
-                reference.ns_per_round(),
-                reference.rounds_per_sec(),
-                reference.ns_per_round() / opt.ns_per_round(),
+                row.workload,
+                row.n,
+                row.rounds,
+                row.enumd.ns_per_round(),
+                row.enumd.rounds_per_sec(),
+                row.boxed.ns_per_round(),
+                row.boxed.rounds_per_sec(),
+                pr1.ns_per_round(),
+                pr1.rounds_per_sec(),
+                reference_fields,
+                row.boxed.ns_per_round() / row.enumd.ns_per_round(),
+                pr1.ns_per_round() / row.enumd.ns_per_round(),
             )
         })
         .collect();
     format!(
-        "{{\n  \"schema\": \"dualgraph-bench-engine/1\",\n  \"peak_rss_kb\": {rss},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"dualgraph-bench-engine/2\",\n  \"peak_rss_kb\": {rss},\n  \"measurements\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     )
 }

@@ -1,21 +1,43 @@
-//! Engine-throughput workload: the optimized executor vs the naive
-//! reference oracle on a fixed randomized workload.
+//! Engine-throughput workloads: enum-dispatched process tables vs the
+//! boxed-dispatch path vs the naive reference oracle.
 //!
 //! Used by the `engine_throughput` criterion bench and by the
 //! `experiments --bench-engine` driver that emits `BENCH_engine.json`, so
-//! future PRs have a perf trajectory to compare against.
+//! future PRs have a perf trajectory to compare against. Two workloads:
+//!
+//! * **chatter** — seeded pseudo-random flooding (`ChatterProcess`, rate
+//!   3/8) against `RandomDelivery(0.5)` on a sparse `er_dual` graph: the
+//!   PR 1 trial-shaped workload (adversary RNG + CR4 resolution on the hot
+//!   path);
+//! * **dense flooding** — every informed node transmits every round
+//!   (`Flooder`) against the same `RandomDelivery(0.5)` adversary: the
+//!   broadcast completes, after which the network sits in the all-senders
+//!   steady state — the dispatch-dominated regime where the batched
+//!   process table and the dense-round write-pass skip pay the most.
 
 use std::time::Instant;
 
 use dualgraph_net::{generators, DualGraph};
-use dualgraph_sim::{ChatterProcess, Executor, ExecutorConfig, RandomDelivery, ReferenceExecutor};
+use dualgraph_sim::{
+    ChatterProcess, Executor, ExecutorConfig, Flooder, RandomDelivery, ReferenceExecutor,
+};
 
 /// Chatter transmit rate (out of 8) used by the engine workload: dense
 /// enough to exercise collisions and CR4 resolution.
 const CHATTER_RATE: u64 = 3;
 
-/// The standard engine workload: `er_dual` network of `n` nodes, chatter
-/// protocol, `RandomDelivery(0.5)` adversary.
+/// Which process-dispatch path the optimized executor runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Homogeneous enum slots: the batched process table
+    /// (`Executor::from_slots`).
+    Enum,
+    /// `Box<dyn Process>`: PR 1's virtual dispatch (`Executor::new`).
+    Boxed,
+}
+
+/// The standard engine workload graph: `er_dual` network of `n` nodes
+/// (spanning tree + sparse extra reliable edges + gray edges).
 pub fn workload_network(n: usize) -> DualGraph {
     generators::er_dual(
         generators::ErDualParams {
@@ -48,18 +70,12 @@ impl EngineMeasurement {
     }
 }
 
-/// Runs the optimized executor for exactly `rounds` rounds and times it.
-pub fn measure_optimized(net: &DualGraph, seed: u64, rounds: u64) -> EngineMeasurement {
-    let mut exec = Executor::new(
-        net,
-        ChatterProcess::boxed(net.len(), seed, CHATTER_RATE),
-        Box::new(RandomDelivery::new(0.5, seed)),
-        ExecutorConfig::default(),
-    )
-    .expect("engine workload construction");
+/// Times `rounds` invocations of `step` — the one timing loop every
+/// engine measurement goes through, so all series are measured alike.
+fn time_steps(rounds: u64, mut step: impl FnMut()) -> EngineMeasurement {
     let start = Instant::now();
     for _ in 0..rounds {
-        exec.step();
+        step();
     }
     EngineMeasurement {
         rounds,
@@ -67,8 +83,100 @@ pub fn measure_optimized(net: &DualGraph, seed: u64, rounds: u64) -> EngineMeasu
     }
 }
 
-/// Runs the naive reference executor for exactly `rounds` rounds and times
-/// it (the pre-overhaul engine shape — the speedup baseline).
+/// Runs the optimized executor on the chatter workload for exactly
+/// `rounds` rounds under the chosen dispatch path and times it.
+pub fn measure_chatter(
+    net: &DualGraph,
+    seed: u64,
+    rounds: u64,
+    dispatch: Dispatch,
+) -> EngineMeasurement {
+    let adversary = Box::new(RandomDelivery::new(0.5, seed));
+    let mut exec = match dispatch {
+        Dispatch::Enum => Executor::from_slots(
+            net,
+            ChatterProcess::slots(net.len(), seed, CHATTER_RATE),
+            adversary,
+            ExecutorConfig::default(),
+        ),
+        Dispatch::Boxed => Executor::new(
+            net,
+            ChatterProcess::boxed(net.len(), seed, CHATTER_RATE),
+            adversary,
+            ExecutorConfig::default(),
+        ),
+    }
+    .expect("engine workload construction");
+    assert_eq!(exec.uses_batched_dispatch(), dispatch == Dispatch::Enum);
+    time_steps(rounds, || {
+        exec.step();
+    })
+}
+
+/// Runs the dense flooding workload (`Flooder` + `RandomDelivery(0.5)`)
+/// for exactly `rounds` rounds under the chosen dispatch path and times
+/// it. Seed fixed at 7: the broadcast completes within the measured
+/// window and the remainder runs in the all-senders steady state.
+pub fn measure_flooding(net: &DualGraph, rounds: u64, dispatch: Dispatch) -> EngineMeasurement {
+    let adversary = Box::new(RandomDelivery::new(0.5, 7));
+    let mut exec = match dispatch {
+        Dispatch::Enum => Executor::from_slots(
+            net,
+            Flooder::slots(net.len()),
+            adversary,
+            ExecutorConfig::default(),
+        ),
+        Dispatch::Boxed => Executor::new(
+            net,
+            Flooder::boxed(net.len()),
+            adversary,
+            ExecutorConfig::default(),
+        ),
+    }
+    .expect("flooding workload construction");
+    assert_eq!(exec.uses_batched_dispatch(), dispatch == Dispatch::Enum);
+    time_steps(rounds, || {
+        exec.step();
+    })
+}
+
+/// Runs the optimized executor on the chatter workload with enum dispatch
+/// (compatibility shim for the pre-table signature).
+pub fn measure_optimized(net: &DualGraph, seed: u64, rounds: u64) -> EngineMeasurement {
+    measure_chatter(net, seed, rounds, Dispatch::Enum)
+}
+
+/// Runs the frozen PR 1 engine ([`crate::pr1_engine::Pr1Executor`]: boxed
+/// dispatch + `Message` arena) on the chatter workload — the baseline the
+/// `speedup_enum_vs_pr1` series is defined against.
+pub fn measure_chatter_pr1(net: &DualGraph, seed: u64, rounds: u64) -> EngineMeasurement {
+    let mut exec = crate::pr1_engine::Pr1Executor::new(
+        net,
+        ChatterProcess::boxed(net.len(), seed, CHATTER_RATE),
+        Box::new(RandomDelivery::new(0.5, seed)),
+        ExecutorConfig::default(),
+    );
+    time_steps(rounds, || {
+        exec.step();
+    })
+}
+
+/// Runs the frozen PR 1 engine on the dense flooding workload.
+pub fn measure_flooding_pr1(net: &DualGraph, rounds: u64) -> EngineMeasurement {
+    let mut exec = crate::pr1_engine::Pr1Executor::new(
+        net,
+        Flooder::boxed(net.len()),
+        Box::new(RandomDelivery::new(0.5, 7)),
+        ExecutorConfig::default(),
+    );
+    time_steps(rounds, || {
+        exec.step();
+    })
+}
+
+/// Runs the naive reference executor on the chatter workload for exactly
+/// `rounds` rounds and times it (the pre-overhaul engine shape — the
+/// speedup baseline).
 pub fn measure_reference(net: &DualGraph, seed: u64, rounds: u64) -> EngineMeasurement {
     let mut exec = ReferenceExecutor::new(
         net,
@@ -77,14 +185,9 @@ pub fn measure_reference(net: &DualGraph, seed: u64, rounds: u64) -> EngineMeasu
         ExecutorConfig::default(),
     )
     .expect("engine workload construction");
-    let start = Instant::now();
-    for _ in 0..rounds {
+    time_steps(rounds, || {
         exec.step();
-    }
-    EngineMeasurement {
-        rounds,
-        elapsed_ns: start.elapsed().as_nanos(),
-    }
+    })
 }
 
 /// Peak resident-set size in kilobytes (`VmHWM` from `/proc/self/status`);
@@ -102,20 +205,32 @@ mod tests {
     #[test]
     fn measurements_run_and_report() {
         let net = workload_network(33);
-        let opt = measure_optimized(&net, 7, 50);
+        let enumd = measure_chatter(&net, 7, 50, Dispatch::Enum);
+        let boxed = measure_chatter(&net, 7, 50, Dispatch::Boxed);
         let reference = measure_reference(&net, 7, 50);
-        assert_eq!(opt.rounds, 50);
-        assert!(opt.ns_per_round() > 0.0);
+        assert_eq!(enumd.rounds, 50);
+        assert!(enumd.ns_per_round() > 0.0);
+        assert!(boxed.ns_per_round() > 0.0);
         assert!(reference.rounds_per_sec() > 0.0);
+        assert_eq!(measure_optimized(&net, 7, 10).rounds, 10);
+    }
+
+    #[test]
+    fn flooding_measurements_run_on_both_paths() {
+        let net = workload_network(33);
+        let enumd = measure_flooding(&net, 50, Dispatch::Enum);
+        let boxed = measure_flooding(&net, 50, Dispatch::Boxed);
+        assert_eq!(enumd.rounds, 50);
+        assert!(boxed.ns_per_round() > 0.0);
     }
 
     #[test]
     fn both_engines_complete_the_same_workload() {
         // Sanity: the workload actually floods (payload spreads).
         let net = workload_network(33);
-        let mut exec = Executor::new(
+        let mut exec = Executor::from_slots(
             &net,
-            ChatterProcess::boxed(net.len(), 7, CHATTER_RATE),
+            ChatterProcess::slots(net.len(), 7, CHATTER_RATE),
             Box::new(RandomDelivery::new(0.5, 7)),
             ExecutorConfig::default(),
         )

@@ -10,5 +10,6 @@
 
 pub mod engine_bench;
 pub mod experiments;
+pub mod pr1_engine;
 pub mod report;
 pub mod workloads;

@@ -1,0 +1,396 @@
+//! A frozen copy of the **PR 1 round engine**: boxed `dyn Process`
+//! dispatch over the zero-alloc CSR/arena loop, exactly as it shipped in
+//! the hot-path overhaul.
+//!
+//! The live `dualgraph_sim::Executor` has since moved to enum-dispatched
+//! batched process tables and an index-based reaching arena, so the PR 1
+//! shape no longer exists in the tree — but it is the baseline the
+//! `BENCH_engine.json` speedup series is defined against
+//! (`speedup_enum_vs_pr1`). This copy is built purely from `dualgraph-sim`
+//! public API (trait objects, `collision::resolve`, CSR rows) and is held
+//! bit-identical to the live engine by
+//! `pr1_baseline_matches_current_engine` below; it must never be
+//! "improved".
+
+use dualgraph_net::{DualGraph, FixedBitSet, NodeId};
+use dualgraph_sim::{
+    resolve, ActivationCause, Adversary, Assignment, BroadcastOutcome, ExecutorConfig, Message,
+    Process, ProcessId, Reception, RoundContext, RoundSummary, StartRule,
+};
+
+/// The PR 1 executor: CSR delivery, flat `Message` arena, per-node
+/// `Box<dyn Process>` virtual dispatch (two virtual calls per node per
+/// round).
+pub struct Pr1Executor<'a> {
+    network: &'a DualGraph,
+    config: ExecutorConfig,
+    adversary: Box<dyn Adversary>,
+    /// Processes indexed by **node**.
+    procs: Vec<Box<dyn Process>>,
+    assignment: Assignment,
+    active_from: Vec<Option<u64>>,
+    informed: FixedBitSet,
+    first_receive: Vec<Option<u64>>,
+    round: u64,
+    sends: u64,
+    physical_collisions: u64,
+    // ---- Reusable round scratch, as in PR 1 ----
+    senders_buf: Vec<(NodeId, Message)>,
+    receptions_buf: Vec<Reception>,
+    extra_flat: Vec<NodeId>,
+    extra_ranges: Vec<(u32, u32)>,
+    /// PR 1 stored full `Message`s per delivery (the live engine now
+    /// stores 4-byte sender indices — that difference is part of what the
+    /// speedup series measures).
+    arena: Vec<Message>,
+    arena_off: Vec<u32>,
+    cursor: Vec<u32>,
+    own_buf: Vec<Option<Message>>,
+}
+
+impl<'a> Pr1Executor<'a> {
+    /// Builds the baseline executor; same contract as
+    /// [`dualgraph_sim::Executor::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on process/network size mismatch, non-canonical ids, or a
+    /// malformed adversary assignment (the bench workloads are well-formed
+    /// by construction).
+    pub fn new(
+        network: &'a DualGraph,
+        processes: Vec<Box<dyn Process>>,
+        mut adversary: Box<dyn Adversary>,
+        config: ExecutorConfig,
+    ) -> Self {
+        let n = network.len();
+        assert_eq!(processes.len(), n, "one process per node");
+        for (i, p) in processes.iter().enumerate() {
+            assert_eq!(p.id(), ProcessId::from_index(i), "non-canonical ids");
+        }
+        let assignment = adversary.assign(network, n);
+        assert_eq!(assignment.len(), n, "malformed assignment");
+
+        let mut slots: Vec<Option<Box<dyn Process>>> = processes.into_iter().map(Some).collect();
+        let procs: Vec<Box<dyn Process>> = (0..n)
+            .map(|node| {
+                let pid = assignment.process_at(NodeId::from_index(node));
+                slots[pid.index()]
+                    .take()
+                    .expect("assignment is a bijection")
+            })
+            .collect();
+
+        let mut exec = Pr1Executor {
+            network,
+            config,
+            adversary,
+            procs,
+            assignment,
+            active_from: vec![None; n],
+            informed: FixedBitSet::new(n),
+            first_receive: vec![None; n],
+            round: 0,
+            sends: 0,
+            physical_collisions: 0,
+            senders_buf: Vec::new(),
+            receptions_buf: Vec::with_capacity(n),
+            extra_flat: Vec::new(),
+            extra_ranges: Vec::new(),
+            arena: Vec::new(),
+            arena_off: vec![0; n + 1],
+            cursor: vec![0; n],
+            own_buf: vec![None; n],
+        };
+
+        let src = network.source();
+        let src_pid = exec.assignment.process_at(src);
+        let input = Message {
+            payload: Some(config.payload),
+            round_tag: None,
+            sender: src_pid,
+        };
+        exec.procs[src.index()].on_activate(ActivationCause::Input(input));
+        exec.active_from[src.index()] = Some(1);
+        exec.informed.insert(src.index());
+        exec.first_receive[src.index()] = Some(0);
+
+        if config.start == StartRule::Synchronous {
+            for node in 0..n {
+                if node != src.index() {
+                    exec.procs[node].on_activate(ActivationCause::SynchronousStart);
+                    exec.active_from[node] = Some(1);
+                }
+            }
+        }
+        exec
+    }
+
+    /// `true` when every node holds the payload.
+    pub fn is_complete(&self) -> bool {
+        self.informed.count() == self.network.len()
+    }
+
+    /// Executes one round — the PR 1 loop, verbatim.
+    pub fn step(&mut self) -> RoundSummary {
+        let t = self.round + 1;
+        let n = self.network.len();
+
+        for i in 0..self.senders_buf.len() {
+            let u = self.senders_buf[i].0;
+            self.own_buf[u.index()] = None;
+        }
+
+        // Phase 1: send decisions (virtual `transmit` per active node).
+        self.senders_buf.clear();
+        for node in 0..n {
+            if let Some(from) = self.active_from[node] {
+                if from <= t {
+                    let local = t - from + 1;
+                    if let Some(msg) = self.procs[node].transmit(local) {
+                        self.senders_buf.push((NodeId::from_index(node), msg));
+                    }
+                }
+            }
+        }
+        self.sends += self.senders_buf.len() as u64;
+
+        // Phase 2a: adversary deliveries, flattened sender by sender.
+        self.extra_flat.clear();
+        self.extra_ranges.clear();
+        {
+            let Pr1Executor {
+                network,
+                adversary,
+                assignment,
+                informed,
+                senders_buf,
+                extra_flat,
+                extra_ranges,
+                ..
+            } = self;
+            let ctx = RoundContext {
+                round: t,
+                network,
+                assignment,
+                senders: senders_buf,
+                informed,
+            };
+            for &(u, _) in senders_buf.iter() {
+                let start = extra_flat.len() as u32;
+                adversary.unreliable_deliveries(&ctx, u, extra_flat);
+                let end = extra_flat.len() as u32;
+                extra_ranges.push((start, end));
+            }
+        }
+
+        // Phase 2b: two-pass arena fill with full `Message`s (PR 1 shape).
+        {
+            let Pr1Executor {
+                network,
+                senders_buf,
+                extra_flat,
+                extra_ranges,
+                arena,
+                arena_off,
+                cursor,
+                own_buf,
+                ..
+            } = self;
+            let reliable = network.reliable_csr();
+            cursor.fill(0);
+            for (i, &(u, _)) in senders_buf.iter().enumerate() {
+                cursor[u.index()] += 1;
+                for &v in reliable.row(u) {
+                    cursor[v.index()] += 1;
+                }
+                let (s, e) = extra_ranges[i];
+                for &v in &extra_flat[s as usize..e as usize] {
+                    cursor[v.index()] += 1;
+                }
+            }
+            let mut acc = 0u32;
+            arena_off[0] = 0;
+            for v in 0..n {
+                acc += cursor[v];
+                arena_off[v + 1] = acc;
+            }
+            cursor.copy_from_slice(&arena_off[..n]);
+            if arena.len() < acc as usize {
+                arena.resize(acc as usize, Message::signal(ProcessId(0)));
+            }
+            for (i, &(u, msg)) in senders_buf.iter().enumerate() {
+                own_buf[u.index()] = Some(msg);
+                arena[cursor[u.index()] as usize] = msg;
+                cursor[u.index()] += 1;
+                for &v in reliable.row(u) {
+                    arena[cursor[v.index()] as usize] = msg;
+                    cursor[v.index()] += 1;
+                }
+                let (s, e) = extra_ranges[i];
+                for &v in &extra_flat[s as usize..e as usize] {
+                    arena[cursor[v.index()] as usize] = msg;
+                    cursor[v.index()] += 1;
+                }
+            }
+        }
+
+        // Phase 3: collision resolution per node.
+        self.receptions_buf.clear();
+        {
+            let Pr1Executor {
+                network,
+                adversary,
+                assignment,
+                informed,
+                senders_buf,
+                arena,
+                arena_off,
+                own_buf,
+                receptions_buf,
+                config,
+                physical_collisions,
+                ..
+            } = self;
+            let ctx = RoundContext {
+                round: t,
+                network,
+                assignment,
+                senders: senders_buf,
+                informed,
+            };
+            for node in 0..n {
+                let reaching = &arena[arena_off[node] as usize..arena_off[node + 1] as usize];
+                let sent = own_buf[node].is_some();
+                if reaching.is_empty() && !sent {
+                    receptions_buf.push(Reception::Silence);
+                    continue;
+                }
+                if reaching.len() >= 2 {
+                    *physical_collisions += 1;
+                }
+                let reception = resolve(config.rule, sent, reaching, own_buf[node], |msgs| {
+                    adversary.resolve_cr4(&ctx, NodeId::from_index(node), msgs)
+                });
+                receptions_buf.push(reception);
+            }
+        }
+
+        // Phase 4: deliveries, activations, bookkeeping (virtual `receive`
+        // / `on_activate` per node).
+        let mut newly_informed = Vec::new();
+        for node in 0..n {
+            let reception = self.receptions_buf[node];
+            let got_payload = reception.message().and_then(|m| m.payload).is_some();
+            match self.active_from[node] {
+                Some(from) if from <= t => {
+                    let local = t - from + 1;
+                    self.procs[node].receive(local, reception);
+                }
+                _ => {
+                    if let Reception::Message(m) = reception {
+                        self.procs[node].on_activate(ActivationCause::Reception(m));
+                        self.active_from[node] = Some(t + 1);
+                    }
+                }
+            }
+            if got_payload && self.informed.insert(node) {
+                self.first_receive[node] = Some(t);
+                newly_informed.push(NodeId::from_index(node));
+            }
+        }
+
+        self.round = t;
+        RoundSummary {
+            round: t,
+            senders: self.senders_buf.len(),
+            newly_informed,
+            complete: self.is_complete(),
+        }
+    }
+
+    /// The outcome so far (same semantics as the live engine).
+    pub fn outcome(&self) -> BroadcastOutcome {
+        let completed = self.is_complete();
+        BroadcastOutcome {
+            completed,
+            completion_round: if completed {
+                Some(if self.network.len() == 1 {
+                    0
+                } else {
+                    self.first_receive
+                        .iter()
+                        .map(|r| r.expect("complete => all received"))
+                        .max()
+                        .unwrap_or(0)
+                })
+            } else {
+                None
+            },
+            rounds_executed: self.round,
+            first_receive: self.first_receive.clone(),
+            sends: self.sends,
+            physical_collisions: self.physical_collisions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualgraph_sim::{ChatterProcess, Executor, Flooder, RandomDelivery};
+
+    /// The frozen baseline must stay bit-identical to the live engine —
+    /// otherwise the speedup series compares against a drifted artifact.
+    #[test]
+    fn pr1_baseline_matches_current_engine() {
+        let net = crate::engine_bench::workload_network(65);
+        let n = net.len();
+        // Chatter workload.
+        let mut live = Executor::from_slots(
+            &net,
+            ChatterProcess::slots(n, 7, 3),
+            Box::new(RandomDelivery::new(0.5, 7)),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let mut pr1 = Pr1Executor::new(
+            &net,
+            ChatterProcess::boxed(n, 7, 3),
+            Box::new(RandomDelivery::new(0.5, 7)),
+            ExecutorConfig::default(),
+        );
+        for round in 0..120 {
+            assert_eq!(live.step(), pr1.step(), "chatter diverged at {round}");
+            assert_eq!(live.outcome(), pr1.outcome(), "chatter outcome {round}");
+        }
+        // Dense flooding workload — completes and then runs many rounds in
+        // the all-senders steady state, so the live engine's dense-round
+        // write-pass skip is exercised against the PR 1 shape too.
+        let mut live = Executor::from_slots(
+            &net,
+            Flooder::slots(n),
+            Box::new(RandomDelivery::new(0.5, 7)),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let mut pr1 = Pr1Executor::new(
+            &net,
+            Flooder::boxed(n),
+            Box::new(RandomDelivery::new(0.5, 7)),
+            ExecutorConfig::default(),
+        );
+        let mut steady_rounds = 0;
+        for round in 0..120 {
+            let a = live.step();
+            assert_eq!(a, pr1.step(), "flooding diverged at {round}");
+            if a.senders == n {
+                steady_rounds += 1;
+            }
+        }
+        assert!(
+            steady_rounds > 50,
+            "flooding must reach the all-senders steady state (got {steady_rounds})"
+        );
+    }
+}

@@ -12,13 +12,14 @@
 //! decays. Decay is included as the Table 2 classical-column baseline that
 //! Harmonic Broadcast is measured against.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use dualgraph_sim::rng::derive_seed;
-use dualgraph_sim::{ActivationCause, Message, PayloadId, Process, ProcessId, Reception};
+use dualgraph_sim::{Process, ProcessId, ProcessSlot};
 
 use super::BroadcastAlgorithm;
+
+/// The Decay automaton (state machine in `dualgraph-sim`, inline-dispatch
+/// capable via [`ProcessSlot::Decay`]).
+pub use dualgraph_sim::automata::DecayProcess;
 
 /// Factory for [`DecayProcess`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -41,92 +42,23 @@ impl BroadcastAlgorithm for Decay {
     }
 
     fn processes(&self, n: usize, seed: u64) -> Vec<Box<dyn Process>> {
+        self.slots(n, seed)
+            .into_iter()
+            .map(ProcessSlot::into_boxed)
+            .collect()
+    }
+
+    fn slots(&self, n: usize, seed: u64) -> Vec<ProcessSlot> {
         let phase = (n.max(2) as f64).log2().ceil() as u64;
         (0..n)
             .map(|i| {
-                Box::new(DecayProcess::new(
+                ProcessSlot::Decay(DecayProcess::new(
                     ProcessId::from_index(i),
                     phase,
                     derive_seed(seed, i as u64),
-                )) as Box<dyn Process>
+                ))
             })
             .collect()
-    }
-}
-
-/// The Decay automaton.
-#[derive(Debug, Clone)]
-pub struct DecayProcess {
-    id: ProcessId,
-    phase_len: u64,
-    rng: SmallRng,
-    payload: Option<PayloadId>,
-    active_rounds: u64,
-}
-
-impl DecayProcess {
-    /// Creates the automaton with phase length `⌈log₂ n⌉` and a private
-    /// RNG seed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `phase_len == 0`.
-    pub fn new(id: ProcessId, phase_len: u64, seed: u64) -> Self {
-        assert!(phase_len >= 1, "phase length must be at least 1");
-        DecayProcess {
-            id,
-            phase_len,
-            rng: SmallRng::seed_from_u64(seed),
-            payload: None,
-            active_rounds: 0,
-        }
-    }
-
-    /// Transmit probability for the `j`-th active round (`j ≥ 1`):
-    /// `2^{−((j−1) mod phase_len)}`.
-    pub fn probability(&self, j: u64) -> f64 {
-        assert!(j >= 1);
-        0.5f64.powi(((j - 1) % self.phase_len) as i32)
-    }
-}
-
-impl Process for DecayProcess {
-    fn id(&self) -> ProcessId {
-        self.id
-    }
-
-    fn on_activate(&mut self, cause: ActivationCause) {
-        if let Some(m) = cause.message() {
-            if m.payload.is_some() {
-                self.payload = m.payload;
-            }
-        }
-    }
-
-    fn transmit(&mut self, _local_round: u64) -> Option<Message> {
-        let payload = self.payload?;
-        self.active_rounds += 1;
-        let p = self.probability(self.active_rounds);
-        self.rng
-            .gen_bool(p)
-            .then(|| Message::with_payload(self.id, payload))
-    }
-
-    fn receive(&mut self, _local_round: u64, reception: Reception) {
-        if self.payload.is_none() {
-            if let Some(p) = reception.message().and_then(|m| m.payload) {
-                self.payload = Some(p);
-                self.active_rounds = 0;
-            }
-        }
-    }
-
-    fn has_payload(&self) -> bool {
-        self.payload.is_some()
-    }
-
-    fn clone_box(&self) -> Box<dyn Process> {
-        Box::new(self.clone())
     }
 }
 
@@ -135,7 +67,9 @@ mod tests {
     use super::super::test_support::run;
     use super::*;
     use dualgraph_net::generators;
-    use dualgraph_sim::{CollisionRule, ReliableOnly, StartRule};
+    use dualgraph_sim::{
+        ActivationCause, CollisionRule, Message, PayloadId, ReliableOnly, StartRule,
+    };
 
     #[test]
     fn probability_decays_within_phase_and_resets() {

@@ -16,13 +16,14 @@
 //! algorithm runs unchanged under asynchronous start and CR4 — the paper's
 //! weakest assumptions.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use dualgraph_sim::rng::derive_seed;
-use dualgraph_sim::{ActivationCause, Message, PayloadId, Process, ProcessId, Reception};
+use dualgraph_sim::{Process, ProcessId, ProcessSlot};
 
 use super::BroadcastAlgorithm;
+
+/// The Harmonic Broadcast automaton (state machine in `dualgraph-sim`,
+/// inline-dispatch capable via [`ProcessSlot::Harmonic`]).
+pub use dualgraph_sim::automata::HarmonicProcess;
 
 /// Computes the paper's period parameter `T = ⌈12 ln(n/ε)⌉`.
 ///
@@ -109,93 +110,23 @@ impl BroadcastAlgorithm for Harmonic {
     }
 
     fn processes(&self, n: usize, seed: u64) -> Vec<Box<dyn Process>> {
+        self.slots(n, seed)
+            .into_iter()
+            .map(ProcessSlot::into_boxed)
+            .collect()
+    }
+
+    fn slots(&self, n: usize, seed: u64) -> Vec<ProcessSlot> {
         let t = self.period_for_n(n);
         (0..n)
             .map(|i| {
-                Box::new(HarmonicProcess::new(
+                ProcessSlot::Harmonic(HarmonicProcess::new(
                     ProcessId::from_index(i),
                     t,
                     derive_seed(seed, i as u64),
-                )) as Box<dyn Process>
+                ))
             })
             .collect()
-    }
-}
-
-/// The Harmonic Broadcast automaton.
-#[derive(Debug, Clone)]
-pub struct HarmonicProcess {
-    id: ProcessId,
-    period: u64,
-    rng: SmallRng,
-    payload: Option<PayloadId>,
-    /// Local rounds elapsed since the payload arrived (the first transmit
-    /// opportunity has `since = 1`).
-    active_rounds: u64,
-}
-
-impl HarmonicProcess {
-    /// Creates the automaton with period `T` and its private RNG seed.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `period == 0`.
-    pub fn new(id: ProcessId, period: u64, seed: u64) -> Self {
-        assert!(period >= 1, "period must be at least 1");
-        HarmonicProcess {
-            id,
-            period,
-            rng: SmallRng::seed_from_u64(seed),
-            payload: None,
-            active_rounds: 0,
-        }
-    }
-
-    /// The transmit probability for the `j`-th round after receipt
-    /// (`j ≥ 1`): `1 / (1 + ⌊(j−1)/T⌋)`.
-    pub fn probability(&self, j: u64) -> f64 {
-        assert!(j >= 1);
-        1.0 / (1.0 + ((j - 1) / self.period) as f64)
-    }
-}
-
-impl Process for HarmonicProcess {
-    fn id(&self) -> ProcessId {
-        self.id
-    }
-
-    fn on_activate(&mut self, cause: ActivationCause) {
-        if let Some(m) = cause.message() {
-            if m.payload.is_some() {
-                self.payload = m.payload;
-            }
-        }
-    }
-
-    fn transmit(&mut self, _local_round: u64) -> Option<Message> {
-        let payload = self.payload?;
-        self.active_rounds += 1;
-        let p = self.probability(self.active_rounds);
-        self.rng
-            .gen_bool(p)
-            .then(|| Message::with_payload(self.id, payload))
-    }
-
-    fn receive(&mut self, _local_round: u64, reception: Reception) {
-        if self.payload.is_none() {
-            if let Some(p) = reception.message().and_then(|m| m.payload) {
-                self.payload = Some(p);
-                self.active_rounds = 0;
-            }
-        }
-    }
-
-    fn has_payload(&self) -> bool {
-        self.payload.is_some()
-    }
-
-    fn clone_box(&self) -> Box<dyn Process> {
-        Box::new(self.clone())
     }
 }
 
@@ -204,7 +135,9 @@ mod tests {
     use super::super::test_support::run;
     use super::*;
     use dualgraph_net::generators;
-    use dualgraph_sim::{CollisionRule, RandomDelivery, ReliableOnly, StartRule};
+    use dualgraph_sim::{
+        ActivationCause, CollisionRule, Message, PayloadId, RandomDelivery, ReliableOnly, StartRule,
+    };
 
     #[test]
     fn period_formula() {

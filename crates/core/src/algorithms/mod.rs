@@ -21,7 +21,7 @@ pub use strong_select::{
 };
 pub use uniform::{Uniform, UniformProcess};
 
-use dualgraph_sim::Process;
+use dualgraph_sim::{Process, ProcessSlot};
 
 /// A broadcast algorithm: a recipe for the `n` process automata.
 ///
@@ -38,6 +38,22 @@ pub trait BroadcastAlgorithm {
 
     /// Builds the process vector, ids `0..n` in order.
     fn processes(&self, n: usize, seed: u64) -> Vec<Box<dyn Process>>;
+
+    /// Builds the process vector as enum-dispatched slots, ids `0..n` in
+    /// order, for the executor's batched process table.
+    ///
+    /// The default wraps [`BroadcastAlgorithm::processes`] in
+    /// [`ProcessSlot::Custom`], preserving boxed dispatch exactly.
+    /// Built-in algorithms override this with their inline variant; an
+    /// override must construct the *same* automata as `processes` — the
+    /// enum-vs-boxed differential suite holds both paths to bit-identical
+    /// executions.
+    fn slots(&self, n: usize, seed: u64) -> Vec<ProcessSlot> {
+        self.processes(n, seed)
+            .into_iter()
+            .map(ProcessSlot::Custom)
+            .collect()
+    }
 }
 
 impl std::fmt::Debug for dyn BroadcastAlgorithm {

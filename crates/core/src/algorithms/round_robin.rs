@@ -15,9 +15,13 @@
 //! Under asynchronous start the process learns the global round from the
 //! `round_tag` on the first message it receives (§5 footnote 1).
 
-use dualgraph_sim::{ActivationCause, Message, PayloadId, Process, ProcessId, Reception};
+use dualgraph_sim::{Process, ProcessId, ProcessSlot};
 
 use super::BroadcastAlgorithm;
+
+/// The round-robin automaton (state machine in `dualgraph-sim`,
+/// inline-dispatch capable via [`ProcessSlot::RoundRobin`]).
+pub use dualgraph_sim::automata::RoundRobinProcess;
 
 /// Factory for [`RoundRobinProcess`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -39,99 +43,17 @@ impl BroadcastAlgorithm for RoundRobin {
         true
     }
 
-    fn processes(&self, n: usize, _seed: u64) -> Vec<Box<dyn Process>> {
-        (0..n)
-            .map(|i| {
-                Box::new(RoundRobinProcess::new(ProcessId::from_index(i), n)) as Box<dyn Process>
-            })
+    fn processes(&self, n: usize, seed: u64) -> Vec<Box<dyn Process>> {
+        self.slots(n, seed)
+            .into_iter()
+            .map(ProcessSlot::into_boxed)
             .collect()
     }
-}
 
-/// The round-robin automaton.
-#[derive(Debug, Clone)]
-pub struct RoundRobinProcess {
-    id: ProcessId,
-    n: u64,
-    /// `global_round = global_offset + local_round` once known.
-    global_offset: Option<u64>,
-    payload: Option<PayloadId>,
-}
-
-impl RoundRobinProcess {
-    /// Creates the automaton for `id` in an `n`-process system.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0`.
-    pub fn new(id: ProcessId, n: usize) -> Self {
-        assert!(n > 0, "round robin requires n > 0");
-        RoundRobinProcess {
-            id,
-            n: n as u64,
-            global_offset: None,
-            payload: None,
-        }
-    }
-
-    fn learn(&mut self, message: &Message, local_round_of_receipt: u64) {
-        if let Some(p) = message.payload {
-            self.payload = Some(p);
-        }
-        if self.global_offset.is_none() {
-            if let Some(tag) = message.round_tag {
-                // The message was transmitted — and received — in global
-                // round `tag`, which corresponds to our `local_round_of_receipt`.
-                self.global_offset = Some(tag - local_round_of_receipt);
-            }
-        }
-    }
-}
-
-impl Process for RoundRobinProcess {
-    fn id(&self) -> ProcessId {
-        self.id
-    }
-
-    fn on_activate(&mut self, cause: ActivationCause) {
-        match cause {
-            ActivationCause::Input(m) => {
-                self.payload = m.payload;
-                // The source's first transmit round is global round 1.
-                self.global_offset = Some(0);
-            }
-            ActivationCause::SynchronousStart => {
-                self.global_offset = Some(0);
-            }
-            ActivationCause::Reception(m) => {
-                // Received in the round before our local round 1.
-                self.learn(&m, 0);
-            }
-        }
-    }
-
-    fn transmit(&mut self, local_round: u64) -> Option<Message> {
-        let payload = self.payload?;
-        let global = self.global_offset? + local_round;
-        ((global - 1) % self.n == u64::from(self.id.0)).then_some(Message {
-            payload: Some(payload),
-            round_tag: Some(global),
-            sender: self.id,
-        })
-    }
-
-    fn receive(&mut self, local_round: u64, reception: Reception) {
-        if let Reception::Message(m) = reception {
-            self.learn(&m, local_round);
-        }
-    }
-
-    fn has_payload(&self) -> bool {
-        self.payload.is_some()
-    }
-
-    fn clone_box(&self) -> Box<dyn Process> {
-        Box::new(self.clone())
+    fn slots(&self, n: usize, _seed: u64) -> Vec<ProcessSlot> {
+        (0..n)
+            .map(|i| ProcessSlot::RoundRobin(RoundRobinProcess::new(ProcessId::from_index(i), n)))
+            .collect()
     }
 }
 
@@ -140,7 +62,7 @@ mod tests {
     use super::super::test_support::run;
     use super::*;
     use dualgraph_net::generators;
-    use dualgraph_sim::{CollisionRule, ReliableOnly, StartRule};
+    use dualgraph_sim::{ActivationCause, CollisionRule, ReliableOnly, StartRule};
 
     #[test]
     fn completes_line_without_collisions() {

@@ -6,13 +6,14 @@
 //! "generic randomized algorithm" victim for the Theorem 4 probability
 //! bound experiment.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use dualgraph_sim::rng::derive_seed;
-use dualgraph_sim::{ActivationCause, Message, PayloadId, Process, ProcessId, Reception};
+use dualgraph_sim::{Process, ProcessId, ProcessSlot};
 
 use super::BroadcastAlgorithm;
+
+/// The uniform-probability automaton (state machine in `dualgraph-sim`,
+/// inline-dispatch capable via [`ProcessSlot::Uniform`]).
+pub use dualgraph_sim::automata::UniformProcess;
 
 /// Factory for [`UniformProcess`].
 #[derive(Debug, Clone, Copy)]
@@ -43,78 +44,22 @@ impl BroadcastAlgorithm for Uniform {
     }
 
     fn processes(&self, n: usize, seed: u64) -> Vec<Box<dyn Process>> {
+        self.slots(n, seed)
+            .into_iter()
+            .map(ProcessSlot::into_boxed)
+            .collect()
+    }
+
+    fn slots(&self, n: usize, seed: u64) -> Vec<ProcessSlot> {
         (0..n)
             .map(|i| {
-                Box::new(UniformProcess::new(
+                ProcessSlot::Uniform(UniformProcess::new(
                     ProcessId::from_index(i),
                     self.p,
                     derive_seed(seed, i as u64),
-                )) as Box<dyn Process>
+                ))
             })
             .collect()
-    }
-}
-
-/// The uniform-probability automaton.
-#[derive(Debug, Clone)]
-pub struct UniformProcess {
-    id: ProcessId,
-    p: f64,
-    rng: SmallRng,
-    payload: Option<PayloadId>,
-}
-
-impl UniformProcess {
-    /// Creates the automaton.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p ∉ (0, 1]`.
-    pub fn new(id: ProcessId, p: f64, seed: u64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "probability must lie in (0, 1]");
-        UniformProcess {
-            id,
-            p,
-            rng: SmallRng::seed_from_u64(seed),
-            payload: None,
-        }
-    }
-}
-
-impl Process for UniformProcess {
-    fn id(&self) -> ProcessId {
-        self.id
-    }
-
-    fn on_activate(&mut self, cause: ActivationCause) {
-        if let Some(m) = cause.message() {
-            if m.payload.is_some() {
-                self.payload = m.payload;
-            }
-        }
-    }
-
-    fn transmit(&mut self, _local_round: u64) -> Option<Message> {
-        let payload = self.payload?;
-        self.rng
-            .gen_bool(self.p)
-            .then(|| Message::with_payload(self.id, payload))
-    }
-
-    fn receive(&mut self, _local_round: u64, reception: Reception) {
-        if self.payload.is_none() {
-            if let Some(p) = reception.message().and_then(|m| m.payload) {
-                self.payload = Some(p);
-            }
-        }
-    }
-
-    fn has_payload(&self) -> bool {
-        self.payload.is_some()
-    }
-
-    fn clone_box(&self) -> Box<dyn Process> {
-        Box::new(self.clone())
     }
 }
 
@@ -123,7 +68,9 @@ mod tests {
     use super::super::test_support::run;
     use super::*;
     use dualgraph_net::generators;
-    use dualgraph_sim::{CollisionRule, ReliableOnly, StartRule};
+    use dualgraph_sim::{
+        ActivationCause, CollisionRule, Message, PayloadId, ReliableOnly, StartRule,
+    };
 
     #[test]
     fn completes_small_line() {

@@ -164,9 +164,11 @@ fn run_once(
     seed: u64,
 ) -> Option<u64> {
     let adversary = CliqueBridgeAdversary::new(network.len(), bridge);
-    let mut exec = Executor::new(
+    // Enum-dispatched slots: the bridge search runs one execution per
+    // candidate assignment, so the batched table speeds up the whole sweep.
+    let mut exec = Executor::from_slots(
         network,
-        algorithm.processes(network.len(), seed),
+        algorithm.slots(network.len(), seed),
         Box::new(adversary),
         ExecutorConfig {
             rule: CollisionRule::Cr1,

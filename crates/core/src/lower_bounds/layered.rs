@@ -34,15 +34,20 @@
 //! executions, and no surviving candidate ever sends alone; the stage
 //! extends the execution by at least `log₂(n−1) − 2` rounds.
 //!
-//! Replaying `β` prefixes requires deterministic, cloneable automata —
-//! which is exactly what [`Process::clone_box`] provides.
+//! Replaying `β` prefixes requires deterministic, cloneable automata. The
+//! replay state holds [`ProcessSlot`]s, so cloning an execution prefix is
+//! a plain `Vec` clone for built-in automata (enum dispatch, inline state)
+//! and falls back to [`Process::clone_box`] only for
+//! [`ProcessSlot::Custom`] entries.
 //!
 //! [`Process::clone_box`]: dualgraph_sim::Process::clone_box
+//! [`ProcessSlot`]: dualgraph_sim::ProcessSlot
+//! [`ProcessSlot::Custom`]: dualgraph_sim::ProcessSlot::Custom
 
 use std::collections::BTreeSet;
 
 use dualgraph_sim::{
-    ActivationCause, CollisionRule, Message, PayloadId, Process, ProcessId, Reception,
+    ActivationCause, CollisionRule, Message, PayloadId, Process, ProcessId, ProcessSlot, Reception,
 };
 
 use crate::algorithms::BroadcastAlgorithm;
@@ -123,9 +128,13 @@ impl LayeredBoundResult {
 
 /// Process-level execution state: every process activated at round 1
 /// (synchronous start), process 0 holding the payload as the source.
+///
+/// `procs` is indexed by **process id** — the construction simulates at
+/// the process level (`G′` is complete and the §6 delivery rules are
+/// phrased in process sets), so no node placement ever happens here.
 #[derive(Clone)]
 struct PState {
-    procs: Vec<Box<dyn Process>>,
+    procs: Vec<ProcessSlot>,
     round: u64,
 }
 
@@ -137,7 +146,7 @@ enum Delivery {
 
 impl PState {
     fn new(algorithm: &dyn BroadcastAlgorithm, n: usize) -> Self {
-        let mut procs = algorithm.processes(n, 0);
+        let mut procs = algorithm.slots(n, 0);
         procs[0].on_activate(ActivationCause::Input(Message {
             payload: Some(PayloadId(0)),
             round_tag: None,

@@ -61,6 +61,10 @@ impl RunConfig {
 
 /// Runs one broadcast execution to completion (or the round budget).
 ///
+/// Uses [`BroadcastAlgorithm::slots`], so built-in algorithms run through
+/// the executor's batched enum-dispatch process table; algorithms without
+/// a `slots` override fall back to boxed dispatch with identical behavior.
+///
 /// # Errors
 ///
 /// Propagates [`BuildExecutorError`] from executor construction.
@@ -70,10 +74,10 @@ pub fn run_broadcast(
     adversary: Box<dyn Adversary>,
     config: RunConfig,
 ) -> Result<BroadcastOutcome, BuildExecutorError> {
-    let processes = algorithm.processes(network.len(), config.seed);
-    let mut exec = Executor::new(
+    let slots = algorithm.slots(network.len(), config.seed);
+    let mut exec = Executor::from_slots(
         network,
-        processes,
+        slots,
         adversary,
         ExecutorConfig {
             rule: config.rule,
@@ -133,15 +137,22 @@ pub fn run_trials_par(
     config: RunConfig,
     trials: u64,
 ) -> Result<Vec<BroadcastOutcome>, BuildExecutorError> {
+    // `available_parallelism` can fail (sandboxes, exotic platforms); fall
+    // back to one worker, i.e. the sequential loop.
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(trials.max(1) as usize);
+        .unwrap_or(1);
     run_trials_par_with(network, algorithm, make_adversary, config, trials, workers)
 }
 
 /// [`run_trials_par`] with an explicit worker count (exposed so tests and
 /// benches can exercise the parallel path on any machine).
+///
+/// Edge cases return cleanly rather than panicking, always byte-identical
+/// to sequential [`run_trials`]: `trials == 0` yields an empty vector,
+/// `workers == 0` is treated as one worker (the sequential fallback for a
+/// failed parallelism probe), and `workers > trials` clamps to `trials`
+/// so no idle threads are spawned.
 ///
 /// # Errors
 ///
@@ -149,7 +160,7 @@ pub fn run_trials_par(
 ///
 /// # Panics
 ///
-/// Panics if `workers == 0` or a worker thread panics.
+/// Panics if a worker thread panics.
 pub fn run_trials_par_with(
     network: &DualGraph,
     algorithm: &(dyn BroadcastAlgorithm + Sync),
@@ -158,7 +169,7 @@ pub fn run_trials_par_with(
     trials: u64,
     workers: usize,
 ) -> Result<Vec<BroadcastOutcome>, BuildExecutorError> {
-    assert!(workers > 0, "run_trials_par requires at least one worker");
+    let workers = workers.clamp(1, trials.max(1) as usize);
     if workers == 1 {
         return run_trials(network, algorithm, &make_adversary, config, trials);
     }
@@ -269,6 +280,46 @@ mod tests {
         let outcomes =
             run_trials_par(&net, &RoundRobin::new(), make, RunConfig::default(), 0).unwrap();
         assert!(outcomes.is_empty());
+        // Explicit worker counts with zero trials must also return cleanly.
+        for workers in [0, 1, 5] {
+            let outcomes = run_trials_par_with(
+                &net,
+                &RoundRobin::new(),
+                make,
+                RunConfig::default(),
+                0,
+                workers,
+            )
+            .unwrap();
+            assert!(outcomes.is_empty(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn run_trials_par_zero_workers_degenerates_to_sequential() {
+        // workers == 0 models a failed available_parallelism() probe being
+        // forwarded verbatim; it must behave exactly like one worker.
+        let net = generators::line(10, 2);
+        let make = |seed| Box::new(RandomDelivery::new(0.5, seed)) as Box<dyn Adversary>;
+        let config = RunConfig::default().with_seed(3).with_max_rounds(100_000);
+        let sequential = run_trials(&net, &Harmonic::new(), make, config, 4).unwrap();
+        let zero = run_trials_par_with(&net, &Harmonic::new(), make, config, 4, 0).unwrap();
+        assert_eq!(sequential, zero);
+    }
+
+    #[test]
+    fn run_trials_par_more_workers_than_trials() {
+        // workers > trials clamps to `trials` workers and stays
+        // byte-identical to the sequential runner.
+        let net = generators::line(10, 2);
+        let make = |seed| Box::new(RandomDelivery::new(0.5, seed)) as Box<dyn Adversary>;
+        let config = RunConfig::default().with_seed(11).with_max_rounds(100_000);
+        let sequential = run_trials(&net, &Harmonic::new(), make, config, 3).unwrap();
+        for workers in [4, 64] {
+            let parallel =
+                run_trials_par_with(&net, &Harmonic::new(), make, config, 3, workers).unwrap();
+            assert_eq!(sequential, parallel, "workers={workers}");
+        }
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! The *Decay* automaton (Bar-Yehuda, Goldreich, Itai 1987).
+//!
+//! See `dualgraph-broadcast::algorithms::Decay` for the algorithm-level
+//! story; this module holds only the per-node state machine.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::collision::Reception;
+use crate::message::{Message, PayloadId, ProcessId};
+use crate::process::{ActivationCause, Process};
+
+/// The Decay automaton: informed nodes repeat phases of `phase_len`
+/// rounds, transmitting with probability `2^{−j}` in the `j`-th round of
+/// each phase.
+#[derive(Debug, Clone)]
+pub struct DecayProcess {
+    id: ProcessId,
+    phase_len: u64,
+    rng: SmallRng,
+    payload: Option<PayloadId>,
+    active_rounds: u64,
+}
+
+impl DecayProcess {
+    /// Creates the automaton with phase length `⌈log₂ n⌉` and a private
+    /// RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase_len == 0`.
+    pub fn new(id: ProcessId, phase_len: u64, seed: u64) -> Self {
+        assert!(phase_len >= 1, "phase length must be at least 1");
+        DecayProcess {
+            id,
+            phase_len,
+            rng: SmallRng::seed_from_u64(seed),
+            payload: None,
+            active_rounds: 0,
+        }
+    }
+
+    /// Transmit probability for the `j`-th active round (`j ≥ 1`):
+    /// `2^{−((j−1) mod phase_len)}`.
+    pub fn probability(&self, j: u64) -> f64 {
+        assert!(j >= 1);
+        0.5f64.powi(((j - 1) % self.phase_len) as i32)
+    }
+}
+
+impl Process for DecayProcess {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        if let Some(m) = cause.message() {
+            if m.payload.is_some() {
+                self.payload = m.payload;
+            }
+        }
+    }
+
+    fn transmit(&mut self, _local_round: u64) -> Option<Message> {
+        let payload = self.payload?;
+        self.active_rounds += 1;
+        let p = self.probability(self.active_rounds);
+        self.rng
+            .gen_bool(p)
+            .then(|| Message::with_payload(self.id, payload))
+    }
+
+    fn receive(&mut self, _local_round: u64, reception: Reception) {
+        if self.payload.is_none() {
+            if let Some(p) = reception.message().and_then(|m| m.payload) {
+                self.payload = Some(p);
+                self.active_rounds = 0;
+            }
+        }
+    }
+
+    fn has_payload(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}

@@ -1,0 +1,91 @@
+//! The **Harmonic Broadcast** automaton (§7 of the paper).
+//!
+//! See `dualgraph-broadcast::algorithms::Harmonic` for the algorithm-level
+//! story (the `T = ⌈12 ln(n/ε)⌉` period derivation lives there); this
+//! module holds only the per-node state machine.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::collision::Reception;
+use crate::message::{Message, PayloadId, ProcessId};
+use crate::process::{ActivationCause, Process};
+
+/// The Harmonic Broadcast automaton: a node that first receives the
+/// message transmits in its `j`-th subsequent round with probability
+/// `1 / (1 + ⌊(j−1)/T⌋)`.
+#[derive(Debug, Clone)]
+pub struct HarmonicProcess {
+    id: ProcessId,
+    period: u64,
+    rng: SmallRng,
+    payload: Option<PayloadId>,
+    /// Local rounds elapsed since the payload arrived (the first transmit
+    /// opportunity has `since = 1`).
+    active_rounds: u64,
+}
+
+impl HarmonicProcess {
+    /// Creates the automaton with period `T` and its private RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(id: ProcessId, period: u64, seed: u64) -> Self {
+        assert!(period >= 1, "period must be at least 1");
+        HarmonicProcess {
+            id,
+            period,
+            rng: SmallRng::seed_from_u64(seed),
+            payload: None,
+            active_rounds: 0,
+        }
+    }
+
+    /// The transmit probability for the `j`-th round after receipt
+    /// (`j ≥ 1`): `1 / (1 + ⌊(j−1)/T⌋)`.
+    pub fn probability(&self, j: u64) -> f64 {
+        assert!(j >= 1);
+        1.0 / (1.0 + ((j - 1) / self.period) as f64)
+    }
+}
+
+impl Process for HarmonicProcess {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        if let Some(m) = cause.message() {
+            if m.payload.is_some() {
+                self.payload = m.payload;
+            }
+        }
+    }
+
+    fn transmit(&mut self, _local_round: u64) -> Option<Message> {
+        let payload = self.payload?;
+        self.active_rounds += 1;
+        let p = self.probability(self.active_rounds);
+        self.rng
+            .gen_bool(p)
+            .then(|| Message::with_payload(self.id, payload))
+    }
+
+    fn receive(&mut self, _local_round: u64, reception: Reception) {
+        if self.payload.is_none() {
+            if let Some(p) = reception.message().and_then(|m| m.payload) {
+                self.payload = Some(p);
+                self.active_rounds = 0;
+            }
+        }
+    }
+
+    fn has_payload(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}

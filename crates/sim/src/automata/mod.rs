@@ -1,0 +1,32 @@
+//! The built-in broadcast automata (per-node process state machines).
+//!
+//! These are the `Process` implementations behind the algorithm factories
+//! in `dualgraph-broadcast::algorithms` — [`DecayProcess`],
+//! [`HarmonicProcess`], [`RoundRobinProcess`], [`StrongSelectProcess`] and
+//! [`UniformProcess`]. They live in this crate (rather than next to their
+//! factories) so that the executor's [`ProcessSlot`] enum can hold them
+//! *inline*: the batched process table matches on the variant once per
+//! round and runs a monomorphized loop, instead of paying two virtual
+//! calls per node per round. The factories re-export them, so
+//! `dualgraph_broadcast::algorithms::HarmonicProcess` and friends keep
+//! working.
+//!
+//! Semantics, parameters, and RNG draw order are exactly those of the
+//! pre-move definitions — the enum-vs-boxed differential suite holds every
+//! automaton to bit-identical behavior under both dispatch paths.
+//!
+//! [`ProcessSlot`]: crate::ProcessSlot
+
+mod decay;
+mod harmonic;
+mod round_robin;
+mod strong_select;
+mod uniform;
+
+pub use decay::DecayProcess;
+pub use harmonic::HarmonicProcess;
+pub use round_robin::RoundRobinProcess;
+pub use strong_select::{
+    Participation, Slot, SsfConstruction, StrongSelectPlan, StrongSelectProcess,
+};
+pub use uniform::UniformProcess;

@@ -1,0 +1,98 @@
+//! The round-robin automaton: the classical deterministic baseline.
+//!
+//! See `dualgraph-broadcast::algorithms::RoundRobin` for the
+//! algorithm-level story; this module holds only the per-node state
+//! machine. Under asynchronous start the process learns the global round
+//! from the `round_tag` on the first message it receives (§5 footnote 1).
+
+use crate::collision::Reception;
+use crate::message::{Message, PayloadId, ProcessId};
+use crate::process::{ActivationCause, Process};
+
+/// The round-robin automaton: process `i` transmits (once informed)
+/// exactly in global rounds `t` with `(t − 1) ≡ i (mod n)`.
+#[derive(Debug, Clone)]
+pub struct RoundRobinProcess {
+    id: ProcessId,
+    n: u64,
+    /// `global_round = global_offset + local_round` once known.
+    global_offset: Option<u64>,
+    payload: Option<PayloadId>,
+}
+
+impl RoundRobinProcess {
+    /// Creates the automaton for `id` in an `n`-process system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(id: ProcessId, n: usize) -> Self {
+        assert!(n > 0, "round robin requires n > 0");
+        RoundRobinProcess {
+            id,
+            n: n as u64,
+            global_offset: None,
+            payload: None,
+        }
+    }
+
+    fn learn(&mut self, message: &Message, local_round_of_receipt: u64) {
+        if let Some(p) = message.payload {
+            self.payload = Some(p);
+        }
+        if self.global_offset.is_none() {
+            if let Some(tag) = message.round_tag {
+                // The message was transmitted — and received — in global
+                // round `tag`, which corresponds to our `local_round_of_receipt`.
+                self.global_offset = Some(tag - local_round_of_receipt);
+            }
+        }
+    }
+}
+
+impl Process for RoundRobinProcess {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        match cause {
+            ActivationCause::Input(m) => {
+                self.payload = m.payload;
+                // The source's first transmit round is global round 1.
+                self.global_offset = Some(0);
+            }
+            ActivationCause::SynchronousStart => {
+                self.global_offset = Some(0);
+            }
+            ActivationCause::Reception(m) => {
+                // Received in the round before our local round 1.
+                self.learn(&m, 0);
+            }
+        }
+    }
+
+    fn transmit(&mut self, local_round: u64) -> Option<Message> {
+        let payload = self.payload?;
+        let global = self.global_offset? + local_round;
+        ((global - 1) % self.n == u64::from(self.id.0)).then_some(Message {
+            payload: Some(payload),
+            round_tag: Some(global),
+            sender: self.id,
+        })
+    }
+
+    fn receive(&mut self, local_round: u64, reception: Reception) {
+        if let Reception::Message(m) = reception {
+            self.learn(&m, local_round);
+        }
+    }
+
+    fn has_payload(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}

@@ -1,0 +1,381 @@
+//! The **Strong Select** automaton and its shared schedule (§5 of the
+//! paper).
+//!
+//! See `dualgraph-broadcast::algorithms::StrongSelect` for the
+//! algorithm-level story (schedule layout, participation policy,
+//! Theorem 10). This module holds the per-node state machine
+//! ([`StrongSelectProcess`]) plus the immutable plan every process of one
+//! execution shares ([`StrongSelectPlan`]).
+
+use std::sync::Arc;
+
+use dualgraph_select::{
+    best_explicit, random_family, round_robin, RandomFamilyParams, SelectiveFamily,
+};
+
+use crate::collision::Reception;
+use crate::message::{Message, PayloadId, ProcessId};
+use crate::process::{ActivationCause, Process};
+
+/// Which SSF construction backs the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsfConstruction {
+    /// Explicit Kautz–Singleton families, `O(k² log² n)` sets — the
+    /// "constructive" variant the paper notes costs an extra `√log n`.
+    KautzSingleton,
+    /// Randomized families of existential size `O(k² log n)` (Theorem 7),
+    /// strongly selective with high probability.
+    Random {
+        /// Seed for the family sampler (shared by all processes — the
+        /// families are common knowledge).
+        seed: u64,
+    },
+}
+
+/// One scheduled round: which family and set it is dedicated to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Family index `s ∈ 1..=s_max`.
+    pub s: u32,
+    /// Index into `F_s`.
+    pub set_index: usize,
+}
+
+/// The shared, immutable schedule: families plus slot arithmetic.
+#[derive(Debug)]
+pub struct StrongSelectPlan {
+    n: usize,
+    s_max: u32,
+    epoch_len: u64,
+    /// `families[s-1]` is `F_s`, padded to a multiple of `2^{s-1}` sets.
+    families: Vec<SelectiveFamily>,
+}
+
+impl StrongSelectPlan {
+    /// Builds the plan for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, construction: SsfConstruction) -> Self {
+        assert!(n > 0, "strong select requires n > 0");
+        let s_max = Self::s_max_for(n);
+        let mut families = Vec::with_capacity(s_max as usize);
+        for s in 1..=s_max {
+            let block = 1usize << (s - 1);
+            let fam = if s == s_max {
+                // The paper fixes F_{s_max} to round robin: an (n, n)-SSF
+                // that isolates every node in the graph.
+                round_robin(n)
+            } else {
+                let k = (1usize << s).min(n);
+                match construction {
+                    SsfConstruction::KautzSingleton => best_explicit(n, k),
+                    SsfConstruction::Random { seed } => random_family(
+                        RandomFamilyParams::new(n, k),
+                        crate::rng::derive_seed(seed, s as u64),
+                    ),
+                }
+            };
+            families.push(pad_family(fam, block));
+        }
+        StrongSelectPlan {
+            n,
+            s_max,
+            epoch_len: (1u64 << s_max) - 1,
+            families,
+        }
+    }
+
+    /// `s_max ≈ log₂ √(n / log₂ n)` (nearest integer, at least 1) — the
+    /// paper assumes `√(n/log n)` is a power of two; rounding to the
+    /// nearest exponent keeps `k_{s_max} = 2^{s_max}` within `√2` of it.
+    fn s_max_for(n: usize) -> u32 {
+        let nf = n as f64;
+        let log_n = nf.log2().max(1.0);
+        let target = (nf / log_n).sqrt();
+        (target.log2().round() as i64).max(1) as u32
+    }
+
+    /// The analysis's `f(n)`: the least `f` with `ℓ_s ≤ k_s² · f` for every
+    /// family in this plan (`f = O(log n)` for the paper's constructions,
+    /// `O(log² n)` for Kautz–Singleton).
+    pub fn f_bound(&self) -> u64 {
+        (1..=self.s_max)
+            .map(|s| {
+                let k = 1u64 << s;
+                (self.family(s).len() as u64).div_ceil(k * k)
+            })
+            .max()
+            .expect("at least one family")
+    }
+
+    /// Theorem 10's completion budget `X = n/ρ = 12 · f(n) · 2^{s_max} · n`:
+    /// the proof shows broadcast completes by round `X` under CR4 and
+    /// asynchronous start against **any** adversary.
+    pub fn theorem10_budget(&self) -> u64 {
+        12 * self.f_bound() * (1u64 << self.s_max) * self.n as u64
+    }
+
+    /// Universe size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The largest family index.
+    pub fn s_max(&self) -> u32 {
+        self.s_max
+    }
+
+    /// Rounds per epoch: `2^{s_max} − 1`.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// The (padded) family `F_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ s ≤ s_max`.
+    pub fn family(&self, s: u32) -> &SelectiveFamily {
+        assert!(s >= 1 && s <= self.s_max, "family index out of range");
+        &self.families[(s - 1) as usize]
+    }
+
+    /// Iteration length of `F_s` in epochs: `ℓ_s / 2^{s−1}`.
+    pub fn iteration_epochs(&self, s: u32) -> u64 {
+        (self.family(s).len() as u64) / (1u64 << (s - 1))
+    }
+
+    /// Iteration length of `F_s` in global rounds.
+    pub fn iteration_span(&self, s: u32) -> u64 {
+        self.iteration_epochs(s) * self.epoch_len
+    }
+
+    /// Maps a global round (1-based) to its slot.
+    pub fn slot(&self, global_round: u64) -> Slot {
+        assert!(global_round >= 1, "rounds are 1-based");
+        let epoch = (global_round - 1) / self.epoch_len; // 0-based
+        let r = (global_round - 1) % self.epoch_len + 1; // 1..=epoch_len
+        let s = 63 - (r.leading_zeros() as u64) + 1; // floor(log2 r) + 1
+        let s = s as u32;
+        let block = 1u64 << (s - 1);
+        let pos = r - block;
+        let ell = self.family(s).len() as u64;
+        Slot {
+            s,
+            set_index: ((epoch * block + pos) % ell) as usize,
+        }
+    }
+
+    /// The first global round `≥ from` at which an iteration of `F_s`
+    /// begins (its set 0 is scheduled at epoch-block position 0).
+    pub fn iteration_start(&self, s: u32, from: u64) -> u64 {
+        let block = 1u64 << (s - 1);
+        // Iteration length in epochs; round of family-s block start within
+        // epoch e (0-based): g(e) = e * epoch_len + block (r = 2^{s-1}).
+        let l_s = self.iteration_epochs(s);
+        let e_min = if from <= block {
+            0
+        } else {
+            (from - block).div_ceil(self.epoch_len)
+        };
+        let e = e_min.div_ceil(l_s) * l_s;
+        e * self.epoch_len + block
+    }
+}
+
+/// Pads `family` with empty sets to a multiple of `block` sets.
+fn pad_family(family: SelectiveFamily, block: usize) -> SelectiveFamily {
+    let ell = family.len();
+    let padded = ell.div_ceil(block) * block;
+    if padded == ell {
+        return family;
+    }
+    let (n, k) = (family.n(), family.k());
+    let mut sets: Vec<Vec<u32>> = family.iter().map(<[u32]>::to_vec).collect();
+    sets.resize(padded, Vec::new());
+    SelectiveFamily::new(n, k, sets).expect("padding preserves validity")
+}
+
+/// How long a node participates in each family.
+///
+/// §5 motivates `Once`: a node whose reliable neighbors are all informed
+/// can still *interfere* via its unreliable edges, so the paper bounds the
+/// window during which it transmits by letting it run exactly one
+/// iteration per family (and then stop forever). `Forever` is the
+/// classical behavior of the static-model algorithms the paper cites
+/// ([6, 7]: "nodes continue to cycle through selective families forever")
+/// — kept here as the ablation arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Participation {
+    /// One iteration per family, then silence (the paper's algorithm).
+    Once,
+    /// Re-join every iteration of every family (the classical behavior).
+    Forever,
+}
+
+/// The Strong Select automaton.
+#[derive(Debug, Clone)]
+pub struct StrongSelectProcess {
+    id: ProcessId,
+    plan: Arc<StrongSelectPlan>,
+    participation: Participation,
+    payload: Option<PayloadId>,
+    global_offset: Option<u64>,
+    /// Per family `s` (index `s−1`): the `[start, end)` global-round window
+    /// of this node's single iteration (`end = u64::MAX` under
+    /// [`Participation::Forever`]). Computed once the node holds both the
+    /// payload and the global clock.
+    windows: Option<Vec<(u64, u64)>>,
+    last_global: u64,
+}
+
+impl StrongSelectProcess {
+    /// Creates the automaton for `id` under the shared `plan` (the paper's
+    /// participate-once behavior).
+    pub fn new(id: ProcessId, plan: Arc<StrongSelectPlan>) -> Self {
+        Self::with_participation(id, plan, Participation::Once)
+    }
+
+    /// Creates the automaton with an explicit participation policy.
+    pub fn with_participation(
+        id: ProcessId,
+        plan: Arc<StrongSelectPlan>,
+        participation: Participation,
+    ) -> Self {
+        assert!(
+            id.index() < plan.n(),
+            "process id out of range for the plan"
+        );
+        StrongSelectProcess {
+            id,
+            plan,
+            participation,
+            payload: None,
+            global_offset: None,
+            windows: None,
+            last_global: 0,
+        }
+    }
+
+    /// The participation windows, if the node has computed them.
+    pub fn windows(&self) -> Option<&[(u64, u64)]> {
+        self.windows.as_deref()
+    }
+
+    fn absorb(&mut self, message: &Message, local_round_of_receipt: u64) {
+        if let Some(p) = message.payload {
+            self.payload = Some(p);
+        }
+        if self.global_offset.is_none() {
+            if let Some(tag) = message.round_tag {
+                self.global_offset = Some(tag - local_round_of_receipt);
+            }
+        }
+        self.maybe_plan_windows(local_round_of_receipt);
+    }
+
+    /// Once payload and clock are both known, fix the participation
+    /// windows, starting from the next round.
+    fn maybe_plan_windows(&mut self, current_local: u64) {
+        if self.windows.is_some() || self.payload.is_none() {
+            return;
+        }
+        let Some(offset) = self.global_offset else {
+            return;
+        };
+        let start = offset + current_local + 1;
+        let windows = (1..=self.plan.s_max())
+            .map(|s| {
+                let w = self.plan.iteration_start(s, start);
+                let end = match self.participation {
+                    Participation::Once => w + self.plan.iteration_span(s),
+                    Participation::Forever => u64::MAX,
+                };
+                (w, end)
+            })
+            .collect();
+        self.windows = Some(windows);
+    }
+}
+
+impl Process for StrongSelectProcess {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        match cause {
+            ActivationCause::Input(m) => {
+                self.payload = m.payload;
+                self.global_offset = Some(0);
+                self.maybe_plan_windows(0);
+            }
+            ActivationCause::SynchronousStart => {
+                self.global_offset = Some(0);
+            }
+            ActivationCause::Reception(m) => {
+                self.absorb(&m, 0);
+            }
+        }
+    }
+
+    fn transmit(&mut self, local_round: u64) -> Option<Message> {
+        let payload = self.payload?;
+        let global = self.global_offset? + local_round;
+        self.last_global = global;
+        let windows = self.windows.as_ref()?;
+        let slot = self.plan.slot(global);
+        let (start, end) = windows[(slot.s - 1) as usize];
+        (global >= start
+            && global < end
+            && self.plan.family(slot.s).contains(slot.set_index, self.id.0))
+        .then_some(Message {
+            payload: Some(payload),
+            round_tag: Some(global),
+            sender: self.id,
+        })
+    }
+
+    fn receive(&mut self, local_round: u64, reception: Reception) {
+        if let Reception::Message(m) = reception {
+            self.absorb(&m, local_round);
+        }
+    }
+
+    fn has_payload(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    fn is_terminated(&self) -> bool {
+        match (&self.windows, self.payload) {
+            (Some(w), Some(_)) => w.iter().all(|&(_, end)| self.last_global >= end),
+            _ => false,
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_max_grows_with_n() {
+        assert_eq!(StrongSelectPlan::s_max_for(2), 1);
+        let s64 = StrongSelectPlan::s_max_for(64);
+        let s4096 = StrongSelectPlan::s_max_for(4096);
+        assert!(s64 >= 1 && s4096 > s64);
+        // k_{s_max} = 2^{s_max} should be about sqrt(n / log n).
+        let k = (1u64 << s4096) as f64;
+        let target = (4096.0f64 / 12.0).sqrt();
+        assert!(
+            k <= target * 2.0 && k >= target / 4.0,
+            "k={k} target={target}"
+        );
+    }
+}

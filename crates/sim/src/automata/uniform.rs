@@ -1,0 +1,75 @@
+//! The uniform-probability automaton: the simplest randomized strategy.
+//!
+//! See `dualgraph-broadcast::algorithms::Uniform` for the algorithm-level
+//! story; this module holds only the per-node state machine.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::collision::Reception;
+use crate::message::{Message, PayloadId, ProcessId};
+use crate::process::{ActivationCause, Process};
+
+/// The uniform-probability automaton: every informed node transmits each
+/// round with a fixed probability `p`.
+#[derive(Debug, Clone)]
+pub struct UniformProcess {
+    id: ProcessId,
+    p: f64,
+    rng: SmallRng,
+    payload: Option<PayloadId>,
+}
+
+impl UniformProcess {
+    /// Creates the automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1]`.
+    pub fn new(id: ProcessId, p: f64, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "probability must lie in (0, 1]");
+        UniformProcess {
+            id,
+            p,
+            rng: SmallRng::seed_from_u64(seed),
+            payload: None,
+        }
+    }
+}
+
+impl Process for UniformProcess {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        if let Some(m) = cause.message() {
+            if m.payload.is_some() {
+                self.payload = m.payload;
+            }
+        }
+    }
+
+    fn transmit(&mut self, _local_round: u64) -> Option<Message> {
+        let payload = self.payload?;
+        self.rng
+            .gen_bool(self.p)
+            .then(|| Message::with_payload(self.id, payload))
+    }
+
+    fn receive(&mut self, _local_round: u64, reception: Reception) {
+        if self.payload.is_none() {
+            if let Some(p) = reception.message().and_then(|m| m.payload) {
+                self.payload = Some(p);
+            }
+        }
+    }
+
+    fn has_payload(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}

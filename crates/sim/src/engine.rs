@@ -6,6 +6,7 @@ use crate::adversary::{Adversary, Assignment, RoundContext};
 use crate::collision::{self, CollisionRule, Reception};
 use crate::message::{Message, PayloadId, ProcessId};
 use crate::process::{ActivationCause, Process};
+use crate::slot::{ProcessSlot, ProcessTable};
 use crate::trace::{RoundRecord, Trace, TraceLevel};
 
 /// How executions begin (§2.1).
@@ -175,8 +176,10 @@ pub struct Executor<'a> {
     network: &'a DualGraph,
     config: ExecutorConfig,
     adversary: Box<dyn Adversary>,
-    /// Processes indexed by **node**.
-    procs: Vec<Box<dyn Process>>,
+    /// Processes indexed by **node** (placed via the assignment). A
+    /// homogeneous table dispatches on the automaton variant once per
+    /// round; see [`ProcessTable`].
+    procs: ProcessTable,
     assignment: Assignment,
     /// Global round from which the node's process may transmit.
     active_from: Vec<Option<u64>>,
@@ -198,11 +201,17 @@ pub struct Executor<'a> {
     /// Per-sender `(start, end)` ranges into `extra_flat` (parallel to
     /// `senders_buf`).
     extra_ranges: Vec<(u32, u32)>,
-    /// Flat arena of reaching messages: node `v`'s reaching set is
+    /// Flat arena of reaching transmissions, stored as **indices into
+    /// `senders_buf`** (4 bytes per delivery instead of a full `Message`):
+    /// node `v`'s reaching set is
     /// `arena[arena_off[v] as usize..arena_off[v + 1] as usize]`, in the
-    /// same order the former per-node `Vec`s were filled (sender node
-    /// order; self, then `G` out-row, then adversary extras).
-    arena: Vec<Message>,
+    /// same order the former per-node `Vec<Message>`s were filled (sender
+    /// node order; self, then `G` out-row, then adversary extras).
+    /// Collision resolution reads at most one message per node, so
+    /// materializing full messages per delivery was pure memory traffic;
+    /// the only full materialization left is `cr4_scratch`, for the
+    /// adversary's CR4 choice.
+    arena: Vec<u32>,
     /// `n + 1` prefix-sum offsets into `arena`.
     arena_off: Vec<u32>,
     /// Per-node fill cursors for the arena's second pass.
@@ -210,6 +219,10 @@ pub struct Executor<'a> {
     /// Per-node own transmission this round (senders hear themselves under
     /// CR2–CR4).
     own_buf: Vec<Option<Message>>,
+    /// Reusable buffer materializing one node's reaching messages for
+    /// [`Adversary::resolve_cr4`] (which, as a public API, still sees
+    /// `&[Message]`, in the historical order).
+    cr4_scratch: Vec<Message>,
 }
 
 impl<'a> Executor<'a> {
@@ -220,6 +233,11 @@ impl<'a> Executor<'a> {
     ///
     /// `processes` must be supplied in process-id order with ids `0..n`.
     ///
+    /// This is the boxed-dispatch compatibility path: the vector becomes a
+    /// `Mixed` table of [`ProcessSlot::Custom`] entries with unchanged
+    /// virtual-call behavior. Prefer [`Executor::from_slots`] for built-in
+    /// automata, which enables the batched enum-dispatch fast path.
+    ///
     /// # Errors
     ///
     /// Returns a [`BuildExecutorError`] on process/network size mismatch,
@@ -227,18 +245,56 @@ impl<'a> Executor<'a> {
     pub fn new(
         network: &'a DualGraph,
         processes: Vec<Box<dyn Process>>,
+        adversary: Box<dyn Adversary>,
+        config: ExecutorConfig,
+    ) -> Result<Self, BuildExecutorError> {
+        Self::from_table(
+            network,
+            ProcessTable::from_boxed(processes),
+            adversary,
+            config,
+        )
+    }
+
+    /// Builds an executor from enum-dispatched slots (see
+    /// [`Executor::new`] for the contract). A homogeneous slot vector gets
+    /// the batched fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildExecutorError`] on process/network size mismatch,
+    /// non-canonical ids, or a malformed adversary assignment.
+    pub fn from_slots(
+        network: &'a DualGraph,
+        slots: Vec<ProcessSlot>,
+        adversary: Box<dyn Adversary>,
+        config: ExecutorConfig,
+    ) -> Result<Self, BuildExecutorError> {
+        Self::from_table(network, ProcessTable::from_slots(slots), adversary, config)
+    }
+
+    /// Builds an executor from an already-assembled process table (in
+    /// process-id order; see [`Executor::new`] for the contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildExecutorError`] on process/network size mismatch,
+    /// non-canonical ids, or a malformed adversary assignment.
+    pub fn from_table(
+        network: &'a DualGraph,
+        table: ProcessTable,
         mut adversary: Box<dyn Adversary>,
         config: ExecutorConfig,
     ) -> Result<Self, BuildExecutorError> {
         let n = network.len();
-        if processes.len() != n {
+        if table.len() != n {
             return Err(BuildExecutorError::ProcessCountMismatch {
-                processes: processes.len(),
+                processes: table.len(),
                 nodes: n,
             });
         }
-        for (i, p) in processes.iter().enumerate() {
-            if p.id() != ProcessId::from_index(i) {
+        for i in 0..n {
+            if table.get(i).id() != ProcessId::from_index(i) {
                 return Err(BuildExecutorError::NonCanonicalIds { position: i });
             }
         }
@@ -247,16 +303,9 @@ impl<'a> Executor<'a> {
             return Err(BuildExecutorError::BadAssignment);
         }
 
-        // Place processes on nodes.
-        let mut slots: Vec<Option<Box<dyn Process>>> = processes.into_iter().map(Some).collect();
-        let procs: Vec<Box<dyn Process>> = (0..n)
-            .map(|node| {
-                let pid = assignment.process_at(NodeId::from_index(node));
-                slots[pid.index()]
-                    .take()
-                    .expect("assignment is a bijection")
-            })
-            .collect();
+        // Place processes on nodes: position `node` receives the process
+        // `assignment.process_at(node)` (table input is in ProcessId order).
+        let procs = table.place(&assignment);
 
         let mut exec = Executor {
             network,
@@ -279,6 +328,7 @@ impl<'a> Executor<'a> {
             arena_off: vec![0; n + 1],
             cursor: vec![0; n],
             own_buf: vec![None; n],
+            cr4_scratch: Vec::new(),
         };
 
         // Pre-round-1 activations.
@@ -289,7 +339,8 @@ impl<'a> Executor<'a> {
             round_tag: None,
             sender: src_pid,
         };
-        exec.procs[src.index()].on_activate(ActivationCause::Input(input));
+        exec.procs
+            .activate(src.index(), ActivationCause::Input(input));
         exec.active_from[src.index()] = Some(1);
         exec.informed.insert(src.index());
         exec.first_receive[src.index()] = Some(0);
@@ -297,7 +348,7 @@ impl<'a> Executor<'a> {
         if config.start == StartRule::Synchronous {
             for node in 0..n {
                 if node != src.index() {
-                    exec.procs[node].on_activate(ActivationCause::SynchronousStart);
+                    exec.procs.activate(node, ActivationCause::SynchronousStart);
                     exec.active_from[node] = Some(1);
                 }
             }
@@ -337,7 +388,13 @@ impl<'a> Executor<'a> {
 
     /// Read access to the process currently at `node`.
     pub fn process_at(&self, node: NodeId) -> &dyn Process {
-        self.procs[node.index()].as_ref()
+        self.procs.get(node.index())
+    }
+
+    /// `true` when the process table is homogeneous and the round loop
+    /// uses the batched enum-dispatch fast path (diagnostic).
+    pub fn uses_batched_dispatch(&self) -> bool {
+        self.procs.is_batched()
     }
 
     /// The recorded trace (empty unless tracing was enabled).
@@ -362,18 +419,11 @@ impl<'a> Executor<'a> {
             self.own_buf[u.index()] = None;
         }
 
-        // Phase 1: send decisions.
+        // Phase 1: batched send decisions (one variant dispatch for the
+        // whole sweep when the table is homogeneous).
         self.senders_buf.clear();
-        for node in 0..n {
-            if let Some(from) = self.active_from[node] {
-                if from <= t {
-                    let local = t - from + 1;
-                    if let Some(msg) = self.procs[node].transmit(local) {
-                        self.senders_buf.push((NodeId::from_index(node), msg));
-                    }
-                }
-            }
-        }
+        self.procs
+            .transmit_all(t, &self.active_from, &mut self.senders_buf);
         self.sends += self.senders_buf.len() as u64;
 
         // Phase 2a: adversary deliveries, flattened sender by sender (one
@@ -415,14 +465,15 @@ impl<'a> Executor<'a> {
         }
 
         // Phase 2b: two-pass arena fill. First count each node's reaching
-        // messages, prefix-sum into per-node ranges, then write messages at
-        // the per-node cursors — visiting senders in the same order as the
-        // counting pass, so each node's reaching set keeps the historical
-        // per-node order (sender node order; self, then `G` out-row, then
-        // adversary extras).
+        // transmissions, prefix-sum into per-node ranges, then write
+        // **sender indices** at the per-node cursors — visiting senders in
+        // the same order as the counting pass, so each node's reaching set
+        // keeps the historical per-node order (sender node order; self,
+        // then `G` out-row, then adversary extras).
         {
             let Executor {
                 network,
+                config,
                 senders_buf,
                 extra_flat,
                 extra_ranges,
@@ -433,6 +484,9 @@ impl<'a> Executor<'a> {
                 ..
             } = self;
             let reliable = network.reliable_csr();
+            for &(u, msg) in senders_buf.iter() {
+                own_buf[u.index()] = Some(msg);
+            }
             cursor.fill(0);
             for (i, &(u, _)) in senders_buf.iter().enumerate() {
                 cursor[u.index()] += 1;
@@ -450,33 +504,45 @@ impl<'a> Executor<'a> {
                 acc += cursor[v];
                 arena_off[v + 1] = acc;
             }
-            cursor.copy_from_slice(&arena_off[..n]);
-            // Grow-only: every live slot `< acc` is overwritten through the
-            // cursors below, and reads are bounded by `arena_off`, so stale
-            // entries past `acc` are never observed. This avoids an O(total)
-            // dummy-fill per round.
-            if arena.len() < acc as usize {
-                arena.resize(acc as usize, Message::signal(ProcessId(0)));
-            }
-            for (i, &(u, msg)) in senders_buf.iter().enumerate() {
-                own_buf[u.index()] = Some(msg);
-                // A sender's message always reaches itself and all
-                // G-out-neighbors; the adversary picks among the rest.
-                arena[cursor[u.index()] as usize] = msg;
-                cursor[u.index()] += 1;
-                for &v in reliable.row(u) {
-                    arena[cursor[v.index()] as usize] = msg;
-                    cursor[v.index()] += 1;
+            // Dense-round fast path: when *every* node transmitted under
+            // CR2-CR4, no reaching list is ever read — each sender hears
+            // its own message, and collision statistics only need the
+            // per-node counts already in `arena_off`. Skip the entire
+            // write pass (the dominant cost of flooding-style rounds).
+            let lists_needed = senders_buf.len() < n || config.rule == CollisionRule::Cr1;
+            if lists_needed {
+                cursor.copy_from_slice(&arena_off[..n]);
+                // Grow-only: every live slot `< acc` is overwritten through
+                // the cursors below, and reads are bounded by `arena_off`,
+                // so stale entries past `acc` are never observed. This
+                // avoids an O(total) dummy-fill per round.
+                if arena.len() < acc as usize {
+                    arena.resize(acc as usize, 0);
                 }
-                let (s, e) = extra_ranges[i];
-                for &v in &extra_flat[s as usize..e as usize] {
-                    arena[cursor[v.index()] as usize] = msg;
-                    cursor[v.index()] += 1;
+                for (i, &(u, _)) in senders_buf.iter().enumerate() {
+                    let idx = i as u32;
+                    // A sender's message always reaches itself and all
+                    // G-out-neighbors; the adversary picks among the rest.
+                    arena[cursor[u.index()] as usize] = idx;
+                    cursor[u.index()] += 1;
+                    for &v in reliable.row(u) {
+                        arena[cursor[v.index()] as usize] = idx;
+                        cursor[v.index()] += 1;
+                    }
+                    let (s, e) = extra_ranges[i];
+                    for &v in &extra_flat[s as usize..e as usize] {
+                        arena[cursor[v.index()] as usize] = idx;
+                        cursor[v.index()] += 1;
+                    }
                 }
             }
         }
 
-        // Phase 3: collision resolution per node.
+        // Phase 3: collision resolution per node, on the index arena. This
+        // mirrors `collision::resolve` exactly (the reference oracle still
+        // goes through it; the differential suite pins the two together),
+        // but reads at most one message out of each reaching set — only a
+        // CR4 adversary choice materializes the full set.
         self.receptions_buf.clear();
         {
             let Executor {
@@ -491,6 +557,7 @@ impl<'a> Executor<'a> {
                 receptions_buf,
                 config,
                 physical_collisions,
+                cr4_scratch,
                 ..
             } = self;
             let ctx = RoundContext {
@@ -500,45 +567,78 @@ impl<'a> Executor<'a> {
                 senders: senders_buf,
                 informed,
             };
+            let msg_of = |idx: u32| senders_buf[idx as usize].1;
             for node in 0..n {
-                let reaching = &arena[arena_off[node] as usize..arena_off[node + 1] as usize];
-                let sent = own_buf[node].is_some();
+                // Reaching-set length from the offsets; the index list
+                // itself is sliced lazily — after a dense-round fast path
+                // (write pass skipped) only the length is valid, and only
+                // the length is ever needed.
+                let (start, end) = (arena_off[node] as usize, arena_off[node + 1] as usize);
+                let len = end - start;
                 // Fast path for the common idle node: nothing reached it
                 // and it did not send, so every rule resolves to silence.
-                if reaching.is_empty() && !sent {
-                    receptions_buf.push(Reception::Silence);
+                let Some(own) = own_buf[node] else {
+                    let reception = match len {
+                        0 => Reception::Silence,
+                        1 => Reception::Message(msg_of(arena[start])),
+                        _ => {
+                            *physical_collisions += 1;
+                            match config.rule {
+                                CollisionRule::Cr1 | CollisionRule::Cr2 => Reception::Collision,
+                                CollisionRule::Cr3 => Reception::Silence,
+                                CollisionRule::Cr4 => {
+                                    cr4_scratch.clear();
+                                    cr4_scratch
+                                        .extend(arena[start..end].iter().map(|&i| msg_of(i)));
+                                    match adversary.resolve_cr4(
+                                        &ctx,
+                                        NodeId::from_index(node),
+                                        cr4_scratch,
+                                    ) {
+                                        collision::Cr4Resolution::Silence => Reception::Silence,
+                                        collision::Cr4Resolution::Deliver(i) => {
+                                            assert!(
+                                                i < cr4_scratch.len(),
+                                                "CR4 delivery index out of bounds"
+                                            );
+                                            Reception::Message(cr4_scratch[i])
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    receptions_buf.push(reception);
                     continue;
-                }
-                if reaching.len() >= 2 {
+                };
+                // Senders: own message always reaches them; CR1 senders
+                // detect collisions, CR2-CR4 senders hear themselves.
+                if len >= 2 {
                     *physical_collisions += 1;
                 }
-                let reception =
-                    collision::resolve(config.rule, sent, reaching, own_buf[node], |msgs| {
-                        adversary.resolve_cr4(&ctx, NodeId::from_index(node), msgs)
-                    });
+                let reception = match config.rule {
+                    CollisionRule::Cr1 => match len {
+                        0 => unreachable!("a sender's own message always reaches it"),
+                        1 => Reception::Message(msg_of(arena[start])),
+                        _ => Reception::Collision,
+                    },
+                    _ => Reception::Message(own),
+                };
                 receptions_buf.push(reception);
             }
         }
 
-        // Phase 4: deliveries, activations, bookkeeping.
+        // Phase 4: batched deliveries/activations, then informed-set
+        // bookkeeping (process-free, so splitting it off the process sweep
+        // changes no observable order).
+        self.procs
+            .receive_all(t, &mut self.active_from, &self.receptions_buf);
         let mut newly_informed = Vec::new();
         for node in 0..n {
-            let reception = self.receptions_buf[node];
-            let got_payload = reception.message().and_then(|m| m.payload).is_some();
-            match self.active_from[node] {
-                Some(from) if from <= t => {
-                    let local = t - from + 1;
-                    self.procs[node].receive(local, reception);
-                }
-                _ => {
-                    // Sleeping (asynchronous start): only an actual message
-                    // activates; the message is delivered via the cause.
-                    if let Reception::Message(m) = reception {
-                        self.procs[node].on_activate(ActivationCause::Reception(m));
-                        self.active_from[node] = Some(t + 1);
-                    }
-                }
-            }
+            let got_payload = self.receptions_buf[node]
+                .message()
+                .and_then(|m| m.payload)
+                .is_some();
             if got_payload && self.informed.insert(node) {
                 self.first_receive[node] = Some(t);
                 newly_informed.push(NodeId::from_index(node));
@@ -637,6 +737,7 @@ impl Clone for Executor<'_> {
             arena_off: self.arena_off.clone(),
             cursor: self.cursor.clone(),
             own_buf: self.own_buf.clone(),
+            cr4_scratch: self.cr4_scratch.clone(),
         }
     }
 }
@@ -660,62 +761,18 @@ mod tests {
     use super::*;
     use crate::adversary::{FullDelivery, ReliableOnly, WithAssignment};
     use crate::collision::CollisionRule;
-    use crate::process::SilentProcess;
+    use crate::process::{Flooder, SilentProcess};
     use crate::trace::TraceLevel;
     use dualgraph_net::generators;
 
-    /// A process that transmits the payload every round once informed.
-    #[derive(Debug, Clone)]
-    struct Flooder {
-        id: ProcessId,
-        informed: bool,
-    }
-
-    impl Flooder {
-        fn new(id: ProcessId) -> Self {
-            Flooder {
-                id,
-                informed: false,
-            }
-        }
-    }
-
-    impl Process for Flooder {
-        fn id(&self) -> ProcessId {
-            self.id
-        }
-        fn on_activate(&mut self, cause: ActivationCause) {
-            if cause.message().and_then(|m| m.payload).is_some() {
-                self.informed = true;
-            }
-        }
-        fn transmit(&mut self, _local: u64) -> Option<Message> {
-            self.informed
-                .then(|| Message::with_payload(self.id, PayloadId(0)))
-        }
-        fn receive(&mut self, _local: u64, r: Reception) {
-            if r.message().and_then(|m| m.payload).is_some() {
-                self.informed = true;
-            }
-        }
-        fn has_payload(&self) -> bool {
-            self.informed
-        }
-        fn clone_box(&self) -> Box<dyn Process> {
-            Box::new(self.clone())
-        }
-    }
-
+    /// The canonical [`Flooder`] (process.rs), boxed — the private copy
+    /// this module used to carry was deduplicated into `process.rs`.
     fn flooders(n: usize) -> Vec<Box<dyn Process>> {
-        (0..n)
-            .map(|i| Box::new(Flooder::new(ProcessId::from_index(i))) as Box<dyn Process>)
-            .collect()
+        Flooder::boxed(n)
     }
 
     fn silents(n: usize) -> Vec<Box<dyn Process>> {
-        (0..n)
-            .map(|i| Box::new(SilentProcess::new(ProcessId::from_index(i))) as Box<dyn Process>)
-            .collect()
+        SilentProcess::boxed(n)
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! The crate provides:
 //!
 //! * [`Process`] — the per-node automaton interface;
+//! * [`ProcessSlot`] / [`ProcessTable`] — enum-dispatched process storage:
+//!   built-in automata (including the [`automata`] module's algorithm
+//!   state machines) run inline through a batched, monomorphized round
+//!   loop instead of two virtual calls per node per round;
 //! * [`Adversary`] — `proc` assignment + unreliable deliveries + CR4
 //!   resolution, with built-ins ([`ReliableOnly`], [`FullDelivery`],
 //!   [`RandomDelivery`], [`BurstyDelivery`], [`WithAssignment`]);
@@ -49,12 +53,14 @@
 #![warn(missing_docs)]
 
 mod adversary;
+pub mod automata;
 mod collision;
 mod engine;
 mod message;
 mod process;
 pub mod reference;
 pub mod rng;
+mod slot;
 mod trace;
 
 pub use adversary::{
@@ -66,6 +72,7 @@ pub use engine::{
     BroadcastOutcome, BuildExecutorError, Executor, ExecutorConfig, RoundSummary, StartRule,
 };
 pub use message::{Message, PayloadId, ProcessId};
-pub use process::{ActivationCause, ChatterProcess, Process, SilentProcess};
+pub use process::{ActivationCause, ChatterProcess, Flooder, Process, SilentProcess};
 pub use reference::ReferenceExecutor;
+pub use slot::{ProcessSlot, ProcessTable};
 pub use trace::{RoundRecord, Trace, TraceLevel};

@@ -116,6 +116,21 @@ impl SilentProcess {
     pub fn is_activated(&self) -> bool {
         self.activated
     }
+
+    /// The `n` silent processes for one execution, ids `0..n`, boxed.
+    pub fn boxed(n: usize) -> Vec<Box<dyn Process>> {
+        (0..n)
+            .map(|i| Box::new(SilentProcess::new(ProcessId::from_index(i))) as Box<dyn Process>)
+            .collect()
+    }
+
+    /// The `n` silent processes for one execution, ids `0..n`, as
+    /// enum-dispatched slots.
+    pub fn slots(n: usize) -> Vec<crate::slot::ProcessSlot> {
+        (0..n)
+            .map(|i| crate::slot::ProcessSlot::Silent(SilentProcess::new(ProcessId::from_index(i))))
+            .collect()
+    }
 }
 
 impl Process for SilentProcess {
@@ -146,6 +161,75 @@ impl Process for SilentProcess {
 
     fn is_terminated(&self) -> bool {
         true
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+/// A process that transmits the payload every round once informed: the
+/// canonical flooding automaton.
+///
+/// Previously duplicated privately by the engine tests and the
+/// model-semantics integration suite; promoted here (next to
+/// [`SilentProcess`]) so every consumer — tests, the dense-flooding bench
+/// workload, examples — shares one definition.
+#[derive(Debug, Clone)]
+pub struct Flooder {
+    id: ProcessId,
+    informed: bool,
+}
+
+impl Flooder {
+    /// Creates an uninformed flooder with the given id.
+    pub fn new(id: ProcessId) -> Self {
+        Flooder {
+            id,
+            informed: false,
+        }
+    }
+
+    /// The `n` flooders for one execution, ids `0..n`, boxed.
+    pub fn boxed(n: usize) -> Vec<Box<dyn Process>> {
+        (0..n)
+            .map(|i| Box::new(Flooder::new(ProcessId::from_index(i))) as Box<dyn Process>)
+            .collect()
+    }
+
+    /// The `n` flooders for one execution, ids `0..n`, as enum-dispatched
+    /// slots.
+    pub fn slots(n: usize) -> Vec<crate::slot::ProcessSlot> {
+        (0..n)
+            .map(|i| crate::slot::ProcessSlot::Flooder(Flooder::new(ProcessId::from_index(i))))
+            .collect()
+    }
+}
+
+impl Process for Flooder {
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        if cause.message().and_then(|m| m.payload).is_some() {
+            self.informed = true;
+        }
+    }
+
+    fn transmit(&mut self, _local_round: u64) -> Option<Message> {
+        self.informed
+            .then(|| Message::with_payload(self.id, crate::message::PayloadId(0)))
+    }
+
+    fn receive(&mut self, _local_round: u64, reception: Reception) {
+        if reception.message().and_then(|m| m.payload).is_some() {
+            self.informed = true;
+        }
+    }
+
+    fn has_payload(&self) -> bool {
+        self.informed
     }
 
     fn clone_box(&self) -> Box<dyn Process> {
@@ -193,6 +277,20 @@ impl ChatterProcess {
             .map(|i| {
                 Box::new(ChatterProcess::new(ProcessId::from_index(i), seed, rate))
                     as Box<dyn Process>
+            })
+            .collect()
+    }
+
+    /// The `n` chatter processes for one execution, ids `0..n`, as
+    /// enum-dispatched slots.
+    pub fn slots(n: usize, seed: u64, rate: u64) -> Vec<crate::slot::ProcessSlot> {
+        (0..n)
+            .map(|i| {
+                crate::slot::ProcessSlot::Chatter(ChatterProcess::new(
+                    ProcessId::from_index(i),
+                    seed,
+                    rate,
+                ))
             })
             .collect()
     }

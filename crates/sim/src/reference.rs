@@ -30,6 +30,7 @@ use crate::engine::{
 };
 use crate::message::{Message, ProcessId};
 use crate::process::{ActivationCause, Process};
+use crate::slot::ProcessSlot;
 use crate::trace::{RoundRecord, Trace};
 
 /// The naive, allocating executor (see the module docs).
@@ -125,6 +126,29 @@ impl<'a> ReferenceExecutor<'a> {
             }
         }
         Ok(exec)
+    }
+
+    /// Builds a reference executor from enum-dispatched slots by unwrapping
+    /// each into its boxed form: the oracle deliberately stays on fully
+    /// virtual dispatch, structurally independent of the optimized engine's
+    /// batched process table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildExecutorError`] on process/network size mismatch,
+    /// non-canonical ids, or a malformed adversary assignment.
+    pub fn from_slots(
+        network: &'a DualGraph,
+        slots: Vec<ProcessSlot>,
+        adversary: Box<dyn Adversary>,
+        config: ExecutorConfig,
+    ) -> Result<Self, BuildExecutorError> {
+        Self::new(
+            network,
+            slots.into_iter().map(ProcessSlot::into_boxed).collect(),
+            adversary,
+            config,
+        )
     }
 
     /// Rounds executed so far.

@@ -1,0 +1,513 @@
+//! Enum-dispatched process slots and the batched process table.
+//!
+//! PR 1's zero-alloc engine left one dominant cost in the round loop: two
+//! virtual calls (`transmit` + `receive`) per node per round through
+//! `Box<dyn Process>`, with every automaton behind its own heap pointer.
+//! This module replaces that representation:
+//!
+//! * [`ProcessSlot`] — an enum with an **inline** variant for every
+//!   built-in automaton plus a [`ProcessSlot::Custom`] boxed escape hatch.
+//!   Dispatching on a slot is a jump-table match instead of a vtable load,
+//!   and built-in automata live by value (no per-process allocation).
+//! * [`ProcessTable`] — the executor's node-indexed process store. A
+//!   *homogeneous* table (all slots the same built-in variant — the common
+//!   case: every algorithm factory builds `n` copies of one automaton) is
+//!   stored as a single typed `Vec`, so [`ProcessTable::transmit_all`] and
+//!   [`ProcessTable::receive_all`] match on the variant **once per round**
+//!   and run a monomorphized, fully inlinable loop over contiguous state.
+//!   Mixed or custom populations fall back to a `Vec<ProcessSlot>` loop
+//!   (per-element match; `Custom` still pays virtual dispatch).
+//!
+//! Both paths call every process in ascending node order with identical
+//! arguments, so outcomes are bit-identical to the boxed representation —
+//! the enum-vs-boxed differential suites enforce this.
+
+use dualgraph_net::NodeId;
+
+use crate::adversary::Assignment;
+use crate::automata::{
+    DecayProcess, HarmonicProcess, RoundRobinProcess, StrongSelectProcess, UniformProcess,
+};
+use crate::collision::Reception;
+use crate::message::{Message, ProcessId};
+use crate::process::{ActivationCause, ChatterProcess, Flooder, Process, SilentProcess};
+
+/// One process, stored either inline (built-in automata) or boxed
+/// (anything else).
+///
+/// Build slots with the `slots()` constructors on the automata /
+/// algorithm factories, with the `From` conversions, or by wrapping an
+/// arbitrary implementation in [`ProcessSlot::Custom`]. `Custom` preserves
+/// exact boxed-dispatch behavior, so downstream `Process` implementations
+/// keep working unchanged — they just don't get the batched fast path.
+#[derive(Debug, Clone)]
+pub enum ProcessSlot {
+    /// [`SilentProcess`], inline.
+    Silent(SilentProcess),
+    /// [`Flooder`], inline.
+    Flooder(Flooder),
+    /// [`ChatterProcess`], inline.
+    Chatter(ChatterProcess),
+    /// [`DecayProcess`], inline.
+    Decay(DecayProcess),
+    /// [`HarmonicProcess`], inline.
+    Harmonic(HarmonicProcess),
+    /// [`RoundRobinProcess`], inline.
+    RoundRobin(RoundRobinProcess),
+    /// [`StrongSelectProcess`], inline.
+    StrongSelect(StrongSelectProcess),
+    /// [`UniformProcess`], inline.
+    Uniform(UniformProcess),
+    /// Escape hatch: any other `Process`, behind its original vtable.
+    Custom(Box<dyn Process>),
+}
+
+/// Delegates an expression to whichever automaton the slot holds.
+macro_rules! match_slot {
+    ($slot:expr, $p:ident => $e:expr) => {
+        match $slot {
+            ProcessSlot::Silent($p) => $e,
+            ProcessSlot::Flooder($p) => $e,
+            ProcessSlot::Chatter($p) => $e,
+            ProcessSlot::Decay($p) => $e,
+            ProcessSlot::Harmonic($p) => $e,
+            ProcessSlot::RoundRobin($p) => $e,
+            ProcessSlot::StrongSelect($p) => $e,
+            ProcessSlot::Uniform($p) => $e,
+            ProcessSlot::Custom($p) => $e,
+        }
+    };
+}
+
+impl ProcessSlot {
+    /// Unwraps into a boxed trait object (the pre-table representation).
+    /// `Custom` returns its existing box; inline variants are boxed as-is,
+    /// preserving behavior exactly.
+    pub fn into_boxed(self) -> Box<dyn Process> {
+        match self {
+            ProcessSlot::Silent(p) => Box::new(p),
+            ProcessSlot::Flooder(p) => Box::new(p),
+            ProcessSlot::Chatter(p) => Box::new(p),
+            ProcessSlot::Decay(p) => Box::new(p),
+            ProcessSlot::Harmonic(p) => Box::new(p),
+            ProcessSlot::RoundRobin(p) => Box::new(p),
+            ProcessSlot::StrongSelect(p) => Box::new(p),
+            ProcessSlot::Uniform(p) => Box::new(p),
+            ProcessSlot::Custom(b) => b,
+        }
+    }
+}
+
+impl Process for ProcessSlot {
+    fn id(&self) -> ProcessId {
+        match_slot!(self, p => p.id())
+    }
+
+    fn on_activate(&mut self, cause: ActivationCause) {
+        match_slot!(self, p => p.on_activate(cause));
+    }
+
+    fn transmit(&mut self, local_round: u64) -> Option<Message> {
+        match_slot!(self, p => p.transmit(local_round))
+    }
+
+    fn receive(&mut self, local_round: u64, reception: Reception) {
+        match_slot!(self, p => p.receive(local_round, reception));
+    }
+
+    fn has_payload(&self) -> bool {
+        match_slot!(self, p => p.has_payload())
+    }
+
+    fn is_terminated(&self) -> bool {
+        match_slot!(self, p => p.is_terminated())
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+}
+
+macro_rules! impl_from_slot {
+    ($($variant:ident($ty:ty)),* $(,)?) => {
+        $(
+            impl From<$ty> for ProcessSlot {
+                fn from(p: $ty) -> Self {
+                    ProcessSlot::$variant(p)
+                }
+            }
+        )*
+    };
+}
+
+impl_from_slot!(
+    Silent(SilentProcess),
+    Flooder(Flooder),
+    Chatter(ChatterProcess),
+    Decay(DecayProcess),
+    Harmonic(HarmonicProcess),
+    RoundRobin(RoundRobinProcess),
+    StrongSelect(StrongSelectProcess),
+    Uniform(UniformProcess),
+    Custom(Box<dyn Process>),
+);
+
+/// The executor's node-indexed process store (see the module docs).
+///
+/// Built from process-id-ordered slots via [`ProcessTable::from_slots`]
+/// (or [`ProcessTable::from_boxed`] for legacy boxed vectors), then
+/// permuted onto nodes with [`ProcessTable::place`].
+#[derive(Debug, Clone)]
+pub struct ProcessTable {
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Silent(Vec<SilentProcess>),
+    Flooder(Vec<Flooder>),
+    Chatter(Vec<ChatterProcess>),
+    Decay(Vec<DecayProcess>),
+    Harmonic(Vec<HarmonicProcess>),
+    RoundRobin(Vec<RoundRobinProcess>),
+    StrongSelect(Vec<StrongSelectProcess>),
+    Uniform(Vec<UniformProcess>),
+    Mixed(Vec<ProcessSlot>),
+}
+
+/// The once-per-call dispatch: selects the monomorphized body for the
+/// table's variant. `Mixed` runs the same body over `ProcessSlot`s (whose
+/// `Process` impl matches per element).
+macro_rules! each_repr {
+    ($repr:expr, $v:ident => $e:expr) => {
+        match $repr {
+            Repr::Silent($v) => $e,
+            Repr::Flooder($v) => $e,
+            Repr::Chatter($v) => $e,
+            Repr::Decay($v) => $e,
+            Repr::Harmonic($v) => $e,
+            Repr::RoundRobin($v) => $e,
+            Repr::StrongSelect($v) => $e,
+            Repr::Uniform($v) => $e,
+            Repr::Mixed($v) => $e,
+        }
+    };
+}
+
+/// Collects a homogeneous slot vector into its typed representation.
+macro_rules! collect_variant {
+    ($slots:expr, $variant:ident) => {
+        Repr::$variant(
+            $slots
+                .into_iter()
+                .map(|s| match s {
+                    ProcessSlot::$variant(p) => p,
+                    _ => unreachable!("homogeneity was checked"),
+                })
+                .collect(),
+        )
+    };
+}
+
+/// Reorders `items` (process-id order) into node order under `assignment`:
+/// position `node` receives the process `assignment.process_at(node)`.
+///
+/// Indexing note (the classic id-space trap this module is audited for):
+/// the *input* is indexed by [`ProcessId`], the *output* by node index.
+fn permute<P>(items: Vec<P>, assignment: &Assignment) -> Vec<P> {
+    let n = items.len();
+    let mut staging: Vec<Option<P>> = items.into_iter().map(Some).collect();
+    (0..n)
+        .map(|node| {
+            let pid = assignment.process_at(NodeId::from_index(node));
+            staging[pid.index()]
+                .take()
+                .expect("assignment is a bijection")
+        })
+        .collect()
+}
+
+impl ProcessTable {
+    /// Builds a table from slots. A non-empty, all-one-built-in-variant
+    /// vector becomes a typed (batched) table; anything else stays
+    /// [`Mixed`](ProcessSlot) with per-element dispatch.
+    pub fn from_slots(slots: Vec<ProcessSlot>) -> Self {
+        let homogeneous = match slots.first() {
+            None | Some(ProcessSlot::Custom(_)) => false,
+            Some(first) => {
+                let d = std::mem::discriminant(first);
+                slots.iter().all(|s| std::mem::discriminant(s) == d)
+            }
+        };
+        if !homogeneous {
+            return ProcessTable {
+                repr: Repr::Mixed(slots),
+            };
+        }
+        let repr = match slots.first().expect("non-empty checked") {
+            ProcessSlot::Silent(_) => collect_variant!(slots, Silent),
+            ProcessSlot::Flooder(_) => collect_variant!(slots, Flooder),
+            ProcessSlot::Chatter(_) => collect_variant!(slots, Chatter),
+            ProcessSlot::Decay(_) => collect_variant!(slots, Decay),
+            ProcessSlot::Harmonic(_) => collect_variant!(slots, Harmonic),
+            ProcessSlot::RoundRobin(_) => collect_variant!(slots, RoundRobin),
+            ProcessSlot::StrongSelect(_) => collect_variant!(slots, StrongSelect),
+            ProcessSlot::Uniform(_) => collect_variant!(slots, Uniform),
+            ProcessSlot::Custom(_) => unreachable!("Custom was excluded above"),
+        };
+        ProcessTable { repr }
+    }
+
+    /// Builds a `Mixed` table of [`ProcessSlot::Custom`] entries: the
+    /// legacy boxed representation, dispatch behavior unchanged.
+    pub fn from_boxed(processes: Vec<Box<dyn Process>>) -> Self {
+        ProcessTable {
+            repr: Repr::Mixed(processes.into_iter().map(ProcessSlot::Custom).collect()),
+        }
+    }
+
+    /// Decomposes the table back into slots (node/current order).
+    pub fn into_slots(self) -> Vec<ProcessSlot> {
+        match self.repr {
+            Repr::Silent(v) => v.into_iter().map(ProcessSlot::Silent).collect(),
+            Repr::Flooder(v) => v.into_iter().map(ProcessSlot::Flooder).collect(),
+            Repr::Chatter(v) => v.into_iter().map(ProcessSlot::Chatter).collect(),
+            Repr::Decay(v) => v.into_iter().map(ProcessSlot::Decay).collect(),
+            Repr::Harmonic(v) => v.into_iter().map(ProcessSlot::Harmonic).collect(),
+            Repr::RoundRobin(v) => v.into_iter().map(ProcessSlot::RoundRobin).collect(),
+            Repr::StrongSelect(v) => v.into_iter().map(ProcessSlot::StrongSelect).collect(),
+            Repr::Uniform(v) => v.into_iter().map(ProcessSlot::Uniform).collect(),
+            Repr::Mixed(v) => v,
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        each_repr!(&self.repr, v => v.len())
+    }
+
+    /// `true` for an empty table.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when the table is homogeneous (typed storage, batched
+    /// monomorphized round loops); `false` for the `Mixed` fallback.
+    pub fn is_batched(&self) -> bool {
+        !matches!(self.repr, Repr::Mixed(_))
+    }
+
+    /// Diagnostic name of the table's storage variant.
+    pub fn kind(&self) -> &'static str {
+        match &self.repr {
+            Repr::Silent(_) => "silent",
+            Repr::Flooder(_) => "flooder",
+            Repr::Chatter(_) => "chatter",
+            Repr::Decay(_) => "decay",
+            Repr::Harmonic(_) => "harmonic",
+            Repr::RoundRobin(_) => "round-robin",
+            Repr::StrongSelect(_) => "strong-select",
+            Repr::Uniform(_) => "uniform",
+            Repr::Mixed(_) => "mixed",
+        }
+    }
+
+    /// Read access to the process at `index` (node index once placed).
+    pub fn get(&self, index: usize) -> &dyn Process {
+        each_repr!(&self.repr, v => &v[index] as &dyn Process)
+    }
+
+    /// Delivers an activation to the process at `index`.
+    pub fn activate(&mut self, index: usize, cause: ActivationCause) {
+        each_repr!(&mut self.repr, v => v[index].on_activate(cause));
+    }
+
+    /// Reorders the table from process-id order into node order under
+    /// `assignment` (homogeneous tables stay homogeneous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != self.len()`.
+    pub fn place(self, assignment: &Assignment) -> Self {
+        assert_eq!(assignment.len(), self.len(), "assignment size mismatch");
+        let repr = match self.repr {
+            Repr::Silent(v) => Repr::Silent(permute(v, assignment)),
+            Repr::Flooder(v) => Repr::Flooder(permute(v, assignment)),
+            Repr::Chatter(v) => Repr::Chatter(permute(v, assignment)),
+            Repr::Decay(v) => Repr::Decay(permute(v, assignment)),
+            Repr::Harmonic(v) => Repr::Harmonic(permute(v, assignment)),
+            Repr::RoundRobin(v) => Repr::RoundRobin(permute(v, assignment)),
+            Repr::StrongSelect(v) => Repr::StrongSelect(permute(v, assignment)),
+            Repr::Uniform(v) => Repr::Uniform(permute(v, assignment)),
+            Repr::Mixed(v) => Repr::Mixed(permute(v, assignment)),
+        };
+        ProcessTable { repr }
+    }
+
+    /// Phase-1 batched send decisions for global round `round`: polls every
+    /// node whose process is active (`active_from[node] <= round`) in
+    /// ascending node order and appends `(node, message)` for each
+    /// transmission.
+    pub fn transmit_all(
+        &mut self,
+        round: u64,
+        active_from: &[Option<u64>],
+        out: &mut Vec<(NodeId, Message)>,
+    ) {
+        fn run<P: Process>(
+            procs: &mut [P],
+            t: u64,
+            active_from: &[Option<u64>],
+            out: &mut Vec<(NodeId, Message)>,
+        ) {
+            for (node, p) in procs.iter_mut().enumerate() {
+                if let Some(from) = active_from[node] {
+                    if from <= t {
+                        if let Some(msg) = p.transmit(t - from + 1) {
+                            out.push((NodeId::from_index(node), msg));
+                        }
+                    }
+                }
+            }
+        }
+        each_repr!(&mut self.repr, v => run(v, round, active_from, out));
+    }
+
+    /// Phase-4 batched end-of-round deliveries for global round `round`,
+    /// in ascending node order: active processes get `receive`; sleeping
+    /// processes (asynchronous start) are activated by an actual message,
+    /// which updates `active_from[node]` to `round + 1`.
+    pub fn receive_all(
+        &mut self,
+        round: u64,
+        active_from: &mut [Option<u64>],
+        receptions: &[Reception],
+    ) {
+        fn run<P: Process>(
+            procs: &mut [P],
+            t: u64,
+            active_from: &mut [Option<u64>],
+            receptions: &[Reception],
+        ) {
+            for (node, p) in procs.iter_mut().enumerate() {
+                match active_from[node] {
+                    Some(from) if from <= t => p.receive(t - from + 1, receptions[node]),
+                    _ => {
+                        // Sleeping: only an actual message activates; the
+                        // message is delivered via the activation cause.
+                        if let Reception::Message(m) = receptions[node] {
+                            p.on_activate(ActivationCause::Reception(m));
+                            active_from[node] = Some(t + 1);
+                        }
+                    }
+                }
+            }
+        }
+        each_repr!(&mut self.repr, v => run(v, round, active_from, receptions));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::PayloadId;
+
+    fn flooder_slots(n: usize) -> Vec<ProcessSlot> {
+        Flooder::slots(n)
+    }
+
+    #[test]
+    fn homogeneous_slots_become_typed_tables() {
+        let table = ProcessTable::from_slots(flooder_slots(4));
+        assert!(table.is_batched());
+        assert_eq!(table.kind(), "flooder");
+        assert_eq!(table.len(), 4);
+        assert_eq!(table.get(2).id(), ProcessId(2));
+    }
+
+    #[test]
+    fn mixed_and_custom_slots_fall_back() {
+        let mut slots = flooder_slots(2);
+        slots.push(ProcessSlot::Silent(SilentProcess::new(ProcessId(2))));
+        let table = ProcessTable::from_slots(slots);
+        assert!(!table.is_batched());
+        assert_eq!(table.kind(), "mixed");
+
+        let boxed = ProcessTable::from_boxed(Flooder::boxed(3));
+        assert!(!boxed.is_batched());
+        assert_eq!(boxed.get(1).id(), ProcessId(1));
+
+        let empty = ProcessTable::from_slots(Vec::new());
+        assert!(empty.is_empty());
+        assert!(!empty.is_batched());
+    }
+
+    #[test]
+    fn place_permutes_by_process_id() {
+        // node 0 <- p2, node 1 <- p0, node 2 <- p1.
+        let assignment =
+            Assignment::from_node_to_proc(vec![ProcessId(2), ProcessId(0), ProcessId(1)]).unwrap();
+        let table = ProcessTable::from_slots(flooder_slots(3)).place(&assignment);
+        assert!(table.is_batched());
+        assert_eq!(table.get(0).id(), ProcessId(2));
+        assert_eq!(table.get(1).id(), ProcessId(0));
+        assert_eq!(table.get(2).id(), ProcessId(1));
+    }
+
+    #[test]
+    fn transmit_and_receive_match_direct_calls() {
+        let msg = Message::with_payload(ProcessId(9), PayloadId(0));
+        let mut table = ProcessTable::from_slots(flooder_slots(3));
+        let mut active = vec![Some(1), Some(1), None];
+        table.activate(0, ActivationCause::Input(msg));
+        table.activate(1, ActivationCause::SynchronousStart);
+
+        let mut sends = Vec::new();
+        table.transmit_all(1, &active, &mut sends);
+        // Only node 0 is informed; node 2 is asleep.
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].0, NodeId(0));
+
+        // Deliver node 0's message to nodes 1 (active) and 2 (sleeping).
+        let receptions = vec![
+            Reception::Message(sends[0].1),
+            Reception::Message(sends[0].1),
+            Reception::Message(sends[0].1),
+        ];
+        table.receive_all(1, &mut active, &receptions);
+        assert_eq!(active[2], Some(2), "message reception activates sleepers");
+        assert!(table.get(1).has_payload());
+        assert!(table.get(2).has_payload());
+    }
+
+    #[test]
+    fn slot_process_impl_delegates() {
+        let mut slot = ProcessSlot::from(SilentProcess::new(ProcessId(5)));
+        assert_eq!(slot.id(), ProcessId(5));
+        assert!(slot.is_terminated());
+        slot.on_activate(ActivationCause::Input(Message::with_payload(
+            ProcessId(5),
+            PayloadId(0),
+        )));
+        assert!(slot.has_payload());
+        assert_eq!(slot.transmit(1), None);
+        let cloned = slot.clone_box();
+        assert!(cloned.has_payload());
+        let boxed = slot.into_boxed();
+        assert_eq!(boxed.id(), ProcessId(5));
+
+        let custom = ProcessSlot::Custom(Box::new(Flooder::new(ProcessId(1))));
+        assert_eq!(custom.id(), ProcessId(1));
+        assert_eq!(custom.into_boxed().id(), ProcessId(1));
+    }
+
+    #[test]
+    fn round_trip_through_slots() {
+        let table = ProcessTable::from_slots(flooder_slots(3));
+        let slots = table.into_slots();
+        assert_eq!(slots.len(), 3);
+        assert!(matches!(slots[0], ProcessSlot::Flooder(_)));
+        let retable = ProcessTable::from_slots(slots);
+        assert!(retable.is_batched());
+    }
+}

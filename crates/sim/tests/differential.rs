@@ -1,32 +1,48 @@
-//! Differential test: the optimized CSR/arena executor against the naive
-//! allocating [`ReferenceExecutor`], round for round, on random topologies
-//! across the full adversary menu.
+//! Differential test: the three engine paths against each other, round for
+//! round, on random topologies across the full adversary menu:
 //!
-//! The two engines share no round-loop code: the reference fills per-node
-//! `Vec<Vec<Message>>` reaching sets and validates deliveries by linear
-//! scan; the optimized engine uses frozen CSR rows and a flat message
-//! arena. Any divergence in message ordering, adversary call order, or
-//! collision resolution shows up as a mismatch here.
+//! 1. **enum** — the optimized CSR/arena executor on a homogeneous batched
+//!    process table ([`Executor::from_slots`], one variant dispatch per
+//!    sweep);
+//! 2. **boxed** — the same executor on `Box<dyn Process>` ([`Executor::new`],
+//!    two virtual calls per node per round — PR 1's dispatch);
+//! 3. **reference** — the naive allocating [`ReferenceExecutor`] oracle.
+//!
+//! The engines share no round-loop code paths for process dispatch: any
+//! divergence in message ordering, adversary call order, collision
+//! resolution, or enum-vs-virtual dispatch shows up as a mismatch here.
 
-use dualgraph_net::{generators, DualGraph};
+use dualgraph_net::{generators, DualGraph, NodeId};
 use dualgraph_sim::{
     Adversary, BurstyDelivery, ChatterProcess, CollisionRule, CollisionSeeker, Executor,
-    ExecutorConfig, FullDelivery, RandomDelivery, ReferenceExecutor, ReliableOnly, StartRule,
-    TraceLevel,
+    ExecutorConfig, FullDelivery, ProcessId, RandomDelivery, ReferenceExecutor, ReliableOnly,
+    StartRule, TraceLevel, WithAssignment,
 };
 
-fn adversary_menu(seed: u64) -> Vec<(&'static str, Box<dyn Adversary>)> {
+/// The full adversary menu as `(name, factory)` pairs — each engine under
+/// comparison gets its own freshly-built (identically-seeded) instance.
+#[allow(clippy::type_complexity)]
+fn adversary_menu(seed: u64) -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn Adversary>>)> {
     vec![
-        ("reliable-only", Box::new(ReliableOnly::new())),
-        ("full-delivery", Box::new(FullDelivery::new())),
-        ("random(0.5)", Box::new(RandomDelivery::new(0.5, seed))),
-        ("bursty", Box::new(BurstyDelivery::new(0.3, 0.3, seed))),
-        ("collision-seeker", Box::new(CollisionSeeker::new())),
+        ("reliable-only", Box::new(|| Box::new(ReliableOnly::new()))),
+        ("full-delivery", Box::new(|| Box::new(FullDelivery::new()))),
+        (
+            "random(0.5)",
+            Box::new(move || Box::new(RandomDelivery::new(0.5, seed))),
+        ),
+        (
+            "bursty",
+            Box::new(move || Box::new(BurstyDelivery::new(0.3, 0.3, seed))),
+        ),
+        (
+            "collision-seeker",
+            Box::new(|| Box::new(CollisionSeeker::new())),
+        ),
     ]
 }
 
-/// Steps both engines side by side, asserting identical `RoundSummary`s,
-/// traces, and `BroadcastOutcome`s every round.
+/// Steps all three engines side by side, asserting identical
+/// `RoundSummary`s, traces, and `BroadcastOutcome`s every round.
 fn assert_engines_agree(
     net: &DualGraph,
     seed: u64,
@@ -36,28 +52,53 @@ fn assert_engines_agree(
     label: &str,
 ) {
     let n = net.len();
-    let mut optimized =
+    let mut enumd =
+        Executor::from_slots(net, ChatterProcess::slots(n, seed, 3), adversary(), config).unwrap();
+    assert!(
+        enumd.uses_batched_dispatch(),
+        "{label}: homogeneous chatter slots must take the batched path"
+    );
+    let mut boxed =
         Executor::new(net, ChatterProcess::boxed(n, seed, 3), adversary(), config).unwrap();
+    assert!(!boxed.uses_batched_dispatch());
     let mut reference =
         ReferenceExecutor::new(net, ChatterProcess::boxed(n, seed, 3), adversary(), config)
             .unwrap();
     for round in 0..max_rounds {
-        let a = optimized.step();
-        let b = reference.step();
-        assert_eq!(a, b, "{label}: round summaries diverged at round {round}");
+        let a = enumd.step();
+        let b = boxed.step();
+        let c = reference.step();
         assert_eq!(
-            optimized.outcome(),
+            a, b,
+            "{label}: enum vs boxed summaries diverged at round {round}"
+        );
+        assert_eq!(
+            b, c,
+            "{label}: boxed vs reference summaries diverged at round {round}"
+        );
+        assert_eq!(
+            enumd.outcome(),
+            boxed.outcome(),
+            "{label}: enum vs boxed outcomes diverged at round {round}"
+        );
+        assert_eq!(
+            boxed.outcome(),
             reference.outcome(),
-            "{label}: outcomes diverged at round {round}"
+            "{label}: boxed vs reference outcomes diverged at round {round}"
         );
         if a.complete {
             break;
         }
     }
     assert_eq!(
-        optimized.trace().records(),
+        enumd.trace().records(),
+        boxed.trace().records(),
+        "{label}: enum vs boxed traces diverged"
+    );
+    assert_eq!(
+        boxed.trace().records(),
         reference.trace().records(),
-        "{label}: traces diverged"
+        "{label}: boxed vs reference traces diverged"
     );
 }
 
@@ -74,19 +115,7 @@ fn optimized_engine_matches_reference_on_random_topologies() {
             },
             topo_seed,
         );
-        for (name, _) in adversary_menu(0) {
-            let make: Box<dyn Fn() -> Box<dyn Adversary>> = match name {
-                "reliable-only" => Box::new(|| Box::new(ReliableOnly::new())),
-                "full-delivery" => Box::new(|| Box::new(FullDelivery::new())),
-                "random(0.5)" => {
-                    Box::new(move || Box::new(RandomDelivery::new(0.5, topo_seed ^ 0xA5)))
-                }
-                "bursty" => {
-                    Box::new(move || Box::new(BurstyDelivery::new(0.3, 0.3, topo_seed ^ 0x5A)))
-                }
-                "collision-seeker" => Box::new(|| Box::new(CollisionSeeker::new())),
-                other => unreachable!("unknown adversary {other}"),
-            };
+        for (name, make) in adversary_menu(topo_seed ^ 0xA5) {
             assert_engines_agree(
                 &net,
                 topo_seed.wrapping_mul(31) ^ 7,
@@ -126,6 +155,130 @@ fn optimized_engine_matches_reference_across_rules_and_starts() {
                 },
                 50,
                 &format!("{rule} / {start}"),
+            );
+        }
+    }
+}
+
+/// Hammers the dense-round fast path (every node transmitting under
+/// CR2-CR4, where the engine skips the reaching-list write pass): flooders
+/// on a clique reach the all-senders steady state after round 1 and stay
+/// there; line topologies cross in and out of it as the frontier moves.
+#[test]
+fn engines_agree_in_all_senders_steady_state() {
+    use dualgraph_sim::Flooder;
+    let topologies: Vec<(&str, DualGraph)> = vec![
+        ("complete", generators::complete(12)),
+        ("line", generators::line(9, 2)),
+        ("star", generators::star(7)),
+    ];
+    for (name, net) in topologies {
+        for rule in CollisionRule::ALL {
+            let n = net.len();
+            let config = ExecutorConfig {
+                rule,
+                start: StartRule::Synchronous,
+                trace: TraceLevel::Full,
+                ..ExecutorConfig::default()
+            };
+            let mut enumd = Executor::from_slots(
+                &net,
+                Flooder::slots(n),
+                Box::new(FullDelivery::new()),
+                config,
+            )
+            .unwrap();
+            let mut boxed = Executor::new(
+                &net,
+                Flooder::boxed(n),
+                Box::new(FullDelivery::new()),
+                config,
+            )
+            .unwrap();
+            let mut reference = ReferenceExecutor::new(
+                &net,
+                Flooder::boxed(n),
+                Box::new(FullDelivery::new()),
+                config,
+            )
+            .unwrap();
+            for round in 0..30 {
+                let a = enumd.step();
+                let b = boxed.step();
+                let c = reference.step();
+                assert_eq!(a, b, "{name}/{rule}: enum vs boxed at round {round}");
+                assert_eq!(b, c, "{name}/{rule}: boxed vs reference at round {round}");
+            }
+            assert_eq!(
+                enumd.trace().records(),
+                reference.trace().records(),
+                "{name}/{rule}: traces diverged"
+            );
+            assert_eq!(enumd.outcome(), reference.outcome(), "{name}/{rule}");
+        }
+    }
+}
+
+/// Satellite audit regression: every `procs[..]` access must use the right
+/// id space (tables are built in `ProcessId` order, then permuted into
+/// node order by the assignment). Under the identity assignment a
+/// node-index/process-id mix-up is invisible; this test forces a
+/// non-identity permutation so any such bug diverges — chatter automata
+/// mix their `ProcessId` into their RNG stream, so a swapped process
+/// changes its transmissions immediately.
+#[test]
+fn engines_agree_under_non_identity_assignments() {
+    let net = generators::er_dual(
+        generators::ErDualParams {
+            n: 17,
+            reliable_p: 0.18,
+            unreliable_p: 0.3,
+        },
+        7,
+    );
+    let n = net.len();
+    let permutations: Vec<(&str, Vec<ProcessId>)> = vec![
+        (
+            "reversed",
+            (0..n).rev().map(ProcessId::from_index).collect(),
+        ),
+        (
+            "rotated",
+            (0..n).map(|i| ProcessId::from_index((i + 5) % n)).collect(),
+        ),
+    ];
+    for (name, perm) in permutations {
+        let perm = &perm;
+        let make = move || {
+            Box::new(WithAssignment::new(
+                RandomDelivery::new(0.5, 23),
+                perm.clone(),
+            )) as Box<dyn Adversary>
+        };
+        assert_engines_agree(
+            &net,
+            99,
+            &make,
+            ExecutorConfig {
+                trace: TraceLevel::Full,
+                ..ExecutorConfig::default()
+            },
+            60,
+            &format!("non-identity assignment ({name})"),
+        );
+        // The placement itself must put process `perm[node]` at `node`.
+        let exec = Executor::from_slots(
+            &net,
+            ChatterProcess::slots(n, 99, 3),
+            make(),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        for node in 0..n {
+            assert_eq!(
+                exec.process_at(NodeId::from_index(node)).id(),
+                perm[node],
+                "{name}: wrong process at node {node}"
             );
         }
     }

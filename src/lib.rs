@@ -54,6 +54,7 @@ pub use dualgraph_broadcast::algorithms::{
 pub use dualgraph_broadcast::runner::{run_broadcast, run_trials, run_trials_par, RunConfig};
 pub use dualgraph_net::{generators, Digraph, DualGraph, NodeId};
 pub use dualgraph_sim::{
-    Adversary, BroadcastOutcome, BurstyDelivery, CollisionRule, Executor, ExecutorConfig,
-    FullDelivery, Message, PayloadId, Process, ProcessId, RandomDelivery, ReliableOnly, StartRule,
+    Adversary, BroadcastOutcome, BurstyDelivery, CollisionRule, Executor, ExecutorConfig, Flooder,
+    FullDelivery, Message, PayloadId, Process, ProcessId, ProcessSlot, ProcessTable,
+    RandomDelivery, ReliableOnly, StartRule,
 };

@@ -5,53 +5,9 @@ use dualgraph::{
     generators, CollisionRule, Executor, ExecutorConfig, Message, NodeId, Process, ProcessId,
     RandomDelivery, ReliableOnly, StartRule,
 };
-use dualgraph_sim::{ActivationCause, Adversary, Reception, RoundContext, TraceLevel};
-
-/// A process that floods (transmits every round once informed).
-#[derive(Debug, Clone)]
-struct Flooder {
-    id: ProcessId,
-    informed: bool,
-}
-
-impl Flooder {
-    fn boxed(n: usize) -> Vec<Box<dyn Process>> {
-        (0..n)
-            .map(|i| {
-                Box::new(Flooder {
-                    id: ProcessId::from_index(i),
-                    informed: false,
-                }) as Box<dyn Process>
-            })
-            .collect()
-    }
-}
-
-impl Process for Flooder {
-    fn id(&self) -> ProcessId {
-        self.id
-    }
-    fn on_activate(&mut self, cause: ActivationCause) {
-        if cause.message().and_then(|m| m.payload).is_some() {
-            self.informed = true;
-        }
-    }
-    fn transmit(&mut self, _l: u64) -> Option<Message> {
-        self.informed
-            .then(|| Message::with_payload(self.id, dualgraph::PayloadId(0)))
-    }
-    fn receive(&mut self, _l: u64, r: Reception) {
-        if r.message().and_then(|m| m.payload).is_some() {
-            self.informed = true;
-        }
-    }
-    fn has_payload(&self) -> bool {
-        self.informed
-    }
-    fn clone_box(&self) -> Box<dyn Process> {
-        Box::new(self.clone())
-    }
-}
+// The canonical flooding automaton (this file used to carry a private
+// duplicate; it was promoted to `dualgraph_sim::Flooder`).
+use dualgraph_sim::{ActivationCause, Adversary, Flooder, Reception, RoundContext, TraceLevel};
 
 /// An adversary that tries to cheat: delivering outside `G′ ∖ G` must be
 /// rejected by the executor.
