@@ -6,10 +6,12 @@
 //! ```
 //!
 //! `NAME` is a csv-name prefix (e.g. `thm12`); omit for all experiments.
-//! `--bench-engine` skips the tables and writes a machine-readable
-//! `BENCH_engine.json` (rounds/sec, ns/round, speedup vs the reference
-//! engine, peak RSS) so future PRs have a perf trajectory to compare
-//! against.
+//! `--bench-engine` and/or `--bench-stream` skip the tables and write one
+//! machine-readable `BENCH_engine.json` (schema v3): the engine section
+//! has rounds/sec, ns/round, and speedups vs the boxed/PR 1/reference
+//! engines; the stream section has the pipelined multi-message family
+//! (n × k payload grid: makespan, throughput, MAC ack latency, and
+//! steady-state ns/round). Future PRs compare against both trajectories.
 
 use std::path::PathBuf;
 
@@ -20,7 +22,8 @@ use dualgraph_bench::workloads::Scale;
 /// Measures engine throughput and renders `BENCH_engine.json` by hand (the
 /// environment has no serde; the format is flat enough not to need it).
 ///
-/// Schema `dualgraph-bench-engine/2`: per size, the **chatter** workload
+/// Schema `dualgraph-bench-engine/3` (engine section): per size, the
+/// **chatter** workload
 /// and the **dense flooding** workload (`Flooder` everywhere; see
 /// `engine_bench` for both definitions), each measured on three engines:
 ///
@@ -39,7 +42,7 @@ use dualgraph_bench::workloads::Scale;
 /// the PR 1 baseline and reference oracle ever execute, so the recorded
 /// footprint is attributable to the live engine (plus network
 /// construction).
-fn bench_engine_json() -> String {
+fn bench_engine_entries() -> (String, String) {
     use dualgraph_bench::engine_bench::{Dispatch, EngineMeasurement};
     const SIZES: [usize; 3] = [65, 257, 1025];
     let rounds_for = |n: usize| -> u64 {
@@ -160,9 +163,89 @@ fn bench_engine_json() -> String {
             )
         })
         .collect();
+    (entries.join(",\n"), rss)
+}
+
+/// Measures the pipelined multi-message stream family (see
+/// `stream_bench`): the `n × k` grid as JSON entries for the schema-v3
+/// `stream_measurements` section.
+fn bench_stream_entries() -> String {
+    use dualgraph_bench::stream_bench;
+    const SIZES: [usize; 3] = [65, 257, 1025];
+    const KS: [usize; 3] = [1, 8, 64];
+    let steady_for = |n: usize| -> u64 {
+        match n {
+            65 => 4000,
+            257 => 2000,
+            _ => 600,
+        }
+    };
+    let mut entries: Vec<String> = Vec::new();
+    for &n in &SIZES {
+        let net = engine_bench::workload_network(n);
+        let mut k1_ns = f64::NAN;
+        for &k in &KS {
+            let m = stream_bench::measure_stream(&net, k, 7, steady_for(n));
+            if k == 1 {
+                k1_ns = m.ns_per_round();
+            }
+            let mac = m.mac();
+            entries.push(format!(
+                concat!(
+                    "    {{\n",
+                    "      \"workload\": \"stream-pipelined-flooding\",\n",
+                    "      \"n\": {},\n",
+                    "      \"k\": {},\n",
+                    "      \"makespan_rounds\": {},\n",
+                    "      \"mean_latency_rounds\": {:.1},\n",
+                    "      \"throughput_payloads_per_round\": {:.4},\n",
+                    "      \"mac_acked\": {},\n",
+                    "      \"mac_max_ack_latency\": {},\n",
+                    "      \"mac_mean_ack_latency\": {:.1},\n",
+                    "      \"steady_rounds\": {},\n",
+                    "      \"steady_ns_per_round\": {:.1},\n",
+                    "      \"steady_rounds_per_sec\": {:.1},\n",
+                    "      \"ns_per_round_vs_k1\": {:.2}\n",
+                    "    }}"
+                ),
+                m.n,
+                m.k,
+                m.outcome.makespan().unwrap_or(0),
+                m.outcome.mean_latency().unwrap_or(0.0),
+                m.outcome.throughput(),
+                mac.acked,
+                mac.max_ack_latency,
+                mac.mean_ack_latency,
+                m.steady.rounds,
+                m.ns_per_round(),
+                m.steady.rounds_per_sec(),
+                m.ns_per_round() / k1_ns,
+            ));
+        }
+    }
+    entries.join(",\n")
+}
+
+/// Assembles the schema-v3 `BENCH_engine.json` document from whichever
+/// sections were requested.
+fn bench_json(engine: bool, stream: bool) -> String {
+    let mut sections: Vec<String> = Vec::new();
+    let mut rss = "null".to_string();
+    if engine {
+        let (entries, engine_rss) = bench_engine_entries();
+        rss = engine_rss;
+        sections.push(format!("  \"measurements\": [\n{entries}\n  ]"));
+    }
+    if stream {
+        let entries = bench_stream_entries();
+        sections.push(format!("  \"stream_measurements\": [\n{entries}\n  ]"));
+        if !engine {
+            rss = engine_bench::peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
+        }
+    }
     format!(
-        "{{\n  \"schema\": \"dualgraph-bench-engine/2\",\n  \"peak_rss_kb\": {rss},\n  \"measurements\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+        "{{\n  \"schema\": \"dualgraph-bench-engine/3\",\n  \"peak_rss_kb\": {rss},\n{}\n}}\n",
+        sections.join(",\n")
     )
 }
 
@@ -171,7 +254,9 @@ fn main() {
     let mut scale = Scale::Full;
     let mut filter: Option<String> = None;
     let mut csv_dir: Option<PathBuf> = Some(PathBuf::from("results"));
-    let mut bench_engine: Option<PathBuf> = None;
+    let mut bench_path: Option<PathBuf> = None;
+    let mut bench_engine = false;
+    let mut bench_stream = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -185,21 +270,24 @@ fn main() {
                 csv_dir = Some(PathBuf::from(args.get(i).expect("--csv needs a dir")));
             }
             "--no-csv" => csv_dir = None,
-            "--bench-engine" => {
-                let path = match args.get(i + 1).filter(|a| !a.starts_with("--")) {
-                    Some(explicit) => {
-                        i += 1;
-                        explicit.clone()
-                    }
-                    None => "BENCH_engine.json".to_string(),
-                };
-                bench_engine = Some(PathBuf::from(path));
+            flag @ ("--bench-engine" | "--bench-stream") => {
+                if flag == "--bench-engine" {
+                    bench_engine = true;
+                } else {
+                    bench_stream = true;
+                }
+                if let Some(explicit) = args.get(i + 1).filter(|a| !a.starts_with("--")) {
+                    i += 1;
+                    bench_path = Some(PathBuf::from(explicit));
+                } else if bench_path.is_none() {
+                    bench_path = Some(PathBuf::from("BENCH_engine.json"));
+                }
             }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: experiments [--quick] [--table NAME] [--csv DIR | --no-csv] \
-                     [--bench-engine [PATH]]"
+                     [--bench-engine [PATH]] [--bench-stream [PATH]]"
                 );
                 std::process::exit(2);
             }
@@ -207,8 +295,8 @@ fn main() {
         i += 1;
     }
 
-    if let Some(path) = bench_engine {
-        let json = bench_engine_json();
+    if let Some(path) = bench_path {
+        let json = bench_json(bench_engine, bench_stream);
         print!("{json}");
         if let Err(e) = std::fs::write(&path, &json) {
             eprintln!("error: failed to write {}: {e}", path.display());

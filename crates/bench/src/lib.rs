@@ -12,4 +12,5 @@ pub mod engine_bench;
 pub mod experiments;
 pub mod pr1_engine;
 pub mod report;
+pub mod stream_bench;
 pub mod workloads;

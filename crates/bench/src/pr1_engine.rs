@@ -105,11 +105,7 @@ impl<'a> Pr1Executor<'a> {
 
         let src = network.source();
         let src_pid = exec.assignment.process_at(src);
-        let input = Message {
-            payload: Some(config.payload),
-            round_tag: None,
-            sender: src_pid,
-        };
+        let input = Message::with_payload(src_pid, config.payload);
         exec.procs[src.index()].on_activate(ActivationCause::Input(input));
         exec.active_from[src.index()] = Some(1);
         exec.informed.insert(src.index());
@@ -281,7 +277,7 @@ impl<'a> Pr1Executor<'a> {
         let mut newly_informed = Vec::new();
         for node in 0..n {
             let reception = self.receptions_buf[node];
-            let got_payload = reception.message().and_then(|m| m.payload).is_some();
+            let got_payload = reception.message().is_some_and(|m| m.carries_payload());
             match self.active_from[node] {
                 Some(from) if from <= t => {
                     let local = t - from + 1;
@@ -392,5 +388,36 @@ mod tests {
             steady_rounds > 50,
             "flooding must reach the all-senders steady state (got {steady_rounds})"
         );
+    }
+
+    /// The baseline under the *frozen* PR 1/PR 2 adversary stream
+    /// (`RandomDelivery::per_edge`): the historical draw-per-edge sampler
+    /// is the one PR 1 actually ran against, so the frozen-engine ×
+    /// frozen-sampler pairing must also stay bit-identical to the live
+    /// engine on that stream.
+    #[test]
+    fn pr1_baseline_matches_on_frozen_per_edge_stream() {
+        let net = crate::engine_bench::workload_network(65);
+        let n = net.len();
+        let mut live = Executor::from_slots(
+            &net,
+            ChatterProcess::slots(n, 7, 3),
+            Box::new(RandomDelivery::per_edge(0.5, 7)),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let mut pr1 = Pr1Executor::new(
+            &net,
+            ChatterProcess::boxed(n, 7, 3),
+            Box::new(RandomDelivery::per_edge(0.5, 7)),
+            ExecutorConfig::default(),
+        );
+        for round in 0..120 {
+            assert_eq!(
+                live.step(),
+                pr1.step(),
+                "per-edge chatter diverged at {round}"
+            );
+        }
     }
 }

@@ -213,11 +213,7 @@ pub fn run_explicit(
     let mut active_from: Vec<Option<u64>> = vec![None; n];
     let mut informed = FixedBitSet::new(n);
     let mut first_receive: Vec<Option<u64>> = vec![None; n];
-    let input = Message {
-        payload: Some(PayloadId(0)),
-        round_tag: None,
-        sender: processes[src].id(),
-    };
+    let input = Message::with_payload(processes[src].id(), PayloadId(0));
     processes[src].on_activate(ActivationCause::Input(input));
     active_from[src] = Some(1);
     informed.insert(src);
@@ -308,7 +304,7 @@ pub fn run_explicit(
             .collect();
 
         for (v, reception) in receptions.iter().enumerate() {
-            let got_payload = reception.message().and_then(|m| m.payload).is_some();
+            let got_payload = reception.message().is_some_and(|m| m.carries_payload());
             match active_from[v] {
                 Some(from) if from <= t => {
                     processes[v].receive(t - from + 1, *reception);

@@ -47,3 +47,4 @@ pub mod lower_bounds;
 pub mod repeated;
 pub mod runner;
 pub mod stats;
+pub mod stream;

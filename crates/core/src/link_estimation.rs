@@ -55,7 +55,7 @@ impl Process for ProbeProcess {
     }
 
     fn on_activate(&mut self, cause: ActivationCause) {
-        if cause.message().and_then(|m| m.payload).is_some() {
+        if cause.message().is_some_and(|m| m.carries_payload()) {
             self.informed = true;
         }
     }
@@ -65,7 +65,7 @@ impl Process for ProbeProcess {
     }
 
     fn receive(&mut self, _local_round: u64, reception: Reception) {
-        if reception.message().and_then(|m| m.payload).is_some() {
+        if reception.message().is_some_and(|m| m.carries_payload()) {
             self.informed = true;
         }
     }

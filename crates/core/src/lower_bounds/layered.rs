@@ -147,11 +147,10 @@ enum Delivery {
 impl PState {
     fn new(algorithm: &dyn BroadcastAlgorithm, n: usize) -> Self {
         let mut procs = algorithm.slots(n, 0);
-        procs[0].on_activate(ActivationCause::Input(Message {
-            payload: Some(PayloadId(0)),
-            round_tag: None,
-            sender: ProcessId(0),
-        }));
+        procs[0].on_activate(ActivationCause::Input(Message::with_payload(
+            ProcessId(0),
+            PayloadId(0),
+        )));
         for p in procs.iter_mut().skip(1) {
             p.on_activate(ActivationCause::SynchronousStart);
         }

@@ -59,7 +59,7 @@ impl ScheduledProcess {
     }
 
     fn absorb(&mut self, m: &Message, local: u64) {
-        if let Some(p) = m.payload {
+        if let Some(p) = m.payload() {
             self.payload = Some(p);
         }
         if self.global_offset.is_none() {
@@ -78,7 +78,7 @@ impl Process for ScheduledProcess {
     fn on_activate(&mut self, cause: ActivationCause) {
         match cause {
             ActivationCause::Input(m) => {
-                self.payload = m.payload;
+                self.payload = m.payload();
                 self.global_offset = Some(0);
             }
             ActivationCause::SynchronousStart => self.global_offset = Some(0),
@@ -90,11 +90,7 @@ impl Process for ScheduledProcess {
         let payload = self.payload?;
         let global = self.global_offset? + local_round;
         let scheduled = *self.slots.get(global as usize - 1)?;
-        (scheduled.index() == self.id.index()).then_some(Message {
-            payload: Some(payload),
-            round_tag: Some(global),
-            sender: self.id,
-        })
+        (scheduled.index() == self.id.index()).then_some(Message::tagged(self.id, payload, global))
     }
 
     fn receive(&mut self, local_round: u64, reception: Reception) {

@@ -1,0 +1,626 @@
+//! Pipelined multi-message stream workloads — the §8 "repeated broadcast"
+//! future work, run as one execution instead of `R` restarts.
+//!
+//! A *stream* is a plan of payload **arrivals** (`k` payloads, handed by
+//! the environment to source nodes at planned rounds) pushed through a
+//! pipelined automaton population ([`PipelinedFlooder`] /
+//! [`PipelinedHarmonic`]), driven through the abstract MAC layer
+//! ([`MacLayer`]) so every delivery and acknowledgment is observable as an
+//! event. The runner collects per-payload latency, stream throughput in
+//! payloads/round, and the MAC layer's measured progress/ack bounds.
+//!
+//! Model caveat that shapes the defaults: under CR2–CR4 a transmitting
+//! node hears only itself, so the always-transmit [`PipelinedFlooder`]
+//! can pipeline a stream from **one** source (the wavefront carries the
+//! union outward) but cannot mix flows from multiple sources — opposing
+//! waves meet and stall. Multi-source plans therefore default to
+//! [`PipelinedHarmonic`], whose probabilistic silence gives every node
+//! listening rounds. `examples/multi_message.rs` demonstrates both
+//! regimes.
+//!
+//! [`MacLayer`]: dualgraph_sim::MacLayer
+
+use dualgraph_net::{DualGraph, NodeId};
+use dualgraph_sim::automata::{PipelinedFlooder, PipelinedHarmonic};
+use dualgraph_sim::rng::{derive_seed, derive_seed2};
+use dualgraph_sim::{
+    Adversary, BuildExecutorError, CollisionRule, Executor, ExecutorConfig, MacEvent, MacLayer,
+    MacStats, PayloadId, ProcessId, ProcessSlot, StartRule, TraceLevel, MAX_PAYLOADS,
+};
+
+use crate::algorithms::period_for;
+
+/// How stream payloads arrive over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// All `k` payloads are available before round 1 (a full send queue).
+    Batch,
+    /// Independent geometric interarrival gaps with the given mean (the
+    /// discrete-time Poisson process), seeded from the stream seed.
+    Poisson {
+        /// Mean rounds between consecutive arrivals (≥ 1).
+        mean_gap: f64,
+    },
+}
+
+/// Where stream payloads originate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourcePlacement {
+    /// Every payload arrives at the network source: the single-producer
+    /// stream (the regime where pipelined *flooding* shines).
+    Single,
+    /// Payload `i` arrives at node `⌊i·n/k⌋`: `k` producers spread over
+    /// the node space (payload 0 stays at the network source, which the
+    /// executor seeds before round 1).
+    Spread,
+}
+
+/// One planned environment input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// The payload (dense ids `0..k`).
+    pub payload: PayloadId,
+    /// The node receiving the environment input.
+    pub node: NodeId,
+    /// Round after which the payload is available (`0` = before round 1);
+    /// its first transmit opportunity is round `round + 1`.
+    pub round: u64,
+}
+
+/// The pipelined automaton population pushing the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamAlgorithm {
+    /// [`PipelinedFlooder`] everywhere: maximum throughput for
+    /// single-source streams; cannot mix multi-source flows under CR2–CR4
+    /// (see the module docs).
+    PipelinedFlooding,
+    /// [`PipelinedHarmonic`] everywhere, period `T = ⌈12 ln(n/ε)⌉` (the
+    /// §7 parameterization); silence doubles as listening time, so
+    /// multi-source streams mix.
+    PipelinedHarmonic {
+        /// Failure budget `ε ∈ (0, 1)` for the period derivation.
+        epsilon: f64,
+    },
+}
+
+impl StreamAlgorithm {
+    /// Table/CSV name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamAlgorithm::PipelinedFlooding => "pipelined-flooding",
+            StreamAlgorithm::PipelinedHarmonic { .. } => "pipelined-harmonic",
+        }
+    }
+
+    /// Builds the `n` process slots, ids `0..n`. Harmonic per-process
+    /// seeds are `derive_seed(seed, i)` — the same derivation as the
+    /// single-message `Harmonic` factory, so a `k = 1` stream is
+    /// draw-for-draw the single-payload algorithm.
+    pub fn slots(&self, n: usize, seed: u64) -> Vec<ProcessSlot> {
+        match self {
+            StreamAlgorithm::PipelinedFlooding => PipelinedFlooder::slots(n),
+            StreamAlgorithm::PipelinedHarmonic { epsilon } => {
+                let t = period_for(n, *epsilon);
+                (0..n)
+                    .map(|i| {
+                        ProcessSlot::PipelinedHarmonic(PipelinedHarmonic::new(
+                            ProcessId::from_index(i),
+                            t,
+                            derive_seed(seed, i as u64),
+                        ))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Configuration of one stream run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Number of payloads in the stream (`1..=MAX_PAYLOADS`).
+    pub k: usize,
+    /// Arrival process.
+    pub arrivals: Arrivals,
+    /// Producer placement.
+    pub sources: SourcePlacement,
+    /// Collision rule in force.
+    pub rule: CollisionRule,
+    /// Start rule in force.
+    pub start: StartRule,
+    /// Hard stop: give up after this many rounds.
+    pub max_rounds: u64,
+    /// Master seed (arrival gaps, automaton RNGs).
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    /// The upper-bound setting (CR4, asynchronous start), one batch
+    /// payload from the network source.
+    fn default() -> Self {
+        StreamConfig {
+            k: 1,
+            arrivals: Arrivals::Batch,
+            sources: SourcePlacement::Single,
+            rule: CollisionRule::Cr4,
+            start: StartRule::Asynchronous,
+            max_rounds: 1_000_000,
+            seed: 0,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Replaces the payload count.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Expands a [`StreamConfig`] into the concrete arrival plan, sorted by
+/// round (payload 0 first at round 0 — the executor's pre-round-1 source
+/// input).
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or exceeds [`MAX_PAYLOADS`], or if a Poisson mean
+/// gap is below 1.
+pub fn plan_arrivals(network: &DualGraph, config: &StreamConfig) -> Vec<Arrival> {
+    assert!(config.k >= 1, "a stream needs at least one payload");
+    assert!(
+        config.k <= MAX_PAYLOADS,
+        "k exceeds the dense payload universe ({MAX_PAYLOADS})"
+    );
+    let n = network.len();
+    let node_of = |i: usize| -> NodeId {
+        match config.sources {
+            SourcePlacement::Single => network.source(),
+            SourcePlacement::Spread => {
+                if i == 0 {
+                    network.source()
+                } else {
+                    NodeId::from_index((i * n / config.k) % n)
+                }
+            }
+        }
+    };
+    let mut round = 0u64;
+    let mut gap_rng_state = derive_seed2(config.seed, 0xA1, 0);
+    (0..config.k)
+        .map(|i| {
+            if i > 0 {
+                round += match config.arrivals {
+                    Arrivals::Batch => 0,
+                    Arrivals::Poisson { mean_gap } => {
+                        assert!(mean_gap >= 1.0, "mean interarrival gap must be >= 1");
+                        // Geometric(1/mean) on a SplitMix64 stream via the
+                        // shared inversion helper: mean ~ mean_gap,
+                        // support {1, 2, ...}.
+                        gap_rng_state = dualgraph_sim::rng::splitmix64(gap_rng_state);
+                        1u64.saturating_add(dualgraph_sim::rng::geometric_gap_from_bits(
+                            gap_rng_state,
+                            1.0 / mean_gap,
+                        ))
+                    }
+                };
+            }
+            Arrival {
+                payload: PayloadId(i as u64),
+                node: node_of(i),
+                round,
+            }
+        })
+        .collect()
+}
+
+/// Per-payload stream bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayloadStat {
+    /// The payload.
+    pub payload: PayloadId,
+    /// Where it entered the network.
+    pub source: NodeId,
+    /// When it entered (`0` = before round 1).
+    pub arrival_round: u64,
+    /// Round by whose end every node knew it (`None` = never, within the
+    /// round budget).
+    pub completion_round: Option<u64>,
+}
+
+impl PayloadStat {
+    /// Arrival-to-full-coverage latency.
+    pub fn latency(&self) -> Option<u64> {
+        self.completion_round.map(|c| c - self.arrival_round)
+    }
+}
+
+/// Result of one stream run.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Per-payload stats, in payload-id order.
+    pub payloads: Vec<PayloadStat>,
+    /// Rounds executed.
+    pub rounds_executed: u64,
+    /// `true` when every payload reached every node.
+    pub completed: bool,
+    /// The MAC layer's measured progress/acknowledgment latencies.
+    pub mac: MacStats,
+}
+
+impl StreamOutcome {
+    /// Round by whose end the *last* payload completed.
+    pub fn makespan(&self) -> Option<u64> {
+        self.completed
+            .then(|| {
+                self.payloads
+                    .iter()
+                    .filter_map(|p| p.completion_round)
+                    .max()
+            })
+            .flatten()
+    }
+
+    /// Delivered payloads per executed round.
+    pub fn throughput(&self) -> f64 {
+        let done = self
+            .payloads
+            .iter()
+            .filter(|p| p.completion_round.is_some())
+            .count();
+        done as f64 / self.rounds_executed.max(1) as f64
+    }
+
+    /// Mean per-payload latency over completed payloads.
+    pub fn mean_latency(&self) -> Option<f64> {
+        let lats: Vec<u64> = self.payloads.iter().filter_map(|p| p.latency()).collect();
+        (!lats.is_empty()).then(|| lats.iter().sum::<u64>() as f64 / lats.len() as f64)
+    }
+
+    /// Maximum per-payload latency over completed payloads.
+    pub fn max_latency(&self) -> Option<u64> {
+        self.payloads.iter().filter_map(|p| p.latency()).max()
+    }
+}
+
+/// Runs one pipelined stream: plans arrivals, wires the automata into the
+/// executor, drives everything through the MAC layer, and aggregates the
+/// stream metrics. Stops when every payload covers every node or at
+/// `config.max_rounds`.
+///
+/// # Errors
+///
+/// Propagates [`BuildExecutorError`] from executor construction.
+///
+/// # Panics
+///
+/// Panics on an invalid plan (`k` out of range; see [`plan_arrivals`]).
+pub fn run_stream(
+    network: &DualGraph,
+    algorithm: StreamAlgorithm,
+    adversary: Box<dyn Adversary>,
+    config: &StreamConfig,
+) -> Result<StreamOutcome, BuildExecutorError> {
+    run_stream_session(network, algorithm, adversary, config).map(|(outcome, _)| outcome)
+}
+
+/// [`run_stream`], additionally returning the [`MacLayer`] (and thus the
+/// executor) in its end-of-stream state — the stream bench continues
+/// stepping it to time the all-senders steady state, and there must be
+/// exactly one copy of the drive loop for the two to agree on.
+///
+/// # Errors
+///
+/// Propagates [`BuildExecutorError`] from executor construction.
+///
+/// # Panics
+///
+/// Panics on an invalid plan (`k` out of range; see [`plan_arrivals`]).
+pub fn run_stream_session<'a>(
+    network: &'a DualGraph,
+    algorithm: StreamAlgorithm,
+    adversary: Box<dyn Adversary>,
+    config: &StreamConfig,
+) -> Result<(StreamOutcome, MacLayer<'a>), BuildExecutorError> {
+    let plan = plan_arrivals(network, config);
+    let n = network.len();
+    let exec = Executor::from_slots(
+        network,
+        algorithm.slots(n, config.seed),
+        adversary,
+        ExecutorConfig {
+            rule: config.rule,
+            start: config.start,
+            trace: TraceLevel::Off,
+            payload: plan[0].payload,
+        },
+    )?;
+    let mut mac = MacLayer::new(exec);
+
+    let mut stats: Vec<PayloadStat> = plan
+        .iter()
+        .map(|a| PayloadStat {
+            payload: a.payload,
+            source: a.node,
+            arrival_round: a.round,
+            completion_round: None,
+        })
+        .collect();
+    // The injection node knows its payload from the arrival on; `rcv`
+    // events count everyone else.
+    let mut coverage: Vec<usize> = vec![1; config.k];
+    let mut incomplete = config.k;
+    if n == 1 {
+        for s in stats.iter_mut() {
+            s.completion_round = Some(s.arrival_round);
+        }
+        incomplete = 0;
+    }
+
+    // Payload 0 at round 0 is the executor's own pre-round-1 source input.
+    let mut next_arrival = 1;
+    while incomplete > 0 && mac.round() < config.max_rounds {
+        while next_arrival < plan.len() && plan[next_arrival].round <= mac.round() {
+            let a = plan[next_arrival];
+            mac.bcast(a.node, a.payload);
+            next_arrival += 1;
+        }
+        let round = mac.round() + 1;
+        for event in mac.step() {
+            if let MacEvent::Rcv { payload, .. } = event {
+                let i = payload.0 as usize;
+                coverage[i] += 1;
+                if coverage[i] == n && stats[i].completion_round.is_none() {
+                    stats[i].completion_round = Some(round);
+                    incomplete -= 1;
+                }
+            }
+        }
+    }
+
+    let outcome = StreamOutcome {
+        payloads: stats,
+        rounds_executed: mac.round(),
+        completed: incomplete == 0,
+        mac: mac.stats(),
+    };
+    Ok((outcome, mac))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualgraph_net::generators;
+    use dualgraph_sim::{RandomDelivery, ReliableOnly};
+
+    #[test]
+    fn plan_batch_single_source() {
+        let net = generators::line(9, 1);
+        let config = StreamConfig::default().with_k(4);
+        let plan = plan_arrivals(&net, &config);
+        assert_eq!(plan.len(), 4);
+        assert!(plan.iter().all(|a| a.node == net.source()));
+        assert!(plan.iter().all(|a| a.round == 0));
+        assert_eq!(plan[3].payload, PayloadId(3));
+    }
+
+    #[test]
+    fn plan_spread_sources_and_poisson_gaps() {
+        let net = generators::line(16, 1);
+        let config = StreamConfig {
+            k: 8,
+            arrivals: Arrivals::Poisson { mean_gap: 5.0 },
+            sources: SourcePlacement::Spread,
+            ..StreamConfig::default()
+        };
+        let plan = plan_arrivals(&net, &config);
+        assert_eq!(plan[0].node, net.source());
+        assert_eq!(plan[0].round, 0);
+        // Spread: distinct producers, rounds nondecreasing with gaps >= 1.
+        assert!(plan.windows(2).all(|w| w[0].round < w[1].round));
+        let distinct: std::collections::HashSet<_> = plan.iter().map(|a| a.node).collect();
+        assert!(distinct.len() > 4, "spread placement: {plan:?}");
+        // Deterministic in the seed.
+        assert_eq!(plan, plan_arrivals(&net, &config));
+        let other = plan_arrivals(&net, &StreamConfig { seed: 1, ..config });
+        assert_ne!(
+            plan.iter().map(|a| a.round).collect::<Vec<_>>(),
+            other.iter().map(|a| a.round).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one payload")]
+    fn plan_rejects_zero_k() {
+        plan_arrivals(&generators::line(4, 1), &StreamConfig::default().with_k(0));
+    }
+
+    #[test]
+    fn k1_flooding_stream_matches_single_broadcast() {
+        // A k = 1 stream is the classical broadcast problem: its lone
+        // payload's completion round must equal the plain executor's.
+        let net = generators::er_dual(
+            generators::ErDualParams {
+                n: 40,
+                reliable_p: 0.08,
+                unreliable_p: 0.2,
+            },
+            13,
+        );
+        let outcome = run_stream(
+            &net,
+            StreamAlgorithm::PipelinedFlooding,
+            Box::new(RandomDelivery::new(0.5, 77)),
+            &StreamConfig::default().with_seed(3),
+        )
+        .unwrap();
+        assert!(outcome.completed);
+
+        let mut exec = Executor::from_slots(
+            &net,
+            dualgraph_sim::Flooder::slots(net.len()),
+            Box::new(RandomDelivery::new(0.5, 77)),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let single = exec.run_until_complete(1_000_000);
+        assert_eq!(
+            outcome.payloads[0].completion_round,
+            single.completion_round
+        );
+        assert_eq!(outcome.makespan(), single.completion_round);
+    }
+
+    #[test]
+    fn single_source_flooding_pipelines_the_whole_batch() {
+        // One producer, batch arrivals: the source knows all k payloads up
+        // front, so the flood wavefront carries the union — every payload
+        // completes when the wave completes (perfect pipelining).
+        let net = generators::line(20, 1);
+        let k = 8;
+        let outcome = run_stream(
+            &net,
+            StreamAlgorithm::PipelinedFlooding,
+            Box::new(ReliableOnly::new()),
+            &StreamConfig::default().with_k(k),
+        )
+        .unwrap();
+        assert!(outcome.completed);
+        let makespan = outcome.makespan().unwrap();
+        for p in &outcome.payloads {
+            assert_eq!(p.completion_round, Some(makespan), "{p:?}");
+        }
+        // k payloads in one diameter-length sweep.
+        assert_eq!(makespan, 19);
+        assert!((outcome.throughput() - k as f64 / 19.0).abs() < 1e-9);
+        assert_eq!(outcome.mean_latency(), Some(19.0));
+        assert_eq!(outcome.max_latency(), Some(19));
+        assert_eq!(outcome.mac.pending, 0, "all bcasts acked");
+    }
+
+    #[test]
+    fn multi_source_harmonic_mixes_flows() {
+        // Spread producers under CR4: flooding stalls (senders never
+        // listen), harmonic's silent rounds let the flows cross.
+        let net = generators::line(12, 2);
+        let config = StreamConfig {
+            k: 3,
+            sources: SourcePlacement::Spread,
+            max_rounds: 200_000,
+            ..StreamConfig::default()
+        };
+        let outcome = run_stream(
+            &net,
+            StreamAlgorithm::PipelinedHarmonic { epsilon: 0.1 },
+            Box::new(RandomDelivery::new(0.5, 5)),
+            &config,
+        )
+        .unwrap();
+        assert!(outcome.completed, "{outcome:?}");
+        assert!(outcome.mac.acked >= 3);
+        assert!(outcome.mean_latency().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn multi_source_flooding_stalls_under_cr4() {
+        // The documented model truth: always-transmit flooders cannot mix
+        // opposing waves — the run must hit the round budget, not panic.
+        let net = generators::line(10, 1);
+        let config = StreamConfig {
+            k: 2,
+            sources: SourcePlacement::Spread,
+            max_rounds: 2_000,
+            ..StreamConfig::default()
+        };
+        let outcome = run_stream(
+            &net,
+            StreamAlgorithm::PipelinedFlooding,
+            Box::new(ReliableOnly::new()),
+            &config,
+        )
+        .unwrap();
+        assert!(!outcome.completed);
+        assert_eq!(outcome.rounds_executed, 2_000);
+        assert!(outcome
+            .payloads
+            .iter()
+            .any(|p| p.completion_round.is_none()));
+    }
+
+    #[test]
+    fn poisson_arrivals_inject_mid_run() {
+        // Mid-run arrivals need listening rounds to spread (an
+        // already-flooding network is deaf under CR2-CR4), so the Poisson
+        // regime runs on pipelined Harmonic.
+        let net = generators::line(8, 1);
+        let config = StreamConfig {
+            k: 4,
+            arrivals: Arrivals::Poisson { mean_gap: 6.0 },
+            sources: SourcePlacement::Single,
+            max_rounds: 200_000,
+            ..StreamConfig::default()
+        };
+        let plan = plan_arrivals(&net, &config);
+        assert!(plan.windows(2).all(|w| w[0].round < w[1].round));
+        let outcome = run_stream(
+            &net,
+            StreamAlgorithm::PipelinedHarmonic { epsilon: 0.1 },
+            Box::new(ReliableOnly::new()),
+            &config,
+        )
+        .unwrap();
+        assert!(outcome.completed, "{outcome:?}");
+        for (a, s) in plan.iter().zip(&outcome.payloads) {
+            assert_eq!(s.arrival_round, a.round);
+            assert!(s.completion_round.unwrap() > a.round);
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_cannot_enter_a_flooding_network() {
+        // The complementary model truth: once the k = 1-style flood wave
+        // has passed, every node transmits forever and a later arrival at
+        // the source never escapes it.
+        let net = generators::line(8, 1);
+        let config = StreamConfig {
+            k: 2,
+            arrivals: Arrivals::Poisson { mean_gap: 20.0 },
+            sources: SourcePlacement::Single,
+            max_rounds: 3_000,
+            ..StreamConfig::default()
+        };
+        let plan = plan_arrivals(&net, &config);
+        assert!(plan[1].round > 0, "second arrival is mid-run");
+        let outcome = run_stream(
+            &net,
+            StreamAlgorithm::PipelinedFlooding,
+            Box::new(ReliableOnly::new()),
+            &config,
+        )
+        .unwrap();
+        assert!(outcome.payloads[0].completion_round.is_some());
+        assert!(outcome.payloads[1].completion_round.is_none());
+        assert!(!outcome.completed);
+    }
+
+    #[test]
+    fn single_node_stream_completes_at_arrival() {
+        let net = generators::complete(1);
+        let outcome = run_stream(
+            &net,
+            StreamAlgorithm::PipelinedFlooding,
+            Box::new(ReliableOnly::new()),
+            &StreamConfig::default().with_k(2),
+        )
+        .unwrap();
+        assert!(outcome.completed);
+        assert_eq!(outcome.rounds_executed, 0);
+        assert_eq!(outcome.payloads[1].latency(), Some(0));
+    }
+}

@@ -119,6 +119,20 @@ impl Csr {
         self.row(u).len()
     }
 
+    /// The range of **flat edge indices** backing `u`'s row: position `i`
+    /// of [`Csr::row`] is edge `row_range(u).start + i` in the global
+    /// `0..edge_count()` numbering. Lets per-edge state (e.g. the bursty
+    /// adversary's Markov chains) live in one flat vector instead of a
+    /// hash map keyed by `(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn row_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        self.offsets[u.index()] as usize..self.offsets[u.index() + 1] as usize
+    }
+
     /// Membership test for the edge `(u, v)`: binary search over the row,
     /// `O(log deg(u))`.
     ///
@@ -187,6 +201,21 @@ mod tests {
         assert_eq!(csr.row(v(1)), &[] as &[NodeId]);
         assert_eq!(csr.row(v(2)), &[v(0)]);
         assert_eq!(csr.edge_count(), 3);
+    }
+
+    #[test]
+    fn row_range_is_flat_edge_numbering() {
+        let rows: Vec<Vec<NodeId>> = vec![vec![v(1), v(2)], vec![], vec![v(0)]];
+        let csr = Csr::from_rows(3, |u| &rows[u.index()]);
+        assert_eq!(csr.row_range(v(0)), 0..2);
+        assert_eq!(csr.row_range(v(1)), 2..2);
+        assert_eq!(csr.row_range(v(2)), 2..3);
+        // Flat indices partition 0..edge_count in row order.
+        let mut seen = Vec::new();
+        for u in 0..3 {
+            seen.extend(csr.row_range(v(u)));
+        }
+        assert_eq!(seen, (0..csr.edge_count()).collect::<Vec<_>>());
     }
 
     #[test]

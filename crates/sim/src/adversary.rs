@@ -233,6 +233,41 @@ impl Adversary for FullDelivery {
     }
 }
 
+/// Draws one geometric "gap" — the number of Bernoulli(`p`) failures
+/// before the next success — via [`crate::rng::geometric_gap_from_bits`]
+/// (the shared inversion formula). One RNG draw per *success* instead of
+/// one per trial: the batched samplers below skip straight to the next
+/// delivering edge (or the next link flip) with it. The degenerate `p`s
+/// are guarded *before* drawing, so they consume no stream.
+#[inline]
+fn geometric_gap(rng: &mut SmallRng, p: f64) -> u64 {
+    if p <= 0.0 {
+        return u64::MAX;
+    }
+    if p >= 1.0 {
+        return 0;
+    }
+    crate::rng::geometric_gap_from_bits(rng.next_u64(), p)
+}
+
+/// How [`RandomDelivery`] samples its per-edge Bernoulli decisions.
+#[derive(Debug, Clone)]
+enum DeliverySampler {
+    /// Geometric skip sampling over the concatenated `G′ ∖ G` CSR rows:
+    /// the sampler keeps the distance to the next delivering edge and
+    /// leaps there directly, consuming one RNG draw per *delivery*
+    /// instead of one per edge. `gap` persists across rows (the Bernoulli
+    /// stream is over edge visits, not rows), so sparse rows cost nothing.
+    Skip {
+        /// Edges still to skip before the next delivery (`None` until the
+        /// first row primes the stream).
+        gap: Option<u64>,
+    },
+    /// One raw `u64` draw per edge against an integer threshold — the
+    /// PR 1/PR 2 draw semantics, frozen for baseline comparisons.
+    PerEdge,
+}
+
 /// Each unreliable edge delivers independently with probability `p` each
 /// round; CR4 collisions resolve to silence with probability 1/2, else to a
 /// uniformly random reaching message.
@@ -240,31 +275,54 @@ impl Adversary for FullDelivery {
 /// This is the i.i.d. link-flap model of gray zones; deterministic in the
 /// seed.
 ///
-/// Draw semantics (relevant when comparing seeded outcomes across
-/// versions): each unreliable edge consumes exactly one raw `u64` draw,
-/// compared against a precomputed integer threshold, except `p = 1`, which
-/// delivers everything without consuming draws.
+/// Sampling backends (identical delivery *distribution*, different seeded
+/// streams):
+///
+/// * [`RandomDelivery::new`] — **geometric skip sampling**: one draw per
+///   delivered edge (`≈ p · |row|` draws) instead of one per edge, the
+///   batched sampler that cuts the adversary RNG residue on trial
+///   workloads;
+/// * [`RandomDelivery::per_edge`] — the frozen PR 1/PR 2 sampler (one
+///   draw per edge against a precomputed integer threshold; `p = 1`
+///   delivers everything without consuming draws), kept for
+///   frozen-baseline comparisons and historical seed reproducibility.
 #[derive(Debug, Clone)]
 pub struct RandomDelivery {
     p: f64,
-    /// Integer acceptance threshold: an edge delivers when a raw `u64` draw
-    /// falls below it. One draw per edge, no float math on the hot path.
+    /// Integer acceptance threshold for the per-edge sampler: an edge
+    /// delivers when a raw `u64` draw falls below it.
     threshold: u64,
     rng: SmallRng,
+    sampler: DeliverySampler,
 }
 
 impl RandomDelivery {
-    /// Creates the adversary with per-edge delivery probability `p`.
+    /// Creates the adversary with per-edge delivery probability `p`, using
+    /// the batched geometric-skip sampler.
     ///
     /// # Panics
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn new(p: f64, seed: u64) -> Self {
+        RandomDelivery {
+            sampler: DeliverySampler::Skip { gap: None },
+            ..Self::per_edge(p, seed)
+        }
+    }
+
+    /// Creates the adversary with the frozen PR 1/PR 2 per-edge draw
+    /// semantics (see the type docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn per_edge(p: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability must lie in [0,1]");
         RandomDelivery {
             p,
             threshold: (p * (u64::MAX as f64 + 1.0)) as u64,
             rng: SmallRng::seed_from_u64(seed),
+            sampler: DeliverySampler::PerEdge,
         }
     }
 }
@@ -282,9 +340,30 @@ impl Adversary for RandomDelivery {
             out.extend_from_slice(row);
             return;
         }
-        for &v in row {
-            if self.rng.next_u64() < self.threshold {
-                out.push(v);
+        match &mut self.sampler {
+            DeliverySampler::PerEdge => {
+                for &v in row {
+                    if self.rng.next_u64() < self.threshold {
+                        out.push(v);
+                    }
+                }
+            }
+            DeliverySampler::Skip { gap } => {
+                if self.p <= 0.0 {
+                    return;
+                }
+                let len = row.len() as u64;
+                let mut pos = match *gap {
+                    Some(g) => g,
+                    None => geometric_gap(&mut self.rng, self.p),
+                };
+                while pos < len {
+                    out.push(row[pos as usize]);
+                    pos = pos
+                        .saturating_add(1)
+                        .saturating_add(geometric_gap(&mut self.rng, self.p));
+                }
+                *gap = Some(pos - len);
             }
         }
     }
@@ -307,10 +386,51 @@ impl Adversary for RandomDelivery {
     }
 }
 
+/// One Gilbert–Elliott link chain in the flat (CSR-indexed) bursty
+/// backend: its current state plus the pre-drawn round of its next flip.
+#[derive(Debug, Clone, Copy)]
+struct EdgeChain {
+    good: bool,
+    /// Global round at which the next state flip lands (`0` = chain not
+    /// yet primed; flips are drawn lazily, in first-visit order, to keep
+    /// the RNG stream deterministic).
+    next_flip: u64,
+}
+
+/// How [`BurstyDelivery`] stores and advances its per-edge Markov chains.
+#[derive(Debug, Clone)]
+enum BurstyBackend {
+    /// Flat per-edge chains indexed by the `G′ ∖ G` CSR's global edge
+    /// numbering ([`Csr::row_range`][dualgraph_net::Csr::row_range]),
+    /// advanced by **geometric skip sampling over rounds**: instead of one
+    /// Bernoulli draw per (edge, round), each chain pre-draws the round of
+    /// its next flip (`1 + Geom(p)`), so a queried edge catches up over an
+    /// arbitrary round gap with zero draws until a flip actually lands.
+    /// One adversary instance is bound to one network (as the edge keying
+    /// always implied).
+    Csr {
+        /// Lazily sized to the network's `G′ ∖ G` edge count on first use.
+        chains: Vec<EdgeChain>,
+    },
+    /// The PR 1/PR 2 backend, frozen for baseline comparisons: a hash map
+    /// keyed by `(u, v)` whose catch-up loop consumes one `gen_bool` per
+    /// (edge, elapsed round).
+    PerRound {
+        /// Lazily-tracked per-edge state: `(state_good, last_round)`.
+        edges: HashMap<(NodeId, NodeId), (bool, u64)>,
+    },
+}
+
 /// Gilbert–Elliott bursty links: each unreliable directed edge is a two-state
 /// Markov chain (good/bad); it delivers while good. Models doors opening and
 /// interference bursts ("something as simple as opening a door can change
 /// the connection topology", §1).
+///
+/// Backends (identical chain *distribution*, different seeded streams):
+/// [`BurstyDelivery::new`] uses flat CSR-indexed chains with geometric
+/// skip sampling (one draw per link *flip*); [`BurstyDelivery::per_round`]
+/// keeps the frozen PR 1/PR 2 hash-map backend (one draw per edge per
+/// elapsed round) for baseline comparisons.
 #[derive(Debug, Clone)]
 pub struct BurstyDelivery {
     /// P(good → bad) per round.
@@ -318,17 +438,30 @@ pub struct BurstyDelivery {
     /// P(bad → good) per round.
     p_recover: f64,
     rng: SmallRng,
-    /// Lazily-tracked per-edge state: `(state_good, last_round_updated)`.
-    edges: HashMap<(NodeId, NodeId), (bool, u64)>,
+    backend: BurstyBackend,
 }
 
 impl BurstyDelivery {
-    /// Creates the bursty adversary. All edges start good.
+    /// Creates the bursty adversary with the batched (flat CSR + geometric
+    /// skip) backend. All edges start good.
     ///
     /// # Panics
     ///
     /// Panics if a probability is outside `[0, 1]`.
     pub fn new(p_fail: f64, p_recover: f64, seed: u64) -> Self {
+        BurstyDelivery {
+            backend: BurstyBackend::Csr { chains: Vec::new() },
+            ..Self::per_round(p_fail, p_recover, seed)
+        }
+    }
+
+    /// Creates the bursty adversary with the frozen PR 1/PR 2 per-round
+    /// backend (see the type docs). All edges start good.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]`.
+    pub fn per_round(p_fail: f64, p_recover: f64, seed: u64) -> Self {
         assert!(
             (0.0..=1.0).contains(&p_fail) && (0.0..=1.0).contains(&p_recover),
             "probabilities must lie in [0,1]"
@@ -337,12 +470,17 @@ impl BurstyDelivery {
             p_fail,
             p_recover,
             rng: SmallRng::seed_from_u64(seed),
-            edges: HashMap::new(),
+            backend: BurstyBackend::PerRound {
+                edges: HashMap::new(),
+            },
         }
     }
 
-    fn edge_good(&mut self, edge: (NodeId, NodeId), round: u64) -> bool {
-        let (mut good, mut last) = *self.edges.get(&edge).unwrap_or(&(true, 0));
+    fn edge_good_per_round(&mut self, edge: (NodeId, NodeId), round: u64) -> bool {
+        let BurstyBackend::PerRound { edges } = &mut self.backend else {
+            unreachable!("per-round helper on per-round backend only");
+        };
+        let (mut good, mut last) = *edges.get(&edge).unwrap_or(&(true, 0));
         while last < round {
             let flip = if good { self.p_fail } else { self.p_recover };
             if self.rng.gen_bool(flip) {
@@ -350,7 +488,7 @@ impl BurstyDelivery {
             }
             last += 1;
         }
-        self.edges.insert(edge, (good, last));
+        edges.insert(edge, (good, last));
         good
     }
 }
@@ -363,9 +501,54 @@ impl Adversary for BurstyDelivery {
         out: &mut Vec<NodeId>,
     ) {
         let round = ctx.round;
-        for &v in ctx.network.unreliable_only_out(sender) {
-            if self.edge_good((sender, v), round) {
-                out.push(v);
+        match &mut self.backend {
+            BurstyBackend::PerRound { .. } => {
+                for &v in ctx.network.unreliable_only_out(sender) {
+                    if self.edge_good_per_round((sender, v), round) {
+                        out.push(v);
+                    }
+                }
+            }
+            BurstyBackend::Csr { chains } => {
+                let csr = ctx.network.unreliable_only_csr();
+                if chains.len() != csr.edge_count() {
+                    assert!(
+                        chains.is_empty(),
+                        "a BurstyDelivery instance is bound to one network"
+                    );
+                    chains.resize(
+                        csr.edge_count(),
+                        EdgeChain {
+                            good: true,
+                            next_flip: 0,
+                        },
+                    );
+                }
+                let range = csr.row_range(sender);
+                let row = csr.row(sender);
+                for (e, &v) in range.zip(row) {
+                    let chain = &mut chains[e];
+                    if chain.next_flip == 0 {
+                        // Prime: first flip opportunity is round 1.
+                        chain.next_flip =
+                            1u64.saturating_add(geometric_gap(&mut self.rng, self.p_fail));
+                    }
+                    while chain.next_flip <= round {
+                        chain.good = !chain.good;
+                        let p = if chain.good {
+                            self.p_fail
+                        } else {
+                            self.p_recover
+                        };
+                        chain.next_flip = chain
+                            .next_flip
+                            .saturating_add(1)
+                            .saturating_add(geometric_gap(&mut self.rng, p));
+                    }
+                    if chain.good {
+                        out.push(v);
+                    }
+                }
             }
         }
     }
@@ -601,6 +784,207 @@ mod tests {
             assert_eq!(
                 deliveries(&mut a, &ctx, NodeId(0)),
                 deliveries(&mut b, &ctx, NodeId(0))
+            );
+        }
+    }
+
+    /// Empirical delivery rate of a delivery adversary over `rounds`
+    /// queries of node 0's unreliable row.
+    fn empirical_rate<A: Adversary>(adv: &mut A, net: &DualGraph, rounds: u64) -> f64 {
+        let assignment = Assignment::identity(net.len());
+        let informed = FixedBitSet::new(net.len());
+        let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
+        let row_len = net.unreliable_only_out(NodeId(0)).len() as f64;
+        let mut delivered = 0usize;
+        for round in 1..=rounds {
+            let ctx = RoundContext {
+                round,
+                network: net,
+                assignment: &assignment,
+                senders: &senders,
+                informed: &informed,
+            };
+            delivered += deliveries(adv, &ctx, NodeId(0)).len();
+        }
+        delivered as f64 / (rounds as f64 * row_len)
+    }
+
+    #[test]
+    fn skip_sampler_matches_per_edge_distribution() {
+        // Distributional regression for the batched geometric-skip
+        // sampler: same empirical per-edge delivery rate as the frozen
+        // per-edge sampler, across the p range (including the chatter
+        // workload's p = 0.5 and skip-friendly small p).
+        let net = generators::line(40, 39);
+        for p in [0.03, 0.2, 0.5, 0.9] {
+            let rounds = 4_000;
+            let skip = empirical_rate(&mut RandomDelivery::new(p, 11), &net, rounds);
+            let per_edge = empirical_rate(&mut RandomDelivery::per_edge(p, 12), &net, rounds);
+            // ~156k Bernoulli trials per series: 3 sigma is well under 0.01.
+            assert!((skip - p).abs() < 0.01, "skip p={p}: rate {skip}");
+            assert!(
+                (per_edge - p).abs() < 0.01,
+                "per-edge p={p}: rate {per_edge}"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_sampler_gap_spans_rows() {
+        // The skip state persists across rows: total deliveries over many
+        // *short* rows must still hit rate p (a per-row re-prime would
+        // bias short rows toward zero or double-count draws).
+        let net = generators::line(30, 2); // rows of <= 2 unreliable edges
+        let p = 0.3;
+        let assignment = Assignment::identity(30);
+        let informed = FixedBitSet::new(30);
+        let mut adv = RandomDelivery::new(p, 5);
+        let mut delivered = 0usize;
+        let mut total = 0usize;
+        for round in 1..=3_000u64 {
+            for u in 0..30 {
+                let sender = NodeId(u);
+                let senders = [(sender, Message::signal(ProcessId(u)))];
+                let ctx = RoundContext {
+                    round,
+                    network: &net,
+                    assignment: &assignment,
+                    senders: &senders,
+                    informed: &informed,
+                };
+                total += net.unreliable_only_out(sender).len();
+                delivered += deliveries(&mut adv, &ctx, sender).len();
+            }
+        }
+        let rate = delivered as f64 / total as f64;
+        assert!((rate - p).abs() < 0.01, "rate {rate} for p={p}");
+    }
+
+    #[test]
+    fn per_edge_sampler_stream_is_frozen() {
+        // Golden test: the per-edge sampler's seeded delivery pattern is
+        // the PR 1/PR 2 stream and must never change (frozen-baseline
+        // comparisons depend on it).
+        let net = generators::line(10, 9);
+        let assignment = Assignment::identity(10);
+        let informed = FixedBitSet::new(10);
+        let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
+        let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
+        let mut adv = RandomDelivery::per_edge(0.5, 99);
+        let pattern: Vec<Vec<u32>> = (0..3)
+            .map(|_| {
+                deliveries(&mut adv, &ctx, NodeId(0))
+                    .iter()
+                    .map(|v| v.0)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(
+            pattern,
+            vec![vec![2, 4, 5], vec![4, 5, 6, 7, 8], vec![4, 5]]
+        );
+    }
+
+    #[test]
+    fn skip_sampler_deterministic_and_extreme() {
+        let net = generators::line(12, 11);
+        let assignment = Assignment::identity(12);
+        let informed = FixedBitSet::new(12);
+        let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
+        let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
+        let mut a = RandomDelivery::new(0.4, 7);
+        let mut b = RandomDelivery::new(0.4, 7);
+        for _ in 0..20 {
+            assert_eq!(
+                deliveries(&mut a, &ctx, NodeId(0)),
+                deliveries(&mut b, &ctx, NodeId(0))
+            );
+        }
+        assert!(deliveries(&mut RandomDelivery::new(0.0, 1), &ctx, NodeId(0)).is_empty());
+        assert_eq!(
+            deliveries(&mut RandomDelivery::new(1.0, 1), &ctx, NodeId(0)).len(),
+            net.unreliable_only_out(NodeId(0)).len()
+        );
+    }
+
+    #[test]
+    fn bursty_backends_share_the_stationary_distribution() {
+        // Gilbert-Elliott stationary P(good) = p_recover / (p_fail +
+        // p_recover). Both backends must converge to it.
+        let net = generators::line(6, 5);
+        let (p_fail, p_recover) = (0.2, 0.4);
+        let expect = p_recover / (p_fail + p_recover);
+        let rounds = 30_000;
+        let flat = empirical_rate(
+            &mut BurstyDelivery::new(p_fail, p_recover, 21),
+            &net,
+            rounds,
+        );
+        let legacy = empirical_rate(
+            &mut BurstyDelivery::per_round(p_fail, p_recover, 22),
+            &net,
+            rounds,
+        );
+        assert!((flat - expect).abs() < 0.02, "flat backend rate {flat}");
+        assert!(
+            (legacy - expect).abs() < 0.02,
+            "legacy backend rate {legacy}"
+        );
+    }
+
+    #[test]
+    fn bursty_flat_backend_skips_round_gaps() {
+        // Chains advance over arbitrary round gaps: query at round 1, then
+        // jump to round 10_000 — the chain must catch up without hanging
+        // and still flap.
+        let net = generators::line(6, 5);
+        let assignment = Assignment::identity(6);
+        let informed = FixedBitSet::new(6);
+        let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
+        let full = net.unreliable_only_out(NodeId(0)).len();
+        let mut adv = BurstyDelivery::new(0.3, 0.3, 9);
+        let mut seen_partial = false;
+        for round in [1u64, 10_000, 10_001, 50_000, 50_001] {
+            let ctx = RoundContext {
+                round,
+                network: &net,
+                assignment: &assignment,
+                senders: &senders,
+                informed: &informed,
+            };
+            if deliveries(&mut adv, &ctx, NodeId(0)).len() < full {
+                seen_partial = true;
+            }
+        }
+        assert!(seen_partial, "chains never left the good state");
+    }
+
+    #[test]
+    fn bursty_extreme_probabilities() {
+        let net = generators::line(6, 5);
+        let assignment = Assignment::identity(6);
+        let informed = FixedBitSet::new(6);
+        let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
+        let full = net.unreliable_only_out(NodeId(0)).len();
+        // p_fail = 0: links never leave the good state.
+        let mut stable = BurstyDelivery::new(0.0, 0.5, 3);
+        // p_fail = 1, p_recover = 1: links alternate every round.
+        let mut flappy = BurstyDelivery::new(1.0, 1.0, 3);
+        for round in 1..=20u64 {
+            let ctx = RoundContext {
+                round,
+                network: &net,
+                assignment: &assignment,
+                senders: &senders,
+                informed: &informed,
+            };
+            assert_eq!(deliveries(&mut stable, &ctx, NodeId(0)).len(), full);
+            let flaps = deliveries(&mut flappy, &ctx, NodeId(0)).len();
+            // good before round 1, flips every round: bad on odd rounds.
+            assert_eq!(
+                flaps,
+                if round % 2 == 1 { 0 } else { full },
+                "round {round}"
             );
         }
     }

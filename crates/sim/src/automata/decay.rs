@@ -55,8 +55,8 @@ impl Process for DecayProcess {
 
     fn on_activate(&mut self, cause: ActivationCause) {
         if let Some(m) = cause.message() {
-            if m.payload.is_some() {
-                self.payload = m.payload;
+            if m.carries_payload() {
+                self.payload = m.payload();
             }
         }
     }
@@ -72,7 +72,7 @@ impl Process for DecayProcess {
 
     fn receive(&mut self, _local_round: u64, reception: Reception) {
         if self.payload.is_none() {
-            if let Some(p) = reception.message().and_then(|m| m.payload) {
+            if let Some(p) = reception.message().and_then(|m| m.payload()) {
                 self.payload = Some(p);
                 self.active_rounds = 0;
             }

@@ -19,12 +19,14 @@
 
 mod decay;
 mod harmonic;
+mod pipeline;
 mod round_robin;
 mod strong_select;
 mod uniform;
 
 pub use decay::DecayProcess;
 pub use harmonic::HarmonicProcess;
+pub use pipeline::{PipelinedFlooder, PipelinedHarmonic};
 pub use round_robin::RoundRobinProcess;
 pub use strong_select::{
     Participation, Slot, SsfConstruction, StrongSelectPlan, StrongSelectProcess,

@@ -37,7 +37,7 @@ impl RoundRobinProcess {
     }
 
     fn learn(&mut self, message: &Message, local_round_of_receipt: u64) {
-        if let Some(p) = message.payload {
+        if let Some(p) = message.payload() {
             self.payload = Some(p);
         }
         if self.global_offset.is_none() {
@@ -58,7 +58,7 @@ impl Process for RoundRobinProcess {
     fn on_activate(&mut self, cause: ActivationCause) {
         match cause {
             ActivationCause::Input(m) => {
-                self.payload = m.payload;
+                self.payload = m.payload();
                 // The source's first transmit round is global round 1.
                 self.global_offset = Some(0);
             }
@@ -75,11 +75,8 @@ impl Process for RoundRobinProcess {
     fn transmit(&mut self, local_round: u64) -> Option<Message> {
         let payload = self.payload?;
         let global = self.global_offset? + local_round;
-        ((global - 1) % self.n == u64::from(self.id.0)).then_some(Message {
-            payload: Some(payload),
-            round_tag: Some(global),
-            sender: self.id,
-        })
+        ((global - 1) % self.n == u64::from(self.id.0))
+            .then_some(Message::tagged(self.id, payload, global))
     }
 
     fn receive(&mut self, local_round: u64, reception: Reception) {

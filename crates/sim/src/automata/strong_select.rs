@@ -265,7 +265,7 @@ impl StrongSelectProcess {
     }
 
     fn absorb(&mut self, message: &Message, local_round_of_receipt: u64) {
-        if let Some(p) = message.payload {
+        if let Some(p) = message.payload() {
             self.payload = Some(p);
         }
         if self.global_offset.is_none() {
@@ -308,7 +308,7 @@ impl Process for StrongSelectProcess {
     fn on_activate(&mut self, cause: ActivationCause) {
         match cause {
             ActivationCause::Input(m) => {
-                self.payload = m.payload;
+                self.payload = m.payload();
                 self.global_offset = Some(0);
                 self.maybe_plan_windows(0);
             }
@@ -331,11 +331,7 @@ impl Process for StrongSelectProcess {
         (global >= start
             && global < end
             && self.plan.family(slot.s).contains(slot.set_index, self.id.0))
-        .then_some(Message {
-            payload: Some(payload),
-            round_tag: Some(global),
-            sender: self.id,
-        })
+        .then_some(Message::tagged(self.id, payload, global))
     }
 
     fn receive(&mut self, local_round: u64, reception: Reception) {

@@ -44,8 +44,8 @@ impl Process for UniformProcess {
 
     fn on_activate(&mut self, cause: ActivationCause) {
         if let Some(m) = cause.message() {
-            if m.payload.is_some() {
-                self.payload = m.payload;
+            if m.carries_payload() {
+                self.payload = m.payload();
             }
         }
     }
@@ -59,7 +59,7 @@ impl Process for UniformProcess {
 
     fn receive(&mut self, _local_round: u64, reception: Reception) {
         if self.payload.is_none() {
-            if let Some(p) = reception.message().and_then(|m| m.payload) {
+            if let Some(p) = reception.message().and_then(|m| m.payload()) {
                 self.payload = Some(p);
             }
         }

@@ -5,6 +5,7 @@ use dualgraph_net::{DualGraph, FixedBitSet, NodeId};
 use crate::adversary::{Adversary, Assignment, RoundContext};
 use crate::collision::{self, CollisionRule, Reception};
 use crate::message::{Message, PayloadId, ProcessId};
+use crate::payload::PayloadSet;
 use crate::process::{ActivationCause, Process};
 use crate::slot::{ProcessSlot, ProcessTable};
 use crate::trace::{RoundRecord, Trace, TraceLevel};
@@ -185,6 +186,11 @@ pub struct Executor<'a> {
     active_from: Vec<Option<u64>>,
     informed: FixedBitSet,
     first_receive: Vec<Option<u64>>,
+    /// Per-node union of every payload delivered so far (environment
+    /// inputs and receptions) — the multi-message subsystem's coverage
+    /// record. Maintained unconditionally: the union is two ORs per
+    /// receiving node per round, invisible next to collision resolution.
+    known: Vec<PayloadSet>,
     round: u64,
     sends: u64,
     physical_collisions: u64,
@@ -316,6 +322,7 @@ impl<'a> Executor<'a> {
             active_from: vec![None; n],
             informed: FixedBitSet::new(n),
             first_receive: vec![None; n],
+            known: vec![PayloadSet::EMPTY; n],
             round: 0,
             sends: 0,
             physical_collisions: 0,
@@ -334,16 +341,13 @@ impl<'a> Executor<'a> {
         // Pre-round-1 activations.
         let src = network.source();
         let src_pid = exec.assignment.process_at(src);
-        let input = Message {
-            payload: Some(config.payload),
-            round_tag: None,
-            sender: src_pid,
-        };
+        let input = Message::with_payload(src_pid, config.payload);
         exec.procs
             .activate(src.index(), ActivationCause::Input(input));
         exec.active_from[src.index()] = Some(1);
         exec.informed.insert(src.index());
         exec.first_receive[src.index()] = Some(0);
+        exec.known[src.index()].insert(config.payload);
 
         if config.start == StartRule::Synchronous {
             for node in 0..n {
@@ -359,6 +363,11 @@ impl<'a> Executor<'a> {
     /// The network under execution.
     pub fn network(&self) -> &DualGraph {
         self.network
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> ExecutorConfig {
+        self.config
     }
 
     /// The `proc` mapping in force.
@@ -384,6 +393,44 @@ impl<'a> Executor<'a> {
     /// `true` when every node holds the payload.
     pub fn is_complete(&self) -> bool {
         self.informed.count() == self.network.len()
+    }
+
+    /// Per-node union of every payload delivered so far, indexed by node —
+    /// the multi-message subsystem's coverage record ([`PayloadSet`]s over
+    /// the dense payload universe).
+    pub fn known_payloads(&self) -> &[PayloadSet] {
+        &self.known
+    }
+
+    /// Delivers environment input mid-execution: hands `payload` to the
+    /// process at `node` — the multi-message subsystem's arrival hook
+    /// (stream sources and the MAC layer's `bcast` both land here).
+    ///
+    /// A sleeping process (asynchronous start) is activated by the input,
+    /// exactly like the pre-round-1 source: its first active round is the
+    /// next one. An already-active process receives the payload through
+    /// [`Process::on_input`]. Either way the payload joins the node's
+    /// known set immediately.
+    ///
+    /// Call between rounds (or before round 1); the injected payload is
+    /// transmittable from the next executed round.
+    pub fn inject(&mut self, node: NodeId, payload: PayloadId) {
+        let i = node.index();
+        self.known[i].insert(payload);
+        if self.informed.insert(i) {
+            self.first_receive[i] = Some(self.round);
+        }
+        match self.active_from[i] {
+            Some(_) => self.procs.input(i, payload),
+            None => {
+                let pid = self.assignment.process_at(node);
+                self.procs.activate(
+                    i,
+                    ActivationCause::Input(Message::with_payload(pid, payload)),
+                );
+                self.active_from[i] = Some(self.round + 1);
+            }
+        }
     }
 
     /// Read access to the process currently at `node`.
@@ -635,11 +682,11 @@ impl<'a> Executor<'a> {
             .receive_all(t, &mut self.active_from, &self.receptions_buf);
         let mut newly_informed = Vec::new();
         for node in 0..n {
-            let got_payload = self.receptions_buf[node]
-                .message()
-                .and_then(|m| m.payload)
-                .is_some();
-            if got_payload && self.informed.insert(node) {
+            let Some(m) = self.receptions_buf[node].message() else {
+                continue;
+            };
+            self.known[node].union_with(m.payloads);
+            if m.carries_payload() && self.informed.insert(node) {
                 self.first_receive[node] = Some(t);
                 newly_informed.push(NodeId::from_index(node));
             }
@@ -725,6 +772,7 @@ impl Clone for Executor<'_> {
             active_from: self.active_from.clone(),
             informed: self.informed.clone(),
             first_receive: self.first_receive.clone(),
+            known: self.known.clone(),
             round: self.round,
             sends: self.sends,
             physical_collisions: self.physical_collisions,
@@ -1015,6 +1063,55 @@ mod tests {
         assert!(outcome.completed);
         assert_eq!(outcome.completion_round, Some(0));
         assert_eq!(outcome.rounds_executed, 0);
+    }
+
+    #[test]
+    fn known_payloads_track_deliveries() {
+        let net = generators::line(3, 1);
+        let mut exec = Executor::new(
+            &net,
+            flooders(3),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let p0 = crate::PayloadSet::only(PayloadId(0));
+        assert_eq!(exec.known_payloads()[0], p0, "source seeded");
+        assert!(exec.known_payloads()[1].is_empty());
+        exec.run_until_complete(10);
+        assert!(exec.known_payloads().iter().all(|s| *s == p0));
+    }
+
+    #[test]
+    fn inject_activates_sleepers_and_feeds_active_processes() {
+        use crate::automata::PipelinedFlooder;
+        let net = generators::line(4, 1);
+        let mut exec = Executor::from_slots(
+            &net,
+            PipelinedFlooder::slots(4),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        // Node 3 sleeps (async start): injection activates it like the
+        // pre-round-1 source input.
+        exec.inject(NodeId(3), PayloadId(2));
+        assert!(exec.known_payloads()[3].contains(PayloadId(2)));
+        assert!(exec.is_informed(NodeId(3)));
+        let summary = exec.step();
+        assert_eq!(summary.senders, 2, "source and the injected node 3");
+        // Node 3 is now active: a second injection goes through on_input
+        // and joins its transmission set.
+        exec.inject(NodeId(3), PayloadId(5));
+        assert!(exec.known_payloads()[3].contains(PayloadId(5)));
+        exec.step();
+        assert!(exec.known_payloads()[2].contains(PayloadId(2)), "3 -> 2");
+        // Node 2 transmits from round 2 on and a sender only hears
+        // itself (CR4): the later payload 5 cannot reach it — the
+        // documented always-transmit pipelining limit.
+        assert!(!exec.known_payloads()[2].contains(PayloadId(5)));
+        // first_receive for the injected node reflects the injection round.
+        assert_eq!(exec.outcome().first_receive[3], Some(0));
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //!   resolution, with built-ins ([`ReliableOnly`], [`FullDelivery`],
 //!   [`RandomDelivery`], [`BurstyDelivery`], [`WithAssignment`]);
 //! * [`Executor`] — the round loop (CSR-backed, allocation-free in steady
-//!   state), with traces and outcome statistics;
+//!   state), with traces, outcome statistics, a per-node known-payload
+//!   record, and mid-run environment injection ([`Executor::inject`]);
+//! * [`PayloadSet`] — fixed-width payload bitsets: the multi-message
+//!   cargo representation (see `docs/MULTI_MESSAGE.md`);
+//! * [`MacLayer`] — the abstract MAC layer (`bcast`/`rcv`/`ack` events
+//!   with measured progress and acknowledgment bounds) over the executor;
 //! * [`ReferenceExecutor`] — the naive allocating oracle the differential
 //!   tests check the optimized engine against;
 //! * [`rng`] — deterministic seed derivation for reproducible experiments.
@@ -56,7 +61,9 @@ mod adversary;
 pub mod automata;
 mod collision;
 mod engine;
+pub mod mac;
 mod message;
+mod payload;
 mod process;
 pub mod reference;
 pub mod rng;
@@ -71,7 +78,9 @@ pub use collision::{resolve, CollisionRule, Cr4Resolution, Reception};
 pub use engine::{
     BroadcastOutcome, BuildExecutorError, Executor, ExecutorConfig, RoundSummary, StartRule,
 };
+pub use mac::{AckRecord, MacEvent, MacLayer, MacStats};
 pub use message::{Message, PayloadId, ProcessId};
+pub use payload::{PayloadSet, MAX_PAYLOADS};
 pub use process::{ActivationCause, ChatterProcess, Flooder, Process, SilentProcess};
 pub use reference::ReferenceExecutor;
 pub use slot::{ProcessSlot, ProcessTable};

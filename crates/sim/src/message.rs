@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::payload::PayloadSet;
+
 /// Identifier of a *process* — the automaton an adversary assigns to a graph
 /// node via the `proc` mapping (§2.1 of the paper).
 ///
@@ -39,27 +41,37 @@ impl fmt::Display for ProcessId {
 /// Identity of a broadcast payload.
 ///
 /// §3 requires algorithms to treat the broadcast message as a black box;
-/// a payload is therefore represented only by an opaque identity (multiple
-/// payloads matter for the repeated-broadcast extension).
+/// a payload is therefore represented only by an opaque identity. For the
+/// multi-message subsystem the identities form a **dense universe**
+/// `0..`[`MAX_PAYLOADS`][crate::MAX_PAYLOADS]: a payload id doubles as its
+/// bit index in a [`PayloadSet`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PayloadId(pub u64);
 
-/// A transmission: optional black-box payload plus protocol metadata.
+/// A transmission: a (possibly empty) set of black-box payloads plus
+/// protocol metadata.
 ///
-/// * `payload` — `Some` when the transmission carries the broadcast
-///   message; `None` for protocol-only transmissions (the model allows
-///   uninformed processes to transmit, and the Theorem 12 lower bound
-///   exploits that).
+/// * `payloads` — the broadcast payloads carried. Single-message protocols
+///   carry a singleton set (or the empty set for protocol-only
+///   transmissions — the model allows uninformed processes to transmit,
+///   and the Theorem 12 lower bound exploits that). Multi-message
+///   protocols (pipelined flooding/Harmonic) carry their entire known set
+///   in one transmission; the fixed-width bitset keeps the message `Copy`
+///   and the round loop zero-alloc.
 /// * `round_tag` — the sender's view of the global round number, if its
 ///   protocol stamps one (§5 footnote 1: Strong Select propagates a global
 ///   round counter this way under asynchronous start).
 /// * `sender` — the transmitting process's id. Real radios convey this only
 ///   if the protocol includes it; it is part of the message body here, and
 ///   algorithms that should not rely on it simply ignore it.
+///
+/// Migration note: this struct used to expose `payload: Option<PayloadId>`;
+/// see `docs/MULTI_MESSAGE.md` for the mapping (in short: the field became
+/// the [`Message::payload`] accessor, and the constructors are unchanged).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Message {
-    /// Black-box broadcast payload carried, if any.
-    pub payload: Option<PayloadId>,
+    /// Black-box broadcast payloads carried (empty for pure signals).
+    pub payloads: PayloadSet,
     /// Sender-stamped global round number, if the protocol uses one.
     pub round_tag: Option<u64>,
     /// Identifier of the transmitting process.
@@ -67,19 +79,29 @@ pub struct Message {
 }
 
 impl Message {
-    /// A payload-carrying message with no round tag.
+    /// A message carrying exactly one payload, with no round tag.
     pub fn with_payload(sender: ProcessId, payload: PayloadId) -> Self {
         Message {
-            payload: Some(payload),
+            payloads: PayloadSet::only(payload),
             round_tag: None,
             sender,
         }
     }
 
-    /// A payload-carrying message stamped with the sender's global round.
+    /// A message carrying a whole payload set (pipelined protocols), with
+    /// no round tag.
+    pub fn with_payloads(sender: ProcessId, payloads: PayloadSet) -> Self {
+        Message {
+            payloads,
+            round_tag: None,
+            sender,
+        }
+    }
+
+    /// A single-payload message stamped with the sender's global round.
     pub fn tagged(sender: ProcessId, payload: PayloadId, round: u64) -> Self {
         Message {
-            payload: Some(payload),
+            payloads: PayloadSet::only(payload),
             round_tag: Some(round),
             sender,
         }
@@ -88,20 +110,36 @@ impl Message {
     /// A protocol-only message (no payload).
     pub fn signal(sender: ProcessId) -> Self {
         Message {
-            payload: None,
+            payloads: PayloadSet::EMPTY,
             round_tag: None,
             sender,
         }
+    }
+
+    /// The carried payload of a single-payload protocol: the lowest id in
+    /// `payloads` (`None` for signals). Exact whenever at most one payload
+    /// is present — which is every pre-multi-message call site.
+    #[inline]
+    pub fn payload(&self) -> Option<PayloadId> {
+        self.payloads.first()
+    }
+
+    /// `true` when the message carries at least one payload.
+    #[inline]
+    pub fn carries_payload(&self) -> bool {
+        !self.payloads.is_empty()
     }
 }
 
 impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match (self.payload, self.round_tag) {
-            (Some(p), Some(t)) => write!(f, "msg({} payload={} tag={t})", self.sender, p.0),
-            (Some(p), None) => write!(f, "msg({} payload={})", self.sender, p.0),
-            (None, Some(t)) => write!(f, "msg({} signal tag={t})", self.sender),
-            (None, None) => write!(f, "msg({} signal)", self.sender),
+        match (self.payloads.is_empty(), self.round_tag) {
+            (false, Some(t)) => {
+                write!(f, "msg({} payloads={} tag={t})", self.sender, self.payloads)
+            }
+            (false, None) => write!(f, "msg({} payloads={})", self.sender, self.payloads),
+            (true, Some(t)) => write!(f, "msg({} signal tag={t})", self.sender),
+            (true, None) => write!(f, "msg({} signal)", self.sender),
         }
     }
 }
@@ -113,21 +151,28 @@ mod tests {
     #[test]
     fn constructors() {
         let m = Message::with_payload(ProcessId(3), PayloadId(0));
-        assert_eq!(m.payload, Some(PayloadId(0)));
+        assert_eq!(m.payload(), Some(PayloadId(0)));
+        assert!(m.carries_payload());
         assert_eq!(m.round_tag, None);
 
         let t = Message::tagged(ProcessId(1), PayloadId(0), 17);
         assert_eq!(t.round_tag, Some(17));
 
         let s = Message::signal(ProcessId(2));
-        assert_eq!(s.payload, None);
+        assert_eq!(s.payload(), None);
+        assert!(!s.carries_payload());
+
+        let set: PayloadSet = [PayloadId(2), PayloadId(7)].into_iter().collect();
+        let multi = Message::with_payloads(ProcessId(4), set);
+        assert_eq!(multi.payloads.len(), 2);
+        assert_eq!(multi.payload(), Some(PayloadId(2)), "lowest id");
     }
 
     #[test]
     fn display_variants() {
         assert!(Message::with_payload(ProcessId(0), PayloadId(1))
             .to_string()
-            .contains("payload=1"));
+            .contains("payloads={1}"));
         assert!(Message::signal(ProcessId(0)).to_string().contains("signal"));
         assert!(Message::tagged(ProcessId(0), PayloadId(0), 9)
             .to_string()

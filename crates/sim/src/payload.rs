@@ -1,0 +1,293 @@
+//! Compact payload sets for multi-message broadcast.
+//!
+//! The single-payload engine modeled a transmission's cargo as
+//! `Option<PayloadId>`. Multi-message workloads (pipelined streams, the
+//! abstract MAC layer) need a transmission to carry *several* payloads at
+//! once — pipelined flooding, for instance, always transmits the sender's
+//! entire known set, so one reception can close many per-payload gaps in a
+//! single round.
+//!
+//! [`PayloadSet`] is the representation: a fixed-width bitset over a
+//! **dense payload universe** `0..`[`MAX_PAYLOADS`]. Fixed width keeps
+//! [`Message`][crate::Message] `Copy` and the executor's round loop
+//! zero-alloc: a set is two machine words, union is two ORs, and the
+//! reaching arena never grows per-payload state.
+//!
+//! [`PayloadId`][crate::PayloadId] values double as bit indices, so stream
+//! workloads must number their payloads densely from zero. Single-payload
+//! code keeps working unchanged through the `Message` constructors
+//! (`with_payload` builds a singleton set) and the [`Message::payload`]
+//! accessor (the lone element, when at most one is present).
+//!
+//! [`Message::payload`]: crate::Message::payload
+
+use crate::message::PayloadId;
+
+/// Number of distinct payloads a [`PayloadSet`] can hold (`0..MAX_PAYLOADS`).
+///
+/// 128 bits = two machine words: enough for the `k ∈ {1, 8, 64}` stream
+/// workload family with headroom, small enough that `Message` stays the
+/// size it was with `Option<PayloadId>`.
+pub const MAX_PAYLOADS: usize = 128;
+
+const WORDS: usize = MAX_PAYLOADS / 64;
+
+/// A fixed-width set of payload identities (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct PayloadSet {
+    words: [u64; WORDS],
+}
+
+impl PayloadSet {
+    /// The empty set.
+    pub const EMPTY: PayloadSet = PayloadSet { words: [0; WORDS] };
+
+    /// Creates the empty set.
+    #[inline]
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// The singleton `{payload}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload.0 >= MAX_PAYLOADS` (payload ids double as dense
+    /// bit indices).
+    #[inline]
+    pub fn only(payload: PayloadId) -> Self {
+        let mut s = Self::EMPTY;
+        s.insert(payload);
+        s
+    }
+
+    /// The set `{0, 1, .., k-1}`: the full universe of a `k`-payload
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > MAX_PAYLOADS`.
+    pub fn first_k(k: usize) -> Self {
+        assert!(k <= MAX_PAYLOADS, "payload universe exceeds MAX_PAYLOADS");
+        let mut s = Self::EMPTY;
+        for w in 0..WORDS {
+            let lo = w * 64;
+            s.words[w] = match k.saturating_sub(lo) {
+                0 => 0,
+                bits if bits >= 64 => u64::MAX,
+                bits => (1u64 << bits) - 1,
+            };
+        }
+        s
+    }
+
+    #[inline]
+    fn index(payload: PayloadId) -> (usize, u64) {
+        let i = payload.0 as usize;
+        assert!(
+            i < MAX_PAYLOADS,
+            "payload id {i} out of the dense universe 0..{MAX_PAYLOADS}"
+        );
+        (i / 64, 1u64 << (i % 64))
+    }
+
+    /// Adds `payload`; `true` if it was new.
+    #[inline]
+    pub fn insert(&mut self, payload: PayloadId) -> bool {
+        let (w, bit) = Self::index(payload);
+        let fresh = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        fresh
+    }
+
+    /// `true` when `payload` is in the set.
+    #[inline]
+    pub fn contains(&self, payload: PayloadId) -> bool {
+        let (w, bit) = Self::index(payload);
+        self.words[w] & bit != 0
+    }
+
+    /// `true` for the empty set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of payloads in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union (two ORs: the round loop's per-reception cost).
+    #[inline]
+    pub fn union_with(&mut self, other: PayloadSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words) {
+            *a |= b;
+        }
+    }
+
+    /// The payloads of `self` not in `other` (what a reception would
+    /// newly teach a node holding `other`).
+    #[inline]
+    pub fn minus(&self, other: PayloadSet) -> PayloadSet {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words) {
+            *a &= !b;
+        }
+        out
+    }
+
+    /// `true` when every payload of `self` is in `other`.
+    #[inline]
+    pub fn is_subset(&self, other: &PayloadSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words)
+            .all(|(&a, b)| a & !b == 0)
+    }
+
+    /// The smallest payload id in the set, if any. For single-payload
+    /// protocols (sets of size ≤ 1) this *is* the carried payload.
+    #[inline]
+    pub fn first(&self) -> Option<PayloadId> {
+        for (w, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                return Some(PayloadId((w * 64 + word.trailing_zeros() as usize) as u64));
+            }
+        }
+        None
+    }
+
+    /// Iterates the payloads in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = PayloadId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(PayloadId((wi * 64 + bit) as u64))
+            })
+        })
+    }
+}
+
+impl std::ops::BitOr for PayloadSet {
+    type Output = PayloadSet;
+
+    #[inline]
+    fn bitor(mut self, rhs: PayloadSet) -> PayloadSet {
+        self.union_with(rhs);
+        self
+    }
+}
+
+impl std::ops::BitOrAssign for PayloadSet {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: PayloadSet) {
+        self.union_with(rhs);
+    }
+}
+
+impl FromIterator<PayloadId> for PayloadSet {
+    fn from_iter<I: IntoIterator<Item = PayloadId>>(iter: I) -> Self {
+        let mut s = PayloadSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for PayloadSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", p.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = PayloadSet::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.first(), None);
+
+        let s = PayloadSet::only(PayloadId(5));
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(PayloadId(5)));
+        assert!(!s.contains(PayloadId(4)));
+        assert_eq!(s.first(), Some(PayloadId(5)));
+    }
+
+    #[test]
+    fn insert_union_minus() {
+        let mut a = PayloadSet::new();
+        assert!(a.insert(PayloadId(0)));
+        assert!(!a.insert(PayloadId(0)), "re-insert reports not-new");
+        assert!(a.insert(PayloadId(127)), "highest id fits");
+
+        let b = PayloadSet::only(PayloadId(64));
+        let u = a | b;
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(PayloadId(64)));
+
+        let fresh = u.minus(a);
+        assert_eq!(fresh, b);
+        assert!(a.is_subset(&u));
+        assert!(!u.is_subset(&a));
+    }
+
+    #[test]
+    fn first_k_covers_word_boundaries() {
+        for k in [0usize, 1, 8, 63, 64, 65, 127, 128] {
+            let s = PayloadSet::first_k(k);
+            assert_eq!(s.len(), k, "k={k}");
+            for i in 0..MAX_PAYLOADS {
+                assert_eq!(s.contains(PayloadId(i as u64)), i < k, "k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let ids = [0u64, 3, 63, 64, 100, 127];
+        let s: PayloadSet = ids.iter().map(|&i| PayloadId(i)).collect();
+        let back: Vec<u64> = s.iter().map(|p| p.0).collect();
+        assert_eq!(back, ids);
+    }
+
+    #[test]
+    fn display() {
+        let s: PayloadSet = [PayloadId(1), PayloadId(64)].into_iter().collect();
+        assert_eq!(s.to_string(), "{1,64}");
+        assert_eq!(PayloadSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dense universe")]
+    fn out_of_universe_panics() {
+        PayloadSet::only(PayloadId(128));
+    }
+
+    #[test]
+    fn bitor_assign() {
+        let mut a = PayloadSet::only(PayloadId(1));
+        a |= PayloadSet::only(PayloadId(2));
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,7 +1,7 @@
 //! The `Process` trait: the per-node automata of the model.
 
 use crate::collision::Reception;
-use crate::message::{Message, ProcessId};
+use crate::message::{Message, PayloadId, ProcessId};
 
 /// Why a process became active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +52,17 @@ pub trait Process {
 
     /// Called exactly once, when the process becomes active.
     fn on_activate(&mut self, cause: ActivationCause);
+
+    /// Environment input delivered *after* activation: the multi-message
+    /// subsystem hands an already-running process another payload to
+    /// broadcast (via [`Executor::inject`][crate::Executor::inject]).
+    ///
+    /// Single-message automata never see mid-run input; the default
+    /// ignores it, so existing `Process` implementations are unaffected.
+    /// Stream automata override this to enqueue the payload.
+    fn on_input(&mut self, payload: PayloadId) {
+        let _ = payload;
+    }
 
     /// Send decision for the process's `local_round`-th active round.
     /// Returning `Some` transmits the message to the medium.
@@ -140,7 +151,7 @@ impl Process for SilentProcess {
 
     fn on_activate(&mut self, cause: ActivationCause) {
         self.activated = true;
-        if cause.message().and_then(|m| m.payload).is_some() {
+        if cause.message().is_some_and(|m| m.carries_payload()) {
             self.informed = true;
         }
     }
@@ -150,7 +161,7 @@ impl Process for SilentProcess {
     }
 
     fn receive(&mut self, _local_round: u64, reception: Reception) {
-        if reception.message().and_then(|m| m.payload).is_some() {
+        if reception.message().is_some_and(|m| m.carries_payload()) {
             self.informed = true;
         }
     }
@@ -212,7 +223,7 @@ impl Process for Flooder {
     }
 
     fn on_activate(&mut self, cause: ActivationCause) {
-        if cause.message().and_then(|m| m.payload).is_some() {
+        if cause.message().is_some_and(|m| m.carries_payload()) {
             self.informed = true;
         }
     }
@@ -223,7 +234,7 @@ impl Process for Flooder {
     }
 
     fn receive(&mut self, _local_round: u64, reception: Reception) {
-        if reception.message().and_then(|m| m.payload).is_some() {
+        if reception.message().is_some_and(|m| m.carries_payload()) {
             self.informed = true;
         }
     }
@@ -302,7 +313,7 @@ impl Process for ChatterProcess {
     }
 
     fn on_activate(&mut self, cause: ActivationCause) {
-        if cause.message().and_then(|m| m.payload).is_some() {
+        if cause.message().is_some_and(|m| m.carries_payload()) {
             self.informed = true;
         }
     }
@@ -317,7 +328,7 @@ impl Process for ChatterProcess {
     }
 
     fn receive(&mut self, _local_round: u64, reception: Reception) {
-        if reception.message().and_then(|m| m.payload).is_some() {
+        if reception.message().is_some_and(|m| m.carries_payload()) {
             self.informed = true;
         }
     }

@@ -28,7 +28,8 @@ use crate::collision::{self, Reception};
 use crate::engine::{
     BroadcastOutcome, BuildExecutorError, ExecutorConfig, RoundSummary, StartRule,
 };
-use crate::message::{Message, ProcessId};
+use crate::message::{Message, PayloadId, ProcessId};
+use crate::payload::PayloadSet;
 use crate::process::{ActivationCause, Process};
 use crate::slot::ProcessSlot;
 use crate::trace::{RoundRecord, Trace};
@@ -43,6 +44,7 @@ pub struct ReferenceExecutor<'a> {
     active_from: Vec<Option<u64>>,
     informed: FixedBitSet,
     first_receive: Vec<Option<u64>>,
+    known: Vec<PayloadSet>,
     round: u64,
     sends: u64,
     physical_collisions: u64,
@@ -99,6 +101,7 @@ impl<'a> ReferenceExecutor<'a> {
             active_from: vec![None; n],
             informed: FixedBitSet::new(n),
             first_receive: vec![None; n],
+            known: vec![PayloadSet::EMPTY; n],
             round: 0,
             sends: 0,
             physical_collisions: 0,
@@ -107,15 +110,12 @@ impl<'a> ReferenceExecutor<'a> {
 
         let src = network.source();
         let src_pid = exec.assignment.process_at(src);
-        let input = Message {
-            payload: Some(config.payload),
-            round_tag: None,
-            sender: src_pid,
-        };
+        let input = Message::with_payload(src_pid, config.payload);
         exec.procs[src.index()].on_activate(ActivationCause::Input(input));
         exec.active_from[src.index()] = Some(1);
         exec.informed.insert(src.index());
         exec.first_receive[src.index()] = Some(0);
+        exec.known[src.index()].insert(config.payload);
 
         if config.start == StartRule::Synchronous {
             for node in 0..n {
@@ -159,6 +159,33 @@ impl<'a> ReferenceExecutor<'a> {
     /// `true` when every node holds the payload.
     pub fn is_complete(&self) -> bool {
         self.informed.count() == self.network.len()
+    }
+
+    /// Per-node union of every payload delivered so far (same record as
+    /// [`Executor::known_payloads`][crate::Executor::known_payloads]).
+    pub fn known_payloads(&self) -> &[PayloadSet] {
+        &self.known
+    }
+
+    /// Mid-run environment input, mirroring
+    /// [`Executor::inject`][crate::Executor::inject] exactly (the stream
+    /// differential suite drives both engines through the same injection
+    /// schedule).
+    pub fn inject(&mut self, node: NodeId, payload: PayloadId) {
+        let i = node.index();
+        self.known[i].insert(payload);
+        if self.informed.insert(i) {
+            self.first_receive[i] = Some(self.round);
+        }
+        match self.active_from[i] {
+            Some(_) => self.procs[i].on_input(payload),
+            None => {
+                let pid = self.assignment.process_at(node);
+                self.procs[i]
+                    .on_activate(ActivationCause::Input(Message::with_payload(pid, payload)));
+                self.active_from[i] = Some(self.round + 1);
+            }
+        }
     }
 
     /// The recorded trace (empty unless tracing was enabled).
@@ -261,7 +288,10 @@ impl<'a> ReferenceExecutor<'a> {
         let mut newly_informed = Vec::new();
         for node in 0..n {
             let reception = receptions[node];
-            let got_payload = reception.message().and_then(|m| m.payload).is_some();
+            if let Some(m) = reception.message() {
+                self.known[node].union_with(m.payloads);
+            }
+            let got_payload = reception.message().is_some_and(|m| m.carries_payload());
             match self.active_from[node] {
                 Some(from) if from <= t => {
                     let local = t - from + 1;

@@ -43,6 +43,33 @@ pub fn derive_seed2(master: u64, stream: u64, substream: u64) -> u64 {
     derive_seed(derive_seed(master, stream), substream)
 }
 
+/// Maps one raw 64-bit draw to a Geometric(`p`) **gap** — the number of
+/// Bernoulli(`p`) failures before the next success — by inversion:
+/// `⌊ln(U) / ln(1−p)⌋` with `U` uniform in `(0, 1]` (53 mantissa bits,
+/// nudged off zero so `ln` stays finite).
+///
+/// This is the one copy of the numerically delicate formula behind every
+/// geometric skip sampler in the workspace (the batched delivery
+/// adversaries, the bursty link chains, Poisson stream arrivals).
+/// `p <= 0` yields `u64::MAX` (never succeeds), `p >= 1` yields `0`
+/// (succeeds immediately).
+#[inline]
+pub fn geometric_gap_from_bits(bits: u64, p: f64) -> u64 {
+    if p <= 0.0 {
+        return u64::MAX;
+    }
+    if p >= 1.0 {
+        return 0;
+    }
+    let u = ((bits >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+    let gap = u.ln() / (1.0 - p).ln();
+    if gap >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        gap as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,10 +26,11 @@ use dualgraph_net::NodeId;
 
 use crate::adversary::Assignment;
 use crate::automata::{
-    DecayProcess, HarmonicProcess, RoundRobinProcess, StrongSelectProcess, UniformProcess,
+    DecayProcess, HarmonicProcess, PipelinedFlooder, PipelinedHarmonic, RoundRobinProcess,
+    StrongSelectProcess, UniformProcess,
 };
 use crate::collision::Reception;
-use crate::message::{Message, ProcessId};
+use crate::message::{Message, PayloadId, ProcessId};
 use crate::process::{ActivationCause, ChatterProcess, Flooder, Process, SilentProcess};
 
 /// One process, stored either inline (built-in automata) or boxed
@@ -52,6 +53,10 @@ pub enum ProcessSlot {
     Decay(DecayProcess),
     /// [`HarmonicProcess`], inline.
     Harmonic(HarmonicProcess),
+    /// [`PipelinedFlooder`], inline.
+    PipelinedFlooder(PipelinedFlooder),
+    /// [`PipelinedHarmonic`], inline.
+    PipelinedHarmonic(PipelinedHarmonic),
     /// [`RoundRobinProcess`], inline.
     RoundRobin(RoundRobinProcess),
     /// [`StrongSelectProcess`], inline.
@@ -71,6 +76,8 @@ macro_rules! match_slot {
             ProcessSlot::Chatter($p) => $e,
             ProcessSlot::Decay($p) => $e,
             ProcessSlot::Harmonic($p) => $e,
+            ProcessSlot::PipelinedFlooder($p) => $e,
+            ProcessSlot::PipelinedHarmonic($p) => $e,
             ProcessSlot::RoundRobin($p) => $e,
             ProcessSlot::StrongSelect($p) => $e,
             ProcessSlot::Uniform($p) => $e,
@@ -90,6 +97,8 @@ impl ProcessSlot {
             ProcessSlot::Chatter(p) => Box::new(p),
             ProcessSlot::Decay(p) => Box::new(p),
             ProcessSlot::Harmonic(p) => Box::new(p),
+            ProcessSlot::PipelinedFlooder(p) => Box::new(p),
+            ProcessSlot::PipelinedHarmonic(p) => Box::new(p),
             ProcessSlot::RoundRobin(p) => Box::new(p),
             ProcessSlot::StrongSelect(p) => Box::new(p),
             ProcessSlot::Uniform(p) => Box::new(p),
@@ -105,6 +114,10 @@ impl Process for ProcessSlot {
 
     fn on_activate(&mut self, cause: ActivationCause) {
         match_slot!(self, p => p.on_activate(cause));
+    }
+
+    fn on_input(&mut self, payload: PayloadId) {
+        match_slot!(self, p => p.on_input(payload));
     }
 
     fn transmit(&mut self, local_round: u64) -> Option<Message> {
@@ -146,6 +159,8 @@ impl_from_slot!(
     Chatter(ChatterProcess),
     Decay(DecayProcess),
     Harmonic(HarmonicProcess),
+    PipelinedFlooder(PipelinedFlooder),
+    PipelinedHarmonic(PipelinedHarmonic),
     RoundRobin(RoundRobinProcess),
     StrongSelect(StrongSelectProcess),
     Uniform(UniformProcess),
@@ -169,6 +184,8 @@ enum Repr {
     Chatter(Vec<ChatterProcess>),
     Decay(Vec<DecayProcess>),
     Harmonic(Vec<HarmonicProcess>),
+    PipelinedFlooder(Vec<PipelinedFlooder>),
+    PipelinedHarmonic(Vec<PipelinedHarmonic>),
     RoundRobin(Vec<RoundRobinProcess>),
     StrongSelect(Vec<StrongSelectProcess>),
     Uniform(Vec<UniformProcess>),
@@ -186,6 +203,8 @@ macro_rules! each_repr {
             Repr::Chatter($v) => $e,
             Repr::Decay($v) => $e,
             Repr::Harmonic($v) => $e,
+            Repr::PipelinedFlooder($v) => $e,
+            Repr::PipelinedHarmonic($v) => $e,
             Repr::RoundRobin($v) => $e,
             Repr::StrongSelect($v) => $e,
             Repr::Uniform($v) => $e,
@@ -250,6 +269,8 @@ impl ProcessTable {
             ProcessSlot::Chatter(_) => collect_variant!(slots, Chatter),
             ProcessSlot::Decay(_) => collect_variant!(slots, Decay),
             ProcessSlot::Harmonic(_) => collect_variant!(slots, Harmonic),
+            ProcessSlot::PipelinedFlooder(_) => collect_variant!(slots, PipelinedFlooder),
+            ProcessSlot::PipelinedHarmonic(_) => collect_variant!(slots, PipelinedHarmonic),
             ProcessSlot::RoundRobin(_) => collect_variant!(slots, RoundRobin),
             ProcessSlot::StrongSelect(_) => collect_variant!(slots, StrongSelect),
             ProcessSlot::Uniform(_) => collect_variant!(slots, Uniform),
@@ -274,6 +295,10 @@ impl ProcessTable {
             Repr::Chatter(v) => v.into_iter().map(ProcessSlot::Chatter).collect(),
             Repr::Decay(v) => v.into_iter().map(ProcessSlot::Decay).collect(),
             Repr::Harmonic(v) => v.into_iter().map(ProcessSlot::Harmonic).collect(),
+            Repr::PipelinedFlooder(v) => v.into_iter().map(ProcessSlot::PipelinedFlooder).collect(),
+            Repr::PipelinedHarmonic(v) => {
+                v.into_iter().map(ProcessSlot::PipelinedHarmonic).collect()
+            }
             Repr::RoundRobin(v) => v.into_iter().map(ProcessSlot::RoundRobin).collect(),
             Repr::StrongSelect(v) => v.into_iter().map(ProcessSlot::StrongSelect).collect(),
             Repr::Uniform(v) => v.into_iter().map(ProcessSlot::Uniform).collect(),
@@ -305,6 +330,8 @@ impl ProcessTable {
             Repr::Chatter(_) => "chatter",
             Repr::Decay(_) => "decay",
             Repr::Harmonic(_) => "harmonic",
+            Repr::PipelinedFlooder(_) => "pipelined-flooder",
+            Repr::PipelinedHarmonic(_) => "pipelined-harmonic",
             Repr::RoundRobin(_) => "round-robin",
             Repr::StrongSelect(_) => "strong-select",
             Repr::Uniform(_) => "uniform",
@@ -322,6 +349,12 @@ impl ProcessTable {
         each_repr!(&mut self.repr, v => v[index].on_activate(cause));
     }
 
+    /// Delivers mid-run environment input to the process at `index`
+    /// (see [`Process::on_input`]).
+    pub fn input(&mut self, index: usize, payload: PayloadId) {
+        each_repr!(&mut self.repr, v => v[index].on_input(payload));
+    }
+
     /// Reorders the table from process-id order into node order under
     /// `assignment` (homogeneous tables stay homogeneous).
     ///
@@ -336,6 +369,8 @@ impl ProcessTable {
             Repr::Chatter(v) => Repr::Chatter(permute(v, assignment)),
             Repr::Decay(v) => Repr::Decay(permute(v, assignment)),
             Repr::Harmonic(v) => Repr::Harmonic(permute(v, assignment)),
+            Repr::PipelinedFlooder(v) => Repr::PipelinedFlooder(permute(v, assignment)),
+            Repr::PipelinedHarmonic(v) => Repr::PipelinedHarmonic(permute(v, assignment)),
             Repr::RoundRobin(v) => Repr::RoundRobin(permute(v, assignment)),
             Repr::StrongSelect(v) => Repr::StrongSelect(permute(v, assignment)),
             Repr::Uniform(v) => Repr::Uniform(permute(v, assignment)),

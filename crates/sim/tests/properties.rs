@@ -78,7 +78,7 @@ proptest! {
             let records = exec.trace().records();
             let rec = records.last().unwrap();
             if let [(u, m)] = rec.senders.as_slice() {
-                if m.payload.is_some() {
+                if m.carries_payload() {
                     for &v in net.reliable().out_neighbors(*u) {
                         prop_assert!(
                             exec.is_informed(v),

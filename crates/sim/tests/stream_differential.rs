@@ -1,0 +1,401 @@
+//! Multi-payload collision-semantics differential suite.
+//!
+//! Two families of properties, over random topologies × the adversary
+//! menu × CR1–CR4 × both start rules:
+//!
+//! 1. **k = 1 reduction** — with a one-payload universe, the pipelined
+//!    multi-message automata must be *bit-identical round for round* to
+//!    their single-payload ancestors: `PipelinedFlooder` ≡ `Flooder` and
+//!    `PipelinedHarmonic` ≡ `HarmonicProcess` (same seeds, same draws),
+//!    each checked on the batched enum path, the boxed path, and the
+//!    reference oracle simultaneously. Payload-set union/loss semantics
+//!    can therefore not have changed anything observable about the
+//!    single-message engine.
+//! 2. **multi-payload agreement** — with `k > 1` payloads injected on a
+//!    shared schedule, the optimized executor (enum and boxed dispatch)
+//!    and the reference oracle must agree on every round summary *and* on
+//!    the per-node known-payload record.
+
+use dualgraph_net::{generators, DualGraph, NodeId};
+use dualgraph_sim::automata::{HarmonicProcess, PipelinedFlooder, PipelinedHarmonic};
+use dualgraph_sim::rng::derive_seed;
+use dualgraph_sim::{
+    Adversary, BurstyDelivery, CollisionRule, CollisionSeeker, Executor, ExecutorConfig, Flooder,
+    FullDelivery, PayloadId, ProcessId, ProcessSlot, RandomDelivery, ReferenceExecutor,
+    ReliableOnly, StartRule, TraceLevel,
+};
+
+/// The adversary menu; every engine under comparison gets its own
+/// identically-seeded instance.
+#[allow(clippy::type_complexity)]
+fn adversary_menu(seed: u64) -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn Adversary>>)> {
+    vec![
+        ("reliable-only", Box::new(|| Box::new(ReliableOnly::new()))),
+        ("full-delivery", Box::new(|| Box::new(FullDelivery::new()))),
+        (
+            "random(0.5)",
+            Box::new(move || Box::new(RandomDelivery::new(0.5, seed))),
+        ),
+        (
+            "random-per-edge(0.5)",
+            Box::new(move || Box::new(RandomDelivery::per_edge(0.5, seed))),
+        ),
+        (
+            "bursty",
+            Box::new(move || Box::new(BurstyDelivery::new(0.3, 0.3, seed))),
+        ),
+        (
+            "bursty-per-round",
+            Box::new(move || Box::new(BurstyDelivery::per_round(0.3, 0.3, seed))),
+        ),
+        (
+            "collision-seeker",
+            Box::new(|| Box::new(CollisionSeeker::new())),
+        ),
+    ]
+}
+
+fn random_net(seed: u64, n: usize) -> DualGraph {
+    generators::er_dual(
+        generators::ErDualParams {
+            n,
+            reliable_p: 0.12,
+            unreliable_p: 0.25,
+        },
+        seed,
+    )
+}
+
+fn configs() -> Vec<ExecutorConfig> {
+    let mut out = Vec::new();
+    for rule in CollisionRule::ALL {
+        for start in [StartRule::Synchronous, StartRule::Asynchronous] {
+            out.push(ExecutorConfig {
+                rule,
+                start,
+                trace: TraceLevel::Full,
+                payload: PayloadId(0),
+            });
+        }
+    }
+    out
+}
+
+/// Steps `a` and `b` (any two engines exposed as closures returning the
+/// round summary) side by side and asserts identical summaries.
+macro_rules! lockstep {
+    ($label:expr, $rounds:expr, $( $engine:expr ),+ ) => {{
+        for round in 0..$rounds {
+            let summaries = vec![$( $engine() ),+];
+            for pair in summaries.windows(2) {
+                assert_eq!(pair[0], pair[1], "{}: diverged at round {round}", $label);
+            }
+        }
+    }};
+}
+
+/// k = 1: pipelined flooding vs the canonical flooder, four engines in
+/// lockstep (pipelined enum / flooder enum / pipelined boxed / pipelined
+/// reference).
+#[test]
+fn k1_pipelined_flooding_is_bit_identical_to_flooder() {
+    for (g, net_seed) in [(0usize, 5u64), (1, 23), (2, 71)] {
+        let net = random_net(net_seed, 24 + g * 7);
+        let n = net.len();
+        for config in configs() {
+            for (name, make_adv) in adversary_menu(derive_seed(9, net_seed)) {
+                let label = format!("flood n={n} {name} {:?} {:?}", config.rule, config.start);
+                let mut pipe_enum =
+                    Executor::from_slots(&net, PipelinedFlooder::slots(n), make_adv(), config)
+                        .unwrap();
+                assert!(pipe_enum.uses_batched_dispatch());
+                let mut flood_enum =
+                    Executor::from_slots(&net, Flooder::slots(n), make_adv(), config).unwrap();
+                let mut pipe_boxed =
+                    Executor::new(&net, PipelinedFlooder::boxed(n), make_adv(), config).unwrap();
+                let mut pipe_ref =
+                    ReferenceExecutor::new(&net, PipelinedFlooder::boxed(n), make_adv(), config)
+                        .unwrap();
+                lockstep!(
+                    label,
+                    60,
+                    || pipe_enum.step(),
+                    || flood_enum.step(),
+                    || pipe_boxed.step(),
+                    || pipe_ref.step()
+                );
+                assert_eq!(pipe_enum.outcome(), flood_enum.outcome(), "{label}");
+                assert_eq!(pipe_enum.outcome(), pipe_ref.outcome(), "{label}");
+                assert_eq!(
+                    pipe_enum.trace().records(),
+                    flood_enum.trace().records(),
+                    "{label}: traces diverged"
+                );
+                assert_eq!(
+                    pipe_enum.known_payloads(),
+                    pipe_ref.known_payloads(),
+                    "{label}: known records diverged"
+                );
+            }
+        }
+    }
+}
+
+/// k = 1: pipelined Harmonic vs the single-payload Harmonic automaton with
+/// identical per-process seeds — the RNG draw sequences must coincide.
+#[test]
+fn k1_pipelined_harmonic_is_bit_identical_to_harmonic() {
+    let period = 4;
+    let harmonic_slots = |n: usize, seed: u64| -> Vec<ProcessSlot> {
+        (0..n)
+            .map(|i| {
+                ProcessSlot::Harmonic(HarmonicProcess::new(
+                    ProcessId::from_index(i),
+                    period,
+                    derive_seed(seed, i as u64),
+                ))
+            })
+            .collect()
+    };
+    let pipelined_slots = |n: usize, seed: u64| -> Vec<ProcessSlot> {
+        (0..n)
+            .map(|i| {
+                ProcessSlot::PipelinedHarmonic(PipelinedHarmonic::new(
+                    ProcessId::from_index(i),
+                    period,
+                    derive_seed(seed, i as u64),
+                ))
+            })
+            .collect()
+    };
+    for net_seed in [3u64, 17] {
+        let net = random_net(net_seed, 22);
+        let n = net.len();
+        for config in configs() {
+            for (name, make_adv) in adversary_menu(derive_seed(31, net_seed)) {
+                let label = format!("harmonic {name} {:?} {:?}", config.rule, config.start);
+                let mut single =
+                    Executor::from_slots(&net, harmonic_slots(n, 7), make_adv(), config).unwrap();
+                let mut multi =
+                    Executor::from_slots(&net, pipelined_slots(n, 7), make_adv(), config).unwrap();
+                assert!(multi.uses_batched_dispatch());
+                let mut multi_ref =
+                    ReferenceExecutor::from_slots(&net, pipelined_slots(n, 7), make_adv(), config)
+                        .unwrap();
+                lockstep!(label, 80, || single.step(), || multi.step(), || multi_ref
+                    .step());
+                assert_eq!(single.outcome(), multi.outcome(), "{label}");
+                assert_eq!(
+                    single.trace().records(),
+                    multi.trace().records(),
+                    "{label}: traces diverged"
+                );
+            }
+        }
+    }
+}
+
+/// k > 1: enum vs boxed vs reference under a shared injection schedule.
+/// Covers payload-set union (multiple payloads per message) and loss
+/// (collision) semantics under every rule.
+#[test]
+fn multi_payload_engines_agree_under_injection() {
+    let k = 5usize;
+    for net_seed in [2u64, 41] {
+        let net = random_net(net_seed, 20);
+        let n = net.len();
+        // Deterministic schedule: payload p arrives at node (p * 7) % n
+        // after round 3 * p.
+        let schedule: Vec<(u64, NodeId, PayloadId)> = (1..k)
+            .map(|p| {
+                (
+                    3 * p as u64,
+                    NodeId::from_index((p * 7) % n),
+                    PayloadId(p as u64),
+                )
+            })
+            .collect();
+        for config in configs() {
+            for (name, make_adv) in adversary_menu(derive_seed(55, net_seed)) {
+                let label = format!("inject {name} {:?} {:?}", config.rule, config.start);
+                let mut a =
+                    Executor::from_slots(&net, PipelinedHarmonic_slots(n), make_adv(), config)
+                        .unwrap();
+                let mut b =
+                    Executor::new(&net, pipelined_harmonic_boxed(n), make_adv(), config).unwrap();
+                let mut c =
+                    ReferenceExecutor::new(&net, pipelined_harmonic_boxed(n), make_adv(), config)
+                        .unwrap();
+                for round in 0..70u64 {
+                    for &(at, node, payload) in &schedule {
+                        if at == round {
+                            a.inject(node, payload);
+                            b.inject(node, payload);
+                            c.inject(node, payload);
+                        }
+                    }
+                    let sa = a.step();
+                    let sb = b.step();
+                    let sc = c.step();
+                    assert_eq!(sa, sb, "{label}: enum vs boxed at round {round}");
+                    assert_eq!(sb, sc, "{label}: boxed vs reference at round {round}");
+                    assert_eq!(
+                        a.known_payloads(),
+                        c.known_payloads(),
+                        "{label}: known records diverged at round {round}"
+                    );
+                }
+                assert_eq!(a.outcome(), c.outcome(), "{label}");
+            }
+        }
+    }
+}
+
+#[allow(non_snake_case)]
+fn PipelinedHarmonic_slots(n: usize) -> Vec<ProcessSlot> {
+    (0..n)
+        .map(|i| {
+            ProcessSlot::PipelinedHarmonic(PipelinedHarmonic::new(
+                ProcessId::from_index(i),
+                3,
+                derive_seed(13, i as u64),
+            ))
+        })
+        .collect()
+}
+
+fn pipelined_harmonic_boxed(n: usize) -> Vec<Box<dyn dualgraph_sim::Process>> {
+    PipelinedHarmonic_slots(n)
+        .into_iter()
+        .map(ProcessSlot::into_boxed)
+        .collect()
+}
+
+/// Union/loss ground truth on a hand-built gadget: two senders with
+/// disjoint payload sets reaching one silent listener. Under CR4-deliver
+/// the listener learns exactly one sender's set (loss of the other);
+/// under CR1/CR2 it learns nothing (collision); a lone sender's set is
+/// absorbed whole (union).
+#[test]
+fn payload_set_union_and_loss_semantics() {
+    use dualgraph_sim::{Process, ProcessTable, SilentProcess};
+
+    // Star: center 2 hears leaves 0 and 1 (reliable edges leaf -> center).
+    let mut g = dualgraph_net::Digraph::new(3);
+    g.add_undirected_edge(NodeId(0), NodeId(2));
+    g.add_undirected_edge(NodeId(1), NodeId(2));
+    let net = DualGraph::new(g.clone(), g, NodeId(0)).unwrap();
+
+    // A process that transmits a fixed payload set in round 1 only.
+    #[derive(Debug, Clone)]
+    struct OneShot {
+        id: ProcessId,
+        set: dualgraph_sim::PayloadSet,
+    }
+    impl Process for OneShot {
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+        fn on_activate(&mut self, _cause: dualgraph_sim::ActivationCause) {}
+        fn transmit(&mut self, local_round: u64) -> Option<dualgraph_sim::Message> {
+            (local_round == 1 && !self.set.is_empty())
+                .then(|| dualgraph_sim::Message::with_payloads(self.id, self.set))
+        }
+        fn receive(&mut self, _local_round: u64, _reception: dualgraph_sim::Reception) {}
+        fn has_payload(&self) -> bool {
+            !self.set.is_empty()
+        }
+        fn clone_box(&self) -> Box<dyn Process> {
+            Box::new(self.clone())
+        }
+    }
+
+    let set_a: dualgraph_sim::PayloadSet = [PayloadId(0), PayloadId(2)].into_iter().collect();
+    let set_b: dualgraph_sim::PayloadSet = [PayloadId(1), PayloadId(3)].into_iter().collect();
+    let build = |with_b: bool| -> Vec<Box<dyn Process>> {
+        vec![
+            Box::new(OneShot {
+                id: ProcessId(0),
+                set: set_a,
+            }),
+            Box::new(OneShot {
+                id: ProcessId(1),
+                set: if with_b {
+                    set_b
+                } else {
+                    dualgraph_sim::PayloadSet::EMPTY
+                },
+            }),
+            Box::new(SilentProcess::new(ProcessId(2))),
+        ]
+    };
+    let _ = ProcessTable::from_boxed(build(true)); // table path smoke
+
+    for rule in CollisionRule::ALL {
+        let config = ExecutorConfig {
+            rule,
+            start: StartRule::Synchronous,
+            ..ExecutorConfig::default()
+        };
+        // Colliding senders with disjoint sets.
+        let mut exec =
+            Executor::new(&net, build(true), Box::new(ReliableOnly::new()), config).unwrap();
+        exec.step();
+        // CR1/CR2: collision notification; CR3/CR4 (default silence):
+        // nothing delivered — either way the whole round's sets are lost.
+        let learned = exec.known_payloads()[2];
+        assert!(
+            learned.is_empty(),
+            "{rule}: listener learned {learned} from a collision"
+        );
+        // Lone sender: the full set is absorbed (union).
+        let mut exec =
+            Executor::new(&net, build(false), Box::new(ReliableOnly::new()), config).unwrap();
+        exec.step();
+        assert_eq!(
+            exec.known_payloads()[2],
+            set_a,
+            "{rule}: lone sender's set absorbed whole"
+        );
+    }
+
+    // CR4 with a delivering adversary: exactly one set survives.
+    struct DeliverFirst;
+    impl Adversary for DeliverFirst {
+        fn unreliable_deliveries(
+            &mut self,
+            _ctx: &dualgraph_sim::RoundContext<'_>,
+            _sender: NodeId,
+            _out: &mut Vec<NodeId>,
+        ) {
+        }
+        fn resolve_cr4(
+            &mut self,
+            _ctx: &dualgraph_sim::RoundContext<'_>,
+            _node: NodeId,
+            _reaching: &[dualgraph_sim::Message],
+        ) -> dualgraph_sim::Cr4Resolution {
+            dualgraph_sim::Cr4Resolution::Deliver(0)
+        }
+        fn clone_box(&self) -> Box<dyn Adversary> {
+            Box::new(DeliverFirst)
+        }
+    }
+    let mut exec = Executor::new(
+        &net,
+        build(true),
+        Box::new(DeliverFirst),
+        ExecutorConfig {
+            rule: CollisionRule::Cr4,
+            start: StartRule::Synchronous,
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+    exec.step();
+    let learned = exec.known_payloads()[2];
+    assert_eq!(
+        learned, set_a,
+        "CR4 Deliver(0): the first reaching set survives, the other is lost"
+    );
+}

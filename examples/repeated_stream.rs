@@ -1,5 +1,8 @@
 //! The §8 future-work loop, live: streaming many messages through an
-//! unreliable network, obliviously vs with topology learning.
+//! unreliable network — obliviously (one broadcast per message, from
+//! scratch), with topology learning (probe once, then pump a collision-free
+//! schedule), and **pipelined** through the multi-message subsystem (one
+//! execution carries the whole stream).
 //!
 //! ```text
 //! cargo run --release --example repeated_stream
@@ -7,6 +10,9 @@
 
 use dualgraph::broadcast::link_estimation::EstimationConfig;
 use dualgraph::broadcast::repeated::{compare_repeated, RepeatedConfig};
+use dualgraph::broadcast::stream::{
+    run_stream, Arrivals, SourcePlacement, StreamAlgorithm, StreamConfig,
+};
 use dualgraph::{generators, BurstyDelivery, ReliableOnly};
 
 fn main() {
@@ -17,8 +23,13 @@ fn main() {
         net.source_eccentricity()
     );
     println!(
-        "{:<16} {:>9} {:>16} {:>16} {:>10} {:>14}",
-        "adversary", "messages", "oblivious total", "learning total", "fallbacks", "advantage/msg"
+        "{:<16} {:>9} {:>16} {:>16} {:>16} {:>10}",
+        "adversary",
+        "messages",
+        "oblivious total",
+        "learning total",
+        "pipelined total",
+        "fallbacks"
     );
     type AdversaryFn = fn(u64) -> Box<dyn dualgraph::Adversary>;
     let menu: [(&str, AdversaryFn); 2] = [
@@ -28,7 +39,7 @@ fn main() {
         }),
     ];
     for (name, make) in menu {
-        for messages in [1u64, 5, 20, 100] {
+        for messages in [1u64, 5, 20, 64] {
             let r = compare_repeated(
                 &net,
                 make,
@@ -45,18 +56,38 @@ fn main() {
                     seed: 5,
                 },
             );
+            // The multi-message subsystem: the same stream as ONE
+            // pipelined-Harmonic execution (batch queue at the source;
+            // harmonic backoff so the pipe keeps mixing under CR4).
+            let stream = run_stream(
+                &net,
+                StreamAlgorithm::PipelinedHarmonic { epsilon: 0.1 },
+                make(17),
+                &StreamConfig {
+                    k: messages as usize,
+                    arrivals: Arrivals::Batch,
+                    sources: SourcePlacement::Single,
+                    max_rounds: 10_000_000,
+                    ..StreamConfig::default()
+                },
+            )
+            .expect("stream run");
+            let pipelined = stream
+                .makespan()
+                .map_or("stalled".to_string(), |m| m.to_string());
             println!(
-                "{:<16} {:>9} {:>16} {:>16} {:>10} {:>14.0}",
+                "{:<16} {:>9} {:>16} {:>16} {:>16} {:>10}",
                 name,
                 messages,
                 r.oblivious_rounds,
                 r.learning_total(),
+                pipelined,
                 r.fallbacks,
-                r.advantage_per_message()
             );
         }
     }
-    println!("\nthe probing phase (2000 rounds) amortizes after a handful of messages;");
-    println!("stalled schedules (misclassified links) fall back to Harmonic, so the");
-    println!("stream is delivered correctly no matter what the learning concluded.");
+    println!("\nthree ways to deliver the same stream: oblivious re-runs pay the full");
+    println!("O(n log^2 n) per message; learning amortizes a 2000-round probe into an");
+    println!("~n-round schedule per message; the pipelined stream pays ONE execution");
+    println!("for the whole batch — the wavefront carries every payload at once.");
 }

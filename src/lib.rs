@@ -52,9 +52,10 @@ pub use dualgraph_broadcast::algorithms::{
     BroadcastAlgorithm, Decay, Harmonic, RoundRobin, StrongSelect, Uniform,
 };
 pub use dualgraph_broadcast::runner::{run_broadcast, run_trials, run_trials_par, RunConfig};
+pub use dualgraph_broadcast::stream::{run_stream, StreamAlgorithm, StreamConfig, StreamOutcome};
 pub use dualgraph_net::{generators, Digraph, DualGraph, NodeId};
 pub use dualgraph_sim::{
     Adversary, BroadcastOutcome, BurstyDelivery, CollisionRule, Executor, ExecutorConfig, Flooder,
-    FullDelivery, Message, PayloadId, Process, ProcessId, ProcessSlot, ProcessTable,
-    RandomDelivery, ReliableOnly, StartRule,
+    FullDelivery, MacEvent, MacLayer, MacStats, Message, PayloadId, PayloadSet, Process, ProcessId,
+    ProcessSlot, ProcessTable, RandomDelivery, ReliableOnly, StartRule, MAX_PAYLOADS,
 };
