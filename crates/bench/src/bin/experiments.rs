@@ -6,12 +6,15 @@
 //! ```
 //!
 //! `NAME` is a csv-name prefix (e.g. `thm12`); omit for all experiments.
-//! `--bench-engine` and/or `--bench-stream` skip the tables and write one
-//! machine-readable `BENCH_engine.json` (schema v3): the engine section
-//! has rounds/sec, ns/round, and speedups vs the boxed/PR 1/reference
-//! engines; the stream section has the pipelined multi-message family
-//! (n × k payload grid: makespan, throughput, MAC ack latency, and
-//! steady-state ns/round). Future PRs compare against both trajectories.
+//! `--bench-engine`, `--bench-stream`, and/or `--bench-dynamics` skip the
+//! tables and write one machine-readable `BENCH_engine.json` (schema v4):
+//! the engine section has rounds/sec, ns/round, and speedups vs the
+//! boxed/PR 1/reference engines; the stream section has the pipelined
+//! multi-message family (n × k payload grid: makespan, throughput, MAC
+//! ack latency, and steady-state ns/round); the dynamics section has
+//! dense flooding under a cycled 16-epoch churn schedule vs the static
+//! baseline (the epoch-swap amortization claim). Future PRs compare
+//! against all three trajectories.
 
 use std::path::PathBuf;
 
@@ -22,7 +25,7 @@ use dualgraph_bench::workloads::Scale;
 /// Measures engine throughput and renders `BENCH_engine.json` by hand (the
 /// environment has no serde; the format is flat enough not to need it).
 ///
-/// Schema `dualgraph-bench-engine/3` (engine section): per size, the
+/// Schema `dualgraph-bench-engine/4` (engine section): per size, the
 /// **chatter** workload
 /// and the **dense flooding** workload (`Flooder` everywhere; see
 /// `engine_bench` for both definitions), each measured on three engines:
@@ -43,14 +46,8 @@ use dualgraph_bench::workloads::Scale;
 /// footprint is attributable to the live engine (plus network
 /// construction).
 fn bench_engine_entries() -> (String, String) {
-    use dualgraph_bench::engine_bench::{Dispatch, EngineMeasurement};
-    const SIZES: [usize; 3] = [65, 257, 1025];
-    let rounds_for = |n: usize| -> u64 {
-        match n {
-            65 => 4000,
-            257 => 2000,
-            _ => 600,
-        }
+    use dualgraph_bench::engine_bench::{
+        bench_rounds_for as rounds_for, Dispatch, EngineMeasurement, BENCH_SIZES as SIZES,
     };
     fn best_of(mut run: impl FnMut() -> EngineMeasurement) -> EngineMeasurement {
         run(); // warm caches, allocator, first-touch paging
@@ -167,19 +164,12 @@ fn bench_engine_entries() -> (String, String) {
 }
 
 /// Measures the pipelined multi-message stream family (see
-/// `stream_bench`): the `n × k` grid as JSON entries for the schema-v3
+/// `stream_bench`): the `n × k` grid as JSON entries for the
 /// `stream_measurements` section.
 fn bench_stream_entries() -> String {
+    use dualgraph_bench::engine_bench::{bench_rounds_for as steady_for, BENCH_SIZES as SIZES};
     use dualgraph_bench::stream_bench;
-    const SIZES: [usize; 3] = [65, 257, 1025];
     const KS: [usize; 3] = [1, 8, 64];
-    let steady_for = |n: usize| -> u64 {
-        match n {
-            65 => 4000,
-            257 => 2000,
-            _ => 600,
-        }
-    };
     let mut entries: Vec<String> = Vec::new();
     for &n in &SIZES {
         let net = engine_bench::workload_network(n);
@@ -226,9 +216,52 @@ fn bench_stream_entries() -> String {
     entries.join(",\n")
 }
 
-/// Assembles the schema-v3 `BENCH_engine.json` document from whichever
+/// Measures the dynamics family (see `dynamics_bench`): dense flooding
+/// under a cycled 16-epoch churn schedule vs the static baseline, as JSON
+/// entries for the `dynamics_measurements` section. The acceptance target
+/// is `churn_slowdown_vs_static ≲ 1.5` at `n = 1025`.
+fn bench_dynamics_entries() -> String {
+    use dualgraph_bench::dynamics_bench;
+    use dualgraph_bench::engine_bench::{bench_rounds_for as rounds_for, BENCH_SIZES as SIZES};
+    SIZES
+        .iter()
+        .map(|&n| {
+            let m = dynamics_bench::measure_dynamics(n, rounds_for(n));
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"workload\": \"dense-flooding-churn16\",\n",
+                    "      \"n\": {},\n",
+                    "      \"rounds\": {},\n",
+                    "      \"epochs\": {},\n",
+                    "      \"epoch_span_rounds\": {},\n",
+                    "      \"epoch_switches\": {},\n",
+                    "      \"static_ns_per_round\": {:.1},\n",
+                    "      \"static_rounds_per_sec\": {:.1},\n",
+                    "      \"churn_ns_per_round\": {:.1},\n",
+                    "      \"churn_rounds_per_sec\": {:.1},\n",
+                    "      \"churn_slowdown_vs_static\": {:.2}\n",
+                    "    }}"
+                ),
+                m.n,
+                m.churn_run.rounds,
+                m.epochs,
+                m.span,
+                m.epoch_switches,
+                m.static_run.ns_per_round(),
+                m.static_run.rounds_per_sec(),
+                m.churn_run.ns_per_round(),
+                m.churn_run.rounds_per_sec(),
+                m.slowdown(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// Assembles the schema-v4 `BENCH_engine.json` document from whichever
 /// sections were requested.
-fn bench_json(engine: bool, stream: bool) -> String {
+fn bench_json(engine: bool, stream: bool, dynamics: bool) -> String {
     let mut sections: Vec<String> = Vec::new();
     let mut rss = "null".to_string();
     if engine {
@@ -237,14 +270,22 @@ fn bench_json(engine: bool, stream: bool) -> String {
         sections.push(format!("  \"measurements\": [\n{entries}\n  ]"));
     }
     if stream {
-        let entries = bench_stream_entries();
-        sections.push(format!("  \"stream_measurements\": [\n{entries}\n  ]"));
-        if !engine {
-            rss = engine_bench::peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
-        }
+        sections.push(format!(
+            "  \"stream_measurements\": [\n{}\n  ]",
+            bench_stream_entries()
+        ));
+    }
+    if dynamics {
+        sections.push(format!(
+            "  \"dynamics_measurements\": [\n{}\n  ]",
+            bench_dynamics_entries()
+        ));
+    }
+    if !engine {
+        rss = engine_bench::peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
     }
     format!(
-        "{{\n  \"schema\": \"dualgraph-bench-engine/3\",\n  \"peak_rss_kb\": {rss},\n{}\n}}\n",
+        "{{\n  \"schema\": \"dualgraph-bench-engine/4\",\n  \"peak_rss_kb\": {rss},\n{}\n}}\n",
         sections.join(",\n")
     )
 }
@@ -257,6 +298,7 @@ fn main() {
     let mut bench_path: Option<PathBuf> = None;
     let mut bench_engine = false;
     let mut bench_stream = false;
+    let mut bench_dynamics = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -270,11 +312,11 @@ fn main() {
                 csv_dir = Some(PathBuf::from(args.get(i).expect("--csv needs a dir")));
             }
             "--no-csv" => csv_dir = None,
-            flag @ ("--bench-engine" | "--bench-stream") => {
-                if flag == "--bench-engine" {
-                    bench_engine = true;
-                } else {
-                    bench_stream = true;
+            flag @ ("--bench-engine" | "--bench-stream" | "--bench-dynamics") => {
+                match flag {
+                    "--bench-engine" => bench_engine = true,
+                    "--bench-stream" => bench_stream = true,
+                    _ => bench_dynamics = true,
                 }
                 if let Some(explicit) = args.get(i + 1).filter(|a| !a.starts_with("--")) {
                     i += 1;
@@ -287,7 +329,7 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: experiments [--quick] [--table NAME] [--csv DIR | --no-csv] \
-                     [--bench-engine [PATH]] [--bench-stream [PATH]]"
+                     [--bench-engine [PATH]] [--bench-stream [PATH]] [--bench-dynamics [PATH]]"
                 );
                 std::process::exit(2);
             }
@@ -296,7 +338,7 @@ fn main() {
     }
 
     if let Some(path) = bench_path {
-        let json = bench_json(bench_engine, bench_stream);
+        let json = bench_json(bench_engine, bench_stream, bench_dynamics);
         print!("{json}");
         if let Err(e) = std::fs::write(&path, &json) {
             eprintln!("error: failed to write {}: {e}", path.display());

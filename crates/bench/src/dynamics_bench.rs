@@ -1,0 +1,157 @@
+//! The `--bench-dynamics` workload family: round cost under topology
+//! churn vs the static baseline.
+//!
+//! The dynamics subsystem's perf claim is that epoch swapping is O(1) and
+//! reuses every engine buffer, so a schedule of many epochs costs the
+//! round path (almost) nothing over a frozen topology. This bench pins
+//! that claim: for each engine-workload size it times
+//!
+//! * **static** — dense flooding on the standard `er_dual` workload graph
+//!   (the same series `--bench-engine` reports), and
+//! * **churn** — the identical workload driven by a
+//!   [`DynamicExecutor`] through a 16-epoch
+//!   [`churn_schedule`][generators::churn_schedule] cycled for the whole
+//!   measured window, so every span boundary swaps the active CSR.
+//!
+//! The acceptance target is `churn_ns_per_round / static_ns_per_round ≲
+//! 1.5` at `n = 1025` — epoch swapping must amortize, not dominate.
+
+use std::time::Instant;
+
+use dualgraph_net::{generators, TopologySchedule};
+use dualgraph_sim::{DynamicExecutor, ExecutorConfig, FaultPlan, Flooder, RandomDelivery};
+
+use crate::engine_bench::{self, Dispatch, EngineMeasurement};
+
+/// Epochs in the standard churn schedule.
+pub const CHURN_EPOCHS: usize = 16;
+/// Rounds per epoch: short enough that a measured window crosses many
+/// boundaries, long enough to resemble a real coherence interval.
+pub const CHURN_SPAN: u64 = 32;
+/// Fraction of the unreliable-only edge set rewired per epoch step.
+pub const CHURN_REWIRE: f64 = 0.25;
+
+/// One measured dynamics cell: static vs churn on the same workload.
+#[derive(Debug, Clone)]
+pub struct DynamicsMeasurement {
+    /// Network size.
+    pub n: usize,
+    /// Epoch count of the churn schedule.
+    pub epochs: usize,
+    /// Rounds per epoch.
+    pub span: u64,
+    /// Dense flooding on the frozen epoch-0 network (enum dispatch).
+    pub static_run: EngineMeasurement,
+    /// The same workload under the cycled churn schedule.
+    pub churn_run: EngineMeasurement,
+    /// Epoch swaps performed inside the churn timing window.
+    pub epoch_switches: u64,
+}
+
+impl DynamicsMeasurement {
+    /// `churn ns/round ÷ static ns/round` — the cost of churn.
+    pub fn slowdown(&self) -> f64 {
+        self.churn_run.ns_per_round() / self.static_run.ns_per_round()
+    }
+}
+
+/// The standard churn schedule over the engine workload graph of size
+/// `n`: epoch 0 is the `--bench-engine` network itself, each later epoch
+/// rewires a quarter of the gray edges (the reliable spine is fixed).
+pub fn churn_workload(n: usize) -> TopologySchedule {
+    generators::churn_schedule(
+        &engine_bench::workload_network(n),
+        generators::ChurnParams {
+            epochs: CHURN_EPOCHS,
+            span: CHURN_SPAN,
+            rewire_fraction: CHURN_REWIRE,
+        },
+        0xC0FFEE,
+    )
+}
+
+/// Times `rounds` rounds of dense flooding driven through the cycled
+/// churn `schedule` (seed 7, `RandomDelivery(0.5)` — the dense-flooding
+/// workload of `--bench-engine`, so the two series are comparable).
+///
+/// # Panics
+///
+/// Panics on executor construction failure.
+pub fn measure_churn_flooding(
+    schedule: &TopologySchedule,
+    rounds: u64,
+) -> (EngineMeasurement, u64) {
+    let n = schedule.node_count();
+    let mut exec = DynamicExecutor::from_slots(
+        schedule,
+        Flooder::slots(n),
+        Box::new(RandomDelivery::new(0.5, 7)),
+        ExecutorConfig::default(),
+        FaultPlan::none(),
+    )
+    .expect("churn workload construction")
+    .cycling(true);
+    let switches_before = exec.epoch_switches();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        exec.step();
+    }
+    let m = EngineMeasurement {
+        rounds,
+        elapsed_ns: start.elapsed().as_nanos(),
+    };
+    (m, exec.epoch_switches() - switches_before)
+}
+
+/// Runs the full dynamics cell for size `n`: the static dense-flooding
+/// baseline and the churn run, both over `rounds` rounds.
+pub fn measure_dynamics(n: usize, rounds: u64) -> DynamicsMeasurement {
+    let schedule = churn_workload(n);
+    let static_run =
+        engine_bench::measure_flooding(schedule.epoch(0).network(), rounds, Dispatch::Enum);
+    let (churn_run, epoch_switches) = measure_churn_flooding(&schedule, rounds);
+    DynamicsMeasurement {
+        n,
+        epochs: CHURN_EPOCHS,
+        span: CHURN_SPAN,
+        static_run,
+        churn_run,
+        epoch_switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_cell_swaps_and_reports() {
+        let m = measure_dynamics(33, 200);
+        assert_eq!(m.n, 33);
+        assert_eq!(m.epochs, CHURN_EPOCHS);
+        // 200 rounds over span-32 epochs cross at least 5 boundaries.
+        assert!(m.epoch_switches >= 5, "{m:?}");
+        assert!(m.static_run.ns_per_round() > 0.0);
+        assert!(m.churn_run.ns_per_round() > 0.0);
+        assert!(m.slowdown() > 0.0);
+    }
+
+    #[test]
+    fn churn_workload_preserves_the_reliable_spine() {
+        let schedule = churn_workload(33);
+        assert_eq!(schedule.len(), CHURN_EPOCHS);
+        let base = schedule.epoch(0).network();
+        for e in schedule.epochs() {
+            assert_eq!(
+                e.network().reliable().edge_count(),
+                base.reliable().edge_count(),
+                "the reliable spine is held fixed"
+            );
+            assert_eq!(
+                e.network().total().edge_count(),
+                base.total().edge_count(),
+                "churn preserves the unreliable edge count"
+            );
+        }
+    }
+}

@@ -26,6 +26,21 @@ use dualgraph_sim::{
 /// enough to exercise collisions and CR4 resolution.
 const CHATTER_RATE: u64 = 3;
 
+/// The workload sizes every `--bench-*` section measures.
+pub const BENCH_SIZES: [usize; 3] = [65, 257, 1025];
+
+/// Rounds per timed run at size `n` — shared by the engine, stream, and
+/// dynamics sections of `BENCH_engine.json`, so cross-section ratios
+/// (e.g. `churn_slowdown_vs_static`) always compare series computed over
+/// the same round budget.
+pub fn bench_rounds_for(n: usize) -> u64 {
+    match n {
+        65 => 4000,
+        257 => 2000,
+        _ => 600,
+    }
+}
+
 /// Which process-dispatch path the optimized executor runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dispatch {

@@ -1,10 +1,16 @@
 //! Topology generators: the paper's lower-bound gadgets plus standard and
-//! randomized dual-graph families.
+//! randomized dual-graph families, and the **schedule generators** that
+//! evolve a dual graph over epochs (edge churn, gray-zone fading, disk
+//! mobility) for the dynamics subsystem.
 //!
 //! Every generator returns a validated [`DualGraph`] (or a small struct
 //! wrapping one when distinguished nodes matter, as in
-//! [`clique_bridge`]). Randomized generators take an explicit seed and are
-//! fully deterministic given it.
+//! [`clique_bridge`]), or a validated
+//! [`TopologySchedule`][crate::TopologySchedule] for the schedule family.
+//! Randomized generators take an explicit seed and are fully deterministic
+//! given it.
+
+use std::collections::HashSet;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -12,6 +18,7 @@ use rand::{Rng, SeedableRng};
 use crate::dual::DualGraph;
 use crate::graph::Digraph;
 use crate::node::NodeId;
+use crate::schedule::{Epoch, TopologySchedule};
 use crate::traversal;
 
 /// The Theorem 2 gadget: an `(n−1)`-clique holding the source `s` and a
@@ -401,10 +408,23 @@ pub fn geometric_dual(params: GeometricDualParams, seed: u64) -> DualGraph {
     let pts: Vec<(f64, f64)> = (0..n)
         .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
         .collect();
-    let d2 = |a: (f64, f64), b: (f64, f64)| {
-        let (dx, dy) = (a.0 - b.0, a.1 - b.1);
-        dx * dx + dy * dy
-    };
+    let (mut g, mut total) = disk_graphs(&pts, reliable_radius, gray_radius);
+    repair_connectivity(&mut g, &mut total, &pts);
+    DualGraph::new(g, total, NodeId(0)).expect("geometric_dual construction is valid")
+}
+
+/// Squared euclidean distance between two unit-square points.
+#[inline]
+fn d2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (dx, dy) = (a.0 - b.0, a.1 - b.1);
+    dx * dx + dy * dy
+}
+
+/// The two-radius disk graphs over fixed points: reliable inside
+/// `reliable_radius`, gray-zone (total-only) in the annulus up to
+/// `gray_radius`.
+fn disk_graphs(pts: &[(f64, f64)], reliable_radius: f64, gray_radius: f64) -> (Digraph, Digraph) {
+    let n = pts.len();
     let mut g = Digraph::new(n);
     let mut total = Digraph::new(n);
     for u in 0..n {
@@ -419,9 +439,16 @@ pub fn geometric_dual(params: GeometricDualParams, seed: u64) -> DualGraph {
             }
         }
     }
-    // Connectivity repair: greedily merge components via closest pairs.
+    (g, total)
+}
+
+/// Greedily merges reliable components via closest crossing pairs until
+/// every node is reachable from node 0 (the documented substitution: real
+/// deployments assume a connected reliable backbone).
+fn repair_connectivity(g: &mut Digraph, total: &mut Digraph, pts: &[(f64, f64)]) {
+    let n = pts.len();
     loop {
-        let reach = traversal::reachable_set(&g, NodeId(0));
+        let reach = traversal::reachable_set(g, NodeId(0));
         if reach.count() == n {
             break;
         }
@@ -440,7 +467,252 @@ pub fn geometric_dual(params: GeometricDualParams, seed: u64) -> DualGraph {
         g.add_undirected_edge(NodeId::from_index(u), NodeId::from_index(v));
         total.add_undirected_edge(NodeId::from_index(u), NodeId::from_index(v));
     }
-    DualGraph::new(g, total, NodeId(0)).expect("geometric_dual construction is valid")
+}
+
+// ---------------------------------------------------------------------------
+// Schedule generators: epoch-evolving dual graphs for the dynamics subsystem.
+// ---------------------------------------------------------------------------
+
+/// Parameters for [`churn_schedule`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnParams {
+    /// Number of epochs in the schedule (≥ 1; epoch 0 is the base network).
+    pub epochs: usize,
+    /// Rounds each epoch covers (≥ 1).
+    pub span: u64,
+    /// Fraction of the unreliable-only edge set rewired per epoch step
+    /// (`[0, 1]`).
+    pub rewire_fraction: f64,
+}
+
+/// Edge churn: each epoch rewires a fraction of the **unreliable-only**
+/// undirected pairs of `base` to fresh random non-pairs, while the
+/// reliable spine `G` is held fixed (and therefore stays connected). The
+/// unreliable edge *count* is preserved, so CSR-edge-indexed adversary
+/// state (the bursty chains) stays well-formed across epochs — chains
+/// follow edge slots, not edge identities (see `docs/DYNAMICS.md`).
+///
+/// Epoch 0 is `base` itself; epoch `i + 1` drifts from epoch `i`, so the
+/// schedule is a random walk through topology space, not independent
+/// resamples. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `base` is not undirected, `epochs == 0`, `span == 0`, or
+/// `rewire_fraction` is outside `[0, 1]`.
+pub fn churn_schedule(base: &DualGraph, params: ChurnParams, seed: u64) -> TopologySchedule {
+    let ChurnParams {
+        epochs,
+        span,
+        rewire_fraction,
+    } = params;
+    assert!(epochs >= 1, "churn_schedule requires at least one epoch");
+    assert!(span >= 1, "churn_schedule requires span >= 1");
+    assert!(
+        (0.0..=1.0).contains(&rewire_fraction),
+        "rewire_fraction must lie in [0, 1]"
+    );
+    assert!(
+        base.is_undirected(),
+        "churn_schedule rewires undirected pairs; base must be undirected"
+    );
+    let n = base.len();
+    let source = base.source();
+    let reliable = base.reliable().clone();
+    // The churned state: unreliable-only undirected pairs (u < v).
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for u in 0..n {
+        for &v in base.unreliable_only_out(NodeId::from_index(u)) {
+            if u < v.index() {
+                pairs.push((u, v.index()));
+            }
+        }
+    }
+    let mut present: HashSet<(usize, usize)> = pairs.iter().copied().collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let rewire = ((rewire_fraction * pairs.len() as f64).round() as usize).min(pairs.len());
+
+    let mut epoch_list = Vec::with_capacity(epochs);
+    epoch_list.push(Epoch::new(base.clone(), span));
+    for _ in 1..epochs {
+        // Pick `rewire` victims (partial Fisher-Yates), replace each with a
+        // fresh random non-pair outside G and the current G′.
+        for i in 0..rewire {
+            let j = rng.gen_range(i..pairs.len());
+            pairs.swap(i, j);
+        }
+        for i in 0..rewire {
+            let old = pairs[i];
+            // Bounded retry: on (near-)complete graphs a fresh pair may not
+            // exist, in which case the old edge survives the epoch.
+            let mut replacement = None;
+            for _ in 0..64 {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                let (u, v) = if a < b { (a, b) } else { (b, a) };
+                if u == v
+                    || present.contains(&(u, v))
+                    || reliable.has_edge(NodeId::from_index(u), NodeId::from_index(v))
+                {
+                    continue;
+                }
+                replacement = Some((u, v));
+                break;
+            }
+            if let Some(fresh) = replacement {
+                present.remove(&old);
+                present.insert(fresh);
+                pairs[i] = fresh;
+            }
+        }
+        let mut total = reliable.clone();
+        for &(u, v) in &pairs {
+            total.add_undirected_edge(NodeId::from_index(u), NodeId::from_index(v));
+        }
+        let net = DualGraph::new(reliable.clone(), total, source)
+            .expect("churn keeps the reliable spine, so every epoch validates");
+        epoch_list.push(Epoch::new(net, span));
+    }
+    TopologySchedule::new(epoch_list).expect("churn epochs share n and source")
+}
+
+/// Parameters for [`fading_schedule`].
+#[derive(Debug, Clone, Copy)]
+pub struct FadingParams {
+    /// The fixed two-radius geometry (points, disk, annulus).
+    pub geometry: GeometricDualParams,
+    /// Probability that an annulus (gray-zone) pair exists in a given
+    /// epoch's `G′`.
+    pub gray_p: f64,
+    /// Number of epochs (≥ 1).
+    pub epochs: usize,
+    /// Rounds each epoch covers (≥ 1).
+    pub span: u64,
+}
+
+/// Gray-zone fading: node positions and the reliable disk graph are fixed
+/// (connectivity-repaired once), while each epoch independently re-samples
+/// **which annulus pairs exist** in `G′` — the long marginal links fade in
+/// and out between epochs, the physical-layer picture of slow fading.
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `epochs == 0`, `span == 0`, `gray_p` is outside `[0, 1]`, or
+/// the geometry parameters are invalid (see [`geometric_dual`]).
+pub fn fading_schedule(params: FadingParams, seed: u64) -> TopologySchedule {
+    let FadingParams {
+        geometry,
+        gray_p,
+        epochs,
+        span,
+    } = params;
+    assert!(epochs >= 1, "fading_schedule requires at least one epoch");
+    assert!(span >= 1, "fading_schedule requires span >= 1");
+    assert!((0.0..=1.0).contains(&gray_p), "gray_p must lie in [0, 1]");
+    assert!(geometry.n > 0, "fading_schedule requires n > 0");
+    assert!(
+        geometry.gray_radius >= geometry.reliable_radius,
+        "gray_radius must be at least reliable_radius"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..geometry.n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let (mut g, mut full_total) = disk_graphs(&pts, geometry.reliable_radius, geometry.gray_radius);
+    repair_connectivity(&mut g, &mut full_total, &pts);
+    // The fading candidates: annulus pairs (in the repaired total, not G).
+    let mut gray_pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    for u in g.nodes() {
+        for &v in full_total.out_neighbors(u) {
+            if u < v && !g.has_edge(u, v) {
+                gray_pairs.push((u, v));
+            }
+        }
+    }
+    let epoch_list = (0..epochs)
+        .map(|_| {
+            let mut total = g.clone();
+            for &(u, v) in &gray_pairs {
+                if rng.gen_bool(gray_p) {
+                    total.add_undirected_edge(u, v);
+                }
+            }
+            let net = DualGraph::new(g.clone(), total, NodeId(0))
+                .expect("fading keeps the repaired reliable disk graph");
+            Epoch::new(net, span)
+        })
+        .collect();
+    TopologySchedule::new(epoch_list).expect("fading epochs share n and source")
+}
+
+/// Parameters for [`mobility_schedule`].
+#[derive(Debug, Clone, Copy)]
+pub struct MobilityParams {
+    /// The two-radius geometry applied at every epoch.
+    pub geometry: GeometricDualParams,
+    /// Maximum per-coordinate displacement per epoch step (random walk,
+    /// reflected at the unit-square boundary).
+    pub step: f64,
+    /// Number of epochs (≥ 1).
+    pub epochs: usize,
+    /// Rounds each epoch covers (≥ 1).
+    pub span: u64,
+}
+
+/// Node mobility on the two-radius disk model: nodes perform a reflected
+/// random walk in the unit square; each epoch freezes the current
+/// positions into a [`geometric_dual`]-style snapshot (reliable disk +
+/// gray annulus, reliable part connectivity-repaired). Deterministic in
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `epochs == 0`, `span == 0`, `step < 0`, or the geometry
+/// parameters are invalid (see [`geometric_dual`]).
+pub fn mobility_schedule(params: MobilityParams, seed: u64) -> TopologySchedule {
+    let MobilityParams {
+        geometry,
+        step,
+        epochs,
+        span,
+    } = params;
+    assert!(epochs >= 1, "mobility_schedule requires at least one epoch");
+    assert!(span >= 1, "mobility_schedule requires span >= 1");
+    assert!(step >= 0.0, "mobility step must be non-negative");
+    assert!(geometry.n > 0, "mobility_schedule requires n > 0");
+    assert!(
+        geometry.gray_radius >= geometry.reliable_radius,
+        "gray_radius must be at least reliable_radius"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pts: Vec<(f64, f64)> = (0..geometry.n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    // Reflect `x + dx` into [0, 1].
+    let reflect = |x: f64| -> f64 {
+        let folded = x.rem_euclid(2.0);
+        if folded > 1.0 {
+            2.0 - folded
+        } else {
+            folded
+        }
+    };
+    let mut epoch_list = Vec::with_capacity(epochs);
+    for i in 0..epochs {
+        if i > 0 && step > 0.0 {
+            for p in pts.iter_mut() {
+                p.0 = reflect(p.0 + rng.gen_range(-step..step));
+                p.1 = reflect(p.1 + rng.gen_range(-step..step));
+            }
+        }
+        let (mut g, mut total) = disk_graphs(&pts, geometry.reliable_radius, geometry.gray_radius);
+        repair_connectivity(&mut g, &mut total, &pts);
+        let net = DualGraph::new(g, total, NodeId(0))
+            .expect("repaired mobility snapshots always validate");
+        epoch_list.push(Epoch::new(net, span));
+    }
+    TopologySchedule::new(epoch_list).expect("mobility epochs share n and source")
 }
 
 #[cfg(test)]
@@ -611,5 +883,154 @@ mod tests {
         };
         let net = geometric_dual(p, 1);
         assert_eq!(net.len(), 30); // construction succeeded => connected
+    }
+
+    #[test]
+    fn churn_keeps_spine_and_edge_count() {
+        let base = er_dual(
+            ErDualParams {
+                n: 30,
+                reliable_p: 0.08,
+                unreliable_p: 0.2,
+            },
+            3,
+        );
+        let params = ChurnParams {
+            epochs: 6,
+            span: 10,
+            rewire_fraction: 0.4,
+        };
+        let s = churn_schedule(&base, params, 9);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.total_rounds(), 60);
+        // Epoch 0 is the base itself.
+        assert_eq!(
+            s.epoch(0).network().total().edge_count(),
+            base.total().edge_count()
+        );
+        let mut drifted = false;
+        for (i, e) in s.epochs().iter().enumerate() {
+            let net = e.network();
+            // Reliable spine held fixed.
+            assert_eq!(net.reliable(), base.reliable(), "epoch {i}");
+            // Unreliable-only *count* preserved (the CSR-chain contract).
+            assert_eq!(
+                net.unreliable_edge_count(),
+                base.unreliable_edge_count(),
+                "epoch {i}"
+            );
+            assert!(net.is_undirected());
+            if net.total() != base.total() {
+                drifted = true;
+            }
+        }
+        assert!(drifted, "rewiring never changed G'");
+        // Deterministic in the seed.
+        let again = churn_schedule(&base, params, 9);
+        for (a, b) in s.epochs().iter().zip(again.epochs()) {
+            assert_eq!(
+                a.network().total().edge_count(),
+                b.network().total().edge_count()
+            );
+            assert_eq!(a.network().total(), b.network().total());
+        }
+        let other = churn_schedule(&base, params, 10);
+        assert!(s
+            .epochs()
+            .iter()
+            .zip(other.epochs())
+            .skip(1)
+            .any(|(a, b)| a.network().total() != b.network().total()));
+    }
+
+    #[test]
+    fn fading_resamples_only_the_gray_zone() {
+        let s = fading_schedule(
+            FadingParams {
+                geometry: GeometricDualParams {
+                    n: 40,
+                    reliable_radius: 0.2,
+                    gray_radius: 0.45,
+                },
+                gray_p: 0.5,
+                epochs: 5,
+                span: 7,
+            },
+            11,
+        );
+        assert_eq!(s.len(), 5);
+        let g0 = s.epoch(0).network().reliable().clone();
+        let mut varied = false;
+        for e in s.epochs() {
+            assert_eq!(e.network().reliable(), &g0, "reliable disk fixed");
+            if e.network().total() != s.epoch(0).network().total() {
+                varied = true;
+            }
+        }
+        assert!(varied, "gray zone never faded");
+    }
+
+    #[test]
+    fn mobility_walks_and_stays_valid() {
+        let s = mobility_schedule(
+            MobilityParams {
+                geometry: GeometricDualParams {
+                    n: 25,
+                    reliable_radius: 0.25,
+                    gray_radius: 0.4,
+                },
+                step: 0.1,
+                epochs: 4,
+                span: 12,
+            },
+            21,
+        );
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.node_count(), 25);
+        // Positions move: the reliable graph must change at some epoch.
+        assert!(s
+            .epochs()
+            .iter()
+            .skip(1)
+            .any(|e| e.network().reliable() != s.epoch(0).network().reliable()));
+        // Every epoch validated at construction (source-connected G).
+        for e in s.epochs() {
+            assert_eq!(e.network().source(), NodeId(0));
+        }
+        // step = 0 degenerates to a frozen walk.
+        let frozen = mobility_schedule(
+            MobilityParams {
+                geometry: GeometricDualParams {
+                    n: 10,
+                    reliable_radius: 0.3,
+                    gray_radius: 0.4,
+                },
+                step: 0.0,
+                epochs: 3,
+                span: 1,
+            },
+            2,
+        );
+        for e in frozen.epochs() {
+            assert_eq!(e.network().reliable(), frozen.epoch(0).network().reliable());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn churn_rejects_directed_base() {
+        let mut g = Digraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let net = DualGraph::new(g.clone(), g, NodeId(0)).unwrap();
+        churn_schedule(
+            &net,
+            ChurnParams {
+                epochs: 2,
+                span: 1,
+                rewire_fraction: 0.5,
+            },
+            0,
+        );
     }
 }

@@ -16,7 +16,11 @@
 //!   CSR at construction;
 //! * [`generators`] — the paper's lower-bound gadgets
 //!   ([`generators::clique_bridge`], [`generators::layered_pairs`]) plus
-//!   standard and random topologies;
+//!   standard and random topologies, and the schedule generators
+//!   ([`generators::churn_schedule`], [`generators::fading_schedule`],
+//!   [`generators::mobility_schedule`]);
+//! * [`TopologySchedule`] — epoch-evolving dual graphs (a sequence of
+//!   frozen snapshots with round spans) for the dynamics subsystem;
 //! * [`traversal`] — BFS distances, layers, eccentricity, diameter;
 //! * [`broadcastability`] — `k`-broadcastability bounds (§3 of the paper);
 //! * [`FixedBitSet`] — the dense bitset the simulator uses for reach sets;
@@ -48,6 +52,7 @@ mod dual;
 pub mod generators;
 mod graph;
 mod node;
+mod schedule;
 pub mod traversal;
 
 pub use bitset::FixedBitSet;
@@ -55,3 +60,4 @@ pub use csr::Csr;
 pub use dual::{BuildDualGraphError, DualGraph};
 pub use graph::Digraph;
 pub use node::NodeId;
+pub use schedule::{BuildScheduleError, Epoch, TopologySchedule};

@@ -27,24 +27,79 @@ use crate::process::{ActivationCause, Process};
 ///
 /// The multi-message analogue of [`Flooder`][crate::Flooder] — and exactly
 /// it when the payload universe has one element.
+///
+/// ## Bounded retransmission
+///
+/// Plain flooding never stops sending, which saturates the medium and (under
+/// CR2–CR4) deafens the network to later arrivals — the ROADMAP's
+/// contention-managed-stream lever. [`PipelinedFlooder::with_budget`] caps
+/// the number of times this node transmits each payload: a payload past its
+/// budget **ages out** of the node's transmission set (the known record
+/// keeps it — coverage accounting is unaffected), and a node whose whole
+/// known set has aged out falls silent, reopening its radio for listening.
+/// The unbounded constructor allocates no counters and its transmission
+/// set is always the whole known set, so `budget = ∞` is bit-identical to
+/// the historical behavior (pinned by a test below).
 #[derive(Debug, Clone)]
 pub struct PipelinedFlooder {
     id: ProcessId,
     known: PayloadSet,
+    /// Per-payload transmission budget; `None` = unbounded (no counters,
+    /// historical fast path).
+    budget: Option<u64>,
+    /// Transmissions used per payload, allocated only when bounded.
+    sent: Option<Box<[u64; MAX_PAYLOADS]>>,
 }
 
 impl PipelinedFlooder {
-    /// Creates the automaton with an empty known set.
+    /// Creates the automaton with an empty known set and an unbounded
+    /// transmission budget.
     pub fn new(id: ProcessId) -> Self {
         PipelinedFlooder {
             id,
             known: PayloadSet::EMPTY,
+            budget: None,
+            sent: None,
+        }
+    }
+
+    /// Creates the automaton with a per-payload transmission budget: this
+    /// node transmits each payload at most `budget` times, then ages it
+    /// out (see the type docs). `budget = 0` never transmits.
+    pub fn with_budget(id: ProcessId, budget: u64) -> Self {
+        PipelinedFlooder {
+            id,
+            known: PayloadSet::EMPTY,
+            budget: Some(budget),
+            sent: Some(Box::new([0; MAX_PAYLOADS])),
         }
     }
 
     /// The node's current known-payload set.
     pub fn known(&self) -> PayloadSet {
         self.known
+    }
+
+    /// The per-payload transmission budget (`None` = unbounded).
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// The payloads this node would still transmit: the known set minus
+    /// everything aged out (equal to the known set when unbounded).
+    pub fn live_set(&self) -> PayloadSet {
+        match (&self.sent, self.budget) {
+            (Some(sent), Some(budget)) => {
+                let mut live = PayloadSet::EMPTY;
+                for p in self.known.iter() {
+                    if sent[p.0 as usize] < budget {
+                        live.insert(p);
+                    }
+                }
+                live
+            }
+            _ => self.known,
+        }
     }
 
     /// The `n` automata for one execution, ids `0..n`, as enum-dispatched
@@ -54,6 +109,19 @@ impl PipelinedFlooder {
             .map(|i| {
                 crate::slot::ProcessSlot::PipelinedFlooder(PipelinedFlooder::new(
                     ProcessId::from_index(i),
+                ))
+            })
+            .collect()
+    }
+
+    /// The `n` budget-bounded automata for one execution, ids `0..n`, as
+    /// enum-dispatched slots.
+    pub fn slots_with_budget(n: usize, budget: u64) -> Vec<crate::slot::ProcessSlot> {
+        (0..n)
+            .map(|i| {
+                crate::slot::ProcessSlot::PipelinedFlooder(PipelinedFlooder::with_budget(
+                    ProcessId::from_index(i),
+                    budget,
                 ))
             })
             .collect()
@@ -83,7 +151,19 @@ impl Process for PipelinedFlooder {
     }
 
     fn transmit(&mut self, _local_round: u64) -> Option<Message> {
-        (!self.known.is_empty()).then(|| Message::with_payloads(self.id, self.known))
+        // Transmit the live (not aged-out) subset; when bounded, charge
+        // each carried payload one transmission. `live_set` is the one
+        // copy of the aging rule; unbounded it is just the known set.
+        let live = self.live_set();
+        if live.is_empty() {
+            return None;
+        }
+        if let Some(sent) = &mut self.sent {
+            for p in live.iter() {
+                sent[p.0 as usize] += 1;
+            }
+        }
+        Some(Message::with_payloads(self.id, live))
     }
 
     fn receive(&mut self, _local_round: u64, reception: Reception) {
@@ -310,5 +390,62 @@ mod tests {
     #[should_panic(expected = "period")]
     fn harmonic_zero_period_panics() {
         PipelinedHarmonic::new(ProcessId(0), 0, 1);
+    }
+
+    #[test]
+    fn infinite_budget_is_bit_identical_to_unbounded() {
+        // budget = u64::MAX can never be exhausted: the bounded automaton
+        // must emit the exact transmission sequence of the unbounded one
+        // under an identical observation history.
+        let mut unbounded = PipelinedFlooder::new(ProcessId(1));
+        let mut capped = PipelinedFlooder::with_budget(ProcessId(1), u64::MAX);
+        let feed: [(u64, Option<PayloadId>); 6] = [
+            (1, Some(PayloadId(0))),
+            (2, None),
+            (3, Some(PayloadId(5))),
+            (4, None),
+            (5, Some(PayloadId(64))),
+            (6, None),
+        ];
+        for (round, input) in feed {
+            if let Some(p) = input {
+                unbounded.on_input(p);
+                capped.on_input(p);
+            }
+            assert_eq!(
+                unbounded.transmit(round),
+                capped.transmit(round),
+                "round {round}"
+            );
+            assert_eq!(unbounded.known(), capped.known());
+            assert_eq!(capped.live_set(), capped.known());
+        }
+        assert_eq!(capped.budget(), Some(u64::MAX));
+        assert_eq!(unbounded.budget(), None);
+    }
+
+    #[test]
+    fn budget_ages_payloads_out_and_quiesces() {
+        let mut p = PipelinedFlooder::with_budget(ProcessId(0), 2);
+        assert_eq!(p.transmit(1), None, "budget 2, nothing known yet");
+        p.on_input(PayloadId(3));
+        // Two budgeted transmissions, then silence.
+        assert!(p.transmit(2).is_some());
+        assert!(p.transmit(3).is_some());
+        assert_eq!(p.transmit(4), None, "payload 3 aged out");
+        assert!(p.live_set().is_empty());
+        assert!(p.has_payload(), "known record keeps aged-out payloads");
+        // A fresh payload reopens transmission, carrying only the live set.
+        p.on_input(PayloadId(9));
+        let m = p.transmit(5).expect("fresh payload within budget");
+        assert!(m.payloads.contains(PayloadId(9)));
+        assert!(
+            !m.payloads.contains(PayloadId(3)),
+            "aged-out payload no longer carried"
+        );
+        // budget = 0 never transmits at all.
+        let mut zero = PipelinedFlooder::with_budget(ProcessId(1), 0);
+        zero.on_input(PayloadId(0));
+        assert_eq!(zero.transmit(1), None);
     }
 }

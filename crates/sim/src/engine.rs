@@ -4,6 +4,7 @@ use dualgraph_net::{DualGraph, FixedBitSet, NodeId};
 
 use crate::adversary::{Adversary, Assignment, RoundContext};
 use crate::collision::{self, CollisionRule, Reception};
+use crate::dynamics::{FaultView, NodeRole};
 use crate::message::{Message, PayloadId, ProcessId};
 use crate::payload::PayloadSet;
 use crate::process::{ActivationCause, Process};
@@ -191,6 +192,16 @@ pub struct Executor<'a> {
     /// record. Maintained unconditionally: the union is two ORs per
     /// receiving node per round, invisible next to collision resolution.
     known: Vec<PayloadSet>,
+    /// Per-node liveness/role mask (the dynamics subsystem): consulted by
+    /// the batched dispatch loops and the collision-resolution sweep.
+    /// All-[`NodeRole::Correct`] populations skip every mask check via
+    /// `faulty_count == 0`.
+    roles: Vec<NodeRole>,
+    /// Per-node standing fault transmission (jammer noise / spammer junk),
+    /// derived from `roles` by [`Executor::set_role`].
+    standing_tx: Vec<Option<Message>>,
+    /// Number of nodes whose role is not [`NodeRole::Correct`].
+    faulty_count: usize,
     round: u64,
     sends: u64,
     physical_collisions: u64,
@@ -323,6 +334,9 @@ impl<'a> Executor<'a> {
             informed: FixedBitSet::new(n),
             first_receive: vec![None; n],
             known: vec![PayloadSet::EMPTY; n],
+            roles: vec![NodeRole::Correct; n],
+            standing_tx: vec![None; n],
+            faulty_count: 0,
             round: 0,
             sends: 0,
             physical_collisions: 0,
@@ -363,6 +377,56 @@ impl<'a> Executor<'a> {
     /// The network under execution.
     pub fn network(&self) -> &DualGraph {
         self.network
+    }
+
+    /// Swaps the active topology snapshot mid-run — the epoch-switch
+    /// primitive of the dynamics subsystem. O(1): only the CSR reference
+    /// changes; processes, informed/known records, and every scratch
+    /// buffer are reused, so the round path stays zero-alloc across
+    /// epochs.
+    ///
+    /// The node set is fixed for the whole execution (processes were
+    /// placed once); the designated source is only read at construction,
+    /// so a [`TopologySchedule`][dualgraph_net::TopologySchedule] — which
+    /// validates both — is the intended supplier of snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `network` has a different node count.
+    pub fn set_network(&mut self, network: &'a DualGraph) {
+        assert_eq!(
+            network.len(),
+            self.network.len(),
+            "epoch node-count mismatch: the node set is fixed for the run"
+        );
+        self.network = network;
+    }
+
+    /// Sets the liveness/role of `node` (the dynamics subsystem's fault
+    /// primitive): crashed nodes neither send nor receive, jammers and
+    /// spammers transmit their standing message every round and never
+    /// receive. See [`NodeRole`] and `docs/DYNAMICS.md` for the exact
+    /// semantics, [`FaultPlan`][crate::FaultPlan] +
+    /// [`DynamicExecutor`][crate::DynamicExecutor] for timed plans.
+    pub fn set_role(&mut self, node: NodeId, role: NodeRole) {
+        let i = node.index();
+        let prev = std::mem::replace(&mut self.roles[i], role);
+        self.standing_tx[i] = role.standing_tx(self.assignment.process_at(node));
+        match (prev.is_correct(), role.is_correct()) {
+            (true, false) => self.faulty_count += 1,
+            (false, true) => self.faulty_count -= 1,
+            _ => {}
+        }
+    }
+
+    /// The current role of `node`.
+    pub fn role(&self, node: NodeId) -> NodeRole {
+        self.roles[node.index()]
+    }
+
+    /// Per-node roles, indexed by node.
+    pub fn roles(&self) -> &[NodeRole] {
+        &self.roles
     }
 
     /// The configuration in force.
@@ -414,8 +478,18 @@ impl<'a> Executor<'a> {
     ///
     /// Call between rounds (or before round 1); the injected payload is
     /// transmittable from the next executed round.
-    pub fn inject(&mut self, node: NodeId, payload: PayloadId) {
+    ///
+    /// Injection into a node that is not currently [`NodeRole::Correct`]
+    /// is **dropped** — a crashed (or jamming/spamming) radio cannot
+    /// accept environment input: the known set, informed record, and
+    /// process all stay untouched, and the method returns `false`. The
+    /// environment does not retry; re-inject after recovery if the
+    /// workload calls for it.
+    pub fn inject(&mut self, node: NodeId, payload: PayloadId) -> bool {
         let i = node.index();
+        if !self.roles[i].is_correct() {
+            return false;
+        }
         self.known[i].insert(payload);
         if self.informed.insert(i) {
             self.first_receive[i] = Some(self.round);
@@ -431,6 +505,7 @@ impl<'a> Executor<'a> {
                 self.active_from[i] = Some(self.round + 1);
             }
         }
+        true
     }
 
     /// Read access to the process currently at `node`.
@@ -467,10 +542,24 @@ impl<'a> Executor<'a> {
         }
 
         // Phase 1: batched send decisions (one variant dispatch for the
-        // whole sweep when the table is homogeneous).
+        // whole sweep when the table is homogeneous). With faults present
+        // the sweep consults the role mask per node — crashed nodes are
+        // skipped, jammers/spammers contribute their standing message in
+        // node order, exactly where their process's send would have gone.
         self.senders_buf.clear();
-        self.procs
-            .transmit_all(t, &self.active_from, &mut self.senders_buf);
+        {
+            let Executor {
+                procs,
+                active_from,
+                roles,
+                standing_tx,
+                faulty_count,
+                senders_buf,
+                ..
+            } = self;
+            let faults = (*faulty_count > 0).then_some(FaultView { roles, standing_tx });
+            procs.transmit_all(t, active_from, faults, senders_buf);
+        }
         self.sends += self.senders_buf.len() as u64;
 
         // Phase 2a: adversary deliveries, flattened sender by sender (one
@@ -605,6 +694,8 @@ impl<'a> Executor<'a> {
                 config,
                 physical_collisions,
                 cr4_scratch,
+                roles,
+                faulty_count,
                 ..
             } = self;
             let ctx = RoundContext {
@@ -615,7 +706,16 @@ impl<'a> Executor<'a> {
                 informed,
             };
             let msg_of = |idx: u32| senders_buf[idx as usize].1;
+            let faulty = *faulty_count > 0;
             for node in 0..n {
+                // Faulty radios resolve to silence: a crashed node has no
+                // functioning receiver and a jammer/spammer never listens
+                // — no collision is counted and no CR4 choice is drawn at
+                // such a node (the adversary RNG stream skips it).
+                if faulty && !roles[node].is_correct() {
+                    receptions_buf.push(Reception::Silence);
+                    continue;
+                }
                 // Reaching-set length from the offsets; the index list
                 // itself is sliced lazily — after a dense-round fast path
                 // (write pass skipped) only the length is valid, and only
@@ -677,9 +777,22 @@ impl<'a> Executor<'a> {
 
         // Phase 4: batched deliveries/activations, then informed-set
         // bookkeeping (process-free, so splitting it off the process sweep
-        // changes no observable order).
-        self.procs
-            .receive_all(t, &mut self.active_from, &self.receptions_buf);
+        // changes no observable order). Faulty nodes got `Silence` in
+        // phase 3 (so the bookkeeping loop skips them naturally); the
+        // masked receive sweep additionally keeps their frozen automata
+        // from observing even that silence.
+        {
+            let Executor {
+                procs,
+                active_from,
+                receptions_buf,
+                roles,
+                faulty_count,
+                ..
+            } = self;
+            let mask = (*faulty_count > 0).then_some(roles.as_slice());
+            procs.receive_all(t, active_from, mask, receptions_buf);
+        }
         let mut newly_informed = Vec::new();
         for node in 0..n {
             let Some(m) = self.receptions_buf[node].message() else {
@@ -773,6 +886,9 @@ impl Clone for Executor<'_> {
             informed: self.informed.clone(),
             first_receive: self.first_receive.clone(),
             known: self.known.clone(),
+            roles: self.roles.clone(),
+            standing_tx: self.standing_tx.clone(),
+            faulty_count: self.faulty_count,
             round: self.round,
             sends: self.sends,
             physical_collisions: self.physical_collisions,

@@ -30,6 +30,12 @@
 //!   cargo representation (see `docs/MULTI_MESSAGE.md`);
 //! * [`MacLayer`] — the abstract MAC layer (`bcast`/`rcv`/`ack` events
 //!   with measured progress and acknowledgment bounds) over the executor;
+//! * [`dynamics`] — the dynamics subsystem: per-node fault roles
+//!   ([`NodeRole`]: crash/recovery, jammers, spammers) applied as a
+//!   liveness mask inside the batched dispatch loops, timed
+//!   [`FaultPlan`]s, and the [`DynamicExecutor`] runner that drives an
+//!   execution through an epoch-evolving
+//!   [`TopologySchedule`][dualgraph_net::TopologySchedule];
 //! * [`ReferenceExecutor`] — the naive allocating oracle the differential
 //!   tests check the optimized engine against;
 //! * [`rng`] — deterministic seed derivation for reproducible experiments.
@@ -60,6 +66,7 @@
 mod adversary;
 pub mod automata;
 mod collision;
+pub mod dynamics;
 mod engine;
 pub mod mac;
 mod message;
@@ -75,6 +82,7 @@ pub use adversary::{
     RandomDelivery, ReliableOnly, RoundContext, WithAssignment,
 };
 pub use collision::{resolve, CollisionRule, Cr4Resolution, Reception};
+pub use dynamics::{DynamicExecutor, DynamicsCursor, FaultEvent, FaultPlan, FaultView, NodeRole};
 pub use engine::{
     BroadcastOutcome, BuildExecutorError, Executor, ExecutorConfig, RoundSummary, StartRule,
 };

@@ -235,6 +235,14 @@ impl<'a> MacLayer<'a> {
         &self.exec
     }
 
+    /// Sets the liveness/role of `node` on the wrapped executor (see
+    /// [`Executor::set_role`]). Acks already pending for a node that
+    /// crashes stay pending until its reliable out-neighborhood is covered
+    /// by the rest of the network (or forever, if it never is).
+    pub fn set_role(&mut self, node: NodeId, role: crate::dynamics::NodeRole) {
+        self.exec.set_role(node, role);
+    }
+
     /// Unwraps the layer, returning the executor mid-execution.
     pub fn into_executor(self) -> Executor<'a> {
         self.exec
@@ -260,9 +268,16 @@ impl<'a> MacLayer<'a> {
     /// once every reliable out-neighbor of `node` knows `payload`. If the
     /// neighborhood is already covered, the ack fires immediately (it
     /// appears in the next [`MacLayer::step`]'s event batch).
-    pub fn bcast(&mut self, node: NodeId, payload: PayloadId) {
+    ///
+    /// Returns `false` — and arms nothing — when the underlying injection
+    /// was dropped because `node` is not currently correct (crashed or
+    /// faulty under the dynamics subsystem): a dead radio cannot `bcast`,
+    /// so no ack will ever fire for the attempt.
+    pub fn bcast(&mut self, node: NodeId, payload: PayloadId) -> bool {
         let fresh = !self.exec.known_payloads()[node.index()].contains(payload);
-        self.exec.inject(node, payload);
+        if !self.exec.inject(node, payload) {
+            return false;
+        }
         // Own injections are not receptions: keep the snapshot in sync so
         // the next diff doesn't surface a spurious `rcv`.
         self.prev_known[node.index()].insert(payload);
@@ -291,6 +306,62 @@ impl<'a> MacLayer<'a> {
             );
         }
         self.track_ack(node, payload);
+        true
+    }
+
+    /// Swaps the active topology snapshot (the dynamics subsystem's epoch
+    /// switch) and **re-anchors every pending acknowledgment** against the
+    /// new reliable graph: ack coverage is always judged by the
+    /// neighborhood of the epoch in force, so a pending `bcast` whose new
+    /// reliable out-neighborhood is already covered acks immediately (the
+    /// ack rides the next [`MacLayer::step`] batch, with no progress
+    /// reception attributed), and one that gained uncovered neighbors
+    /// simply waits for them. Without the re-anchor the stale `remaining`
+    /// counts could deadlock an ack or fire it early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `network` has a different node count (see
+    /// [`Executor::set_network`]).
+    pub fn set_network(&mut self, network: &'a dualgraph_net::DualGraph) {
+        self.exec.set_network(network);
+        let round = self.exec.round();
+        let MacLayer {
+            exec,
+            pending,
+            carried,
+            records,
+            ..
+        } = self;
+        let reliable = exec.network().reliable_csr();
+        let known = exec.known_payloads();
+        let mut i = 0;
+        while i < pending.len() {
+            let p = &mut pending[i];
+            let remaining = reliable
+                .row(p.node)
+                .iter()
+                .filter(|v| !known[v.index()].contains(p.payload))
+                .count() as u32;
+            if remaining == 0 {
+                let done = pending.swap_remove(i);
+                carried.push(MacEvent::Ack {
+                    node: done.node,
+                    payload: done.payload,
+                    round,
+                });
+                records.push(AckRecord {
+                    node: done.node,
+                    payload: done.payload,
+                    bcast_round: done.bcast_round,
+                    first_progress_round: done.first_rcv,
+                    ack_round: round,
+                });
+                continue;
+            }
+            p.remaining = remaining;
+            i += 1;
+        }
     }
 
     fn track_ack(&mut self, node: NodeId, payload: PayloadId) {

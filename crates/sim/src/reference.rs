@@ -25,6 +25,7 @@ use dualgraph_net::{DualGraph, FixedBitSet, NodeId};
 
 use crate::adversary::{Adversary, Assignment, RoundContext};
 use crate::collision::{self, Reception};
+use crate::dynamics::NodeRole;
 use crate::engine::{
     BroadcastOutcome, BuildExecutorError, ExecutorConfig, RoundSummary, StartRule,
 };
@@ -45,6 +46,9 @@ pub struct ReferenceExecutor<'a> {
     informed: FixedBitSet,
     first_receive: Vec<Option<u64>>,
     known: Vec<PayloadSet>,
+    /// Per-node liveness/role mask, mirroring
+    /// [`Executor::set_role`][crate::Executor::set_role].
+    roles: Vec<NodeRole>,
     round: u64,
     sends: u64,
     physical_collisions: u64,
@@ -102,6 +106,7 @@ impl<'a> ReferenceExecutor<'a> {
             informed: FixedBitSet::new(n),
             first_receive: vec![None; n],
             known: vec![PayloadSet::EMPTY; n],
+            roles: vec![NodeRole::Correct; n],
             round: 0,
             sends: 0,
             physical_collisions: 0,
@@ -167,12 +172,42 @@ impl<'a> ReferenceExecutor<'a> {
         &self.known
     }
 
+    /// Swaps the active topology snapshot, mirroring
+    /// [`Executor::set_network`][crate::Executor::set_network].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `network` has a different node count.
+    pub fn set_network(&mut self, network: &'a DualGraph) {
+        assert_eq!(
+            network.len(),
+            self.network.len(),
+            "epoch node-count mismatch: the node set is fixed for the run"
+        );
+        self.network = network;
+    }
+
+    /// Sets the liveness/role of `node`, mirroring
+    /// [`Executor::set_role`][crate::Executor::set_role].
+    pub fn set_role(&mut self, node: NodeId, role: NodeRole) {
+        self.roles[node.index()] = role;
+    }
+
+    /// Per-node roles, indexed by node.
+    pub fn roles(&self) -> &[NodeRole] {
+        &self.roles
+    }
+
     /// Mid-run environment input, mirroring
     /// [`Executor::inject`][crate::Executor::inject] exactly (the stream
     /// differential suite drives both engines through the same injection
-    /// schedule).
-    pub fn inject(&mut self, node: NodeId, payload: PayloadId) {
+    /// schedule): dropped (returning `false`) when the node is not
+    /// currently correct.
+    pub fn inject(&mut self, node: NodeId, payload: PayloadId) -> bool {
         let i = node.index();
+        if !self.roles[i].is_correct() {
+            return false;
+        }
         self.known[i].insert(payload);
         if self.informed.insert(i) {
             self.first_receive[i] = Some(self.round);
@@ -186,6 +221,7 @@ impl<'a> ReferenceExecutor<'a> {
                 self.active_from[i] = Some(self.round + 1);
             }
         }
+        true
     }
 
     /// The recorded trace (empty unless tracing was enabled).
@@ -199,9 +235,22 @@ impl<'a> ReferenceExecutor<'a> {
         let t = self.round + 1;
         let n = self.network.len();
 
-        // Phase 1: send decisions.
+        // Phase 1: send decisions. Faulty nodes follow the role mask:
+        // crashed nodes are skipped (frozen automata are not polled),
+        // jammers/spammers transmit their standing message in node order.
         let mut senders: Vec<(NodeId, Message)> = Vec::new();
         for node in 0..n {
+            match self.roles[node] {
+                NodeRole::Correct => {}
+                NodeRole::Crashed => continue,
+                faulty => {
+                    let pid = self.assignment.process_at(NodeId::from_index(node));
+                    if let Some(msg) = faulty.standing_tx(pid) {
+                        senders.push((NodeId::from_index(node), msg));
+                    }
+                    continue;
+                }
+            }
             if let Some(from) = self.active_from[node] {
                 if from <= t {
                     let local = t - from + 1;
@@ -259,6 +308,7 @@ impl<'a> ReferenceExecutor<'a> {
                 informed,
                 config,
                 physical_collisions,
+                roles,
                 ..
             } = self;
             let ctx = RoundContext {
@@ -269,6 +319,12 @@ impl<'a> ReferenceExecutor<'a> {
                 informed,
             };
             for node in 0..n {
+                // Faulty radios resolve to silence (no collision counted,
+                // no CR4 draw) — mirroring the optimized engine.
+                if !roles[node].is_correct() {
+                    receptions.push(Reception::Silence);
+                    continue;
+                }
                 let reaching = &reach[node];
                 if reaching.len() >= 2 {
                     *physical_collisions += 1;
@@ -284,9 +340,14 @@ impl<'a> ReferenceExecutor<'a> {
             }
         }
 
-        // Phase 4: deliveries, activations, bookkeeping.
+        // Phase 4: deliveries, activations, bookkeeping. Faulty nodes got
+        // `Silence` above; skipping them here additionally keeps their
+        // frozen automata from observing it.
         let mut newly_informed = Vec::new();
         for node in 0..n {
+            if !self.roles[node].is_correct() {
+                continue;
+            }
             let reception = receptions[node];
             if let Some(m) = reception.message() {
                 self.known[node].union_with(m.payloads);

@@ -30,6 +30,7 @@ use crate::automata::{
     StrongSelectProcess, UniformProcess,
 };
 use crate::collision::Reception;
+use crate::dynamics::{FaultView, NodeRole};
 use crate::message::{Message, PayloadId, ProcessId};
 use crate::process::{ActivationCause, ChatterProcess, Flooder, Process, SilentProcess};
 
@@ -383,19 +384,41 @@ impl ProcessTable {
     /// node whose process is active (`active_from[node] <= round`) in
     /// ascending node order and appends `(node, message)` for each
     /// transmission.
+    ///
+    /// `faults` is the dynamics subsystem's per-node liveness/role mask
+    /// (`None` for all-correct populations — the common case pays one
+    /// branch on the `Option` per sweep, nothing per node): crashed nodes
+    /// are skipped without polling their frozen automata, jammers and
+    /// spammers contribute their standing message instead — in the same
+    /// node-order position a process transmission would occupy, which the
+    /// adversary call order and the reaching arena depend on.
     pub fn transmit_all(
         &mut self,
         round: u64,
         active_from: &[Option<u64>],
+        faults: Option<FaultView<'_>>,
         out: &mut Vec<(NodeId, Message)>,
     ) {
         fn run<P: Process>(
             procs: &mut [P],
             t: u64,
             active_from: &[Option<u64>],
+            faults: Option<FaultView<'_>>,
             out: &mut Vec<(NodeId, Message)>,
         ) {
             for (node, p) in procs.iter_mut().enumerate() {
+                if let Some(f) = faults {
+                    match f.roles[node] {
+                        NodeRole::Correct => {}
+                        NodeRole::Crashed => continue,
+                        NodeRole::Jammer | NodeRole::Spammer(_) => {
+                            if let Some(msg) = f.standing_tx[node] {
+                                out.push((NodeId::from_index(node), msg));
+                            }
+                            continue;
+                        }
+                    }
+                }
                 if let Some(from) = active_from[node] {
                     if from <= t {
                         if let Some(msg) = p.transmit(t - from + 1) {
@@ -405,26 +428,36 @@ impl ProcessTable {
                 }
             }
         }
-        each_repr!(&mut self.repr, v => run(v, round, active_from, out));
+        each_repr!(&mut self.repr, v => run(v, round, active_from, faults, out));
     }
 
     /// Phase-4 batched end-of-round deliveries for global round `round`,
     /// in ascending node order: active processes get `receive`; sleeping
     /// processes (asynchronous start) are activated by an actual message,
     /// which updates `active_from[node]` to `round + 1`.
+    ///
+    /// `roles` is the dynamics liveness mask (`None` when every node is
+    /// correct): non-correct nodes are skipped entirely — their frozen
+    /// automata observe nothing, not even silence, and cannot be
+    /// activated while faulty.
     pub fn receive_all(
         &mut self,
         round: u64,
         active_from: &mut [Option<u64>],
+        roles: Option<&[NodeRole]>,
         receptions: &[Reception],
     ) {
         fn run<P: Process>(
             procs: &mut [P],
             t: u64,
             active_from: &mut [Option<u64>],
+            roles: Option<&[NodeRole]>,
             receptions: &[Reception],
         ) {
             for (node, p) in procs.iter_mut().enumerate() {
+                if roles.is_some_and(|r| !r[node].is_correct()) {
+                    continue;
+                }
                 match active_from[node] {
                     Some(from) if from <= t => p.receive(t - from + 1, receptions[node]),
                     _ => {
@@ -438,7 +471,7 @@ impl ProcessTable {
                 }
             }
         }
-        each_repr!(&mut self.repr, v => run(v, round, active_from, receptions));
+        each_repr!(&mut self.repr, v => run(v, round, active_from, roles, receptions));
     }
 }
 
@@ -498,7 +531,7 @@ mod tests {
         table.activate(1, ActivationCause::SynchronousStart);
 
         let mut sends = Vec::new();
-        table.transmit_all(1, &active, &mut sends);
+        table.transmit_all(1, &active, None, &mut sends);
         // Only node 0 is informed; node 2 is asleep.
         assert_eq!(sends.len(), 1);
         assert_eq!(sends[0].0, NodeId(0));
@@ -509,10 +542,49 @@ mod tests {
             Reception::Message(sends[0].1),
             Reception::Message(sends[0].1),
         ];
-        table.receive_all(1, &mut active, &receptions);
+        table.receive_all(1, &mut active, None, &receptions);
         assert_eq!(active[2], Some(2), "message reception activates sleepers");
         assert!(table.get(1).has_payload());
         assert!(table.get(2).has_payload());
+    }
+
+    #[test]
+    fn fault_mask_gates_the_batched_sweeps() {
+        let msg = Message::with_payload(ProcessId(9), PayloadId(0));
+        let mut table = ProcessTable::from_slots(flooder_slots(3));
+        let active = vec![Some(1), Some(1), Some(1)];
+        for node in 0..3 {
+            table.activate(node, ActivationCause::Input(msg));
+        }
+        // Node 0 correct, node 1 crashed, node 2 a jammer.
+        let roles = [NodeRole::Correct, NodeRole::Crashed, NodeRole::Jammer];
+        let noise = Message::signal(ProcessId(2));
+        let standing = [None, None, Some(noise)];
+        let mut sends = Vec::new();
+        table.transmit_all(
+            1,
+            &active,
+            Some(FaultView {
+                roles: &roles,
+                standing_tx: &standing,
+            }),
+            &mut sends,
+        );
+        // Node order preserved: correct flooder first, then the jammer's
+        // standing noise; the crashed node contributes nothing.
+        assert_eq!(sends.len(), 2);
+        assert_eq!(sends[0].0, NodeId(0));
+        assert_eq!((sends[1].0, sends[1].1), (NodeId(2), noise));
+
+        // Masked receive: faulty nodes observe nothing.
+        let fresh = Message::with_payload(ProcessId(9), PayloadId(3));
+        let receptions = vec![Reception::Message(fresh); 3];
+        let mut table = ProcessTable::from_slots(PipelinedFlooder::slots(3));
+        let mut active2 = vec![Some(1), Some(1), Some(1)];
+        table.receive_all(1, &mut active2, Some(&roles), &receptions);
+        assert!(table.get(0).has_payload());
+        assert!(!table.get(1).has_payload(), "crashed node observed nothing");
+        assert!(!table.get(2).has_payload(), "jammer observed nothing");
     }
 
     #[test]

@@ -52,10 +52,13 @@ pub use dualgraph_broadcast::algorithms::{
     BroadcastAlgorithm, Decay, Harmonic, RoundRobin, StrongSelect, Uniform,
 };
 pub use dualgraph_broadcast::runner::{run_broadcast, run_trials, run_trials_par, RunConfig};
-pub use dualgraph_broadcast::stream::{run_stream, StreamAlgorithm, StreamConfig, StreamOutcome};
-pub use dualgraph_net::{generators, Digraph, DualGraph, NodeId};
+pub use dualgraph_broadcast::stream::{
+    run_stream, run_stream_scheduled, DynamicsConfig, StreamAlgorithm, StreamConfig, StreamOutcome,
+};
+pub use dualgraph_net::{generators, Digraph, DualGraph, Epoch, NodeId, TopologySchedule};
 pub use dualgraph_sim::{
-    Adversary, BroadcastOutcome, BurstyDelivery, CollisionRule, Executor, ExecutorConfig, Flooder,
-    FullDelivery, MacEvent, MacLayer, MacStats, Message, PayloadId, PayloadSet, Process, ProcessId,
-    ProcessSlot, ProcessTable, RandomDelivery, ReliableOnly, StartRule, MAX_PAYLOADS,
+    Adversary, BroadcastOutcome, BurstyDelivery, CollisionRule, DynamicExecutor, Executor,
+    ExecutorConfig, FaultPlan, Flooder, FullDelivery, MacEvent, MacLayer, MacStats, Message,
+    NodeRole, PayloadId, PayloadSet, Process, ProcessId, ProcessSlot, ProcessTable, RandomDelivery,
+    ReliableOnly, StartRule, MAX_PAYLOADS,
 };
