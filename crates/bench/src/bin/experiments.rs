@@ -6,15 +6,18 @@
 //! ```
 //!
 //! `NAME` is a csv-name prefix (e.g. `thm12`); omit for all experiments.
-//! `--bench-engine`, `--bench-stream`, and/or `--bench-dynamics` skip the
-//! tables and write one machine-readable `BENCH_engine.json` (schema v4):
-//! the engine section has rounds/sec, ns/round, and speedups vs the
-//! boxed/PR 1/reference engines; the stream section has the pipelined
-//! multi-message family (n × k payload grid: makespan, throughput, MAC
-//! ack latency, and steady-state ns/round); the dynamics section has
-//! dense flooding under a cycled 16-epoch churn schedule vs the static
-//! baseline (the epoch-swap amortization claim). Future PRs compare
-//! against all three trajectories.
+//! `--bench-engine`, `--bench-stream`, `--bench-dynamics`, and/or
+//! `--bench-reliability` skip the tables and write one machine-readable
+//! `BENCH_engine.json` (schema v5): the engine section has rounds/sec,
+//! ns/round, and speedups vs the boxed/PR 1/reference engines; the stream
+//! section has the pipelined multi-message family (n × k payload grid:
+//! makespan, throughput, MAC ack latency, and steady-state ns/round); the
+//! dynamics section has dense flooding under a cycled 16-epoch churn
+//! schedule vs the static baseline (the epoch-swap amortization claim);
+//! the reliability section has the ack-gap retry policy's delivery
+//! guarantees and per-round overhead under churn, crash/recovery faults,
+//! and the bursty adversary. Future PRs compare against all four
+//! trajectories.
 
 use std::path::PathBuf;
 
@@ -259,9 +262,61 @@ fn bench_dynamics_entries() -> String {
         .join(",\n")
 }
 
-/// Assembles the schema-v4 `BENCH_engine.json` document from whichever
+/// Measures the reliability family (see `reliability_bench`): the
+/// ack-gap retry policy's delivery guarantees and fixed-window per-round
+/// overhead under the cycled 16-epoch churn schedule with ~10%
+/// crash/recovery faults, a spammer, and the bursty adversary, as JSON
+/// entries for the `reliability_measurements` section. The acceptance
+/// targets are `non_abandoned_delivered_pct == 100` and
+/// `retry_overhead_vs_no_retry ≲ 1.3` at `n = 1025`.
+fn bench_reliability_entries() -> String {
+    use dualgraph_bench::engine_bench::{bench_rounds_for as rounds_for, BENCH_SIZES as SIZES};
+    use dualgraph_bench::reliability_bench;
+    SIZES
+        .iter()
+        .map(|&n| {
+            let m = reliability_bench::measure_reliability(n, rounds_for(n));
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"workload\": \"reliability-churn16-crash10pct-bursty\",\n",
+                    "      \"n\": {},\n",
+                    "      \"k\": {},\n",
+                    "      \"policy\": \"{}\",\n",
+                    "      \"delivered\": {},\n",
+                    "      \"abandoned\": {},\n",
+                    "      \"pending\": {},\n",
+                    "      \"retries\": {},\n",
+                    "      \"non_abandoned_delivered_pct\": {:.1},\n",
+                    "      \"rounds_to_settle\": {},\n",
+                    "      \"timed_rounds\": {},\n",
+                    "      \"no_retry_ns_per_round\": {:.1},\n",
+                    "      \"retry_ns_per_round\": {:.1},\n",
+                    "      \"retry_overhead_vs_no_retry\": {:.2}\n",
+                    "    }}"
+                ),
+                m.n,
+                m.k,
+                m.report.policy.name(),
+                m.report.stats.delivered,
+                m.report.stats.abandoned,
+                m.report.stats.pending,
+                m.report.stats.total_retries,
+                m.non_abandoned_delivered_pct(),
+                m.rounds_to_settle,
+                m.baseline.rounds,
+                m.baseline.ns_per_round(),
+                m.retry.ns_per_round(),
+                m.overhead(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// Assembles the schema-v5 `BENCH_engine.json` document from whichever
 /// sections were requested.
-fn bench_json(engine: bool, stream: bool, dynamics: bool) -> String {
+fn bench_json(engine: bool, stream: bool, dynamics: bool, reliability: bool) -> String {
     let mut sections: Vec<String> = Vec::new();
     let mut rss = "null".to_string();
     if engine {
@@ -281,11 +336,17 @@ fn bench_json(engine: bool, stream: bool, dynamics: bool) -> String {
             bench_dynamics_entries()
         ));
     }
+    if reliability {
+        sections.push(format!(
+            "  \"reliability_measurements\": [\n{}\n  ]",
+            bench_reliability_entries()
+        ));
+    }
     if !engine {
         rss = engine_bench::peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
     }
     format!(
-        "{{\n  \"schema\": \"dualgraph-bench-engine/4\",\n  \"peak_rss_kb\": {rss},\n{}\n}}\n",
+        "{{\n  \"schema\": \"dualgraph-bench-engine/5\",\n  \"peak_rss_kb\": {rss},\n{}\n}}\n",
         sections.join(",\n")
     )
 }
@@ -299,6 +360,7 @@ fn main() {
     let mut bench_engine = false;
     let mut bench_stream = false;
     let mut bench_dynamics = false;
+    let mut bench_reliability = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -312,11 +374,15 @@ fn main() {
                 csv_dir = Some(PathBuf::from(args.get(i).expect("--csv needs a dir")));
             }
             "--no-csv" => csv_dir = None,
-            flag @ ("--bench-engine" | "--bench-stream" | "--bench-dynamics") => {
+            flag @ ("--bench-engine"
+            | "--bench-stream"
+            | "--bench-dynamics"
+            | "--bench-reliability") => {
                 match flag {
                     "--bench-engine" => bench_engine = true,
                     "--bench-stream" => bench_stream = true,
-                    _ => bench_dynamics = true,
+                    "--bench-dynamics" => bench_dynamics = true,
+                    _ => bench_reliability = true,
                 }
                 if let Some(explicit) = args.get(i + 1).filter(|a| !a.starts_with("--")) {
                     i += 1;
@@ -329,7 +395,8 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: experiments [--quick] [--table NAME] [--csv DIR | --no-csv] \
-                     [--bench-engine [PATH]] [--bench-stream [PATH]] [--bench-dynamics [PATH]]"
+                     [--bench-engine [PATH]] [--bench-stream [PATH]] [--bench-dynamics [PATH]] \
+                     [--bench-reliability [PATH]]"
                 );
                 std::process::exit(2);
             }
@@ -338,7 +405,12 @@ fn main() {
     }
 
     if let Some(path) = bench_path {
-        let json = bench_json(bench_engine, bench_stream, bench_dynamics);
+        let json = bench_json(
+            bench_engine,
+            bench_stream,
+            bench_dynamics,
+            bench_reliability,
+        );
         print!("{json}");
         if let Err(e) = std::fs::write(&path, &json) {
             eprintln!("error: failed to write {}: {e}", path.display());

@@ -12,6 +12,7 @@ pub mod dynamics_bench;
 pub mod engine_bench;
 pub mod experiments;
 pub mod pr1_engine;
+pub mod reliability_bench;
 pub mod report;
 pub mod stream_bench;
 pub mod workloads;

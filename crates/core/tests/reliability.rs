@@ -1,0 +1,250 @@
+//! Reliability differential suite: the retry/ack policy layer checked at
+//! the stream level, across adversaries, policies, and fault plans (run
+//! in CI's `release-da` job alongside the engine differentials).
+//!
+//! Property families:
+//!
+//! 1. **lossless ⇒ delivered** — under a lossless benign setting (no
+//!    faults, every policy) every payload settles `Delivered`;
+//! 2. **transparency** — a policy whose trigger can never fire reproduces
+//!    the no-policy run bit for bit, over the delivery-adversary menu;
+//! 3. **budget exhaustion ⇒ abandoned** — a payload that can never enter
+//!    (permanently crashed producer) burns exactly its retry budget and
+//!    settles `Abandoned`;
+//! 4. **the acceptance scenario in miniature** — cycled churn schedule ×
+//!    crash/recovery faults × a spammer × the bursty adversary (with the
+//!    fair CR4 coin): the ack-gap policy delivers 100% of non-abandoned
+//!    payloads to all correct live nodes, verified per payload against
+//!    the engine's known/role records (spam-proof: the junk id collides
+//!    with a stream payload on purpose).
+
+use dualgraph_broadcast::stream::{
+    plan_arrivals, run_stream_scheduled, run_stream_session, DynamicsConfig, SourcePlacement,
+    StreamAlgorithm, StreamConfig,
+};
+use dualgraph_net::{generators, DualGraph, NodeId};
+use dualgraph_sim::rng::derive_seed;
+use dualgraph_sim::{
+    Adversary, BurstyDelivery, FaultPlan, FullDelivery, PayloadId, PayloadSet, RandomDelivery,
+    ReliableOnly, RetryPolicy, WithRandomCr4,
+};
+
+fn policies() -> Vec<RetryPolicy> {
+    vec![
+        RetryPolicy::FixedInterval {
+            interval: 4,
+            max_retries: 8,
+        },
+        RetryPolicy::AckGap {
+            gap: 6,
+            max_retries: 8,
+        },
+        RetryPolicy::ExponentialBackoff {
+            base: 3,
+            max_retries: 8,
+        },
+    ]
+}
+
+fn random_net(seed: u64, n: usize) -> DualGraph {
+    generators::er_dual(
+        generators::ErDualParams {
+            n,
+            reliable_p: 0.12,
+            unreliable_p: 0.25,
+        },
+        seed,
+    )
+}
+
+#[test]
+fn lossless_setting_delivers_every_payload_under_every_policy() {
+    for net_seed in [31u64, 67] {
+        let net = random_net(net_seed, 24);
+        for policy in policies() {
+            let config = StreamConfig {
+                k: 6,
+                max_rounds: 50_000,
+                reliability: Some(policy),
+                ..StreamConfig::default()
+            };
+            let (outcome, _) = run_stream_session(
+                &net,
+                StreamAlgorithm::PipelinedFlooding,
+                Box::new(RandomDelivery::new(0.5, derive_seed(3, net_seed))),
+                &config,
+            )
+            .unwrap();
+            let report = outcome.reliability.as_ref().unwrap();
+            assert_eq!(
+                report.stats.delivered, 6,
+                "{policy:?} seed {net_seed}: {report:?}"
+            );
+            assert_eq!(report.stats.abandoned, 0);
+            assert!(report.all_non_abandoned_delivered());
+            assert!(outcome.completed);
+            for e in &report.entries {
+                assert!(e.entered);
+                assert!(e.verdict.is_delivered(), "{e:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn never_triggering_policy_is_bit_transparent_across_the_adversary_menu() {
+    let adversaries: Vec<(&str, Box<dyn Fn() -> Box<dyn Adversary>>)> = vec![
+        ("reliable-only", Box::new(|| Box::new(ReliableOnly::new()))),
+        ("full-delivery", Box::new(|| Box::new(FullDelivery::new()))),
+        (
+            "random(0.5)",
+            Box::new(|| Box::new(RandomDelivery::new(0.5, 41))),
+        ),
+        (
+            "bursty+cr4",
+            Box::new(|| Box::new(WithRandomCr4::new(BurstyDelivery::new(0.2, 0.4, 41), 5))),
+        ),
+    ];
+    let net = random_net(91, 26);
+    for (name, make_adv) in adversaries {
+        let base = StreamConfig {
+            k: 4,
+            max_rounds: 100_000,
+            ..StreamConfig::default()
+        };
+        let (plain, _) =
+            run_stream_session(&net, StreamAlgorithm::PipelinedFlooding, make_adv(), &base)
+                .unwrap();
+        let (reliable, _) = run_stream_session(
+            &net,
+            StreamAlgorithm::PipelinedFlooding,
+            make_adv(),
+            &StreamConfig {
+                reliability: Some(RetryPolicy::AckGap {
+                    gap: 1_000_000,
+                    max_retries: 2,
+                }),
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(reliable.payloads, plain.payloads, "{name}");
+        assert_eq!(reliable.rounds_executed, plain.rounds_executed, "{name}");
+        assert_eq!(reliable.mac, plain.mac, "{name}");
+        assert_eq!(
+            reliable.reliability.unwrap().stats.total_retries,
+            0,
+            "{name}: the gap can never elapse"
+        );
+    }
+}
+
+#[test]
+fn permanently_dead_producer_burns_the_budget_and_abandons() {
+    // Ring, so the dead producer partitions nothing; spread sources put
+    // payload 1 on the node we crash forever.
+    let net = generators::ring(10, 2);
+    let config = StreamConfig {
+        k: 2,
+        sources: SourcePlacement::Spread,
+        max_rounds: 5_000,
+        dynamics: Some(DynamicsConfig {
+            faults: FaultPlan::none().crash(NodeId(5), 0),
+            cycle: false,
+        }),
+        reliability: Some(RetryPolicy::ExponentialBackoff {
+            base: 2,
+            max_retries: 5,
+        }),
+        ..StreamConfig::default()
+    };
+    assert_eq!(plan_arrivals(&net, &config)[1].node, NodeId(5));
+    let (outcome, _) = run_stream_session(
+        &net,
+        StreamAlgorithm::PipelinedFlooding,
+        Box::new(ReliableOnly::new()),
+        &config,
+    )
+    .unwrap();
+    let report = outcome.reliability.as_ref().unwrap();
+    assert_eq!(
+        report.entries[1].verdict,
+        dualgraph_sim::DeliveryVerdict::Abandoned { retries: 5 }
+    );
+    assert!(!report.entries[1].entered);
+    assert!(outcome.payloads[1].dropped, "surfaced as a dropped arrival");
+    assert!(report.entries[0].verdict.is_delivered());
+    assert!(report.all_non_abandoned_delivered());
+}
+
+/// The ISSUE acceptance scenario in CI-sized miniature: a cycled churn
+/// schedule, ~10% crash/recovery faults plus a spammer whose junk id
+/// collides with a live stream payload, the bursty adversary (fair CR4
+/// coin), and the ack-gap policy. Every non-abandoned payload must be
+/// delivered to all correct live nodes, verified per payload from the
+/// engine's own records.
+#[test]
+fn churn_crash_spam_scenario_delivers_all_non_abandoned_payloads() {
+    let n = 65;
+    let base = random_net(7, n);
+    let schedule = generators::churn_schedule(
+        &base,
+        generators::ChurnParams {
+            epochs: 8,
+            span: 16,
+            rewire_fraction: 0.25,
+        },
+        derive_seed(9, 7),
+    );
+    // ~10% of nodes crash once and recover; junk {3, 99} collides with
+    // stream payload 3.
+    let mut faults = FaultPlan::none();
+    for i in (3..n as u32).step_by(10) {
+        faults = faults
+            .crash(NodeId(i), 4 + u64::from(i % 13))
+            .recover(NodeId(i), 40 + u64::from(i % 7));
+    }
+    let mut junk = PayloadSet::only(PayloadId(99));
+    junk.insert(PayloadId(3));
+    faults = faults.spam(NodeId(11), 9, junk).recover(NodeId(11), 60);
+    let config = StreamConfig {
+        k: 16,
+        max_rounds: 20_000,
+        dynamics: Some(DynamicsConfig {
+            faults,
+            cycle: true,
+        }),
+        reliability: Some(RetryPolicy::AckGap {
+            gap: 8,
+            max_retries: 24,
+        }),
+        ..StreamConfig::default()
+    };
+    let outcome = run_stream_scheduled(
+        &schedule,
+        StreamAlgorithm::PipelinedFlooding,
+        Box::new(WithRandomCr4::new(
+            BurstyDelivery::new(0.15, 0.4, 13),
+            derive_seed(2, 13),
+        )),
+        &config,
+    )
+    .unwrap();
+    let report = outcome.reliability.as_ref().unwrap();
+    assert_eq!(report.stats.pending, 0, "run settled: {report:?}");
+    assert!(report.all_non_abandoned_delivered());
+    assert!(
+        report.stats.delivered >= 15,
+        "almost everything deliverable: {:?}",
+        report.stats
+    );
+    // Segments tie out.
+    let seg_retries: u64 = outcome.epochs.iter().map(|e| e.retries as u64).sum();
+    let seg_delivered: usize = outcome.epochs.iter().map(|e| e.delivered).sum();
+    assert_eq!(seg_retries, report.stats.total_retries);
+    assert_eq!(seg_delivered, report.stats.delivered);
+    // Spam-proof: junk id 99 circulated but is not a stream payload, and
+    // no verdict exists for it.
+    assert_eq!(report.entries.len(), 16);
+    assert!(report.entries.iter().all(|e| e.payload.0 < 16));
+}

@@ -92,7 +92,7 @@ impl std::error::Error for BuildDualGraphError {}
 /// assert_eq!(net.unreliable_only_out(NodeId(0)), &[NodeId(2)]);
 /// # Ok::<(), dualgraph_net::BuildDualGraphError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct DualGraph {
     reliable: Digraph,
     total: Digraph,
@@ -105,7 +105,37 @@ pub struct DualGraph {
     /// in `G` — exactly the targets the adversary may grant or deny.
     /// Frozen into CSR form at construction.
     unreliable_only_csr: Csr,
+    /// Stable identities for the unreliable-only edges, aligned with the
+    /// flat indices of `unreliable_only_csr` (see
+    /// [`DualGraph::unreliable_edge_ids`]). `None` for a standalone graph,
+    /// where the flat index *is* the identity. Attached by
+    /// [`TopologySchedule`][crate::TopologySchedule] so per-edge adversary
+    /// state survives epoch switches keyed by edge *identity*, not CSR
+    /// position.
+    unreliable_edge_ids: Option<UnreliableEdgeIds>,
 }
+
+/// The stable-identity map of [`DualGraph::unreliable_edge_ids`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct UnreliableEdgeIds {
+    /// `ids[flat]` = stable identity of the flat CSR edge `flat`.
+    ids: Vec<u32>,
+    /// Size of the identity universe (`0..universe`); at least the number
+    /// of distinct ids in `ids`, shared by every epoch of a schedule.
+    universe: u32,
+}
+
+/// Equality is over the *topology* `(G, G′, source)` only: the frozen CSR
+/// forms are derived from it, and the stable edge-id map is schedule
+/// bookkeeping, not part of the network itself (a schedule epoch compares
+/// equal to the raw graph it was built from).
+impl PartialEq for DualGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.reliable == other.reliable && self.total == other.total && self.source == other.source
+    }
+}
+
+impl Eq for DualGraph {}
 
 impl DualGraph {
     /// Validates and builds a dual graph network.
@@ -165,6 +195,7 @@ impl DualGraph {
             reliable_csr,
             total_csr,
             unreliable_only_csr,
+            unreliable_edge_ids: None,
         })
     }
 
@@ -248,6 +279,78 @@ impl DualGraph {
     #[inline]
     pub fn unreliable_only_csr(&self) -> &Csr {
         &self.unreliable_only_csr
+    }
+
+    /// Stable identities of the unreliable-only edges, aligned with the
+    /// flat indices of [`DualGraph::unreliable_only_csr`] (`ids[flat]` is
+    /// the identity of flat edge `flat`), or `None` for a standalone graph
+    /// — where the flat index itself is the identity.
+    ///
+    /// [`TopologySchedule`][crate::TopologySchedule] attaches these maps
+    /// at construction, keyed by the directed pair `(u, v)`: the same pair
+    /// keeps the same identity in every epoch it appears in, so stateful
+    /// per-edge adversaries (the bursty Gilbert–Elliott chains) can carry
+    /// their chain state across epoch switches by *identity* instead of
+    /// silently migrating it to whatever edge landed on the same CSR
+    /// position.
+    #[inline]
+    pub fn unreliable_edge_ids(&self) -> Option<&[u32]> {
+        self.unreliable_edge_ids.as_ref().map(|m| m.ids.as_slice())
+    }
+
+    /// The stable identity of the flat unreliable-only edge `flat` (the
+    /// flat index itself when no identity map is attached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is out of range of the attached map (no bounds
+    /// check happens without a map).
+    #[inline]
+    pub fn unreliable_edge_id(&self, flat: usize) -> usize {
+        match &self.unreliable_edge_ids {
+            Some(m) => m.ids[flat] as usize,
+            None => flat,
+        }
+    }
+
+    /// Size of the stable edge-identity universe: every value of
+    /// [`DualGraph::unreliable_edge_ids`] lies in `0..universe`. Equals
+    /// [`DualGraph::unreliable_edge_count`] when no map is attached; for a
+    /// schedule epoch it is the number of *distinct* unreliable-only
+    /// directed edges across the whole schedule (shared by every epoch).
+    #[inline]
+    pub fn unreliable_edge_universe(&self) -> usize {
+        match &self.unreliable_edge_ids {
+            Some(m) => m.universe as usize,
+            None => self.unreliable_only_csr.edge_count(),
+        }
+    }
+
+    /// Attaches a stable edge-identity map (see
+    /// [`DualGraph::unreliable_edge_ids`]). Called by
+    /// [`TopologySchedule`][crate::TopologySchedule] construction; also
+    /// available to custom schedule builders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` does not have one entry per unreliable-only edge,
+    /// if an id is `>= universe`, or if two edges share an id.
+    pub fn set_unreliable_edge_ids(&mut self, ids: Vec<u32>, universe: usize) {
+        assert_eq!(
+            ids.len(),
+            self.unreliable_only_csr.edge_count(),
+            "edge-id map must cover every unreliable-only edge"
+        );
+        let universe = u32::try_from(universe).expect("edge universe exceeds u32::MAX");
+        let mut seen = vec![false; universe as usize];
+        for &id in &ids {
+            assert!(id < universe, "edge id {id} outside universe 0..{universe}");
+            assert!(
+                !std::mem::replace(&mut seen[id as usize], true),
+                "duplicate edge id {id}"
+            );
+        }
+        self.unreliable_edge_ids = Some(UnreliableEdgeIds { ids, universe });
     }
 
     /// Iterates all nodes.
@@ -382,6 +485,35 @@ mod tests {
         let (g, gp, s) = net.into_parts();
         assert_eq!(g, gp);
         assert_eq!(s, v(1));
+    }
+
+    #[test]
+    fn edge_ids_default_to_flat_indices() {
+        let g = line3();
+        let gp = Digraph::complete(3);
+        let mut net = DualGraph::new(g, gp, v(0)).unwrap();
+        assert_eq!(net.unreliable_edge_ids(), None);
+        assert_eq!(net.unreliable_edge_universe(), 2);
+        assert_eq!(net.unreliable_edge_id(1), 1);
+        net.set_unreliable_edge_ids(vec![5, 0], 6);
+        assert_eq!(net.unreliable_edge_ids(), Some(&[5u32, 0][..]));
+        assert_eq!(net.unreliable_edge_universe(), 6);
+        assert_eq!(net.unreliable_edge_id(0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge id")]
+    fn edge_ids_reject_duplicates() {
+        let net = DualGraph::new(line3(), Digraph::complete(3), v(0)).unwrap();
+        let mut net = net;
+        net.set_unreliable_edge_ids(vec![1, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn edge_ids_reject_out_of_universe() {
+        let mut net = DualGraph::new(line3(), Digraph::complete(3), v(0)).unwrap();
+        net.set_unreliable_edge_ids(vec![0, 2], 2);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! Schedule *generators* (edge churn, gray-zone fading, disk-model
 //! mobility) live in [`generators`][crate::generators].
 
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::dual::DualGraph;
@@ -125,7 +126,18 @@ impl TopologySchedule {
     ///
     /// Returns a [`BuildScheduleError`] on an empty schedule, a zero-round
     /// epoch, or an epoch whose node count or source differs from epoch 0.
-    pub fn new(epochs: Vec<Epoch>) -> Result<Self, BuildScheduleError> {
+    ///
+    /// Construction also assigns **stable unreliable-edge identities**
+    /// across the epochs: every distinct directed `G′ ∖ G` pair `(u, v)`
+    /// appearing anywhere in the schedule gets one identity (first
+    /// appearance order: epoch by epoch, flat CSR order within an epoch),
+    /// and every epoch's network carries the flat-index → identity map
+    /// (see [`DualGraph::unreliable_edge_ids`]). Stateful per-edge
+    /// adversaries key their chains by these identities, so chain state
+    /// follows the *edge*, not the CSR slot, across churn/fading/mobility
+    /// rewires. A single-epoch schedule's map is the identity permutation,
+    /// so static runs are unaffected.
+    pub fn new(mut epochs: Vec<Epoch>) -> Result<Self, BuildScheduleError> {
         let first = epochs.first().ok_or(BuildScheduleError::Empty)?;
         let (n, source) = (first.network.len(), first.network.source());
         let mut starts = Vec::with_capacity(epochs.len());
@@ -146,6 +158,27 @@ impl TopologySchedule {
             }
             starts.push(acc);
             acc = acc.saturating_add(e.rounds);
+        }
+        // Stable edge identities: one id per distinct directed G' \ G pair
+        // across the schedule, in first-appearance order.
+        let mut registry: HashMap<(u32, u32), u32> = HashMap::new();
+        let per_epoch_ids: Vec<Vec<u32>> = epochs
+            .iter()
+            .map(|e| {
+                let csr = e.network.unreliable_only_csr();
+                let mut ids = Vec::with_capacity(csr.edge_count());
+                for u in 0..n {
+                    for &v in csr.row(crate::NodeId::from_index(u)) {
+                        let next = registry.len() as u32;
+                        ids.push(*registry.entry((u as u32, v.0)).or_insert(next));
+                    }
+                }
+                ids
+            })
+            .collect();
+        let universe = registry.len();
+        for (e, ids) in epochs.iter_mut().zip(per_epoch_ids) {
+            e.network.set_unreliable_edge_ids(ids, universe);
         }
         Ok(TopologySchedule {
             epochs,
@@ -194,6 +227,13 @@ impl TopologySchedule {
     /// Sum of all epoch spans.
     pub fn total_rounds(&self) -> u64 {
         self.total_rounds
+    }
+
+    /// Size of the stable unreliable-edge identity universe shared by
+    /// every epoch (the number of distinct directed `G′ ∖ G` pairs across
+    /// the whole schedule; see [`TopologySchedule::new`]).
+    pub fn unreliable_edge_universe(&self) -> usize {
+        self.epochs[0].network.unreliable_edge_universe()
     }
 
     /// Index of the epoch in force at 1-based round `round` (round 0, the
@@ -267,6 +307,53 @@ mod tests {
             s.network_at(4).total().edge_count(),
             s.epoch(1).network().total().edge_count()
         );
+    }
+
+    #[test]
+    fn stable_edge_ids_follow_identity_across_epochs() {
+        // Epoch A: path 0-1-2-3 with gray chords (0,2) and (1,3).
+        // Epoch B: same path with gray chords (0,2) and (0,3): the (0,2)
+        // pair survives and must keep its identities; (0,3) is fresh.
+        let path = |extra: &[(u32, u32)]| {
+            let mut g = Digraph::new(4);
+            for i in 0..3u32 {
+                g.add_undirected_edge(NodeId(i), NodeId(i + 1));
+            }
+            let mut total = g.clone();
+            for &(u, v) in extra {
+                total.add_undirected_edge(NodeId(u), NodeId(v));
+            }
+            crate::DualGraph::new(g, total, NodeId(0)).unwrap()
+        };
+        let a = path(&[(0, 2), (1, 3)]);
+        let b = path(&[(0, 2), (0, 3)]);
+        let s = TopologySchedule::new(vec![Epoch::new(a, 2), Epoch::new(b, 2)]).unwrap();
+        // Epoch A flat order: (0,2) (1,3) (2,0) (3,1) -> fresh ids 0..4.
+        assert_eq!(
+            s.epoch(0).network().unreliable_edge_ids(),
+            Some(&[0u32, 1, 2, 3][..])
+        );
+        // Epoch B flat order: (0,2) (0,3) (2,0) (3,0): survivors keep their
+        // ids, the two fresh directed edges take 4 and 5.
+        assert_eq!(
+            s.epoch(1).network().unreliable_edge_ids(),
+            Some(&[0u32, 4, 2, 5][..])
+        );
+        assert_eq!(s.unreliable_edge_universe(), 6);
+        for e in s.epochs() {
+            assert_eq!(e.network().unreliable_edge_universe(), 6);
+        }
+        // The single-epoch map is the identity permutation over the flat
+        // indices, so static runs key exactly as before.
+        let single = TopologySchedule::single(path(&[(0, 2), (1, 3)]));
+        assert_eq!(
+            single.epoch(0).network().unreliable_edge_ids(),
+            Some(&[0u32, 1, 2, 3][..])
+        );
+        assert_eq!(single.unreliable_edge_universe(), 4);
+        // Identity maps are metadata: the epoch still compares equal to
+        // the raw graph it was built from.
+        assert_eq!(s.epoch(0).network(), &path(&[(0, 2), (1, 3)]));
     }
 
     #[test]

@@ -400,16 +400,23 @@ struct EdgeChain {
 /// How [`BurstyDelivery`] stores and advances its per-edge Markov chains.
 #[derive(Debug, Clone)]
 enum BurstyBackend {
-    /// Flat per-edge chains indexed by the `G′ ∖ G` CSR's global edge
-    /// numbering ([`Csr::row_range`][dualgraph_net::Csr::row_range]),
-    /// advanced by **geometric skip sampling over rounds**: instead of one
-    /// Bernoulli draw per (edge, round), each chain pre-draws the round of
-    /// its next flip (`1 + Geom(p)`), so a queried edge catches up over an
-    /// arbitrary round gap with zero draws until a flip actually lands.
-    /// One adversary instance is bound to one network (as the edge keying
-    /// always implied).
+    /// Flat per-edge chains indexed by **stable edge identity**
+    /// ([`DualGraph::unreliable_edge_id`]): for a standalone network the
+    /// identity is the `G′ ∖ G` CSR's global edge numbering
+    /// ([`Csr::row_range`][dualgraph_net::Csr::row_range]); for a
+    /// [`TopologySchedule`][dualgraph_net::TopologySchedule] epoch it is
+    /// the schedule-wide identity of the directed pair `(u, v)`, so chain
+    /// state follows the *edge* across churn/fading/mobility rewires
+    /// instead of silently migrating to whatever edge landed on the same
+    /// CSR position. Chains advance by **geometric skip sampling over
+    /// rounds**: instead of one Bernoulli draw per (edge, round), each
+    /// chain pre-draws the round of its next flip (`1 + Geom(p)`), so a
+    /// queried edge catches up over an arbitrary round gap with zero draws
+    /// until a flip actually lands. One adversary instance is bound to one
+    /// edge-identity universe (one network, or one schedule).
     Csr {
-        /// Lazily sized to the network's `G′ ∖ G` edge count on first use.
+        /// Lazily sized to the network's edge-identity universe on first
+        /// use.
         chains: Vec<EdgeChain>,
     },
     /// The PR 1/PR 2 backend, frozen for baseline comparisons: a hash map
@@ -511,22 +518,29 @@ impl Adversary for BurstyDelivery {
             }
             BurstyBackend::Csr { chains } => {
                 let csr = ctx.network.unreliable_only_csr();
-                if chains.len() != csr.edge_count() {
+                let universe = ctx.network.unreliable_edge_universe();
+                if chains.len() != universe {
                     assert!(
                         chains.is_empty(),
-                        "a BurstyDelivery instance is bound to one network"
+                        "a BurstyDelivery instance is bound to one network \
+                         (or one schedule's edge-identity universe)"
                     );
                     chains.resize(
-                        csr.edge_count(),
+                        universe,
                         EdgeChain {
                             good: true,
                             next_flip: 0,
                         },
                     );
                 }
+                let ids = ctx.network.unreliable_edge_ids();
                 let range = csr.row_range(sender);
                 let row = csr.row(sender);
-                for (e, &v) in range.zip(row) {
+                for (flat, &v) in range.zip(row) {
+                    let e = match ids {
+                        Some(map) => map[flat] as usize,
+                        None => flat,
+                    };
                     let chain = &mut chains[e];
                     if chain.next_flip == 0 {
                         // Prime: first flip opportunity is round 1.
@@ -670,6 +684,65 @@ impl<A: Adversary + Clone + 'static> Adversary for WithAssignment<A> {
         reaching: &[Message],
     ) -> Cr4Resolution {
         self.inner.resolve_cr4(ctx, node, reaching)
+    }
+
+    fn clone_box(&self) -> Box<dyn Adversary> {
+        Box::new(self.clone())
+    }
+}
+
+/// Wraps a delivery adversary, overriding only its CR4 collision
+/// resolution with the fair coin [`RandomDelivery`] uses: silence with
+/// probability 1/2, else a uniformly random reaching message.
+///
+/// Built-ins whose `resolve_cr4` is the maximally-unhelpful default
+/// ([`BurstyDelivery`], [`CollisionSeeker`]) deadlock flooding-style
+/// workloads under CR4 — a node whose informed neighbors all transmit
+/// never receives. Wrapping them keeps the link model (bursty chains,
+/// jamming heuristics) while letting collision-heavy regimes make
+/// progress, which the reliability bench's churn + fault workloads need.
+#[derive(Debug, Clone)]
+pub struct WithRandomCr4<A> {
+    inner: A,
+    rng: SmallRng,
+}
+
+impl<A: Adversary> WithRandomCr4<A> {
+    /// Wraps `inner`, resolving CR4 collisions with a coin seeded by
+    /// `seed` (independent of the inner adversary's stream).
+    pub fn new(inner: A, seed: u64) -> Self {
+        WithRandomCr4 {
+            inner,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<A: Adversary + Clone + 'static> Adversary for WithRandomCr4<A> {
+    fn assign(&mut self, network: &DualGraph, n_processes: usize) -> Assignment {
+        self.inner.assign(network, n_processes)
+    }
+
+    fn unreliable_deliveries(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        sender: NodeId,
+        out: &mut Vec<NodeId>,
+    ) {
+        self.inner.unreliable_deliveries(ctx, sender, out);
+    }
+
+    fn resolve_cr4(
+        &mut self,
+        _ctx: &RoundContext<'_>,
+        _node: NodeId,
+        reaching: &[Message],
+    ) -> Cr4Resolution {
+        if self.rng.gen_bool(0.5) {
+            Cr4Resolution::Silence
+        } else {
+            Cr4Resolution::Deliver(self.rng.gen_range(0..reaching.len()))
+        }
     }
 
     fn clone_box(&self) -> Box<dyn Adversary> {
@@ -987,6 +1060,130 @@ mod tests {
                 "round {round}"
             );
         }
+    }
+
+    /// A 4-node path dual graph with the given extra (gray) undirected
+    /// pairs.
+    fn path4(extra: &[(u32, u32)]) -> DualGraph {
+        let mut g = dualgraph_net::Digraph::new(4);
+        for i in 0..3u32 {
+            g.add_undirected_edge(NodeId(i), NodeId(i + 1));
+        }
+        let mut total = g.clone();
+        for &(u, v) in extra {
+            total.add_undirected_edge(NodeId(u), NodeId(v));
+        }
+        DualGraph::new(g, total, NodeId(0)).unwrap()
+    }
+
+    /// Queries node 0's deliveries over `rounds`, switching the context
+    /// network at `switch_round` (exclusive before, inclusive from).
+    fn bursty_rounds(
+        adv: &mut BurstyDelivery,
+        before: &DualGraph,
+        after: &DualGraph,
+        switch_round: u64,
+        rounds: u64,
+    ) -> Vec<Vec<u32>> {
+        let assignment = Assignment::identity(4);
+        let informed = FixedBitSet::new(4);
+        let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
+        (1..=rounds)
+            .map(|round| {
+                let net = if round < switch_round { before } else { after };
+                let ctx = RoundContext {
+                    round,
+                    network: net,
+                    assignment: &assignment,
+                    senders: &senders,
+                    informed: &informed,
+                };
+                deliveries(adv, &ctx, NodeId(0))
+                    .iter()
+                    .map(|v| v.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bursty_chains_follow_edge_identity_across_epochs() {
+        // Epoch A's gray pairs are {(0,2), (0,3)}; epoch B rewires (0,2)
+        // away and adds (1,3). The directed edge (0,3) survives the churn
+        // but moves from CSR position 1 of node 0's row to position 0:
+        // under the old positional keying it silently inherited (0,2)'s
+        // chain; under identity keying (the schedule-attached id map) it
+        // keeps its own.
+        let a = path4(&[(0, 2), (0, 3)]);
+        let b = path4(&[(0, 3), (1, 3)]);
+        let schedule = dualgraph_net::TopologySchedule::new(vec![
+            dualgraph_net::Epoch::new(a.clone(), 6),
+            dualgraph_net::Epoch::new(b.clone(), 6),
+        ])
+        .unwrap();
+        let seed = 1234;
+        let mut keyed = BurstyDelivery::new(0.5, 0.5, seed);
+        let by_identity = bursty_rounds(
+            &mut keyed,
+            schedule.epoch(0).network(),
+            schedule.epoch(1).network(),
+            7,
+            12,
+        );
+        // The raw epoch-B graph has no id map: flat CSR keying, i.e. the
+        // pre-fix behavior where (0,3) silently adopts (0,2)'s chain.
+        let mut positional = BurstyDelivery::new(0.5, 0.5, seed);
+        let by_position = bursty_rounds(&mut positional, &a, &b, 7, 12);
+        // Identical while the topology is epoch A (same chains, same ids).
+        assert_eq!(by_identity[..6], by_position[..6]);
+        // The keying difference is observable after the rewire (golden,
+        // pinned so the identity contract cannot silently regress).
+        assert_ne!(by_identity[6..], by_position[6..]);
+        assert_eq!(
+            by_identity,
+            vec![
+                vec![],
+                vec![],
+                vec![2],
+                vec![],
+                vec![],
+                vec![2],
+                vec![],
+                vec![],
+                vec![3],
+                vec![],
+                vec![3],
+                vec![3],
+            ],
+        );
+    }
+
+    #[test]
+    fn with_random_cr4_delegates_deliveries_and_flips_coins() {
+        let net = generators::line(6, 5);
+        let assignment = Assignment::identity(6);
+        let informed = FixedBitSet::new(6);
+        let senders = [(NodeId(0), Message::signal(ProcessId(0)))];
+        let ctx = ctx_fixture(&net, &assignment, &senders, &informed);
+        // Deliveries delegate to the inner adversary untouched.
+        let mut wrapped = WithRandomCr4::new(FullDelivery::new(), 3);
+        assert_eq!(
+            deliveries(&mut wrapped, &ctx, NodeId(0)),
+            net.unreliable_only_out(NodeId(0)).to_vec()
+        );
+        // CR4 resolutions follow the seeded coin: over many collisions
+        // both outcomes occur, deterministically in the seed.
+        let reaching = [Message::signal(ProcessId(0)), Message::signal(ProcessId(1))];
+        let run = |seed: u64| -> Vec<Cr4Resolution> {
+            let mut adv = WithRandomCr4::new(BurstyDelivery::new(0.3, 0.3, 1), seed);
+            (0..20)
+                .map(|_| adv.resolve_cr4(&ctx, NodeId(5), &reaching))
+                .collect()
+        };
+        let a = run(9);
+        assert_eq!(a, run(9));
+        assert!(a.contains(&Cr4Resolution::Silence));
+        assert!(a.iter().any(|r| matches!(r, Cr4Resolution::Deliver(_))));
     }
 
     #[test]

@@ -148,6 +148,15 @@ impl Process for PipelinedFlooder {
 
     fn on_input(&mut self, payload: PayloadId) {
         self.known.insert(payload);
+        // A fresh environment input re-arms the payload's transmission
+        // budget at this node: an explicit re-`bcast` (the reliability
+        // layer's retry) revives a flood the aging rule had quiesced.
+        // Unbounded automata have no counters, and at `budget = u64::MAX`
+        // the reset is unobservable, so the bit-identity with plain
+        // pipelined flooding is preserved.
+        if let Some(sent) = &mut self.sent {
+            sent[payload.0 as usize] = 0;
+        }
     }
 
     fn transmit(&mut self, _local_round: u64) -> Option<Message> {
@@ -350,6 +359,30 @@ mod tests {
                 assert_eq!(a, b, "round {round}");
             }
         }
+    }
+
+    #[test]
+    fn bounded_reinjection_rearms_the_budget() {
+        // Aging out quiesces the payload; a fresh environment input (the
+        // reliability layer's retry) re-arms exactly that payload's budget
+        // so the flood can be revived. Receptions do NOT re-arm: only
+        // explicit `bcast`/`inject` does.
+        let mut p = PipelinedFlooder::with_budget(ProcessId(0), 2);
+        p.on_input(PayloadId(3));
+        assert!(p.transmit(1).is_some());
+        assert!(p.transmit(2).is_some());
+        assert!(p.transmit(3).is_none(), "budget spent: quiesced");
+        p.receive(
+            3,
+            Reception::Message(Message::with_payload(ProcessId(1), PayloadId(3))),
+        );
+        assert!(p.transmit(4).is_none(), "re-reception does not re-arm");
+        p.on_input(PayloadId(3));
+        let m = p.transmit(5).expect("re-injection re-arms the budget");
+        assert!(m.payloads.contains(PayloadId(3)));
+        assert!(p.transmit(6).is_some());
+        assert!(p.transmit(7).is_none(), "fresh budget spent again");
+        assert_eq!(p.known().len(), 1, "known record unaffected");
     }
 
     #[test]

@@ -21,13 +21,16 @@
 //!     sleeping processes under asynchronous start — noise is a message),
 //!     two reaching messages collide exactly as §2.1 prescribes.
 //!   - [`NodeRole::Spammer`] nodes transmit a fixed junk payload set every
-//!     round and never receive. Junk payloads are real payloads of the
-//!     dense universe: receivers absorb them into their known sets, and —
-//!     like any payload-carrying reception — they mark the receiver
-//!     *informed* (the engine's long-standing any-payload semantics, which
-//!     [`Executor::inject`] shares). Fault experiments should therefore
-//!     judge coverage per payload via `known_payloads`, not via the
-//!     aggregate informed count.
+//!     round and never receive. Junk payloads are ids of the dense
+//!     universe: receivers absorb them into their known sets (they are
+//!     physically received), but junk **never marks a receiver
+//!     *informed*** — the engine judges the informed bit against the
+//!     environment-introduced payload set ([`Executor::real_payloads`]:
+//!     the source seed plus accepted injections), so spammers cannot spoof
+//!     broadcast completion. (A junk id that collides with a real payload
+//!     id is indistinguishable from the payload itself — identity is the
+//!     content in this model — and does inform.) Per-payload coverage via
+//!     `known_payloads` remains the finest-grained record.
 //!
 //!   A [`FaultPlan`] is a timed list of role transitions (crash at round
 //!   `r`, recover at `r′`, turn jammer/spammer), applied by the
@@ -450,6 +453,22 @@ impl<'a> DynamicExecutor<'a> {
     }
 }
 
+impl Clone for DynamicExecutor<'_> {
+    /// Deep-copies the full mid-execution state — the wrapped executor
+    /// (roles, standing transmissions, fault count, scratch buffers; see
+    /// [`Executor::clone`]) *and* the dynamics cursor (epoch index, fault
+    /// cursor, switch count) — so a clone continues identically through
+    /// later epoch swaps and fault events without sharing anything with
+    /// the original.
+    fn clone(&self) -> Self {
+        DynamicExecutor {
+            schedule: self.schedule,
+            exec: self.exec.clone(),
+            cursor: self.cursor.clone(),
+        }
+    }
+}
+
 impl std::fmt::Debug for DynamicExecutor<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -545,11 +564,12 @@ mod tests {
     }
 
     #[test]
-    fn spam_pollutes_known_sets_and_informs() {
-        // Line 0-1-2-3 of silent processes: node 3 spams junk {7}. Its
-        // neighbor 2 absorbs the junk into its known set and counts as
-        // informed (the engine's any-payload semantics); the spammer's own
-        // record stays frozen — junk is fabricated, not known.
+    fn spam_pollutes_known_sets_but_never_informs() {
+        // Regression for the former documented hazard: node 3 spams junk
+        // {7} into a line of silent processes. Its neighbor 2 absorbs the
+        // junk into its known set (junk is physically received) but must
+        // NOT count as informed — junk id 7 was never introduced by the
+        // environment, so a spammer cannot spoof broadcast completion.
         let schedule = TopologySchedule::single(generators::line(4, 1));
         let junk = PayloadSet::only(PayloadId(7));
         let plan = FaultPlan::none().spam(NodeId(3), 1, junk);
@@ -567,8 +587,58 @@ mod tests {
         assert!(known[1].is_empty(), "silent node 2 does not relay");
         assert!(known[3].is_empty(), "spammer's own record stays frozen");
         assert!(
+            !exec.executor().is_informed(NodeId(2)),
+            "junk receptions never inform (spam-proof coverage)"
+        );
+        assert_eq!(
+            exec.executor().informed_count(),
+            1,
+            "only the seeded source is informed"
+        );
+        assert!(!exec.is_complete(), "spam cannot complete a broadcast");
+    }
+
+    #[test]
+    fn spam_colliding_with_a_real_payload_id_informs() {
+        // Identity is the content: junk carrying the *broadcast* payload's
+        // id (0) is indistinguishable from the payload and does inform.
+        let schedule = TopologySchedule::single(generators::line(4, 1));
+        let plan = FaultPlan::none().spam(NodeId(3), 1, PayloadSet::only(PayloadId(0)));
+        let mut exec = DynamicExecutor::from_slots(
+            &schedule,
+            crate::SilentProcess::slots(4),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+            plan,
+        )
+        .unwrap();
+        exec.run_rounds(2);
+        assert!(exec.executor().is_informed(NodeId(2)));
+    }
+
+    #[test]
+    fn injection_promotes_an_id_to_real() {
+        // Junk {5} circulates without informing; once the environment
+        // injects payload 5 somewhere, the id is real and subsequent junk
+        // receptions of it *do* inform (same identity, same content).
+        let schedule = TopologySchedule::single(generators::line(4, 1));
+        let plan = FaultPlan::none().spam(NodeId(3), 1, PayloadSet::only(PayloadId(5)));
+        let mut exec = DynamicExecutor::from_slots(
+            &schedule,
+            crate::SilentProcess::slots(4),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+            plan,
+        )
+        .unwrap();
+        exec.step();
+        assert!(!exec.executor().is_informed(NodeId(2)), "junk so far");
+        assert!(exec.inject(NodeId(1), PayloadId(5)));
+        assert!(exec.executor().real_payloads().contains(PayloadId(5)));
+        exec.step();
+        assert!(
             exec.executor().is_informed(NodeId(2)),
-            "any-payload reception informs (documented hazard)"
+            "id 5 is now environment-introduced: receiving it informs"
         );
     }
 

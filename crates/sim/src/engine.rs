@@ -192,6 +192,15 @@ pub struct Executor<'a> {
     /// record. Maintained unconditionally: the union is two ORs per
     /// receiving node per round, invisible next to collision resolution.
     known: Vec<PayloadSet>,
+    /// The payload identities the **environment** introduced: the source's
+    /// pre-round-1 seed plus every accepted [`Executor::inject`]. Only a
+    /// reception carrying at least one of these flips the receiver's
+    /// `informed` bit — spammer-fabricated junk pollutes known sets (it is
+    /// physically received) but never counts as being informed, so
+    /// broadcast completion cannot be spoofed by a faulty node. Junk whose
+    /// id *collides* with a real payload is indistinguishable from it
+    /// (payload identity is the content in this model) and does inform.
+    real: PayloadSet,
     /// Per-node liveness/role mask (the dynamics subsystem): consulted by
     /// the batched dispatch loops and the collision-resolution sweep.
     /// All-[`NodeRole::Correct`] populations skip every mask check via
@@ -334,6 +343,7 @@ impl<'a> Executor<'a> {
             informed: FixedBitSet::new(n),
             first_receive: vec![None; n],
             known: vec![PayloadSet::EMPTY; n],
+            real: PayloadSet::only(config.payload),
             roles: vec![NodeRole::Correct; n],
             standing_tx: vec![None; n],
             faulty_count: 0,
@@ -466,6 +476,14 @@ impl<'a> Executor<'a> {
         &self.known
     }
 
+    /// The payload identities the environment has introduced so far (the
+    /// source seed plus accepted injections) — the set against which
+    /// `informed` is judged (see [`Executor::inject`] and the spam-proof
+    /// coverage contract in `docs/DYNAMICS.md`).
+    pub fn real_payloads(&self) -> PayloadSet {
+        self.real
+    }
+
     /// Delivers environment input mid-execution: hands `payload` to the
     /// process at `node` — the multi-message subsystem's arrival hook
     /// (stream sources and the MAC layer's `bcast` both land here).
@@ -490,6 +508,7 @@ impl<'a> Executor<'a> {
         if !self.roles[i].is_correct() {
             return false;
         }
+        self.real.insert(payload);
         self.known[i].insert(payload);
         if self.informed.insert(i) {
             self.first_receive[i] = Some(self.round);
@@ -794,12 +813,16 @@ impl<'a> Executor<'a> {
             procs.receive_all(t, active_from, mask, receptions_buf);
         }
         let mut newly_informed = Vec::new();
+        let real = self.real;
         for node in 0..n {
             let Some(m) = self.receptions_buf[node].message() else {
                 continue;
             };
             self.known[node].union_with(m.payloads);
-            if m.carries_payload() && self.informed.insert(node) {
+            // Only environment-introduced payloads inform: spammer junk is
+            // absorbed into the known record above but cannot flip the
+            // informed bit (see the `real` field).
+            if m.payloads.intersects(real) && self.informed.insert(node) {
                 self.first_receive[node] = Some(t);
                 newly_informed.push(NodeId::from_index(node));
             }
@@ -886,6 +909,7 @@ impl Clone for Executor<'_> {
             informed: self.informed.clone(),
             first_receive: self.first_receive.clone(),
             known: self.known.clone(),
+            real: self.real,
             roles: self.roles.clone(),
             standing_tx: self.standing_tx.clone(),
             faulty_count: self.faulty_count,

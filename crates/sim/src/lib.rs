@@ -36,6 +36,11 @@
 //!   [`FaultPlan`]s, and the [`DynamicExecutor`] runner that drives an
 //!   execution through an epoch-evolving
 //!   [`TopologySchedule`][dualgraph_net::TopologySchedule];
+//! * [`reliability`] — the reliability layer: [`ReliableBroadcast`]
+//!   retry/ack policy driver ([`RetryPolicy`]: fixed-interval, ack-gap,
+//!   exponential backoff) with per-payload delivery-guarantee
+//!   [`DeliveryVerdict`]s, composed over the MAC layer by the stream
+//!   runner (see `docs/RELIABILITY.md`);
 //! * [`ReferenceExecutor`] — the naive allocating oracle the differential
 //!   tests check the optimized engine against;
 //! * [`rng`] — deterministic seed derivation for reproducible experiments.
@@ -73,13 +78,14 @@ mod message;
 mod payload;
 mod process;
 pub mod reference;
+pub mod reliability;
 pub mod rng;
 mod slot;
 mod trace;
 
 pub use adversary::{
     Adversary, Assignment, BuildAssignmentError, BurstyDelivery, CollisionSeeker, FullDelivery,
-    RandomDelivery, ReliableOnly, RoundContext, WithAssignment,
+    RandomDelivery, ReliableOnly, RoundContext, WithAssignment, WithRandomCr4,
 };
 pub use collision::{resolve, CollisionRule, Cr4Resolution, Reception};
 pub use dynamics::{DynamicExecutor, DynamicsCursor, FaultEvent, FaultPlan, FaultView, NodeRole};
@@ -91,5 +97,8 @@ pub use message::{Message, PayloadId, ProcessId};
 pub use payload::{PayloadSet, MAX_PAYLOADS};
 pub use process::{ActivationCause, ChatterProcess, Flooder, Process, SilentProcess};
 pub use reference::ReferenceExecutor;
+pub use reliability::{
+    DeliveryVerdict, ReliabilityEntry, ReliabilityStats, ReliableBroadcast, RetryPolicy,
+};
 pub use slot::{ProcessSlot, ProcessTable};
 pub use trace::{RoundRecord, Trace, TraceLevel};

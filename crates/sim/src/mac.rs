@@ -236,9 +236,14 @@ impl<'a> MacLayer<'a> {
     }
 
     /// Sets the liveness/role of `node` on the wrapped executor (see
-    /// [`Executor::set_role`]). Acks already pending for a node that
-    /// crashes stay pending until its reliable out-neighborhood is covered
-    /// by the rest of the network (or forever, if it never is).
+    /// [`Executor::set_role`]). Acks already pending *for* a node that
+    /// crashes (it is the broadcaster) stay pending until its reliable
+    /// out-neighborhood is covered by the rest of the network. Coverage
+    /// owed *by* a neighbor that crashes mid-epoch is re-judged at the
+    /// next [`MacLayer::set_network`] re-anchor, which excludes
+    /// non-correct neighbors from the remaining count; higher layers that
+    /// cannot wait for an epoch swap should drive retries off the ack gap
+    /// instead (see the `reliability` module).
     pub fn set_role(&mut self, node: NodeId, role: crate::dynamics::NodeRole) {
         self.exec.set_role(node, role);
     }
@@ -319,6 +324,15 @@ impl<'a> MacLayer<'a> {
     /// simply waits for them. Without the re-anchor the stale `remaining`
     /// counts could deadlock an ack or fire it early.
     ///
+    /// The recount only owes coverage to neighbors that are **currently
+    /// correct**: a neighbor that is crashed (or jamming/spamming) at swap
+    /// time has no functioning receiver, so re-anchoring it as a live ack
+    /// target would stall the acknowledgment — and every f_ack measurement
+    /// behind it — until the node happens to recover *and* be covered.
+    /// A faulty neighbor that later recovers uncovered does not retract an
+    /// ack that already fired (acks are final); it re-enters coverage
+    /// accounting at the next re-anchor.
+    ///
     /// # Panics
     ///
     /// Panics if `network` has a different node count (see
@@ -335,13 +349,14 @@ impl<'a> MacLayer<'a> {
         } = self;
         let reliable = exec.network().reliable_csr();
         let known = exec.known_payloads();
+        let roles = exec.roles();
         let mut i = 0;
         while i < pending.len() {
             let p = &mut pending[i];
             let remaining = reliable
                 .row(p.node)
                 .iter()
-                .filter(|v| !known[v.index()].contains(p.payload))
+                .filter(|v| roles[v.index()].is_correct() && !known[v.index()].contains(p.payload))
                 .count() as u32;
             if remaining == 0 {
                 let done = pending.swap_remove(i);
@@ -656,6 +671,75 @@ mod tests {
         assert_eq!(mac.known_count(PayloadId(0)), 4);
         assert_eq!(mac.stats().pending, 0, "no ack may be stuck");
         assert_eq!(mac.stats().acked, 2);
+    }
+
+    #[test]
+    fn crashed_neighbor_no_longer_stalls_ack_after_reanchor() {
+        // Regression: line 0-1-2-3. Node 1 — the source's only reliable
+        // out-neighbor — crashes before round 1, so the source's seed
+        // bcast can never be acked by coverage (a crashed radio never
+        // receives). The epoch-swap re-anchor must judge coverage over
+        // *currently correct* neighbors: before the fix the crashed node
+        // was re-anchored as a live ack target and the ack (and every
+        // f_ack measurement behind it) stalled forever.
+        let net = Box::leak(Box::new(generators::line(4, 1)));
+        let exec = Executor::from_slots(
+            net,
+            PipelinedFlooder::slots(4),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let mut mac = MacLayer::new(exec);
+        mac.set_role(NodeId(1), crate::NodeRole::Crashed);
+        for _ in 0..5 {
+            mac.step();
+        }
+        assert_eq!(mac.stats().pending, 1, "crashed neighbor stalls the ack");
+        // Epoch swap (same topology is a valid snapshot): the re-anchor
+        // excludes the crashed neighbor, so the ack fires with the next
+        // batch, with no progress reception attributed.
+        mac.set_network(net);
+        let events = mac.step().to_vec();
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                MacEvent::Ack {
+                    node: NodeId(0),
+                    payload: PayloadId(0),
+                    ..
+                }
+            )),
+            "re-anchor settles the ack: {events:?}"
+        );
+        assert_eq!(mac.stats().pending, 0);
+        let record = mac.ack_records()[0];
+        assert_eq!(record.ack_round, 5, "stamped with the swap-time round");
+        assert_eq!(record.first_progress_round, None);
+    }
+
+    #[test]
+    fn reanchor_keeps_correct_uncovered_neighbors_pending() {
+        // The complement: with the neighbor correct (just slow — silent
+        // processes never relay), the re-anchor must NOT fire the ack.
+        let net = Box::leak(Box::new(generators::line(3, 1)));
+        let exec = Executor::from_slots(
+            net,
+            crate::SilentProcess::slots(3),
+            Box::new(ReliableOnly::new()),
+            ExecutorConfig::default(),
+        )
+        .unwrap();
+        let mut mac = MacLayer::new(exec);
+        mac.step();
+        assert_eq!(mac.stats().pending, 1);
+        mac.set_network(net);
+        mac.step();
+        assert_eq!(
+            mac.stats().pending,
+            1,
+            "correct uncovered neighbor keeps the ack pending"
+        );
     }
 
     #[test]

@@ -138,6 +138,12 @@ impl PayloadSet {
         out
     }
 
+    /// `true` when the sets share at least one payload.
+    #[inline]
+    pub fn intersects(self, other: PayloadSet) -> bool {
+        self.words.iter().zip(other.words).any(|(&a, b)| a & b != 0)
+    }
+
     /// `true` when every payload of `self` is in `other`.
     #[inline]
     pub fn is_subset(&self, other: &PayloadSet) -> bool {
@@ -250,6 +256,9 @@ mod tests {
         assert_eq!(fresh, b);
         assert!(a.is_subset(&u));
         assert!(!u.is_subset(&a));
+        assert!(a.intersects(u));
+        assert!(!a.intersects(b), "disjoint words");
+        assert!(!a.intersects(PayloadSet::EMPTY));
     }
 
     #[test]

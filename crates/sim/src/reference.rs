@@ -46,6 +46,10 @@ pub struct ReferenceExecutor<'a> {
     informed: FixedBitSet,
     first_receive: Vec<Option<u64>>,
     known: Vec<PayloadSet>,
+    /// Environment-introduced payload identities, mirroring the optimized
+    /// engine's spam-proof informed contract (only receptions carrying a
+    /// real payload inform).
+    real: PayloadSet,
     /// Per-node liveness/role mask, mirroring
     /// [`Executor::set_role`][crate::Executor::set_role].
     roles: Vec<NodeRole>,
@@ -106,6 +110,7 @@ impl<'a> ReferenceExecutor<'a> {
             informed: FixedBitSet::new(n),
             first_receive: vec![None; n],
             known: vec![PayloadSet::EMPTY; n],
+            real: PayloadSet::only(config.payload),
             roles: vec![NodeRole::Correct; n],
             round: 0,
             sends: 0,
@@ -208,6 +213,7 @@ impl<'a> ReferenceExecutor<'a> {
         if !self.roles[i].is_correct() {
             return false;
         }
+        self.real.insert(payload);
         self.known[i].insert(payload);
         if self.informed.insert(i) {
             self.first_receive[i] = Some(self.round);
@@ -352,7 +358,11 @@ impl<'a> ReferenceExecutor<'a> {
             if let Some(m) = reception.message() {
                 self.known[node].union_with(m.payloads);
             }
-            let got_payload = reception.message().is_some_and(|m| m.carries_payload());
+            // Spam-proof informed contract (mirrors the optimized engine):
+            // only environment-introduced payloads inform.
+            let got_payload = reception
+                .message()
+                .is_some_and(|m| m.payloads.intersects(self.real));
             match self.active_from[node] {
                 Some(from) if from <= t => {
                     let local = t - from + 1;

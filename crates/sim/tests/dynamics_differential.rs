@@ -260,6 +260,97 @@ fn dynamic_engines_agree_across_epochs_and_faults() {
     }
 }
 
+/// Clone-then-diverge audit of the dynamics state deep copy: a
+/// [`DynamicExecutor`] cloned mid-run (mid-epoch, faults in force, bursty
+/// adversary chains warm) must continue bit-identically against an
+/// independently driven reference — and mutating the *original* after the
+/// clone (an extra injection) must not leak into the clone. Any shared or
+/// missing piece of the PR 4 state (roles, standing transmissions,
+/// faulty count, fault cursor, epoch index, adversary RNG) fails one of
+/// the two tracks.
+#[test]
+fn clone_then_diverge_matches_independent_references() {
+    for net_seed in [23u64, 71] {
+        let net = random_net(net_seed, 19);
+        let n = net.len();
+        let schedule = churn3(&net, derive_seed(8, net_seed));
+        let plan = mixed_plan(n, net_seed);
+        for config in configs() {
+            for (name, make_adv) in adversary_menu(derive_seed(55, net_seed)) {
+                let label = format!("clone {name} {:?} {:?}", config.rule, config.start);
+                let mut original = DynamicExecutor::from_slots(
+                    &schedule,
+                    PipelinedFlooder::slots(n),
+                    make_adv(),
+                    config,
+                    plan.clone(),
+                )
+                .unwrap();
+                // Two independent oracles: one will mirror the original
+                // (with the post-clone injection), one the clone (without).
+                let mut ref_orig = DynamicReference::new(
+                    &schedule,
+                    PipelinedFlooder::boxed(n),
+                    make_adv(),
+                    config,
+                    plan.clone(),
+                );
+                let mut ref_clone = DynamicReference::new(
+                    &schedule,
+                    PipelinedFlooder::boxed(n),
+                    make_adv(),
+                    config,
+                    plan.clone(),
+                );
+                // Warm up past an epoch boundary and several fault events.
+                for _ in 0..10 {
+                    original.step();
+                    ref_orig.step();
+                    ref_clone.step();
+                }
+                assert!(
+                    original.epoch_switches() >= 1,
+                    "{label}: warm-up crossed epochs"
+                );
+                let mut clone = original.clone();
+                // Diverge the original only.
+                let victim = NodeId(1 + (net_seed % (n as u64 - 1)) as u32);
+                let a = original.inject(victim, PayloadId(11));
+                let b = ref_orig.exec.inject(victim, PayloadId(11));
+                assert_eq!(a, b, "{label}: diverging injection fate");
+                for round in 10..24 {
+                    assert_eq!(
+                        original.step(),
+                        ref_orig.step(),
+                        "{label}: original at round {round}"
+                    );
+                    assert_eq!(
+                        clone.step(),
+                        ref_clone.step(),
+                        "{label}: clone at round {round}"
+                    );
+                }
+                assert_eq!(
+                    original.executor().known_payloads(),
+                    ref_orig.exec.known_payloads(),
+                    "{label}: original known records"
+                );
+                assert_eq!(
+                    clone.executor().known_payloads(),
+                    ref_clone.exec.known_payloads(),
+                    "{label}: clone known records"
+                );
+                assert_eq!(
+                    clone.executor().roles(),
+                    ref_clone.exec.roles(),
+                    "{label}: clone role masks"
+                );
+                assert_eq!(clone.epoch(), original.epoch(), "{label}: epoch index");
+            }
+        }
+    }
+}
+
 /// Mid-run injections into crashed/recovered nodes: all three engines
 /// agree on acceptance (the `bool`) and on the resulting records, with a
 /// multi-payload automaton relaying what survives.

@@ -17,6 +17,9 @@
 //! 3. **A scheduled stream** — `run_stream_scheduled` pushing a payload
 //!    batch through the epochs, with progress and acks segmented per
 //!    epoch.
+//! 4. **Reliable broadcast** — the ack-gap retry policy re-entering a
+//!    batch dropped at a crashed source and certifying per-payload
+//!    delivery verdicts.
 
 use dualgraph::{
     generators, CollisionRule, DynamicExecutor, DynamicsConfig, Epoch, ExecutorConfig, FaultPlan,
@@ -132,7 +135,10 @@ fn main() {
         outcome.completed, outcome.physical_collisions
     );
 
-    // Spammer: junk payloads are real payloads — receivers absorb them.
+    // Spammer: junk is absorbed into known sets (it is physically
+    // received) but can no longer flip the informed bit — coverage is
+    // judged against environment-introduced payloads, so spam cannot
+    // spoof broadcast completion.
     let line4 = TopologySchedule::single(generators::line(4, 1));
     let mut exec = DynamicExecutor::from_slots(
         &line4,
@@ -145,13 +151,15 @@ fn main() {
     exec.run_rounds(3);
     println!(
         "   spammer at the end of a silent 4-line: node 2's known set is now {} \
-         (judge coverage per payload, not by the informed bit)\n",
-        exec.executor().known_payloads()[2]
+         yet informed_count stays {} (junk never informs — spam-proof coverage)\n",
+        exec.executor().known_payloads()[2],
+        exec.executor().informed_count(),
     );
     assert_eq!(
         exec.executor().role(NodeId(3)),
         NodeRole::Spammer(PayloadSet::only(PayloadId(7)))
     );
+    assert_eq!(exec.executor().informed_count(), 1, "source only");
 
     // ---------------------------------------------------------------
     // Exhibit 3: a payload stream across epochs, measured per epoch.
@@ -191,4 +199,41 @@ fn main() {
             seg.acked
         );
     }
+
+    // ---------------------------------------------------------------
+    // Exhibit 4: reliable broadcast — retries turn dropped arrivals
+    // into delivery guarantees.
+    // ---------------------------------------------------------------
+    println!("\n-- reliable broadcast: ack-gap retries over a crashed source --");
+    let net6 = generators::line(6, 1);
+    let outcome = dualgraph_broadcast::stream::run_stream(
+        &net6,
+        StreamAlgorithm::PipelinedFlooding,
+        Box::new(ReliableOnly::new()),
+        &StreamConfig {
+            k: 3,
+            max_rounds: 400,
+            dynamics: Some(DynamicsConfig {
+                faults: FaultPlan::none().crash(NodeId(0), 0).recover(NodeId(0), 5),
+                cycle: false,
+            }),
+            reliability: Some(dualgraph::RetryPolicy::AckGap {
+                gap: 4,
+                max_retries: 10,
+            }),
+            ..StreamConfig::default()
+        },
+    )
+    .expect("reliability stream construction");
+    let report = outcome.reliability.expect("policy configured");
+    println!(
+        "   source crashed at the batch arrival, recovered at round 5: \
+         {} delivered / {} abandoned with {} retries",
+        report.stats.delivered, report.stats.abandoned, report.stats.total_retries
+    );
+    for e in &report.entries {
+        println!("   payload {:>2}: {}", e.payload.0, e.verdict);
+    }
+    assert!(report.all_non_abandoned_delivered());
+    assert_eq!(report.stats.delivered, 3);
 }

@@ -53,12 +53,14 @@ pub use dualgraph_broadcast::algorithms::{
 };
 pub use dualgraph_broadcast::runner::{run_broadcast, run_trials, run_trials_par, RunConfig};
 pub use dualgraph_broadcast::stream::{
-    run_stream, run_stream_scheduled, DynamicsConfig, StreamAlgorithm, StreamConfig, StreamOutcome,
+    run_stream, run_stream_scheduled, DynamicsConfig, ReliabilityReport, StreamAlgorithm,
+    StreamConfig, StreamOutcome,
 };
 pub use dualgraph_net::{generators, Digraph, DualGraph, Epoch, NodeId, TopologySchedule};
 pub use dualgraph_sim::{
-    Adversary, BroadcastOutcome, BurstyDelivery, CollisionRule, DynamicExecutor, Executor,
-    ExecutorConfig, FaultPlan, Flooder, FullDelivery, MacEvent, MacLayer, MacStats, Message,
-    NodeRole, PayloadId, PayloadSet, Process, ProcessId, ProcessSlot, ProcessTable, RandomDelivery,
-    ReliableOnly, StartRule, MAX_PAYLOADS,
+    Adversary, BroadcastOutcome, BurstyDelivery, CollisionRule, DeliveryVerdict, DynamicExecutor,
+    Executor, ExecutorConfig, FaultPlan, Flooder, FullDelivery, MacEvent, MacLayer, MacStats,
+    Message, NodeRole, PayloadId, PayloadSet, Process, ProcessId, ProcessSlot, ProcessTable,
+    RandomDelivery, ReliableBroadcast, ReliableOnly, RetryPolicy, StartRule, WithRandomCr4,
+    MAX_PAYLOADS,
 };
