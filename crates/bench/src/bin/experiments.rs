@@ -6,18 +6,21 @@
 //! ```
 //!
 //! `NAME` is a csv-name prefix (e.g. `thm12`); omit for all experiments.
-//! `--bench-engine`, `--bench-stream`, `--bench-dynamics`, and/or
-//! `--bench-reliability` skip the tables and write one machine-readable
-//! `BENCH_engine.json` (schema v5): the engine section has rounds/sec,
-//! ns/round, and speedups vs the boxed/PR 1/reference engines; the stream
-//! section has the pipelined multi-message family (n × k payload grid:
-//! makespan, throughput, MAC ack latency, and steady-state ns/round); the
-//! dynamics section has dense flooding under a cycled 16-epoch churn
-//! schedule vs the static baseline (the epoch-swap amortization claim);
-//! the reliability section has the ack-gap retry policy's delivery
-//! guarantees and per-round overhead under churn, crash/recovery faults,
-//! and the bursty adversary. Future PRs compare against all four
-//! trajectories.
+//! `--bench-engine`, `--bench-stream`, `--bench-dynamics`,
+//! `--bench-reliability`, and/or `--bench-byzantine` skip the tables and
+//! write one machine-readable `BENCH_engine.json` (schema v6): the engine
+//! section has rounds/sec, ns/round, and speedups vs the boxed/PR 1/
+//! reference engines; the stream section has the pipelined multi-message
+//! family (n × k payload grid: makespan, throughput, MAC ack latency, and
+//! steady-state ns/round); the dynamics section has dense flooding under
+//! a cycled 16-epoch churn schedule vs the static baseline (the
+//! epoch-swap amortization claim); the reliability section has the
+//! ack-gap retry policy's delivery guarantees and per-round overhead
+//! under churn, crash/recovery faults, and the bursty adversary; the
+//! byzantine section has quorum-certified broadcast under churn + ~10%
+//! equivocators (safety-violation count, accept latency, and round-cost
+//! overhead vs the ack-gap baseline). Future PRs compare against all
+//! five trajectories.
 
 use std::path::PathBuf;
 
@@ -297,7 +300,7 @@ fn bench_reliability_entries() -> String {
                 ),
                 m.n,
                 m.k,
-                m.report.policy.name(),
+                m.report.backend.name(),
                 m.report.stats.delivered,
                 m.report.stats.abandoned,
                 m.report.stats.pending,
@@ -314,9 +317,70 @@ fn bench_reliability_entries() -> String {
         .join(",\n")
 }
 
-/// Assembles the schema-v5 `BENCH_engine.json` document from whichever
+/// Measures the Byzantine family (see `byzantine_bench`): quorum-certified
+/// broadcast under the cycled 8-epoch churn schedule with ~10%
+/// equivocators and the bursty adversary, as JSON entries for the
+/// `byzantine_measurements` section. The acceptance targets are
+/// `safety_violations == 0` (asserted inside the measurement) and
+/// `quorum_overhead_vs_ackgap ≤ 2.0` at `n = 1025`.
+fn bench_byzantine_entries() -> String {
+    use dualgraph_bench::byzantine_bench;
+    use dualgraph_bench::engine_bench::{bench_rounds_for as rounds_for, BENCH_SIZES as SIZES};
+    SIZES
+        .iter()
+        .map(|&n| {
+            let m = byzantine_bench::measure_byzantine(n, rounds_for(n));
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"workload\": \"byzantine-churn8-equiv10pct-bursty\",\n",
+                    "      \"n\": {},\n",
+                    "      \"k\": {},\n",
+                    "      \"equivocators\": {},\n",
+                    "      \"byzantine_bound_f\": {},\n",
+                    "      \"policy\": \"{}\",\n",
+                    "      \"delivered\": {},\n",
+                    "      \"abandoned\": {},\n",
+                    "      \"pending\": {},\n",
+                    "      \"safety_violations\": {},\n",
+                    "      \"mean_accept_round\": {:.1},\n",
+                    "      \"rounds_executed\": {},\n",
+                    "      \"timed_rounds\": {},\n",
+                    "      \"ackgap_ns_per_round\": {:.1},\n",
+                    "      \"quorum_ns_per_round\": {:.1},\n",
+                    "      \"quorum_overhead_vs_ackgap\": {:.2}\n",
+                    "    }}"
+                ),
+                m.n,
+                m.k,
+                m.equivocators,
+                m.f,
+                m.report.backend.name(),
+                m.report.stats.delivered,
+                m.report.stats.abandoned,
+                m.report.stats.pending,
+                m.report.safety_violations,
+                m.mean_accept_round,
+                m.rounds_executed,
+                m.ackgap.rounds,
+                m.ackgap.ns_per_round(),
+                m.quorum.ns_per_round(),
+                m.overhead(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// Assembles the schema-v6 `BENCH_engine.json` document from whichever
 /// sections were requested.
-fn bench_json(engine: bool, stream: bool, dynamics: bool, reliability: bool) -> String {
+fn bench_json(
+    engine: bool,
+    stream: bool,
+    dynamics: bool,
+    reliability: bool,
+    byzantine: bool,
+) -> String {
     let mut sections: Vec<String> = Vec::new();
     let mut rss = "null".to_string();
     if engine {
@@ -342,11 +406,17 @@ fn bench_json(engine: bool, stream: bool, dynamics: bool, reliability: bool) -> 
             bench_reliability_entries()
         ));
     }
+    if byzantine {
+        sections.push(format!(
+            "  \"byzantine_measurements\": [\n{}\n  ]",
+            bench_byzantine_entries()
+        ));
+    }
     if !engine {
         rss = engine_bench::peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
     }
     format!(
-        "{{\n  \"schema\": \"dualgraph-bench-engine/5\",\n  \"peak_rss_kb\": {rss},\n{}\n}}\n",
+        "{{\n  \"schema\": \"dualgraph-bench-engine/6\",\n  \"peak_rss_kb\": {rss},\n{}\n}}\n",
         sections.join(",\n")
     )
 }
@@ -361,6 +431,7 @@ fn main() {
     let mut bench_stream = false;
     let mut bench_dynamics = false;
     let mut bench_reliability = false;
+    let mut bench_byzantine = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -377,11 +448,13 @@ fn main() {
             flag @ ("--bench-engine"
             | "--bench-stream"
             | "--bench-dynamics"
-            | "--bench-reliability") => {
+            | "--bench-reliability"
+            | "--bench-byzantine") => {
                 match flag {
                     "--bench-engine" => bench_engine = true,
                     "--bench-stream" => bench_stream = true,
                     "--bench-dynamics" => bench_dynamics = true,
+                    "--bench-byzantine" => bench_byzantine = true,
                     _ => bench_reliability = true,
                 }
                 if let Some(explicit) = args.get(i + 1).filter(|a| !a.starts_with("--")) {
@@ -396,7 +469,7 @@ fn main() {
                 eprintln!(
                     "usage: experiments [--quick] [--table NAME] [--csv DIR | --no-csv] \
                      [--bench-engine [PATH]] [--bench-stream [PATH]] [--bench-dynamics [PATH]] \
-                     [--bench-reliability [PATH]]"
+                     [--bench-reliability [PATH]] [--bench-byzantine [PATH]]"
                 );
                 std::process::exit(2);
             }
@@ -410,6 +483,7 @@ fn main() {
             bench_stream,
             bench_dynamics,
             bench_reliability,
+            bench_byzantine,
         );
         print!("{json}");
         if let Err(e) = std::fs::write(&path, &json) {

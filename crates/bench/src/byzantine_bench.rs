@@ -1,0 +1,281 @@
+//! The `--bench-byzantine` workload family: quorum-certified broadcast
+//! under churn with ~10% equivocators.
+//!
+//! The quorum backend's claim is twofold:
+//!
+//! * **safety** — under a cycled 8-epoch churn schedule with ~10% of the
+//!   population equivocating (different payload faces to different
+//!   neighbor parities, every round) and the bursty adversary (fair CR4
+//!   coin), no correct node ever certifies a payload id outside the
+//!   environment's real set: `safety_violations == 0`, always asserted;
+//! * **cost** — the per-round price of quorum certification (echo/ready
+//!   attester sets, acceptance polling, per-receiver Byzantine dispatch)
+//!   stays within **2.0×** of the ack-gap retry stream round *under the
+//!   same Byzantine plan*, so the ratio isolates the backend swap — both
+//!   arms pay the identical engine round, per-receiver slow path, MAC
+//!   diffing, and churn plumbing.
+//!
+//! The workload network is denser than the engine bench's near-tree
+//! (`reliable_p = 12/n` against `2/n`): certified propagation needs
+//! `f + 1` *distinct* attesters per hop, so a bench on a degree-2
+//! backbone would measure starvation, not the protocol (see
+//! `docs/BYZANTINE.md` on the sender-diversity liveness condition).
+
+use std::time::Instant;
+
+use dualgraph_broadcast::stream::{
+    Arrivals, DynamicsConfig, ReliabilityReport, SourcePlacement, StreamAlgorithm, StreamConfig,
+    StreamSession,
+};
+use dualgraph_net::{generators, DualGraph, NodeId, TopologySchedule};
+use dualgraph_sim::{
+    local_byzantine_bound, Adversary, BurstyDelivery, DeliveryVerdict, FaultPlan, NodeRole,
+    PayloadId, PayloadSet, QuorumPolicy, ReliabilityBackend, WithRandomCr4,
+};
+
+use crate::engine_bench::EngineMeasurement;
+use crate::reliability_bench::POLICY;
+
+/// Payloads in the Byzantine stream cell (`2k ≤ MAX_PAYLOADS`: the
+/// upper half of the id space carries the ready markers).
+pub const BYZANTINE_K: usize = 32;
+
+/// One measured Byzantine cell.
+#[derive(Debug, Clone)]
+pub struct ByzantineMeasurement {
+    /// Network size.
+    pub n: usize,
+    /// Concurrent payloads.
+    pub k: usize,
+    /// Equivocators in the placement.
+    pub equivocators: usize,
+    /// The measured local Byzantine bound (max over epochs), which
+    /// parameterizes the quorum thresholds.
+    pub f: u32,
+    /// End-of-run verdict report of the quorum delivery run.
+    pub report: ReliabilityReport,
+    /// Rounds the delivery run executed (settled or horizon).
+    pub rounds_executed: u64,
+    /// Mean settle round over `Delivered` entries (`0` if none).
+    pub mean_accept_round: f64,
+    /// Fixed-window timing with the ack-gap retry backend (same plan).
+    pub ackgap: EngineMeasurement,
+    /// Fixed-window timing with the quorum backend.
+    pub quorum: EngineMeasurement,
+}
+
+impl ByzantineMeasurement {
+    /// `quorum ns/round ÷ ack-gap ns/round` — the cost of swapping the
+    /// backend under an identical Byzantine plan (acceptance target
+    /// ≤ 2.0 at `n = 1025`).
+    pub fn overhead(&self) -> f64 {
+        self.quorum.ns_per_round() / self.ackgap.ns_per_round()
+    }
+}
+
+/// The Byzantine workload network: same Erdős–Rényi dual family as the
+/// engine bench, but dense enough (`reliable_p = 12/n`) that every node
+/// has the sender diversity certified propagation requires.
+pub fn workload_network(n: usize) -> DualGraph {
+    generators::er_dual(
+        generators::ErDualParams {
+            n,
+            reliable_p: 12.0 / n as f64,
+            unreliable_p: 24.0 / n as f64,
+        },
+        0xB12A,
+    )
+}
+
+/// The cycled 8-epoch churn schedule over the Byzantine workload.
+pub fn churn_workload(n: usize) -> TopologySchedule {
+    generators::churn_schedule(
+        &workload_network(n),
+        generators::ChurnParams {
+            epochs: 8,
+            span: 64,
+            rewire_fraction: 0.1,
+        },
+        0xB12A ^ 0x5EED,
+    )
+}
+
+/// ~10% equivocators: every 10th node starting at 5 (never node 0, the
+/// single-source origin — origins are trusted by assumption). Each
+/// equivocator shows one parity a live data id and the other parity
+/// that payload's ready marker, cycling the attacked payload across the
+/// cast.
+pub fn byzantine_plan(n: usize, k: usize) -> (FaultPlan, Vec<NodeId>) {
+    let mut plan = FaultPlan::none();
+    let mut cast = Vec::new();
+    for (c, i) in (5..n as u32).step_by(10).enumerate() {
+        let p = (c % k) as u64;
+        plan = plan.equivocate(
+            NodeId(i),
+            1,
+            PayloadSet::only(PayloadId(p)),
+            PayloadSet::only(PayloadId(k as u64 + p)),
+        );
+        cast.push(NodeId(i));
+    }
+    (plan, cast)
+}
+
+/// The measured local Byzantine bound of the cast, maximized over every
+/// epoch of the schedule.
+pub fn measured_bound(schedule: &TopologySchedule, cast: &[NodeId]) -> u32 {
+    let n = schedule.node_count();
+    let mut roles = vec![NodeRole::Correct; n];
+    for node in cast {
+        roles[node.index()] = NodeRole::Equivocator {
+            even: PayloadSet::EMPTY,
+            odd: PayloadSet::EMPTY,
+        };
+    }
+    schedule
+        .epochs()
+        .iter()
+        .map(|e| local_byzantine_bound(e.network(), &roles))
+        .max()
+        .unwrap_or(0)
+}
+
+fn adversary(seed: u64) -> Box<dyn Adversary> {
+    Box::new(WithRandomCr4::new(
+        BurstyDelivery::new(0.15, 0.4, seed),
+        seed ^ 0x9E37,
+    ))
+}
+
+/// Builds the cell's session on `schedule` with the given backend and
+/// the standard equivocator plan.
+fn session<'a>(
+    schedule: &'a TopologySchedule,
+    reliability: ReliabilityBackend,
+    max_rounds: u64,
+    seed: u64,
+) -> StreamSession<'a> {
+    let n = schedule.node_count();
+    let (faults, _) = byzantine_plan(n, BYZANTINE_K);
+    let config = StreamConfig {
+        k: BYZANTINE_K,
+        arrivals: Arrivals::Batch,
+        sources: SourcePlacement::Single,
+        max_rounds,
+        dynamics: Some(DynamicsConfig {
+            faults,
+            cycle: true,
+        }),
+        reliability: Some(reliability),
+        ..StreamConfig::default()
+    };
+    StreamSession::scheduled(
+        schedule,
+        StreamAlgorithm::PipelinedFlooding,
+        adversary(seed),
+        &config,
+    )
+    .expect("byzantine workload construction")
+}
+
+/// Times `rounds` fixed `step`s of a fresh session.
+fn time_session(
+    schedule: &TopologySchedule,
+    reliability: ReliabilityBackend,
+    rounds: u64,
+    seed: u64,
+) -> EngineMeasurement {
+    let mut s = session(schedule, reliability, u64::MAX, seed);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        s.step();
+    }
+    EngineMeasurement {
+        rounds,
+        elapsed_ns: start.elapsed().as_nanos(),
+    }
+}
+
+/// Runs the full Byzantine cell for size `n`: the quorum delivery run
+/// to settlement (or a 30 000-round horizon), then the fixed-window
+/// backend comparison over `rounds` rounds (quorum vs ack-gap, best of
+/// three each, both under the equivocator plan).
+///
+/// # Panics
+///
+/// Panics on session construction failure or — the point — if any
+/// correct node certified a forged payload id (`safety_violations`).
+pub fn measure_byzantine(n: usize, rounds: u64) -> ByzantineMeasurement {
+    let schedule = churn_workload(n);
+    let (_, cast) = byzantine_plan(n, BYZANTINE_K);
+    let f = measured_bound(&schedule, &cast);
+    let quorum_backend = ReliabilityBackend::Quorum(QuorumPolicy::for_bound(f));
+    let seed = 0xB42E;
+
+    // Delivery run: drive to verdict settlement or the horizon.
+    let (outcome, _) = session(&schedule, quorum_backend, 30_000, seed).run();
+    let report = outcome
+        .reliability
+        .clone()
+        .expect("quorum run carries a report");
+    assert_eq!(
+        report.safety_violations, 0,
+        "a correct node certified a forged id (n={n}): {report:?}"
+    );
+    let (settled, sum) = report
+        .entries
+        .iter()
+        .filter_map(|e| match e.verdict {
+            DeliveryVerdict::Delivered { round, .. } => Some(round),
+            _ => None,
+        })
+        .fold((0u64, 0u64), |(c, s), r| (c + 1, s + r));
+    let mean_accept_round = if settled == 0 {
+        0.0
+    } else {
+        sum as f64 / settled as f64
+    };
+
+    let best_of = |reliability: ReliabilityBackend| -> EngineMeasurement {
+        time_session(&schedule, reliability, rounds, seed); // warm-up
+        (0..3)
+            .map(|_| time_session(&schedule, reliability, rounds, seed))
+            .min_by(|a, b| a.elapsed_ns.cmp(&b.elapsed_ns))
+            .expect("three runs")
+    };
+    let ackgap = best_of(POLICY.into());
+    let quorum = best_of(quorum_backend);
+
+    ByzantineMeasurement {
+        n,
+        k: BYZANTINE_K,
+        equivocators: cast.len(),
+        f,
+        report,
+        rounds_executed: outcome.rounds_executed,
+        mean_accept_round,
+        ackgap,
+        quorum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byzantine_cell_is_safe_and_reports() {
+        let m = measure_byzantine(65, 120);
+        assert_eq!(m.n, 65);
+        assert_eq!(m.k, BYZANTINE_K);
+        assert!(m.equivocators >= 5, "~10% of 65");
+        assert!(m.f >= 1, "the placement is genuinely Byzantine");
+        assert_eq!(m.report.safety_violations, 0);
+        assert!(
+            m.report.stats.delivered > 0,
+            "certification makes progress: {:?}",
+            m.report.stats
+        );
+        assert!(m.overhead() > 0.0);
+    }
+}

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod byzantine_bench;
 pub mod dynamics_bench;
 pub mod engine_bench;
 pub mod experiments;

@@ -25,7 +25,9 @@ use dualgraph_broadcast::stream::{
     ReliabilityReport, StreamAlgorithm, StreamConfig, StreamSession,
 };
 use dualgraph_net::{NodeId, TopologySchedule};
-use dualgraph_sim::{Adversary, BurstyDelivery, FaultPlan, RetryPolicy, WithRandomCr4};
+use dualgraph_sim::{
+    Adversary, BurstyDelivery, FaultPlan, ReliabilityBackend, RetryPolicy, WithRandomCr4,
+};
 
 use crate::dynamics_bench;
 use crate::engine_bench::EngineMeasurement;
@@ -119,7 +121,7 @@ fn adversary(seed: u64) -> Box<dyn Adversary> {
 /// [`RELIABILITY_K`] payloads under the size's standard fault plan.
 fn session<'a>(
     schedule: &'a TopologySchedule,
-    reliability: Option<RetryPolicy>,
+    reliability: Option<ReliabilityBackend>,
     max_rounds: u64,
     seed: u64,
 ) -> StreamSession<'a> {
@@ -147,7 +149,7 @@ fn session<'a>(
 /// Times `rounds` fixed `step`s of a fresh session.
 fn time_session(
     schedule: &TopologySchedule,
-    reliability: Option<RetryPolicy>,
+    reliability: Option<ReliabilityBackend>,
     rounds: u64,
     seed: u64,
 ) -> EngineMeasurement {
@@ -175,7 +177,7 @@ pub fn measure_reliability(n: usize, rounds: u64) -> ReliabilityMeasurement {
     let seed = 0xAC4B;
 
     // Delivery run: drive to verdict settlement.
-    let (outcome, _) = session(&schedule, Some(POLICY), 200_000, seed).run();
+    let (outcome, _) = session(&schedule, Some(POLICY.into()), 200_000, seed).run();
     let report = outcome
         .reliability
         .clone()
@@ -194,7 +196,7 @@ pub fn measure_reliability(n: usize, rounds: u64) -> ReliabilityMeasurement {
         "the scenario must exercise the retry machinery (n={n})"
     );
 
-    let best_of = |reliability: Option<RetryPolicy>| -> EngineMeasurement {
+    let best_of = |reliability: Option<ReliabilityBackend>| -> EngineMeasurement {
         time_session(&schedule, reliability, rounds, seed); // warm-up
         (0..3)
             .map(|_| time_session(&schedule, reliability, rounds, seed))
@@ -202,7 +204,7 @@ pub fn measure_reliability(n: usize, rounds: u64) -> ReliabilityMeasurement {
             .expect("three runs")
     };
     let baseline = best_of(None);
-    let retry = best_of(Some(POLICY));
+    let retry = best_of(Some(POLICY.into()));
 
     ReliabilityMeasurement {
         n,

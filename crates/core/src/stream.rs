@@ -24,10 +24,10 @@ use dualgraph_net::{DualGraph, NodeId, TopologySchedule};
 use dualgraph_sim::automata::{PipelinedFlooder, PipelinedHarmonic};
 use dualgraph_sim::rng::{derive_seed, derive_seed2};
 use dualgraph_sim::{
-    Adversary, BuildExecutorError, CollisionRule, DynamicsCursor, Executor, ExecutorConfig,
-    FaultPlan, MacEvent, MacLayer, MacStats, NodeRole, PayloadId, PayloadSet, ProcessId,
-    ProcessSlot, ReliabilityEntry, ReliabilityStats, ReliableBroadcast, RetryPolicy, StartRule,
-    TraceLevel, MAX_PAYLOADS,
+    Adversary, BuildExecutorError, CollisionRule, DeliveryVerdict, DynamicsCursor, Executor,
+    ExecutorConfig, FaultPlan, MacEvent, MacLayer, MacStats, NodeRole, PayloadId, PayloadSet,
+    ProcessId, ProcessSlot, QuorumPolicy, QuorumProcess, ReliabilityBackend, ReliabilityEntry,
+    ReliabilityStats, ReliableBroadcast, StartRule, TraceLevel, MAX_PAYLOADS,
 };
 
 use crate::algorithms::period_for;
@@ -164,15 +164,25 @@ pub struct StreamConfig {
     /// Dynamics: fault plan + schedule traversal (`None` = static,
     /// all-correct — the historical behavior, bit for bit).
     pub dynamics: Option<DynamicsConfig>,
-    /// Reliability: a retry/ack policy turning the MAC layer's
-    /// acknowledgments into per-payload delivery guarantees (`None` = the
-    /// historical fire-and-forget behavior, bit for bit). With a policy,
+    /// Reliability backend (`None` = the historical fire-and-forget
+    /// behavior, bit for bit). [`ReliabilityBackend::Retry`] turns the
+    /// MAC layer's acknowledgments into per-payload delivery guarantees:
     /// an arrival dropped at a faulty source is **retried** instead of
     /// lost, unacked `bcast`s are re-issued on the policy's schedule, and
-    /// every payload settles a [`dualgraph_sim::DeliveryVerdict`]
-    /// surfaced through [`StreamOutcome::reliability`]. See
-    /// `docs/RELIABILITY.md`.
-    pub reliability: Option<RetryPolicy>,
+    /// every payload settles a [`DeliveryVerdict`] surfaced through
+    /// [`StreamOutcome::reliability`] (see `docs/RELIABILITY.md`).
+    /// [`ReliabilityBackend::Quorum`] instead **replaces** the stream
+    /// algorithm's automata with [`QuorumProcess`] (Bracha-style
+    /// echo/ready certification, Byzantine-tolerant under an
+    /// `f`-locally-bounded placement; see `docs/BYZANTINE.md`): verdicts
+    /// settle from quorum *acceptance* at every currently-correct node,
+    /// dropped arrivals are final (the backend has no retry lane), the
+    /// stream width is limited to `k ≤ MAX_PAYLOADS / 2` (ready markers
+    /// use ids `k..2k`), and the adversary must keep the identity
+    /// assignment (origin trust is per process id). A bare
+    /// [`RetryPolicy`] converts via `Into`, so PR 5 call shapes keep
+    /// working as `Some(policy.into())` / `with_reliability(policy)`.
+    pub reliability: Option<ReliabilityBackend>,
 }
 
 impl Default for StreamConfig {
@@ -212,9 +222,10 @@ impl StreamConfig {
         self
     }
 
-    /// Replaces the reliability policy.
-    pub fn with_reliability(mut self, policy: RetryPolicy) -> Self {
-        self.reliability = Some(policy);
+    /// Replaces the reliability backend (a bare [`RetryPolicy`] or
+    /// [`QuorumPolicy`] converts).
+    pub fn with_reliability(mut self, backend: impl Into<ReliabilityBackend>) -> Self {
+        self.reliability = Some(backend.into());
         self
     }
 }
@@ -348,12 +359,18 @@ pub struct StreamOutcome {
 /// payload order, plus the aggregate counts.
 #[derive(Debug, Clone)]
 pub struct ReliabilityReport {
-    /// The policy that drove the run.
-    pub policy: RetryPolicy,
+    /// The backend that drove the run.
+    pub backend: ReliabilityBackend,
     /// Per-payload entries, in payload-id order.
     pub entries: Vec<ReliabilityEntry>,
     /// Aggregate verdict counts and total retries.
     pub stats: ReliabilityStats,
+    /// Safety-violation count at end of run: over currently-correct
+    /// nodes, accepted payload ids outside the environment's real set
+    /// (forged ids certified past the quorum — the "no creation" clause).
+    /// Always 0 for retry runs (they have no acceptance notion) and, with
+    /// correctly parameterized thresholds, 0 for quorum runs.
+    pub safety_violations: u64,
 }
 
 impl ReliabilityReport {
@@ -419,8 +436,8 @@ pub struct StreamSession<'a> {
     next_arrival: usize,
     max_rounds: u64,
     n: usize,
-    /// The reliability layer's session state (`None` without a policy).
-    reliability: Option<ReliabilityState>,
+    /// The reliability backend's session state (`None` without one).
+    reliability: Option<ReliabilityMode>,
     /// Per-epoch-segment accounting (scheduled runs only).
     scheduled: bool,
     epochs: Vec<EpochStreamStats>,
@@ -516,6 +533,96 @@ impl ReliabilityState {
     }
 }
 
+/// Which reliability backend drives this session.
+enum ReliabilityMode {
+    /// Retry/ack guarantees via the [`ReliableBroadcast`] driver.
+    Retry(ReliabilityState),
+    /// Quorum-certified broadcast: the population runs [`QuorumProcess`]
+    /// automata and verdicts settle from acceptance.
+    Quorum(QuorumState),
+}
+
+/// One tracked payload of the quorum backend's verdict ledger.
+struct QuorumEntry {
+    payload: PayloadId,
+    source: NodeId,
+    arrival_round: u64,
+    /// `false` for arrivals dropped at a faulty source — final under
+    /// this backend (no retry lane).
+    entered: bool,
+    verdict: DeliveryVerdict,
+}
+
+/// Session-side quorum wiring: a verdict ledger settled by polling every
+/// currently-correct node's acceptance latch
+/// ([`dualgraph_sim::Process::accepted_payloads`]) once per round — one
+/// intersection sweep over `n` [`PayloadSet`]s, then one contains-check
+/// per pending payload.
+struct QuorumState {
+    policy: QuorumPolicy,
+    entries: Vec<QuorumEntry>,
+}
+
+impl QuorumState {
+    /// The intersection of all currently-correct nodes' accepted sets
+    /// (`None` when no node is correct — nothing can settle).
+    fn accepted_everywhere(exec: &Executor) -> Option<PayloadSet> {
+        let roles = exec.roles();
+        let mut all: Option<PayloadSet> = None;
+        for (i, role) in roles.iter().enumerate() {
+            if !role.is_correct() {
+                continue;
+            }
+            let acc = exec
+                .process_at(NodeId::from_index(i))
+                .accepted_payloads()
+                .unwrap_or(PayloadSet::EMPTY);
+            all = Some(match all {
+                // a ∩ b = a ∖ (a ∖ b).
+                Some(a) => a.minus(a.minus(acc)),
+                None => acc,
+            });
+        }
+        all
+    }
+
+    /// Settles `Delivered` for every entered, still-pending payload
+    /// accepted by all currently-correct nodes; returns how many settled.
+    fn settle(&mut self, exec: &Executor, round: u64) -> usize {
+        let Some(all) = Self::accepted_everywhere(exec) else {
+            return 0;
+        };
+        let mut newly = 0;
+        for e in &mut self.entries {
+            if e.verdict.is_final() || !e.entered {
+                continue;
+            }
+            if all.contains(e.payload) {
+                e.verdict = DeliveryVerdict::Delivered { round, retries: 0 };
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// End-of-run safety accounting: accepted ids outside the
+    /// environment's real set, summed over currently-correct nodes.
+    fn safety_violations(exec: &Executor) -> u64 {
+        let real = exec.real_payloads();
+        let roles = exec.roles();
+        let mut violations = 0u64;
+        for (i, role) in roles.iter().enumerate() {
+            if !role.is_correct() {
+                continue;
+            }
+            if let Some(acc) = exec.process_at(NodeId::from_index(i)).accepted_payloads() {
+                violations += acc.minus(real).len() as u64;
+            }
+        }
+        violations
+    }
+}
+
 impl<'a> StreamSession<'a> {
     /// Builds a session on a static topology (faults from
     /// `config.dynamics` still apply, against the one frozen network).
@@ -572,9 +679,31 @@ impl<'a> StreamSession<'a> {
     ) -> Result<Self, BuildExecutorError> {
         let plan = plan_arrivals(network, config);
         let n = network.len();
+        let quorum_policy = config.reliability.and_then(|b| b.quorum_policy());
+        let slots = match quorum_policy {
+            Some(policy) => {
+                // The quorum backend replaces the algorithm's automata
+                // wholesale: certification decides what is relayed.
+                assert!(
+                    2 * config.k <= MAX_PAYLOADS,
+                    "quorum stream width {} exceeds {}: ready markers use ids k..2k",
+                    config.k,
+                    MAX_PAYLOADS / 2
+                );
+                // Origin identities are common knowledge (the standard
+                // authenticated-broadcast assumption); under the identity
+                // assignment asserted below, process id = plan node index.
+                let origins: Vec<ProcessId> = plan
+                    .iter()
+                    .map(|a| ProcessId::from_index(a.node.index()))
+                    .collect();
+                QuorumProcess::slots(n, policy, &origins)
+            }
+            None => algorithm.slots(n, config.seed),
+        };
         let exec = Executor::from_slots(
             network,
-            algorithm.slots(n, config.seed),
+            slots,
             adversary,
             ExecutorConfig {
                 rule: config.rule,
@@ -583,6 +712,15 @@ impl<'a> StreamSession<'a> {
                 payload: plan[0].payload,
             },
         )?;
+        if quorum_policy.is_some() {
+            let assignment = exec.assignment();
+            assert!(
+                (0..n).all(|i| assignment.process_at(NodeId::from_index(i)).index() == i),
+                "the quorum backend requires the identity assignment: origin \
+                 trust is per process id, and a permuted placement would \
+                 misattribute it"
+            );
+        }
         let mut mac = MacLayer::new(exec);
         let dynamics = config.dynamics.clone().unwrap_or_default();
         let no_faults = dynamics.faults.is_empty();
@@ -606,19 +744,31 @@ impl<'a> StreamSession<'a> {
         // pre-round-1 seed — always entered) from construction; its
         // correct-coverage counter is synced against the post-fault-plan
         // role mask.
-        let reliability = config.reliability.map(|policy| {
-            let roles = mac.executor().roles();
-            let known = mac.executor().known_payloads();
-            let mut rel = ReliabilityState {
-                driver: ReliableBroadcast::new(policy),
-                cov_correct: Vec::with_capacity(config.k),
-                correct_count: roles.iter().filter(|r| r.is_correct()).count(),
-                retry_buf: Vec::new(),
-            };
-            rel.driver.track(plan[0].payload, plan[0].node, 0, true);
-            rel.cov_correct
-                .push(ReliabilityState::sync_cov(known, roles, plan[0].payload));
-            rel
+        let reliability = config.reliability.map(|backend| match backend {
+            ReliabilityBackend::Retry(policy) => {
+                let roles = mac.executor().roles();
+                let known = mac.executor().known_payloads();
+                let mut rel = ReliabilityState {
+                    driver: ReliableBroadcast::new(policy),
+                    cov_correct: Vec::with_capacity(config.k),
+                    correct_count: roles.iter().filter(|r| r.is_correct()).count(),
+                    retry_buf: Vec::new(),
+                };
+                rel.driver.track(plan[0].payload, plan[0].node, 0, true);
+                rel.cov_correct
+                    .push(ReliabilityState::sync_cov(known, roles, plan[0].payload));
+                ReliabilityMode::Retry(rel)
+            }
+            ReliabilityBackend::Quorum(policy) => ReliabilityMode::Quorum(QuorumState {
+                policy,
+                entries: vec![QuorumEntry {
+                    payload: plan[0].payload,
+                    source: plan[0].node,
+                    arrival_round: 0,
+                    entered: true,
+                    verdict: DeliveryVerdict::Pending,
+                }],
+            }),
         });
         // Payload 0 at round 0 is the executor's own pre-round-1 source
         // input, which happens at construction and therefore precedes
@@ -685,7 +835,13 @@ impl<'a> StreamSession<'a> {
     /// must not claim settlement before attempting them.
     pub fn is_settled(&self) -> bool {
         match &self.reliability {
-            Some(rel) => self.next_arrival >= self.plan.len() && rel.driver.is_settled(),
+            Some(ReliabilityMode::Retry(rel)) => {
+                self.next_arrival >= self.plan.len() && rel.driver.is_settled()
+            }
+            Some(ReliabilityMode::Quorum(q)) => {
+                self.next_arrival >= self.plan.len()
+                    && q.entries.iter().all(|e| e.verdict.is_final())
+            }
             None => self.incomplete == 0,
         }
     }
@@ -726,7 +882,11 @@ impl<'a> StreamSession<'a> {
         }
         for i in fired {
             let e = self.cursor.events()[i];
-            if let Some(rel) = &mut self.reliability {
+            // The retry backend folds role flips into its incremental
+            // coverage counters; the quorum backend re-derives the correct
+            // population from the role mask at each settle, so it has no
+            // per-transition state.
+            if let Some(ReliabilityMode::Retry(rel)) = &mut self.reliability {
                 let prev = self.mac.executor().role(e.node);
                 rel.on_role_change(e.node, prev, e.role, self.mac.executor().known_payloads());
             }
@@ -739,21 +899,41 @@ impl<'a> StreamSession<'a> {
             let a = self.plan[self.next_arrival];
             let i = a.payload.0 as usize;
             if !self.mac.bcast(a.node, a.payload) {
-                if let Some(rel) = &mut self.reliability {
-                    // The reliability layer owns the drop: the payload is
-                    // pending re-entry on the retry schedule, not lost
-                    // (`dropped` stays false unless it is abandoned
-                    // without ever entering — see the run aggregation).
-                    // Tracking order is payload-id order (the invariant
-                    // every positional `entries()[i]` read below relies
-                    // on), enforced here, not just debug-asserted.
-                    assert_eq!(i, rel.driver.entries().len(), "track order = id order");
-                    rel.driver.track(a.payload, a.node, self.mac.round(), false);
-                    rel.cov_correct.push(0);
-                } else {
-                    self.stats[i].dropped = true;
-                    self.coverage[i] = 0;
-                    self.incomplete -= 1;
+                match &mut self.reliability {
+                    Some(ReliabilityMode::Retry(rel)) => {
+                        // The retry backend owns the drop: the payload is
+                        // pending re-entry on the retry schedule, not lost
+                        // (`dropped` stays false unless it is abandoned
+                        // without ever entering — see the run
+                        // aggregation). Tracking order is payload-id
+                        // order (the invariant every positional
+                        // `entries()[i]` read below relies on), enforced
+                        // here, not just debug-asserted.
+                        assert_eq!(i, rel.driver.entries().len(), "track order = id order");
+                        rel.driver.track(a.payload, a.node, self.mac.round(), false);
+                        rel.cov_correct.push(0);
+                    }
+                    Some(ReliabilityMode::Quorum(q)) => {
+                        // The quorum backend has no retry lane: a dead
+                        // radio loses its arrival for good — recorded as
+                        // dropped, with a final Abandoned verdict.
+                        assert_eq!(i, q.entries.len(), "track order = id order");
+                        q.entries.push(QuorumEntry {
+                            payload: a.payload,
+                            source: a.node,
+                            arrival_round: self.mac.round(),
+                            entered: false,
+                            verdict: DeliveryVerdict::Abandoned { retries: 0 },
+                        });
+                        self.stats[i].dropped = true;
+                        self.coverage[i] = 0;
+                        self.incomplete -= 1;
+                    }
+                    None => {
+                        self.stats[i].dropped = true;
+                        self.coverage[i] = 0;
+                        self.incomplete -= 1;
+                    }
                 }
             } else {
                 // Spammer junk ids may collide with stream payloads, and
@@ -762,13 +942,26 @@ impl<'a> StreamSession<'a> {
                 // starts from the engine's actual record, not from 1.
                 let known = self.mac.executor().known_payloads();
                 self.coverage[i] = known.iter().filter(|k| k.contains(a.payload)).count();
-                if let Some(rel) = &mut self.reliability {
-                    assert_eq!(i, rel.driver.entries().len(), "track order = id order");
-                    rel.driver.track(a.payload, a.node, self.mac.round(), true);
-                    let roles = self.mac.executor().roles();
-                    let known = self.mac.executor().known_payloads();
-                    rel.cov_correct
-                        .push(ReliabilityState::sync_cov(known, roles, a.payload));
+                match &mut self.reliability {
+                    Some(ReliabilityMode::Retry(rel)) => {
+                        assert_eq!(i, rel.driver.entries().len(), "track order = id order");
+                        rel.driver.track(a.payload, a.node, self.mac.round(), true);
+                        let roles = self.mac.executor().roles();
+                        let known = self.mac.executor().known_payloads();
+                        rel.cov_correct
+                            .push(ReliabilityState::sync_cov(known, roles, a.payload));
+                    }
+                    Some(ReliabilityMode::Quorum(q)) => {
+                        assert_eq!(i, q.entries.len(), "track order = id order");
+                        q.entries.push(QuorumEntry {
+                            payload: a.payload,
+                            source: a.node,
+                            arrival_round: self.mac.round(),
+                            entered: true,
+                            verdict: DeliveryVerdict::Pending,
+                        });
+                    }
+                    None => {}
                 }
                 if self.coverage[i] == self.n {
                     self.stats[i].completion_round = Some(self.mac.round());
@@ -782,7 +975,7 @@ impl<'a> StreamSession<'a> {
         // spends budget; the first successful retry of a never-entered
         // payload is its real arrival, so its coverage is synced from the
         // engine record exactly like step 2's.
-        if let Some(rel) = &mut self.reliability {
+        if let Some(ReliabilityMode::Retry(rel)) = &mut self.reliability {
             let now = self.mac.round();
             let mut buf = std::mem::take(&mut rel.retry_buf);
             buf.clear();
@@ -822,10 +1015,12 @@ impl<'a> StreamSession<'a> {
                     if i >= self.next_arrival || self.stats[i].dropped {
                         continue;
                     }
-                    if let Some(rel) = &mut self.reliability {
-                        // A reliability-managed payload that has not yet
+                    if let Some(ReliabilityMode::Retry(rel)) = &mut self.reliability {
+                        // A retry-managed payload that has not yet
                         // (re-)entered the network is still junk traffic:
                         // its coverage is synced when a retry lands it.
+                        // (Quorum payloads either entered at bcast or
+                        // stay dropped — caught by the guard above.)
                         if !rel.driver.entries()[i].entered {
                             continue;
                         }
@@ -840,7 +1035,7 @@ impl<'a> StreamSession<'a> {
                     }
                 }
                 MacEvent::Ack { node, payload, .. } => {
-                    if let Some(rel) = &mut self.reliability {
+                    if let Some(ReliabilityMode::Retry(rel)) = &mut self.reliability {
                         // Only acks of the tracked producer's own bcast
                         // say its neighborhood is covered.
                         let i = payload.0 as usize;
@@ -854,12 +1049,20 @@ impl<'a> StreamSession<'a> {
                 }
             }
         }
-        // 4. Settle `Delivered` verdicts: every currently-correct node
-        // knows the payload (verified per payload — spam-proof by
+        // 4. Settle `Delivered` verdicts. Retry backend: every
+        // currently-correct node *knows* the payload (spam-proof by
         // construction, since coverage counters only move on real entries
-        // and receptions of entered payloads).
-        if let Some(rel) = &mut self.reliability {
-            self.seg_delivered += rel.settle_delivered(t);
+        // and receptions of entered payloads). Quorum backend: every
+        // currently-correct node *accepted* it past the certification
+        // thresholds — a strictly stronger condition.
+        match &mut self.reliability {
+            Some(ReliabilityMode::Retry(rel)) => {
+                self.seg_delivered += rel.settle_delivered(t);
+            }
+            Some(ReliabilityMode::Quorum(q)) => {
+                self.seg_delivered += q.settle(self.mac.executor(), t);
+            }
+            None => {}
         }
     }
 
@@ -877,20 +1080,52 @@ impl<'a> StreamSession<'a> {
         }
         self.close_segment(self.mac.round());
         let mut stats = self.stats;
-        let reliability = self.reliability.map(|rel| {
-            // A payload the policy abandoned without ever landing in the
-            // network is, in the end, a dropped arrival — surface it as
-            // such so `completed` keeps excluding it.
-            for e in rel.driver.entries() {
-                if !e.entered {
-                    let i = e.payload.0 as usize;
-                    stats[i].dropped = true;
+        let reliability = self.reliability.map(|mode| match mode {
+            ReliabilityMode::Retry(rel) => {
+                // A payload the policy abandoned without ever landing in
+                // the network is, in the end, a dropped arrival — surface
+                // it as such so `completed` keeps excluding it.
+                for e in rel.driver.entries() {
+                    if !e.entered {
+                        let i = e.payload.0 as usize;
+                        stats[i].dropped = true;
+                    }
+                }
+                ReliabilityReport {
+                    backend: ReliabilityBackend::Retry(rel.driver.policy()),
+                    stats: rel.driver.stats(),
+                    entries: rel.driver.entries().to_vec(),
+                    safety_violations: 0,
                 }
             }
-            ReliabilityReport {
-                policy: rel.driver.policy(),
-                stats: rel.driver.stats(),
-                entries: rel.driver.entries().to_vec(),
+            ReliabilityMode::Quorum(q) => {
+                let entries: Vec<ReliabilityEntry> = q
+                    .entries
+                    .iter()
+                    .map(|e| {
+                        ReliabilityEntry::settled(
+                            e.payload,
+                            e.source,
+                            e.arrival_round,
+                            e.entered,
+                            e.verdict,
+                        )
+                    })
+                    .collect();
+                let mut agg = ReliabilityStats::default();
+                for e in &entries {
+                    match e.verdict {
+                        DeliveryVerdict::Pending => agg.pending += 1,
+                        DeliveryVerdict::Delivered { .. } => agg.delivered += 1,
+                        DeliveryVerdict::Abandoned { .. } => agg.abandoned += 1,
+                    }
+                }
+                ReliabilityReport {
+                    backend: ReliabilityBackend::Quorum(q.policy),
+                    stats: agg,
+                    entries,
+                    safety_violations: QuorumState::safety_violations(self.mac.executor()),
+                }
             }
         });
         let incomplete = stats
@@ -997,7 +1232,7 @@ pub fn run_stream_scheduled(
 mod tests {
     use super::*;
     use dualgraph_net::{generators, Epoch};
-    use dualgraph_sim::{RandomDelivery, ReliableOnly};
+    use dualgraph_sim::{RandomDelivery, ReliableOnly, RetryPolicy};
 
     #[test]
     fn plan_batch_single_source() {
@@ -1436,10 +1671,13 @@ mod tests {
             k: 3,
             max_rounds: 400,
             dynamics: Some(dynamics),
-            reliability: Some(RetryPolicy::AckGap {
-                gap: 4,
-                max_retries: 10,
-            }),
+            reliability: Some(
+                RetryPolicy::AckGap {
+                    gap: 4,
+                    max_retries: 10,
+                }
+                .into(),
+            ),
             ..StreamConfig::default()
         };
         let (outcome, _) = run_stream_session(
@@ -1484,10 +1722,13 @@ mod tests {
                 faults: FaultPlan::none().crash(producer, 0),
                 cycle: false,
             }),
-            reliability: Some(RetryPolicy::FixedInterval {
-                interval: 3,
-                max_retries: 4,
-            }),
+            reliability: Some(
+                RetryPolicy::FixedInterval {
+                    interval: 3,
+                    max_retries: 4,
+                }
+                .into(),
+            ),
             ..StreamConfig::default()
         };
         let plan = plan_arrivals(&net, &config);
@@ -1532,10 +1773,13 @@ mod tests {
                 faults: FaultPlan::none().crash(NodeId(3), 1),
                 cycle: false,
             }),
-            reliability: Some(RetryPolicy::AckGap {
-                gap: 6,
-                max_retries: 3,
-            }),
+            reliability: Some(
+                RetryPolicy::AckGap {
+                    gap: 6,
+                    max_retries: 3,
+                }
+                .into(),
+            ),
             ..StreamConfig::default()
         };
         let (outcome, mac) = run_stream_session(
@@ -1619,10 +1863,13 @@ mod tests {
             k: 3,
             arrivals: Arrivals::Poisson { mean_gap: 25.0 },
             max_rounds: 300_000,
-            reliability: Some(RetryPolicy::AckGap {
-                gap: 200_000,
-                max_retries: 2,
-            }),
+            reliability: Some(
+                RetryPolicy::AckGap {
+                    gap: 200_000,
+                    max_retries: 2,
+                }
+                .into(),
+            ),
             ..StreamConfig::default()
         };
         let plan = plan_arrivals(&net, &config);
@@ -1656,10 +1903,13 @@ mod tests {
             k: 4,
             max_rounds: 200,
             dynamics: Some(DynamicsConfig::default()),
-            reliability: Some(RetryPolicy::FixedInterval {
-                interval: 2,
-                max_retries: 6,
-            }),
+            reliability: Some(
+                RetryPolicy::FixedInterval {
+                    interval: 2,
+                    max_retries: 6,
+                }
+                .into(),
+            ),
             ..StreamConfig::default()
         };
         let outcome = run_stream_scheduled(

@@ -65,7 +65,7 @@ fn lossless_setting_delivers_every_payload_under_every_policy() {
             let config = StreamConfig {
                 k: 6,
                 max_rounds: 50_000,
-                reliability: Some(policy),
+                reliability: Some(policy.into()),
                 ..StreamConfig::default()
             };
             let (outcome, _) = run_stream_session(
@@ -120,10 +120,13 @@ fn never_triggering_policy_is_bit_transparent_across_the_adversary_menu() {
             StreamAlgorithm::PipelinedFlooding,
             make_adv(),
             &StreamConfig {
-                reliability: Some(RetryPolicy::AckGap {
-                    gap: 1_000_000,
-                    max_retries: 2,
-                }),
+                reliability: Some(
+                    RetryPolicy::AckGap {
+                        gap: 1_000_000,
+                        max_retries: 2,
+                    }
+                    .into(),
+                ),
                 ..base
             },
         )
@@ -152,10 +155,13 @@ fn permanently_dead_producer_burns_the_budget_and_abandons() {
             faults: FaultPlan::none().crash(NodeId(5), 0),
             cycle: false,
         }),
-        reliability: Some(RetryPolicy::ExponentialBackoff {
-            base: 2,
-            max_retries: 5,
-        }),
+        reliability: Some(
+            RetryPolicy::ExponentialBackoff {
+                base: 2,
+                max_retries: 5,
+            }
+            .into(),
+        ),
         ..StreamConfig::default()
     };
     assert_eq!(plan_arrivals(&net, &config)[1].node, NodeId(5));
@@ -214,10 +220,13 @@ fn churn_crash_spam_scenario_delivers_all_non_abandoned_payloads() {
             faults,
             cycle: true,
         }),
-        reliability: Some(RetryPolicy::AckGap {
-            gap: 8,
-            max_retries: 24,
-        }),
+        reliability: Some(
+            RetryPolicy::AckGap {
+                gap: 8,
+                max_retries: 24,
+            }
+            .into(),
+        ),
         ..StreamConfig::default()
     };
     let outcome = run_stream_scheduled(
@@ -247,4 +256,199 @@ fn churn_crash_spam_scenario_delivers_all_non_abandoned_payloads() {
     // no verdict exists for it.
     assert_eq!(report.entries.len(), 16);
     assert!(report.entries.iter().all(|e| e.payload.0 < 16));
+}
+
+/// Satellite regression: the lossless ⇒ delivered guarantee holds when
+/// the *topology* is what moves — gray-zone fading and node mobility
+/// schedules (every link that exists is delivered; nothing is faulty).
+#[test]
+fn lossless_fading_and_mobility_schedules_deliver_every_payload() {
+    let geometry = generators::GeometricDualParams {
+        n: 24,
+        reliable_radius: 0.35,
+        gray_radius: 0.6,
+    };
+    let fading = generators::fading_schedule(
+        generators::FadingParams {
+            geometry,
+            gray_p: 0.5,
+            epochs: 5,
+            span: 8,
+        },
+        derive_seed(31, 2),
+    );
+    let mobility = generators::mobility_schedule(
+        generators::MobilityParams {
+            geometry,
+            step: 0.08,
+            epochs: 5,
+            span: 8,
+        },
+        derive_seed(32, 2),
+    );
+    for (name, schedule) in [("fading", fading), ("mobility", mobility)] {
+        for policy in policies() {
+            let config = StreamConfig {
+                k: 5,
+                max_rounds: 60_000,
+                dynamics: Some(DynamicsConfig {
+                    faults: FaultPlan::none(),
+                    cycle: true,
+                }),
+                reliability: Some(policy.into()),
+                ..StreamConfig::default()
+            };
+            let outcome = run_stream_scheduled(
+                &schedule,
+                StreamAlgorithm::PipelinedFlooding,
+                Box::new(WithRandomCr4::new(FullDelivery::new(), 17)),
+                &config,
+            )
+            .unwrap();
+            let report = outcome.reliability.as_ref().unwrap();
+            assert_eq!(
+                report.stats.delivered, 5,
+                "{name} {policy:?}: {:?}",
+                report.stats
+            );
+            assert_eq!(report.stats.abandoned, 0, "{name} {policy:?}");
+            assert!(report.all_non_abandoned_delivered(), "{name} {policy:?}");
+        }
+    }
+}
+
+/// Satellite regression: a policy whose trigger can never fire is bit
+/// transparent on fading and mobility schedules too — epoch swaps
+/// (which re-anchor pending acks) must not manufacture retries.
+#[test]
+fn never_triggering_policy_is_transparent_on_fading_and_mobility() {
+    let geometry = generators::GeometricDualParams {
+        n: 20,
+        reliable_radius: 0.35,
+        gray_radius: 0.6,
+    };
+    let fading = generators::fading_schedule(
+        generators::FadingParams {
+            geometry,
+            gray_p: 0.4,
+            epochs: 4,
+            span: 10,
+        },
+        derive_seed(33, 5),
+    );
+    let mobility = generators::mobility_schedule(
+        generators::MobilityParams {
+            geometry,
+            step: 0.1,
+            epochs: 4,
+            span: 10,
+        },
+        derive_seed(34, 5),
+    );
+    for (name, schedule) in [("fading", fading), ("mobility", mobility)] {
+        let base = StreamConfig {
+            k: 4,
+            max_rounds: 60_000,
+            dynamics: Some(DynamicsConfig {
+                faults: FaultPlan::none(),
+                cycle: true,
+            }),
+            ..StreamConfig::default()
+        };
+        let plain = run_stream_scheduled(
+            &schedule,
+            StreamAlgorithm::PipelinedFlooding,
+            Box::new(WithRandomCr4::new(BurstyDelivery::new(0.2, 0.4, 23), 7)),
+            &base,
+        )
+        .unwrap();
+        let reliable = run_stream_scheduled(
+            &schedule,
+            StreamAlgorithm::PipelinedFlooding,
+            Box::new(WithRandomCr4::new(BurstyDelivery::new(0.2, 0.4, 23), 7)),
+            &StreamConfig {
+                reliability: Some(
+                    RetryPolicy::AckGap {
+                        gap: 1_000_000,
+                        max_retries: 2,
+                    }
+                    .into(),
+                ),
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(reliable.payloads, plain.payloads, "{name}");
+        assert_eq!(reliable.rounds_executed, plain.rounds_executed, "{name}");
+        assert_eq!(reliable.mac, plain.mac, "{name}");
+        assert_eq!(
+            reliable.reliability.unwrap().stats.total_retries,
+            0,
+            "{name}: the gap can never elapse"
+        );
+    }
+}
+
+/// Satellite regression, end to end: a bounded-budget flood quiesces
+/// against a crashed cut vertex, and the retry lane's re-`bcast`
+/// (which re-arms [`PipelinedFlooder::on_input`]'s per-payload budget)
+/// is the *only* thing that revives it after the recovery.
+///
+/// [`PipelinedFlooder::on_input`]: dualgraph_sim::automata::PipelinedFlooder
+#[test]
+fn retry_rearms_a_quiesced_bounded_flood_through_a_recovered_cut_vertex() {
+    // A plain path: node 1 is the source's only neighbor, crashed until
+    // long after the source's budget of 6 transmissions is spent.
+    let net = generators::line(8, 1);
+    let faults = FaultPlan::none().crash(NodeId(1), 0).recover(NodeId(1), 60);
+    let base = StreamConfig {
+        k: 1,
+        max_rounds: 4_000,
+        dynamics: Some(DynamicsConfig {
+            faults,
+            cycle: false,
+        }),
+        ..StreamConfig::default()
+    };
+    let algorithm = StreamAlgorithm::BoundedFlooding { budget: 6 };
+    // Without the reliability layer the flood dies: the budget is spent
+    // into a crashed receiver and nothing ever re-arms it.
+    let (dead, _) = run_stream_session(
+        &net,
+        algorithm,
+        Box::new(WithRandomCr4::new(ReliableOnly::new(), 11)),
+        &base,
+    )
+    .unwrap();
+    assert!(
+        !dead.completed,
+        "control arm: the quiesced flood must stay dead ({} rounds)",
+        dead.rounds_executed
+    );
+    // With ack-gap retries the re-bcast lands after the recovery,
+    // on_input resets the payload's sent counter, and the flood reaches
+    // the far end of the path.
+    let (revived, _) = run_stream_session(
+        &net,
+        algorithm,
+        Box::new(WithRandomCr4::new(ReliableOnly::new(), 11)),
+        &StreamConfig {
+            reliability: Some(
+                RetryPolicy::AckGap {
+                    gap: 16,
+                    max_retries: 30,
+                }
+                .into(),
+            ),
+            ..base
+        },
+    )
+    .unwrap();
+    let report = revived.reliability.as_ref().unwrap();
+    assert!(revived.completed, "{report:?}");
+    assert!(report.entries[0].verdict.is_delivered(), "{report:?}");
+    assert!(
+        report.stats.total_retries > 0,
+        "the revival must come from the retry lane: {report:?}"
+    );
 }

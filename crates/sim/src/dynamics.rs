@@ -78,6 +78,23 @@ pub enum NodeRole {
     Jammer,
     /// Transmits the given junk payload set every round; never receives.
     Spammer(PayloadSet),
+    /// **Byzantine**: transmits *different* payload sets to different
+    /// receivers **in the same round** — even-indexed nodes hear `even`,
+    /// odd-indexed nodes hear `odd` — breaking the single-shared-channel
+    /// radio assumption. Never receives. See `docs/BYZANTINE.md` for the
+    /// per-neighbor transmission contract.
+    Equivocator {
+        /// The payload set delivered to even-indexed receivers.
+        even: PayloadSet,
+        /// The payload set delivered to odd-indexed receivers.
+        odd: PayloadSet,
+    },
+    /// **Byzantine**: mints the given payload ids — ids the environment
+    /// never introduced — and relays them *as if genuine*, unioned with
+    /// everything the node had heard before turning faulty (its frozen
+    /// known record), so forged ids travel blended into real traffic.
+    /// Never receives.
+    Forger(PayloadSet),
 }
 
 impl NodeRole {
@@ -87,13 +104,49 @@ impl NodeRole {
         matches!(self, NodeRole::Correct)
     }
 
+    /// `true` for the lying roles ([`NodeRole::Equivocator`],
+    /// [`NodeRole::Forger`]) whose transmissions are not a single shared
+    /// channel: their presence switches the engine onto the per-neighbor
+    /// transmission-content path.
+    #[inline]
+    pub fn is_byzantine(&self) -> bool {
+        matches!(self, NodeRole::Equivocator { .. } | NodeRole::Forger(_))
+    }
+
     /// The message a faulty node transmits every round (`None` for
-    /// correct and crashed nodes).
+    /// correct and crashed nodes). For an equivocator this is the
+    /// *representative* (the `even` face); the per-neighbor dispatch
+    /// substitutes the `odd` face for odd-indexed receivers. A forger's
+    /// standing message carries only the minted set; the dispatch loop
+    /// unions the node's frozen known record in at transmit time.
     pub(crate) fn standing_tx(&self, sender: ProcessId) -> Option<Message> {
         match self {
             NodeRole::Correct | NodeRole::Crashed => None,
             NodeRole::Jammer => Some(Message::signal(sender)),
             NodeRole::Spammer(junk) => Some(Message::with_payloads(sender, *junk)),
+            NodeRole::Equivocator { even, .. } => Some(Message::with_payloads(sender, *even)),
+            NodeRole::Forger(mint) => Some(Message::with_payloads(sender, *mint)),
+        }
+    }
+
+    /// The message this role's transmission delivers to `receiver`
+    /// (`standing` is the role's representative standing message). Equal
+    /// to `standing` for every role except [`NodeRole::Equivocator`],
+    /// whose odd-indexed receivers hear the `odd` face — the one place
+    /// the per-receiver content rule lives, shared by the optimized
+    /// engine and the [`ReferenceExecutor`][crate::ReferenceExecutor].
+    #[inline]
+    pub fn content_for(&self, standing: Message, receiver: NodeId) -> Message {
+        match self {
+            NodeRole::Equivocator { even, odd } => {
+                let face = if receiver.index().is_multiple_of(2) {
+                    even
+                } else {
+                    odd
+                };
+                Message::with_payloads(standing.sender, *face)
+            }
+            _ => standing,
         }
     }
 }
@@ -105,6 +158,8 @@ impl std::fmt::Display for NodeRole {
             NodeRole::Crashed => write!(f, "crashed"),
             NodeRole::Jammer => write!(f, "jammer"),
             NodeRole::Spammer(junk) => write!(f, "spammer{junk}"),
+            NodeRole::Equivocator { even, odd } => write!(f, "equivocator{even}/{odd}"),
+            NodeRole::Forger(mint) => write!(f, "forger{mint}"),
         }
     }
 }
@@ -118,8 +173,13 @@ pub struct FaultView<'f> {
     /// Per-node roles, indexed by node.
     pub roles: &'f [NodeRole],
     /// Per-node standing fault transmission (jammer noise / spammer
-    /// junk), indexed by node; `None` for correct and crashed nodes.
+    /// junk / equivocator representative / forger mint), indexed by node;
+    /// `None` for correct and crashed nodes.
     pub standing_tx: &'f [Option<Message>],
+    /// Per-node known-payload records, indexed by node. [`NodeRole::Forger`]
+    /// transmissions union the node's (frozen) known record into the
+    /// minted set, so forged ids ride along with genuine traffic.
+    pub known: &'f [PayloadSet],
 }
 
 /// One timed role transition of a [`FaultPlan`].
@@ -177,6 +237,20 @@ impl FaultPlan {
     /// Turns `node` into a spammer of `junk` from `round` (builder style).
     pub fn spam(self, node: NodeId, round: u64, junk: PayloadSet) -> Self {
         self.with(node, round, NodeRole::Spammer(junk))
+    }
+
+    /// Turns `node` into an equivocator from `round` (builder style):
+    /// even-indexed receivers hear `even`, odd-indexed receivers hear
+    /// `odd`, in the same round.
+    pub fn equivocate(self, node: NodeId, round: u64, even: PayloadSet, odd: PayloadSet) -> Self {
+        self.with(node, round, NodeRole::Equivocator { even, odd })
+    }
+
+    /// Turns `node` into a forger of `mint` from `round` (builder style):
+    /// the minted ids are relayed as if genuine, unioned with the node's
+    /// frozen known record.
+    pub fn forge(self, node: NodeId, round: u64, mint: PayloadSet) -> Self {
+        self.with(node, round, NodeRole::Forger(mint))
     }
 
     /// Appends an arbitrary role transition (builder style).

@@ -211,6 +211,13 @@ pub struct Executor<'a> {
     standing_tx: Vec<Option<Message>>,
     /// Number of nodes whose role is not [`NodeRole::Correct`].
     faulty_count: usize,
+    /// Number of nodes whose role is Byzantine ([`NodeRole::Equivocator`]
+    /// / [`NodeRole::Forger`]) — senders whose transmission *content* may
+    /// differ per receiver. While zero (the common case), phase 3 reads
+    /// every delivery straight out of `senders_buf` (one shared channel
+    /// per sender); the per-receiver slow path is consulted only when
+    /// this is positive, mirroring the `faulty_count == 0` fast path.
+    byzantine_count: usize,
     round: u64,
     sends: u64,
     physical_collisions: u64,
@@ -347,6 +354,7 @@ impl<'a> Executor<'a> {
             roles: vec![NodeRole::Correct; n],
             standing_tx: vec![None; n],
             faulty_count: 0,
+            byzantine_count: 0,
             round: 0,
             sends: 0,
             physical_collisions: 0,
@@ -425,6 +433,11 @@ impl<'a> Executor<'a> {
         match (prev.is_correct(), role.is_correct()) {
             (true, false) => self.faulty_count += 1,
             (false, true) => self.faulty_count -= 1,
+            _ => {}
+        }
+        match (prev.is_byzantine(), role.is_byzantine()) {
+            (false, true) => self.byzantine_count += 1,
+            (true, false) => self.byzantine_count -= 1,
             _ => {}
         }
     }
@@ -573,10 +586,15 @@ impl<'a> Executor<'a> {
                 roles,
                 standing_tx,
                 faulty_count,
+                known,
                 senders_buf,
                 ..
             } = self;
-            let faults = (*faulty_count > 0).then_some(FaultView { roles, standing_tx });
+            let faults = (*faulty_count > 0).then_some(FaultView {
+                roles,
+                standing_tx,
+                known,
+            });
             procs.transmit_all(t, active_from, faults, senders_buf);
         }
         self.sends += self.senders_buf.len() as u64;
@@ -715,6 +733,7 @@ impl<'a> Executor<'a> {
                 cr4_scratch,
                 roles,
                 faulty_count,
+                byzantine_count,
                 ..
             } = self;
             let ctx = RoundContext {
@@ -724,7 +743,21 @@ impl<'a> Executor<'a> {
                 senders: senders_buf,
                 informed,
             };
-            let msg_of = |idx: u32| senders_buf[idx as usize].1;
+            // Per-receiver transmission content. `senders_buf` holds one
+            // *representative* message per sender (which is also what the
+            // trace records); a Byzantine sender's actual content for a
+            // given receiver is derived from its role on delivery. While
+            // `byzantine_count == 0` — the common case — every sender is a
+            // shared channel and the derivation is skipped entirely.
+            let byzantine = *byzantine_count > 0;
+            let msg_for = |idx: u32, receiver: usize| {
+                let (u, m) = senders_buf[idx as usize];
+                if byzantine {
+                    roles[u.index()].content_for(m, NodeId::from_index(receiver))
+                } else {
+                    m
+                }
+            };
             let faulty = *faulty_count > 0;
             for node in 0..n {
                 // Faulty radios resolve to silence: a crashed node has no
@@ -746,7 +779,7 @@ impl<'a> Executor<'a> {
                 let Some(own) = own_buf[node] else {
                     let reception = match len {
                         0 => Reception::Silence,
-                        1 => Reception::Message(msg_of(arena[start])),
+                        1 => Reception::Message(msg_for(arena[start], node)),
                         _ => {
                             *physical_collisions += 1;
                             match config.rule {
@@ -754,8 +787,9 @@ impl<'a> Executor<'a> {
                                 CollisionRule::Cr3 => Reception::Silence,
                                 CollisionRule::Cr4 => {
                                     cr4_scratch.clear();
-                                    cr4_scratch
-                                        .extend(arena[start..end].iter().map(|&i| msg_of(i)));
+                                    cr4_scratch.extend(
+                                        arena[start..end].iter().map(|&i| msg_for(i, node)),
+                                    );
                                     match adversary.resolve_cr4(
                                         &ctx,
                                         NodeId::from_index(node),
@@ -785,7 +819,7 @@ impl<'a> Executor<'a> {
                 let reception = match config.rule {
                     CollisionRule::Cr1 => match len {
                         0 => unreachable!("a sender's own message always reaches it"),
-                        1 => Reception::Message(msg_of(arena[start])),
+                        1 => Reception::Message(msg_for(arena[start], node)),
                         _ => Reception::Collision,
                     },
                     _ => Reception::Message(own),
@@ -913,6 +947,7 @@ impl Clone for Executor<'_> {
             roles: self.roles.clone(),
             standing_tx: self.standing_tx.clone(),
             faulty_count: self.faulty_count,
+            byzantine_count: self.byzantine_count,
             round: self.round,
             sends: self.sends,
             physical_collisions: self.physical_collisions,

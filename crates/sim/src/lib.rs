@@ -77,6 +77,7 @@ pub mod mac;
 mod message;
 mod payload;
 mod process;
+pub mod quorum;
 pub mod reference;
 pub mod reliability;
 pub mod rng;
@@ -96,9 +97,11 @@ pub use mac::{AckRecord, MacEvent, MacLayer, MacStats};
 pub use message::{Message, PayloadId, ProcessId};
 pub use payload::{PayloadSet, MAX_PAYLOADS};
 pub use process::{ActivationCause, ChatterProcess, Flooder, Process, SilentProcess};
+pub use quorum::{local_byzantine_bound, QuorumPolicy, QuorumProcess};
 pub use reference::ReferenceExecutor;
 pub use reliability::{
-    DeliveryVerdict, ReliabilityEntry, ReliabilityStats, ReliableBroadcast, RetryPolicy,
+    DeliveryVerdict, ReliabilityBackend, ReliabilityEntry, ReliabilityStats, ReliableBroadcast,
+    RetryPolicy,
 };
 pub use slot::{ProcessSlot, ProcessTable};
 pub use trace::{RoundRecord, Trace, TraceLevel};

@@ -81,6 +81,18 @@ pub trait Process {
         false
     }
 
+    /// The payloads this automaton has **quorum-accepted** (Byzantine
+    /// reliable broadcast), or `None` for automata without an acceptance
+    /// notion — which is every automaton except
+    /// [`QuorumProcess`][crate::quorum::QuorumProcess]. The acceptance
+    /// latch is the "no duplication" safety clause: a payload, once in
+    /// the returned set, never leaves it. Purely observational; drivers
+    /// (the stream runner's quorum backend) poll it to settle
+    /// per-payload delivery verdicts.
+    fn accepted_payloads(&self) -> Option<crate::payload::PayloadSet> {
+        None
+    }
+
     /// Clones the automaton in its current state (used for execution-prefix
     /// replay by the Theorem 12 construction and by tests).
     fn clone_box(&self) -> Box<dyn Process>;

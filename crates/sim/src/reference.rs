@@ -251,7 +251,12 @@ impl<'a> ReferenceExecutor<'a> {
                 NodeRole::Crashed => continue,
                 faulty => {
                     let pid = self.assignment.process_at(NodeId::from_index(node));
-                    if let Some(msg) = faulty.standing_tx(pid) {
+                    if let Some(mut msg) = faulty.standing_tx(pid) {
+                        // A forger's minted ids ride along with its frozen
+                        // known record (mirroring the batched sweep).
+                        if matches!(faulty, NodeRole::Forger(_)) {
+                            msg.payloads.union_with(self.known[node]);
+                        }
                         senders.push((NodeId::from_index(node), msg));
                     }
                     continue;
@@ -277,6 +282,7 @@ impl<'a> ReferenceExecutor<'a> {
                 adversary,
                 assignment,
                 informed,
+                roles,
                 ..
             } = self;
             let ctx = RoundContext {
@@ -287,10 +293,16 @@ impl<'a> ReferenceExecutor<'a> {
                 informed,
             };
             for &(u, msg) in &senders {
+                // Per-receiver transmission content: `senders` holds one
+                // representative message per sender (what the trace
+                // records); a Byzantine sender's actual content for each
+                // receiver is derived from its role here. For every other
+                // role `content_for` is the identity.
+                let role = roles[u.index()];
                 own[u.index()] = Some(msg);
-                reach[u.index()].push(msg);
+                reach[u.index()].push(role.content_for(msg, u));
                 for &v in network.reliable().out_neighbors(u) {
-                    reach[v.index()].push(msg);
+                    reach[v.index()].push(role.content_for(msg, v));
                 }
                 let mut extra = Vec::new();
                 adversary.unreliable_deliveries(&ctx, u, &mut extra);
@@ -299,7 +311,7 @@ impl<'a> ReferenceExecutor<'a> {
                         network.unreliable_only_out(u).contains(&v),
                         "adversary delivered ({u}, {v}) outside G' \\ G"
                     );
-                    reach[v.index()].push(msg);
+                    reach[v.index()].push(role.content_for(msg, v));
                 }
             }
         }

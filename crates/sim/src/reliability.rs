@@ -41,6 +41,14 @@
 use dualgraph_net::NodeId;
 
 use crate::message::PayloadId;
+use crate::quorum::QuorumPolicy;
+
+/// Upper bound on the [`RetryPolicy::ExponentialBackoff`] trigger gap.
+/// Doubling saturates here instead of marching toward `u64::MAX`, where a
+/// single further `last_attempt + gap` addition in a long-running session
+/// would saturate to "never" and silently strand the payload between its
+/// last retry and the abandon verdict.
+pub const MAX_BACKOFF_GAP: u64 = 1 << 20;
 
 /// When (and how often) an unacknowledged or undelivered payload is
 /// re-broadcast.
@@ -103,6 +111,64 @@ impl RetryPolicy {
             RetryPolicy::AckGap { gap, .. } => gap,
             RetryPolicy::ExponentialBackoff { base, .. } => base,
         }
+    }
+}
+
+/// The reliability mechanism a stream composes over the MAC layer: either
+/// a [`RetryPolicy`] driven by [`ReliableBroadcast`] (tolerates crashes
+/// and lossy links, trusts message *content*), or the quorum-certified
+/// broadcast of [`QuorumProcess`][crate::QuorumProcess] (additionally
+/// tolerates Byzantine senders under an `f`-locally-bounded placement).
+///
+/// `StreamConfig.reliability` takes an `Option<ReliabilityBackend>`;
+/// `From<RetryPolicy>` keeps the PR 5 call shape working as
+/// `Some(policy.into())`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReliabilityBackend {
+    /// Retry/ack guarantees under the given policy (the PR 5 layer).
+    Retry(RetryPolicy),
+    /// Bracha-style echo/ready certification with the given thresholds.
+    /// The stream runner swaps the algorithm's automata for
+    /// [`QuorumProcess`][crate::QuorumProcess] slots; `DeliveryVerdict`s
+    /// settle from quorum *acceptance* instead of coverage + acks.
+    Quorum(QuorumPolicy),
+}
+
+impl ReliabilityBackend {
+    /// Table/CSV name.
+    pub fn name(&self) -> String {
+        match self {
+            ReliabilityBackend::Retry(p) => p.name().to_string(),
+            ReliabilityBackend::Quorum(q) => q.name(),
+        }
+    }
+
+    /// The retry policy, when this backend is one.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        match *self {
+            ReliabilityBackend::Retry(p) => Some(p),
+            ReliabilityBackend::Quorum(_) => None,
+        }
+    }
+
+    /// The quorum thresholds, when this backend is quorum-certified.
+    pub fn quorum_policy(&self) -> Option<QuorumPolicy> {
+        match *self {
+            ReliabilityBackend::Retry(_) => None,
+            ReliabilityBackend::Quorum(q) => Some(q),
+        }
+    }
+}
+
+impl From<RetryPolicy> for ReliabilityBackend {
+    fn from(policy: RetryPolicy) -> Self {
+        ReliabilityBackend::Retry(policy)
+    }
+}
+
+impl From<QuorumPolicy> for ReliabilityBackend {
+    fn from(policy: QuorumPolicy) -> Self {
+        ReliabilityBackend::Quorum(policy)
     }
 }
 
@@ -184,6 +250,32 @@ pub struct ReliabilityEntry {
     last_attempt: u64,
     /// Current trigger gap (doubles under exponential backoff).
     next_gap: u64,
+}
+
+impl ReliabilityEntry {
+    /// Builds a report-only entry with a pre-settled verdict: used by
+    /// verdict ledgers that adjudicate delivery without the retry driver
+    /// (the quorum backend settles from acceptance, not acks/coverage).
+    /// The private scheduling fields are inert placeholders.
+    pub fn settled(
+        payload: PayloadId,
+        source: NodeId,
+        arrival_round: u64,
+        entered: bool,
+        verdict: DeliveryVerdict,
+    ) -> Self {
+        ReliabilityEntry {
+            payload,
+            source,
+            arrival_round,
+            retries: 0,
+            entered,
+            verdict,
+            acked: false,
+            last_attempt: arrival_round,
+            next_gap: 1,
+        }
+    }
 }
 
 /// Aggregate verdict counts of a [`ReliableBroadcast`] driver.
@@ -342,7 +434,7 @@ impl ReliableBroadcast {
             e.last_attempt = round;
             e.acked = false;
             if matches!(self.policy, RetryPolicy::ExponentialBackoff { .. }) {
-                e.next_gap = e.next_gap.saturating_mul(2);
+                e.next_gap = e.next_gap.saturating_mul(2).min(MAX_BACKOFF_GAP);
             }
             out.push((e.source, e.payload));
         }
@@ -511,6 +603,52 @@ mod tests {
             "first delivery round wins"
         );
         assert!(due(&mut rb, 20).is_empty(), "delivered payloads rest");
+    }
+
+    #[test]
+    fn exponential_backoff_gap_saturates_at_the_cap() {
+        // With an uncapped doubling, 64 retries would push next_gap to
+        // u64::MAX and `last_attempt + gap` to "never". The cap keeps the
+        // schedule well-defined at extreme round counts.
+        let mut rb = ReliableBroadcast::new(RetryPolicy::ExponentialBackoff {
+            base: 1,
+            max_retries: 200,
+        });
+        rb.track(PayloadId(0), NodeId(0), 0, true);
+        let mut round = 0u64;
+        let mut fired = 0u32;
+        // Drive far past the doubling horizon by jumping straight to each
+        // next trigger round.
+        for _ in 0..120 {
+            round = round.saturating_add(MAX_BACKOFF_GAP);
+            fired += u32::try_from(due(&mut rb, round).len()).unwrap();
+        }
+        // Every probe fires: once saturated, the gap stays MAX_BACKOFF_GAP
+        // (≤ the probe stride) instead of overflowing out of reach.
+        assert_eq!(fired, 120);
+        let entry = rb.entry(PayloadId(0)).unwrap();
+        assert_eq!(entry.retries, 120);
+        assert!(entry.verdict == DeliveryVerdict::Pending);
+    }
+
+    #[test]
+    fn backend_wraps_both_mechanisms() {
+        use crate::quorum::QuorumPolicy;
+
+        let retry = RetryPolicy::AckGap {
+            gap: 2,
+            max_retries: 1,
+        };
+        let b: ReliabilityBackend = retry.into();
+        assert_eq!(b, ReliabilityBackend::Retry(retry));
+        assert_eq!(b.name(), "ack-gap");
+        assert_eq!(b.retry_policy(), Some(retry));
+        assert_eq!(b.quorum_policy(), None);
+
+        let q: ReliabilityBackend = QuorumPolicy::for_bound(1).into();
+        assert_eq!(q.retry_policy(), None);
+        assert_eq!(q.quorum_policy(), Some(QuorumPolicy::for_bound(1)));
+        assert!(q.name().contains("quorum"));
     }
 
     #[test]

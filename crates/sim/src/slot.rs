@@ -32,7 +32,9 @@ use crate::automata::{
 use crate::collision::Reception;
 use crate::dynamics::{FaultView, NodeRole};
 use crate::message::{Message, PayloadId, ProcessId};
+use crate::payload::PayloadSet;
 use crate::process::{ActivationCause, ChatterProcess, Flooder, Process, SilentProcess};
+use crate::quorum::QuorumProcess;
 
 /// One process, stored either inline (built-in automata) or boxed
 /// (anything else).
@@ -64,6 +66,8 @@ pub enum ProcessSlot {
     StrongSelect(StrongSelectProcess),
     /// [`UniformProcess`], inline.
     Uniform(UniformProcess),
+    /// [`QuorumProcess`], inline.
+    Quorum(QuorumProcess),
     /// Escape hatch: any other `Process`, behind its original vtable.
     Custom(Box<dyn Process>),
 }
@@ -82,6 +86,7 @@ macro_rules! match_slot {
             ProcessSlot::RoundRobin($p) => $e,
             ProcessSlot::StrongSelect($p) => $e,
             ProcessSlot::Uniform($p) => $e,
+            ProcessSlot::Quorum($p) => $e,
             ProcessSlot::Custom($p) => $e,
         }
     };
@@ -103,6 +108,7 @@ impl ProcessSlot {
             ProcessSlot::RoundRobin(p) => Box::new(p),
             ProcessSlot::StrongSelect(p) => Box::new(p),
             ProcessSlot::Uniform(p) => Box::new(p),
+            ProcessSlot::Quorum(p) => Box::new(p),
             ProcessSlot::Custom(b) => b,
         }
     }
@@ -137,6 +143,10 @@ impl Process for ProcessSlot {
         match_slot!(self, p => p.is_terminated())
     }
 
+    fn accepted_payloads(&self) -> Option<PayloadSet> {
+        match_slot!(self, p => p.accepted_payloads())
+    }
+
     fn clone_box(&self) -> Box<dyn Process> {
         Box::new(self.clone())
     }
@@ -165,6 +175,7 @@ impl_from_slot!(
     RoundRobin(RoundRobinProcess),
     StrongSelect(StrongSelectProcess),
     Uniform(UniformProcess),
+    Quorum(QuorumProcess),
     Custom(Box<dyn Process>),
 );
 
@@ -190,6 +201,7 @@ enum Repr {
     RoundRobin(Vec<RoundRobinProcess>),
     StrongSelect(Vec<StrongSelectProcess>),
     Uniform(Vec<UniformProcess>),
+    Quorum(Vec<QuorumProcess>),
     Mixed(Vec<ProcessSlot>),
 }
 
@@ -209,6 +221,7 @@ macro_rules! each_repr {
             Repr::RoundRobin($v) => $e,
             Repr::StrongSelect($v) => $e,
             Repr::Uniform($v) => $e,
+            Repr::Quorum($v) => $e,
             Repr::Mixed($v) => $e,
         }
     };
@@ -275,6 +288,7 @@ impl ProcessTable {
             ProcessSlot::RoundRobin(_) => collect_variant!(slots, RoundRobin),
             ProcessSlot::StrongSelect(_) => collect_variant!(slots, StrongSelect),
             ProcessSlot::Uniform(_) => collect_variant!(slots, Uniform),
+            ProcessSlot::Quorum(_) => collect_variant!(slots, Quorum),
             ProcessSlot::Custom(_) => unreachable!("Custom was excluded above"),
         };
         ProcessTable { repr }
@@ -303,6 +317,7 @@ impl ProcessTable {
             Repr::RoundRobin(v) => v.into_iter().map(ProcessSlot::RoundRobin).collect(),
             Repr::StrongSelect(v) => v.into_iter().map(ProcessSlot::StrongSelect).collect(),
             Repr::Uniform(v) => v.into_iter().map(ProcessSlot::Uniform).collect(),
+            Repr::Quorum(v) => v.into_iter().map(ProcessSlot::Quorum).collect(),
             Repr::Mixed(v) => v,
         }
     }
@@ -336,6 +351,7 @@ impl ProcessTable {
             Repr::RoundRobin(_) => "round-robin",
             Repr::StrongSelect(_) => "strong-select",
             Repr::Uniform(_) => "uniform",
+            Repr::Quorum(_) => "quorum",
             Repr::Mixed(_) => "mixed",
         }
     }
@@ -375,6 +391,7 @@ impl ProcessTable {
             Repr::RoundRobin(v) => Repr::RoundRobin(permute(v, assignment)),
             Repr::StrongSelect(v) => Repr::StrongSelect(permute(v, assignment)),
             Repr::Uniform(v) => Repr::Uniform(permute(v, assignment)),
+            Repr::Quorum(v) => Repr::Quorum(permute(v, assignment)),
             Repr::Mixed(v) => Repr::Mixed(permute(v, assignment)),
         };
         ProcessTable { repr }
@@ -411,8 +428,18 @@ impl ProcessTable {
                     match f.roles[node] {
                         NodeRole::Correct => {}
                         NodeRole::Crashed => continue,
-                        NodeRole::Jammer | NodeRole::Spammer(_) => {
+                        NodeRole::Jammer | NodeRole::Spammer(_) | NodeRole::Equivocator { .. } => {
                             if let Some(msg) = f.standing_tx[node] {
+                                out.push((NodeId::from_index(node), msg));
+                            }
+                            continue;
+                        }
+                        NodeRole::Forger(_) => {
+                            // Forged mint blended with the node's frozen
+                            // known record: forged ids travel alongside
+                            // genuine traffic instead of standing alone.
+                            if let Some(mut msg) = f.standing_tx[node] {
+                                msg.payloads.union_with(f.known[node]);
                                 out.push((NodeId::from_index(node), msg));
                             }
                             continue;
@@ -560,6 +587,7 @@ mod tests {
         let roles = [NodeRole::Correct, NodeRole::Crashed, NodeRole::Jammer];
         let noise = Message::signal(ProcessId(2));
         let standing = [None, None, Some(noise)];
+        let known = [PayloadSet::EMPTY; 3];
         let mut sends = Vec::new();
         table.transmit_all(
             1,
@@ -567,6 +595,7 @@ mod tests {
             Some(FaultView {
                 roles: &roles,
                 standing_tx: &standing,
+                known: &known,
             }),
             &mut sends,
         );

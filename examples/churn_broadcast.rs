@@ -217,10 +217,13 @@ fn main() {
                 faults: FaultPlan::none().crash(NodeId(0), 0).recover(NodeId(0), 5),
                 cycle: false,
             }),
-            reliability: Some(dualgraph::RetryPolicy::AckGap {
-                gap: 4,
-                max_retries: 10,
-            }),
+            reliability: Some(
+                dualgraph::RetryPolicy::AckGap {
+                    gap: 4,
+                    max_retries: 10,
+                }
+                .into(),
+            ),
             ..StreamConfig::default()
         },
     )
