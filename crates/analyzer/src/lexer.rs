@@ -1,0 +1,480 @@
+//! A hand-rolled Rust lexer — just enough fidelity for lint-grade token
+//! scanning (no parsing, no spans into the AST, no external deps).
+//!
+//! The output is two streams per file: *significant* tokens (identifiers,
+//! punctuation, literals, lifetimes) and *comments* (kept separately so the
+//! waiver scanner and the bound-comment check can inspect them without the
+//! lint patterns having to skip them). Every token carries its 1-based
+//! source line.
+//!
+//! Fidelity notes — the cases that break naive tokenizers and matter here:
+//!
+//! * nested block comments (`/* /* */ */`) — Rust allows them;
+//! * raw strings (`r#"..."#`, any `#` arity) and byte strings;
+//! * `'a` lifetimes vs `'a'` char literals (a lifetime is never closed by
+//!   a quote; a char literal always is, possibly after an escape);
+//! * float literals (`1.0`) vs method calls on integers (`1.max(2)`).
+
+/// What kind of significant token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (the scanner distinguishes keywords).
+    Ident,
+    /// A single punctuation character (multi-char operators arrive as
+    /// consecutive tokens; lint patterns match sequences).
+    Punct,
+    /// A string/char/numeric literal (contents preserved verbatim).
+    Literal,
+    /// A lifetime (`'a`), including the leading quote.
+    Lifetime,
+}
+
+/// One significant token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token's kind.
+    pub kind: TokKind,
+    /// The token's text, verbatim.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` when this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// `true` when this is a punctuation token with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// One comment, line- or block-style.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text *without* the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// `true` when a significant token precedes it on the same line
+    /// (a trailing comment annotates its own line; a standalone comment
+    /// annotates the next code line).
+    pub trailing: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into significant tokens and comments. Invalid input never
+/// panics: unknown bytes become single-character punctuation and an
+/// unterminated literal runs to end of file — good enough for linting,
+/// since the compiler is the authority on well-formedness.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Line of the most recent significant token, for `Comment::trailing`.
+    let mut last_tok_line: u32 = 0;
+
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < b.len() && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                text: b[start..j].iter().collect::<String>().trim().to_string(),
+                line,
+                trailing: last_tok_line == line,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            let trailing = last_tok_line == line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let text_start = j;
+            while j < b.len() && depth > 0 {
+                if b[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if b[j] == '/' && b.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let text_end = j.saturating_sub(2).max(text_start);
+            out.comments.push(Comment {
+                text: b[text_start..text_end]
+                    .iter()
+                    .collect::<String>()
+                    .trim()
+                    .to_string(),
+                line: start_line,
+                trailing,
+            });
+            i = j;
+            continue;
+        }
+        // Raw / byte strings: r"..", r#".."#, b"..", br#".."#.
+        if (c == 'r' || c == 'b') && is_raw_or_byte_string(&b, i) {
+            let (text, nl, j) = lex_raw_or_byte_string(&b, i);
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text,
+                line,
+            });
+            last_tok_line = line;
+            line += nl;
+            i = j;
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            let (text, nl, j) = lex_string(&b, i);
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text,
+                line,
+            });
+            last_tok_line = line;
+            line += nl;
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = b.get(i + 1).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(x) if x.is_alphanumeric() || x == '_' => {
+                    // `'a'` is a char literal, `'a` (no closing quote after
+                    // the ident run) is a lifetime.
+                    let mut k = i + 1;
+                    while k < b.len() && (b[k].is_alphanumeric() || b[k] == '_') {
+                        k += 1;
+                    }
+                    b.get(k) == Some(&'\'') && k == i + 2
+                }
+                _ => true, // e.g. '(' — a malformed char; treat as literal
+            };
+            if is_char {
+                let mut j = i + 1;
+                if b.get(j) == Some(&'\\') {
+                    j += 2; // escape + escaped char
+                } else {
+                    j += 1;
+                }
+                // include the closing quote if present
+                if b.get(j) == Some(&'\'') {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: b[i..j.min(b.len())].iter().collect(),
+                    line,
+                });
+                last_tok_line = line;
+                i = j;
+            } else {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                last_tok_line = line;
+                i = j;
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            last_tok_line = line;
+            i = j;
+            continue;
+        }
+        // Numeric literal (digits, underscores, type suffixes, one dot
+        // followed by a digit, exponent).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < b.len() {
+                let d = b[j];
+                let continues = d.is_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && b.get(j + 1).is_some_and(|n| n.is_ascii_digit()));
+                if !continues {
+                    break;
+                }
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            last_tok_line = line;
+            i = j;
+            continue;
+        }
+        // Single-character punctuation.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        last_tok_line = line;
+        i += 1;
+    }
+    out
+}
+
+/// `true` when position `i` (at `r` or `b`) starts a raw or byte string.
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return b.get(j) == Some(&'"');
+    }
+    // b"..." (byte string, not raw)
+    b[i] == 'b' && b.get(i + 1) == Some(&'"')
+}
+
+/// Lexes a raw/byte string starting at `i`; returns (text, newlines, end).
+fn lex_raw_or_byte_string(b: &[char], i: usize) -> (String, u32, usize) {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    let raw = b.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(b.get(j), Some(&'"'), "caller checked the opening quote");
+    j += 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        if b[j] == '\n' {
+            nl += 1;
+            j += 1;
+        } else if !raw && b[j] == '\\' {
+            if b.get(j + 1) == Some(&'\n') {
+                nl += 1;
+            }
+            j += 2;
+        } else if b[j] == '"' {
+            // For raw strings, require the matching `#` run.
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                j = k;
+                break;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (b[i..j.min(b.len())].iter().collect(), nl, j)
+}
+
+/// Lexes a plain `"..."` string starting at the quote; returns
+/// (text, newlines, end).
+fn lex_string(b: &[char], i: usize) -> (String, u32, usize) {
+    let mut j = i + 1;
+    let mut nl = 0u32;
+    while j < b.len() {
+        match b[j] {
+            '\\' => {
+                // A line-continuation escape still ends a source line.
+                if b.get(j + 1) == Some(&'\n') {
+                    nl += 1;
+                }
+                j += 2;
+            }
+            '\n' => {
+                nl += 1;
+                j += 1;
+            }
+            '"' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    (b[i..j.min(b.len())].iter().collect(), nl, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let l = lex("let x = foo.bar(1);");
+        let kinds: Vec<_> = l.toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Ident,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Literal,
+                TokKind::Punct,
+                TokKind::Punct,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_do_not_hide_in_strings() {
+        let l = lex(r#"let s = "// not a comment"; // real"#);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].text, "real");
+        assert!(l.comments[0].trailing);
+    }
+
+    #[test]
+    fn standalone_vs_trailing_comments() {
+        let l = lex("// standalone\nlet x = 1; // trailing\n");
+        assert!(!l.comments[0].trailing);
+        assert!(l.comments[1].trailing);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ fn x() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(idents("/* a /* b */ c */ fn x() {}"), vec!["fn", "x"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("impl<'a> Foo<'a> { fn f(c: char) { let x = 'y'; } }");
+        let lifetimes: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'y'");
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let l = lex(r"let nl = '\n';");
+        assert!(l.toks.iter().any(|t| t.text == r"'\n'"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let l = lex(r###"let s = r#"with "quotes" inside"#; let t = 1;"###);
+        assert!(
+            idents(r###"let s = r#"with "quotes" inside"#; let t = 1;"###)
+                .contains(&"t".to_string())
+        );
+        assert_eq!(l.comments.len(), 0);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let l = lex("let a = \"x\ny\";\nlet b = 2;");
+        let b_tok = l.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_string_continuation_escapes() {
+        // A `\` line continuation inside a string still ends a source line.
+        let l = lex("let a = \"x \\\n y\";\nlet b = 2;");
+        let b_tok = l.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn float_literals_lex_as_one_token() {
+        let l = lex("let x = 1.5 + 2.max(3);");
+        assert!(l.toks.iter().any(|t| t.text == "1.5"));
+        // `2.max` must split: `2` then `.` then `max`.
+        assert!(l.toks.iter().any(|t| t.text == "2"));
+        assert!(l.toks.iter().any(|t| t.is_ident("max")));
+    }
+}

@@ -1,0 +1,105 @@
+//! Machine-readable JSON report emission (hand-rolled — no serde).
+
+use crate::Finding;
+
+/// Serializes the full findings list as a JSON document:
+///
+/// ```json
+/// {
+///   "files_scanned": 42,
+///   "violations": 1,
+///   "waived": 3,
+///   "findings": [ { "file": "...", "line": 7, "lint": "...",
+///                   "message": "...", "waived": false, "reason": null } ]
+/// }
+/// ```
+pub fn to_json(files_scanned: usize, findings: &[Finding]) -> String {
+    let unwaived = findings.iter().filter(|f| !f.waived).count();
+    let waived = findings.len() - unwaived;
+    let mut out = String::with_capacity(256 + findings.len() * 160);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", files_scanned));
+    out.push_str(&format!("  \"violations\": {},\n", unwaived));
+    out.push_str(&format!("  \"waived\": {},\n", waived));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"file\": {}, ", escape(&f.file)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"lint\": {}, ", escape(f.lint)));
+        out.push_str(&format!("\"message\": {}, ", escape(&f.message)));
+        out.push_str(&format!("\"waived\": {}, ", f.waived));
+        match &f.reason {
+            Some(r) => out.push_str(&format!("\"reason\": {}", escape(r))),
+            None => out.push_str("\"reason\": null"),
+        }
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_escapes() {
+        let findings = vec![
+            Finding {
+                file: "crates/x/src/a.rs".into(),
+                line: 3,
+                lint: "panic",
+                message: "`.unwrap` with \"quotes\"".into(),
+                waived: false,
+                reason: None,
+            },
+            Finding {
+                file: "crates/x/src/b.rs".into(),
+                line: 9,
+                lint: "determinism",
+                message: "HashMap".into(),
+                waived: true,
+                reason: Some("membership only".into()),
+            },
+        ];
+        let json = to_json(2, &findings);
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\"waived\": 1"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"reason\": \"membership only\""));
+        assert!(json.contains("\"reason\": null"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let json = to_json(0, &[]);
+        assert!(json.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,586 @@
+//! Structural scan over the token stream: functions, impl contexts,
+//! struct field lists, derive attributes, and `#[cfg(test)]` spans.
+//!
+//! This is deliberately *not* a parser. It tracks brace depth and a small
+//! amount of item context — enough to answer the questions the lints ask
+//! ("which function body am I in", "is this token test-only code",
+//! "which fields does this struct have") without building a tree. The
+//! compiler has already proven the file well-formed by the time the
+//! analyzer runs in CI, so the scanner can assume balanced delimiters.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use std::ops::Range;
+
+/// A function found in the file.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function's bare name.
+    pub name: String,
+    /// Enclosing `impl` self type (outermost path segment, generics
+    /// stripped): `Executor` for `impl Executor<'_>`.
+    pub self_type: Option<String>,
+    /// Enclosing `impl ... for` trait name, if this is a trait impl.
+    pub trait_name: Option<String>,
+    /// Token range of the parameter list (inside the parentheses).
+    pub params: Range<usize>,
+    /// Token range of the body (inside the braces); empty for
+    /// bodyless trait-method declarations.
+    pub body: Range<usize>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+impl FnInfo {
+    /// `Type::name` when inside an impl, bare `name` otherwise.
+    pub fn qualified_name(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{}::{}", t, self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A struct with named fields found in the file.
+#[derive(Debug, Clone)]
+pub struct StructInfo {
+    /// The struct's name.
+    pub name: String,
+    /// Named field identifiers, in declaration order.
+    pub fields: Vec<String>,
+    /// `true` when a `#[derive(...)]` listing `Clone` precedes it.
+    pub derives_clone: bool,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+}
+
+/// The structural model of one lexed file.
+#[derive(Debug, Default)]
+pub struct Model {
+    /// All functions, in source order.
+    pub fns: Vec<FnInfo>,
+    /// All named-field structs, in source order.
+    pub structs: Vec<StructInfo>,
+    /// Token-index ranges covered by `#[cfg(test)]` items.
+    pub test_spans: Vec<Range<usize>>,
+}
+
+impl Model {
+    /// `true` when token index `i` lies inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|r| r.contains(&i))
+    }
+}
+
+/// Keywords that terminate a type path (so `impl Foo for Bar where ...`
+/// stops collecting at `where`).
+fn path_breaks(t: &Tok) -> bool {
+    t.is_punct("{") || t.is_punct(";") || t.is_ident("where") || t.is_ident("for")
+}
+
+/// Scans a lexed file into its structural model.
+pub fn scan(lexed: &Lexed) -> Model {
+    let toks = &lexed.toks;
+    let mut model = Model::default();
+    // (depth-after-open, self_type, trait_name) for each open impl block.
+    let mut impl_stack: Vec<(usize, String, Option<String>)> = Vec::new();
+    // Derive idents from the most recent attribute run, cleared once an
+    // item consumes them.
+    let mut pending_derives: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            while impl_stack.last().is_some_and(|&(d, _, _)| d > depth) {
+                impl_stack.pop();
+            }
+            i += 1;
+            continue;
+        }
+        // Attribute: `#[ ... ]` — record derives, detect `#[cfg(test)]`.
+        if t.is_punct("#") && toks.get(i + 1).is_some_and(|n| n.is_punct("[")) {
+            let end = skip_balanced(toks, i + 1, "[", "]");
+            let inner = &toks[i + 2..end.saturating_sub(1)];
+            if is_cfg_test(inner) {
+                // The attribute gates the next item: skip further
+                // attributes, then the item itself.
+                let mut j = end;
+                while j < toks.len()
+                    && toks[j].is_punct("#")
+                    && toks.get(j + 1).is_some_and(|n| n.is_punct("["))
+                {
+                    j = skip_balanced(toks, j + 1, "[", "]");
+                }
+                let item_end = skip_item(toks, j);
+                model.test_spans.push(i..item_end);
+                i = item_end;
+                continue;
+            }
+            if inner.first().is_some_and(|x| x.is_ident("derive")) {
+                for tok in inner {
+                    if tok.kind == TokKind::Ident && tok.text != "derive" {
+                        pending_derives.push(tok.text.clone());
+                    }
+                }
+            }
+            i = end;
+            continue;
+        }
+        if t.is_ident("impl") {
+            let (stype, tname, after) = parse_impl_header(toks, i + 1);
+            // `after` points at `{` (or `;` for weird cases); the impl
+            // body opens one deeper than the current depth.
+            if toks.get(after).is_some_and(|x| x.is_punct("{")) {
+                impl_stack.push((depth + 1, stype, tname));
+            }
+            pending_derives.clear();
+            i = after;
+            continue;
+        }
+        if t.is_ident("fn") {
+            if let Some(name_tok) = toks.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    let (params, body, end) = parse_fn_after_name(toks, i + 2);
+                    let (stype, tname) = match impl_stack.last() {
+                        Some((_, s, tr)) => (Some(s.clone()), tr.clone()),
+                        None => (None, None),
+                    };
+                    let body_start = body.start;
+                    let has_body = !body.is_empty();
+                    model.fns.push(FnInfo {
+                        name: name_tok.text.clone(),
+                        self_type: stype,
+                        trait_name: tname,
+                        params,
+                        body,
+                        line: t.line,
+                    });
+                    pending_derives.clear();
+                    // Resume at the body's opening brace (so nested fns
+                    // and impls are scanned too); the signature itself
+                    // is skipped, which keeps `-> impl Trait` return
+                    // types from being misread as impl blocks.
+                    i = if has_body { body_start - 1 } else { end };
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("struct") {
+            if let Some(name_tok) = toks.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    let derives_clone = pending_derives.iter().any(|d| d == "Clone");
+                    let (fields, end) = parse_struct_after_name(toks, i + 2);
+                    if let Some(fields) = fields {
+                        model.structs.push(StructInfo {
+                            name: name_tok.text.clone(),
+                            fields,
+                            derives_clone,
+                            line: t.line,
+                        });
+                    }
+                    pending_derives.clear();
+                    i = end;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Any other item-ish keyword consumes the pending derives
+        // (e.g. `enum`, `union` — we don't field-check those).
+        if t.is_ident("enum") || t.is_ident("union") || t.is_ident("type") {
+            pending_derives.clear();
+        }
+        i += 1;
+    }
+    model
+}
+
+/// `true` for the token slice inside `#[...]` matching `cfg ( test )`
+/// (also `cfg(all(test, ...))` and friends — any cfg mentioning `test`).
+fn is_cfg_test(inner: &[Tok]) -> bool {
+    inner.first().is_some_and(|t| t.is_ident("cfg")) && inner.iter().any(|t| t.is_ident("test"))
+}
+
+/// Skips a balanced delimiter run starting at `open` (which must hold the
+/// opening delimiter); returns the index just past the matching close.
+fn skip_balanced(toks: &[Tok], open: usize, o: &str, c: &str) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct(o) {
+            depth += 1;
+        } else if toks[i].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Skips one item starting at `i`: runs to the first `;` at depth 0 or
+/// past the matching `}` of the first `{` encountered. Returns the index
+/// just past the item.
+fn skip_item(toks: &[Tok], i: usize) -> usize {
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_punct(";") {
+            return j + 1;
+        }
+        if toks[j].is_punct("{") {
+            return skip_balanced(toks, j, "{", "}");
+        }
+        // Parens/brackets inside the header (e.g. fn params) are skipped
+        // wholesale so a `;` inside them doesn't terminate early.
+        if toks[j].is_punct("(") {
+            j = skip_balanced(toks, j, "(", ")");
+            continue;
+        }
+        if toks[j].is_punct("[") {
+            j = skip_balanced(toks, j, "[", "]");
+            continue;
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Skips a balanced `<...>` generics run starting at `i` (pointing at
+/// `<`). Handles nesting; `>>` arrives as two `>` tokens so plain
+/// counting works. Returns the index just past the closing `>`.
+fn skip_generics(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_punct("<") {
+            depth += 1;
+        } else if toks[j].is_punct(">") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if toks[j].is_punct("(") {
+            // `Fn(..)` bounds inside generics.
+            j = skip_balanced(toks, j, "(", ")");
+            continue;
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Collects one type path starting at `i`: returns (outermost path
+/// segment with generics stripped, index past the path). For
+/// `select::Executor<'a>` the segment is `Executor`; for `&mut Foo`
+/// it is `Foo`; for `dyn Adversary` it is `Adversary`.
+fn parse_type_path(toks: &[Tok], i: usize) -> (String, usize) {
+    let mut j = i;
+    let mut last_seg = String::new();
+    while j < toks.len() && !path_breaks(&toks[j]) {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident {
+            if t.text == "dyn" || t.text == "mut" {
+                j += 1;
+                continue;
+            }
+            last_seg = t.text.clone();
+            j += 1;
+            continue;
+        }
+        if t.is_punct(":") {
+            j += 1;
+            continue;
+        }
+        if t.is_punct("&") || t.kind == TokKind::Lifetime {
+            j += 1;
+            continue;
+        }
+        if t.is_punct("<") {
+            j = skip_generics(toks, j);
+            continue;
+        }
+        break;
+    }
+    (last_seg, j)
+}
+
+/// Parses an `impl` header starting just past the `impl` keyword.
+/// Returns (self type, trait name, index of the body `{`).
+fn parse_impl_header(toks: &[Tok], i: usize) -> (String, Option<String>, usize) {
+    let mut j = i;
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        j = skip_generics(toks, j);
+    }
+    let (first, after_first) = parse_type_path(toks, j);
+    j = after_first;
+    let (stype, tname) = if toks.get(j).is_some_and(|t| t.is_ident("for")) {
+        let (second, after_second) = parse_type_path(toks, j + 1);
+        j = after_second;
+        (second, Some(first))
+    } else {
+        (first, None)
+    };
+    // Skip a `where` clause up to the opening brace.
+    while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+        if toks[j].is_punct("<") {
+            j = skip_generics(toks, j);
+            continue;
+        }
+        if toks[j].is_punct("(") {
+            j = skip_balanced(toks, j, "(", ")");
+            continue;
+        }
+        j += 1;
+    }
+    (stype, tname, j)
+}
+
+/// Parses a function signature+body starting just past the name.
+/// Returns (params range, body range, index past the function).
+fn parse_fn_after_name(toks: &[Tok], i: usize) -> (Range<usize>, Range<usize>, usize) {
+    let mut j = i;
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        j = skip_generics(toks, j);
+    }
+    let (params, after_params) = if toks.get(j).is_some_and(|t| t.is_punct("(")) {
+        let end = skip_balanced(toks, j, "(", ")");
+        (j + 1..end - 1, end)
+    } else {
+        (j..j, j)
+    };
+    // Return type / where clause, up to `{` or `;`.
+    let mut k = after_params;
+    while k < toks.len() && !toks[k].is_punct("{") && !toks[k].is_punct(";") {
+        if toks[k].is_punct("<") {
+            k = skip_generics(toks, k);
+            continue;
+        }
+        if toks[k].is_punct("(") {
+            k = skip_balanced(toks, k, "(", ")");
+            continue;
+        }
+        k += 1;
+    }
+    if toks.get(k).is_some_and(|t| t.is_punct("{")) {
+        let end = skip_balanced(toks, k, "{", "}");
+        (params, k + 1..end - 1, end)
+    } else {
+        (params, k..k, k + 1)
+    }
+}
+
+/// Parses a struct definition starting just past the name. Returns
+/// (named fields or None for tuple/unit structs, index past the item).
+fn parse_struct_after_name(toks: &[Tok], i: usize) -> (Option<Vec<String>>, usize) {
+    let mut j = i;
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        j = skip_generics(toks, j);
+    }
+    // Skip a where clause.
+    while j < toks.len()
+        && !toks[j].is_punct("{")
+        && !toks[j].is_punct("(")
+        && !toks[j].is_punct(";")
+    {
+        if toks[j].is_punct("<") {
+            j = skip_generics(toks, j);
+            continue;
+        }
+        j += 1;
+    }
+    match toks.get(j) {
+        Some(t) if t.is_punct("(") => {
+            // Tuple struct: skip parens and trailing `;`.
+            let end = skip_balanced(toks, j, "(", ")");
+            let end = if toks.get(end).is_some_and(|t| t.is_punct(";")) {
+                end + 1
+            } else {
+                end
+            };
+            (None, end)
+        }
+        Some(t) if t.is_punct("{") => {
+            let end = skip_balanced(toks, j, "{", "}");
+            let body = &toks[j + 1..end - 1];
+            (Some(collect_field_names(body)), end)
+        }
+        _ => (None, j + 1), // unit struct `struct S;`
+    }
+}
+
+/// Collects named-field identifiers from a struct body token slice:
+/// an ident directly followed by `:` at nesting depth 0, where the
+/// preceding significant token is `,`, `{`-start, or visibility.
+fn collect_field_names(body: &[Tok]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut depth = 0usize; // <> ( ) [ ] nesting inside field types
+    let mut at_field_start = true;
+    let mut i = 0usize;
+    while i < body.len() {
+        let t = &body[i];
+        if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+            depth = depth.saturating_sub(1);
+            i += 1;
+            continue;
+        }
+        if depth == 0 && t.is_punct(",") {
+            at_field_start = true;
+            i += 1;
+            continue;
+        }
+        // Attributes and visibility before the field name don't end the
+        // "at field start" state.
+        if at_field_start && t.is_punct("#") && body.get(i + 1).is_some_and(|n| n.is_punct("[")) {
+            i = skip_balanced(body, i + 1, "[", "]");
+            continue;
+        }
+        if at_field_start && t.is_ident("pub") {
+            i += 1;
+            if body.get(i).is_some_and(|n| n.is_punct("(")) {
+                i = skip_balanced(body, i, "(", ")");
+            }
+            continue;
+        }
+        if at_field_start
+            && depth == 0
+            && t.kind == TokKind::Ident
+            && body.get(i + 1).is_some_and(|n| n.is_punct(":"))
+        {
+            fields.push(t.text.clone());
+        }
+        at_field_start = false;
+        i += 1;
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model(src: &str) -> Model {
+        scan(&lex(src))
+    }
+
+    #[test]
+    fn free_function() {
+        let m = model("fn go(x: u32) -> u32 { x + 1 }");
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "go");
+        assert_eq!(m.fns[0].qualified_name(), "go");
+        assert!(m.fns[0].self_type.is_none());
+    }
+
+    #[test]
+    fn inherent_impl_method() {
+        let m = model("impl Executor<'_> { pub fn step(&mut self) -> bool { true } }");
+        assert_eq!(m.fns[0].qualified_name(), "Executor::step");
+        assert!(m.fns[0].trait_name.is_none());
+    }
+
+    #[test]
+    fn trait_impl_method() {
+        let m = model("impl Adversary for Bursty { fn unreliable_deliveries(&mut self) {} }");
+        assert_eq!(m.fns[0].self_type.as_deref(), Some("Bursty"));
+        assert_eq!(m.fns[0].trait_name.as_deref(), Some("Adversary"));
+    }
+
+    #[test]
+    fn generic_trait_impl_with_where_clause() {
+        let m = model(
+            "impl<T: Clone> Adversary for Wrapper<T> where T: Send { fn f(&self) -> u8 { 0 } }",
+        );
+        assert_eq!(m.fns[0].self_type.as_deref(), Some("Wrapper"));
+        assert_eq!(m.fns[0].trait_name.as_deref(), Some("Adversary"));
+    }
+
+    #[test]
+    fn struct_fields_with_attrs_and_vis() {
+        let m = model(
+            "#[derive(Debug, Clone)] pub struct S { pub a: u32, #[doc(hidden)] b: Vec<(u32, u64)>, pub(crate) c: HashMap<K, V> }",
+        );
+        assert_eq!(m.structs.len(), 1);
+        assert_eq!(m.structs[0].fields, vec!["a", "b", "c"]);
+        assert!(m.structs[0].derives_clone);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_have_no_named_fields() {
+        let m = model("struct T(u32, u64); struct U; struct N { x: u8 }");
+        assert_eq!(m.structs.len(), 1);
+        assert_eq!(m.structs[0].name, "N");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_span() {
+        let src = "fn lib() {} #[cfg(test)] mod tests { fn helper() { panic!() } }";
+        let m = model(src);
+        let lexed = lex(src);
+        // Find the token index of `helper` and of `lib`.
+        let helper_idx = lexed
+            .toks
+            .iter()
+            .position(|t| t.is_ident("helper"))
+            .unwrap();
+        let lib_idx = lexed.toks.iter().position(|t| t.is_ident("lib")).unwrap();
+        assert!(m.in_test(helper_idx));
+        assert!(!m.in_test(lib_idx));
+    }
+
+    #[test]
+    fn cfg_test_with_stacked_attributes() {
+        let src = "#[cfg(test)] #[allow(dead_code)] mod t { fn x() {} } fn real() {}";
+        let m = model(src);
+        let lexed = lex(src);
+        let x_idx = lexed.toks.iter().position(|t| t.is_ident("x")).unwrap();
+        let real_idx = lexed.toks.iter().position(|t| t.is_ident("real")).unwrap();
+        assert!(m.in_test(x_idx));
+        assert!(!m.in_test(real_idx));
+    }
+
+    #[test]
+    fn fn_inside_fn_body_is_recorded() {
+        let m = model("fn outer() { fn inner() {} inner() }");
+        let names: Vec<_> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"outer"));
+        assert!(names.contains(&"inner"));
+    }
+
+    #[test]
+    fn impl_context_pops_at_close() {
+        let m = model("impl A { fn f(&self) {} } fn free() {}");
+        assert_eq!(m.fns[0].qualified_name(), "A::f");
+        assert_eq!(m.fns[1].qualified_name(), "free");
+    }
+
+    #[test]
+    fn body_range_excludes_signature() {
+        let src = "fn f(out: &mut Vec<u32>) { out.push(1); }";
+        let m = model(src);
+        let lexed = lex(src);
+        let body = &lexed.toks[m.fns[0].body.clone()];
+        assert!(body.iter().any(|t| t.is_ident("push")));
+        // Params range holds the parameter name.
+        let params = &lexed.toks[m.fns[0].params.clone()];
+        assert!(params.iter().any(|t| t.is_ident("out")));
+        assert!(!body.iter().any(|t| t.is_ident("Vec")));
+    }
+}

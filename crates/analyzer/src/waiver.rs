@@ -1,0 +1,190 @@
+//! Waiver comments: `// analyzer: allow(<lint>, reason = "...")`.
+//!
+//! A trailing waiver annotates its own line; a standalone waiver
+//! annotates the next code line (standalone waivers stack, so two
+//! consecutive waiver lines both attach to the code line that follows
+//! them). The `reason` is mandatory — a waiver without one still
+//! suppresses nothing and additionally raises `waiver-missing-reason`,
+//! which is itself unwaivable.
+
+use crate::lexer::{Comment, Lexed};
+use std::collections::BTreeMap;
+
+/// One parsed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Lint identifiers this waiver covers.
+    pub lints: Vec<String>,
+    /// The mandatory justification; `None` when absent or empty.
+    pub reason: Option<String>,
+    /// 1-based line of the waiver comment itself.
+    pub comment_line: u32,
+}
+
+/// All waivers in one file, keyed by the code line they annotate.
+#[derive(Debug, Default)]
+pub struct WaiverSet {
+    by_line: BTreeMap<u32, Vec<Waiver>>,
+    /// Waivers whose reason was missing or empty (reported as
+    /// violations regardless of whether the waived lint ever fires).
+    pub missing_reason: Vec<Waiver>,
+}
+
+impl WaiverSet {
+    /// Looks up a valid waiver for `lint` annotating code line `line`.
+    /// Returns the reason when found.
+    pub fn lookup(&self, line: u32, lint: &str) -> Option<&str> {
+        let ws = self.by_line.get(&line)?;
+        ws.iter()
+            .filter(|w| w.reason.is_some())
+            .find(|w| w.lints.iter().any(|l| l == lint))
+            .and_then(|w| w.reason.as_deref())
+    }
+}
+
+/// The comment prefix that marks a waiver.
+const MARKER: &str = "analyzer:";
+
+/// Extracts waivers from a lexed file. `code_lines` must hold, sorted,
+/// every line that carries at least one significant token — a standalone
+/// waiver attaches to the first code line after it.
+pub fn collect(lexed: &Lexed, code_lines: &[u32]) -> WaiverSet {
+    let mut set = WaiverSet::default();
+    for c in &lexed.comments {
+        let Some(w) = parse_comment(c) else { continue };
+        if w.reason.is_none() {
+            set.missing_reason.push(w.clone());
+        }
+        let target = if c.trailing {
+            c.line
+        } else {
+            match code_lines.iter().find(|&&l| l > c.line) {
+                Some(&l) => l,
+                None => continue, // waiver at EOF annotates nothing
+            }
+        };
+        set.by_line.entry(target).or_default().push(w);
+    }
+    set
+}
+
+/// Parses one comment as a waiver; `None` when it isn't one.
+fn parse_comment(c: &Comment) -> Option<Waiver> {
+    let text = c.text.trim();
+    let rest = text.strip_prefix(MARKER)?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let body = match rest.rfind(')') {
+        Some(i) => &rest[..i],
+        None => rest, // tolerate a missing close paren; lints still parse
+    };
+    // Split at `reason =` if present; everything before is lint ids.
+    let (lint_part, reason) = match body.find("reason") {
+        Some(i) => {
+            let after = body[i + "reason".len()..].trim_start();
+            let reason_text = after.strip_prefix('=').map(|r| r.trim());
+            let reason = reason_text.and_then(|r| {
+                let r = r.strip_prefix('"').unwrap_or(r);
+                let r = r.strip_suffix('"').unwrap_or(r);
+                let r = r.trim();
+                if r.is_empty() {
+                    None
+                } else {
+                    Some(r.to_string())
+                }
+            });
+            (&body[..i], reason)
+        }
+        None => (body, None),
+    };
+    let lints: Vec<String> = lint_part
+        .split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if lints.is_empty() {
+        return None;
+    }
+    Some(Waiver {
+        lints,
+        reason,
+        comment_line: c.line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code_lines(lexed: &Lexed) -> Vec<u32> {
+        let mut lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        lines.dedup();
+        lines
+    }
+
+    #[test]
+    fn trailing_waiver_annotates_its_own_line() {
+        let src = "let m = HashMap::new(); // analyzer: allow(determinism, reason = \"membership only\")\n";
+        let lexed = lex(src);
+        let set = collect(&lexed, &code_lines(&lexed));
+        assert_eq!(set.lookup(1, "determinism"), Some("membership only"));
+        assert_eq!(set.lookup(1, "panic"), None);
+        assert!(set.missing_reason.is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_annotates_next_code_line() {
+        let src =
+            "// analyzer: allow(panic, reason = \"checked above\")\nlet x = v.pop().unwrap();\n";
+        let lexed = lex(src);
+        let set = collect(&lexed, &code_lines(&lexed));
+        assert_eq!(set.lookup(2, "panic"), Some("checked above"));
+    }
+
+    #[test]
+    fn stacked_standalone_waivers_attach_to_same_line() {
+        let src = "// analyzer: allow(panic, reason = \"a\")\n// analyzer: allow(determinism, reason = \"b\")\nlet x = 1;\n";
+        let lexed = lex(src);
+        let set = collect(&lexed, &code_lines(&lexed));
+        assert_eq!(set.lookup(3, "panic"), Some("a"));
+        assert_eq!(set.lookup(3, "determinism"), Some("b"));
+    }
+
+    #[test]
+    fn missing_reason_is_recorded_and_suppresses_nothing() {
+        let src = "let x = v[0].unwrap(); // analyzer: allow(panic)\n";
+        let lexed = lex(src);
+        let set = collect(&lexed, &code_lines(&lexed));
+        assert_eq!(set.lookup(1, "panic"), None);
+        assert_eq!(set.missing_reason.len(), 1);
+        assert_eq!(set.missing_reason[0].lints, vec!["panic"]);
+    }
+
+    #[test]
+    fn empty_reason_counts_as_missing() {
+        let src = "let x = 1; // analyzer: allow(panic, reason = \"\")\n";
+        let lexed = lex(src);
+        let set = collect(&lexed, &code_lines(&lexed));
+        assert_eq!(set.missing_reason.len(), 1);
+    }
+
+    #[test]
+    fn multi_lint_waiver() {
+        let src = "x(); // analyzer: allow(panic, determinism, reason = \"both fine here\")\n";
+        let lexed = lex(src);
+        let set = collect(&lexed, &code_lines(&lexed));
+        assert_eq!(set.lookup(1, "panic"), Some("both fine here"));
+        assert_eq!(set.lookup(1, "determinism"), Some("both fine here"));
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let src = "// normal comment\nlet x = 1; // another\n";
+        let lexed = lex(src);
+        let set = collect(&lexed, &code_lines(&lexed));
+        assert!(set.missing_reason.is_empty());
+        assert_eq!(set.lookup(1, "panic"), None);
+        assert_eq!(set.lookup(2, "panic"), None);
+    }
+}

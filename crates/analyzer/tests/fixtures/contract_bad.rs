@@ -1,0 +1,33 @@
+//! Positive fixture: all three contract lints fire — a destructive
+//! scratch-buffer call and a rebind in an `Adversary` impl, a dropped
+//! `inject` result, and a manual `Clone` that misses a field.
+
+struct Clearing;
+
+impl Adversary for Clearing {
+    fn unreliable_deliveries(&mut self, ctx: &RoundCtx, out: &mut Vec<Delivery>) {
+        out.clear();
+        out.push(Delivery::default());
+        *out = Vec::new();
+    }
+}
+
+fn seed(exec: &mut Executor) {
+    exec.inject(NodeId(0), PayloadId(0));
+    exec.network().executor().inject(NodeId(1), PayloadId(1));
+}
+
+struct Snapshot {
+    round: u64,
+    informed: Vec<bool>,
+    real: bool,
+}
+
+impl Clone for Snapshot {
+    fn clone(&self) -> Self {
+        Snapshot {
+            round: self.round,
+            informed: self.informed.clone(),
+        }
+    }
+}

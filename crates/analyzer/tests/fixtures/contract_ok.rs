@@ -1,0 +1,43 @@
+//! Negative fixture: contract-conformant code. Append-only adversary,
+//! consumed `inject` results, full-coverage manual `Clone`. Zero findings.
+
+struct Appending;
+
+impl Adversary for Appending {
+    fn unreliable_deliveries(&mut self, ctx: &RoundCtx, out: &mut Vec<Delivery>) {
+        // Append-only: reading and appending are both fine.
+        let before = out.len();
+        out.push(Delivery::default());
+        out.extend(ctx.pending());
+        debug_assert!(out.len() >= before);
+    }
+}
+
+fn seed(exec: &mut Executor) -> bool {
+    let admitted = exec.inject(NodeId(0), PayloadId(0));
+    if exec.inject(NodeId(1), PayloadId(1)) {
+        return true;
+    }
+    admitted
+}
+
+struct Snapshot {
+    round: u64,
+    informed: Vec<bool>,
+    real: bool,
+}
+
+impl Clone for Snapshot {
+    fn clone(&self) -> Self {
+        Snapshot {
+            round: self.round,
+            informed: self.informed.clone(),
+            real: self.real,
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Derived {
+    anything: Vec<u64>,
+}

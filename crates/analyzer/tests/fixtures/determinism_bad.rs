@@ -1,0 +1,17 @@
+//! Positive fixture: every determinism violation class fires.
+//! Not compiled by cargo — consumed as text by analyzer_fixtures.rs.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use std::time::SystemTime;
+
+fn seeds() -> u64 {
+    let mut rng = thread_rng();
+    let other = StdRng::from_entropy();
+    rng.gen()
+}
+
+fn order(bufs: &mut Vec<&[u8]>) {
+    bufs.sort_by_key(|b| b.as_ptr());
+}

@@ -1,0 +1,30 @@
+//! Negative fixture: deterministic equivalents of everything the
+//! determinism lint forbids. Must produce zero findings.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+fn registry(pairs: &[(u32, u32)]) -> Vec<((u32, u32), u32)> {
+    let mut out: Vec<((u32, u32), u32)> = Vec::new();
+    for &(a, b) in pairs {
+        if let Err(i) = out.binary_search_by_key(&(a, b), |e| e.0) {
+            let id = out.len() as u32;
+            out.insert(i, ((a, b), id));
+        }
+    }
+    out
+}
+
+fn membership(xs: &[u32]) -> BTreeSet<u32> {
+    xs.iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside tests, nondeterminism is fine: the lint skips test spans.
+    use std::collections::HashMap;
+
+    fn scratch() -> HashMap<u32, u32> {
+        HashMap::new()
+    }
+}

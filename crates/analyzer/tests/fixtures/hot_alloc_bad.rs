@@ -1,0 +1,19 @@
+//! Positive fixture: allocation inside a declared hot function
+//! (`Executor::step` in the test config) fires once per construct line.
+
+struct Executor;
+
+impl Executor {
+    fn step(&mut self) {
+        let a = Vec::new();
+        let b = Vec::with_capacity(8);
+        let c = vec![1, 2, 3];
+        let d: Vec<u32> = (0..4).collect();
+        let e = d.to_vec();
+        let f = Box::new(0u32);
+        let g = format!("round {}", 1);
+        let h = String::from("x");
+        let i = g.to_string();
+        let j = h.to_owned();
+    }
+}

@@ -1,0 +1,23 @@
+//! Negative fixture: the hot function reuses caller-owned scratch, and
+//! allocation in non-hot functions is unrestricted. Zero findings.
+
+struct Executor {
+    scratch: Vec<u32>,
+}
+
+impl Executor {
+    fn step(&mut self) {
+        // Reuse, don't reallocate: push/extend into persistent scratch.
+        self.scratch.push(1);
+        self.scratch.extend([2, 3]);
+        let n = self.scratch.len();
+        let _ = n;
+    }
+
+    fn cold_setup(&mut self) {
+        // Not in the hot set: allocation is fine here.
+        self.scratch = Vec::with_capacity(64);
+        let report = format!("{} slots", self.scratch.capacity());
+        let _ = report;
+    }
+}

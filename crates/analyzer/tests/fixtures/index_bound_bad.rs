@@ -1,0 +1,10 @@
+//! Positive fixture for the config-gated `index-bound` lint: bare
+//! indexing with no `bound:` comment on the line.
+
+fn neighbor(adj: &[Vec<u32>], node: usize, k: usize) -> u32 {
+    adj[node][k]
+}
+
+fn window(xs: &[u64], lo: usize, hi: usize) -> &[u64] {
+    &xs[lo..hi]
+}

@@ -1,0 +1,14 @@
+//! Negative fixture for `index-bound`: every index carries a `bound:`
+//! comment, and array types/literals are not index expressions.
+
+fn neighbor(adj: &[Vec<u32>], node: usize, k: usize) -> u32 {
+    adj[node][k] // bound: node < n and k < degree(node), CSR invariant
+}
+
+struct Slots {
+    grid: [u32; 16],
+}
+
+fn fresh() -> [u32; 2] {
+    return [1, 2];
+}

@@ -1,0 +1,12 @@
+//! Positive fixture: panic-hygiene violations in library position —
+//! unwrap/expect variants outside any `#[cfg(test)]` span.
+
+fn first_receive(rounds: &[Option<u64>]) -> u64 {
+    let first = rounds.first().unwrap();
+    let value = first.expect("at least one round recorded");
+    value
+}
+
+fn must_fail(r: Result<(), Error>) -> Error {
+    r.unwrap_err()
+}

@@ -1,0 +1,9 @@
+//! Waiver fixture: waivers with a missing or empty reason. Each one
+//! suppresses nothing AND raises the unwaivable `waiver-missing-reason`.
+
+use std::collections::HashMap; // analyzer: allow(determinism)
+
+fn lookup(m: &Table, k: u32) -> u32 {
+    // analyzer: allow(panic, reason = "")
+    m.get(&k).copied().unwrap()
+}

@@ -1,0 +1,16 @@
+//! Waiver fixture: real violations, each covered by a reasoned waiver in
+//! both placements (trailing and standalone). Analyzed findings are all
+//! `waived == true`, so the file gates clean.
+
+use std::collections::HashMap; // analyzer: allow(determinism, reason = "fixture: order never observed")
+
+fn lookup(m: &Table, k: u32) -> u32 {
+    // analyzer: allow(panic, reason = "fixture: key inserted two lines above")
+    m.get(&k).copied().unwrap()
+}
+
+// analyzer: allow(determinism, reason = "fixture: stacked waiver one")
+// analyzer: allow(panic, reason = "fixture: stacked waiver two")
+fn both(m: &HashMap<u32, u32>) -> u32 {
+    0
+}

@@ -6,6 +6,7 @@
 //! suite and writes CSVs, while the criterion benches under `benches/`
 //! time representative units.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod byzantine_bench;

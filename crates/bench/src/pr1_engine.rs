@@ -48,6 +48,16 @@ pub struct Pr1Executor<'a> {
     own_buf: Vec<Option<Message>>,
 }
 
+// Box<dyn Process> fields keep this from deriving Debug.
+impl std::fmt::Debug for Pr1Executor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pr1Executor")
+            .field("round", &self.round)
+            .field("nodes", &self.network.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> Pr1Executor<'a> {
     /// Builds the baseline executor; same contract as
     /// [`dualgraph_sim::Executor::new`].

@@ -70,7 +70,7 @@ pub(crate) mod test_support {
     };
 
     /// Runs `algorithm` on `net` against `adversary` and returns the outcome.
-    pub fn run(
+    pub(crate) fn run(
         net: &DualGraph,
         processes: Vec<Box<dyn Process>>,
         adversary: Box<dyn Adversary>,

@@ -37,6 +37,7 @@
 //! # Ok::<(), dualgraph_sim::BuildExecutorError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithms;

@@ -11,7 +11,7 @@
 //! truth (`G` vs `G′ ∖ G`) this yields precision/recall, and an
 //! ETX-style metric (expected transmissions ≈ `1/ratio`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dualgraph_net::{Digraph, DualGraph, NodeId};
 use dualgraph_sim::rng::derive_seed;
@@ -83,7 +83,7 @@ impl Process for ProbeProcess {
 #[derive(Debug, Clone, Default)]
 pub struct LinkObservations {
     /// `(u, v) → (times u transmitted, times v received u's message)`.
-    counts: HashMap<(NodeId, NodeId), (u64, u64)>,
+    counts: BTreeMap<(NodeId, NodeId), (u64, u64)>,
 }
 
 impl LinkObservations {
@@ -94,7 +94,7 @@ impl LinkObservations {
     /// `u`'s message; collisions mask deliveries, exactly as they do for
     /// real ETX probes.
     pub fn from_trace(network: &DualGraph, trace: &Trace) -> Self {
-        let mut counts: HashMap<(NodeId, NodeId), (u64, u64)> = HashMap::new();
+        let mut counts: BTreeMap<(NodeId, NodeId), (u64, u64)> = BTreeMap::new();
         for record in trace.records() {
             for &(u, msg) in &record.senders {
                 for &v in network.total().out_neighbors(u) {
@@ -249,7 +249,7 @@ pub fn estimate_links(
             ..ExecutorConfig::default()
         },
     )
-    .expect("probe executor construction");
+    .expect("probe executor construction"); // analyzer: allow(panic, reason = "invariant: probe executor construction")
     exec.run_rounds(config.rounds);
     let obs = LinkObservations::from_trace(network, exec.trace());
     let classified = obs.classify(n, config.threshold, config.min_samples);

@@ -378,7 +378,7 @@ fn refine_candidates(
         // S_{ell+1}: candidates that send at round ell+1 when assigned.
         let mut s_set: BTreeSet<ProcessId> = BTreeSet::new();
         for &i in &c {
-            let partner = *c.iter().find(|&&x| x != i).expect("|C| >= 2");
+            let partner = *c.iter().find(|&&x| x != i).expect("|C| >= 2"); // analyzer: allow(panic, reason = "invariant: |C| >= 2")
             let senders = probe_beta(alpha_end, a_k, (i, partner), ell + 1);
             if senders.contains(&i) {
                 s_set.insert(i);

@@ -133,7 +133,7 @@ pub fn run_scheduled(
         })
         .collect();
     let mut exec = Executor::new(network, processes, adversary, ExecutorConfig::default())
-        .expect("scheduled executor");
+        .expect("scheduled executor"); // analyzer: allow(panic, reason = "invariant: scheduled executor")
     let outcome = exec.run_until_complete(schedule.len() as u64);
     outcome.completion_round
 }
@@ -220,7 +220,7 @@ pub fn compare_repeated(
                 .with_seed(seed)
                 .with_max_rounds(config.max_rounds_per_broadcast),
         )
-        .expect("oblivious run");
+        .expect("oblivious run"); // analyzer: allow(panic, reason = "invariant: oblivious run")
         oblivious_rounds += outcome
             .completion_round
             .unwrap_or(config.max_rounds_per_broadcast);
@@ -267,7 +267,7 @@ pub fn compare_repeated(
                             .with_seed(seed)
                             .with_max_rounds(config.max_rounds_per_broadcast),
                     )
-                    .expect("fallback run");
+                    .expect("fallback run"); // analyzer: allow(panic, reason = "invariant: fallback run")
                     learning_rounds += outcome
                         .completion_round
                         .unwrap_or(config.max_rounds_per_broadcast);
@@ -283,7 +283,7 @@ pub fn compare_repeated(
                         .with_seed(seed)
                         .with_max_rounds(config.max_rounds_per_broadcast),
                 )
-                .expect("fallback run");
+                .expect("fallback run"); // analyzer: allow(panic, reason = "invariant: fallback run")
                 learning_rounds += outcome
                     .completion_round
                     .unwrap_or(config.max_rounds_per_broadcast);

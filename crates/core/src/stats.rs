@@ -30,7 +30,7 @@ impl Summary {
             "cannot summarize NaN values"
         );
         let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs")); // analyzer: allow(panic, reason = "invariant: no NaNs")
         let count = sorted.len();
         let rank = |q: f64| sorted[((count as f64 * q).ceil() as usize).clamp(1, count) - 1];
         Summary {

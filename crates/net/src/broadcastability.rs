@@ -88,7 +88,7 @@ pub fn greedy_schedule(network: &DualGraph) -> CollisionFreeSchedule {
                 best = Some((u, gain));
             }
         }
-        let (sender, gain) = best.expect("informed set is nonempty");
+        let (sender, gain) = best.expect("informed set is nonempty"); // analyzer: allow(panic, reason = "invariant: informed set is nonempty")
         assert!(
             gain > 0,
             "validated network must always admit progress (unreachable node?)"

@@ -69,6 +69,7 @@ impl Csr {
         offsets.push(0u32);
         for u in 0..n {
             total += row(NodeId::from_index(u)).len();
+            // analyzer: allow(panic, reason = "invariant: edge count exceeds u32::MAX")
             offsets.push(u32::try_from(total).expect("edge count exceeds u32::MAX"));
         }
         let mut targets = Vec::with_capacity(total);

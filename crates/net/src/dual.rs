@@ -341,7 +341,7 @@ impl DualGraph {
             self.unreliable_only_csr.edge_count(),
             "edge-id map must cover every unreliable-only edge"
         );
-        let universe = u32::try_from(universe).expect("edge universe exceeds u32::MAX");
+        let universe = u32::try_from(universe).expect("edge universe exceeds u32::MAX"); // analyzer: allow(panic, reason = "invariant: edge universe exceeds u32::MAX")
         let mut seen = vec![false; universe as usize];
         for &id in &ids {
             assert!(id < universe, "edge id {id} outside universe 0..{universe}");
@@ -368,7 +368,7 @@ impl DualGraph {
     /// for any algorithm and any adversary.
     pub fn source_eccentricity(&self) -> u32 {
         traversal::eccentricity(&self.reliable, self.source)
-            .expect("validated dual graph is source-connected")
+            .expect("validated dual graph is source-connected") // analyzer: allow(panic, reason = "invariant: validated dual graph is source-connected")
     }
 
     /// Decomposes into `(G, G′, source)`.

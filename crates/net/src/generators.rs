@@ -10,7 +10,7 @@
 //! Randomized generators take an explicit seed and are fully deterministic
 //! given it.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -67,7 +67,7 @@ pub fn clique_bridge(n: usize) -> CliqueBridge {
     }
     g.add_undirected_edge(bridge, receiver);
     let total = Digraph::complete(n);
-    let network = DualGraph::new(g, total, NodeId(0)).expect("clique_bridge construction is valid");
+    let network = DualGraph::new(g, total, NodeId(0)).expect("clique_bridge construction is valid"); // analyzer: allow(panic, reason = "invariant: clique_bridge construction is valid")
     CliqueBridge {
         network,
         source: NodeId(0),
@@ -125,6 +125,7 @@ pub fn layered_pairs(n: usize) -> DualGraph {
         }
     }
     let total = Digraph::complete(n);
+    // analyzer: allow(panic, reason = "invariant: layered_pairs construction is valid")
     DualGraph::new(g, total, NodeId(0)).expect("layered_pairs construction is valid")
 }
 
@@ -170,6 +171,7 @@ pub fn layered_widths(widths: &[usize]) -> DualGraph {
         }
     }
     let total = Digraph::complete(n);
+    // analyzer: allow(panic, reason = "invariant: layered_widths construction is valid")
     DualGraph::new(g, total, NodeId(0)).expect("layered_widths construction is valid")
 }
 
@@ -198,7 +200,7 @@ pub fn line(n: usize, chord: usize) -> DualGraph {
             }
         }
     }
-    DualGraph::new(g, total, NodeId(0)).expect("line construction is valid")
+    DualGraph::new(g, total, NodeId(0)).expect("line construction is valid") // analyzer: allow(panic, reason = "invariant: line construction is valid")
 }
 
 /// A ring of `n ≥ 3` nodes in `G`; `G′` adds chords up to `chord` hops.
@@ -219,7 +221,7 @@ pub fn ring(n: usize, chord: usize) -> DualGraph {
             total.add_undirected_edge(NodeId::from_index(i), NodeId::from_index((i + d) % n));
         }
     }
-    DualGraph::new(g, total, NodeId(0)).expect("ring construction is valid")
+    DualGraph::new(g, total, NodeId(0)).expect("ring construction is valid") // analyzer: allow(panic, reason = "invariant: ring construction is valid")
 }
 
 /// A star: the source at the hub, `n−1` leaves; `G′` complete.
@@ -234,7 +236,7 @@ pub fn star(n: usize) -> DualGraph {
         g.add_undirected_edge(NodeId(0), NodeId::from_index(i));
     }
     let total = Digraph::complete(n.max(1));
-    DualGraph::new(g, total, NodeId(0)).expect("star construction is valid")
+    DualGraph::new(g, total, NodeId(0)).expect("star construction is valid") // analyzer: allow(panic, reason = "invariant: star construction is valid")
 }
 
 /// The complete classical network (`G = G′ = K_n`).
@@ -244,6 +246,7 @@ pub fn star(n: usize) -> DualGraph {
 /// Panics if `n == 0`.
 pub fn complete(n: usize) -> DualGraph {
     assert!(n > 0, "complete requires n > 0");
+    // analyzer: allow(panic, reason = "invariant: complete construction is valid")
     DualGraph::classical(Digraph::complete(n), NodeId(0)).expect("complete construction is valid")
 }
 
@@ -278,7 +281,7 @@ pub fn grid(w: usize, h: usize) -> DualGraph {
         }
     }
     let total = total.union(&g);
-    DualGraph::new(g, total, NodeId(0)).expect("grid construction is valid")
+    DualGraph::new(g, total, NodeId(0)).expect("grid construction is valid") // analyzer: allow(panic, reason = "invariant: grid construction is valid")
 }
 
 /// A complete binary tree in `G` rooted at the source; `G′` adds edges
@@ -307,6 +310,7 @@ pub fn binary_tree(n: usize, extra_radius: usize) -> DualGraph {
             }
         }
     }
+    // analyzer: allow(panic, reason = "invariant: binary_tree construction is valid")
     DualGraph::new(g, total, NodeId(0)).expect("binary_tree construction is valid")
 }
 
@@ -363,7 +367,7 @@ pub fn er_dual(params: ErDualParams, seed: u64) -> DualGraph {
     for (u, v) in total_extra {
         total.add_undirected_edge(u, v);
     }
-    DualGraph::new(g, total, NodeId(0)).expect("er_dual construction is valid")
+    DualGraph::new(g, total, NodeId(0)).expect("er_dual construction is valid") // analyzer: allow(panic, reason = "invariant: er_dual construction is valid")
 }
 
 /// Parameters for the two-radius random geometric dual graph of
@@ -410,6 +414,7 @@ pub fn geometric_dual(params: GeometricDualParams, seed: u64) -> DualGraph {
         .collect();
     let (mut g, mut total) = disk_graphs(&pts, reliable_radius, gray_radius);
     repair_connectivity(&mut g, &mut total, &pts);
+    // analyzer: allow(panic, reason = "invariant: geometric_dual construction is valid")
     DualGraph::new(g, total, NodeId(0)).expect("geometric_dual construction is valid")
 }
 
@@ -463,7 +468,7 @@ fn repair_connectivity(g: &mut Digraph, total: &mut Digraph, pts: &[(f64, f64)])
                 }
             }
         }
-        let (u, v, _) = best.expect("disconnected graph has a crossing pair");
+        let (u, v, _) = best.expect("disconnected graph has a crossing pair"); // analyzer: allow(panic, reason = "invariant: disconnected graph has a crossing pair")
         g.add_undirected_edge(NodeId::from_index(u), NodeId::from_index(v));
         total.add_undirected_edge(NodeId::from_index(u), NodeId::from_index(v));
     }
@@ -528,7 +533,7 @@ pub fn churn_schedule(base: &DualGraph, params: ChurnParams, seed: u64) -> Topol
             }
         }
     }
-    let mut present: HashSet<(usize, usize)> = pairs.iter().copied().collect();
+    let mut present: BTreeSet<(usize, usize)> = pairs.iter().copied().collect();
     let mut rng = SmallRng::seed_from_u64(seed);
     let rewire = ((rewire_fraction * pairs.len() as f64).round() as usize).min(pairs.len());
 
@@ -570,10 +575,10 @@ pub fn churn_schedule(base: &DualGraph, params: ChurnParams, seed: u64) -> Topol
             total.add_undirected_edge(NodeId::from_index(u), NodeId::from_index(v));
         }
         let net = DualGraph::new(reliable.clone(), total, source)
-            .expect("churn keeps the reliable spine, so every epoch validates");
+            .expect("churn keeps the reliable spine, so every epoch validates"); // analyzer: allow(panic, reason = "invariant: churn keeps the reliable spine, so every epoch validates")
         epoch_list.push(Epoch::new(net, span));
     }
-    TopologySchedule::new(epoch_list).expect("churn epochs share n and source")
+    TopologySchedule::new(epoch_list).expect("churn epochs share n and source") // analyzer: allow(panic, reason = "invariant: churn epochs share n and source")
 }
 
 /// Parameters for [`fading_schedule`].
@@ -639,10 +644,11 @@ pub fn fading_schedule(params: FadingParams, seed: u64) -> TopologySchedule {
                 }
             }
             let net = DualGraph::new(g.clone(), total, NodeId(0))
-                .expect("fading keeps the repaired reliable disk graph");
+                .expect("fading keeps the repaired reliable disk graph"); // analyzer: allow(panic, reason = "invariant: fading keeps the repaired reliable disk graph")
             Epoch::new(net, span)
         })
         .collect();
+    // analyzer: allow(panic, reason = "invariant: fading epochs share n and source")
     TopologySchedule::new(epoch_list).expect("fading epochs share n and source")
 }
 
@@ -709,9 +715,10 @@ pub fn mobility_schedule(params: MobilityParams, seed: u64) -> TopologySchedule 
         let (mut g, mut total) = disk_graphs(&pts, geometry.reliable_radius, geometry.gray_radius);
         repair_connectivity(&mut g, &mut total, &pts);
         let net = DualGraph::new(g, total, NodeId(0))
-            .expect("repaired mobility snapshots always validate");
+            .expect("repaired mobility snapshots always validate"); // analyzer: allow(panic, reason = "invariant: repaired mobility snapshots always validate")
         epoch_list.push(Epoch::new(net, span));
     }
+    // analyzer: allow(panic, reason = "invariant: mobility epochs share n and source")
     TopologySchedule::new(epoch_list).expect("mobility epochs share n and source")
 }
 

@@ -110,7 +110,7 @@ impl Digraph {
                 self.out[u.index()].insert(pos, v);
                 let ipos = self.inc[v.index()]
                     .binary_search(&u)
-                    .expect_err("out/in list inconsistency");
+                    .expect_err("out/in list inconsistency"); // analyzer: allow(panic, reason = "invariant: out/in list inconsistency")
                 self.inc[v.index()].insert(ipos, u);
                 self.edge_count += 1;
                 true

@@ -38,7 +38,7 @@ impl NodeId {
     /// Panics if `index` exceeds `u32::MAX`.
     #[inline]
     pub fn from_index(index: usize) -> Self {
-        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX")) // analyzer: allow(panic, reason = "invariant: node index exceeds u32::MAX")
     }
 }
 

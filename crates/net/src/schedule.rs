@@ -28,7 +28,6 @@
 //! Schedule *generators* (edge churn, gray-zone fading, disk-model
 //! mobility) live in [`generators`][crate::generators].
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::dual::DualGraph;
@@ -160,8 +159,10 @@ impl TopologySchedule {
             acc = acc.saturating_add(e.rounds);
         }
         // Stable edge identities: one id per distinct directed G' \ G pair
-        // across the schedule, in first-appearance order.
-        let mut registry: HashMap<(u32, u32), u32> = HashMap::new();
+        // across the schedule, in first-appearance order. The registry is
+        // a Vec sorted by edge key so lookups are O(log e) and nothing
+        // here depends on hasher state.
+        let mut registry: Vec<((u32, u32), u32)> = Vec::new();
         let per_epoch_ids: Vec<Vec<u32>> = epochs
             .iter()
             .map(|e| {
@@ -169,8 +170,16 @@ impl TopologySchedule {
                 let mut ids = Vec::with_capacity(csr.edge_count());
                 for u in 0..n {
                     for &v in csr.row(crate::NodeId::from_index(u)) {
-                        let next = registry.len() as u32;
-                        ids.push(*registry.entry((u as u32, v.0)).or_insert(next));
+                        let key = (u as u32, v.0);
+                        let id = match registry.binary_search_by_key(&key, |e| e.0) {
+                            Ok(i) => registry[i].1,
+                            Err(i) => {
+                                let next = registry.len() as u32;
+                                registry.insert(i, (key, next));
+                                next
+                            }
+                        };
+                        ids.push(id);
                     }
                 }
                 ids
@@ -191,7 +200,7 @@ impl TopologySchedule {
     /// is round-for-round identical to a run on the plain network.
     pub fn single(network: DualGraph) -> Self {
         TopologySchedule::new(vec![Epoch::new(network, u64::MAX)])
-            .expect("a single nonempty epoch is always valid")
+            .expect("a single nonempty epoch is always valid") // analyzer: allow(panic, reason = "invariant: a single nonempty epoch is always valid")
     }
 
     /// Number of epochs.

@@ -25,6 +25,7 @@
 //! assert!(verify::is_strongly_selective_exhaustive(&f));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod family;

@@ -38,7 +38,7 @@ pub fn next_prime(x: u64) -> u64 {
         if is_prime(c) {
             return c;
         }
-        c = c.checked_add(1).expect("prime search overflow");
+        c = c.checked_add(1).expect("prime search overflow"); // analyzer: allow(panic, reason = "invariant: prime search overflow")
     }
 }
 

@@ -85,6 +85,7 @@ pub fn random_family(params: RandomFamilyParams, seed: u64) -> SelectiveFamily {
                 .collect::<Vec<u32>>()
         })
         .collect();
+    // analyzer: allow(panic, reason = "invariant: random family construction is valid")
     SelectiveFamily::new(n, k, sets).expect("random family construction is valid")
 }
 

@@ -15,7 +15,6 @@
 use dualgraph_net::{DualGraph, FixedBitSet, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 use crate::collision::Cr4Resolution;
 use crate::message::{Message, ProcessId};
@@ -419,12 +418,14 @@ enum BurstyBackend {
         /// use.
         chains: Vec<EdgeChain>,
     },
-    /// The PR 1/PR 2 backend, frozen for baseline comparisons: a hash map
+    /// The PR 1/PR 2 backend, frozen for baseline comparisons: an edge-map
     /// keyed by `(u, v)` whose catch-up loop consumes one `gen_bool` per
-    /// (edge, elapsed round).
+    /// (edge, elapsed round). The map is a `Vec` sorted by edge key, so
+    /// its behavior is independent of hasher state.
     PerRound {
-        /// Lazily-tracked per-edge state: `(state_good, last_round)`.
-        edges: HashMap<(NodeId, NodeId), (bool, u64)>,
+        /// Lazily-tracked per-edge state: `(state_good, last_round)`,
+        /// sorted by the `(u, v)` key.
+        edges: Vec<((NodeId, NodeId), (bool, u64))>,
     },
 }
 
@@ -477,9 +478,7 @@ impl BurstyDelivery {
             p_fail,
             p_recover,
             rng: SmallRng::seed_from_u64(seed),
-            backend: BurstyBackend::PerRound {
-                edges: HashMap::new(),
-            },
+            backend: BurstyBackend::PerRound { edges: Vec::new() },
         }
     }
 
@@ -487,7 +486,11 @@ impl BurstyDelivery {
         let BurstyBackend::PerRound { edges } = &mut self.backend else {
             unreachable!("per-round helper on per-round backend only");
         };
-        let (mut good, mut last) = *edges.get(&edge).unwrap_or(&(true, 0));
+        let slot = edges.binary_search_by_key(&edge, |e| e.0);
+        let (mut good, mut last) = match slot {
+            Ok(i) => edges[i].1, // bound: binary_search hit
+            Err(_) => (true, 0),
+        };
         while last < round {
             let flip = if good { self.p_fail } else { self.p_recover };
             if self.rng.gen_bool(flip) {
@@ -495,7 +498,10 @@ impl BurstyDelivery {
             }
             last += 1;
         }
-        edges.insert(edge, (good, last));
+        match slot {
+            Ok(i) => edges[i].1 = (good, last), // bound: binary_search hit
+            Err(i) => edges.insert(i, (edge, (good, last))),
+        }
         good
     }
 }
@@ -665,7 +671,7 @@ impl<A: Adversary + Clone + 'static> Adversary for WithAssignment<A> {
             "assignment length must match process count"
         );
         Assignment::from_node_to_proc(self.node_to_proc.clone())
-            .expect("WithAssignment requires a permutation")
+            .expect("WithAssignment requires a permutation") // analyzer: allow(panic, reason = "invariant: WithAssignment constructors validate the permutation up front")
     }
 
     fn unreliable_deliveries(

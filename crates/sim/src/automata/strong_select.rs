@@ -107,7 +107,7 @@ impl StrongSelectPlan {
                 (self.family(s).len() as u64).div_ceil(k * k)
             })
             .max()
-            .expect("at least one family")
+            .expect("at least one family") // analyzer: allow(panic, reason = "invariant: at least one family")
     }
 
     /// Theorem 10's completion budget `X = n/ρ = 12 · f(n) · 2^{s_max} · n`:
@@ -195,7 +195,7 @@ fn pad_family(family: SelectiveFamily, block: usize) -> SelectiveFamily {
     let (n, k) = (family.n(), family.k());
     let mut sets: Vec<Vec<u32>> = family.iter().map(<[u32]>::to_vec).collect();
     sets.resize(padded, Vec::new());
-    SelectiveFamily::new(n, k, sets).expect("padding preserves validity")
+    SelectiveFamily::new(n, k, sets).expect("padding preserves validity") // analyzer: allow(panic, reason = "invariant: padding preserves validity")
 }
 
 /// How long a node participates in each family.

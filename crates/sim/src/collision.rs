@@ -117,7 +117,7 @@ pub fn resolve(
     cr4: impl FnOnce(&[Message]) -> Cr4Resolution,
 ) -> Reception {
     if sent_own {
-        let own = own.expect("sender must supply its own message");
+        let own = own.expect("sender must supply its own message"); // analyzer: allow(panic, reason = "invariant: sender must supply its own message")
         match rule {
             CollisionRule::Cr1 => match reaching.len() {
                 0 => unreachable!("a sender's own message always reaches it"),

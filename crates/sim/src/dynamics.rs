@@ -826,4 +826,50 @@ mod tests {
         assert_eq!(exec.epoch_switches(), 3);
         assert!(format!("{exec:?}").contains("DynamicExecutor"));
     }
+
+    #[test]
+    fn clone_then_diverge_leaves_the_clone_untouched() {
+        // Pin the Clone field-coverage contract the analyzer's
+        // `clone-fields` lint enforces statically: snapshot a
+        // DynamicExecutor *before* an epoch switch and before any fault
+        // event fires, mutate the original past both, then resume the
+        // clone. If Clone missed a field (or shallow-copied the cursor),
+        // the original's extra rounds would bleed into the clone and its
+        // trajectory would differ from an uninterrupted reference run.
+        let schedule = TopologySchedule::new(vec![
+            Epoch::new(generators::line(6, 1), 5),
+            Epoch::new(generators::ring(6, 1), u64::MAX),
+        ])
+        .unwrap();
+        // Crash at round 6 and recovery at round 10 both land after the
+        // clone point, so the fault cursor must be copied mid-plan.
+        let plan = FaultPlan::none().crash(NodeId(3), 6).recover(NodeId(3), 10);
+
+        let mut original = flood_exec(&schedule, plan.clone());
+        original.run_rounds(3);
+        let mut snapshot = original.clone();
+        assert_eq!(snapshot.round(), 3);
+
+        // Diverge the original: run it through the epoch switch, the
+        // crash, and the recovery, mutating roles, scratch, and cursor.
+        original.run_rounds(20);
+        assert!(original.epoch_switches() >= 1);
+
+        // An uninterrupted reference run over the same schedule and plan.
+        let mut reference = flood_exec(&schedule, plan);
+        reference.run_rounds(3);
+
+        // The clone must now track the reference round-for-round.
+        for round in 3..30 {
+            assert_eq!(snapshot.step(), reference.step(), "round {round}");
+        }
+        assert_eq!(snapshot.outcome(), reference.outcome());
+        assert_eq!(snapshot.round(), reference.round());
+        assert_eq!(snapshot.epoch(), reference.epoch());
+        assert_eq!(snapshot.epoch_switches(), reference.epoch_switches());
+        assert_eq!(
+            snapshot.executor().informed_count(),
+            reference.executor().informed_count()
+        );
+    }
 }

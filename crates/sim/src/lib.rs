@@ -66,6 +66,7 @@
 //! # Ok::<(), dualgraph_sim::BuildExecutorError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adversary;

@@ -28,6 +28,7 @@ impl ProcessId {
     /// Panics if `index` exceeds `u32::MAX`.
     #[inline]
     pub fn from_index(index: usize) -> Self {
+        // analyzer: allow(panic, reason = "invariant: process index exceeds u32::MAX")
         ProcessId(u32::try_from(index).expect("process index exceeds u32::MAX"))
     }
 }

@@ -96,7 +96,7 @@ impl<'a> ReferenceExecutor<'a> {
                 let pid = assignment.process_at(NodeId::from_index(node));
                 slots[pid.index()]
                     .take()
-                    .expect("assignment is a bijection")
+                    .expect("assignment is a bijection") // analyzer: allow(panic, reason = "invariant: assignment is a bijection")
             })
             .collect();
 
@@ -428,7 +428,7 @@ impl<'a> ReferenceExecutor<'a> {
                 } else {
                     self.first_receive
                         .iter()
-                        .map(|r| r.expect("complete => all received"))
+                        .map(|r| r.expect("complete => all received")) // analyzer: allow(panic, reason = "invariant: complete => all received")
                         .max()
                         .unwrap_or(0)
                 })

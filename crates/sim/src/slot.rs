@@ -255,7 +255,7 @@ fn permute<P>(items: Vec<P>, assignment: &Assignment) -> Vec<P> {
             let pid = assignment.process_at(NodeId::from_index(node));
             staging[pid.index()]
                 .take()
-                .expect("assignment is a bijection")
+                .expect("assignment is a bijection") // analyzer: allow(panic, reason = "invariant: assignment is a bijection")
         })
         .collect()
 }
@@ -277,6 +277,7 @@ impl ProcessTable {
                 repr: Repr::Mixed(slots),
             };
         }
+        // analyzer: allow(panic, reason = "invariant: non-empty checked")
         let repr = match slots.first().expect("non-empty checked") {
             ProcessSlot::Silent(_) => collect_variant!(slots, Silent),
             ProcessSlot::Flooder(_) => collect_variant!(slots, Flooder),

@@ -41,6 +41,7 @@
 //! assert!(result.worst_rounds_or(10_000) as usize > n - 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use dualgraph_broadcast as broadcast;

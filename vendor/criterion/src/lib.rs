@@ -146,6 +146,14 @@ pub struct BenchmarkGroup<'a> {
     name: String,
 }
 
+impl std::fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchmarkGroup")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
 impl BenchmarkGroup<'_> {
     /// Overrides the sample count for this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
@@ -199,6 +207,14 @@ fn b_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(b: &mut Bencher, input: &I, f:
 pub struct Bencher {
     mode: BencherMode,
     samples: Vec<Duration>,
+}
+
+impl std::fmt::Debug for Bencher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bencher")
+            .field("samples", &self.samples.len())
+            .finish_non_exhaustive()
+    }
 }
 
 enum BencherMode {
