@@ -13,7 +13,7 @@ fn cfg() -> Config {
     Config {
         determinism_paths: vec!["crates/sim/src".into()],
         panic_paths: vec!["crates/sim/src".into()],
-        hot_functions: vec!["Executor::step".into()],
+        hot_functions: vec!["Executor::step".into(), "Executor::step_traced".into()],
         index_bound_comments: true,
         ..Config::default()
     }
@@ -83,6 +83,30 @@ fn hot_alloc_positive_fixture_fires() {
 #[test]
 fn hot_alloc_negative_fixture_is_clean() {
     let fs = analyze("hot_alloc_ok.rs", include_str!("fixtures/hot_alloc_ok.rs"));
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn trace_hook_positive_fixture_fires() {
+    let fs = analyze(
+        "trace_hook_bad.rs",
+        include_str!("fixtures/trace_hook_bad.rs"),
+    );
+    let hits = unwaived(&fs, "hot-alloc");
+    // format!, collect, to_string, Vec::new — one per line, all inside
+    // the ENABLED-guarded hook body of the hot `Executor::step_traced`.
+    assert_eq!(hits.len(), 4, "{fs:?}");
+    assert!(hits
+        .iter()
+        .all(|f| f.message.contains("Executor::step_traced")));
+}
+
+#[test]
+fn trace_hook_negative_fixture_is_clean() {
+    let fs = analyze(
+        "trace_hook_ok.rs",
+        include_str!("fixtures/trace_hook_ok.rs"),
+    );
     assert!(fs.is_empty(), "{fs:?}");
 }
 

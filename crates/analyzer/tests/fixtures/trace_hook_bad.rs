@@ -1,0 +1,19 @@
+//! Positive fixture: a trace hook that allocates inside a declared hot
+//! function (`Executor::step_traced` in the test config). Even behind the
+//! `ENABLED` guard, hook bodies in the hot set must emit `Copy` event
+//! data — formatted strings and collected vectors are per-round
+//! allocations the moment a recording sink is plugged in.
+
+struct Executor;
+
+impl Executor {
+    fn step_traced<S: TraceSink>(&mut self, sink: &mut S) {
+        if S::ENABLED {
+            let label = format!("round {}", 1);
+            let nodes: Vec<u32> = (0..4).collect();
+            let text = label.to_string();
+            let batch = Vec::new();
+            sink.emit(text, nodes, batch);
+        }
+    }
+}

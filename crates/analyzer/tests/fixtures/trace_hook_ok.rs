@@ -1,0 +1,22 @@
+//! Negative fixture: the traced hot function guards its emission loop
+//! with `TraceSink::ENABLED` and hands the sink plain `Copy` event data,
+//! reusing caller-owned scratch for the sweep itself. Zero findings.
+
+struct Executor {
+    scratch: Vec<u32>,
+}
+
+impl Executor {
+    fn step_traced<S: TraceSink>(&mut self, sink: &mut S) {
+        self.scratch.push(7);
+        if S::ENABLED {
+            for &node in self.scratch.iter() {
+                sink.emit(TraceEvent::Transmit {
+                    round: 1,
+                    node,
+                    face_parity: false,
+                });
+            }
+        }
+    }
+}

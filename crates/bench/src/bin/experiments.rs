@@ -7,8 +7,9 @@
 //!
 //! `NAME` is a csv-name prefix (e.g. `thm12`); omit for all experiments.
 //! `--bench-engine`, `--bench-stream`, `--bench-dynamics`,
-//! `--bench-reliability`, and/or `--bench-byzantine` skip the tables and
-//! write one machine-readable `BENCH_engine.json` (schema v6): the engine
+//! `--bench-reliability`, `--bench-byzantine`, and/or `--bench-trace`
+//! skip the tables and
+//! write one machine-readable `BENCH_engine.json` (schema v7): the engine
 //! section has rounds/sec, ns/round, and speedups vs the boxed/PR 1/
 //! reference engines; the stream section has the pipelined multi-message
 //! family (n × k payload grid: makespan, throughput, MAC ack latency, and
@@ -19,8 +20,27 @@
 //! under churn, crash/recovery faults, and the bursty adversary; the
 //! byzantine section has quorum-certified broadcast under churn + ~10%
 //! equivocators (safety-violation count, accept latency, and round-cost
-//! overhead vs the ack-gap baseline). Future PRs compare against all
-//! five trajectories.
+//! overhead vs the ack-gap baseline); the trace section has the
+//! observability layer's overhead envelope (untraced vs `NullSink` vs
+//! `MetricsSink` flooding rounds) and the per-phase wall-clock profile
+//! (transmit-sweep vs receive-sweep vs adversary-sample). Future PRs
+//! compare against all six trajectories.
+//!
+//! Observability modes (no tables, no JSON document):
+//!
+//! * `--trace-jsonl PATH` — runs the reliability stream workload traced
+//!   into a [`dualgraph_sim::JsonlSink`] and writes the JSONL capture to
+//!   `PATH`;
+//! * `--trace-diff` — replays the chatter workload on the optimized and
+//!   reference engines and diffs their event streams, exiting 1 at the
+//!   first diverging event (the healthy outcome is silence);
+//! * `--trace-diff-mutated` — same, with a perturbed adversary seed on
+//!   the reference side standing in for a buggy engine: the harness must
+//!   localize the divergence (exits 1 if it fails to);
+//! * `--gate-null-overhead [RATIO]` — measures the `NullSink` and
+//!   `MetricsSink` overhead ratios on the flooding workload and exits 1
+//!   if `NullSink` exceeds `RATIO` (default 1.05, CI-noise slack over
+//!   the 2% local target) or `MetricsSink` exceeds 1.3.
 
 use std::path::PathBuf;
 
@@ -372,14 +392,77 @@ fn bench_byzantine_entries() -> String {
         .join(",\n")
 }
 
-/// Assembles the schema-v6 `BENCH_engine.json` document from whichever
-/// sections were requested.
+/// Measures the observability family (see `trace_bench`): the trace
+/// layer's overhead envelope (untraced vs `NullSink` vs `MetricsSink`
+/// dense flooding) and the per-phase wall-clock decomposition of the
+/// engine round, as JSON entries for the `trace_measurements` and
+/// `phase_profile` sections. The acceptance targets are
+/// `null_sink_overhead ≲ 1.02` (the `NullSink` instantiation is the
+/// untraced code path — any real gap is a broken guard) and
+/// `metrics_sink_overhead ≤ 1.3` at `n = 1025`.
+fn bench_trace_entries() -> (String, String) {
+    use dualgraph_bench::engine_bench::{bench_rounds_for as rounds_for, BENCH_SIZES as SIZES};
+    use dualgraph_bench::trace_bench;
+    let mut overhead: Vec<String> = Vec::new();
+    let mut phases: Vec<String> = Vec::new();
+    for &n in &SIZES {
+        let net = engine_bench::workload_network(n);
+        let rounds = rounds_for(n);
+        let o = trace_bench::measure_trace_overhead(&net, rounds, 3);
+        overhead.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"workload\": \"dense-flooding\",\n",
+                "      \"n\": {},\n",
+                "      \"rounds\": {},\n",
+                "      \"untraced_ns_per_round\": {:.1},\n",
+                "      \"null_sink_ns_per_round\": {:.1},\n",
+                "      \"metrics_sink_ns_per_round\": {:.1},\n",
+                "      \"null_sink_overhead\": {:.3},\n",
+                "      \"metrics_sink_overhead\": {:.3}\n",
+                "    }}"
+            ),
+            o.n,
+            rounds,
+            o.untraced.ns_per_round(),
+            o.null_sink.ns_per_round(),
+            o.metrics_sink.ns_per_round(),
+            o.null_ratio(),
+            o.metrics_ratio(),
+        ));
+        let p = trace_bench::phase_profile(&net, rounds);
+        phases.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"workload\": \"dense-flooding-steady\",\n",
+                "      \"n\": {},\n",
+                "      \"rounds\": {},\n",
+                "      \"transmit_sweep_ns_per_round\": {:.1},\n",
+                "      \"receive_sweep_ns_per_round\": {:.1},\n",
+                "      \"adversary_sample_ns_per_round\": {:.1},\n",
+                "      \"full_step_ns_per_round\": {:.1}\n",
+                "    }}"
+            ),
+            p.n,
+            p.rounds,
+            p.transmit_ns_per_round(),
+            p.receive_ns_per_round(),
+            p.adversary_ns_per_round(),
+            p.full_step_ns_per_round(),
+        ));
+    }
+    (overhead.join(",\n"), phases.join(",\n"))
+}
+
+/// Assembles the [`dualgraph_bench::BENCH_SCHEMA`] `BENCH_engine.json`
+/// document from whichever sections were requested.
 fn bench_json(
     engine: bool,
     stream: bool,
     dynamics: bool,
     reliability: bool,
     byzantine: bool,
+    trace: bool,
 ) -> String {
     let mut sections: Vec<String> = Vec::new();
     let mut rss = "null".to_string();
@@ -412,11 +495,17 @@ fn bench_json(
             bench_byzantine_entries()
         ));
     }
+    if trace {
+        let (overhead, phases) = bench_trace_entries();
+        sections.push(format!("  \"trace_measurements\": [\n{overhead}\n  ]"));
+        sections.push(format!("  \"phase_profile\": [\n{phases}\n  ]"));
+    }
     if !engine {
         rss = engine_bench::peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
     }
     format!(
-        "{{\n  \"schema\": \"dualgraph-bench-engine/6\",\n  \"peak_rss_kb\": {rss},\n{}\n}}\n",
+        "{{\n  \"schema\": \"{}\",\n  \"peak_rss_kb\": {rss},\n{}\n}}\n",
+        dualgraph_bench::BENCH_SCHEMA,
         sections.join(",\n")
     )
 }
@@ -432,6 +521,10 @@ fn main() {
     let mut bench_dynamics = false;
     let mut bench_reliability = false;
     let mut bench_byzantine = false;
+    let mut bench_trace = false;
+    let mut trace_jsonl: Option<PathBuf> = None;
+    let mut trace_diff_mode: Option<bool> = None; // Some(mutated?)
+    let mut gate_null: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -445,16 +538,38 @@ fn main() {
                 csv_dir = Some(PathBuf::from(args.get(i).expect("--csv needs a dir")));
             }
             "--no-csv" => csv_dir = None,
+            "--trace-jsonl" => {
+                i += 1;
+                trace_jsonl = Some(PathBuf::from(
+                    args.get(i).expect("--trace-jsonl needs a path"),
+                ));
+            }
+            "--trace-diff" => trace_diff_mode = Some(false),
+            "--trace-diff-mutated" => trace_diff_mode = Some(true),
+            "--gate-null-overhead" => {
+                let threshold = args
+                    .get(i + 1)
+                    .filter(|a| !a.starts_with("--"))
+                    .map(|a| {
+                        i += 1;
+                        a.parse()
+                            .expect("--gate-null-overhead RATIO must be a number")
+                    })
+                    .unwrap_or(1.05);
+                gate_null = Some(threshold);
+            }
             flag @ ("--bench-engine"
             | "--bench-stream"
             | "--bench-dynamics"
             | "--bench-reliability"
-            | "--bench-byzantine") => {
+            | "--bench-byzantine"
+            | "--bench-trace") => {
                 match flag {
                     "--bench-engine" => bench_engine = true,
                     "--bench-stream" => bench_stream = true,
                     "--bench-dynamics" => bench_dynamics = true,
                     "--bench-byzantine" => bench_byzantine = true,
+                    "--bench-trace" => bench_trace = true,
                     _ => bench_reliability = true,
                 }
                 if let Some(explicit) = args.get(i + 1).filter(|a| !a.starts_with("--")) {
@@ -469,12 +584,80 @@ fn main() {
                 eprintln!(
                     "usage: experiments [--quick] [--table NAME] [--csv DIR | --no-csv] \
                      [--bench-engine [PATH]] [--bench-stream [PATH]] [--bench-dynamics [PATH]] \
-                     [--bench-reliability [PATH]] [--bench-byzantine [PATH]]"
+                     [--bench-reliability [PATH]] [--bench-byzantine [PATH]] \
+                     [--bench-trace [PATH]] [--trace-jsonl PATH] [--trace-diff] \
+                     [--trace-diff-mutated] [--gate-null-overhead [RATIO]]"
                 );
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+
+    if let Some(path) = trace_jsonl {
+        let capture = dualgraph_bench::trace_bench::capture_stream_jsonl(65, 16);
+        if let Err(e) = std::fs::write(&path, &capture) {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} ({} events)",
+            path.display(),
+            capture.lines().count()
+        );
+        return;
+    }
+
+    if let Some(mutated) = trace_diff_mode {
+        let net = engine_bench::workload_network(65);
+        let d = if mutated {
+            dualgraph_bench::trace_bench::trace_diff_mutated(&net, 7, 200)
+        } else {
+            dualgraph_bench::trace_bench::trace_diff(&net, 7, 200)
+        };
+        println!(
+            "trace-diff: n=65 rounds=200 optimized_events={} reference_events={}",
+            d.optimized.len(),
+            d.reference.len()
+        );
+        match (d.divergence, mutated) {
+            (None, false) => println!("trace-diff: engines agree event-for-event"),
+            (Some(div), false) => {
+                println!("trace-diff: DIVERGED — {div}");
+                std::process::exit(1);
+            }
+            (Some(div), true) => println!("trace-diff: mutation localized — {div}"),
+            (None, true) => {
+                println!("trace-diff: mutation NOT localized (streams identical)");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if let Some(threshold) = gate_null {
+        const METRICS_THRESHOLD: f64 = 1.3;
+        let net = engine_bench::workload_network(1025);
+        let rounds = engine_bench::bench_rounds_for(1025);
+        let o = dualgraph_bench::trace_bench::measure_trace_overhead(&net, rounds, 3);
+        println!(
+            "null-overhead gate: n={} rounds={} untraced={:.1}ns/round \
+             null={:.1}ns/round ({:.3}x, limit {threshold:.3}) \
+             metrics={:.1}ns/round ({:.3}x, limit {METRICS_THRESHOLD:.1})",
+            o.n,
+            rounds,
+            o.untraced.ns_per_round(),
+            o.null_sink.ns_per_round(),
+            o.null_ratio(),
+            o.metrics_sink.ns_per_round(),
+            o.metrics_ratio(),
+        );
+        if o.null_ratio() > threshold || o.metrics_ratio() > METRICS_THRESHOLD {
+            println!("null-overhead gate: FAIL");
+            std::process::exit(1);
+        }
+        println!("null-overhead gate: ok");
+        return;
     }
 
     if let Some(path) = bench_path {
@@ -484,6 +667,7 @@ fn main() {
             bench_dynamics,
             bench_reliability,
             bench_byzantine,
+            bench_trace,
         );
         print!("{json}");
         if let Err(e) = std::fs::write(&path, &json) {

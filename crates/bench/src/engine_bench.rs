@@ -24,7 +24,7 @@ use dualgraph_sim::{
 
 /// Chatter transmit rate (out of 8) used by the engine workload: dense
 /// enough to exercise collisions and CR4 resolution.
-const CHATTER_RATE: u64 = 3;
+pub(crate) const CHATTER_RATE: u64 = 3;
 
 /// The workload sizes every `--bench-*` section measures.
 pub const BENCH_SIZES: [usize; 3] = [65, 257, 1025];
@@ -87,7 +87,7 @@ impl EngineMeasurement {
 
 /// Times `rounds` invocations of `step` — the one timing loop every
 /// engine measurement goes through, so all series are measured alike.
-fn time_steps(rounds: u64, mut step: impl FnMut()) -> EngineMeasurement {
+pub(crate) fn time_steps(rounds: u64, mut step: impl FnMut()) -> EngineMeasurement {
     let start = Instant::now();
     for _ in 0..rounds {
         step();

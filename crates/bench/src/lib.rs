@@ -9,6 +9,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Schema tag stamped into `BENCH_engine.json`. Bump on any change to
+/// the emitted sections or series names; the checked-in snapshot must be
+/// regenerated in the same PR (a bench test pins the file to this
+/// constant).
+pub const BENCH_SCHEMA: &str = "dualgraph-bench-engine/7";
+
 pub mod byzantine_bench;
 pub mod dynamics_bench;
 pub mod engine_bench;
@@ -17,4 +23,5 @@ pub mod pr1_engine;
 pub mod reliability_bench;
 pub mod report;
 pub mod stream_bench;
+pub mod trace_bench;
 pub mod workloads;

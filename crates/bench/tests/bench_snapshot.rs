@@ -1,0 +1,19 @@
+//! Pins the checked-in `BENCH_engine.json` snapshot to the schema the
+//! code emits: bumping [`dualgraph_bench::BENCH_SCHEMA`] without
+//! regenerating the snapshot (or vice versa) fails here instead of
+//! silently shipping a trajectory file no tool can compare against.
+
+#[test]
+fn checked_in_snapshot_matches_emitted_schema() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let contents =
+        std::fs::read_to_string(path).expect("BENCH_engine.json is checked in at the repo root");
+    let tag = format!("\"schema\": \"{}\"", dualgraph_bench::BENCH_SCHEMA);
+    assert!(
+        contents.contains(&tag),
+        "BENCH_engine.json is stale (expected {tag}): regenerate with \
+         `cargo run --release -p dualgraph-bench --bin experiments -- \
+         --bench-engine --bench-stream --bench-dynamics --bench-reliability \
+         --bench-byzantine --bench-trace`"
+    );
+}

@@ -25,9 +25,10 @@ use dualgraph_sim::automata::{PipelinedFlooder, PipelinedHarmonic};
 use dualgraph_sim::rng::{derive_seed, derive_seed2};
 use dualgraph_sim::{
     Adversary, BuildExecutorError, CollisionRule, DeliveryVerdict, DynamicsCursor, Executor,
-    ExecutorConfig, FaultPlan, MacEvent, MacLayer, MacStats, NodeRole, PayloadId, PayloadSet,
-    ProcessId, ProcessSlot, QuorumPolicy, QuorumProcess, ReliabilityBackend, ReliabilityEntry,
-    ReliabilityStats, ReliableBroadcast, StartRule, TraceLevel, MAX_PAYLOADS,
+    ExecutorConfig, FaultPlan, MacEvent, MacLayer, MacStats, NodeRole, NullSink, PayloadId,
+    PayloadSet, ProcessId, ProcessSlot, QuorumPolicy, QuorumProcess, QuorumStage,
+    ReliabilityBackend, ReliabilityEntry, ReliabilityStats, ReliableBroadcast, StartRule,
+    TraceEvent, TraceLevel, TraceSink, MAX_PAYLOADS,
 };
 
 use crate::algorithms::period_for;
@@ -511,9 +512,9 @@ impl ReliabilityState {
     }
 
     /// Settles `Delivered` verdicts for every entered, still-pending
-    /// payload whose correct coverage is complete; returns how many
-    /// settled.
-    fn settle_delivered(&mut self, round: u64) -> usize {
+    /// payload whose correct coverage is complete (each settle emits
+    /// [`TraceEvent::Verdict`] into `sink`); returns how many settled.
+    fn settle_delivered<S: TraceSink>(&mut self, round: u64, sink: &mut S) -> usize {
         if self.correct_count == 0 {
             return 0;
         }
@@ -525,7 +526,7 @@ impl ReliabilityState {
             }
             let payload = e.payload;
             if self.cov_correct[i] >= self.correct_count {
-                self.driver.on_delivered(payload, round);
+                self.driver.on_delivered_traced(payload, round, sink);
                 newly += 1;
             }
         }
@@ -561,6 +562,11 @@ struct QuorumEntry {
 struct QuorumState {
     policy: QuorumPolicy,
     entries: Vec<QuorumEntry>,
+    /// Per-node `(echo_certified, ready_certified, accepted)` snapshots
+    /// from the end of the previous traced round: the diff surfaces
+    /// [`QuorumStage`] crossings. Sized lazily on the first traced round,
+    /// so untraced sessions never allocate it.
+    phase_seen: Vec<(PayloadSet, PayloadSet, PayloadSet)>,
 }
 
 impl QuorumState {
@@ -587,8 +593,9 @@ impl QuorumState {
     }
 
     /// Settles `Delivered` for every entered, still-pending payload
-    /// accepted by all currently-correct nodes; returns how many settled.
-    fn settle(&mut self, exec: &Executor, round: u64) -> usize {
+    /// accepted by all currently-correct nodes (each settle emits
+    /// [`TraceEvent::Verdict`] into `sink`); returns how many settled.
+    fn settle<S: TraceSink>(&mut self, exec: &Executor, round: u64, sink: &mut S) -> usize {
         let Some(all) = Self::accepted_everywhere(exec) else {
             return 0;
         };
@@ -599,10 +606,62 @@ impl QuorumState {
             }
             if all.contains(e.payload) {
                 e.verdict = DeliveryVerdict::Delivered { round, retries: 0 };
+                if S::ENABLED {
+                    sink.emit(TraceEvent::Verdict {
+                        round,
+                        payload: e.payload,
+                        delivered: true,
+                    });
+                }
                 newly += 1;
             }
         }
         newly
+    }
+
+    /// Emits one [`TraceEvent::QuorumPhase`] per node per newly crossed
+    /// certification stage since the previous traced round, by diffing
+    /// each node's latched echo/ready/accept sets against the snapshot.
+    /// Traced sessions only — callers guard on `S::ENABLED`.
+    fn emit_phases<S: TraceSink>(&mut self, exec: &Executor, round: u64, sink: &mut S) {
+        let n = exec.network().len();
+        if self.phase_seen.len() != n {
+            self.phase_seen = vec![(PayloadSet::EMPTY, PayloadSet::EMPTY, PayloadSet::EMPTY); n];
+        }
+        for i in 0..n {
+            let node = NodeId::from_index(i);
+            let proc = exec.process_at(node);
+            let (echo, ready) = proc
+                .certified_payloads()
+                .unwrap_or((PayloadSet::EMPTY, PayloadSet::EMPTY));
+            let accepted = proc.accepted_payloads().unwrap_or(PayloadSet::EMPTY);
+            let (prev_echo, prev_ready, prev_accepted) = self.phase_seen[i];
+            for payload in echo.minus(prev_echo).iter() {
+                sink.emit(TraceEvent::QuorumPhase {
+                    round,
+                    node,
+                    payload,
+                    stage: QuorumStage::Echo,
+                });
+            }
+            for payload in ready.minus(prev_ready).iter() {
+                sink.emit(TraceEvent::QuorumPhase {
+                    round,
+                    node,
+                    payload,
+                    stage: QuorumStage::Ready,
+                });
+            }
+            for payload in accepted.minus(prev_accepted).iter() {
+                sink.emit(TraceEvent::QuorumPhase {
+                    round,
+                    node,
+                    payload,
+                    stage: QuorumStage::Accept,
+                });
+            }
+            self.phase_seen[i] = (echo, ready, accepted);
+        }
     }
 
     /// End-of-run safety accounting: accepted ids outside the
@@ -768,6 +827,7 @@ impl<'a> StreamSession<'a> {
                     entered: true,
                     verdict: DeliveryVerdict::Pending,
                 }],
+                phase_seen: Vec::new(),
             }),
         });
         // Payload 0 at round 0 is the executor's own pre-round-1 source
@@ -868,6 +928,15 @@ impl<'a> StreamSession<'a> {
 
     /// Executes one round of the drive loop (see the type docs).
     pub fn step(&mut self) {
+        self.step_traced(&mut NullSink);
+    }
+
+    /// [`StreamSession::step`] with trace hooks: the full event schema of
+    /// `docs/OBSERVABILITY.md` — epoch switches, fault events, injections,
+    /// retries, the engine round's transmissions/receptions, MAC
+    /// acknowledgments, quorum-stage crossings, and delivery verdicts —
+    /// flows into `sink`.
+    pub fn step_traced<S: TraceSink>(&mut self, sink: &mut S) {
         let t = self.mac.round() + 1;
         // 1. Dynamics in force from round t.
         let (swap, fired) = self.cursor.advance(t);
@@ -879,9 +948,22 @@ impl<'a> StreamSession<'a> {
             self.close_segment(t - 1);
             self.seg_epoch = self.cursor.epoch();
             self.seg_first_round = t;
+            if S::ENABLED {
+                sink.emit(TraceEvent::EpochSwitch {
+                    round: t,
+                    epoch: self.cursor.epoch() as u32,
+                });
+            }
         }
         for i in fired {
             let e = self.cursor.events()[i];
+            if S::ENABLED {
+                sink.emit(TraceEvent::Fault {
+                    round: t,
+                    node: e.node,
+                    role: e.role.into(),
+                });
+            }
             // The retry backend folds role flips into its incremental
             // coverage counters; the quorum backend re-derives the correct
             // population from the role mask at each settle, so it has no
@@ -898,7 +980,7 @@ impl<'a> StreamSession<'a> {
         {
             let a = self.plan[self.next_arrival];
             let i = a.payload.0 as usize;
-            if !self.mac.bcast(a.node, a.payload) {
+            if !self.mac.bcast_traced(a.node, a.payload, sink) {
                 match &mut self.reliability {
                     Some(ReliabilityMode::Retry(rel)) => {
                         // The retry backend owns the drop: the payload is
@@ -979,11 +1061,11 @@ impl<'a> StreamSession<'a> {
             let now = self.mac.round();
             let mut buf = std::mem::take(&mut rel.retry_buf);
             buf.clear();
-            rel.driver.due_retries(now, &mut buf);
+            rel.driver.due_retries_traced(now, &mut buf, sink);
             for &(node, payload) in &buf {
                 let i = payload.0 as usize;
                 self.seg_retries += 1;
-                let accepted = self.mac.bcast(node, payload);
+                let accepted = self.mac.bcast_traced(node, payload, sink);
                 debug_assert_eq!(rel.driver.entries()[i].payload, payload);
                 if accepted && !rel.driver.entries()[i].entered {
                     rel.driver.note_entered(payload);
@@ -1001,7 +1083,7 @@ impl<'a> StreamSession<'a> {
         }
         // 3. One engine round (`t` is its number); account coverage from
         // the rcv events.
-        for event in self.mac.step() {
+        for event in self.mac.step_traced(sink) {
             match event {
                 MacEvent::Rcv { payload, .. } => {
                     self.seg_rcvs += 1;
@@ -1057,10 +1139,13 @@ impl<'a> StreamSession<'a> {
         // thresholds — a strictly stronger condition.
         match &mut self.reliability {
             Some(ReliabilityMode::Retry(rel)) => {
-                self.seg_delivered += rel.settle_delivered(t);
+                self.seg_delivered += rel.settle_delivered(t, sink);
             }
             Some(ReliabilityMode::Quorum(q)) => {
-                self.seg_delivered += q.settle(self.mac.executor(), t);
+                if S::ENABLED {
+                    q.emit_phases(self.mac.executor(), t, sink);
+                }
+                self.seg_delivered += q.settle(self.mac.executor(), t, sink);
             }
             None => {}
         }
@@ -1074,9 +1159,16 @@ impl<'a> StreamSession<'a> {
     /// with full coverage still outstanding at a permanently-crashed
     /// node, which is exactly what the correct-live-nodes guarantee
     /// permits.
-    pub fn run(mut self) -> (StreamOutcome, MacLayer<'a>) {
+    pub fn run(self) -> (StreamOutcome, MacLayer<'a>) {
+        self.run_traced(&mut NullSink)
+    }
+
+    /// [`StreamSession::run`] with trace hooks: every round runs through
+    /// [`StreamSession::step_traced`], so the full event stream of the run
+    /// lands in `sink`.
+    pub fn run_traced<S: TraceSink>(mut self, sink: &mut S) -> (StreamOutcome, MacLayer<'a>) {
         while !self.is_settled() && self.mac.round() < self.max_rounds {
-            self.step();
+            self.step_traced(sink);
         }
         self.close_segment(self.mac.round());
         let mut stats = self.stats;

@@ -65,6 +65,7 @@ use crate::message::{Message, PayloadId, ProcessId};
 use crate::payload::PayloadSet;
 use crate::process::Process;
 use crate::slot::ProcessSlot;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 
 /// A node's current liveness/role (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -492,18 +493,50 @@ impl<'a> DynamicExecutor<'a> {
         self.exec.inject(node, payload)
     }
 
+    /// [`DynamicExecutor::inject`] with trace hooks (see
+    /// [`Executor::inject_traced`]).
+    pub fn inject_traced<S: TraceSink>(
+        &mut self,
+        node: NodeId,
+        payload: PayloadId,
+        sink: &mut S,
+    ) -> bool {
+        self.exec.inject_traced(node, payload, sink)
+    }
+
     /// Swaps epochs and applies due fault events, then executes one round.
     pub fn step(&mut self) -> RoundSummary {
+        self.step_traced(&mut NullSink)
+    }
+
+    /// [`DynamicExecutor::step`] with trace hooks: an epoch swap emits
+    /// [`TraceEvent::EpochSwitch`], each fired fault-plan event emits
+    /// [`TraceEvent::Fault`], and the wrapped round runs traced (see
+    /// [`Executor::step_traced`]).
+    pub fn step_traced<S: TraceSink>(&mut self, sink: &mut S) -> RoundSummary {
         let t = self.exec.round() + 1;
         let (swap, fired) = self.cursor.advance(t);
         if let Some(net) = swap {
             self.exec.set_network(net);
+            if S::ENABLED {
+                sink.emit(TraceEvent::EpochSwitch {
+                    round: t,
+                    epoch: self.cursor.epoch() as u32,
+                });
+            }
         }
         for i in fired {
             let e = self.cursor.events()[i];
             self.exec.set_role(e.node, e.role);
+            if S::ENABLED {
+                sink.emit(TraceEvent::Fault {
+                    round: t,
+                    node: e.node,
+                    role: e.role.into(),
+                });
+            }
         }
-        self.exec.step()
+        self.exec.step_traced(sink)
     }
 
     /// Runs until broadcast completes or `max_rounds` have executed.

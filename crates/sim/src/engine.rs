@@ -9,7 +9,7 @@ use crate::message::{Message, PayloadId, ProcessId};
 use crate::payload::PayloadSet;
 use crate::process::{ActivationCause, Process};
 use crate::slot::{ProcessSlot, ProcessTable};
-use crate::trace::{RoundRecord, Trace, TraceLevel};
+use crate::trace::{NullSink, RoundRecord, Trace, TraceEvent, TraceLevel, TraceSink};
 
 /// How executions begin (§2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -517,9 +517,40 @@ impl<'a> Executor<'a> {
     /// environment does not retry; re-inject after recovery if the
     /// workload calls for it.
     pub fn inject(&mut self, node: NodeId, payload: PayloadId) -> bool {
+        self.inject_traced(node, payload, &mut NullSink)
+    }
+
+    /// [`Executor::inject`] with an observability hook: emits one
+    /// [`TraceEvent::Inject`] recording the admission decision (the event
+    /// fires for dropped injections too, with `accepted: false` — exactly
+    /// the silently-rejected case the `inject-discard` analyzer lint
+    /// exists for). Guarded by [`TraceSink::ENABLED`]; the [`NullSink`]
+    /// instantiation is what [`Executor::inject`] delegates to.
+    pub fn inject_traced<S: TraceSink>(
+        &mut self,
+        node: NodeId,
+        payload: PayloadId,
+        sink: &mut S,
+    ) -> bool {
         let i = node.index();
         if !self.roles[i].is_correct() {
+            if S::ENABLED {
+                sink.emit(TraceEvent::Inject {
+                    round: self.round,
+                    node,
+                    payload,
+                    accepted: false,
+                });
+            }
             return false;
+        }
+        if S::ENABLED {
+            sink.emit(TraceEvent::Inject {
+                round: self.round,
+                node,
+                payload,
+                accepted: true,
+            });
         }
         self.real.insert(payload);
         self.known[i].insert(payload);
@@ -563,8 +594,24 @@ impl<'a> Executor<'a> {
     /// (part of the return value) and — when tracing is enabled — the trace
     /// record allocate.
     pub fn step(&mut self) -> RoundSummary {
+        self.step_traced(&mut NullSink)
+    }
+
+    /// [`Executor::step`] with observability hooks: emits
+    /// [`TraceEvent::RoundStart`], then one [`TraceEvent::Transmit`] per
+    /// sender (ascending node order, via the traced transmit sweep), then
+    /// one [`TraceEvent::Reception`] / [`TraceEvent::Collision`] per
+    /// non-silent node (ascending node order, via the traced receive
+    /// sweep). Every hook is guarded by [`TraceSink::ENABLED`], so the
+    /// [`NullSink`] instantiation — which [`Executor::step`] delegates to
+    /// — is the untraced round loop, machine code unchanged (the
+    /// zero-overhead-when-off contract; see `docs/OBSERVABILITY.md`).
+    pub fn step_traced<S: TraceSink>(&mut self, sink: &mut S) -> RoundSummary {
         let t = self.round + 1;
         let n = self.network.len();
+        if S::ENABLED {
+            sink.emit(TraceEvent::RoundStart { round: t });
+        }
 
         // Reset the previous round's own-message slots (O(previous senders),
         // not O(n); the buffer starts all-`None`).
@@ -595,7 +642,7 @@ impl<'a> Executor<'a> {
                 standing_tx,
                 known,
             });
-            procs.transmit_all(t, active_from, faults, senders_buf);
+            procs.transmit_all_traced(t, active_from, faults, senders_buf, sink);
         }
         self.sends += self.senders_buf.len() as u64;
 
@@ -844,7 +891,7 @@ impl<'a> Executor<'a> {
                 ..
             } = self;
             let mask = (*faulty_count > 0).then_some(roles.as_slice());
-            procs.receive_all(t, active_from, mask, receptions_buf);
+            procs.receive_all_traced(t, active_from, mask, receptions_buf, sink);
         }
         // analyzer: allow(hot-alloc, reason = "newly_informed is returned by value in RoundSummary; it stays len 0 (no heap) except on the bounded rounds where nodes first become informed, at most n pushes over a whole run")
         let mut newly_informed = Vec::new();

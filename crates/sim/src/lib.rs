@@ -105,4 +105,8 @@ pub use reliability::{
     RetryPolicy,
 };
 pub use slot::{ProcessSlot, ProcessTable};
-pub use trace::{RoundRecord, Trace, TraceLevel};
+pub use trace::{
+    first_divergence, Divergence, EpochRollup, JsonlSink, MetricsSink, MetricsTotals, NullSink,
+    QuorumStage, RingSink, RoleTag, RoundMetrics, RoundRecord, Trace, TraceEvent, TraceLevel,
+    TraceSink,
+};

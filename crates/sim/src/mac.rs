@@ -35,6 +35,7 @@ use dualgraph_net::{Csr, NodeId};
 use crate::engine::Executor;
 use crate::message::PayloadId;
 use crate::payload::PayloadSet;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 
 /// An event surfaced by the MAC layer at the end of a round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -279,8 +280,19 @@ impl<'a> MacLayer<'a> {
     /// faulty under the dynamics subsystem): a dead radio cannot `bcast`,
     /// so no ack will ever fire for the attempt.
     pub fn bcast(&mut self, node: NodeId, payload: PayloadId) -> bool {
+        self.bcast_traced(node, payload, &mut NullSink)
+    }
+
+    /// [`MacLayer::bcast`] with trace hooks: the underlying injection
+    /// emits [`TraceEvent::Inject`] into `sink` (see `docs/OBSERVABILITY.md`).
+    pub fn bcast_traced<S: TraceSink>(
+        &mut self,
+        node: NodeId,
+        payload: PayloadId,
+        sink: &mut S,
+    ) -> bool {
         let fresh = !self.exec.known_payloads()[node.index()].contains(payload);
-        if !self.exec.inject(node, payload) {
+        if !self.exec.inject_traced(node, payload, sink) {
             return false;
         }
         // Own injections are not receptions: keep the snapshot in sync so
@@ -419,8 +431,17 @@ impl<'a> MacLayer<'a> {
     /// one `ack` per neighborhood-covering `bcast` (plus any immediate
     /// acks issued by [`MacLayer::bcast`] since the previous step).
     pub fn step(&mut self) -> &[MacEvent] {
+        self.step_traced(&mut NullSink)
+    }
+
+    /// [`MacLayer::step`] with trace hooks: the underlying round emits its
+    /// transmission/reception events into `sink`, and every `ack` in the
+    /// returned batch additionally surfaces as
+    /// [`TraceEvent::AckComplete`] (stamped with the ack's own round, so
+    /// carried acks keep their original coordinate).
+    pub fn step_traced<S: TraceSink>(&mut self, sink: &mut S) -> &[MacEvent] {
         self.events.clear();
-        self.exec.step();
+        self.exec.step_traced(sink);
         let round = self.exec.round();
         let MacLayer {
             exec,
@@ -451,6 +472,22 @@ impl<'a> MacLayer<'a> {
                 settle(
                     pending, records, events, reliable, receiver, payload, round, true,
                 );
+            }
+        }
+        if S::ENABLED {
+            for e in events.iter() {
+                if let MacEvent::Ack {
+                    node,
+                    payload,
+                    round,
+                } = *e
+                {
+                    sink.emit(TraceEvent::AckComplete {
+                        round,
+                        source: node,
+                        payload,
+                    });
+                }
             }
         }
         &self.events

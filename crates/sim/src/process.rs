@@ -93,6 +93,19 @@ pub trait Process {
         None
     }
 
+    /// The automaton's quorum-certification latches `(echo_certified,
+    /// ready_certified)` — payloads whose echo/ready lanes have filled
+    /// their quorums — or `None` for automata without a certification
+    /// notion (every automaton except
+    /// [`QuorumProcess`][crate::quorum::QuorumProcess]). Purely
+    /// observational; the trace layer diffs the sets against snapshots to
+    /// surface [`QuorumStage`][crate::QuorumStage] crossings.
+    fn certified_payloads(
+        &self,
+    ) -> Option<(crate::payload::PayloadSet, crate::payload::PayloadSet)> {
+        None
+    }
+
     /// Clones the automaton in its current state (used for execution-prefix
     /// replay by the Theorem 12 construction and by tests).
     fn clone_box(&self) -> Box<dyn Process>;

@@ -159,6 +159,13 @@ pub struct QuorumProcess {
     readies: SenderSets,
     accepted: PayloadSet,
     accept_count: u32,
+    /// Payloads whose echo lane reached `echo_quorum` (latched): the
+    /// observability layer diffs this against a snapshot to surface
+    /// [`QuorumStage::Echo`][crate::QuorumStage::Echo] crossings without
+    /// touching the accept rules.
+    echo_certified: PayloadSet,
+    /// Payloads whose ready lane reached `ready_quorum` (latched).
+    ready_certified: PayloadSet,
     /// The medium-sharing coin: a CR2–CR4 sender cannot hear the medium
     /// while transmitting, so an always-on transmitter would go deaf the
     /// moment it accepts its first payload — and an equivocator can
@@ -194,6 +201,8 @@ impl QuorumProcess {
             readies: SenderSets::new(k, n),
             accepted: PayloadSet::EMPTY,
             accept_count: 0,
+            echo_certified: PayloadSet::EMPTY,
+            ready_certified: PayloadSet::EMPTY,
             coin: SmallRng::seed_from_u64(crate::rng::derive_seed(0x51C8, u64::from(id.0))),
         }
     }
@@ -240,6 +249,18 @@ impl QuorumProcess {
         self.policy
     }
 
+    /// Payloads whose echo lane has reached `echo_quorum` distinct
+    /// attesters (latched).
+    pub fn echo_certified(&self) -> PayloadSet {
+        self.echo_certified
+    }
+
+    /// Payloads whose ready lane has reached `ready_quorum` distinct
+    /// attesters (latched).
+    pub fn ready_certified(&self) -> PayloadSet {
+        self.ready_certified
+    }
+
     /// Distinct senders heard carrying data id `p` so far.
     pub fn echo_count(&self, p: PayloadId) -> u32 {
         self.echoes.count(p.0 as usize)
@@ -264,6 +285,9 @@ impl QuorumProcess {
             if i < self.k {
                 // Data id = echo attestation; direct-from-origin is INIT.
                 let echoes = self.echoes.note(i, m.sender);
+                if echoes >= self.policy.echo_quorum {
+                    self.echo_certified.insert(id);
+                }
                 if !self.accepted.contains(id)
                     && (m.sender == self.origins[i] || echoes >= self.policy.echo_quorum)
                 {
@@ -272,6 +296,9 @@ impl QuorumProcess {
             } else if i < 2 * self.k {
                 let p = i - self.k;
                 let readies = self.readies.note(p, m.sender);
+                if readies >= self.policy.ready_quorum {
+                    self.ready_certified.insert(PayloadId(p as u64));
+                }
                 if !self.accepted.contains(PayloadId(p as u64))
                     && readies >= self.policy.ready_quorum
                 {
@@ -335,6 +362,10 @@ impl Process for QuorumProcess {
 
     fn accepted_payloads(&self) -> Option<PayloadSet> {
         Some(self.accepted)
+    }
+
+    fn certified_payloads(&self) -> Option<(PayloadSet, PayloadSet)> {
+        Some((self.echo_certified, self.ready_certified))
     }
 
     fn clone_box(&self) -> Box<dyn Process> {

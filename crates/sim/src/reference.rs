@@ -33,7 +33,7 @@ use crate::message::{Message, PayloadId, ProcessId};
 use crate::payload::PayloadSet;
 use crate::process::{ActivationCause, Process};
 use crate::slot::ProcessSlot;
-use crate::trace::{RoundRecord, Trace};
+use crate::trace::{NullSink, RoundRecord, Trace, TraceEvent, TraceSink};
 
 /// The naive, allocating executor (see the module docs).
 pub struct ReferenceExecutor<'a> {
@@ -209,9 +209,37 @@ impl<'a> ReferenceExecutor<'a> {
     /// schedule): dropped (returning `false`) when the node is not
     /// currently correct.
     pub fn inject(&mut self, node: NodeId, payload: PayloadId) -> bool {
+        self.inject_traced(node, payload, &mut NullSink)
+    }
+
+    /// [`ReferenceExecutor::inject`] with the same observability hook as
+    /// [`Executor::inject_traced`][crate::Executor::inject_traced]: one
+    /// [`TraceEvent::Inject`] per call, recording the admission decision.
+    pub fn inject_traced<S: TraceSink>(
+        &mut self,
+        node: NodeId,
+        payload: PayloadId,
+        sink: &mut S,
+    ) -> bool {
         let i = node.index();
         if !self.roles[i].is_correct() {
+            if S::ENABLED {
+                sink.emit(TraceEvent::Inject {
+                    round: self.round,
+                    node,
+                    payload,
+                    accepted: false,
+                });
+            }
             return false;
+        }
+        if S::ENABLED {
+            sink.emit(TraceEvent::Inject {
+                round: self.round,
+                node,
+                payload,
+                accepted: true,
+            });
         }
         self.real.insert(payload);
         self.known[i].insert(payload);
@@ -238,8 +266,23 @@ impl<'a> ReferenceExecutor<'a> {
     /// Executes one round — allocating per-round and per-sender, on
     /// purpose.
     pub fn step(&mut self) -> RoundSummary {
+        self.step_traced(&mut NullSink)
+    }
+
+    /// [`ReferenceExecutor::step`] with the same observability hooks, at
+    /// the same emission points, as
+    /// [`Executor::step_traced`][crate::Executor::step_traced]:
+    /// `RoundStart`, then `Transmit` per sender in ascending node order,
+    /// then `Reception`/`Collision` per non-silent node in ascending node
+    /// order. Two engines replaying one workload therefore emit identical
+    /// streams — the trace-equivalence differential suite and the
+    /// `trace-diff` tool both rest on this.
+    pub fn step_traced<S: TraceSink>(&mut self, sink: &mut S) -> RoundSummary {
         let t = self.round + 1;
         let n = self.network.len();
+        if S::ENABLED {
+            sink.emit(TraceEvent::RoundStart { round: t });
+        }
 
         // Phase 1: send decisions. Faulty nodes follow the role mask:
         // crashed nodes are skipped (frozen automata are not polled),
@@ -272,6 +315,15 @@ impl<'a> ReferenceExecutor<'a> {
             }
         }
         self.sends += senders.len() as u64;
+        if S::ENABLED {
+            for &(node, msg) in &senders {
+                sink.emit(TraceEvent::Transmit {
+                    round: t,
+                    node,
+                    face_parity: msg.payloads.len() % 2 == 1,
+                });
+            }
+        }
 
         // Phase 2: adversary deliveries -> fresh per-node reaching sets.
         let mut reach: Vec<Vec<Message>> = (0..n).map(|_| Vec::new()).collect();
@@ -355,6 +407,24 @@ impl<'a> ReferenceExecutor<'a> {
                     |msgs| adversary.resolve_cr4(&ctx, NodeId::from_index(node), msgs),
                 );
                 receptions.push(reception);
+            }
+        }
+
+        if S::ENABLED {
+            for (node, r) in receptions.iter().enumerate() {
+                match r {
+                    Reception::Message(m) => sink.emit(TraceEvent::Reception {
+                        round: t,
+                        node: NodeId::from_index(node),
+                        sender: m.sender,
+                        payloads: m.payloads,
+                    }),
+                    Reception::Collision => sink.emit(TraceEvent::Collision {
+                        round: t,
+                        node: NodeId::from_index(node),
+                    }),
+                    Reception::Silence => {}
+                }
             }
         }
 

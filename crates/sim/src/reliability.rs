@@ -42,6 +42,7 @@ use dualgraph_net::NodeId;
 
 use crate::message::PayloadId;
 use crate::quorum::QuorumPolicy;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 
 /// Upper bound on the [`RetryPolicy::ExponentialBackoff`] trigger gap.
 /// Doubling saturates here instead of marching toward `u64::MAX`, where a
@@ -390,12 +391,31 @@ impl ReliableBroadcast {
     /// final — a payload abandoned by the policy stays abandoned even if
     /// the network later completes it on its own).
     pub fn on_delivered(&mut self, payload: PayloadId, round: u64) {
+        self.on_delivered_traced(payload, round, &mut NullSink);
+    }
+
+    /// [`ReliableBroadcast::on_delivered`] with trace hooks: a verdict
+    /// that actually settles (first final transition) emits
+    /// [`TraceEvent::Verdict`] with `delivered = true`.
+    pub fn on_delivered_traced<S: TraceSink>(
+        &mut self,
+        payload: PayloadId,
+        round: u64,
+        sink: &mut S,
+    ) {
         if let Some(e) = self.entry_mut(payload) {
             if !e.verdict.is_final() {
                 e.verdict = DeliveryVerdict::Delivered {
                     round,
                     retries: e.retries,
                 };
+                if S::ENABLED {
+                    sink.emit(TraceEvent::Verdict {
+                        round,
+                        payload,
+                        delivered: true,
+                    });
+                }
             }
         }
     }
@@ -407,6 +427,19 @@ impl ReliableBroadcast {
     /// nondecreasing rounds; the caller must attempt the re-`bcast`s and
     /// report successes via [`ReliableBroadcast::note_entered`].
     pub fn due_retries(&mut self, round: u64, out: &mut Vec<(NodeId, PayloadId)>) {
+        self.due_retries_traced(round, out, &mut NullSink);
+    }
+
+    /// [`ReliableBroadcast::due_retries`] with trace hooks: each fired
+    /// retry emits [`TraceEvent::Retry`], and each budget-exhausted payload
+    /// settling as abandoned emits [`TraceEvent::Verdict`] with
+    /// `delivered = false`.
+    pub fn due_retries_traced<S: TraceSink>(
+        &mut self,
+        round: u64,
+        out: &mut Vec<(NodeId, PayloadId)>,
+        sink: &mut S,
+    ) {
         let max = self.policy.max_retries();
         for e in &mut self.entries {
             if e.verdict.is_final() {
@@ -428,6 +461,13 @@ impl ReliableBroadcast {
             }
             if e.retries >= max {
                 e.verdict = DeliveryVerdict::Abandoned { retries: e.retries };
+                if S::ENABLED {
+                    sink.emit(TraceEvent::Verdict {
+                        round,
+                        payload: e.payload,
+                        delivered: false,
+                    });
+                }
                 continue;
             }
             e.retries += 1;
@@ -435,6 +475,13 @@ impl ReliableBroadcast {
             e.acked = false;
             if matches!(self.policy, RetryPolicy::ExponentialBackoff { .. }) {
                 e.next_gap = e.next_gap.saturating_mul(2).min(MAX_BACKOFF_GAP);
+            }
+            if S::ENABLED {
+                sink.emit(TraceEvent::Retry {
+                    round,
+                    source: e.source,
+                    payload: e.payload,
+                });
             }
             out.push((e.source, e.payload));
         }

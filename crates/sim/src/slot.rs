@@ -35,6 +35,7 @@ use crate::message::{Message, PayloadId, ProcessId};
 use crate::payload::PayloadSet;
 use crate::process::{ActivationCause, ChatterProcess, Flooder, Process, SilentProcess};
 use crate::quorum::QuorumProcess;
+use crate::trace::{NullSink, TraceEvent, TraceSink};
 
 /// One process, stored either inline (built-in automata) or boxed
 /// (anything else).
@@ -417,6 +418,23 @@ impl ProcessTable {
         faults: Option<FaultView<'_>>,
         out: &mut Vec<(NodeId, Message)>,
     ) {
+        self.transmit_all_traced(round, active_from, faults, out, &mut NullSink);
+    }
+
+    /// [`ProcessTable::transmit_all`] with an observability hook: emits one
+    /// [`TraceEvent::Transmit`] per appended transmission, in the same
+    /// ascending node order the sweep produced them. The emission loop is
+    /// guarded by [`TraceSink::ENABLED`], so the [`NullSink`]
+    /// instantiation — which [`ProcessTable::transmit_all`] delegates to —
+    /// is the untraced sweep, machine code unchanged.
+    pub fn transmit_all_traced<S: TraceSink>(
+        &mut self,
+        round: u64,
+        active_from: &[Option<u64>],
+        faults: Option<FaultView<'_>>,
+        out: &mut Vec<(NodeId, Message)>,
+        sink: &mut S,
+    ) {
         fn run<P: Process>(
             procs: &mut [P],
             t: u64,
@@ -456,7 +474,17 @@ impl ProcessTable {
                 }
             }
         }
+        let emitted_from = out.len();
         each_repr!(&mut self.repr, v => run(v, round, active_from, faults, out));
+        if S::ENABLED {
+            for &(node, msg) in &out[emitted_from..] {
+                sink.emit(TraceEvent::Transmit {
+                    round,
+                    node,
+                    face_parity: msg.payloads.len() % 2 == 1,
+                });
+            }
+        }
     }
 
     /// Phase-4 batched end-of-round deliveries for global round `round`,
@@ -474,6 +502,23 @@ impl ProcessTable {
         active_from: &mut [Option<u64>],
         roles: Option<&[NodeRole]>,
         receptions: &[Reception],
+    ) {
+        self.receive_all_traced(round, active_from, roles, receptions, &mut NullSink);
+    }
+
+    /// [`ProcessTable::receive_all`] with an observability hook: emits one
+    /// [`TraceEvent::Reception`] or [`TraceEvent::Collision`] per node (in
+    /// ascending node order; silence emits nothing — faulty radios were
+    /// resolved to silence in phase 3, so they emit nothing here either).
+    /// Guarded by [`TraceSink::ENABLED`] exactly like
+    /// [`ProcessTable::transmit_all_traced`].
+    pub fn receive_all_traced<S: TraceSink>(
+        &mut self,
+        round: u64,
+        active_from: &mut [Option<u64>],
+        roles: Option<&[NodeRole]>,
+        receptions: &[Reception],
+        sink: &mut S,
     ) {
         fn run<P: Process>(
             procs: &mut [P],
@@ -500,6 +545,23 @@ impl ProcessTable {
             }
         }
         each_repr!(&mut self.repr, v => run(v, round, active_from, roles, receptions));
+        if S::ENABLED {
+            for (node, r) in receptions.iter().enumerate() {
+                match r {
+                    Reception::Message(m) => sink.emit(TraceEvent::Reception {
+                        round,
+                        node: NodeId::from_index(node),
+                        sender: m.sender,
+                        payloads: m.payloads,
+                    }),
+                    Reception::Collision => sink.emit(TraceEvent::Collision {
+                        round,
+                        node: NodeId::from_index(node),
+                    }),
+                    Reception::Silence => {}
+                }
+            }
+        }
     }
 }
 

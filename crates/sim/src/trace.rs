@@ -1,9 +1,22 @@
-//! Execution traces.
+//! Execution traces: the legacy per-round record ([`Trace`] /
+//! [`RoundRecord`]) and the round-indexed event layer ([`TraceEvent`] /
+//! [`TraceSink`]) threaded through every subsystem.
+//!
+//! The event layer is the observability surface described in
+//! `docs/OBSERVABILITY.md`: each engine layer calls a `*_traced` method
+//! variant carrying a monomorphized [`TraceSink`], and every hook is
+//! guarded by the sink's [`TraceSink::ENABLED`] associated constant — with
+//! the default [`NullSink`] the guards are compile-time `false`, the
+//! emission loops are dead code, and untraced runs stay bit-identical and
+//! allocation-free. Events carry **round numbers, never clocks**, so a
+//! trace is a pure function of (topology, seed) and two engines can be
+//! diffed event-for-event ([`first_divergence`]).
 
 use dualgraph_net::NodeId;
 
 use crate::collision::Reception;
-use crate::message::Message;
+use crate::message::{Message, PayloadId, ProcessId};
+use crate::payload::{PayloadSet, MAX_PAYLOADS};
 
 /// How much the executor records per round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,6 +82,797 @@ impl Trace {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Round-indexed event layer
+// ---------------------------------------------------------------------------
+
+/// Compact tag for a node's [`NodeRole`][crate::NodeRole], without the
+/// role's payload cargo — keeps [`TraceEvent`] small and `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoleTag {
+    /// [`NodeRole::Correct`][crate::NodeRole::Correct].
+    Correct,
+    /// [`NodeRole::Crashed`][crate::NodeRole::Crashed].
+    Crashed,
+    /// [`NodeRole::Jammer`][crate::NodeRole::Jammer].
+    Jammer,
+    /// [`NodeRole::Spammer`][crate::NodeRole::Spammer].
+    Spammer,
+    /// [`NodeRole::Equivocator`][crate::NodeRole::Equivocator].
+    Equivocator,
+    /// [`NodeRole::Forger`][crate::NodeRole::Forger].
+    Forger,
+}
+
+impl RoleTag {
+    /// Snake-case name used by the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoleTag::Correct => "correct",
+            RoleTag::Crashed => "crashed",
+            RoleTag::Jammer => "jammer",
+            RoleTag::Spammer => "spammer",
+            RoleTag::Equivocator => "equivocator",
+            RoleTag::Forger => "forger",
+        }
+    }
+}
+
+impl From<crate::dynamics::NodeRole> for RoleTag {
+    fn from(role: crate::dynamics::NodeRole) -> Self {
+        use crate::dynamics::NodeRole;
+        match role {
+            NodeRole::Correct => RoleTag::Correct,
+            NodeRole::Crashed => RoleTag::Crashed,
+            NodeRole::Jammer => RoleTag::Jammer,
+            NodeRole::Spammer(_) => RoleTag::Spammer,
+            NodeRole::Equivocator { .. } => RoleTag::Equivocator,
+            NodeRole::Forger(_) => RoleTag::Forger,
+        }
+    }
+}
+
+/// The three certification stages of the quorum (Bracha-style) pipeline,
+/// as observed per node per payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumStage {
+    /// The node holds an echo certificate (first quorum crossed).
+    Echo,
+    /// The node holds a ready certificate (second quorum crossed).
+    Ready,
+    /// The node accepted the payload (delivery latch).
+    Accept,
+}
+
+impl QuorumStage {
+    /// Snake-case name used by the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuorumStage::Echo => "echo",
+            QuorumStage::Ready => "ready",
+            QuorumStage::Accept => "accept",
+        }
+    }
+}
+
+/// One round-indexed observability event.
+///
+/// Events are `Copy` and clock-free: the only temporal coordinate is the
+/// 1-based global round (`0` for pre-round-1 environment activity such as
+/// construction-time injections). The per-round emission order is fixed —
+/// `RoundStart`, then `Transmit` in ascending node order, then
+/// `Reception`/`Collision` in ascending node order — so two deterministic
+/// engines produce comparable streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A new global round began executing.
+    RoundStart {
+        /// The round being executed (1-based).
+        round: u64,
+    },
+    /// A node transmitted this round.
+    Transmit {
+        /// Round of the transmission.
+        round: u64,
+        /// Transmitting node.
+        node: NodeId,
+        /// Parity of the transmitted cargo cardinality — a 1-bit
+        /// knowledge-front indicator cheap enough for the hot path (odd
+        /// payload-set size ⇒ `true`).
+        face_parity: bool,
+    },
+    /// A node received exactly one message.
+    Reception {
+        /// Round of the reception.
+        round: u64,
+        /// Receiving node.
+        node: NodeId,
+        /// The transmitting process (as stamped in the message body).
+        sender: ProcessId,
+        /// The payload cargo delivered.
+        payloads: PayloadSet,
+    },
+    /// A node heard a collision notification (`⊤`).
+    Collision {
+        /// Round of the collision.
+        round: u64,
+        /// Node that heard `⊤`.
+        node: NodeId,
+    },
+    /// The environment handed a payload to a node
+    /// ([`Executor::inject`][crate::Executor::inject]).
+    Inject {
+        /// Round *before* which the injection lands (injections happen
+        /// between rounds; `0` before round 1).
+        round: u64,
+        /// Target node.
+        node: NodeId,
+        /// Injected payload identity.
+        payload: PayloadId,
+        /// Whether the injection was admitted (`false`: the node's radio
+        /// was not correct and the payload was dropped).
+        accepted: bool,
+    },
+    /// The topology schedule swapped in a new epoch snapshot.
+    EpochSwitch {
+        /// First round executed under the new epoch.
+        round: u64,
+        /// Index of the epoch now in force.
+        epoch: u32,
+    },
+    /// A timed fault-plan event changed a node's role.
+    Fault {
+        /// Round at which the role change takes effect.
+        round: u64,
+        /// Affected node.
+        node: NodeId,
+        /// The role now in force (compact tag).
+        role: RoleTag,
+    },
+    /// The reliability layer re-broadcast a payload at its source.
+    Retry {
+        /// Round at which the retry fired.
+        round: u64,
+        /// Source node of the tracked broadcast.
+        source: NodeId,
+        /// Payload being retried.
+        payload: PayloadId,
+    },
+    /// The MAC layer acknowledged a tracked broadcast (every reliable
+    /// neighbor of the source holds the payload).
+    AckComplete {
+        /// Round at which the acknowledgment fired.
+        round: u64,
+        /// Source node of the acknowledged broadcast.
+        source: NodeId,
+        /// Acknowledged payload.
+        payload: PayloadId,
+    },
+    /// A node crossed a quorum-certification stage for a payload.
+    QuorumPhase {
+        /// Round by whose end the stage was crossed.
+        round: u64,
+        /// Node whose local state crossed the stage.
+        node: NodeId,
+        /// Certified payload.
+        payload: PayloadId,
+        /// Which stage was crossed.
+        stage: QuorumStage,
+    },
+    /// The reliability layer settled a delivery-guarantee verdict.
+    Verdict {
+        /// Round at which the verdict settled.
+        round: u64,
+        /// Judged payload.
+        payload: PayloadId,
+        /// `true` for delivered, `false` for abandoned.
+        delivered: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The event's round coordinate.
+    pub fn round(&self) -> u64 {
+        match *self {
+            TraceEvent::RoundStart { round }
+            | TraceEvent::Transmit { round, .. }
+            | TraceEvent::Reception { round, .. }
+            | TraceEvent::Collision { round, .. }
+            | TraceEvent::Inject { round, .. }
+            | TraceEvent::EpochSwitch { round, .. }
+            | TraceEvent::Fault { round, .. }
+            | TraceEvent::Retry { round, .. }
+            | TraceEvent::AckComplete { round, .. }
+            | TraceEvent::QuorumPhase { round, .. }
+            | TraceEvent::Verdict { round, .. } => round,
+        }
+    }
+}
+
+/// A monomorphized event consumer.
+///
+/// Every engine hook is guarded by `if S::ENABLED { sink.emit(..) }`; with
+/// [`NullSink`] the constant is `false` and the compiler removes the hook
+/// (and any event-construction loop behind it) entirely — the
+/// zero-overhead-when-off contract of `docs/OBSERVABILITY.md`. Sinks must
+/// never observe wall-clock time: determinism of a traced run is part of
+/// the contract (the analyzer's determinism lint covers this module).
+pub trait TraceSink {
+    /// Whether hooks should construct and emit events. Leave at the
+    /// default `true` for any recording sink.
+    const ENABLED: bool = true;
+
+    /// Consumes one event.
+    fn emit(&mut self, event: TraceEvent);
+}
+
+/// The default sink: discards everything at compile time
+/// ([`TraceSink::ENABLED`] is `false`), so `step()` and
+/// `step_traced(&mut NullSink)` are the same machine code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _event: TraceEvent) {}
+}
+
+/// Full-stream recording backend: the trace-diff and differential-test
+/// workhorse. Unbounded — prefer [`RingSink`] for long runs.
+impl TraceSink for Vec<TraceEvent> {
+    fn emit(&mut self, event: TraceEvent) {
+        self.push(event);
+    }
+}
+
+/// Per-round counters kept by [`MetricsSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundMetrics {
+    /// The global round these counters describe.
+    pub round: u64,
+    /// Transmitting nodes this round.
+    pub transmits: u32,
+    /// Nodes that received a message this round.
+    pub receptions: u32,
+    /// Nodes that heard `⊤` this round.
+    pub collisions: u32,
+}
+
+/// Aggregate counters kept by [`MetricsSink`] across the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsTotals {
+    /// Total transmissions.
+    pub transmits: u64,
+    /// Total single-message receptions.
+    pub receptions: u64,
+    /// Total collision notifications.
+    pub collisions: u64,
+    /// Injections admitted.
+    pub injects_accepted: u64,
+    /// Injections dropped (faulty radio).
+    pub injects_rejected: u64,
+    /// Epoch switches observed.
+    pub epoch_switches: u64,
+    /// Fault-plan role changes observed.
+    pub faults: u64,
+    /// Reliability retries fired.
+    pub retries: u64,
+    /// MAC acknowledgments completed.
+    pub acks: u64,
+    /// Quorum stage crossings: `[echo, ready, accept]`.
+    pub quorum_stages: [u64; 3],
+    /// Delivery verdicts settled as delivered.
+    pub verdicts_delivered: u64,
+    /// Delivery verdicts settled as abandoned.
+    pub verdicts_abandoned: u64,
+    /// Sum over receptions of the delivered cargo cardinality (counts
+    /// every payload copy put on the air and heard).
+    pub payload_copies: u64,
+}
+
+/// Per-epoch rollup computed by [`MetricsSink::epoch_rollups`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochRollup {
+    /// Epoch index (`0` for the initial epoch).
+    pub epoch: u32,
+    /// First round counted into this rollup.
+    pub from_round: u64,
+    /// Transmissions during the epoch.
+    pub transmits: u64,
+    /// Receptions during the epoch.
+    pub receptions: u64,
+    /// Collisions during the epoch.
+    pub collisions: u64,
+}
+
+/// Preallocated counter registry: per-round transmit/reception/collision
+/// histograms, payload-redundancy and ack-latency series, retry, fault,
+/// and quorum-stage tallies, and per-epoch rollups.
+///
+/// All counters are derived from events (never clocks), so a metrics run
+/// is exactly as deterministic as the execution it observes.
+#[derive(Debug, Clone)]
+pub struct MetricsSink {
+    rounds: Vec<RoundMetrics>,
+    /// `(first round of epoch, epoch index)` marks, in order.
+    epoch_marks: Vec<(u64, u32)>,
+    totals: MetricsTotals,
+    /// Distinct payload identities seen in receptions or injections.
+    distinct: PayloadSet,
+    /// Round of the first accepted injection per payload id (ack-latency
+    /// baseline), dense over the payload universe.
+    first_inject: Vec<Option<u64>>,
+    /// Ack latencies in rounds, one entry per completed acknowledgment of
+    /// a payload with a known injection round.
+    ack_latency: Vec<u64>,
+}
+
+impl Default for MetricsSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsSink {
+    /// An empty registry with a modest round preallocation.
+    pub fn new() -> Self {
+        Self::with_round_capacity(1024)
+    }
+
+    /// An empty registry preallocated for `rounds` rounds (emission stays
+    /// allocation-free until the capacity is exceeded).
+    pub fn with_round_capacity(rounds: usize) -> Self {
+        MetricsSink {
+            rounds: Vec::with_capacity(rounds),
+            epoch_marks: Vec::with_capacity(8),
+            totals: MetricsTotals::default(),
+            distinct: PayloadSet::EMPTY,
+            first_inject: vec![None; MAX_PAYLOADS],
+            ack_latency: Vec::with_capacity(MAX_PAYLOADS),
+        }
+    }
+
+    /// The per-round histogram rows, in execution order.
+    pub fn rounds(&self) -> &[RoundMetrics] {
+        &self.rounds
+    }
+
+    /// The aggregate counters.
+    pub fn totals(&self) -> &MetricsTotals {
+        &self.totals
+    }
+
+    /// Payload redundancy: delivered payload copies per distinct payload
+    /// identity observed (`0.0` before any reception).
+    pub fn payload_redundancy(&self) -> f64 {
+        let distinct = self.distinct.len();
+        if distinct == 0 {
+            0.0
+        } else {
+            self.totals.payload_copies as f64 / distinct as f64
+        }
+    }
+
+    /// Ack latencies in rounds (injection → `AckComplete`), one entry per
+    /// acknowledged payload with a known injection round.
+    pub fn ack_latencies(&self) -> &[u64] {
+        &self.ack_latency
+    }
+
+    /// Mean ack latency in rounds (`None` before the first ack).
+    pub fn mean_ack_latency(&self) -> Option<f64> {
+        if self.ack_latency.is_empty() {
+            return None;
+        }
+        Some(self.ack_latency.iter().sum::<u64>() as f64 / self.ack_latency.len() as f64)
+    }
+
+    /// Per-epoch rollups of the per-round counters. The initial epoch is
+    /// reported even when no `EpochSwitch` ever fired.
+    pub fn epoch_rollups(&self) -> Vec<EpochRollup> {
+        let mut out = Vec::with_capacity(self.epoch_marks.len() + 1);
+        let mut bounds = Vec::with_capacity(self.epoch_marks.len() + 1);
+        bounds.push((0u64, 0u32));
+        for &(round, epoch) in &self.epoch_marks {
+            bounds.push((round, epoch));
+        }
+        for (k, &(from_round, epoch)) in bounds.iter().enumerate() {
+            let until = bounds.get(k + 1).map(|&(r, _)| r).unwrap_or(u64::MAX);
+            let mut roll = EpochRollup {
+                epoch,
+                from_round,
+                transmits: 0,
+                receptions: 0,
+                collisions: 0,
+            };
+            for r in &self.rounds {
+                if r.round >= from_round && r.round < until {
+                    roll.transmits += u64::from(r.transmits);
+                    roll.receptions += u64::from(r.receptions);
+                    roll.collisions += u64::from(r.collisions);
+                }
+            }
+            out.push(roll);
+        }
+        out
+    }
+
+    fn current_mut(&mut self, round: u64) -> &mut RoundMetrics {
+        if self.rounds.last().map(|r| r.round) != Some(round) {
+            self.rounds.push(RoundMetrics {
+                round,
+                ..RoundMetrics::default()
+            });
+        }
+        // analyzer: allow(panic, reason = "invariant: a row for `round` was pushed just above")
+        self.rounds.last_mut().expect("row was just ensured")
+    }
+}
+
+impl TraceSink for MetricsSink {
+    fn emit(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::RoundStart { round } => {
+                let _ = self.current_mut(round);
+            }
+            TraceEvent::Transmit { round, .. } => {
+                self.totals.transmits += 1;
+                self.current_mut(round).transmits += 1;
+            }
+            TraceEvent::Reception {
+                round, payloads, ..
+            } => {
+                self.totals.receptions += 1;
+                self.totals.payload_copies += payloads.len() as u64;
+                self.distinct.union_with(payloads);
+                self.current_mut(round).receptions += 1;
+            }
+            TraceEvent::Collision { round, .. } => {
+                self.totals.collisions += 1;
+                self.current_mut(round).collisions += 1;
+            }
+            TraceEvent::Inject {
+                round,
+                payload,
+                accepted,
+                ..
+            } => {
+                if accepted {
+                    self.totals.injects_accepted += 1;
+                    self.distinct.insert(payload);
+                    let idx = payload.0 as usize;
+                    if idx < MAX_PAYLOADS && self.first_inject[idx].is_none() {
+                        self.first_inject[idx] = Some(round);
+                    }
+                } else {
+                    self.totals.injects_rejected += 1;
+                }
+            }
+            TraceEvent::EpochSwitch { round, epoch } => {
+                self.totals.epoch_switches += 1;
+                self.epoch_marks.push((round, epoch));
+            }
+            TraceEvent::Fault { .. } => self.totals.faults += 1,
+            TraceEvent::Retry { .. } => self.totals.retries += 1,
+            TraceEvent::AckComplete { round, payload, .. } => {
+                self.totals.acks += 1;
+                let idx = payload.0 as usize;
+                if idx < MAX_PAYLOADS {
+                    if let Some(injected) = self.first_inject[idx] {
+                        self.ack_latency.push(round.saturating_sub(injected));
+                    }
+                }
+            }
+            TraceEvent::QuorumPhase { stage, .. } => {
+                self.totals.quorum_stages[match stage {
+                    QuorumStage::Echo => 0,
+                    QuorumStage::Ready => 1,
+                    QuorumStage::Accept => 2,
+                }] += 1;
+            }
+            TraceEvent::Verdict { delivered, .. } => {
+                if delivered {
+                    self.totals.verdicts_delivered += 1;
+                } else {
+                    self.totals.verdicts_abandoned += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Fixed-capacity post-mortem buffer: keeps the last `capacity` events,
+/// overwriting the oldest. Query [`RingSink::events`] after a failure to
+/// see what led up to it without paying for a full-stream recording.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    /// Total events ever emitted (including overwritten ones).
+    seen: u64,
+}
+
+impl RingSink {
+    /// A ring holding the last `capacity` events (`0` discards all).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            seen: 0,
+        }
+    }
+
+    /// The retained events, oldest first (allocates the ordered copy).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever emitted at this sink (retained or overwritten).
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&mut self, event: TraceEvent) {
+        self.seen += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+}
+
+/// Buffered JSONL export: renders each event as one JSON object per line
+/// into an in-memory buffer. The experiments binary's `--trace-jsonl`
+/// flag writes the buffer to disk after the run (this crate does no I/O).
+#[derive(Debug, Clone, Default)]
+pub struct JsonlSink {
+    buf: String,
+    lines: u64,
+}
+
+impl JsonlSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        JsonlSink {
+            buf: String::with_capacity(4096),
+            lines: 0,
+        }
+    }
+
+    /// The buffered JSONL document.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consumes the sink, returning the buffered JSONL document.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+
+    /// Lines (= events) buffered so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    fn payload_list(buf: &mut String, payloads: PayloadSet) {
+        use std::fmt::Write as _;
+        buf.push('[');
+        for (k, p) in payloads.iter().enumerate() {
+            if k > 0 {
+                buf.push(',');
+            }
+            let _ = write!(buf, "{}", p.0);
+        }
+        buf.push(']');
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&mut self, event: TraceEvent) {
+        use std::fmt::Write as _;
+        let buf = &mut self.buf;
+        match event {
+            TraceEvent::RoundStart { round } => {
+                let _ = write!(buf, "{{\"e\":\"round_start\",\"r\":{round}}}");
+            }
+            TraceEvent::Transmit {
+                round,
+                node,
+                face_parity,
+            } => {
+                let _ = write!(
+                    buf,
+                    "{{\"e\":\"transmit\",\"r\":{round},\"node\":{},\"face\":{}}}",
+                    node.index(),
+                    u8::from(face_parity)
+                );
+            }
+            TraceEvent::Reception {
+                round,
+                node,
+                sender,
+                payloads,
+            } => {
+                let _ = write!(
+                    buf,
+                    "{{\"e\":\"reception\",\"r\":{round},\"node\":{},\"sender\":{},\"payloads\":",
+                    node.index(),
+                    sender.0
+                );
+                Self::payload_list(buf, payloads);
+                buf.push('}');
+            }
+            TraceEvent::Collision { round, node } => {
+                let _ = write!(
+                    buf,
+                    "{{\"e\":\"collision\",\"r\":{round},\"node\":{}}}",
+                    node.index()
+                );
+            }
+            TraceEvent::Inject {
+                round,
+                node,
+                payload,
+                accepted,
+            } => {
+                let _ = write!(
+                    buf,
+                    "{{\"e\":\"inject\",\"r\":{round},\"node\":{},\"payload\":{},\"accepted\":{accepted}}}",
+                    node.index(),
+                    payload.0
+                );
+            }
+            TraceEvent::EpochSwitch { round, epoch } => {
+                let _ = write!(
+                    buf,
+                    "{{\"e\":\"epoch_switch\",\"r\":{round},\"epoch\":{epoch}}}"
+                );
+            }
+            TraceEvent::Fault { round, node, role } => {
+                let _ = write!(
+                    buf,
+                    "{{\"e\":\"fault\",\"r\":{round},\"node\":{},\"role\":\"{}\"}}",
+                    node.index(),
+                    role.name()
+                );
+            }
+            TraceEvent::Retry {
+                round,
+                source,
+                payload,
+            } => {
+                let _ = write!(
+                    buf,
+                    "{{\"e\":\"retry\",\"r\":{round},\"source\":{},\"payload\":{}}}",
+                    source.index(),
+                    payload.0
+                );
+            }
+            TraceEvent::AckComplete {
+                round,
+                source,
+                payload,
+            } => {
+                let _ = write!(
+                    buf,
+                    "{{\"e\":\"ack_complete\",\"r\":{round},\"source\":{},\"payload\":{}}}",
+                    source.index(),
+                    payload.0
+                );
+            }
+            TraceEvent::QuorumPhase {
+                round,
+                node,
+                payload,
+                stage,
+            } => {
+                let _ = write!(
+                    buf,
+                    "{{\"e\":\"quorum_phase\",\"r\":{round},\"node\":{},\"payload\":{},\"stage\":\"{}\"}}",
+                    node.index(),
+                    payload.0,
+                    stage.name()
+                );
+            }
+            TraceEvent::Verdict {
+                round,
+                payload,
+                delivered,
+            } => {
+                let _ = write!(
+                    buf,
+                    "{{\"e\":\"verdict\",\"r\":{round},\"payload\":{},\"delivered\":{delivered}}}",
+                    payload.0
+                );
+            }
+        }
+        buf.push('\n');
+        self.lines += 1;
+    }
+}
+
+/// The first position at which two event streams disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index into both streams of the first disagreement.
+    pub index: usize,
+    /// The left stream's event at `index` (`None`: left ended early).
+    pub left: Option<TraceEvent>,
+    /// The right stream's event at `index` (`None`: right ended early).
+    pub right: Option<TraceEvent>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.left, &self.right) {
+            (Some(l), Some(r)) => {
+                write!(f, "event #{}: left {l:?} != right {r:?}", self.index)
+            }
+            (Some(l), None) => write!(
+                f,
+                "event #{}: right stream ended; left continues with {l:?}",
+                self.index
+            ),
+            (None, Some(r)) => write!(
+                f,
+                "event #{}: left stream ended; right continues with {r:?}",
+                self.index
+            ),
+            (None, None) => write!(f, "event #{}: streams agree", self.index),
+        }
+    }
+}
+
+/// Compares two event streams and reports the first diverging event —
+/// the trace-diff primitive: replay a workload on the optimized and
+/// reference engines with `Vec<TraceEvent>` sinks and this localizes any
+/// disagreement to one event instead of one bit-identity boolean.
+pub fn first_divergence(left: &[TraceEvent], right: &[TraceEvent]) -> Option<Divergence> {
+    let shared = left.len().min(right.len());
+    for i in 0..shared {
+        if left[i] != right[i] {
+            return Some(Divergence {
+                index: i,
+                left: Some(left[i]),
+                right: Some(right[i]),
+            });
+        }
+    }
+    if left.len() != right.len() {
+        return Some(Divergence {
+            index: shared,
+            left: left.get(shared).copied(),
+            right: right.get(shared).copied(),
+        });
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +898,166 @@ mod tests {
         assert_eq!(t.reception(1, NodeId(1)), Some(&Reception::Collision));
         assert_eq!(t.reception(2, NodeId(0)), None);
         assert_eq!(t.reception(1, NodeId(5)), None);
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Inject {
+                round: 0,
+                node: NodeId(0),
+                payload: PayloadId(0),
+                accepted: true,
+            },
+            TraceEvent::RoundStart { round: 1 },
+            TraceEvent::Transmit {
+                round: 1,
+                node: NodeId(0),
+                face_parity: true,
+            },
+            TraceEvent::Reception {
+                round: 1,
+                node: NodeId(1),
+                sender: ProcessId(0),
+                payloads: PayloadSet::only(PayloadId(0)),
+            },
+            TraceEvent::Collision {
+                round: 1,
+                node: NodeId(2),
+            },
+            TraceEvent::EpochSwitch { round: 2, epoch: 1 },
+            TraceEvent::Fault {
+                round: 2,
+                node: NodeId(1),
+                role: RoleTag::Crashed,
+            },
+            TraceEvent::Retry {
+                round: 3,
+                source: NodeId(0),
+                payload: PayloadId(0),
+            },
+            TraceEvent::AckComplete {
+                round: 4,
+                source: NodeId(0),
+                payload: PayloadId(0),
+            },
+            TraceEvent::QuorumPhase {
+                round: 4,
+                node: NodeId(1),
+                payload: PayloadId(0),
+                stage: QuorumStage::Echo,
+            },
+            TraceEvent::Verdict {
+                round: 5,
+                payload: PayloadId(0),
+                delivered: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn null_sink_is_disabled_at_compile_time() {
+        const _: () = assert!(!NullSink::ENABLED);
+        const _: () = assert!(<Vec<TraceEvent> as TraceSink>::ENABLED);
+        let mut s = NullSink;
+        s.emit(TraceEvent::RoundStart { round: 1 });
+    }
+
+    #[test]
+    fn vec_sink_records_in_order() {
+        let mut v: Vec<TraceEvent> = Vec::new();
+        for e in sample_events() {
+            v.emit(e);
+        }
+        assert_eq!(v, sample_events());
+        assert_eq!(v[1].round(), 1);
+    }
+
+    #[test]
+    fn metrics_sink_tallies_everything() {
+        let mut m = MetricsSink::with_round_capacity(8);
+        for e in sample_events() {
+            m.emit(e);
+        }
+        let t = m.totals();
+        assert_eq!(t.transmits, 1);
+        assert_eq!(t.receptions, 1);
+        assert_eq!(t.collisions, 1);
+        assert_eq!(t.injects_accepted, 1);
+        assert_eq!(t.epoch_switches, 1);
+        assert_eq!(t.faults, 1);
+        assert_eq!(t.retries, 1);
+        assert_eq!(t.acks, 1);
+        assert_eq!(t.quorum_stages, [1, 0, 0]);
+        assert_eq!(t.verdicts_delivered, 1);
+        assert_eq!(t.payload_copies, 1);
+        assert_eq!(m.payload_redundancy(), 1.0);
+        // Injected before round 1 (round 0), acked at round 4.
+        assert_eq!(m.ack_latencies(), &[4]);
+        assert_eq!(m.mean_ack_latency(), Some(4.0));
+        assert_eq!(m.rounds().len(), 1);
+        assert_eq!(m.rounds()[0].transmits, 1);
+        let rollups = m.epoch_rollups();
+        assert_eq!(rollups.len(), 2);
+        assert_eq!(rollups[0].epoch, 0);
+        assert_eq!(rollups[0].transmits, 1);
+        assert_eq!(rollups[1].epoch, 1);
+        assert_eq!(rollups[1].transmits, 0);
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_last_n() {
+        let mut r = RingSink::new(3);
+        for round in 1..=5 {
+            r.emit(TraceEvent::RoundStart { round });
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_seen(), 5);
+        let kept: Vec<u64> = r.events().iter().map(|e| e.round()).collect();
+        assert_eq!(kept, vec![3, 4, 5]);
+        let mut zero = RingSink::new(0);
+        zero.emit(TraceEvent::RoundStart { round: 1 });
+        assert!(zero.is_empty());
+        assert_eq!(zero.total_seen(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_renders_every_variant() {
+        let mut j = JsonlSink::new();
+        for e in sample_events() {
+            j.emit(e);
+        }
+        assert_eq!(j.lines(), sample_events().len() as u64);
+        let doc = j.as_str();
+        assert_eq!(doc.lines().count(), sample_events().len());
+        for line in doc.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(doc.contains("\"e\":\"transmit\""));
+        assert!(doc.contains("\"payloads\":[0]"));
+        assert!(doc.contains("\"role\":\"crashed\""));
+        assert!(doc.contains("\"stage\":\"echo\""));
+        assert!(doc.contains("\"accepted\":true"));
+        let owned = j.into_string();
+        assert!(owned.ends_with('\n'));
+    }
+
+    #[test]
+    fn first_divergence_localizes() {
+        let a = sample_events();
+        assert_eq!(first_divergence(&a, &a), None);
+
+        let mut b = a.clone();
+        b[4] = TraceEvent::Collision {
+            round: 1,
+            node: NodeId(3),
+        };
+        let d = first_divergence(&a, &b).expect("must diverge");
+        assert_eq!(d.index, 4);
+        assert!(d.to_string().contains("event #4"));
+
+        let d = first_divergence(&a, &a[..5]).expect("length divergence");
+        assert_eq!(d.index, 5);
+        assert!(d.left.is_some() && d.right.is_none());
+        assert!(d.to_string().contains("ended"));
     }
 }

@@ -1,0 +1,408 @@
+//! Observability suite: the trace layer's two load-bearing contracts,
+//! checked engine against engine.
+//!
+//! 1. **`NullSink` transparency** — `step_traced(&mut NullSink)` must be
+//!    *the* untraced round: every hook is guarded by
+//!    `TraceSink::ENABLED`, so the `NullSink` instantiation is the exact
+//!    code path `step` delegates to. Verified behaviorally here across
+//!    all three engines (enum/boxed/reference) × the adversary menu ×
+//!    CR1–CR4 × both start rules: summaries, known-payload records,
+//!    outcomes, and legacy traces identical round for round, injections
+//!    included.
+//! 2. **trace equivalence** — the optimized engine and the naive
+//!    reference oracle must emit *identical event streams*, not just
+//!    identical end states: same events, same order, same round stamps —
+//!    on static runs and through epoch switches, crash/recovery faults,
+//!    and Byzantine roles (the reference side driven through its own
+//!    [`DynamicsCursor`] with the same wrapper-level emissions). A seeded
+//!    mutation (perturbed adversary) must be localized to a concrete
+//!    first diverging event by [`first_divergence`].
+
+use dualgraph_net::{generators, DualGraph, NodeId, TopologySchedule};
+use dualgraph_sim::{
+    first_divergence, Adversary, BurstyDelivery, ChatterProcess, CollisionRule, CollisionSeeker,
+    DynamicExecutor, DynamicsCursor, Executor, ExecutorConfig, FaultPlan, FullDelivery, NullSink,
+    PayloadId, PayloadSet, RandomDelivery, ReferenceExecutor, ReliableOnly, StartRule, TraceEvent,
+    TraceSink,
+};
+
+/// The adversary menu; every engine under comparison gets its own
+/// identically-seeded instance.
+#[allow(clippy::type_complexity)]
+fn adversary_menu(seed: u64) -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn Adversary>>)> {
+    vec![
+        ("reliable-only", Box::new(|| Box::new(ReliableOnly::new()))),
+        ("full-delivery", Box::new(|| Box::new(FullDelivery::new()))),
+        (
+            "random(0.5)",
+            Box::new(move || Box::new(RandomDelivery::new(0.5, seed))),
+        ),
+        (
+            "bursty",
+            Box::new(move || Box::new(BurstyDelivery::new(0.3, 0.3, seed))),
+        ),
+        (
+            "collision-seeker",
+            Box::new(|| Box::new(CollisionSeeker::new())),
+        ),
+    ]
+}
+
+fn random_net(seed: u64, n: usize) -> DualGraph {
+    generators::er_dual(
+        generators::ErDualParams {
+            n,
+            reliable_p: 0.12,
+            unreliable_p: 0.25,
+        },
+        seed,
+    )
+}
+
+fn configs() -> Vec<ExecutorConfig> {
+    let mut out = Vec::new();
+    for rule in CollisionRule::ALL {
+        for start in [StartRule::Synchronous, StartRule::Asynchronous] {
+            out.push(ExecutorConfig {
+                rule,
+                start,
+                ..ExecutorConfig::default()
+            });
+        }
+    }
+    out
+}
+
+/// Steps `plain` with the untraced entry points and `traced` with the
+/// `NullSink`-instantiated ones, asserting identical behavior every
+/// round — including a mid-run injection through both inject paths.
+#[allow(clippy::too_many_arguments)]
+fn assert_null_transparent<E>(
+    mut plain: E,
+    mut traced: E,
+    rounds: u64,
+    label: &str,
+    mut step_plain: impl FnMut(&mut E) -> dualgraph_sim::RoundSummary,
+    mut step_traced: impl FnMut(&mut E) -> dualgraph_sim::RoundSummary,
+    mut inject_plain: impl FnMut(&mut E, NodeId, PayloadId) -> bool,
+    mut inject_traced: impl FnMut(&mut E, NodeId, PayloadId) -> bool,
+    state: impl Fn(&E) -> (Vec<PayloadSet>, dualgraph_sim::BroadcastOutcome),
+) {
+    for round in 0..rounds {
+        if round == 5 {
+            let a = inject_plain(&mut plain, NodeId(2), PayloadId(3));
+            let b = inject_traced(&mut traced, NodeId(2), PayloadId(3));
+            assert_eq!(a, b, "{label}: injection fate diverged");
+        }
+        let a = step_plain(&mut plain);
+        let b = step_traced(&mut traced);
+        assert_eq!(
+            a, b,
+            "{label}: summary diverged at round {round} — NullSink is not transparent"
+        );
+    }
+    let (known_a, outcome_a) = state(&plain);
+    let (known_b, outcome_b) = state(&traced);
+    assert_eq!(known_a, known_b, "{label}: known-payload records diverged");
+    assert_eq!(outcome_a, outcome_b, "{label}: outcomes diverged");
+}
+
+/// Contract 1: `NullSink`-traced stepping is indistinguishable from
+/// untraced stepping on all three engines, across the menu × CR1–CR4 ×
+/// both start rules.
+#[test]
+fn null_sink_is_transparent_on_every_engine() {
+    for (topo_seed, n) in [(3u64, 19usize), (11, 27)] {
+        let net = random_net(topo_seed, n);
+        for config in configs() {
+            for (name, make) in adversary_menu(topo_seed ^ 0x5A) {
+                let seed = topo_seed.wrapping_mul(97) ^ 13;
+                let label = format!("n={n} {name} {:?}/{:?}", config.rule, config.start);
+
+                let build_enum = || {
+                    Executor::from_slots(&net, ChatterProcess::slots(n, seed, 3), make(), config)
+                        .unwrap()
+                };
+                assert_null_transparent(
+                    build_enum(),
+                    build_enum(),
+                    40,
+                    &format!("enum {label}"),
+                    |e| e.step(),
+                    |e| e.step_traced(&mut NullSink),
+                    |e, node, p| e.inject(node, p),
+                    |e, node, p| e.inject_traced(node, p, &mut NullSink),
+                    |e| (e.known_payloads().to_vec(), e.outcome()),
+                );
+
+                let build_boxed = || {
+                    Executor::new(&net, ChatterProcess::boxed(n, seed, 3), make(), config).unwrap()
+                };
+                assert_null_transparent(
+                    build_boxed(),
+                    build_boxed(),
+                    40,
+                    &format!("boxed {label}"),
+                    |e| e.step(),
+                    |e| e.step_traced(&mut NullSink),
+                    |e, node, p| e.inject(node, p),
+                    |e, node, p| e.inject_traced(node, p, &mut NullSink),
+                    |e| (e.known_payloads().to_vec(), e.outcome()),
+                );
+
+                let build_ref = || {
+                    ReferenceExecutor::new(&net, ChatterProcess::boxed(n, seed, 3), make(), config)
+                        .unwrap()
+                };
+                assert_null_transparent(
+                    build_ref(),
+                    build_ref(),
+                    40,
+                    &format!("reference {label}"),
+                    |e| e.step(),
+                    |e| e.step_traced(&mut NullSink),
+                    |e, node, p| e.inject(node, p),
+                    |e, node, p| e.inject_traced(node, p, &mut NullSink),
+                    |e| (e.known_payloads().to_vec(), e.outcome()),
+                );
+            }
+        }
+    }
+}
+
+/// Collects `rounds` of events from an optimized enum-dispatch run.
+fn collect_optimized(
+    net: &DualGraph,
+    seed: u64,
+    adversary: Box<dyn Adversary>,
+    config: ExecutorConfig,
+    rounds: u64,
+) -> Vec<TraceEvent> {
+    let n = net.len();
+    let mut exec =
+        Executor::from_slots(net, ChatterProcess::slots(n, seed, 3), adversary, config).unwrap();
+    let mut events = Vec::new();
+    for _ in 0..rounds {
+        exec.step_traced(&mut events);
+    }
+    events
+}
+
+/// Collects `rounds` of events from the reference oracle on the same
+/// workload.
+fn collect_reference(
+    net: &DualGraph,
+    seed: u64,
+    adversary: Box<dyn Adversary>,
+    config: ExecutorConfig,
+    rounds: u64,
+) -> Vec<TraceEvent> {
+    let n = net.len();
+    let mut exec =
+        ReferenceExecutor::new(net, ChatterProcess::boxed(n, seed, 3), adversary, config).unwrap();
+    let mut events = Vec::new();
+    for _ in 0..rounds {
+        exec.step_traced(&mut events);
+    }
+    events
+}
+
+/// Contract 2, static half: identical event streams across the adversary
+/// menu × CR1–CR4.
+#[test]
+fn engines_emit_identical_event_streams_on_static_runs() {
+    for (topo_seed, n) in [(5u64, 21usize), (17, 29)] {
+        let net = random_net(topo_seed, n);
+        for rule in CollisionRule::ALL {
+            let config = ExecutorConfig {
+                rule,
+                ..ExecutorConfig::default()
+            };
+            for (name, make) in adversary_menu(topo_seed ^ 0xC3) {
+                let seed = topo_seed.wrapping_mul(31) ^ 7;
+                let optimized = collect_optimized(&net, seed, make(), config, 40);
+                let reference = collect_reference(&net, seed, make(), config, 40);
+                assert_eq!(
+                    first_divergence(&optimized, &reference),
+                    None,
+                    "n={n} {name} {rule:?}: event streams diverged"
+                );
+                assert!(
+                    !optimized.is_empty(),
+                    "n={n} {name} {rule:?}: stream must be non-trivial"
+                );
+            }
+        }
+    }
+}
+
+/// A 3-epoch churn schedule with short spans so a 40-round run crosses
+/// several boundaries.
+fn churn3(net: &DualGraph, seed: u64) -> TopologySchedule {
+    generators::churn_schedule(
+        net,
+        generators::ChurnParams {
+            epochs: 3,
+            span: 4,
+            rewire_fraction: 0.5,
+        },
+        seed,
+    )
+}
+
+/// A fault plan exercising crash/recovery plus the Byzantine roles
+/// (jammer, spammer, equivocator, forger) on deterministically chosen
+/// non-source nodes.
+fn byzantine_mixed_plan(n: usize, seed: u64) -> FaultPlan {
+    let pick = |k: u64| NodeId(1 + ((seed / (k + 1) + 3 * k) % (n as u64 - 1)) as u32);
+    let junk = PayloadSet::only(PayloadId(9));
+    FaultPlan::none()
+        .crash(pick(0), 2)
+        .recover(pick(0), 9)
+        .jam(pick(1), 5)
+        .spam(pick(2), 7, junk)
+        .equivocate(pick(3), 4, junk, PayloadSet::only(PayloadId(11)))
+        .forge(pick(4), 6, PayloadSet::only(PayloadId(13)))
+}
+
+/// Drives a [`ReferenceExecutor`] through schedule + plan with the same
+/// [`DynamicsCursor`] the optimized runner uses, emitting the same
+/// wrapper-level `EpochSwitch`/`Fault` events at the same stream
+/// positions (before the round's own events).
+struct TracedDynamicReference<'a> {
+    exec: ReferenceExecutor<'a>,
+    cursor: DynamicsCursor<'a>,
+}
+
+impl<'a> TracedDynamicReference<'a> {
+    fn new(
+        schedule: &'a TopologySchedule,
+        seed: u64,
+        adversary: Box<dyn Adversary>,
+        config: ExecutorConfig,
+        plan: FaultPlan,
+    ) -> Self {
+        let n = schedule.node_count();
+        let mut exec = ReferenceExecutor::new(
+            schedule.epoch(0).network(),
+            ChatterProcess::boxed(n, seed, 3),
+            adversary,
+            config,
+        )
+        .unwrap();
+        let mut cursor = DynamicsCursor::new(Some(schedule), plan, false);
+        cursor.apply_initial(|node, role| exec.set_role(node, role));
+        TracedDynamicReference { exec, cursor }
+    }
+
+    fn step_traced<S: TraceSink>(&mut self, sink: &mut S) {
+        let t = self.exec.round() + 1;
+        let (swap, fired) = self.cursor.advance(t);
+        if let Some(net) = swap {
+            self.exec.set_network(net);
+            if S::ENABLED {
+                sink.emit(TraceEvent::EpochSwitch {
+                    round: t,
+                    epoch: self.cursor.epoch() as u32,
+                });
+            }
+        }
+        for i in fired {
+            let e = self.cursor.events()[i];
+            self.exec.set_role(e.node, e.role);
+            if S::ENABLED {
+                sink.emit(TraceEvent::Fault {
+                    round: t,
+                    node: e.node,
+                    role: e.role.into(),
+                });
+            }
+        }
+        self.exec.step_traced(sink);
+    }
+}
+
+/// Contract 2, dynamic half: identical event streams through epoch
+/// switches, crash/recovery, and Byzantine roles, across the menu.
+#[test]
+fn engines_emit_identical_event_streams_under_dynamics_and_byzantine_faults() {
+    for (topo_seed, n) in [(7u64, 21usize), (23, 29)] {
+        let net = random_net(topo_seed, n);
+        let schedule = churn3(&net, topo_seed ^ 0x77);
+        let plan = byzantine_mixed_plan(n, topo_seed);
+        for rule in CollisionRule::ALL {
+            let config = ExecutorConfig {
+                rule,
+                ..ExecutorConfig::default()
+            };
+            for (name, make) in adversary_menu(topo_seed ^ 0x3C) {
+                let seed = topo_seed.wrapping_mul(41) ^ 5;
+
+                let mut optimized_exec = DynamicExecutor::from_slots(
+                    &schedule,
+                    ChatterProcess::slots(n, seed, 3),
+                    make(),
+                    config,
+                    plan.clone(),
+                )
+                .unwrap();
+                let mut optimized: Vec<TraceEvent> = Vec::new();
+                for _ in 0..40 {
+                    optimized_exec.step_traced(&mut optimized);
+                }
+
+                let mut reference_exec =
+                    TracedDynamicReference::new(&schedule, seed, make(), config, plan.clone());
+                let mut reference: Vec<TraceEvent> = Vec::new();
+                for _ in 0..40 {
+                    reference_exec.step_traced(&mut reference);
+                }
+
+                assert_eq!(
+                    first_divergence(&optimized, &reference),
+                    None,
+                    "n={n} {name} {rule:?}: dynamic event streams diverged"
+                );
+                assert!(
+                    optimized
+                        .iter()
+                        .any(|e| matches!(e, TraceEvent::EpochSwitch { .. })),
+                    "n={n} {name} {rule:?}: run must cross an epoch boundary"
+                );
+                assert!(
+                    optimized
+                        .iter()
+                        .any(|e| matches!(e, TraceEvent::Fault { .. })),
+                    "n={n} {name} {rule:?}: run must fire fault events"
+                );
+            }
+        }
+    }
+}
+
+/// A seeded mutation (perturbed adversary seed on the reference side)
+/// must be localized by [`first_divergence`] to a concrete first event —
+/// the trace-diff workflow's demonstration that real divergence is caught
+/// and pinpointed, not summarized away.
+#[test]
+fn first_divergence_localizes_a_seeded_mutation() {
+    let net = random_net(13, 25);
+    let config = ExecutorConfig::default();
+    let optimized = collect_optimized(&net, 7, Box::new(RandomDelivery::new(0.5, 7)), config, 60);
+    let reference = collect_reference(
+        &net,
+        7,
+        Box::new(RandomDelivery::new(0.5, 7 ^ 0x5EED)),
+        config,
+        60,
+    );
+    let div = first_divergence(&optimized, &reference)
+        .expect("perturbed adversary seed must diverge the streams");
+    assert!(
+        div.index < optimized.len().max(reference.len()),
+        "divergence must name a position inside the run: {div}"
+    );
+    // The prefix up to the divergence must genuinely agree.
+    let k = div.index.min(optimized.len()).min(reference.len());
+    assert_eq!(optimized[..k], reference[..k], "prefix before divergence");
+}
