@@ -13,7 +13,12 @@ fn cfg() -> Config {
     Config {
         determinism_paths: vec!["crates/sim/src".into()],
         panic_paths: vec!["crates/sim/src".into()],
-        hot_functions: vec!["Executor::step".into(), "Executor::step_traced".into()],
+        hot_functions: vec![
+            "Executor::step".into(),
+            "Executor::step_traced".into(),
+            "Histogram::record".into(),
+            "WindowedStats::push".into(),
+        ],
         index_bound_comments: true,
         ..Config::default()
     }
@@ -83,6 +88,31 @@ fn hot_alloc_positive_fixture_fires() {
 #[test]
 fn hot_alloc_negative_fixture_is_clean() {
     let fs = analyze("hot_alloc_ok.rs", include_str!("fixtures/hot_alloc_ok.rs"));
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn metrics_hot_positive_fixture_fires() {
+    let fs = analyze(
+        "metrics_hot_bad.rs",
+        include_str!("fixtures/metrics_hot_bad.rs"),
+    );
+    let hits = unwaived(&fs, "hot-alloc");
+    // format! + .to_vec in Histogram::record, Vec::with_capacity in
+    // WindowedStats::push — one per line.
+    assert_eq!(hits.len(), 3, "{fs:?}");
+    assert!(hits.iter().any(|f| f.message.contains("Histogram::record")));
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("WindowedStats::push")));
+}
+
+#[test]
+fn metrics_hot_negative_fixture_is_clean() {
+    let fs = analyze(
+        "metrics_hot_ok.rs",
+        include_str!("fixtures/metrics_hot_ok.rs"),
+    );
     assert!(fs.is_empty(), "{fs:?}");
 }
 

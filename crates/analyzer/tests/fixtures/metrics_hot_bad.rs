@@ -1,0 +1,27 @@
+//! Positive fixture: allocation inside the metrics hot set
+//! (`Histogram::record` / `WindowedStats::push` in the test config).
+//! These run once per round per instrumented session, so an allocation
+//! here multiplies by every benchmark trial.
+
+struct Histogram {
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    fn record(&mut self, value: u64) {
+        let label = format!("bucket for {value}");
+        let resized = self.counts.to_vec();
+        let _ = (label, resized);
+    }
+}
+
+struct WindowedStats {
+    ring: Vec<u32>,
+}
+
+impl WindowedStats {
+    fn push(&mut self, sample: u32) {
+        self.ring = Vec::with_capacity(self.ring.len() + 1);
+        self.ring.push(sample);
+    }
+}

@@ -1,0 +1,37 @@
+//! Negative fixture: the metrics hot set stays allocation-free by
+//! writing into storage sized at construction; construction itself is
+//! outside the hot set and may allocate. Zero findings.
+
+struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        // Cold path: the bucket array is sized once, here.
+        Histogram {
+            counts: Vec::with_capacity(1920),
+            count: 0,
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        let idx = (value % 1920) as usize;
+        self.counts[idx] += 1; // bound: idx = value % 1920 < counts.len()
+        self.count += 1;
+    }
+}
+
+struct WindowedStats {
+    ring: Vec<u32>,
+    pos: usize,
+}
+
+impl WindowedStats {
+    fn push(&mut self, sample: u32) {
+        // Overwrite in place: the ring never grows after construction.
+        self.ring[self.pos] = sample; // bound: pos is reduced mod ring.len()
+        self.pos = (self.pos + 1) % self.ring.len();
+    }
+}

@@ -7,9 +7,9 @@
 //!
 //! `NAME` is a csv-name prefix (e.g. `thm12`); omit for all experiments.
 //! `--bench-engine`, `--bench-stream`, `--bench-dynamics`,
-//! `--bench-reliability`, `--bench-byzantine`, and/or `--bench-trace`
-//! skip the tables and
-//! write one machine-readable `BENCH_engine.json` (schema v7): the engine
+//! `--bench-reliability`, `--bench-byzantine`, `--bench-trace`, and/or
+//! `--bench-metrics` skip the tables and
+//! write one machine-readable `BENCH_engine.json` (schema v8): the engine
 //! section has rounds/sec, ns/round, and speedups vs the boxed/PR 1/
 //! reference engines; the stream section has the pipelined multi-message
 //! family (n × k payload grid: makespan, throughput, MAC ack latency, and
@@ -23,14 +23,33 @@
 //! overhead vs the ack-gap baseline); the trace section has the
 //! observability layer's overhead envelope (untraced vs `NullSink` vs
 //! `MetricsSink` flooding rounds) and the per-phase wall-clock profile
-//! (transmit-sweep vs receive-sweep vs adversary-sample). Future PRs
-//! compare against all six trajectories.
+//! (transmit-sweep vs receive-sweep vs adversary-sample); the
+//! metrics_overhead section has the reliability stream workload with
+//! windowed health stats + a per-round registry update vs the identical
+//! uninstrumented session. Future PRs compare against all seven
+//! trajectories.
+//!
+//! Report mode (rides along with the table runner):
+//!
+//! * `--report md|json PATH` — renders the selected experiments into one
+//!   deterministic report document (no timestamps, no timings): two runs
+//!   at the same revision produce byte-identical files.
 //!
 //! Observability modes (no tables, no JSON document):
 //!
 //! * `--trace-jsonl PATH` — runs the reliability stream workload traced
 //!   into a [`dualgraph_sim::JsonlSink`] and writes the JSONL capture to
-//!   `PATH`;
+//!   `PATH` (refusing to write a capture without the `trace-v1` header);
+//! * `--trace-check PATH` — validates that `PATH` starts with the
+//!   `trace-v1` schema header, exiting 1 on a missing or foreign header;
+//! * `--bench-compare BASELINE.json [--compare-threshold RATIO]` —
+//!   re-times the enum engine series and diffs it against the checked-in
+//!   baseline, exiting 1 if any `(workload, n)` series is more than
+//!   `RATIO` (default 1.25) slower, and 2 if the baseline is unreadable
+//!   or from a different schema revision;
+//! * `--gate-metrics-overhead [RATIO]` — measures the health + registry
+//!   instrumentation overhead on the reliability stream workload at
+//!   `n = 1025` and exits 1 if it exceeds `RATIO` (default 1.10);
 //! * `--trace-diff` — replays the chatter workload on the optimized and
 //!   reference engines and diffs their event streams, exiting 1 at the
 //!   first diverging event (the healthy outcome is silence);
@@ -454,6 +473,42 @@ fn bench_trace_entries() -> (String, String) {
     (overhead.join(",\n"), phases.join(",\n"))
 }
 
+/// Measures the metrics/health observability family (see
+/// `metrics_bench`): the reliability stream workload with windowed health
+/// stats and a per-round registry update vs the identical uninstrumented
+/// session, as JSON entries for the `metrics_overhead` section. The
+/// acceptance target is `metrics_overhead ≤ 1.10` at `n = 1025`.
+fn bench_metrics_entries() -> String {
+    use dualgraph_bench::engine_bench::{bench_rounds_for as rounds_for, BENCH_SIZES as SIZES};
+    use dualgraph_bench::metrics_bench;
+    SIZES
+        .iter()
+        .map(|&n| {
+            let m = metrics_bench::measure_metrics_overhead(n, rounds_for(n), 3);
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"workload\": \"reliability-churn16-crash10pct-bursty\",\n",
+                    "      \"n\": {},\n",
+                    "      \"k\": {},\n",
+                    "      \"rounds\": {},\n",
+                    "      \"plain_ns_per_round\": {:.1},\n",
+                    "      \"instrumented_ns_per_round\": {:.1},\n",
+                    "      \"metrics_overhead\": {:.3}\n",
+                    "    }}"
+                ),
+                m.n,
+                m.k,
+                m.plain.rounds,
+                m.plain.ns_per_round(),
+                m.instrumented.ns_per_round(),
+                m.ratio(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
 /// Assembles the [`dualgraph_bench::BENCH_SCHEMA`] `BENCH_engine.json`
 /// document from whichever sections were requested.
 fn bench_json(
@@ -463,6 +518,7 @@ fn bench_json(
     reliability: bool,
     byzantine: bool,
     trace: bool,
+    metrics: bool,
 ) -> String {
     let mut sections: Vec<String> = Vec::new();
     let mut rss = "null".to_string();
@@ -500,6 +556,12 @@ fn bench_json(
         sections.push(format!("  \"trace_measurements\": [\n{overhead}\n  ]"));
         sections.push(format!("  \"phase_profile\": [\n{phases}\n  ]"));
     }
+    if metrics {
+        sections.push(format!(
+            "  \"metrics_overhead\": [\n{}\n  ]",
+            bench_metrics_entries()
+        ));
+    }
     if !engine {
         rss = engine_bench::peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
     }
@@ -522,9 +584,15 @@ fn main() {
     let mut bench_reliability = false;
     let mut bench_byzantine = false;
     let mut bench_trace = false;
+    let mut bench_metrics = false;
     let mut trace_jsonl: Option<PathBuf> = None;
+    let mut trace_check: Option<PathBuf> = None;
     let mut trace_diff_mode: Option<bool> = None; // Some(mutated?)
     let mut gate_null: Option<f64> = None;
+    let mut gate_metrics: Option<f64> = None;
+    let mut report_mode: Option<(String, PathBuf)> = None;
+    let mut bench_compare: Option<PathBuf> = None;
+    let mut compare_threshold = dualgraph_bench::compare::DEFAULT_THRESHOLD;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -543,6 +611,52 @@ fn main() {
                 trace_jsonl = Some(PathBuf::from(
                     args.get(i).expect("--trace-jsonl needs a path"),
                 ));
+            }
+            "--trace-check" => {
+                i += 1;
+                trace_check = Some(PathBuf::from(
+                    args.get(i).expect("--trace-check needs a path"),
+                ));
+            }
+            "--report" => {
+                i += 1;
+                let format = args
+                    .get(i)
+                    .expect("--report needs a format (md|json)")
+                    .clone();
+                assert!(
+                    format == "md" || format == "json",
+                    "--report format must be md or json, got {format:?}"
+                );
+                i += 1;
+                let path = PathBuf::from(args.get(i).expect("--report needs a path"));
+                report_mode = Some((format, path));
+            }
+            "--bench-compare" => {
+                i += 1;
+                bench_compare = Some(PathBuf::from(
+                    args.get(i).expect("--bench-compare needs a baseline path"),
+                ));
+            }
+            "--compare-threshold" => {
+                i += 1;
+                compare_threshold = args
+                    .get(i)
+                    .expect("--compare-threshold needs a ratio")
+                    .parse()
+                    .expect("--compare-threshold RATIO must be a number");
+            }
+            "--gate-metrics-overhead" => {
+                let threshold = args
+                    .get(i + 1)
+                    .filter(|a| !a.starts_with("--"))
+                    .map(|a| {
+                        i += 1;
+                        a.parse()
+                            .expect("--gate-metrics-overhead RATIO must be a number")
+                    })
+                    .unwrap_or(1.10);
+                gate_metrics = Some(threshold);
             }
             "--trace-diff" => trace_diff_mode = Some(false),
             "--trace-diff-mutated" => trace_diff_mode = Some(true),
@@ -563,13 +677,15 @@ fn main() {
             | "--bench-dynamics"
             | "--bench-reliability"
             | "--bench-byzantine"
-            | "--bench-trace") => {
+            | "--bench-trace"
+            | "--bench-metrics") => {
                 match flag {
                     "--bench-engine" => bench_engine = true,
                     "--bench-stream" => bench_stream = true,
                     "--bench-dynamics" => bench_dynamics = true,
                     "--bench-byzantine" => bench_byzantine = true,
                     "--bench-trace" => bench_trace = true,
+                    "--bench-metrics" => bench_metrics = true,
                     _ => bench_reliability = true,
                 }
                 if let Some(explicit) = args.get(i + 1).filter(|a| !a.starts_with("--")) {
@@ -583,10 +699,14 @@ fn main() {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: experiments [--quick] [--table NAME] [--csv DIR | --no-csv] \
+                     [--report md|json PATH] \
                      [--bench-engine [PATH]] [--bench-stream [PATH]] [--bench-dynamics [PATH]] \
                      [--bench-reliability [PATH]] [--bench-byzantine [PATH]] \
-                     [--bench-trace [PATH]] [--trace-jsonl PATH] [--trace-diff] \
-                     [--trace-diff-mutated] [--gate-null-overhead [RATIO]]"
+                     [--bench-trace [PATH]] [--bench-metrics [PATH]] \
+                     [--bench-compare BASELINE.json] [--compare-threshold RATIO] \
+                     [--trace-jsonl PATH] [--trace-check PATH] [--trace-diff] \
+                     [--trace-diff-mutated] [--gate-null-overhead [RATIO]] \
+                     [--gate-metrics-overhead [RATIO]]"
                 );
                 std::process::exit(2);
             }
@@ -596,6 +716,8 @@ fn main() {
 
     if let Some(path) = trace_jsonl {
         let capture = dualgraph_bench::trace_bench::capture_stream_jsonl(65, 16);
+        dualgraph_sim::check_trace_schema(&capture)
+            .expect("fresh capture must carry the trace-v1 schema header");
         if let Err(e) = std::fs::write(&path, &capture) {
             eprintln!("error: failed to write {}: {e}", path.display());
             std::process::exit(1);
@@ -603,7 +725,87 @@ fn main() {
         eprintln!(
             "wrote {} ({} events)",
             path.display(),
-            capture.lines().count()
+            capture.lines().count().saturating_sub(1)
+        );
+        return;
+    }
+
+    if let Some(path) = trace_check {
+        let doc = match std::fs::read_to_string(&path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("error: failed to read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        match dualgraph_sim::check_trace_schema(&doc) {
+            Ok(()) => {
+                println!(
+                    "trace-check: {} ok ({}, {} event lines)",
+                    path.display(),
+                    dualgraph_sim::TRACE_SCHEMA,
+                    doc.lines().count().saturating_sub(1)
+                );
+            }
+            Err(e) => {
+                eprintln!("trace-check: {} REJECTED — {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if let Some(baseline_path) = bench_compare {
+        use dualgraph_bench::compare;
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: failed to read {}: {e}", baseline_path.display());
+                std::process::exit(2);
+            }
+        };
+        let baseline = match compare::extract_engine_series(&text) {
+            Ok(series) => series,
+            Err(e) => {
+                eprintln!("bench-compare: {e}");
+                std::process::exit(2);
+            }
+        };
+        let fresh = compare::fresh_engine_series();
+        let rows = compare::compare_series(&baseline, &fresh);
+        if rows.is_empty() {
+            eprintln!("bench-compare: no overlapping (workload, n) series to compare");
+            std::process::exit(2);
+        }
+        let mut regressed = 0usize;
+        for row in &rows {
+            let status = if row.regressed(compare_threshold) {
+                regressed += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "bench-compare: {:<28} n={:<5} baseline={:>10.1}ns/round \
+                 fresh={:>10.1}ns/round ratio={:.3} (limit {:.3}) {status}",
+                row.workload,
+                row.n,
+                row.baseline_ns,
+                row.fresh_ns,
+                row.ratio(),
+                compare_threshold,
+            );
+        }
+        if regressed > 0 {
+            println!(
+                "bench-compare: FAIL — {regressed}/{} series regressed past {compare_threshold:.2}x",
+                rows.len()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "bench-compare: ok — {} series within {compare_threshold:.2}x",
+            rows.len()
         );
         return;
     }
@@ -660,6 +862,27 @@ fn main() {
         return;
     }
 
+    if let Some(threshold) = gate_metrics {
+        let n = 1025;
+        let rounds = engine_bench::bench_rounds_for(n);
+        let m = dualgraph_bench::metrics_bench::measure_metrics_overhead(n, rounds, 3);
+        println!(
+            "metrics-overhead gate: n={} k={} rounds={rounds} plain={:.1}ns/round \
+             instrumented={:.1}ns/round ({:.3}x, limit {threshold:.3})",
+            m.n,
+            m.k,
+            m.plain.ns_per_round(),
+            m.instrumented.ns_per_round(),
+            m.ratio(),
+        );
+        if m.ratio() > threshold {
+            println!("metrics-overhead gate: FAIL");
+            std::process::exit(1);
+        }
+        println!("metrics-overhead gate: ok");
+        return;
+    }
+
     if let Some(path) = bench_path {
         let json = bench_json(
             bench_engine,
@@ -668,6 +891,7 @@ fn main() {
             bench_reliability,
             bench_byzantine,
             bench_trace,
+            bench_metrics,
         );
         print!("{json}");
         if let Err(e) = std::fs::write(&path, &json) {
@@ -695,6 +919,7 @@ fn main() {
         scale,
         selected.len()
     );
+    let mut collected: Vec<(&str, dualgraph_bench::report::Table)> = Vec::new();
     for (name, runner) in selected {
         let start = std::time::Instant::now();
         let table = runner(scale);
@@ -705,5 +930,25 @@ fn main() {
                 eprintln!("warning: failed to write {name}.csv: {e}");
             }
         }
+        if report_mode.is_some() {
+            collected.push((name, table));
+        }
+    }
+    if let Some((format, path)) = report_mode {
+        // Timings are printed above but never enter tables, so the report
+        // is a deterministic function of the experiment results.
+        let rendered = match format.as_str() {
+            "md" => dualgraph_bench::report::render_markdown_report(&collected),
+            _ => dualgraph_bench::report::render_json_report(&collected),
+        };
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} ({format}, {} experiments)",
+            path.display(),
+            collected.len()
+        );
     }
 }

@@ -13,12 +13,14 @@
 /// the emitted sections or series names; the checked-in snapshot must be
 /// regenerated in the same PR (a bench test pins the file to this
 /// constant).
-pub const BENCH_SCHEMA: &str = "dualgraph-bench-engine/7";
+pub const BENCH_SCHEMA: &str = "dualgraph-bench-engine/8";
 
 pub mod byzantine_bench;
+pub mod compare;
 pub mod dynamics_bench;
 pub mod engine_bench;
 pub mod experiments;
+pub mod metrics_bench;
 pub mod pr1_engine;
 pub mod reliability_bench;
 pub mod report;

@@ -125,6 +125,130 @@ impl Table {
         std::fs::create_dir_all(dir)?;
         std::fs::write(dir.join(format!("{name}.csv")), self.to_csv())
     }
+
+    /// Renders a GitHub-flavored markdown table (pipe syntax; pipes in
+    /// cells are escaped).
+    pub fn to_markdown(&self) -> String {
+        fn esc(cell: &str) -> String {
+            cell.replace('|', "\\|")
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        if !self.note.is_empty() {
+            let _ = writeln!(out, "\n{}", self.note);
+        }
+        let _ = writeln!(out);
+        let head: Vec<String> = self.columns.iter().map(|c| esc(c)).collect();
+        let _ = writeln!(out, "| {} |", head.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns
+                .iter()
+                .map(|_| " --- ")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| esc(c)).collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+}
+
+/// Escapes a string for a JSON string literal (quotes, backslashes, and
+/// control characters).
+fn json_esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full experiment suite as one markdown report document.
+///
+/// The output is a pure function of the tables: no timestamps, no
+/// wall-clock timings, no environment strings. Two runs of the same
+/// deterministic experiments produce byte-identical reports (pinned by a
+/// test and by the CI artifact diff).
+pub fn render_markdown_report(experiments: &[(&str, Table)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# dualgraph experiment report");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Schema `{}` — {} experiment(s). Deterministic: regenerate with \
+         `experiments --report md PATH`; bytes must not change for a fixed \
+         code revision.",
+        crate::BENCH_SCHEMA,
+        experiments.len()
+    );
+    for (name, table) in experiments {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "<!-- experiment: {name} -->");
+        out.push_str(&table.to_markdown());
+    }
+    out
+}
+
+/// Renders the full experiment suite as one JSON report document
+/// (schema-tagged; same determinism contract as
+/// [`render_markdown_report`]).
+pub fn render_json_report(experiments: &[(&str, Table)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{}\",", crate::BENCH_SCHEMA);
+    let _ = writeln!(out, "  \"experiments\": [");
+    for (i, (name, table)) in experiments.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", json_esc(name));
+        let _ = writeln!(out, "      \"title\": \"{}\",", json_esc(&table.title));
+        let _ = writeln!(out, "      \"note\": \"{}\",", json_esc(&table.note));
+        let _ = writeln!(
+            out,
+            "      \"columns\": [{}],",
+            table
+                .columns
+                .iter()
+                .map(|c| format!("\"{}\"", json_esc(c)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(out, "      \"rows\": [");
+        for (j, row) in table.rows.iter().enumerate() {
+            let cells = row
+                .iter()
+                .map(|c| format!("\"{}\"", json_esc(c)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                out,
+                "        [{cells}]{}",
+                if j + 1 < table.rows.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if i + 1 < experiments.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
 }
 
 #[cfg(test)]
@@ -167,5 +291,69 @@ mod tests {
         t.write_csv(&dir, "demo").unwrap();
         let content = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
         assert_eq!(content, "x\n1\n");
+    }
+
+    #[test]
+    fn markdown_table_escapes_pipes() {
+        let mut t = Table::new("demo", "a note", &["n", "what"]);
+        t.row(vec!["8".into(), "a|b".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### demo\n"));
+        assert!(md.contains("a note"));
+        assert!(md.contains("| n | what |"));
+        assert!(md.contains("| --- | --- |"));
+        assert!(md.contains("a\\|b"));
+    }
+
+    #[test]
+    fn json_report_is_parseable_and_escaped() {
+        let mut t = Table::new("demo \"quoted\"", "note\nwith newline", &["x"]);
+        t.row(vec!["a\\b".into()]);
+        let json = render_json_report(&[("demo", t)]);
+        let doc = crate::compare::parse_json(&json).expect("report JSON parses");
+        assert_eq!(
+            doc.get("schema")
+                .and_then(crate::compare::JsonValue::as_str),
+            Some(crate::BENCH_SCHEMA)
+        );
+        let exps = doc
+            .get("experiments")
+            .and_then(crate::compare::JsonValue::as_arr)
+            .unwrap();
+        assert_eq!(exps.len(), 1);
+        assert_eq!(
+            exps[0]
+                .get("title")
+                .and_then(crate::compare::JsonValue::as_str),
+            Some("demo \"quoted\"")
+        );
+        assert_eq!(
+            exps[0]
+                .get("note")
+                .and_then(crate::compare::JsonValue::as_str),
+            Some("note\nwith newline")
+        );
+    }
+
+    /// The `--report` acceptance bar: with a fixed code revision and
+    /// seed, rendering the same experiment twice produces byte-identical
+    /// markdown and JSON. Tables carry simulation results only (timings
+    /// are printed outside tables), so any nondeterminism here is a real
+    /// engine regression.
+    #[test]
+    fn reports_are_byte_identical_across_runs() {
+        use crate::workloads::Scale;
+        let (name, runner) = crate::experiments::all()
+            .into_iter()
+            .next()
+            .expect("at least one experiment");
+        let a = runner(Scale::Quick);
+        let b = runner(Scale::Quick);
+        let md_a = render_markdown_report(&[(name, a.clone())]);
+        let md_b = render_markdown_report(&[(name, b.clone())]);
+        assert_eq!(md_a.as_bytes(), md_b.as_bytes(), "markdown report drifted");
+        let json_a = render_json_report(&[(name, a)]);
+        let json_b = render_json_report(&[(name, b)]);
+        assert_eq!(json_a.as_bytes(), json_b.as_bytes(), "json report drifted");
     }
 }

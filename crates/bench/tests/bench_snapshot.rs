@@ -3,17 +3,55 @@
 //! regenerating the snapshot (or vice versa) fails here instead of
 //! silently shipping a trajectory file no tool can compare against.
 
+const REGEN_HINT: &str = "regenerate with `cargo run --release -p dualgraph-bench \
+     --bin experiments -- --bench-engine --bench-stream --bench-dynamics \
+     --bench-reliability --bench-byzantine --bench-trace --bench-metrics`";
+
+fn snapshot() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::read_to_string(path).expect("BENCH_engine.json is checked in at the repo root")
+}
+
 #[test]
 fn checked_in_snapshot_matches_emitted_schema() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    let contents =
-        std::fs::read_to_string(path).expect("BENCH_engine.json is checked in at the repo root");
+    let contents = snapshot();
     let tag = format!("\"schema\": \"{}\"", dualgraph_bench::BENCH_SCHEMA);
     assert!(
         contents.contains(&tag),
-        "BENCH_engine.json is stale (expected {tag}): regenerate with \
-         `cargo run --release -p dualgraph-bench --bin experiments -- \
-         --bench-engine --bench-stream --bench-dynamics --bench-reliability \
-         --bench-byzantine --bench-trace`"
+        "BENCH_engine.json is stale (expected {tag}): {REGEN_HINT}"
     );
+}
+
+/// Schema v8 added the `metrics_overhead` series; a snapshot claiming v8
+/// without it would break `--bench-compare` consumers.
+#[test]
+fn checked_in_snapshot_has_the_v8_sections() {
+    let contents = snapshot();
+    for section in [
+        "\"measurements\"",
+        "\"stream_measurements\"",
+        "\"dynamics_measurements\"",
+        "\"reliability_measurements\"",
+        "\"byzantine_measurements\"",
+        "\"trace_measurements\"",
+        "\"phase_profile\"",
+        "\"metrics_overhead\"",
+    ] {
+        assert!(
+            contents.contains(section),
+            "BENCH_engine.json is missing the {section} section: {REGEN_HINT}"
+        );
+    }
+}
+
+/// The snapshot must parse with the same hand-rolled reader
+/// `--bench-compare` uses, and expose the engine series it diffs.
+#[test]
+fn checked_in_snapshot_is_readable_by_the_compare_tool() {
+    let series = dualgraph_bench::compare::extract_engine_series(&snapshot())
+        .expect("snapshot parses and matches this build's schema");
+    assert!(!series.is_empty(), "engine series present");
+    for point in &series {
+        assert!(point.ns_per_round > 0.0, "series carries real timings");
+    }
 }

@@ -24,11 +24,12 @@ use dualgraph_net::{DualGraph, NodeId, TopologySchedule};
 use dualgraph_sim::automata::{PipelinedFlooder, PipelinedHarmonic};
 use dualgraph_sim::rng::{derive_seed, derive_seed2};
 use dualgraph_sim::{
-    Adversary, BuildExecutorError, CollisionRule, DeliveryVerdict, DynamicsCursor, Executor,
-    ExecutorConfig, FaultPlan, MacEvent, MacLayer, MacStats, NodeRole, NullSink, PayloadId,
-    PayloadSet, ProcessId, ProcessSlot, QuorumPolicy, QuorumProcess, QuorumStage,
-    ReliabilityBackend, ReliabilityEntry, ReliabilityStats, ReliableBroadcast, StartRule,
-    TraceEvent, TraceLevel, TraceSink, MAX_PAYLOADS,
+    Adversary, BuildExecutorError, CollisionRule, DeliveryVerdict, DynamicsCursor, EpochHealth,
+    Executor, ExecutorConfig, FaultPlan, HealthConfig, HealthSample, Histogram, MacEvent, MacLayer,
+    MacStats, NodeRole, NullSink, PayloadId, PayloadSet, ProcessId, ProcessSlot, QuorumPolicy,
+    QuorumProcess, QuorumStage, ReliabilityBackend, ReliabilityEntry, ReliabilityStats,
+    ReliableBroadcast, StartRule, StreamHealthReport, TraceEvent, TraceLevel, TraceSink,
+    WindowedStats, MAX_PAYLOADS,
 };
 
 use crate::algorithms::period_for;
@@ -184,6 +185,13 @@ pub struct StreamConfig {
     /// [`RetryPolicy`] converts via `Into`, so PR 5 call shapes keep
     /// working as `Some(policy.into())` / `with_reliability(policy)`.
     pub reliability: Option<ReliabilityBackend>,
+    /// Stream-health instrumentation (`None` = off — the historical
+    /// behavior, bit for bit, at zero cost). With a [`HealthConfig`] the
+    /// session samples sliding-window throughput/drop/retry rates, the
+    /// pending-retry and pending-ack queue depths, and a per-epoch
+    /// ack-latency histogram every round, surfaced through
+    /// [`StreamOutcome::health`].
+    pub health: Option<HealthConfig>,
 }
 
 impl Default for StreamConfig {
@@ -200,6 +208,7 @@ impl Default for StreamConfig {
             seed: 0,
             dynamics: None,
             reliability: None,
+            health: None,
         }
     }
 }
@@ -227,6 +236,12 @@ impl StreamConfig {
     /// [`QuorumPolicy`] converts).
     pub fn with_reliability(mut self, backend: impl Into<ReliabilityBackend>) -> Self {
         self.reliability = Some(backend.into());
+        self
+    }
+
+    /// Enables stream-health instrumentation.
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = Some(health);
         self
     }
 }
@@ -353,6 +368,8 @@ pub struct StreamOutcome {
     pub epochs: Vec<EpochStreamStats>,
     /// Per-payload delivery-guarantee verdicts (reliability runs only).
     pub reliability: Option<ReliabilityReport>,
+    /// Stream-health measurements (only with [`StreamConfig::health`]).
+    pub health: Option<StreamHealthReport>,
 }
 
 /// The reliability layer's end-of-run report: one
@@ -448,6 +465,78 @@ pub struct StreamSession<'a> {
     seg_ack_base: usize,
     seg_retries: usize,
     seg_delivered: usize,
+    /// Stream-health instrumentation state (`None` = off).
+    health: Option<HealthState>,
+}
+
+/// Session-side stream-health instrumentation: the sliding-window
+/// round-rate instruments, the run-wide and per-epoch ack-latency
+/// histograms, and the queue-depth high-water marks. Everything is
+/// updated by [`StreamSession::observe_health`] once per round with
+/// O(k) delta scans — no allocation after construction.
+struct HealthState {
+    window: WindowedStats,
+    /// Run-wide bcast → ack latency histogram.
+    ack_all: Histogram,
+    /// Ack-latency histogram of the epoch segment being accumulated.
+    ack_seg: Histogram,
+    /// Closed per-epoch-segment digests.
+    epochs: Vec<EpochHealth>,
+    /// Epoch index the open segment belongs to.
+    seg_epoch: u32,
+    /// MAC ack records consumed into the histograms so far.
+    ack_base: usize,
+    /// Previous-round totals, for per-round deltas.
+    prev_completions: usize,
+    prev_drops: usize,
+    prev_retries: u64,
+    /// Open segment tallies.
+    seg_deliveries: u64,
+    seg_drops: u64,
+    seg_retries: u64,
+    /// Queue-depth and throughput high-water marks.
+    peak_pending_retries: usize,
+    peak_pending_acks: usize,
+    peak_throughput: f64,
+}
+
+impl HealthState {
+    fn new(config: HealthConfig, initial_completions: usize) -> Self {
+        HealthState {
+            window: WindowedStats::new(config.window),
+            ack_all: Histogram::new(),
+            ack_seg: Histogram::new(),
+            epochs: Vec::new(),
+            seg_epoch: 0,
+            ack_base: 0,
+            prev_completions: initial_completions,
+            prev_drops: 0,
+            prev_retries: 0,
+            seg_deliveries: 0,
+            seg_drops: 0,
+            seg_retries: 0,
+            peak_pending_retries: 0,
+            peak_pending_acks: 0,
+            peak_throughput: 0.0,
+        }
+    }
+
+    /// Closes the open epoch segment into [`HealthState::epochs`] and
+    /// opens a fresh one for `next_epoch`.
+    fn flush_epoch(&mut self, next_epoch: u32) {
+        self.epochs.push(EpochHealth {
+            epoch: self.seg_epoch,
+            ack_latency: self.ack_seg.summary(),
+            deliveries: self.seg_deliveries,
+            drops: self.seg_drops,
+            retries: self.seg_retries,
+        });
+        self.ack_seg.clear();
+        self.seg_deliveries = 0;
+        self.seg_drops = 0;
+        self.seg_retries = 0;
+        self.seg_epoch = next_epoch;
+    }
 }
 
 /// Session-side reliability wiring: the [`ReliableBroadcast`] policy
@@ -854,6 +943,15 @@ impl<'a> StreamSession<'a> {
                 next_arrival = plan.len();
             }
         }
+        let health = config.health.map(|h| {
+            HealthState::new(
+                h,
+                stats
+                    .iter()
+                    .filter(|s| s.completion_round.is_some())
+                    .count(),
+            )
+        });
         Ok(StreamSession {
             mac,
             cursor,
@@ -873,6 +971,7 @@ impl<'a> StreamSession<'a> {
             seg_ack_base: 0,
             seg_retries: 0,
             seg_delivered: 0,
+            health,
         })
     }
 
@@ -948,6 +1047,9 @@ impl<'a> StreamSession<'a> {
             self.close_segment(t - 1);
             self.seg_epoch = self.cursor.epoch();
             self.seg_first_round = t;
+            if let Some(h) = self.health.as_mut() {
+                h.flush_epoch(self.cursor.epoch() as u32);
+            }
             if S::ENABLED {
                 sink.emit(TraceEvent::EpochSwitch {
                     round: t,
@@ -1149,6 +1251,78 @@ impl<'a> StreamSession<'a> {
             }
             None => {}
         }
+        // 5. Health sampling (opt-in; no-op without a HealthConfig).
+        self.observe_health();
+    }
+
+    /// Samples this round's health deltas into the windowed instruments:
+    /// delivery/drop/retry rates into the sliding window, queue depths
+    /// against the high-water marks, and freshly completed MAC ack
+    /// latencies into the run-wide and per-epoch histograms. O(k) delta
+    /// scans, no allocation after construction — with health off
+    /// (`None`) the cost is one branch.
+    fn observe_health(&mut self) {
+        let Some(h) = self.health.as_mut() else {
+            return;
+        };
+        // With a reliability layer the delivery signal is the settled
+        // verdict (full coverage may never happen under an adversary that
+        // starves a crashed node); without one it is stream completion.
+        let completions = match &self.reliability {
+            Some(ReliabilityMode::Retry(rel)) => rel.driver.stats().delivered,
+            Some(ReliabilityMode::Quorum(q)) => q
+                .entries
+                .iter()
+                .filter(|e| e.verdict.is_delivered())
+                .count(),
+            None => self
+                .stats
+                .iter()
+                .filter(|s| s.completion_round.is_some())
+                .count(),
+        };
+        let drops = self.stats.iter().filter(|s| s.dropped).count();
+        let retries = match &self.reliability {
+            Some(ReliabilityMode::Retry(rel)) => rel.driver.stats().total_retries,
+            _ => 0,
+        };
+        let sample = HealthSample {
+            deliveries: completions.saturating_sub(h.prev_completions) as u32,
+            drops: drops.saturating_sub(h.prev_drops) as u32,
+            retries: retries.saturating_sub(h.prev_retries) as u32,
+        };
+        h.prev_completions = completions;
+        h.prev_drops = drops;
+        h.prev_retries = retries;
+        h.seg_deliveries += u64::from(sample.deliveries);
+        h.seg_drops += u64::from(sample.drops);
+        h.seg_retries += u64::from(sample.retries);
+        h.window.push(sample);
+        let throughput = h.window.throughput();
+        if throughput > h.peak_throughput {
+            h.peak_throughput = throughput;
+        }
+        let pending_retries = match &self.reliability {
+            Some(ReliabilityMode::Retry(rel)) => rel.driver.open_entries(),
+            Some(ReliabilityMode::Quorum(q)) => {
+                q.entries.iter().filter(|e| !e.verdict.is_final()).count()
+            }
+            None => 0,
+        };
+        if pending_retries > h.peak_pending_retries {
+            h.peak_pending_retries = pending_retries;
+        }
+        let pending_acks = self.mac.pending_acks();
+        if pending_acks > h.peak_pending_acks {
+            h.peak_pending_acks = pending_acks;
+        }
+        let records = self.mac.ack_records();
+        for r in &records[h.ack_base..] {
+            let latency = r.ack_latency();
+            h.ack_all.record(latency);
+            h.ack_seg.record(latency);
+        }
+        h.ack_base = records.len();
     }
 
     /// Drives the loop until settled (or `max_rounds`) and aggregates the
@@ -1171,6 +1345,8 @@ impl<'a> StreamSession<'a> {
             self.step_traced(sink);
         }
         self.close_segment(self.mac.round());
+        let arrivals_attempted = self.next_arrival;
+        let health_state = self.health.take();
         let mut stats = self.stats;
         let reliability = self.reliability.map(|mode| match mode {
             ReliabilityMode::Retry(rel) => {
@@ -1224,6 +1400,26 @@ impl<'a> StreamSession<'a> {
             .iter()
             .filter(|s| !s.dropped && s.completion_round.is_none())
             .count();
+        // The health report uses the *final* dropped flags (a payload the
+        // policy abandoned without ever entering counts as a drop).
+        let health = health_state.map(|mut h| {
+            h.flush_epoch(0);
+            let drops = stats.iter().filter(|s| s.dropped).count();
+            StreamHealthReport {
+                window: h.window.window(),
+                final_throughput: h.window.throughput(),
+                peak_throughput: h.peak_throughput,
+                drop_rate: if arrivals_attempted == 0 {
+                    0.0
+                } else {
+                    drops as f64 / arrivals_attempted as f64
+                },
+                peak_pending_retries: h.peak_pending_retries,
+                peak_pending_acks: h.peak_pending_acks,
+                ack_latency: h.ack_all.summary(),
+                epochs: h.epochs,
+            }
+        });
         let outcome = StreamOutcome {
             payloads: stats,
             rounds_executed: self.mac.round(),
@@ -1231,6 +1427,7 @@ impl<'a> StreamSession<'a> {
             mac: self.mac.stats(),
             epochs: self.epochs,
             reliability,
+            health,
         };
         (outcome, self.mac)
     }
@@ -2071,5 +2268,95 @@ mod tests {
             exec.step();
         }
         assert_eq!(exec.outcome().sends, settled, "all budgets exhausted");
+    }
+
+    #[test]
+    fn health_instrumentation_reports_and_stays_unobtrusive() {
+        let net = generators::line(20, 1);
+        let base = StreamConfig::default().with_k(8);
+        let plain = run_stream(
+            &net,
+            StreamAlgorithm::PipelinedFlooding,
+            Box::new(ReliableOnly::new()),
+            &base,
+        )
+        .unwrap();
+        assert!(plain.health.is_none());
+        let instrumented = run_stream(
+            &net,
+            StreamAlgorithm::PipelinedFlooding,
+            Box::new(ReliableOnly::new()),
+            &base.clone().with_health(HealthConfig { window: 8 }),
+        )
+        .unwrap();
+        // Instrumentation must not perturb the run in any way.
+        assert_eq!(instrumented.payloads, plain.payloads);
+        assert_eq!(instrumented.rounds_executed, plain.rounds_executed);
+        assert_eq!(instrumented.mac, plain.mac);
+        let h = instrumented.health.expect("health enabled");
+        assert_eq!(h.window, 8);
+        assert_eq!(h.drop_rate, 0.0);
+        assert_eq!(h.peak_pending_retries, 0, "no reliability layer");
+        // Reliable line + batched flooding: every tracked bcast's
+        // neighborhood is covered within the same round, so the
+        // end-of-round pending-ack queue is always drained.
+        assert_eq!(h.peak_pending_acks, 0);
+        // All 8 payloads complete together at round 19, inside the final
+        // 8-round window: throughput peaks at 1 payload/round.
+        assert_eq!(h.peak_throughput, 1.0);
+        assert_eq!(h.final_throughput, 1.0);
+        // Static topology: exactly one epoch-0 segment carrying the run.
+        assert_eq!(h.epochs.len(), 1);
+        assert_eq!(h.epochs[0].epoch, 0);
+        assert_eq!(h.epochs[0].deliveries, 8);
+        assert_eq!(h.epochs[0].drops, 0);
+        assert_eq!(h.epochs[0].retries, 0);
+        // Every completed MAC acknowledgment landed in the histograms.
+        assert_eq!(h.ack_latency.count, instrumented.mac.acked as u64);
+        assert_eq!(h.epochs[0].ack_latency.count, h.ack_latency.count);
+        assert!(h.ack_latency.max >= h.ack_latency.p50);
+    }
+
+    #[test]
+    fn health_segments_follow_epoch_switches_and_count_retries() {
+        let line = generators::line(8, 1);
+        let star = generators::star(8);
+        let schedule =
+            TopologySchedule::new(vec![Epoch::new(line, 3), Epoch::new(star, 50)]).unwrap();
+        let config = StreamConfig {
+            k: 4,
+            max_rounds: 200,
+            dynamics: Some(DynamicsConfig::default()),
+            reliability: Some(
+                RetryPolicy::FixedInterval {
+                    interval: 2,
+                    max_retries: 6,
+                }
+                .into(),
+            ),
+            health: Some(HealthConfig { window: 16 }),
+            ..StreamConfig::default()
+        };
+        let outcome = run_stream_scheduled(
+            &schedule,
+            StreamAlgorithm::PipelinedFlooding,
+            Box::new(ReliableOnly::new()),
+            &config,
+        )
+        .unwrap();
+        let h = outcome.health.expect("health enabled");
+        // One health segment per epoch segment, same epoch indices.
+        assert_eq!(h.epochs.len(), outcome.epochs.len());
+        for (hs, es) in h.epochs.iter().zip(&outcome.epochs) {
+            assert_eq!(hs.epoch as usize, es.epoch);
+            assert_eq!(hs.retries as usize, es.retries);
+        }
+        let delivered: u64 = h.epochs.iter().map(|e| e.deliveries).sum();
+        let done = outcome
+            .payloads
+            .iter()
+            .filter(|p| p.completion_round.is_some())
+            .count();
+        assert_eq!(delivered, done as u64);
     }
 }

@@ -41,6 +41,11 @@
 //!   exponential backoff) with per-payload delivery-guarantee
 //!   [`DeliveryVerdict`]s, composed over the MAC layer by the stream
 //!   runner (see `docs/RELIABILITY.md`);
+//! * [`metrics`] — the analysis layer over the trace events:
+//!   [`MetricsRegistry`] (counters, gauges, log-bucketed quantile
+//!   [`Histogram`]s), sliding-window stream-health instrumentation, and
+//!   the [`TraceAnalyzer`] per-payload timeline reconstructor (see
+//!   `docs/OBSERVABILITY.md`);
 //! * [`ReferenceExecutor`] — the naive allocating oracle the differential
 //!   tests check the optimized engine against;
 //! * [`rng`] — deterministic seed derivation for reproducible experiments.
@@ -76,6 +81,7 @@ pub mod dynamics;
 mod engine;
 pub mod mac;
 mod message;
+pub mod metrics;
 mod payload;
 mod process;
 pub mod quorum;
@@ -96,6 +102,11 @@ pub use engine::{
 };
 pub use mac::{AckRecord, MacEvent, MacLayer, MacStats};
 pub use message::{Message, PayloadId, ProcessId};
+pub use metrics::{
+    CounterId, EpochHealth, GaugeId, HealthConfig, HealthSample, Histogram, HistogramId,
+    HistogramSummary, LatencyAttribution, MetricsRegistry, PayloadTimeline, StreamHealthReport,
+    TraceAnalyzer, TraceReport, WindowedStats,
+};
 pub use payload::{PayloadSet, MAX_PAYLOADS};
 pub use process::{ActivationCause, ChatterProcess, Flooder, Process, SilentProcess};
 pub use quorum::{local_byzantine_bound, QuorumPolicy, QuorumProcess};
@@ -106,7 +117,7 @@ pub use reliability::{
 };
 pub use slot::{ProcessSlot, ProcessTable};
 pub use trace::{
-    first_divergence, Divergence, EpochRollup, JsonlSink, MetricsSink, MetricsTotals, NullSink,
-    QuorumStage, RingSink, RoleTag, RoundMetrics, RoundRecord, Trace, TraceEvent, TraceLevel,
-    TraceSink,
+    check_trace_schema, first_divergence, Divergence, EpochRollup, JsonlSink, MetricsSink,
+    MetricsTotals, NullSink, QuorumStage, RingSink, RoleTag, RoundMetrics, RoundRecord, Trace,
+    TraceEvent, TraceLevel, TraceSchemaError, TraceSink, TRACE_SCHEMA,
 };

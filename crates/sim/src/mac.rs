@@ -498,6 +498,12 @@ impl<'a> MacLayer<'a> {
         &self.records
     }
 
+    /// Broadcasts still awaiting acknowledgment — the pending-ack queue
+    /// depth the stream-health instrumentation samples each round.
+    pub fn pending_acks(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Aggregated progress/acknowledgment latencies.
     pub fn stats(&self) -> MacStats {
         let mut stats = MacStats {

@@ -506,6 +506,15 @@ impl ReliableBroadcast {
         self.entries.iter().all(|e| e.verdict.is_final())
     }
 
+    /// Tracked payloads without a final verdict — the pending-retry
+    /// queue depth the stream-health instrumentation samples each round.
+    pub fn open_entries(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| !e.verdict.is_final())
+            .count()
+    }
+
     /// Aggregate verdict counts.
     pub fn stats(&self) -> ReliabilityStats {
         let mut s = ReliabilityStats::default();

@@ -372,7 +372,8 @@ pub struct MetricsTotals {
     pub payload_copies: u64,
 }
 
-/// Per-epoch rollup computed by [`MetricsSink::epoch_rollups`].
+/// Per-epoch rollup maintained incrementally by [`MetricsSink`] (see
+/// [`MetricsSink::epoch_rollups`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EpochRollup {
     /// Epoch index (`0` for the initial epoch).
@@ -396,8 +397,9 @@ pub struct EpochRollup {
 #[derive(Debug, Clone)]
 pub struct MetricsSink {
     rounds: Vec<RoundMetrics>,
-    /// `(first round of epoch, epoch index)` marks, in order.
-    epoch_marks: Vec<(u64, u32)>,
+    /// Per-epoch rollups, updated incrementally as events arrive: a new
+    /// entry is opened at each `EpochSwitch`, so queries are O(1) reads.
+    rollups: Vec<EpochRollup>,
     totals: MetricsTotals,
     /// Distinct payload identities seen in receptions or injections.
     distinct: PayloadSet,
@@ -424,9 +426,17 @@ impl MetricsSink {
     /// An empty registry preallocated for `rounds` rounds (emission stays
     /// allocation-free until the capacity is exceeded).
     pub fn with_round_capacity(rounds: usize) -> Self {
+        let mut rollups = Vec::with_capacity(8);
+        rollups.push(EpochRollup {
+            epoch: 0,
+            from_round: 0,
+            transmits: 0,
+            receptions: 0,
+            collisions: 0,
+        });
         MetricsSink {
             rounds: Vec::with_capacity(rounds),
-            epoch_marks: Vec::with_capacity(8),
+            rollups,
             totals: MetricsTotals::default(),
             distinct: PayloadSet::EMPTY,
             first_inject: vec![None; MAX_PAYLOADS],
@@ -469,34 +479,20 @@ impl MetricsSink {
         Some(self.ack_latency.iter().sum::<u64>() as f64 / self.ack_latency.len() as f64)
     }
 
-    /// Per-epoch rollups of the per-round counters. The initial epoch is
-    /// reported even when no `EpochSwitch` ever fired.
-    pub fn epoch_rollups(&self) -> Vec<EpochRollup> {
-        let mut out = Vec::with_capacity(self.epoch_marks.len() + 1);
-        let mut bounds = Vec::with_capacity(self.epoch_marks.len() + 1);
-        bounds.push((0u64, 0u32));
-        for &(round, epoch) in &self.epoch_marks {
-            bounds.push((round, epoch));
-        }
-        for (k, &(from_round, epoch)) in bounds.iter().enumerate() {
-            let until = bounds.get(k + 1).map(|&(r, _)| r).unwrap_or(u64::MAX);
-            let mut roll = EpochRollup {
-                epoch,
-                from_round,
-                transmits: 0,
-                receptions: 0,
-                collisions: 0,
-            };
-            for r in &self.rounds {
-                if r.round >= from_round && r.round < until {
-                    roll.transmits += u64::from(r.transmits);
-                    roll.receptions += u64::from(r.receptions);
-                    roll.collisions += u64::from(r.collisions);
-                }
-            }
-            out.push(roll);
-        }
-        out
+    /// Per-epoch rollups of the per-round counters, maintained
+    /// incrementally at `EpochSwitch` emission — repeated queries are
+    /// O(1), no allocation. The initial epoch is reported even when no
+    /// `EpochSwitch` ever fired.
+    pub fn epoch_rollups(&self) -> &[EpochRollup] {
+        &self.rollups
+    }
+
+    /// The rollup of the epoch currently in force.
+    fn rollup_mut(&mut self) -> &mut EpochRollup {
+        self.rollups
+            .last_mut()
+            // analyzer: allow(panic, reason = "invariant: rollups is seeded at construction and only grows")
+            .expect("rollups seeded at construction")
     }
 
     fn current_mut(&mut self, round: u64) -> &mut RoundMetrics {
@@ -520,6 +516,7 @@ impl TraceSink for MetricsSink {
             TraceEvent::Transmit { round, .. } => {
                 self.totals.transmits += 1;
                 self.current_mut(round).transmits += 1;
+                self.rollup_mut().transmits += 1;
             }
             TraceEvent::Reception {
                 round, payloads, ..
@@ -528,10 +525,12 @@ impl TraceSink for MetricsSink {
                 self.totals.payload_copies += payloads.len() as u64;
                 self.distinct.union_with(payloads);
                 self.current_mut(round).receptions += 1;
+                self.rollup_mut().receptions += 1;
             }
             TraceEvent::Collision { round, .. } => {
                 self.totals.collisions += 1;
                 self.current_mut(round).collisions += 1;
+                self.rollup_mut().collisions += 1;
             }
             TraceEvent::Inject {
                 round,
@@ -552,7 +551,13 @@ impl TraceSink for MetricsSink {
             }
             TraceEvent::EpochSwitch { round, epoch } => {
                 self.totals.epoch_switches += 1;
-                self.epoch_marks.push((round, epoch));
+                self.rollups.push(EpochRollup {
+                    epoch,
+                    from_round: round,
+                    transmits: 0,
+                    receptions: 0,
+                    collisions: 0,
+                });
             }
             TraceEvent::Fault { .. } => self.totals.faults += 1,
             TraceEvent::Retry { .. } => self.totals.retries += 1,
@@ -646,22 +651,89 @@ impl TraceSink for RingSink {
     }
 }
 
+/// Schema identifier stamped as the first line of every JSONL trace
+/// document (see [`JsonlSink`]): bump it whenever an event's rendered
+/// shape changes so replay/diff tooling fails fast instead of silently
+/// mis-parsing an old capture.
+pub const TRACE_SCHEMA: &str = "trace-v1";
+
+/// A JSONL trace document whose schema header did not check out (see
+/// [`check_trace_schema`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceSchemaError {
+    /// The document is empty or its first line is not a
+    /// `{"schema": ...}` header object.
+    MissingHeader,
+    /// The header names a schema other than [`TRACE_SCHEMA`].
+    Mismatch {
+        /// The schema string the header carried.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for TraceSchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceSchemaError::MissingHeader => write!(
+                f,
+                "trace document has no {{\"schema\": ...}} header line (expected {TRACE_SCHEMA:?})"
+            ),
+            TraceSchemaError::Mismatch { found } => write!(
+                f,
+                "trace document schema {found:?} does not match expected {TRACE_SCHEMA:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceSchemaError {}
+
+/// Verifies that a JSONL trace document's first line is a schema header
+/// naming [`TRACE_SCHEMA`]. Trace-consuming tooling (replay, diff) must
+/// call this before parsing event lines.
+pub fn check_trace_schema(doc: &str) -> Result<(), TraceSchemaError> {
+    let first = doc.lines().next().unwrap_or("");
+    let Some(found) = first
+        .trim()
+        .strip_prefix("{\"schema\":")
+        .and_then(|rest| rest.trim_start().strip_prefix('"'))
+        .and_then(|rest| rest.split('"').next())
+    else {
+        return Err(TraceSchemaError::MissingHeader);
+    };
+    if found == TRACE_SCHEMA {
+        Ok(())
+    } else {
+        Err(TraceSchemaError::Mismatch {
+            found: found.to_owned(),
+        })
+    }
+}
+
 /// Buffered JSONL export: renders each event as one JSON object per line
-/// into an in-memory buffer. The experiments binary's `--trace-jsonl`
-/// flag writes the buffer to disk after the run (this crate does no I/O).
-#[derive(Debug, Clone, Default)]
+/// into an in-memory buffer, prefixed by a [`TRACE_SCHEMA`] header line.
+/// The experiments binary's `--trace-jsonl` flag writes the buffer to
+/// disk after the run (this crate does no I/O).
+#[derive(Debug, Clone)]
 pub struct JsonlSink {
     buf: String,
     lines: u64,
 }
 
+impl Default for JsonlSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl JsonlSink {
-    /// An empty buffer.
+    /// A buffer holding only the schema header line.
     pub fn new() -> Self {
-        JsonlSink {
-            buf: String::with_capacity(4096),
-            lines: 0,
-        }
+        let mut buf = String::with_capacity(4096);
+        buf.push_str("{\"schema\":\"");
+        buf.push_str(TRACE_SCHEMA);
+        buf.push_str("\"}\n");
+        JsonlSink { buf, lines: 0 }
     }
 
     /// The buffered JSONL document.
@@ -674,7 +746,7 @@ impl JsonlSink {
         self.buf
     }
 
-    /// Lines (= events) buffered so far.
+    /// Event lines buffered so far (the schema header is not counted).
     pub fn lines(&self) -> u64 {
         self.lines
     }
@@ -1028,7 +1100,10 @@ mod tests {
         }
         assert_eq!(j.lines(), sample_events().len() as u64);
         let doc = j.as_str();
-        assert_eq!(doc.lines().count(), sample_events().len());
+        // One schema header line, then one line per event.
+        assert_eq!(doc.lines().count(), sample_events().len() + 1);
+        assert_eq!(doc.lines().next(), Some("{\"schema\":\"trace-v1\"}"));
+        assert_eq!(check_trace_schema(doc), Ok(()));
         for line in doc.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
@@ -1039,6 +1114,26 @@ mod tests {
         assert!(doc.contains("\"accepted\":true"));
         let owned = j.into_string();
         assert!(owned.ends_with('\n'));
+    }
+
+    #[test]
+    fn trace_schema_check_rejects_bad_headers() {
+        assert_eq!(check_trace_schema(""), Err(TraceSchemaError::MissingHeader));
+        assert_eq!(
+            check_trace_schema("{\"e\":\"round_start\",\"r\":1}\n"),
+            Err(TraceSchemaError::MissingHeader)
+        );
+        let err = check_trace_schema("{\"schema\":\"trace-v0\"}\n")
+            .expect_err("mismatched schema must be rejected");
+        assert_eq!(
+            err,
+            TraceSchemaError::Mismatch {
+                found: "trace-v0".to_owned()
+            }
+        );
+        assert!(err.to_string().contains("trace-v0"));
+        assert!(err.to_string().contains(TRACE_SCHEMA));
+        assert_eq!(check_trace_schema(JsonlSink::default().as_str()), Ok(()));
     }
 
     #[test]

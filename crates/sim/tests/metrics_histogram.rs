@@ -1,0 +1,145 @@
+//! Property tests for [`Histogram`] quantile bracketing: for every
+//! distribution shape, the estimated quantile must bracket the exact
+//! quantile within the documented bucket-relative error bound —
+//! `exact ≤ estimate ≤ exact × (1 + RELATIVE_ERROR)` — and degenerate
+//! shapes (constant, single-sample) must come back *exact*.
+//!
+//! The shapes mirror how the simulator actually uses histograms: ack
+//! latencies are small-and-constant on reliable lines (sub-32 values are
+//! exact by construction), bimodal under epoch churn (fast epoch-local
+//! deliveries vs slow cross-epoch stragglers), and heavy-tailed under the
+//! bursty adversary (most payloads land fast, a few retry for orders of
+//! magnitude longer).
+
+use dualgraph_sim::Histogram;
+use proptest::prelude::*;
+
+/// The exact `q`-quantile under the same rank convention the histogram
+/// documents: the smallest recorded value with at least `ceil(q·count)`
+/// samples at or below it.
+fn exact_quantile(samples: &[u64], q: f64) -> u64 {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Asserts the bracket guarantee for one distribution at one quantile.
+fn assert_brackets(samples: &[u64], q: f64) {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    let exact = exact_quantile(samples, q);
+    let est = h.quantile(q).expect("non-empty histogram");
+    prop_assert!(
+        est >= exact,
+        "estimate must not undershoot: q={q} exact={exact} est={est}"
+    );
+    prop_assert!(
+        est as f64 <= exact as f64 * (1.0 + Histogram::RELATIVE_ERROR),
+        "estimate past the documented error bound: q={q} exact={exact} est={est}"
+    );
+}
+
+const QS: [f64; 4] = [0.50, 0.90, 0.99, 0.999];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A constant distribution has every quantile equal to the constant,
+    /// exactly — the estimate is clamped to the recorded max, so bucket
+    /// widening must never leak through.
+    #[test]
+    fn constant_distribution_is_exact(value: u64, count in 1usize..200) {
+        let mut h = Histogram::new();
+        for _ in 0..count {
+            h.record(value);
+        }
+        for q in QS {
+            prop_assert_eq!(h.quantile(q), Some(value));
+        }
+        prop_assert_eq!(h.min(), Some(value));
+        prop_assert_eq!(h.max(), Some(value));
+    }
+
+    /// A single sample is its own quantile at every `q`.
+    #[test]
+    fn single_sample_is_every_quantile(value: u64) {
+        let mut h = Histogram::new();
+        h.record(value);
+        for q in QS {
+            prop_assert_eq!(h.quantile(q), Some(value));
+        }
+        prop_assert_eq!(h.summary().p999, value);
+    }
+
+    /// Bimodal: two spikes of arbitrary magnitude and weight. Every
+    /// quantile must bracket the exact rank statistic.
+    #[test]
+    fn bimodal_distribution_brackets(
+        lo: u64,
+        hi: u64,
+        lo_count in 1usize..120,
+        hi_count in 1usize..120,
+    ) {
+        let mut samples = vec![lo; lo_count];
+        samples.extend(vec![hi; hi_count]);
+        for q in QS {
+            assert_brackets(&samples, q);
+        }
+    }
+
+    /// Heavy tail: magnitudes spread over the full 64-bit range by
+    /// right-shifting random amounts (most samples small, a few huge) —
+    /// the shape retry latencies take under the bursty adversary.
+    #[test]
+    fn heavy_tail_distribution_brackets(
+        raw in prop::collection::vec((any::<u64>(), 0u32..64), 1..300),
+    ) {
+        let samples: Vec<u64> = raw.iter().map(|&(v, s)| v >> s).collect();
+        for q in QS {
+            assert_brackets(&samples, q);
+        }
+    }
+
+    /// Arbitrary samples at an arbitrary quantile: the general bracket.
+    #[test]
+    fn arbitrary_distribution_brackets(
+        samples in prop::collection::vec(any::<u64>(), 1..300),
+        q in 0.001f64..1.0,
+    ) {
+        assert_brackets(&samples, q);
+    }
+
+    /// Sub-32 values occupy unit-width buckets, so *every* quantile of a
+    /// small-valued distribution is exact, not just bracketed.
+    #[test]
+    fn small_values_are_exact(samples in prop::collection::vec(0u64..32, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        for q in QS {
+            prop_assert_eq!(h.quantile(q), Some(exact_quantile(&samples, q)));
+        }
+    }
+
+    /// Count, min, max, and mean survive any recording order.
+    #[test]
+    fn summary_totals_match(samples in prop::collection::vec(any::<u64>(), 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.summary();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert_eq!(Some(s.min), samples.iter().copied().min());
+        prop_assert_eq!(Some(s.max), samples.iter().copied().max());
+        let mean = samples.iter().map(|&v| v as u128).sum::<u128>() as f64
+            / samples.len() as f64;
+        let tolerance = mean.abs() * 1e-12 + 1e-9;
+        prop_assert!((s.mean - mean).abs() <= tolerance);
+    }
+}

@@ -60,8 +60,9 @@ pub use dualgraph_broadcast::stream::{
 pub use dualgraph_net::{generators, Digraph, DualGraph, Epoch, NodeId, TopologySchedule};
 pub use dualgraph_sim::{
     Adversary, BroadcastOutcome, BurstyDelivery, CollisionRule, DeliveryVerdict, DynamicExecutor,
-    Executor, ExecutorConfig, FaultPlan, Flooder, FullDelivery, MacEvent, MacLayer, MacStats,
-    Message, NodeRole, PayloadId, PayloadSet, Process, ProcessId, ProcessSlot, ProcessTable,
-    RandomDelivery, ReliableBroadcast, ReliableOnly, RetryPolicy, StartRule, WithRandomCr4,
+    Executor, ExecutorConfig, FaultPlan, Flooder, FullDelivery, HealthConfig, Histogram,
+    HistogramSummary, MacEvent, MacLayer, MacStats, Message, MetricsRegistry, NodeRole, PayloadId,
+    PayloadSet, Process, ProcessId, ProcessSlot, ProcessTable, RandomDelivery, ReliableBroadcast,
+    ReliableOnly, RetryPolicy, StartRule, StreamHealthReport, TraceAnalyzer, WithRandomCr4,
     MAX_PAYLOADS,
 };
