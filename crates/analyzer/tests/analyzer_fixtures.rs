@@ -16,6 +16,9 @@ fn cfg() -> Config {
         hot_functions: vec![
             "Executor::step".into(),
             "Executor::step_traced".into(),
+            "ShardedExecutor::step_traced".into(),
+            "resolve_chunk".into(),
+            "AbsorbPart::absorb".into(),
             "Histogram::record".into(),
             "WindowedStats::push".into(),
         ],
@@ -113,6 +116,30 @@ fn metrics_hot_negative_fixture_is_clean() {
         "metrics_hot_ok.rs",
         include_str!("fixtures/metrics_hot_ok.rs"),
     );
+    assert!(fs.is_empty(), "{fs:?}");
+}
+
+#[test]
+fn shard_hot_positive_fixture_fires() {
+    let fs = analyze(
+        "shard_hot_bad.rs",
+        include_str!("fixtures/shard_hot_bad.rs"),
+    );
+    let hits = unwaived(&fs, "hot-alloc");
+    // collect + format! in ShardedExecutor::step_traced,
+    // Vec::with_capacity + vec! in the resolve_chunk free function,
+    // Vec::new + Box::new in AbsorbPart::absorb — one per line.
+    assert_eq!(hits.len(), 6, "{fs:?}");
+    assert!(hits
+        .iter()
+        .any(|f| f.message.contains("ShardedExecutor::step_traced")));
+    assert!(hits.iter().any(|f| f.message.contains("resolve_chunk")));
+    assert!(hits.iter().any(|f| f.message.contains("AbsorbPart::absorb")));
+}
+
+#[test]
+fn shard_hot_negative_fixture_is_clean() {
+    let fs = analyze("shard_hot_ok.rs", include_str!("fixtures/shard_hot_ok.rs"));
     assert!(fs.is_empty(), "{fs:?}");
 }
 

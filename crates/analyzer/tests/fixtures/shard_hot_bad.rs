@@ -1,0 +1,27 @@
+//! Positive fixture: allocation inside the sharded sweep hot set —
+//! the coordinator round loop (`ShardedExecutor::step_traced`), the
+//! per-shard resolve (`resolve_chunk`, a free function), and the fused
+//! absorb hook (`AbsorbPart::absorb`) — fires once per construct line.
+
+struct ShardedExecutor;
+
+impl ShardedExecutor {
+    fn step_traced(&mut self) {
+        let merged: Vec<u32> = (0..4).collect();
+        let label = format!("round {}", 1);
+    }
+}
+
+fn resolve_chunk(receptions: &mut [u32]) {
+    let jobs = Vec::with_capacity(receptions.len());
+    let idxs = vec![0u32; 8];
+}
+
+struct AbsorbPart;
+
+impl AbsorbPart {
+    fn absorb(&mut self, base: usize) {
+        let newly = Vec::new();
+        let boxed = Box::new(base);
+    }
+}

@@ -7,9 +7,9 @@
 //!
 //! `NAME` is a csv-name prefix (e.g. `thm12`); omit for all experiments.
 //! `--bench-engine`, `--bench-stream`, `--bench-dynamics`,
-//! `--bench-reliability`, `--bench-byzantine`, `--bench-trace`, and/or
-//! `--bench-metrics` skip the tables and
-//! write one machine-readable `BENCH_engine.json` (schema v8): the engine
+//! `--bench-reliability`, `--bench-byzantine`, `--bench-trace`,
+//! `--bench-metrics`, and/or `--bench-scale` skip the tables and
+//! write one machine-readable `BENCH_engine.json` (schema v9): the engine
 //! section has rounds/sec, ns/round, and speedups vs the boxed/PR 1/
 //! reference engines; the stream section has the pipelined multi-message
 //! family (n × k payload grid: makespan, throughput, MAC ack latency, and
@@ -26,8 +26,10 @@
 //! (transmit-sweep vs receive-sweep vs adversary-sample); the
 //! metrics_overhead section has the reliability stream workload with
 //! windowed health stats + a per-round registry update vs the identical
-//! uninstrumented session. Future PRs compare against all seven
-//! trajectories.
+//! uninstrumented session; the scale section has dense flooding on the
+//! O(n + m) `scale_dual` graph at `n ∈ {2^14, 2^17, 2^20}`, sequential
+//! vs sharded engine arms with ns/round, peak RSS, and core counts.
+//! Future PRs compare against all eight trajectories.
 //!
 //! Report mode (rides along with the table runner):
 //!
@@ -509,8 +511,68 @@ fn bench_metrics_entries() -> String {
         .join(",\n")
 }
 
+/// Measures the scale family (see `scale_bench`): dense flooding on the
+/// O(n + m) `scale_dual` graph at `n ∈ {2^14, 2^17, 2^20}`, sequential
+/// vs sharded arms, as JSON entries for the `scale_measurements`
+/// section. The acceptance targets are epoch completion at `n = 2^20`
+/// within sane RSS (the per-entry `peak_rss_kb` high-water mark) and
+/// `speedup_sharded_vs_sequential ≥ 2.0` on dense flooding at
+/// `n = 2^17` **when `cores ≥ 4`** — the `cores` field is recorded so a
+/// starved container is distinguishable from a regression.
+fn bench_scale_entries() -> String {
+    use dualgraph_bench::scale_bench::{self, SCALE_SIZES};
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // At least two workers so the sharded machinery is genuinely
+    // exercised (bit-identity makes the extra workers harmless on a
+    // starved box; only the wall-clock differs).
+    let workers = cores.max(2);
+    SCALE_SIZES
+        .iter()
+        .map(|&n| {
+            let net = scale_bench::scale_network(n);
+            let m = scale_bench::measure_scale(&net, scale_bench::scale_rounds_for(n), workers);
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"workload\": \"scale-dense-flooding\",\n",
+                    "      \"n\": {},\n",
+                    "      \"completion_round\": {},\n",
+                    "      \"steady_rounds\": {},\n",
+                    "      \"sequential_ns_per_round\": {:.1},\n",
+                    "      \"sequential_rounds_per_sec\": {:.1},\n",
+                    "      \"sharded_ns_per_round\": {:.1},\n",
+                    "      \"sharded_rounds_per_sec\": {:.1},\n",
+                    "      \"workers\": {},\n",
+                    "      \"shards\": {},\n",
+                    "      \"cores\": {},\n",
+                    "      \"speedup_sharded_vs_sequential\": {:.2},\n",
+                    "      \"peak_rss_kb\": {}\n",
+                    "    }}"
+                ),
+                m.n,
+                m.completion_round
+                    .map_or("null".to_string(), |r| r.to_string()),
+                m.sequential.rounds,
+                m.sequential.ns_per_round(),
+                m.sequential.rounds_per_sec(),
+                m.sharded.ns_per_round(),
+                m.sharded.rounds_per_sec(),
+                m.workers,
+                m.shards,
+                m.cores,
+                m.speedup(),
+                m.peak_rss_kb.map_or("null".to_string(), |kb| kb.to_string()),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
 /// Assembles the [`dualgraph_bench::BENCH_SCHEMA`] `BENCH_engine.json`
 /// document from whichever sections were requested.
+#[allow(clippy::too_many_arguments)]
 fn bench_json(
     engine: bool,
     stream: bool,
@@ -519,6 +581,7 @@ fn bench_json(
     byzantine: bool,
     trace: bool,
     metrics: bool,
+    bench_scale: bool,
 ) -> String {
     let mut sections: Vec<String> = Vec::new();
     let mut rss = "null".to_string();
@@ -562,6 +625,12 @@ fn bench_json(
             bench_metrics_entries()
         ));
     }
+    if bench_scale {
+        sections.push(format!(
+            "  \"scale_measurements\": [\n{}\n  ]",
+            bench_scale_entries()
+        ));
+    }
     if !engine {
         rss = engine_bench::peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
     }
@@ -585,6 +654,7 @@ fn main() {
     let mut bench_byzantine = false;
     let mut bench_trace = false;
     let mut bench_metrics = false;
+    let mut bench_scale = false;
     let mut trace_jsonl: Option<PathBuf> = None;
     let mut trace_check: Option<PathBuf> = None;
     let mut trace_diff_mode: Option<bool> = None; // Some(mutated?)
@@ -678,7 +748,8 @@ fn main() {
             | "--bench-reliability"
             | "--bench-byzantine"
             | "--bench-trace"
-            | "--bench-metrics") => {
+            | "--bench-metrics"
+            | "--bench-scale") => {
                 match flag {
                     "--bench-engine" => bench_engine = true,
                     "--bench-stream" => bench_stream = true,
@@ -686,6 +757,7 @@ fn main() {
                     "--bench-byzantine" => bench_byzantine = true,
                     "--bench-trace" => bench_trace = true,
                     "--bench-metrics" => bench_metrics = true,
+                    "--bench-scale" => bench_scale = true,
                     _ => bench_reliability = true,
                 }
                 if let Some(explicit) = args.get(i + 1).filter(|a| !a.starts_with("--")) {
@@ -702,7 +774,7 @@ fn main() {
                      [--report md|json PATH] \
                      [--bench-engine [PATH]] [--bench-stream [PATH]] [--bench-dynamics [PATH]] \
                      [--bench-reliability [PATH]] [--bench-byzantine [PATH]] \
-                     [--bench-trace [PATH]] [--bench-metrics [PATH]] \
+                     [--bench-trace [PATH]] [--bench-metrics [PATH]] [--bench-scale [PATH]] \
                      [--bench-compare BASELINE.json] [--compare-threshold RATIO] \
                      [--trace-jsonl PATH] [--trace-check PATH] [--trace-diff] \
                      [--trace-diff-mutated] [--gate-null-overhead [RATIO]] \
@@ -892,6 +964,7 @@ fn main() {
             bench_byzantine,
             bench_trace,
             bench_metrics,
+            bench_scale,
         );
         print!("{json}");
         if let Err(e) = std::fs::write(&path, &json) {

@@ -13,7 +13,7 @@
 /// the emitted sections or series names; the checked-in snapshot must be
 /// regenerated in the same PR (a bench test pins the file to this
 /// constant).
-pub const BENCH_SCHEMA: &str = "dualgraph-bench-engine/8";
+pub const BENCH_SCHEMA: &str = "dualgraph-bench-engine/9";
 
 pub mod byzantine_bench;
 pub mod compare;
@@ -24,6 +24,7 @@ pub mod metrics_bench;
 pub mod pr1_engine;
 pub mod reliability_bench;
 pub mod report;
+pub mod scale_bench;
 pub mod stream_bench;
 pub mod trace_bench;
 pub mod workloads;

@@ -1,0 +1,185 @@
+//! Scale workloads: dense flooding to `n = 2^20` on the sharded round
+//! engine, sequential vs sharded arms.
+//!
+//! The engine sections of `BENCH_engine.json` stop at `n = 1025` because
+//! their `er_dual` generator samples every node pair (O(n²)). The scale
+//! series instead uses [`generators::scale_dual`] — a ring spine plus
+//! per-node random chords and unreliable extras, built in O(n + m) — so
+//! one epoch of dense flooding fits in sane RSS even at a million nodes.
+//!
+//! Each size runs two arms on identical workloads:
+//!
+//! * **sequential** — the plain [`Executor`] round loop;
+//! * **sharded** — [`ShardedExecutor`] with the measured worker count
+//!   (at least two, so the sharded machinery is genuinely exercised even
+//!   on starved CI containers).
+//!
+//! Both arms first run the broadcast to completion (the *epoch*: the
+//! measurement asserts both arms complete at the same round — the
+//! bit-identity contract doubling as a bench-level sanity check), then
+//! time `steady_rounds` of the all-senders steady state, the regime the
+//! word-level bitset kernels and the dense-round fast path target. The
+//! speedup claim (sharded ≥ 2× sequential on dense flooding at
+//! `n = 2^17`) is conditioned on ≥ 4 physical cores; `cores` is recorded
+//! in every entry so consumers can tell a starved container from a
+//! regression.
+
+use dualgraph_net::{generators, DualGraph};
+use dualgraph_sim::{Executor, ExecutorConfig, Flooder, RandomDelivery, ShardedExecutor};
+
+use crate::engine_bench::{peak_rss_kb, time_steps, EngineMeasurement};
+
+/// The scale-series sizes: `2^14`, `2^17`, `2^20` nodes.
+pub const SCALE_SIZES: [usize; 3] = [1 << 14, 1 << 17, 1 << 20];
+
+/// Steady-state rounds timed at size `n` — scaled down with `n` so the
+/// full series stays inside a CI budget while every arm still times
+/// multiple rounds.
+pub fn scale_rounds_for(n: usize) -> u64 {
+    if n <= 1 << 14 {
+        96
+    } else if n <= 1 << 17 {
+        24
+    } else {
+        6
+    }
+}
+
+/// The scale workload graph: [`generators::scale_dual`] with two chords
+/// and two unreliable extras per node — sparse (≈ 5n undirected edges),
+/// low-diameter, and O(n + m) to build.
+pub fn scale_network(n: usize) -> DualGraph {
+    generators::scale_dual(
+        generators::ScaleDualParams {
+            n,
+            chords_per_node: 2,
+            extras_per_node: 2,
+        },
+        0x5CA1E,
+    )
+}
+
+/// One size of the scale series: both arms' timings plus the footprint.
+#[derive(Debug, Clone)]
+pub struct ScaleMeasurement {
+    /// Population.
+    pub n: usize,
+    /// Round at which the broadcast completed (identical across arms by
+    /// the bit-identity contract; asserted during measurement).
+    pub completion_round: Option<u64>,
+    /// The sequential arm, timed over the steady state.
+    pub sequential: EngineMeasurement,
+    /// The sharded arm, timed over the same steady-state round count.
+    pub sharded: EngineMeasurement,
+    /// Worker threads the sharded arm requested.
+    pub workers: usize,
+    /// Shards the plan actually produced for (`n`, `workers`).
+    pub shards: usize,
+    /// `available_parallelism` at measurement time — the context for any
+    /// speedup claim.
+    pub cores: usize,
+    /// Peak RSS (`VmHWM`) sampled right after this size's arms ran.
+    /// Sizes are measured in ascending order, so each entry's figure is
+    /// the high-water mark up to and including that size.
+    pub peak_rss_kb: Option<u64>,
+}
+
+impl ScaleMeasurement {
+    /// Sequential-over-sharded wall-clock ratio (> 1 means sharding won).
+    pub fn speedup(&self) -> f64 {
+        self.sequential.ns_per_round() / self.sharded.ns_per_round()
+    }
+}
+
+fn flooding_executor(net: &DualGraph) -> Executor<'_> {
+    Executor::from_slots(
+        net,
+        Flooder::slots(net.len()),
+        Box::new(RandomDelivery::new(0.5, 7)),
+        ExecutorConfig::default(),
+    )
+    .expect("scale workload construction")
+}
+
+/// Measures one size of the scale series: epoch completion plus
+/// steady-state timings for both arms on `net`.
+///
+/// # Panics
+///
+/// Panics if either arm fails to complete within the round cap, or if
+/// the two arms complete at different rounds (a bit-identity violation).
+pub fn measure_scale(net: &DualGraph, steady_rounds: u64, workers: usize) -> ScaleMeasurement {
+    const EPOCH_CAP: u64 = 100_000;
+    let n = net.len();
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Sequential arm: complete the epoch, then time the steady state.
+    let mut seq = flooding_executor(net);
+    let seq_outcome = seq.run_until_complete(EPOCH_CAP);
+    assert!(
+        seq_outcome.completed,
+        "scale epoch must complete (n = {n}, sequential arm)"
+    );
+    let sequential = time_steps(steady_rounds, || {
+        seq.step();
+    });
+    drop(seq);
+
+    // Sharded arm: identical workload through the sharded engine.
+    let mut shd = ShardedExecutor::new(flooding_executor(net), workers);
+    let shards = shd.plan().shards();
+    let shd_outcome = shd.run_until_complete(EPOCH_CAP);
+    assert_eq!(
+        seq_outcome, shd_outcome,
+        "sharded arm must be bit-identical to sequential (n = {n}, workers = {workers})"
+    );
+    let sharded = time_steps(steady_rounds, || {
+        shd.step();
+    });
+
+    ScaleMeasurement {
+        n,
+        completion_round: seq_outcome.completion_round,
+        sequential,
+        sharded,
+        workers,
+        shards,
+        cores,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_measurement_runs_and_cross_checks() {
+        // Small instance of the exact measurement path (the real sizes
+        // are exercised by `--bench-scale`).
+        let net = scale_network(200);
+        let m = measure_scale(&net, 10, 2);
+        assert_eq!(m.n, 200);
+        assert!(m.completion_round.is_some());
+        assert!(m.sequential.ns_per_round() > 0.0);
+        assert!(m.sharded.ns_per_round() > 0.0);
+        assert!(m.shards >= 2, "200 nodes at 2 workers must shard");
+        assert!(m.speedup() > 0.0);
+    }
+
+    #[test]
+    fn scale_sizes_are_the_advertised_powers() {
+        assert_eq!(SCALE_SIZES, [16_384, 131_072, 1_048_576]);
+        assert!(scale_rounds_for(1 << 14) > scale_rounds_for(1 << 17));
+        assert!(scale_rounds_for(1 << 17) > scale_rounds_for(1 << 20));
+    }
+
+    #[test]
+    fn scale_network_is_sparse() {
+        let net = scale_network(4096);
+        // Ring + ≤ 2 chords per node: far below the quadratic regime.
+        assert!(net.reliable_csr().edge_count() <= 4096 * 6);
+    }
+}

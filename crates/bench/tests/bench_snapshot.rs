@@ -5,7 +5,8 @@
 
 const REGEN_HINT: &str = "regenerate with `cargo run --release -p dualgraph-bench \
      --bin experiments -- --bench-engine --bench-stream --bench-dynamics \
-     --bench-reliability --bench-byzantine --bench-trace --bench-metrics`";
+     --bench-reliability --bench-byzantine --bench-trace --bench-metrics \
+     --bench-scale`";
 
 fn snapshot() -> String {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
@@ -22,10 +23,11 @@ fn checked_in_snapshot_matches_emitted_schema() {
     );
 }
 
-/// Schema v8 added the `metrics_overhead` series; a snapshot claiming v8
-/// without it would break `--bench-compare` consumers.
+/// Schema v9 added the `scale_measurements` series (v8: the
+/// `metrics_overhead` series); a snapshot claiming v9 without them would
+/// break `--bench-compare` consumers.
 #[test]
-fn checked_in_snapshot_has_the_v8_sections() {
+fn checked_in_snapshot_has_the_v9_sections() {
     let contents = snapshot();
     for section in [
         "\"measurements\"",
@@ -36,6 +38,7 @@ fn checked_in_snapshot_has_the_v8_sections() {
         "\"trace_measurements\"",
         "\"phase_profile\"",
         "\"metrics_overhead\"",
+        "\"scale_measurements\"",
     ] {
         assert!(
             contents.contains(section),

@@ -17,6 +17,30 @@
 //! assert_eq!(a.count(), 2);
 //! ```
 
+/// The word-level OR kernel shared by every dense bitset pass: ORs `src`
+/// into `dst` word by word. This is the one primitive behind
+/// [`FixedBitSet::union_with`], the sharded engine's dense-flooding
+/// known-set pass, and `PayloadSet::or_words` in the simulator — a plain
+/// `u64` loop the compiler auto-vectorizes, with no per-bit or per-edge
+/// bookkeeping.
+///
+/// # Panics
+///
+/// Panics if `src` is longer than `dst` (a shorter `src` ORs into the
+/// prefix, which is what payload-set-into-word-slab callers need).
+#[inline]
+pub fn or_words(dst: &mut [u64], src: &[u64]) {
+    assert!(
+        src.len() <= dst.len(),
+        "or_words: src has {} words but dst only {}",
+        src.len(),
+        dst.len()
+    );
+    for (a, &b) in dst.iter_mut().zip(src) {
+        *a |= b;
+    }
+}
+
 /// A fixed-capacity set of `usize` indices in `0..len`, stored densely.
 ///
 /// All operations panic if an index is out of bounds; capacity is fixed at
@@ -155,9 +179,28 @@ impl FixedBitSet {
     /// Panics if capacities differ.
     pub fn union_with(&mut self, other: &FixedBitSet) {
         assert_eq!(self.len, other.len, "capacity mismatch in union_with");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        or_words(&mut self.words, &other.words);
+    }
+
+    /// The backing `u64` words, bit `i` of the set at word `i / 64`, bit
+    /// `i % 64`. Bits at positions `>= capacity()` in the last word are
+    /// always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the backing words — the escape hatch the sharded
+    /// engine uses to split one `informed` set into disjoint per-shard
+    /// word ranges (shard boundaries are multiples of 64, so no word is
+    /// shared between shards).
+    ///
+    /// Callers must not set bits at positions `>= capacity()`: the trim
+    /// invariant (excess bits of the last word stay zero) is the caller's
+    /// responsibility through this view.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 
     /// In-place intersection: `self ∩= other`.
@@ -384,5 +427,40 @@ mod tests {
         let mut s = FixedBitSet::full(77);
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn or_words_kernel_matches_bitwise_union() {
+        let a = FixedBitSet::from_indices(200, [0, 63, 64, 130, 199]);
+        let b = FixedBitSet::from_indices(200, [1, 63, 129, 198]);
+        let mut via_union = a.clone();
+        via_union.union_with(&b);
+        let mut via_kernel = a.clone();
+        or_words(via_kernel.words_mut(), b.words());
+        assert_eq!(via_union, via_kernel);
+    }
+
+    #[test]
+    fn or_words_shorter_src_ors_into_prefix() {
+        let mut dst = [0u64, 0, u64::MAX];
+        or_words(&mut dst, &[0b101, 0b11]);
+        assert_eq!(dst, [0b101, 0b11, u64::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "or_words")]
+    fn or_words_rejects_longer_src() {
+        let mut dst = [0u64];
+        or_words(&mut dst, &[1, 2]);
+    }
+
+    #[test]
+    fn words_view_matches_membership() {
+        let s = FixedBitSet::from_indices(130, [0, 64, 129]);
+        let w = s.words();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], 1);
+        assert_eq!(w[1], 1);
+        assert_eq!(w[2], 2);
     }
 }

@@ -144,6 +144,100 @@ impl Csr {
     pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
         self.row(u).binary_search(&v).is_ok()
     }
+
+    /// The transposed adjacency: row `v` of the result is the sorted list
+    /// of nodes `u` with `v ∈ row(u)` (the **in**-neighborhood of `v`).
+    /// `O(n + m)` counting sort; rows come out sorted ascending because
+    /// sources are visited in ascending order.
+    ///
+    /// The sharded engine resolves receptions receiver-side — each shard
+    /// walks the in-rows of its own node range — so the dual graph freezes
+    /// this alongside the forward CSR at construction.
+    pub fn transpose(&self) -> Csr {
+        let n = self.len();
+        let mut offsets = vec![0u32; n + 1];
+        for &v in &self.targets {
+            offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![NodeId(0); self.targets.len()];
+        for u in 0..n {
+            let u = NodeId::from_index(u);
+            for &v in self.row(u) {
+                let c = &mut cursor[v.index()];
+                targets[*c as usize] = u;
+                *c += 1;
+            }
+        }
+        Csr { offsets, targets }
+    }
+
+    /// A borrowed view of the rows in `range` — the unit of work one shard
+    /// of the sharded round engine owns. Iterating the view visits the
+    /// range's rows in ascending node order, exactly as a sequential sweep
+    /// over the same nodes would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.end > len()`.
+    pub fn view(&self, range: std::ops::Range<usize>) -> CsrShardView<'_> {
+        assert!(range.end <= self.len(), "shard view out of range");
+        CsrShardView { csr: self, range }
+    }
+}
+
+/// A contiguous range of CSR rows; see [`Csr::view`].
+#[derive(Clone)]
+pub struct CsrShardView<'a> {
+    csr: &'a Csr,
+    range: std::ops::Range<usize>,
+}
+
+impl<'a> CsrShardView<'a> {
+    /// First node of the shard's range.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.range.start
+    }
+
+    /// One past the last node of the shard's range.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.range.end
+    }
+
+    /// The row of `u`, which must lie inside the shard's range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside the view's range.
+    #[inline]
+    pub fn row(&self, u: NodeId) -> &'a [NodeId] {
+        assert!(
+            self.range.contains(&u.index()),
+            "node {u} outside shard view {:?}",
+            self.range
+        );
+        self.csr.row(u)
+    }
+
+    /// Iterates `(node, row)` pairs in ascending node order.
+    pub fn rows(&self) -> impl Iterator<Item = (NodeId, &'a [NodeId])> + '_ {
+        let csr = self.csr;
+        self.range.clone().map(move |u| {
+            let u = NodeId::from_index(u);
+            (u, csr.row(u))
+        })
+    }
+}
+
+impl std::fmt::Debug for CsrShardView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CsrShardView({:?})", self.range)
+    }
 }
 
 impl std::fmt::Debug for Csr {
@@ -230,5 +324,60 @@ mod tests {
     fn debug_format() {
         let csr = Csr::from_digraph(&Digraph::complete(3));
         assert_eq!(format!("{csr:?}"), "Csr(3 nodes, 6 edges)");
+    }
+
+    #[test]
+    fn transpose_is_the_in_adjacency() {
+        let mut g = Digraph::new(5);
+        g.add_edge(v(0), v(4));
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(3), v(2));
+        g.add_edge(v(3), v(4));
+        g.add_undirected_edge(v(1), v(2));
+        let csr = Csr::from_digraph(&g);
+        let t = csr.transpose();
+        assert_eq!(t.len(), csr.len());
+        assert_eq!(t.edge_count(), csr.edge_count());
+        for u in g.nodes() {
+            assert_eq!(t.row(u), g.in_neighbors(u), "in-row {u}");
+        }
+        // Transposing twice round-trips.
+        assert_eq!(t.transpose(), csr);
+    }
+
+    #[test]
+    fn transpose_of_symmetric_graph_is_identity() {
+        let g = Digraph::complete(6);
+        let csr = Csr::from_digraph(&g);
+        assert_eq!(csr.transpose(), csr);
+    }
+
+    #[test]
+    fn shard_view_rows_match_full_rows() {
+        let g = Digraph::complete(7);
+        let csr = Csr::from_digraph(&g);
+        let view = csr.view(2..5);
+        assert_eq!(view.start(), 2);
+        assert_eq!(view.end(), 5);
+        let collected: Vec<_> = view.rows().map(|(u, _)| u).collect();
+        assert_eq!(collected, vec![v(2), v(3), v(4)]);
+        for (u, row) in view.rows() {
+            assert_eq!(row, csr.row(u));
+            assert_eq!(view.row(u), csr.row(u));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside shard view")]
+    fn shard_view_rejects_out_of_range_rows() {
+        let csr = Csr::from_digraph(&Digraph::complete(4));
+        csr.view(0..2).row(v(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "shard view out of range")]
+    fn shard_view_rejects_bad_range() {
+        let csr = Csr::from_digraph(&Digraph::complete(4));
+        csr.view(0..5);
     }
 }

@@ -99,6 +99,12 @@ pub struct DualGraph {
     source: NodeId,
     /// `G` frozen into CSR form for the simulator's hot loop.
     reliable_csr: Csr,
+    /// `G`'s **transpose** (in-neighborhoods) frozen into CSR form: the
+    /// sharded engine resolves receptions receiver-side, walking each
+    /// receiver's in-row instead of scattering over senders' out-rows.
+    /// Equal to `reliable_csr` for undirected networks, but frozen
+    /// unconditionally so directed networks shard identically.
+    reliable_in_csr: Csr,
     /// `G′` frozen into CSR form.
     total_csr: Csr,
     /// For each node `u`: out-neighbors in `G′` that are *not* out-neighbors
@@ -187,12 +193,14 @@ impl DualGraph {
         let n = reliable.node_count();
         let unreliable_only_csr = Csr::from_rows(n, |u| &unreliable_only[u.index()]);
         let reliable_csr = Csr::from_digraph(&reliable);
+        let reliable_in_csr = Csr::from_rows(n, |u| reliable.in_neighbors(u));
         let total_csr = Csr::from_digraph(&total);
         Ok(DualGraph {
             reliable,
             total,
             source,
             reliable_csr,
+            reliable_in_csr,
             total_csr,
             unreliable_only_csr,
             unreliable_edge_ids: None,
@@ -266,6 +274,16 @@ impl DualGraph {
     #[inline]
     pub fn reliable_csr(&self) -> &Csr {
         &self.reliable_csr
+    }
+
+    /// `G`'s transpose (in-neighborhoods) in frozen CSR form: row `v` is
+    /// the sorted set of nodes whose reliable transmissions reach `v`.
+    /// Identical content to [`DualGraph::reliable_csr`] on undirected
+    /// networks; the sharded engine's receiver-side reception rebuild
+    /// reads it for directed and undirected networks alike.
+    #[inline]
+    pub fn reliable_in_csr(&self) -> &Csr {
+        &self.reliable_in_csr
     }
 
     /// `G′` in frozen CSR form.
@@ -477,6 +495,23 @@ mod tests {
         let net = DualGraph::new(g.clone(), g, v(0)).unwrap();
         assert!(!net.is_undirected());
         assert_eq!(net.reliable_distances(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reliable_in_csr_is_the_transpose() {
+        let mut g = Digraph::new(4);
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(0), v(2));
+        g.add_edge(v(2), v(3));
+        g.add_edge(v(1), v(3));
+        let net = DualGraph::new(g.clone(), g.clone(), v(0)).unwrap();
+        assert_eq!(net.reliable_in_csr(), &net.reliable_csr().transpose());
+        for u in g.nodes() {
+            assert_eq!(net.reliable_in_csr().row(u), g.in_neighbors(u));
+        }
+        // Undirected networks: in-rows equal out-rows.
+        let sym = DualGraph::classical(line3(), v(0)).unwrap();
+        assert_eq!(sym.reliable_in_csr(), sym.reliable_csr());
     }
 
     #[test]

@@ -370,6 +370,71 @@ pub fn er_dual(params: ErDualParams, seed: u64) -> DualGraph {
     DualGraph::new(g, total, NodeId(0)).expect("er_dual construction is valid") // analyzer: allow(panic, reason = "invariant: er_dual construction is valid")
 }
 
+/// Parameters for the sparse large-scale dual graph of [`scale_dual`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleDualParams {
+    /// Number of nodes.
+    pub n: usize,
+    /// Random reliable chords added per node (small-world shortcuts; the
+    /// expected diameter drops to `O(log n)` with one chord per node).
+    pub chords_per_node: usize,
+    /// Random unreliable (`G′`-only) edges added per node.
+    pub extras_per_node: usize,
+}
+
+/// A sparse dual graph built in `O(n · (chords + extras))` time and memory:
+/// a ring spine (connectivity) plus `chords_per_node` random reliable
+/// chords (small-world shortcuts) in `G`, plus `extras_per_node` random
+/// unreliable edges in `G′` only.
+///
+/// This is the scale-series workload generator: unlike [`er_dual`], which
+/// loops over all `Θ(n²)` pairs, every step here is per-node, so networks
+/// at `n = 2^20` build in seconds with `Θ(n)` edges. Undirected;
+/// deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn scale_dual(params: ScaleDualParams, seed: u64) -> DualGraph {
+    let ScaleDualParams {
+        n,
+        chords_per_node,
+        extras_per_node,
+    } = params;
+    assert!(n > 0, "scale_dual requires n > 0");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Digraph::new(n);
+    // Ring spine: guarantees source-connectivity.
+    if n >= 2 {
+        for i in 0..n {
+            let j = (i + 1) % n;
+            if i != j {
+                g.add_undirected_edge(NodeId::from_index(i), NodeId::from_index(j));
+            }
+        }
+    }
+    // Small-world chords: one RNG draw per slot whether or not it lands,
+    // so edge placement is per-node deterministic.
+    for i in 0..n {
+        for _ in 0..chords_per_node {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                g.add_undirected_edge(NodeId::from_index(i), NodeId::from_index(j));
+            }
+        }
+    }
+    let mut total = g.clone();
+    for i in 0..n {
+        for _ in 0..extras_per_node {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                total.add_undirected_edge(NodeId::from_index(i), NodeId::from_index(j));
+            }
+        }
+    }
+    DualGraph::new(g, total, NodeId(0)).expect("scale_dual construction is valid") // analyzer: allow(panic, reason = "invariant: scale_dual construction is valid")
+}
+
 /// Parameters for the two-radius random geometric dual graph of
 /// [`geometric_dual`].
 #[derive(Debug, Clone, Copy)]
@@ -864,6 +929,41 @@ mod tests {
                 || a.reliable().edge_count() != c.reliable().edge_count()
         );
         assert!(a.is_undirected());
+    }
+
+    #[test]
+    fn scale_dual_sparse_valid_and_deterministic() {
+        let p = ScaleDualParams {
+            n: 2000,
+            chords_per_node: 1,
+            extras_per_node: 1,
+        };
+        let a = scale_dual(p, 5);
+        let b = scale_dual(p, 5);
+        assert!(a.is_undirected());
+        assert_eq!(a.reliable(), b.reliable());
+        assert_eq!(a.total(), b.total());
+        // Sparse: Θ(n) edges, not Θ(n²).
+        assert!(a.total().edge_count() < 8 * p.n);
+        assert!(a.unreliable_edge_count() > 0);
+        // Small-world: diameter far below the ring's n/2.
+        assert!(a.source_eccentricity() < 100);
+        // Different seeds differ.
+        let c = scale_dual(p, 6);
+        assert!(a.total() != c.total());
+    }
+
+    #[test]
+    fn scale_dual_degenerate_sizes() {
+        let p = |n| ScaleDualParams {
+            n,
+            chords_per_node: 2,
+            extras_per_node: 2,
+        };
+        assert_eq!(scale_dual(p(1), 0).len(), 1);
+        let two = scale_dual(p(2), 0);
+        assert_eq!(two.len(), 2);
+        assert!(two.is_undirected());
     }
 
     #[test]

@@ -54,11 +54,13 @@ pub mod generators;
 mod graph;
 mod node;
 mod schedule;
+mod shard;
 pub mod traversal;
 
-pub use bitset::FixedBitSet;
-pub use csr::Csr;
+pub use bitset::{or_words, FixedBitSet};
+pub use csr::{Csr, CsrShardView};
 pub use dual::{BuildDualGraphError, DualGraph};
 pub use graph::Digraph;
 pub use node::NodeId;
 pub use schedule::{BuildScheduleError, Epoch, TopologySchedule};
+pub use shard::{clamp_shards, ShardPlan, SHARD_ALIGN};

@@ -1,0 +1,177 @@
+//! Shard partitioning of the CSR row space.
+//!
+//! The sharded round engine splits the node range `0..n` into contiguous
+//! chunks, one per worker, and runs the transmit/receive sweeps of a round
+//! chunk-parallel (see `dualgraph_sim`'s sharded executor). Two properties
+//! of the partition are load-bearing:
+//!
+//! * **Word alignment** — every shard boundary is a multiple of 64, so the
+//!   per-node bitsets (`informed`) split into *disjoint word ranges*: each
+//!   shard owns whole `u64` words of [`crate::FixedBitSet`] and no word is
+//!   written by two threads.
+//! * **Count independence of the merge order** — shards are contiguous and
+//!   ascending, so concatenating per-shard results in shard order is the
+//!   ascending-node order a sequential sweep produces, *whatever* the
+//!   shard count. Bit-identical outcomes across worker counts follow.
+
+use std::ops::Range;
+
+/// Alignment of shard boundaries: one [`crate::FixedBitSet`] word.
+pub const SHARD_ALIGN: usize = 64;
+
+/// A word-aligned partition of the node range `0..n` into at most
+/// `workers` contiguous chunks.
+///
+/// # Examples
+///
+/// ```
+/// use dualgraph_net::ShardPlan;
+///
+/// let plan = ShardPlan::new(200, 3);
+/// // ceil(200 / 3) = 67 rounds up to the 64-aligned chunk 128.
+/// assert_eq!(plan.shards(), 2);
+/// assert_eq!(plan.range(0), 0..128);
+/// assert_eq!(plan.range(1), 128..200); // last shard takes the remainder
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    n: usize,
+    /// Nodes per shard; a positive multiple of [`SHARD_ALIGN`].
+    chunk: usize,
+}
+
+impl ShardPlan {
+    /// Plans at most `workers` shards over `n` nodes. `workers == 0` is
+    /// treated as 1 (the sequential fallback for a failed parallelism
+    /// probe). Tiny populations produce fewer shards than workers — a
+    /// shard is never smaller than one bitset word except the last.
+    pub fn new(n: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let chunk = n
+            .div_ceil(workers)
+            .next_multiple_of(SHARD_ALIGN)
+            .max(SHARD_ALIGN);
+        ShardPlan { n, chunk }
+    }
+
+    /// Number of nodes partitioned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the plan covers no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Nodes per shard (the last shard may be shorter).
+    #[inline]
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Number of shards actually produced (`<= workers`).
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.n.div_ceil(self.chunk).max(1)
+    }
+
+    /// The node range of shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= shards()`.
+    #[inline]
+    pub fn range(&self, s: usize) -> Range<usize> {
+        assert!(s < self.shards(), "shard {s} out of range");
+        let lo = s * self.chunk;
+        lo..(lo + self.chunk).min(self.n)
+    }
+
+    /// Iterates every shard's node range in ascending order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.shards()).map(|s| self.range(s))
+    }
+}
+
+/// Clamps a per-trial intra-round shard request so that `trial_workers`
+/// concurrent trials, each sharding its rounds, share one logical thread
+/// pool of `available` cores instead of oversubscribing to
+/// `trial_workers × shards` threads.
+///
+/// Returns at least 1 (sequential rounds) and never more than `requested`.
+/// Outcomes are shard-count-independent by the sharded engine's contract,
+/// so clamping only changes scheduling, never results.
+pub fn clamp_shards(trial_workers: usize, requested: usize, available: usize) -> usize {
+    let trial_workers = trial_workers.max(1);
+    requested.clamp(1, (available / trial_workers).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_the_node_space() {
+        for n in [1usize, 63, 64, 65, 200, 1025, 4096] {
+            for workers in [1usize, 2, 3, 7, 16] {
+                let plan = ShardPlan::new(n, workers);
+                assert!(plan.shards() <= workers.max(1), "n={n} workers={workers}");
+                let mut covered = 0;
+                for (s, r) in plan.ranges().enumerate() {
+                    assert_eq!(r.start, covered, "contiguous");
+                    assert!(
+                        r.start % SHARD_ALIGN == 0,
+                        "boundary {covered} word-aligned (n={n} workers={workers} s={s})"
+                    );
+                    assert!(!r.is_empty(), "no empty shards");
+                    covered = r.end;
+                }
+                assert_eq!(covered, n, "full coverage (n={n} workers={workers})");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_workers_degenerate_to_one_shard() {
+        let plan = ShardPlan::new(100, 0);
+        assert_eq!(plan.shards(), 1);
+        assert_eq!(plan.range(0), 0..100);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.len(), 100);
+    }
+
+    #[test]
+    fn small_populations_underfill_workers() {
+        // 100 nodes at 7 workers: chunk rounds up to 64, so only 2 shards.
+        let plan = ShardPlan::new(100, 7);
+        assert_eq!(plan.chunk(), 64);
+        assert_eq!(plan.shards(), 2);
+        assert_eq!(plan.range(1), 64..100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_shard_panics() {
+        ShardPlan::new(64, 2).range(1);
+    }
+
+    #[test]
+    fn clamp_shares_one_pool() {
+        // 4 trial workers on 8 cores: 2 shards per trial, not 8.
+        assert_eq!(clamp_shards(4, 8, 8), 2);
+        // Trials already saturate the machine: rounds stay sequential.
+        assert_eq!(clamp_shards(8, 8, 8), 1);
+        assert_eq!(clamp_shards(16, 4, 8), 1);
+        // A single trial may use every core.
+        assert_eq!(clamp_shards(1, 8, 8), 8);
+        // Never inflate beyond the request, never below 1.
+        assert_eq!(clamp_shards(1, 2, 64), 2);
+        // 0 trial workers behaves as 1 (failed parallelism probe).
+        assert_eq!(clamp_shards(0, 5, 4), 4);
+        // A zero-shard request still yields the sequential minimum.
+        assert_eq!(clamp_shards(2, 0, 8), 1);
+    }
+}

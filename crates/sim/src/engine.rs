@@ -175,23 +175,23 @@ impl BroadcastOutcome {
 /// # Ok::<(), dualgraph_sim::BuildExecutorError>(())
 /// ```
 pub struct Executor<'a> {
-    network: &'a DualGraph,
-    config: ExecutorConfig,
-    adversary: Box<dyn Adversary>,
+    pub(crate) network: &'a DualGraph,
+    pub(crate) config: ExecutorConfig,
+    pub(crate) adversary: Box<dyn Adversary>,
     /// Processes indexed by **node** (placed via the assignment). A
     /// homogeneous table dispatches on the automaton variant once per
     /// round; see [`ProcessTable`].
-    procs: ProcessTable,
-    assignment: Assignment,
+    pub(crate) procs: ProcessTable,
+    pub(crate) assignment: Assignment,
     /// Global round from which the node's process may transmit.
-    active_from: Vec<Option<u64>>,
-    informed: FixedBitSet,
-    first_receive: Vec<Option<u64>>,
+    pub(crate) active_from: Vec<Option<u64>>,
+    pub(crate) informed: FixedBitSet,
+    pub(crate) first_receive: Vec<Option<u64>>,
     /// Per-node union of every payload delivered so far (environment
     /// inputs and receptions) — the multi-message subsystem's coverage
     /// record. Maintained unconditionally: the union is two ORs per
     /// receiving node per round, invisible next to collision resolution.
-    known: Vec<PayloadSet>,
+    pub(crate) known: Vec<PayloadSet>,
     /// The payload identities the **environment** introduced: the source's
     /// pre-round-1 seed plus every accepted [`Executor::inject`]. Only a
     /// reception carrying at least one of these flips the receiver's
@@ -200,40 +200,40 @@ pub struct Executor<'a> {
     /// broadcast completion cannot be spoofed by a faulty node. Junk whose
     /// id *collides* with a real payload is indistinguishable from it
     /// (payload identity is the content in this model) and does inform.
-    real: PayloadSet,
+    pub(crate) real: PayloadSet,
     /// Per-node liveness/role mask (the dynamics subsystem): consulted by
     /// the batched dispatch loops and the collision-resolution sweep.
     /// All-[`NodeRole::Correct`] populations skip every mask check via
     /// `faulty_count == 0`.
-    roles: Vec<NodeRole>,
+    pub(crate) roles: Vec<NodeRole>,
     /// Per-node standing fault transmission (jammer noise / spammer junk),
     /// derived from `roles` by [`Executor::set_role`].
-    standing_tx: Vec<Option<Message>>,
+    pub(crate) standing_tx: Vec<Option<Message>>,
     /// Number of nodes whose role is not [`NodeRole::Correct`].
-    faulty_count: usize,
+    pub(crate) faulty_count: usize,
     /// Number of nodes whose role is Byzantine ([`NodeRole::Equivocator`]
     /// / [`NodeRole::Forger`]) — senders whose transmission *content* may
     /// differ per receiver. While zero (the common case), phase 3 reads
     /// every delivery straight out of `senders_buf` (one shared channel
     /// per sender); the per-receiver slow path is consulted only when
     /// this is positive, mirroring the `faulty_count == 0` fast path.
-    byzantine_count: usize,
-    round: u64,
-    sends: u64,
-    physical_collisions: u64,
-    trace: Trace,
+    pub(crate) byzantine_count: usize,
+    pub(crate) round: u64,
+    pub(crate) sends: u64,
+    pub(crate) physical_collisions: u64,
+    pub(crate) trace: Trace,
     // ---- Reusable round scratch (allocation-free in steady state) ----
     /// This round's `(sender, message)` pairs, in node order.
-    senders_buf: Vec<(NodeId, Message)>,
+    pub(crate) senders_buf: Vec<(NodeId, Message)>,
     /// This round's resolved receptions, indexed by node.
-    receptions_buf: Vec<Reception>,
+    pub(crate) receptions_buf: Vec<Reception>,
     /// All adversary deliveries of the round, concatenated sender by
     /// sender: adversaries append their targets directly (see
     /// [`Adversary::unreliable_deliveries`]).
-    extra_flat: Vec<NodeId>,
+    pub(crate) extra_flat: Vec<NodeId>,
     /// Per-sender `(start, end)` ranges into `extra_flat` (parallel to
     /// `senders_buf`).
-    extra_ranges: Vec<(u32, u32)>,
+    pub(crate) extra_ranges: Vec<(u32, u32)>,
     /// Flat arena of reaching transmissions, stored as **indices into
     /// `senders_buf`** (4 bytes per delivery instead of a full `Message`):
     /// node `v`'s reaching set is
@@ -244,18 +244,18 @@ pub struct Executor<'a> {
     /// materializing full messages per delivery was pure memory traffic;
     /// the only full materialization left is `cr4_scratch`, for the
     /// adversary's CR4 choice.
-    arena: Vec<u32>,
+    pub(crate) arena: Vec<u32>,
     /// `n + 1` prefix-sum offsets into `arena`.
-    arena_off: Vec<u32>,
+    pub(crate) arena_off: Vec<u32>,
     /// Per-node fill cursors for the arena's second pass.
-    cursor: Vec<u32>,
+    pub(crate) cursor: Vec<u32>,
     /// Per-node own transmission this round (senders hear themselves under
     /// CR2–CR4).
-    own_buf: Vec<Option<Message>>,
+    pub(crate) own_buf: Vec<Option<Message>>,
     /// Reusable buffer materializing one node's reaching messages for
     /// [`Adversary::resolve_cr4`] (which, as a public API, still sees
     /// `&[Message]`, in the historical order).
-    cr4_scratch: Vec<Message>,
+    pub(crate) cr4_scratch: Vec<Message>,
 }
 
 impl<'a> Executor<'a> {

@@ -88,6 +88,7 @@ pub mod quorum;
 pub mod reference;
 pub mod reliability;
 pub mod rng;
+mod shard;
 mod slot;
 mod trace;
 
@@ -115,7 +116,8 @@ pub use reliability::{
     DeliveryVerdict, ReliabilityBackend, ReliabilityEntry, ReliabilityStats, ReliableBroadcast,
     RetryPolicy,
 };
-pub use slot::{ProcessSlot, ProcessTable};
+pub use shard::ShardedExecutor;
+pub use slot::{ProcessSlot, ProcessTable, ShardAbsorb};
 pub use trace::{
     check_trace_schema, first_divergence, Divergence, EpochRollup, JsonlSink, MetricsSink,
     MetricsTotals, NullSink, QuorumStage, RingSink, RoleTag, RoundMetrics, RoundRecord, Trace,

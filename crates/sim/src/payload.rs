@@ -165,6 +165,33 @@ impl PayloadSet {
         None
     }
 
+    /// The raw bit words, least-significant payload first: bit `i % 64` of
+    /// word `i / 64` is payload `i`. The word-level view the sharded
+    /// engine's bulk kernels (e.g. [`dualgraph_net::or_words`]-style OR
+    /// sweeps) operate on.
+    #[inline]
+    pub fn words(&self) -> &[u64; WORDS] {
+        &self.words
+    }
+
+    /// In-place union via the raw words of `other` — the word-level twin
+    /// of [`PayloadSet::union_with`] for kernels that already hold words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` has more than `MAX_PAYLOADS / 64` words.
+    #[inline]
+    pub fn or_words(&mut self, other: &[u64]) {
+        assert!(
+            other.len() <= WORDS,
+            "or_words: {} words exceed the {WORDS}-word payload universe",
+            other.len()
+        );
+        for (a, &b) in self.words.iter_mut().zip(other) {
+            *a |= b;
+        }
+    }
+
     /// Iterates the payloads in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = PayloadId> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &word)| {
@@ -298,5 +325,40 @@ mod tests {
         let mut a = PayloadSet::only(PayloadId(1));
         a |= PayloadSet::only(PayloadId(2));
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn words_view_matches_bit_api() {
+        let ids = [0u64, 3, 63, 64, 100, 127];
+        let s: PayloadSet = ids.iter().map(|&i| PayloadId(i)).collect();
+        let words = s.words();
+        for i in 0..MAX_PAYLOADS {
+            let bit = words[i / 64] >> (i % 64) & 1 == 1;
+            assert_eq!(bit, s.contains(PayloadId(i as u64)), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn or_words_matches_union_with() {
+        let a0: PayloadSet = [PayloadId(1), PayloadId(65)].into_iter().collect();
+        let b: PayloadSet = [PayloadId(1), PayloadId(2), PayloadId(127)]
+            .into_iter()
+            .collect();
+        let mut via_words = a0;
+        via_words.or_words(b.words());
+        let mut via_bits = a0;
+        via_bits.union_with(b);
+        assert_eq!(via_words, via_bits);
+        // A short word slice ORs into the low words only.
+        let mut prefix = a0;
+        prefix.or_words(&b.words()[..1]);
+        assert!(prefix.contains(PayloadId(2)));
+        assert!(!prefix.contains(PayloadId(127)));
+    }
+
+    #[test]
+    #[should_panic(expected = "or_words")]
+    fn or_words_rejects_oversized_slices() {
+        PayloadSet::new().or_words(&[0, 0, 0]);
     }
 }

@@ -46,7 +46,12 @@ impl ActivationCause {
 /// parameters (including any RNG seed) and observation history — that is
 /// what lets the lower-bound machinery replay execution prefixes via
 /// [`Process::clone_box`].
-pub trait Process {
+///
+/// `Send` is a supertrait: the sharded round engine moves disjoint chunks
+/// of the process table onto scoped worker threads, so every automaton —
+/// including boxed custom ones — must be transferable across threads.
+/// In-repo automata are plain data and satisfy this automatically.
+pub trait Process: Send {
     /// The process's unique identifier.
     fn id(&self) -> ProcessId;
 

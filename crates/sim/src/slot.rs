@@ -435,47 +435,8 @@ impl ProcessTable {
         out: &mut Vec<(NodeId, Message)>,
         sink: &mut S,
     ) {
-        fn run<P: Process>(
-            procs: &mut [P],
-            t: u64,
-            active_from: &[Option<u64>],
-            faults: Option<FaultView<'_>>,
-            out: &mut Vec<(NodeId, Message)>,
-        ) {
-            for (node, p) in procs.iter_mut().enumerate() {
-                if let Some(f) = faults {
-                    match f.roles[node] {
-                        NodeRole::Correct => {}
-                        NodeRole::Crashed => continue,
-                        NodeRole::Jammer | NodeRole::Spammer(_) | NodeRole::Equivocator { .. } => {
-                            if let Some(msg) = f.standing_tx[node] {
-                                out.push((NodeId::from_index(node), msg));
-                            }
-                            continue;
-                        }
-                        NodeRole::Forger(_) => {
-                            // Forged mint blended with the node's frozen
-                            // known record: forged ids travel alongside
-                            // genuine traffic instead of standing alone.
-                            if let Some(mut msg) = f.standing_tx[node] {
-                                msg.payloads.union_with(f.known[node]);
-                                out.push((NodeId::from_index(node), msg));
-                            }
-                            continue;
-                        }
-                    }
-                }
-                if let Some(from) = active_from[node] {
-                    if from <= t {
-                        if let Some(msg) = p.transmit(t - from + 1) {
-                            out.push((NodeId::from_index(node), msg));
-                        }
-                    }
-                }
-            }
-        }
         let emitted_from = out.len();
-        each_repr!(&mut self.repr, v => run(v, round, active_from, faults, out));
+        each_repr!(&mut self.repr, v => transmit_chunk(v, 0, round, active_from, faults, out));
         if S::ENABLED {
             for &(node, msg) in &out[emitted_from..] {
                 sink.emit(TraceEvent::Transmit {
@@ -485,6 +446,56 @@ impl ProcessTable {
                 });
             }
         }
+    }
+
+    /// Shard-parallel phase-1 send decisions: node chunk `s` (of `chunk`
+    /// nodes, the last possibly shorter) sweeps into `outs[s]` (cleared
+    /// here). Each chunk runs [`transmit_chunk`]'s loop — the *same* body
+    /// the sequential sweep runs over the whole table — on a scoped worker
+    /// thread (chunk 0 inline on the caller), so concatenating `outs` in
+    /// shard order reproduces the sequential sweep's ascending-node output
+    /// bit for bit, whatever the chunk size.
+    ///
+    /// Trace emission is the caller's job (from the merged buffer), which
+    /// keeps worker threads sink-free — the zero-overhead-when-off
+    /// contract needs no per-shard sinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0` or `outs` has fewer slots than chunks.
+    pub fn transmit_all_sharded(
+        &mut self,
+        round: u64,
+        active_from: &[Option<u64>],
+        faults: Option<FaultView<'_>>,
+        chunk: usize,
+        outs: &mut [Vec<(NodeId, Message)>],
+    ) {
+        assert!(chunk > 0, "transmit_all_sharded needs a positive chunk");
+        assert!(
+            outs.len() >= self.len().div_ceil(chunk),
+            "transmit_all_sharded: {} output slots for {} chunks",
+            outs.len(),
+            self.len().div_ceil(chunk)
+        );
+        each_repr!(&mut self.repr, v => {
+            std::thread::scope(|scope| {
+                let mut parts = v.chunks_mut(chunk).zip(outs.iter_mut()).enumerate();
+                let first = parts.next();
+                for (s, (procs, out)) in parts {
+                    out.clear();
+                    scope.spawn(move || {
+                        transmit_chunk(procs, s * chunk, round, active_from, faults, out);
+                    });
+                }
+                // Chunk 0 runs inline on the coordinator; the scope joins
+                // the rest on exit (no handle collection, no allocation).
+                if let Some((_, (procs, out))) = first {
+                    out.clear();
+                    transmit_chunk(procs, 0, round, active_from, faults, out);
+                }
+            });
+        });
     }
 
     /// Phase-4 batched end-of-round deliveries for global round `round`,
@@ -520,31 +531,7 @@ impl ProcessTable {
         receptions: &[Reception],
         sink: &mut S,
     ) {
-        fn run<P: Process>(
-            procs: &mut [P],
-            t: u64,
-            active_from: &mut [Option<u64>],
-            roles: Option<&[NodeRole]>,
-            receptions: &[Reception],
-        ) {
-            for (node, p) in procs.iter_mut().enumerate() {
-                if roles.is_some_and(|r| !r[node].is_correct()) {
-                    continue;
-                }
-                match active_from[node] {
-                    Some(from) if from <= t => p.receive(t - from + 1, receptions[node]),
-                    _ => {
-                        // Sleeping: only an actual message activates; the
-                        // message is delivered via the activation cause.
-                        if let Reception::Message(m) = receptions[node] {
-                            p.on_activate(ActivationCause::Reception(m));
-                            active_from[node] = Some(t + 1);
-                        }
-                    }
-                }
-            }
-        }
-        each_repr!(&mut self.repr, v => run(v, round, active_from, roles, receptions));
+        each_repr!(&mut self.repr, v => receive_chunk(v, active_from, 0, round, roles, receptions));
         if S::ENABLED {
             for (node, r) in receptions.iter().enumerate() {
                 match r {
@@ -559,6 +546,149 @@ impl ProcessTable {
                         node: NodeId::from_index(node),
                     }),
                     Reception::Silence => {}
+                }
+            }
+        }
+    }
+
+    /// Shard-parallel phase-4 deliveries **fused with per-shard
+    /// bookkeeping**: node chunk `s` runs [`receive_chunk`]'s loop — the
+    /// same body the sequential sweep runs — then immediately hands its
+    /// node range to `absorbs[s]` (the informed/known bookkeeping of the
+    /// sharded executor), all on the same scoped worker thread (chunk 0
+    /// inline on the caller). `active_from` splits into the same disjoint
+    /// chunks as the table, so activation writes never race.
+    ///
+    /// Trace emission is the caller's job (from the shared reception
+    /// buffer), exactly as in [`ProcessTable::transmit_all_sharded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0` or `absorbs` has fewer slots than chunks.
+    pub fn receive_all_sharded<A: ShardAbsorb>(
+        &mut self,
+        round: u64,
+        active_from: &mut [Option<u64>],
+        roles: Option<&[NodeRole]>,
+        receptions: &[Reception],
+        chunk: usize,
+        absorbs: &mut [A],
+    ) {
+        assert!(chunk > 0, "receive_all_sharded needs a positive chunk");
+        assert!(
+            absorbs.len() >= self.len().div_ceil(chunk),
+            "receive_all_sharded: {} absorb slots for {} chunks",
+            absorbs.len(),
+            self.len().div_ceil(chunk)
+        );
+        each_repr!(&mut self.repr, v => {
+            std::thread::scope(|scope| {
+                let mut parts = v
+                    .chunks_mut(chunk)
+                    .zip(active_from.chunks_mut(chunk))
+                    .zip(absorbs.iter_mut())
+                    .enumerate();
+                let first = parts.next();
+                for (s, ((procs, af), a)) in parts {
+                    scope.spawn(move || {
+                        let len = procs.len();
+                        receive_chunk(procs, af, s * chunk, round, roles, receptions);
+                        a.absorb(s * chunk, len, receptions);
+                    });
+                }
+                if let Some((_, ((procs, af), a))) = first {
+                    let len = procs.len();
+                    receive_chunk(procs, af, 0, round, roles, receptions);
+                    a.absorb(0, len, receptions);
+                }
+            });
+        });
+    }
+}
+
+/// Per-shard post-receive bookkeeping hook of
+/// [`ProcessTable::receive_all_sharded`]: invoked once per chunk, on the
+/// chunk's worker thread, after every process in `base..base + len` has
+/// received. Implementations hold the shard's *disjoint* mutable state
+/// (known-set slices, informed bitset words, first-receive records), so no
+/// synchronization is needed.
+pub trait ShardAbsorb: Send {
+    /// Absorbs the resolved receptions of nodes `base..base + len`.
+    fn absorb(&mut self, base: usize, len: usize, receptions: &[Reception]);
+}
+
+/// The phase-1 send-decision loop over one contiguous node chunk:
+/// `procs[i]` is node `base + i`. The sequential sweep is the `base = 0`
+/// whole-table instantiation; the sharded sweep runs one call per chunk.
+/// Keeping a single body is what makes "sharded ≡ sequential" an identity
+/// rather than a proof obligation about two loops.
+fn transmit_chunk<P: Process>(
+    procs: &mut [P],
+    base: usize,
+    t: u64,
+    active_from: &[Option<u64>],
+    faults: Option<FaultView<'_>>,
+    out: &mut Vec<(NodeId, Message)>,
+) {
+    for (i, p) in procs.iter_mut().enumerate() {
+        let node = base + i;
+        if let Some(f) = faults {
+            match f.roles[node] {
+                NodeRole::Correct => {}
+                NodeRole::Crashed => continue,
+                NodeRole::Jammer | NodeRole::Spammer(_) | NodeRole::Equivocator { .. } => {
+                    if let Some(msg) = f.standing_tx[node] {
+                        out.push((NodeId::from_index(node), msg));
+                    }
+                    continue;
+                }
+                NodeRole::Forger(_) => {
+                    // Forged mint blended with the node's frozen
+                    // known record: forged ids travel alongside
+                    // genuine traffic instead of standing alone.
+                    if let Some(mut msg) = f.standing_tx[node] {
+                        msg.payloads.union_with(f.known[node]);
+                        out.push((NodeId::from_index(node), msg));
+                    }
+                    continue;
+                }
+            }
+        }
+        if let Some(from) = active_from[node] {
+            if from <= t {
+                if let Some(msg) = p.transmit(t - from + 1) {
+                    out.push((NodeId::from_index(node), msg));
+                }
+            }
+        }
+    }
+}
+
+/// The phase-4 delivery loop over one contiguous node chunk: `procs[i]`
+/// and `active_from[i]` are node `base + i`; `roles` and `receptions` stay
+/// whole-table (read-only). See [`transmit_chunk`] for the one-body
+/// rationale.
+fn receive_chunk<P: Process>(
+    procs: &mut [P],
+    active_from: &mut [Option<u64>],
+    base: usize,
+    t: u64,
+    roles: Option<&[NodeRole]>,
+    receptions: &[Reception],
+) {
+    for (i, p) in procs.iter_mut().enumerate() {
+        let node = base + i;
+        if roles.is_some_and(|r| !r[node].is_correct()) {
+            continue;
+        }
+        match active_from[i] {
+            Some(from) if from <= t => p.receive(t - from + 1, receptions[node]),
+            _ => {
+                // Sleeping: only an actual message activates; the
+                // message is delivered via the activation cause.
+                if let Reception::Message(m) = receptions[node] {
+                    p.on_activate(ActivationCause::Reception(m));
+                    active_from[i] = Some(t + 1);
                 }
             }
         }

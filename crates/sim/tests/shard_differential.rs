@@ -1,0 +1,383 @@
+//! Shard differential suite: the sharded round engine checked engine
+//! against engine.
+//!
+//! The sharded engine ([`ShardedExecutor`]) re-derives every per-node
+//! result of the sequential round loop from shard-local state — the
+//! transmit sweep from per-chunk buffers, collision resolution from the
+//! transpose CSR instead of sender-row scatter, the informed/known
+//! bookkeeping from word-aligned bitset windows — so its correctness
+//! contract is *bit-identity*, not statistical agreement. This suite pins
+//! that contract across every axis that could plausibly break it:
+//!
+//! 1. **three-engine agreement** — sharded (worker counts 1, 2, and 7),
+//!    sequential, and the naive [`ReferenceExecutor`] oracle agree on
+//!    every round summary, known-payload record, and outcome, across
+//!    random topologies × the adversary menu × CR1–CR4 × both start
+//!    rules. Worker count 1 additionally proves the delegation path *is*
+//!    the pre-refactor sequential engine.
+//! 2. **fault and Byzantine plans** — crash/recovery, jammers,
+//!    equivocators, and forgers ride churn schedules while the engines
+//!    run side by side: the sharded resolve must preserve the
+//!    faulty-radio gate (no collision counted, no CR4 draw) and the
+//!    per-receiver Byzantine content path.
+//! 3. **trace streams** — `step_traced` emits the identical event
+//!    sequence (`RoundStart`, `Transmit` ascending, then
+//!    `Reception`/`Collision` ascending) from the coordinator, even
+//!    though the sharded sweeps themselves never see a sink.
+//!
+//! Populations are chosen above one shard chunk (64 nodes) so the worker
+//! counts genuinely shard; `plan().shards()` is asserted to keep the
+//! suite honest if the alignment policy ever changes.
+
+use dualgraph_net::{generators, DualGraph, NodeId, TopologySchedule};
+use dualgraph_sim::rng::derive_seed;
+use dualgraph_sim::{
+    Adversary, BurstyDelivery, CollisionRule, CollisionSeeker, DynamicExecutor, DynamicsCursor,
+    Executor, ExecutorConfig, FaultPlan, Flooder, FullDelivery, PayloadId, PayloadSet,
+    RandomDelivery, ReferenceExecutor, ReliableOnly, RoundSummary, ShardedExecutor, StartRule,
+    TraceEvent, TraceLevel, TraceSink,
+};
+
+/// Worker counts under test: the delegating single-shard path, an even
+/// split, and an uneven count that leaves the last shard short.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// The adversary menu; every engine under comparison gets its own
+/// identically-seeded instance.
+#[allow(clippy::type_complexity)]
+fn adversary_menu(seed: u64) -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn Adversary>>)> {
+    vec![
+        ("reliable-only", Box::new(|| Box::new(ReliableOnly::new()))),
+        ("full-delivery", Box::new(|| Box::new(FullDelivery::new()))),
+        (
+            "random(0.5)",
+            Box::new(move || Box::new(RandomDelivery::new(0.5, seed))),
+        ),
+        (
+            "random-per-edge(0.5)",
+            Box::new(move || Box::new(RandomDelivery::per_edge(0.5, seed))),
+        ),
+        (
+            "bursty",
+            Box::new(move || Box::new(BurstyDelivery::new(0.3, 0.3, seed))),
+        ),
+        (
+            "collision-seeker",
+            Box::new(|| Box::new(CollisionSeeker::new())),
+        ),
+    ]
+}
+
+/// Big enough that workers 2 and 7 both produce multiple 64-aligned
+/// shards, sparse enough that the round loop exercises the list path
+/// (not just the dense fast path).
+fn random_net(seed: u64, n: usize) -> DualGraph {
+    generators::er_dual(
+        generators::ErDualParams {
+            n,
+            reliable_p: 0.03,
+            unreliable_p: 0.08,
+        },
+        seed,
+    )
+}
+
+fn configs() -> Vec<ExecutorConfig> {
+    let mut out = Vec::new();
+    for rule in CollisionRule::ALL {
+        for start in [StartRule::Synchronous, StartRule::Asynchronous] {
+            out.push(ExecutorConfig {
+                rule,
+                start,
+                trace: TraceLevel::Off,
+                payload: PayloadId(0),
+            });
+        }
+    }
+    out
+}
+
+fn churn3(net: &DualGraph, seed: u64) -> TopologySchedule {
+    generators::churn_schedule(
+        net,
+        generators::ChurnParams {
+            epochs: 3,
+            span: 4,
+            rewire_fraction: 0.5,
+        },
+        seed,
+    )
+}
+
+/// Crash/recovery, a jammer, an equivocator (who recovers — the
+/// Byzantine gate must drop back), and a forger, spread over the node
+/// space so different shards own different roles.
+fn fault_plan(n: usize, seed: u64) -> FaultPlan {
+    let pick = |k: u64| NodeId(1 + ((seed / (k * 3 + 1) + k * 17) % (n as u64 - 1)) as u32);
+    FaultPlan::none()
+        .crash(pick(0), 2)
+        .recover(pick(0), 9)
+        .jam(pick(1), 3)
+        .equivocate(
+            pick(2),
+            2,
+            PayloadSet::only(PayloadId(4)),
+            PayloadSet::only(PayloadId(5)),
+        )
+        .recover(pick(2), 11)
+        .forge(pick(3), 4, PayloadSet::only(PayloadId(9)))
+}
+
+/// Drives a [`ShardedExecutor`] through schedule + fault plan with the
+/// same [`DynamicsCursor`] the sequential [`DynamicExecutor`] uses
+/// (role flips and epoch swaps reach the inner engine through `Deref`).
+struct ShardedDynamic<'a> {
+    exec: ShardedExecutor<'a>,
+    cursor: DynamicsCursor<'a>,
+}
+
+impl<'a> ShardedDynamic<'a> {
+    fn new(
+        schedule: &'a TopologySchedule,
+        slots: Vec<dualgraph_sim::ProcessSlot>,
+        adversary: Box<dyn Adversary>,
+        config: ExecutorConfig,
+        workers: usize,
+        plan: FaultPlan,
+    ) -> Self {
+        let exec =
+            Executor::from_slots(schedule.epoch(0).network(), slots, adversary, config).unwrap();
+        let mut exec = ShardedExecutor::new(exec, workers);
+        let mut cursor = DynamicsCursor::new(Some(schedule), plan, false);
+        let (swap, fired) = cursor.advance(0);
+        assert!(swap.is_none(), "round 0 is always epoch 0");
+        for i in fired {
+            let e = cursor.events()[i];
+            exec.set_role(e.node, e.role);
+        }
+        ShardedDynamic { exec, cursor }
+    }
+
+    fn step(&mut self) -> RoundSummary {
+        let t = self.exec.round() + 1;
+        let (swap, fired) = self.cursor.advance(t);
+        if let Some(net) = swap {
+            self.exec.set_network(net);
+        }
+        for i in fired {
+            let e = self.cursor.events()[i];
+            self.exec.set_role(e.node, e.role);
+        }
+        self.exec.step()
+    }
+}
+
+/// Property 1: sharded (workers 1, 2, 7), sequential, and reference
+/// engines agree round for round across topologies × the menu × CR1–CR4
+/// × both start rules — fault-free, so this isolates the core sweep
+/// refactor.
+#[test]
+fn sharded_sequential_and_reference_agree() {
+    for (net_seed, n) in [(19u64, 150), (43, 200)] {
+        let net = random_net(net_seed, n);
+        for config in configs() {
+            for (name, make_adv) in adversary_menu(derive_seed(137, net_seed)) {
+                let label = format!("n={n} {name} {:?} {:?}", config.rule, config.start);
+                let mut sequential =
+                    Executor::from_slots(&net, Flooder::slots(n), make_adv(), config).unwrap();
+                let mut reference =
+                    ReferenceExecutor::new(&net, Flooder::boxed(n), make_adv(), config).unwrap();
+                let mut sharded: Vec<ShardedExecutor<'_>> = WORKER_COUNTS
+                    .iter()
+                    .map(|&w| {
+                        let exec =
+                            Executor::from_slots(&net, Flooder::slots(n), make_adv(), config)
+                                .unwrap();
+                        ShardedExecutor::new(exec, w)
+                    })
+                    .collect();
+                assert_eq!(sharded[0].plan().shards(), 1, "workers=1 must delegate");
+                assert!(sharded[1].plan().shards() > 1, "workers=2 must shard");
+                assert!(
+                    sharded[2].plan().shards() > sharded[1].plan().shards(),
+                    "workers=7 must shard finer than workers=2"
+                );
+                for round in 0..25 {
+                    let ss = sequential.step();
+                    let sr = reference.step();
+                    assert_eq!(ss, sr, "{label}: sequential vs reference, round {round}");
+                    for (w, shard) in WORKER_COUNTS.iter().zip(sharded.iter_mut()) {
+                        let sh = shard.step();
+                        assert_eq!(ss, sh, "{label}: sequential vs workers={w}, round {round}");
+                    }
+                }
+                for (w, shard) in WORKER_COUNTS.iter().zip(sharded.iter()) {
+                    assert_eq!(
+                        sequential.known_payloads(),
+                        shard.known_payloads(),
+                        "{label}: known records, workers={w}"
+                    );
+                    assert_eq!(
+                        sequential.outcome(),
+                        shard.outcome(),
+                        "{label}: outcome, workers={w}"
+                    );
+                }
+                assert_eq!(
+                    sequential.known_payloads(),
+                    reference.known_payloads(),
+                    "{label}: known records vs reference"
+                );
+            }
+        }
+    }
+}
+
+/// Property 2: fault and Byzantine plans riding churn schedules — the
+/// sharded resolve preserves the faulty-radio gate and the per-receiver
+/// Byzantine content path, across worker counts and epoch swaps.
+#[test]
+fn sharded_engines_agree_under_faults_and_churn() {
+    for net_seed in [29u64, 89] {
+        let n = 150;
+        let net = random_net(net_seed, n);
+        let schedule = churn3(&net, derive_seed(9, net_seed));
+        let plan = fault_plan(n, net_seed);
+        for config in configs() {
+            for (name, make_adv) in adversary_menu(derive_seed(141, net_seed)) {
+                let label = format!("faulty {name} {:?} {:?}", config.rule, config.start);
+                let mut sequential = DynamicExecutor::from_slots(
+                    &schedule,
+                    Flooder::slots(n),
+                    make_adv(),
+                    config,
+                    plan.clone(),
+                )
+                .unwrap();
+                let mut sharded: Vec<ShardedDynamic<'_>> = WORKER_COUNTS
+                    .iter()
+                    .map(|&w| {
+                        ShardedDynamic::new(
+                            &schedule,
+                            Flooder::slots(n),
+                            make_adv(),
+                            config,
+                            w,
+                            plan.clone(),
+                        )
+                    })
+                    .collect();
+                for round in 0..30 {
+                    let ss = sequential.step();
+                    for (w, shard) in WORKER_COUNTS.iter().zip(sharded.iter_mut()) {
+                        let sh = shard.step();
+                        assert_eq!(ss, sh, "{label}: workers={w}, round {round}");
+                    }
+                }
+                for (w, shard) in WORKER_COUNTS.iter().zip(sharded.iter()) {
+                    assert_eq!(
+                        sequential.executor().known_payloads(),
+                        shard.exec.known_payloads(),
+                        "{label}: known records, workers={w}"
+                    );
+                    assert_eq!(
+                        sequential.executor().roles(),
+                        shard.exec.roles(),
+                        "{label}: final role masks, workers={w}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A sink that records every event, for stream-equality checks.
+#[derive(Default)]
+struct VecSink(Vec<TraceEvent>);
+
+impl TraceSink for VecSink {
+    fn emit(&mut self, event: TraceEvent) {
+        self.0.push(event);
+    }
+}
+
+/// Property 3: the coordinator-side trace emission reproduces the
+/// sequential event stream exactly — same events, same order — for
+/// every worker count, with the round ledger (`TraceLevel::Full`)
+/// agreeing as well.
+#[test]
+fn sharded_trace_streams_are_identical() {
+    let n = 150;
+    let net = random_net(61, n);
+    for rule in CollisionRule::ALL {
+        let config = ExecutorConfig {
+            rule,
+            start: StartRule::Synchronous,
+            trace: TraceLevel::Full,
+            payload: PayloadId(0),
+        };
+        let make_adv = || Box::new(RandomDelivery::new(0.4, 17)) as Box<dyn Adversary>;
+        let mut sequential =
+            Executor::from_slots(&net, Flooder::slots(n), make_adv(), config).unwrap();
+        let mut seq_sink = VecSink::default();
+        for _ in 0..20 {
+            sequential.step_traced(&mut seq_sink);
+        }
+        for workers in WORKER_COUNTS {
+            let exec = Executor::from_slots(&net, Flooder::slots(n), make_adv(), config).unwrap();
+            let mut sharded = ShardedExecutor::new(exec, workers);
+            let mut sink = VecSink::default();
+            for _ in 0..20 {
+                sharded.step_traced(&mut sink);
+            }
+            assert_eq!(
+                seq_sink.0.len(),
+                sink.0.len(),
+                "{rule:?} workers={workers}: event counts"
+            );
+            for (i, (a, b)) in seq_sink.0.iter().zip(&sink.0).enumerate() {
+                assert_eq!(a, b, "{rule:?} workers={workers}: event {i}");
+            }
+            assert_eq!(
+                sequential.trace().records(),
+                sharded.trace().records(),
+                "{rule:?} workers={workers}: round ledger"
+            );
+        }
+    }
+}
+
+/// Interleaving sharded and sequential stepping on the *same* engine
+/// (via `DerefMut`) stays bit-identical to a pure sequential run: the
+/// wrapper's sender-index bookkeeping must survive rounds it did not
+/// execute itself.
+#[test]
+fn interleaved_sequential_and_sharded_steps_agree() {
+    let n = 150;
+    let net = random_net(83, n);
+    let config = ExecutorConfig {
+        rule: CollisionRule::Cr4,
+        start: StartRule::Synchronous,
+        trace: TraceLevel::Off,
+        payload: PayloadId(0),
+    };
+    let make_adv = || Box::new(RandomDelivery::new(0.4, 23)) as Box<dyn Adversary>;
+    let mut sequential =
+        Executor::from_slots(&net, Flooder::slots(n), make_adv(), config).unwrap();
+    let exec = Executor::from_slots(&net, Flooder::slots(n), make_adv(), config).unwrap();
+    let mut mixed = ShardedExecutor::new(exec, 2);
+    for round in 0..24 {
+        let ss = sequential.step();
+        // Alternate: even rounds sharded, odd rounds through the inner
+        // sequential engine directly.
+        let sm = if round % 2 == 0 {
+            mixed.step()
+        } else {
+            use std::ops::DerefMut;
+            mixed.deref_mut().step()
+        };
+        assert_eq!(ss, sm, "round {round}");
+    }
+    assert_eq!(sequential.known_payloads(), mixed.known_payloads());
+    assert_eq!(sequential.outcome(), mixed.outcome());
+}
